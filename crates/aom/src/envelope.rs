@@ -1,0 +1,69 @@
+//! The tagged wire envelope.
+//!
+//! Every datagram in the system is one [`Envelope`]. The tag lets a node
+//! route aom traffic to its receiver library, confirm messages to the
+//! Byzantine-network layer, configuration traffic to its membership
+//! logic, and everything else to the protocol state machine — without
+//! ambiguous double-decoding.
+
+use crate::config::ConfigMsg;
+use crate::receiver::SignedConfirm;
+use crate::AomPacket;
+use neo_wire::{decode, encode, CodecError};
+use serde::{Deserialize, Serialize};
+
+/// Top-level wire message.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Envelope {
+    /// An aom packet (sender → sequencer, or sequencer → receivers).
+    Aom(AomPacket),
+    /// A Byzantine-network-mode confirm (§4.2), receiver → receivers.
+    Confirm(SignedConfirm),
+    /// Batched confirms ("By batch processing confirm messages, NeoBFT
+    /// minimizes the impact of the additional message exchanges", §6.2).
+    ConfirmBatch(Vec<SignedConfirm>),
+    /// Configuration-service traffic.
+    Config(ConfigMsg),
+    /// Opaque protocol payload (NeoBFT or baseline messages).
+    App(Vec<u8>),
+}
+
+impl Envelope {
+    /// Encode to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        encode(self).expect("envelope types are always encodable")
+    }
+
+    /// Decode from wire bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        decode(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_wire::{AomHeader, GroupId};
+
+    #[test]
+    fn app_roundtrip() {
+        let e = Envelope::App(vec![1, 2, 3]);
+        let b = e.to_bytes();
+        assert_eq!(Envelope::from_bytes(&b).unwrap(), e);
+    }
+
+    #[test]
+    fn aom_roundtrip() {
+        let pkt = AomPacket {
+            header: AomHeader::unstamped(GroupId(1), [5u8; 32]),
+            payload: b"req".to_vec(),
+        };
+        let e = Envelope::Aom(pkt);
+        assert_eq!(Envelope::from_bytes(&e.to_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(Envelope::from_bytes(&[0xFF; 3]).is_err());
+    }
+}

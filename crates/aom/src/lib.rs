@@ -1,0 +1,62 @@
+#![allow(clippy::int_plus_one, clippy::manual_is_multiple_of)]
+// Quorum arithmetic is kept literal: `votes >= f + 1` mirrors the
+// protocol text; `seq % n` mirrors the fault-injection spec.
+
+//! # neo-aom
+//!
+//! The **authenticated ordered multicast** primitive (§3–§4 of the paper):
+//!
+//! * [`envelope`] — the tagged wire envelope carried by every packet in
+//!   the system (aom packets, confirm messages, configuration-service
+//!   traffic, and opaque application/protocol payloads);
+//! * [`sender`] — the sender-side library: builds the custom header
+//!   (group id + payload digest) that follows the UDP header (§4.1);
+//! * [`sequencer`] — the sequencer as a sans-IO node: stamps epoch and
+//!   sequence numbers, generates the authenticator (HMAC vector or
+//!   secp256k1 signature with hash chaining), multicasts to receivers,
+//!   and models switch timing; includes Byzantine behaviours
+//!   (equivocation, muting, selective drops) for fault-injection tests;
+//! * [`receiver`] — the receiver-side library embedded in replicas:
+//!   authenticator verification, in-order delivery, gap detection and
+//!   `drop-notification`s, hash-chain batch verification for aom-pk,
+//!   and the confirm exchange that tolerates a Byzantine network (§4.2);
+//! * [`config`] — the configuration service: group membership, epoch
+//!   advancement, sequencer failover on f+1 matching requests.
+//!
+//! aom guarantees (§3.2): asynchrony, unreliability, authentication,
+//! transferable authentication, ordering, drop detection. The receiver
+//! tests in this crate exercise each guarantee, including under an
+//! equivocating sequencer.
+
+pub mod config;
+pub mod envelope;
+pub mod receiver;
+pub mod sender;
+pub mod sequencer;
+
+pub use config::{ConfigMsg, ConfigService};
+pub use envelope::Envelope;
+pub use receiver::{
+    AomError, AomReceiver, Confirm, Delivery, NetworkTrust, OrderingCert, ReceiverAuth,
+    SignedConfirm,
+};
+pub use sender::AomSender;
+pub use sequencer::{AuthMode, Behavior, SequencerHw, SequencerNode};
+
+/// An aom packet: the custom header plus the opaque payload it orders.
+#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct AomPacket {
+    /// The custom header (§4.1).
+    pub header: neo_wire::AomHeader,
+    /// Application payload (for NeoBFT: a signed client request).
+    pub payload: Vec<u8>,
+}
+
+impl AomPacket {
+    /// The identity hash of a stamped packet: binds digest, sequence
+    /// number, and epoch. This is the value hash-chained by aom-pk and
+    /// the value receivers confirm in Byzantine-network mode.
+    pub fn identity_hash(&self) -> neo_crypto::Digest {
+        neo_crypto::sha256(&self.header.auth_input())
+    }
+}

@@ -1,0 +1,610 @@
+//! The receiver-side aom library (§4.1–§4.2).
+//!
+//! Embedded in every replica, this state machine turns raw sequencer
+//! output into an ordered stream of [`Delivery`] events:
+//!
+//! * verifies the authenticator — its own HMAC-vector entry (aom-hm) or
+//!   the sequencer's secp256k1 signature (aom-pk), with signature-less
+//!   hash-chained packets batch-verified once the next signed packet
+//!   arrives (§4.4);
+//! * delivers authenticated messages strictly in sequence-number order;
+//! * detects gaps: when a later packet is authenticated but an earlier
+//!   sequence number is missing, the host arms a timer and, on expiry,
+//!   [`AomReceiver::declare_drop`]s the missing number, producing the
+//!   `drop-notification` delivery (§3.2 drop detection);
+//! * in **Byzantine-network** mode, locks the first message seen per
+//!   sequence number, broadcasts a signed `⟨confirm, s, h⟩` and delivers
+//!   only after 2f+1 matching confirms (§4.2), making sequencer
+//!   equivocation harmless;
+//! * produces [`OrderingCert`]s — transferably-authenticated proof that a
+//!   message was ordered by the network, which NeoBFT's gap agreement
+//!   forwards between replicas.
+
+use crate::{AomPacket, Envelope};
+use neo_crypto::{chain, Digest, HmacKey, NodeCrypto, SequencerVerifyKey, Signature, SystemKeys};
+use neo_wire::{
+    encode, Authenticator, EpochNum, GroupId, ReplicaId, SeqNum,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use thiserror::Error;
+
+/// Receiver-side failure when processing a packet.
+#[derive(Debug, Error, PartialEq, Eq)]
+pub enum AomError {
+    /// Packet addressed to a different group.
+    #[error("packet for a different group")]
+    WrongGroup,
+    /// Packet stamped in a different epoch than the receiver is in.
+    #[error("packet from epoch {got}, receiver in {current}")]
+    WrongEpoch {
+        /// Epoch in the packet.
+        got: EpochNum,
+        /// Receiver's current epoch.
+        current: EpochNum,
+    },
+    /// The sequencer never stamped this packet.
+    #[error("unstamped packet")]
+    Unstamped,
+    /// Authenticator verification failed: forged or corrupted.
+    #[error("authentication failed")]
+    BadAuth,
+    /// Sequence number already delivered or declared dropped.
+    #[error("stale sequence number")]
+    Stale,
+    /// Another message was already locked for this sequence number
+    /// (Byzantine-network mode observed an equivocation attempt).
+    #[error("conflicting message for locked sequence number")]
+    Equivocation,
+}
+
+/// How the receiver authenticates sequencer output.
+#[derive(Clone, Debug)]
+pub enum ReceiverAuth {
+    /// aom-hm: verify my entry of the HMAC vector.
+    Hmac,
+    /// aom-pk: verify the sequencer signature / hash chain.
+    PublicKey,
+}
+
+/// Trust placed in the network infrastructure (§3.1's dual fault model).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetworkTrust {
+    /// Hybrid model: network is at worst crash/omission faulty. A single
+    /// authenticated aom message is its own ordering certificate.
+    Trusted,
+    /// Byzantine network: deliver only on 2f+1 matching confirms.
+    Byzantine,
+}
+
+/// The confirm body (§4.2): ⟨confirm, s, h⟩ signed by the receiver.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Confirm {
+    /// Group the packet belongs to.
+    pub group: GroupId,
+    /// Epoch of the packet.
+    pub epoch: EpochNum,
+    /// Sequence number being confirmed.
+    pub seq: SeqNum,
+    /// Identity hash of the packet (digest ‖ seq ‖ epoch).
+    pub hash: Digest,
+    /// Confirming replica.
+    pub replica: ReplicaId,
+}
+
+/// A signed confirm.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SignedConfirm {
+    /// The confirm body.
+    pub body: Confirm,
+    /// The replica's Ed25519 signature over the encoded body.
+    pub sig: Signature,
+}
+
+/// Transferably-authenticated proof that `packet` was ordered by aom.
+/// "The entire message set, including the aom message and the matching
+/// confirms, is delivered to the application and serves as an ordering
+/// certificate" (§4.2).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct OrderingCert {
+    /// The stamped, authenticated packet.
+    pub packet: AomPacket,
+    /// 2f+1 matching confirms (empty under the trusted-network model,
+    /// where the authenticator alone is the certificate).
+    pub confirms: Vec<SignedConfirm>,
+}
+
+/// One in-order delivery to the application.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Delivery {
+    /// An authenticated message with its ordering certificate.
+    Message(OrderingCert),
+    /// A drop-notification for a missing sequence number.
+    Drop(SeqNum),
+}
+
+/// The receiver state machine.
+pub struct AomReceiver {
+    group: GroupId,
+    me: ReplicaId,
+    my_index: usize,
+    epoch: EpochNum,
+    f: usize,
+    auth: ReceiverAuth,
+    trust: NetworkTrust,
+    keys: SystemKeys,
+    hmac_key: HmacKey,
+    seq_vk: SequencerVerifyKey,
+    next: SeqNum,
+    /// Fully authenticated packets awaiting in-order delivery (trusted
+    /// mode) or their confirm quorum (Byzantine mode: entry exists but
+    /// delivery waits).
+    ready: BTreeMap<SeqNum, AomPacket>,
+    /// aom-pk: signature-less packets awaiting hash-chain validation.
+    pending_chain: BTreeMap<SeqNum, AomPacket>,
+    /// Byzantine mode: hash locked per sequence number (first message
+    /// wins; conflicting ones are equivocation attempts).
+    locked: BTreeMap<SeqNum, Digest>,
+    /// Byzantine mode: confirms collected per sequence number.
+    confirms: BTreeMap<SeqNum, BTreeMap<ReplicaId, SignedConfirm>>,
+    /// Confirms this receiver generated but the host has not yet sent.
+    outgoing: Vec<SignedConfirm>,
+    out: VecDeque<Delivery>,
+    /// Messages delivered (stats).
+    pub delivered: u64,
+    /// Drop-notifications delivered (stats).
+    pub drops_declared: u64,
+}
+
+impl AomReceiver {
+    /// Build the receiver for replica `me` (at position `my_index` in the
+    /// group membership) in a group tolerating `f` faulty receivers.
+    pub fn new(
+        group: GroupId,
+        me: ReplicaId,
+        my_index: usize,
+        f: usize,
+        auth: ReceiverAuth,
+        trust: NetworkTrust,
+        keys: &SystemKeys,
+    ) -> Self {
+        let epoch = EpochNum::INITIAL;
+        AomReceiver {
+            group,
+            me,
+            my_index,
+            epoch,
+            f,
+            auth,
+            trust,
+            keys: keys.clone(),
+            hmac_key: keys.sequencer_hmac_key(group, epoch, me),
+            seq_vk: keys.sequencer_key(group, epoch).verify_key(),
+            next: SeqNum::FIRST,
+            ready: BTreeMap::new(),
+            pending_chain: BTreeMap::new(),
+            locked: BTreeMap::new(),
+            confirms: BTreeMap::new(),
+            outgoing: Vec::new(),
+            out: VecDeque::new(),
+            delivered: 0,
+            drops_declared: 0,
+        }
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> EpochNum {
+        self.epoch
+    }
+
+    /// Next sequence number expected.
+    pub fn next_seq(&self) -> SeqNum {
+        self.next
+    }
+
+    /// Enter a new epoch: fresh sequence space, fresh sequencer keys,
+    /// cleared buffers (§4.2: "start delivering authenticated aom
+    /// messages from the new sequencer switch and ignore messages from
+    /// the old one").
+    pub fn install_epoch(&mut self, epoch: EpochNum) {
+        self.epoch = epoch;
+        self.hmac_key = self.keys.sequencer_hmac_key(self.group, epoch, self.me);
+        self.seq_vk = self.keys.sequencer_key(self.group, epoch).verify_key();
+        self.next = SeqNum::FIRST;
+        self.ready.clear();
+        self.pending_chain.clear();
+        self.locked.clear();
+        self.confirms.clear();
+    }
+
+    /// Process one stamped aom packet from the wire.
+    pub fn on_packet(&mut self, pkt: AomPacket, crypto: &NodeCrypto) -> Result<(), AomError> {
+        if pkt.header.group != self.group {
+            return Err(AomError::WrongGroup);
+        }
+        if pkt.header.epoch != self.epoch {
+            return Err(AomError::WrongEpoch {
+                got: pkt.header.epoch,
+                current: self.epoch,
+            });
+        }
+        if !pkt.header.is_stamped() && !matches!(pkt.header.auth, Authenticator::Signature { .. })
+        {
+            return Err(AomError::Unstamped);
+        }
+        let seq = pkt.header.seq;
+        if seq < self.next {
+            return Err(AomError::Stale);
+        }
+
+        // Reject authenticator-type confusion: a receiver configured for
+        // one scheme must not accept the other (the sequencer never mixes
+        // schemes within an epoch).
+        match (&self.auth, &pkt.header.auth) {
+            (ReceiverAuth::Hmac, Authenticator::HmacVector(_))
+            | (ReceiverAuth::PublicKey, Authenticator::Signature { .. })
+            | (_, Authenticator::Unstamped) => {}
+            _ => return Err(AomError::BadAuth),
+        }
+        match &pkt.header.auth {
+            Authenticator::Unstamped => Err(AomError::Unstamped),
+            Authenticator::HmacVector(tags) => {
+                crypto.meter().charge_serial(crypto.costs().siphash);
+                neo_crypto::mac::verify_vector_entry(
+                    &self.hmac_key,
+                    self.my_index,
+                    tags,
+                    &pkt.header.auth_input(),
+                )
+                .map_err(|_| AomError::BadAuth)?;
+                self.accept(pkt, crypto);
+                Ok(())
+            }
+            Authenticator::Signature { sig, .. } => match sig {
+                Some(bytes) => {
+                    // Chain bookkeeping (hash of the packet identity for
+                    // future linkage checks) plus reorder-buffer admin
+                    // runs inline with dispatch; the ECDSA verification
+                    // itself goes to the worker pool.
+                    crypto.meter().charge_serial(
+                        crypto.costs().sha256(pkt.header.auth_input().len()) + 500,
+                    );
+                    crypto.meter().charge_parallel(crypto.costs().ecdsa_verify);
+                    self.seq_vk
+                        .verify(&pkt.header.auth_input(), &Signature(bytes.clone()))
+                        .map_err(|_| AomError::BadAuth)?;
+                    // A signed packet also vouches, through the hash
+                    // chain, for buffered signature-less predecessors.
+                    self.accept(pkt.clone(), crypto);
+                    self.validate_chain_backwards(&pkt, crypto);
+                    Ok(())
+                }
+                None => {
+                    // Signature skipped by the ratio controller: park it
+                    // until a signed successor arrives (§4.4).
+                    self.pending_chain.insert(seq, pkt);
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    /// Walk the hash chain backwards from a verified packet, promoting
+    /// parked signature-less packets whose linkage checks out.
+    fn validate_chain_backwards(&mut self, verified: &AomPacket, crypto: &NodeCrypto) {
+        let mut successor = verified.clone();
+        loop {
+            let Authenticator::Signature { prev_hash, .. } = &successor.header.auth else {
+                return;
+            };
+            let prev_seq = successor.header.seq.prev();
+            if prev_seq == SeqNum(0) {
+                return;
+            }
+            let Some(candidate) = self.pending_chain.get(&prev_seq) else {
+                return;
+            };
+            crypto
+                .meter()
+                .charge_serial(crypto.costs().sha256(candidate.header.auth_input().len()));
+            let expect = chain(Digest::ZERO, &candidate.header.auth_input());
+            if expect.0 != *prev_hash {
+                // Linkage broken: the parked packet is not the one the
+                // sequencer chained. Discard it.
+                self.pending_chain.remove(&prev_seq);
+                return;
+            }
+            let promoted = self.pending_chain.remove(&prev_seq).expect("checked");
+            self.accept(promoted.clone(), crypto);
+            successor = promoted;
+        }
+    }
+
+    /// An authenticated packet enters ordering (and, in Byzantine mode,
+    /// the confirm exchange).
+    fn accept(&mut self, pkt: AomPacket, crypto: &NodeCrypto) {
+        let seq = pkt.header.seq;
+        if seq < self.next || self.ready.contains_key(&seq) {
+            return;
+        }
+        match self.trust {
+            NetworkTrust::Trusted => {
+                self.ready.insert(seq, pkt);
+                self.drain();
+            }
+            NetworkTrust::Byzantine => {
+                let hash = pkt.identity_hash();
+                if let Some(locked) = self.locked.get(&seq) {
+                    if *locked != hash {
+                        // Equivocation attempt: ignore (§4.2 "ignores
+                        // subsequent aom messages with the same sequence
+                        // number").
+                        return;
+                    }
+                    self.ready.entry(seq).or_insert(pkt);
+                } else {
+                    self.locked.insert(seq, hash);
+                    self.ready.insert(seq, pkt);
+                    // Broadcast my confirm.
+                    let body = Confirm {
+                        group: self.group,
+                        epoch: self.epoch,
+                        seq,
+                        hash,
+                        replica: self.me,
+                    };
+                    let sig = crypto.sign(&encode(&body).expect("confirm encodes"));
+                    let sc = SignedConfirm { body: body.clone(), sig };
+                    self.confirms
+                        .entry(seq)
+                        .or_default()
+                        .insert(self.me, sc.clone());
+                    self.outgoing.push(sc);
+                }
+                self.try_complete(seq);
+            }
+        }
+    }
+
+    /// Process a confirm from a peer receiver (Byzantine-network mode).
+    pub fn on_confirm(&mut self, sc: SignedConfirm, crypto: &NodeCrypto) -> Result<(), AomError> {
+        if self.trust != NetworkTrust::Byzantine {
+            return Ok(()); // ignore stray confirms in trusted mode
+        }
+        if sc.body.group != self.group {
+            return Err(AomError::WrongGroup);
+        }
+        if sc.body.epoch != self.epoch {
+            return Err(AomError::WrongEpoch {
+                got: sc.body.epoch,
+                current: self.epoch,
+            });
+        }
+        if sc.body.seq < self.next {
+            return Err(AomError::Stale);
+        }
+        let bytes = encode(&sc.body).expect("confirm encodes");
+        crypto
+            .verify(
+                neo_crypto::Principal::Replica(sc.body.replica),
+                &bytes,
+                &sc.sig,
+            )
+            .map_err(|_| AomError::BadAuth)?;
+        let seq = sc.body.seq;
+        self.confirms.entry(seq).or_default().insert(sc.body.replica, sc);
+        self.try_complete(seq);
+        Ok(())
+    }
+
+    /// Confirms this receiver needs broadcast to the group; the host node
+    /// drains and sends them (optionally batched).
+    pub fn take_outgoing_confirms(&mut self) -> Vec<SignedConfirm> {
+        std::mem::take(&mut self.outgoing)
+    }
+
+    fn try_complete(&mut self, seq: SeqNum) {
+        if self.trust != NetworkTrust::Byzantine {
+            return;
+        }
+        let Some(locked_hash) = self.locked.get(&seq) else {
+            return;
+        };
+        if !self.ready.contains_key(&seq) {
+            return;
+        }
+        let quorum = 2 * self.f + 1;
+        let matching = self
+            .confirms
+            .get(&seq)
+            .map(|m| m.values().filter(|c| c.body.hash == *locked_hash).count())
+            .unwrap_or(0);
+        if matching >= quorum {
+            self.drain();
+        }
+    }
+
+    /// Deliver everything in order that is deliverable.
+    fn drain(&mut self) {
+        loop {
+            let seq = self.next;
+            let Some(pkt) = self.ready.get(&seq) else {
+                return;
+            };
+            if self.trust == NetworkTrust::Byzantine {
+                let quorum = 2 * self.f + 1;
+                let locked_hash = self.locked.get(&seq).copied();
+                let Some(h) = locked_hash else { return };
+                let matching: Vec<SignedConfirm> = self
+                    .confirms
+                    .get(&seq)
+                    .map(|m| {
+                        m.values()
+                            .filter(|c| c.body.hash == h)
+                            .cloned()
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if matching.len() < quorum {
+                    return;
+                }
+                let cert = OrderingCert {
+                    packet: pkt.clone(),
+                    confirms: matching,
+                };
+                self.out.push_back(Delivery::Message(cert));
+            } else {
+                self.out.push_back(Delivery::Message(OrderingCert {
+                    packet: pkt.clone(),
+                    confirms: Vec::new(),
+                }));
+            }
+            self.ready.remove(&seq);
+            self.locked.remove(&seq);
+            self.confirms.remove(&seq);
+            self.delivered += 1;
+            self.next = self.next.next();
+        }
+    }
+
+    /// Pull the next in-order delivery, if any.
+    pub fn poll(&mut self) -> Option<Delivery> {
+        self.out.pop_front()
+    }
+
+    /// If a later packet is waiting while `next` is missing, the network
+    /// dropped (or delayed) a message: returns the missing sequence
+    /// number so the host can arm its gap timer.
+    pub fn gap_pending(&self) -> Option<SeqNum> {
+        let oldest_waiting = [
+            self.ready.keys().next(),
+            self.pending_chain.keys().next(),
+            self.locked.keys().next(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()?;
+        (*oldest_waiting > self.next).then_some(self.next)
+    }
+
+    /// The host's gap timer fired: emit a drop-notification for the
+    /// missing sequence number and move on.
+    pub fn declare_drop(&mut self) -> SeqNum {
+        let seq = self.next;
+        self.out.push_back(Delivery::Drop(seq));
+        self.drops_declared += 1;
+        self.next = self.next.next();
+        self.drain();
+        seq
+    }
+
+    /// Transferable authentication: verify an ordering certificate
+    /// received from *another* replica (e.g. in a qery-reply or
+    /// gap-decision, §5.4). Checks my own HMAC entry or the sequencer
+    /// signature, and in Byzantine mode the 2f+1 matching confirms.
+    pub fn verify_cert(&self, cert: &OrderingCert, crypto: &NodeCrypto) -> bool {
+        self.verify_cert_in_epoch(cert, self.epoch, crypto)
+    }
+
+    /// Like [`Self::verify_cert`], but against an explicit epoch's keys —
+    /// view changes must validate certificates from earlier epochs
+    /// (§B.1's log-validity rule).
+    pub fn verify_cert_in_epoch(
+        &self,
+        cert: &OrderingCert,
+        epoch: EpochNum,
+        crypto: &NodeCrypto,
+    ) -> bool {
+        let pkt = &cert.packet;
+        if pkt.header.group != self.group || pkt.header.epoch != epoch {
+            return false;
+        }
+        let (hmac_key, seq_vk) = if epoch == self.epoch {
+            (self.hmac_key, self.seq_vk.clone())
+        } else {
+            (
+                self.keys.sequencer_hmac_key(self.group, epoch, self.me),
+                self.keys.sequencer_key(self.group, epoch).verify_key(),
+            )
+        };
+        let auth_ok = match &pkt.header.auth {
+            Authenticator::Unstamped => false,
+            Authenticator::HmacVector(tags) => {
+                crypto.meter().charge_serial(crypto.costs().siphash);
+                neo_crypto::mac::verify_vector_entry(
+                    &hmac_key,
+                    self.my_index,
+                    tags,
+                    &pkt.header.auth_input(),
+                )
+                .is_ok()
+            }
+            Authenticator::Signature { sig, .. } => match sig {
+                Some(bytes) => {
+                    crypto.meter().charge_parallel(crypto.costs().ecdsa_verify);
+                    seq_vk
+                        .verify(&pkt.header.auth_input(), &Signature(bytes.clone()))
+                        .is_ok()
+                }
+                // A forwarded certificate must carry a signed packet; a
+                // chain-only packet cannot stand alone.
+                None => false,
+            },
+        };
+        if !auth_ok {
+            return false;
+        }
+        if self.trust == NetworkTrust::Byzantine {
+            let hash = pkt.identity_hash();
+            let quorum = 2 * self.f + 1;
+            let mut seen = std::collections::BTreeSet::new();
+            for sc in &cert.confirms {
+                if sc.body.hash != hash
+                    || sc.body.seq != pkt.header.seq
+                    || sc.body.epoch != pkt.header.epoch
+                    || sc.body.group != pkt.header.group
+                {
+                    continue;
+                }
+                let bytes = encode(&sc.body).expect("confirm encodes");
+                if crypto
+                    .verify(
+                        neo_crypto::Principal::Replica(sc.body.replica),
+                        &bytes,
+                        &sc.sig,
+                    )
+                    .is_ok()
+                {
+                    seen.insert(sc.body.replica);
+                }
+            }
+            if seen.len() < quorum {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Helper for hosts: decode an [`Envelope`] payload and feed whatever
+    /// aom-relevant content it carries. Returns `true` if the envelope
+    /// was consumed by the aom layer.
+    pub fn on_envelope(&mut self, env: &Envelope, crypto: &NodeCrypto) -> bool {
+        match env {
+            Envelope::Aom(pkt) => {
+                let _ = self.on_packet(pkt.clone(), crypto);
+                true
+            }
+            Envelope::Confirm(sc) => {
+                let _ = self.on_confirm(sc.clone(), crypto);
+                true
+            }
+            Envelope::ConfirmBatch(batch) => {
+                for sc in batch {
+                    let _ = self.on_confirm(sc.clone(), crypto);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+}

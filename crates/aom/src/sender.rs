@@ -1,0 +1,66 @@
+//! The sender-side aom library (§4.1).
+//!
+//! "The sender-side library generates a custom packet header that follows
+//! the UDP header … The digest is generated using a collision-resistant
+//! hash function." Senders address the *group*; they never learn receiver
+//! identities.
+
+use crate::{AomPacket, Envelope};
+use neo_crypto::NodeCrypto;
+use neo_wire::{Addr, AomHeader, GroupId};
+
+/// Sender-side library: wraps payloads into unstamped aom packets.
+#[derive(Clone, Debug)]
+pub struct AomSender {
+    group: GroupId,
+}
+
+impl AomSender {
+    /// A sender targeting `group`.
+    pub fn new(group: GroupId) -> Self {
+        AomSender { group }
+    }
+
+    /// The group this sender multicasts to.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// The multicast address senders put on the wire.
+    pub fn dest(&self) -> Addr {
+        Addr::Multicast(self.group)
+    }
+
+    /// Build the wire bytes for one aom message carrying `payload`.
+    /// The digest is computed (and metered) through the node's crypto.
+    pub fn wrap(&self, payload: Vec<u8>, crypto: &NodeCrypto) -> Vec<u8> {
+        let digest = crypto.digest(&payload);
+        let header = AomHeader::unstamped(self.group, digest.0);
+        Envelope::Aom(AomPacket { header, payload }).to_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_crypto::{CostModel, Principal, SystemKeys};
+    use neo_wire::ClientId;
+
+    #[test]
+    fn wrap_produces_unstamped_packet_with_correct_digest() {
+        let sys = SystemKeys::new(1, 0, 1);
+        let crypto = NodeCrypto::new(Principal::Client(ClientId(0)), &sys, CostModel::FREE);
+        let sender = AomSender::new(GroupId(3));
+        let bytes = sender.wrap(b"hello".to_vec(), &crypto);
+        match Envelope::from_bytes(&bytes).unwrap() {
+            Envelope::Aom(pkt) => {
+                assert!(!pkt.header.is_stamped());
+                assert_eq!(pkt.header.group, GroupId(3));
+                assert_eq!(pkt.header.digest, neo_crypto::sha256(b"hello").0);
+                assert_eq!(pkt.payload, b"hello");
+            }
+            other => panic!("expected aom packet, got {other:?}"),
+        }
+        assert_eq!(sender.dest(), Addr::Multicast(GroupId(3)));
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests of the aom ordering guarantee (§3.2): whatever
+//! subset of stamped packets arrives, in whatever order, every receiver
+//! delivers a *gap-free ordered* stream consistent with the sequencer's
+//! stamping — and any two receivers' delivered streams agree on every
+//! position both deliver.
+
+use neo_aom::{
+    AomPacket, AomReceiver, AuthMode, Delivery, Envelope, NetworkTrust, ReceiverAuth, SequencerHw,
+    SequencerNode,
+};
+use neo_crypto::{CostModel, NodeCrypto, Principal, SystemKeys};
+use neo_sim::{Context, Node, TimerId};
+use neo_wire::{Addr, AomHeader, ClientId, GroupId, ReplicaId, SeqNum};
+use proptest::prelude::*;
+
+const G: GroupId = GroupId(0);
+
+struct Collect {
+    sends: Vec<(Addr, Vec<u8>)>,
+}
+impl Context for Collect {
+    fn now(&self) -> u64 {
+        0
+    }
+    fn me(&self) -> Addr {
+        Addr::Sequencer(G)
+    }
+    fn send_after(&mut self, to: Addr, payload: Vec<u8>, _d: u64) {
+        self.sends.push((to, payload));
+    }
+    fn set_timer(&mut self, _: u64, _: u32) -> TimerId {
+        TimerId(0)
+    }
+    fn cancel_timer(&mut self, _: TimerId) {}
+    fn charge(&mut self, _: u64) {}
+}
+
+/// Stamp `n` distinct messages and return the packets for receiver 0.
+fn stamped_packets(n: usize) -> Vec<AomPacket> {
+    let keys = SystemKeys::new(5, 4, 1);
+    let mut seq = SequencerNode::new(
+        G,
+        (0..4).map(ReplicaId).collect(),
+        AuthMode::HmacVector,
+        SequencerHw::Software(CostModel::FREE),
+        &keys,
+    );
+    let mut ctx = Collect { sends: vec![] };
+    for i in 0..n {
+        let payload = format!("op-{i}").into_bytes();
+        let digest = neo_crypto::sha256(&payload);
+        let pkt = Envelope::Aom(AomPacket {
+            header: AomHeader::unstamped(G, digest.0),
+            payload,
+        });
+        seq.on_message(Addr::Client(ClientId(0)), &pkt.to_bytes(), &mut ctx);
+    }
+    ctx.sends
+        .iter()
+        .filter(|(a, _)| *a == Addr::Replica(ReplicaId(0)))
+        .filter_map(|(_, b)| match Envelope::from_bytes(b) {
+            Ok(Envelope::Aom(p)) => Some(p),
+            _ => None,
+        })
+        .collect()
+}
+
+fn fresh_receiver() -> (AomReceiver, NodeCrypto) {
+    let keys = SystemKeys::new(5, 4, 1);
+    let crypto = NodeCrypto::new(Principal::Replica(ReplicaId(0)), &keys, CostModel::FREE);
+    let rcv = AomReceiver::new(
+        G,
+        ReplicaId(0),
+        0,
+        1,
+        ReceiverAuth::Hmac,
+        NetworkTrust::Trusted,
+        &keys,
+    );
+    (rcv, crypto)
+}
+
+proptest! {
+    /// Deliveries are always a dense, in-order sequence over seq numbers,
+    /// no matter the arrival permutation and which packets are lost.
+    #[test]
+    fn delivery_is_dense_and_ordered(
+        n in 1usize..24,
+        perm_seed in any::<u64>(),
+        lost_mask in any::<u32>(),
+    ) {
+        let packets = stamped_packets(n);
+        // Select survivors and permute them deterministically.
+        let mut arriving: Vec<AomPacket> = packets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| lost_mask & (1 << (i % 32)) == 0)
+            .map(|(_, p)| p.clone())
+            .collect();
+        let mut s = perm_seed;
+        for i in (1..arriving.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            arriving.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+
+        let (mut rcv, crypto) = fresh_receiver();
+        for p in arriving {
+            let _ = rcv.on_packet(p, &crypto);
+        }
+        // Drain deliveries; declare drops until the receiver catches up
+        // to everything it buffered.
+        let mut delivered: Vec<(u64, bool)> = Vec::new(); // (seq, is_message)
+        loop {
+            while let Some(d) = rcv.poll() {
+                match d {
+                    Delivery::Message(cert) => {
+                        delivered.push((cert.packet.header.seq.0, true))
+                    }
+                    Delivery::Drop(s) => delivered.push((s.0, false)),
+                }
+            }
+            if rcv.gap_pending().is_some() {
+                rcv.declare_drop();
+            } else {
+                break;
+            }
+        }
+        // Dense and ordered: seq numbers 1..=k with no gaps or repeats.
+        for (i, (seq, _)) in delivered.iter().enumerate() {
+            prop_assert_eq!(*seq, i as u64 + 1, "dense in-order delivery");
+        }
+        // Every delivered *message* matches the sequencer's stamping.
+        for (seq, is_msg) in &delivered {
+            if *is_msg {
+                let original = &packets[(*seq - 1) as usize];
+                prop_assert_eq!(original.header.seq, SeqNum(*seq));
+            }
+        }
+    }
+
+    /// Two receivers fed different subsets in different orders never
+    /// disagree on a position they both deliver as a message (§3.2
+    /// Ordering).
+    #[test]
+    fn receivers_agree_on_common_positions(
+        n in 1usize..16,
+        mask_a in any::<u16>(),
+        mask_b in any::<u16>(),
+    ) {
+        let packets = stamped_packets(n);
+        let run = |mask: u16| {
+            let (mut rcv, crypto) = fresh_receiver();
+            for (i, p) in packets.iter().enumerate() {
+                if mask & (1 << (i % 16)) == 0 {
+                    let _ = rcv.on_packet(p.clone(), &crypto);
+                }
+            }
+            let mut out = std::collections::BTreeMap::new();
+            loop {
+                while let Some(d) = rcv.poll() {
+                    if let Delivery::Message(cert) = d {
+                        out.insert(cert.packet.header.seq.0, cert.packet.payload.clone());
+                    }
+                }
+                if rcv.gap_pending().is_some() {
+                    rcv.declare_drop();
+                } else {
+                    break;
+                }
+            }
+            out
+        };
+        let a = run(mask_a);
+        let b = run(mask_b);
+        for (seq, payload) in &a {
+            if let Some(other) = b.get(seq) {
+                prop_assert_eq!(payload, other, "ordering agreement at seq {}", seq);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! The echo-RPC application (§6.2): replies with the request bytes.
+//!
+//! Stateless apart from the executed counter, so undo is trivial — which
+//! is exactly why the paper uses it to isolate *protocol* costs.
+
+use crate::App;
+
+/// Echo application.
+#[derive(Debug, Default, Clone)]
+pub struct EchoApp {
+    executed: u64,
+}
+
+impl EchoApp {
+    /// Fresh echo app.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl App for EchoApp {
+    fn execute(&mut self, op: &[u8]) -> Vec<u8> {
+        self.executed += 1;
+        op.to_vec()
+    }
+
+    fn undo(&mut self) {
+        assert!(self.executed > 0, "nothing to undo");
+        self.executed -= 1;
+    }
+
+    fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    fn compact(&mut self, _keep_last: u64) {}
+
+    fn as_any_ref(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echoes_input() {
+        let mut app = EchoApp::new();
+        assert_eq!(app.execute(b"hello"), b"hello");
+        assert_eq!(app.execute(b""), b"");
+        assert_eq!(app.executed(), 2);
+    }
+
+    #[test]
+    fn undo_decrements() {
+        let mut app = EchoApp::new();
+        app.execute(b"x");
+        app.undo();
+        assert_eq!(app.executed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to undo")]
+    fn undo_on_empty_panics() {
+        EchoApp::new().undo();
+    }
+}

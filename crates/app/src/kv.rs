@@ -1,0 +1,346 @@
+//! The in-memory, B-Tree-based key-value store of §6.5, with an undo log
+//! for speculative execution.
+
+use crate::App;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A key-value operation, serialized into request payloads.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum KvOp {
+    /// Read a key.
+    Get {
+        /// Key to read.
+        key: String,
+    },
+    /// Insert or overwrite a key.
+    Put {
+        /// Key to write.
+        key: String,
+        /// Value to store.
+        value: Vec<u8>,
+    },
+    /// Remove a key.
+    Delete {
+        /// Key to remove.
+        key: String,
+    },
+    /// Range scan: up to `limit` entries starting at `start` (YCSB scan).
+    Scan {
+        /// First key (inclusive).
+        start: String,
+        /// Maximum entries returned.
+        limit: usize,
+    },
+}
+
+impl KvOp {
+    /// Serialize for use as a request payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        neo_wire::encode(self).expect("kv ops encode")
+    }
+
+    /// Deserialize from a request payload.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        neo_wire::decode(bytes).ok()
+    }
+}
+
+/// Result of a key-value operation.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum KvResult {
+    /// Value found (Get) or entries found (Scan count).
+    Value(Option<Vec<u8>>),
+    /// Write acknowledged.
+    Ok,
+    /// Scan results (key, value) pairs.
+    Entries(Vec<(String, Vec<u8>)>),
+    /// Request payload was not a valid operation.
+    BadRequest,
+}
+
+impl KvResult {
+    /// Serialize for use as a reply payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        neo_wire::encode(self).expect("kv results encode")
+    }
+
+    /// Deserialize from a reply payload.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        neo_wire::decode(bytes).ok()
+    }
+}
+
+/// Undo record: how to reverse one executed operation.
+#[derive(Clone, Debug)]
+enum Undo {
+    /// Operation did not modify state (Get/Scan/BadRequest).
+    Nothing,
+    /// Restore `key` to `prior` (None = key did not exist).
+    Restore {
+        key: String,
+        prior: Option<Vec<u8>>,
+    },
+}
+
+/// The B-Tree key-value store.
+#[derive(Debug, Default)]
+pub struct KvApp {
+    store: BTreeMap<String, Vec<u8>>,
+    undo_log: Vec<Undo>,
+}
+
+impl KvApp {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-load `n` records of `value_len`-byte values, keys `user0…`,
+    /// matching the YCSB load phase.
+    pub fn loaded(n: usize, value_len: usize) -> Self {
+        let mut app = Self::new();
+        for i in 0..n {
+            app.store
+                .insert(format!("user{i}"), vec![(i % 251) as u8; value_len]);
+        }
+        app
+    }
+
+    /// Number of records currently stored.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True if the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Direct read access (tests and verification).
+    pub fn get(&self, key: &str) -> Option<&Vec<u8>> {
+        self.store.get(key)
+    }
+}
+
+impl App for KvApp {
+    fn execute(&mut self, op: &[u8]) -> Vec<u8> {
+        let Some(op) = KvOp::from_bytes(op) else {
+            self.undo_log.push(Undo::Nothing);
+            return KvResult::BadRequest.to_bytes();
+        };
+        let (undo, result) = match op {
+            KvOp::Get { key } => (
+                Undo::Nothing,
+                KvResult::Value(self.store.get(&key).cloned()),
+            ),
+            KvOp::Put { key, value } => {
+                let prior = self.store.insert(key.clone(), value);
+                (Undo::Restore { key, prior }, KvResult::Ok)
+            }
+            KvOp::Delete { key } => {
+                let prior = self.store.remove(&key);
+                (Undo::Restore { key, prior }, KvResult::Ok)
+            }
+            KvOp::Scan { start, limit } => {
+                let entries: Vec<(String, Vec<u8>)> = self
+                    .store
+                    .range(start..)
+                    .take(limit)
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                (Undo::Nothing, KvResult::Entries(entries))
+            }
+        };
+        self.undo_log.push(undo);
+        result.to_bytes()
+    }
+
+    fn undo(&mut self) {
+        let record = self.undo_log.pop().expect("nothing to undo");
+        if let Undo::Restore { key, prior } = record {
+            match prior {
+                Some(v) => {
+                    self.store.insert(key, v);
+                }
+                None => {
+                    self.store.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn executed(&self) -> u64 {
+        self.undo_log.len() as u64
+    }
+
+    fn compact(&mut self, keep_last: u64) {
+        let keep = keep_last as usize;
+        if self.undo_log.len() > keep {
+            let drop_n = self.undo_log.len() - keep;
+            self.undo_log.drain(..drop_n);
+        }
+    }
+
+    fn as_any_ref(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(app: &mut KvApp, k: &str, v: &[u8]) -> KvResult {
+        let r = app.execute(
+            &KvOp::Put {
+                key: k.into(),
+                value: v.to_vec(),
+            }
+            .to_bytes(),
+        );
+        KvResult::from_bytes(&r).unwrap()
+    }
+
+    fn get(app: &mut KvApp, k: &str) -> Option<Vec<u8>> {
+        let r = app.execute(&KvOp::Get { key: k.into() }.to_bytes());
+        match KvResult::from_bytes(&r).unwrap() {
+            KvResult::Value(v) => v,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let mut app = KvApp::new();
+        assert_eq!(put(&mut app, "k", b"v1"), KvResult::Ok);
+        assert_eq!(get(&mut app, "k"), Some(b"v1".to_vec()));
+        app.execute(&KvOp::Delete { key: "k".into() }.to_bytes());
+        assert_eq!(get(&mut app, "k"), None);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let mut app = KvApp::new();
+        put(&mut app, "k", b"v1");
+        put(&mut app, "k", b"v2");
+        assert_eq!(get(&mut app, "k"), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn scan_is_ordered_and_limited() {
+        let mut app = KvApp::new();
+        for i in 0..10 {
+            put(&mut app, &format!("key{i}"), &[i as u8]);
+        }
+        let r = app.execute(
+            &KvOp::Scan {
+                start: "key3".into(),
+                limit: 4,
+            }
+            .to_bytes(),
+        );
+        match KvResult::from_bytes(&r).unwrap() {
+            KvResult::Entries(e) => {
+                let ks: Vec<_> = e.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(ks, vec!["key3", "key4", "key5", "key6"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undo_restores_prior_value() {
+        let mut app = KvApp::new();
+        put(&mut app, "k", b"v1");
+        put(&mut app, "k", b"v2");
+        app.undo();
+        assert_eq!(app.get("k"), Some(&b"v1".to_vec()));
+        app.undo();
+        assert_eq!(app.get("k"), None);
+    }
+
+    #[test]
+    fn undo_restores_deleted_key() {
+        let mut app = KvApp::new();
+        put(&mut app, "k", b"v");
+        app.execute(&KvOp::Delete { key: "k".into() }.to_bytes());
+        app.undo();
+        assert_eq!(app.get("k"), Some(&b"v".to_vec()));
+    }
+
+    #[test]
+    fn rollback_and_reexecute_converges() {
+        // The exact scenario NeoBFT's gap agreement creates: execute a
+        // suffix speculatively, roll it back, re-execute with one op
+        // replaced by nothing (no-op).
+        let mut a = KvApp::new();
+        let ops: Vec<Vec<u8>> = (0..5)
+            .map(|i| {
+                KvOp::Put {
+                    key: format!("k{}", i % 2),
+                    value: vec![i as u8],
+                }
+                .to_bytes()
+            })
+            .collect();
+        for op in &ops {
+            a.execute(op);
+        }
+        // Roll back ops 2..5 and re-execute skipping op 2.
+        for _ in 2..5 {
+            a.undo();
+        }
+        for op in &ops[3..] {
+            a.execute(op);
+        }
+        // Reference: execute 0,1,3,4 directly.
+        let mut b = KvApp::new();
+        for (i, op) in ops.iter().enumerate() {
+            if i != 2 {
+                b.execute(op);
+            }
+        }
+        assert_eq!(a.get("k0"), b.get("k0"));
+        assert_eq!(a.get("k1"), b.get("k1"));
+    }
+
+    #[test]
+    fn gets_do_not_pollute_state_on_undo() {
+        let mut app = KvApp::new();
+        put(&mut app, "k", b"v");
+        get(&mut app, "k");
+        app.undo(); // undo the get: nothing changes
+        assert_eq!(app.get("k"), Some(&b"v".to_vec()));
+    }
+
+    #[test]
+    fn compact_limits_undo_history() {
+        let mut app = KvApp::new();
+        for i in 0..10 {
+            put(&mut app, "k", &[i]);
+        }
+        app.compact(2);
+        assert_eq!(app.executed(), 2);
+        app.undo();
+        app.undo();
+        assert_eq!(app.get("k"), Some(&vec![7u8]));
+    }
+
+    #[test]
+    fn loaded_matches_ycsb_load_phase() {
+        let app = KvApp::loaded(1000, 128);
+        assert_eq!(app.len(), 1000);
+        assert_eq!(app.get("user0").map(|v| v.len()), Some(128));
+        assert_eq!(app.get("user999").map(|v| v.len()), Some(128));
+        assert!(app.get("user1000").is_none());
+    }
+
+    #[test]
+    fn malformed_request_is_rejected_not_fatal() {
+        let mut app = KvApp::new();
+        let r = app.execute(&[0xFF, 0xFE]);
+        assert_eq!(KvResult::from_bytes(&r).unwrap(), KvResult::BadRequest);
+        app.undo(); // still undoable
+    }
+}

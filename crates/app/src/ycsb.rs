@@ -1,0 +1,224 @@
+//! YCSB workload generation (§6.5: "YCSB workload A with 100K records and
+//! 128-bytes fields").
+//!
+//! Workload A is 50% reads / 50% updates over a zipfian key-popularity
+//! distribution. The zipfian sampler is the standard Gray et al. rejection
+//! method used by the YCSB reference implementation.
+
+use crate::kv::KvOp;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Workload parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct YcsbConfig {
+    /// Records in the table.
+    pub record_count: usize,
+    /// Value size in bytes.
+    pub field_len: usize,
+    /// Fraction of reads (the rest are updates). Workload A = 0.5.
+    pub read_proportion: f64,
+    /// Zipfian skew constant (YCSB default 0.99).
+    pub theta: f64,
+}
+
+impl YcsbConfig {
+    /// YCSB workload A at the paper's scale.
+    pub const WORKLOAD_A: YcsbConfig = YcsbConfig {
+        record_count: 100_000,
+        field_len: 128,
+        read_proportion: 0.5,
+        theta: 0.99,
+    };
+
+    /// Workload B (95% reads) for extension experiments.
+    pub const WORKLOAD_B: YcsbConfig = YcsbConfig {
+        record_count: 100_000,
+        field_len: 128,
+        read_proportion: 0.95,
+        theta: 0.99,
+    };
+}
+
+/// Deterministic YCSB operation stream.
+pub struct YcsbGenerator {
+    cfg: YcsbConfig,
+    rng: ChaCha8Rng,
+    // Zipfian sampler state (Gray's method).
+    zeta_n: f64,
+    alpha: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+fn zeta(n: usize, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl YcsbGenerator {
+    /// A generator with the given seed (same seed → same op stream).
+    pub fn new(cfg: YcsbConfig, seed: u64) -> Self {
+        let zeta_n = zeta(cfg.record_count, cfg.theta);
+        let zeta2 = zeta(2, cfg.theta);
+        let alpha = 1.0 / (1.0 - cfg.theta);
+        let eta = (1.0 - (2.0 / cfg.record_count as f64).powf(1.0 - cfg.theta))
+            / (1.0 - zeta2 / zeta_n);
+        YcsbGenerator {
+            cfg,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            zeta_n,
+            alpha,
+            eta,
+            zeta2,
+        }
+    }
+
+    /// The configuration driving this generator.
+    pub fn config(&self) -> YcsbConfig {
+        self.cfg
+    }
+
+    /// Draw a zipfian-distributed record index in `[0, record_count)`.
+    pub fn next_key_index(&mut self) -> usize {
+        let n = self.cfg.record_count as f64;
+        let u: f64 = self.rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.cfg.theta) {
+            return 1;
+        }
+        let idx = (n * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        idx.min(self.cfg.record_count - 1)
+    }
+
+    /// Draw the next operation.
+    pub fn next_op(&mut self) -> KvOp {
+        let key = format!("user{}", self.next_key_index());
+        if self.rng.gen::<f64>() < self.cfg.read_proportion {
+            KvOp::Get { key }
+        } else {
+            let mut value = vec![0u8; self.cfg.field_len];
+            self.rng.fill(&mut value[..]);
+            KvOp::Put { key, value }
+        }
+    }
+
+    /// Draw the next operation as request-payload bytes.
+    pub fn next_payload(&mut self) -> Vec<u8> {
+        self.next_op().to_bytes()
+    }
+
+    /// Zeta(2, θ) — exposed for the distribution tests.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> YcsbConfig {
+        YcsbConfig {
+            record_count: 1000,
+            field_len: 16,
+            read_proportion: 0.5,
+            theta: 0.99,
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ops1: Vec<_> = {
+            let mut g = YcsbGenerator::new(small(), 42);
+            (0..100).map(|_| g.next_payload()).collect()
+        };
+        let ops2: Vec<_> = {
+            let mut g = YcsbGenerator::new(small(), 42);
+            (0..100).map(|_| g.next_payload()).collect()
+        };
+        assert_eq!(ops1, ops2);
+        let ops3: Vec<_> = {
+            let mut g = YcsbGenerator::new(small(), 43);
+            (0..100).map(|_| g.next_payload()).collect()
+        };
+        assert_ne!(ops1, ops3);
+    }
+
+    #[test]
+    fn read_write_mix_matches_proportion() {
+        let mut g = YcsbGenerator::new(small(), 1);
+        let n = 10_000;
+        let reads = (0..n)
+            .filter(|_| matches!(g.next_op(), KvOp::Get { .. }))
+            .count();
+        let frac = reads as f64 / n as f64;
+        assert!((0.47..0.53).contains(&frac), "≈50% reads, got {frac}");
+    }
+
+    #[test]
+    fn workload_b_is_read_heavy() {
+        let mut g = YcsbGenerator::new(
+            YcsbConfig {
+                record_count: 1000,
+                ..YcsbConfig::WORKLOAD_B
+            },
+            1,
+        );
+        let n = 10_000;
+        let reads = (0..n)
+            .filter(|_| matches!(g.next_op(), KvOp::Get { .. }))
+            .count();
+        assert!(reads as f64 / n as f64 > 0.92);
+    }
+
+    #[test]
+    fn keys_are_zipfian_skewed() {
+        let mut g = YcsbGenerator::new(small(), 7);
+        let n = 50_000;
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..n {
+            counts[g.next_key_index()] += 1;
+        }
+        // The most popular key should dwarf the median key.
+        let hottest = *counts.iter().max().unwrap();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        let median = sorted[500];
+        assert!(
+            hottest > median.max(1) * 20,
+            "zipfian skew: hottest {hottest} vs median {median}"
+        );
+        // But every index stays in range (no panic already proves ≤ 999).
+        assert!(counts.iter().sum::<u32>() == n);
+    }
+
+    #[test]
+    fn keys_reference_loaded_records() {
+        let mut g = YcsbGenerator::new(small(), 3);
+        for _ in 0..1000 {
+            match g.next_op() {
+                KvOp::Get { key } | KvOp::Put { key, .. } => {
+                    let idx: usize = key.strip_prefix("user").unwrap().parse().unwrap();
+                    assert!(idx < 1000);
+                }
+                other => panic!("workload A only reads/updates, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn update_values_have_configured_length() {
+        let mut g = YcsbGenerator::new(small(), 5);
+        for _ in 0..100 {
+            if let KvOp::Put { value, .. } = g.next_op() {
+                assert_eq!(value.len(), 16);
+                return;
+            }
+        }
+        panic!("no update drawn in 100 ops");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the application layer — the invariants
+//! NeoBFT's speculative execution depends on.
+
+use neo_app::{App, KvApp, KvOp};
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = KvOp> {
+    let key = proptest::sample::select(vec!["a", "b", "c", "d", "e"])
+        .prop_map(|s| s.to_string());
+    prop_oneof![
+        key.clone().prop_map(|key| KvOp::Get { key }),
+        (key.clone(), proptest::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(key, value)| KvOp::Put { key, value }),
+        key.clone().prop_map(|key| KvOp::Delete { key }),
+        (key, 0usize..8).prop_map(|(start, limit)| KvOp::Scan { start, limit }),
+    ]
+}
+
+fn snapshot(app: &KvApp) -> Vec<(String, Vec<u8>)> {
+    ["a", "b", "c", "d", "e"]
+        .iter()
+        .filter_map(|k| app.get(k).map(|v| (k.to_string(), v.clone())))
+        .collect()
+}
+
+proptest! {
+    /// Undoing every executed op restores the initial state exactly.
+    #[test]
+    fn full_undo_restores_initial_state(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let mut app = KvApp::loaded(3, 4);
+        // Rename loaded keys into our alphabet? Not needed: loaded uses
+        // user0..2; they are untouched controls.
+        let before = snapshot(&app);
+        let user0_before = app.get("user0").cloned();
+        for op in &ops {
+            app.execute(&op.to_bytes());
+        }
+        for _ in 0..ops.len() {
+            app.undo();
+        }
+        prop_assert_eq!(snapshot(&app), before);
+        prop_assert_eq!(app.get("user0").cloned(), user0_before);
+        prop_assert_eq!(app.executed(), 0);
+    }
+
+    /// The rollback + re-execute cycle (gap agreement commits a no-op in
+    /// the middle of a speculative suffix) converges to the same state as
+    /// executing the corrected history directly.
+    #[test]
+    fn rollback_reexecute_equals_direct_execution(
+        ops in proptest::collection::vec(arb_op(), 2..30),
+        skip in any::<proptest::sample::Index>(),
+    ) {
+        let skip = skip.index(ops.len());
+        // Path A: execute everything, roll back to `skip`, re-execute
+        // without the skipped op.
+        let mut a = KvApp::new();
+        for op in &ops {
+            a.execute(&op.to_bytes());
+        }
+        for _ in skip..ops.len() {
+            a.undo();
+        }
+        for op in &ops[skip + 1..] {
+            a.execute(&op.to_bytes());
+        }
+        // Path B: the corrected history, straight through.
+        let mut b = KvApp::new();
+        for (i, op) in ops.iter().enumerate() {
+            if i != skip {
+                b.execute(&op.to_bytes());
+            }
+        }
+        prop_assert_eq!(snapshot(&a), snapshot(&b));
+    }
+
+    /// Execution is deterministic: same ops ⇒ same results and state
+    /// (the property that makes 2f+1 matching replies meaningful).
+    #[test]
+    fn execution_is_deterministic(ops in proptest::collection::vec(arb_op(), 0..30)) {
+        let mut a = KvApp::loaded(2, 4);
+        let mut b = KvApp::loaded(2, 4);
+        for op in &ops {
+            let ra = a.execute(&op.to_bytes());
+            let rb = b.execute(&op.to_bytes());
+            prop_assert_eq!(ra, rb);
+        }
+        prop_assert_eq!(snapshot(&a), snapshot(&b));
+    }
+
+    /// Compaction never changes observable state, only undo depth.
+    #[test]
+    fn compaction_preserves_state(
+        ops in proptest::collection::vec(arb_op(), 0..30),
+        keep in 0u64..10,
+    ) {
+        let mut app = KvApp::new();
+        for op in &ops {
+            app.execute(&op.to_bytes());
+        }
+        let before = snapshot(&app);
+        app.compact(keep);
+        prop_assert_eq!(snapshot(&app), before);
+        prop_assert!(app.executed() <= keep.max(ops.len() as u64).min(ops.len() as u64));
+    }
+}

@@ -1,0 +1,310 @@
+//! Infrastructure shared by the baseline protocols.
+
+use neo_core::CompletedOp;
+use neo_sim::{Context, TimerId};
+use neo_wire::{ClientId, ReplicaId, RequestId};
+use serde::{Deserialize, Serialize};
+
+/// Parameters common to all baseline protocols.
+#[derive(Clone, Debug)]
+pub struct BaselineConfig {
+    /// Replica count (3f+1, or 2f+1 for MinBFT).
+    pub n: usize,
+    /// Fault bound.
+    pub f: usize,
+    /// Maximum requests per batch ("following the batching techniques
+    /// proposed in their original work", §6).
+    pub batch_max: usize,
+    /// Concurrent batches the primary keeps in flight.
+    pub pipeline_depth: usize,
+    /// Client retransmission timeout.
+    pub client_retry_ns: u64,
+    /// Zyzzyva: how long the client waits for the full 3f+1 fast-path
+    /// quorum before falling back to the commit phase.
+    pub fast_path_wait_ns: u64,
+    /// HotStuff: pacemaker interval — the leader proposes the next block
+    /// at least this often even if the batch is not full.
+    pub proposal_interval_ns: u64,
+    /// MinBFT: serial cost of one USIG operation in the trusted
+    /// component (SGX call + HMAC).
+    pub usig_cost_ns: u64,
+}
+
+impl BaselineConfig {
+    /// Defaults matching the paper's testbed setup for fault bound `f`.
+    pub fn new_3f1(f: usize) -> Self {
+        BaselineConfig {
+            n: 3 * f + 1,
+            f,
+            batch_max: 16,
+            pipeline_depth: 2,
+            client_retry_ns: 50 * neo_sim::MILLIS,
+            fast_path_wait_ns: 200 * neo_sim::MICROS,
+            proposal_interval_ns: 400 * neo_sim::MICROS,
+            usig_cost_ns: 12_000,
+        }
+    }
+
+    /// MinBFT variant: 2f+1 replicas.
+    pub fn new_2f1(f: usize) -> Self {
+        let mut c = Self::new_3f1(f);
+        c.n = 2 * f + 1;
+        c
+    }
+
+    /// 2f+1 quorum.
+    pub fn quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// Primary/leader of view 0 (baselines run the stable-leader normal
+    /// case).
+    pub fn primary(&self) -> ReplicaId {
+        ReplicaId(0)
+    }
+}
+
+/// A client request shared by all baseline protocols.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BaseRequest {
+    /// Operation payload.
+    pub op: Vec<u8>,
+    /// Client-chosen id, increasing.
+    pub request_id: RequestId,
+    /// Issuing client.
+    pub client: ClientId,
+}
+
+/// Closed-loop request bookkeeping shared by all baseline clients.
+pub struct ClientCore {
+    /// This client's id.
+    pub id: ClientId,
+    next_request: u64,
+    /// The op currently in flight, if any.
+    pub pending: Option<PendingCore>,
+    /// Completed operations.
+    pub completed: Vec<CompletedOp>,
+    /// Stop after this many ops.
+    pub max_ops: Option<u64>,
+    workload: Box<dyn neo_app::Workload>,
+    retry_ns: u64,
+}
+
+/// In-flight request state.
+pub struct PendingCore {
+    /// Request id.
+    pub request_id: RequestId,
+    /// Operation payload.
+    pub op: Vec<u8>,
+    /// Issue time.
+    pub issued_at: u64,
+    /// Retransmissions so far.
+    pub retries: u32,
+    /// Active retransmission timer.
+    pub retry_timer: TimerId,
+}
+
+impl ClientCore {
+    /// New core issuing from `workload`.
+    pub fn new(id: ClientId, workload: Box<dyn neo_app::Workload>, retry_ns: u64) -> Self {
+        ClientCore {
+            id,
+            next_request: 1,
+            pending: None,
+            completed: Vec::new(),
+            max_ops: None,
+            workload,
+            retry_ns,
+        }
+    }
+
+    /// Begin the next operation, if idle and under the op budget.
+    /// Returns the request to transmit.
+    pub fn issue(&mut self, ctx: &mut dyn Context) -> Option<BaseRequest> {
+        if self.pending.is_some() {
+            return None;
+        }
+        if let Some(max) = self.max_ops {
+            if self.completed.len() as u64 >= max {
+                return None;
+            }
+        }
+        let op = self.workload.next_op();
+        let request_id = RequestId(self.next_request);
+        self.next_request += 1;
+        let retry_timer = ctx.set_timer(self.retry_ns, 2);
+        self.pending = Some(PendingCore {
+            request_id,
+            op: op.clone(),
+            issued_at: ctx.now(),
+            retries: 0,
+            retry_timer,
+        });
+        Some(BaseRequest {
+            op,
+            request_id,
+            client: self.id,
+        })
+    }
+
+    /// The in-flight request, re-built for retransmission. Re-arms the
+    /// retry timer and bumps the retry counter.
+    pub fn retransmit(&mut self, ctx: &mut dyn Context) -> Option<BaseRequest> {
+        let p = self.pending.as_mut()?;
+        p.retries += 1;
+        p.retry_timer = ctx.set_timer(self.retry_ns, 2);
+        Some(BaseRequest {
+            op: p.op.clone(),
+            request_id: p.request_id,
+            client: self.id,
+        })
+    }
+
+    /// True if `timer` is the live retry timer for the in-flight op.
+    pub fn is_retry_timer(&self, timer: TimerId) -> bool {
+        self.pending
+            .as_ref()
+            .map(|p| p.retry_timer == timer)
+            .unwrap_or(false)
+    }
+
+    /// Record completion of the in-flight op.
+    pub fn complete(&mut self, result: Vec<u8>, ctx: &mut dyn Context) {
+        let Some(p) = self.pending.take() else {
+            return;
+        };
+        ctx.cancel_timer(p.retry_timer);
+        self.completed.push(CompletedOp {
+            request_id: p.request_id,
+            issued_at: p.issued_at,
+            completed_at: ctx.now(),
+            result,
+            retries: p.retries,
+        });
+    }
+}
+
+/// Per-replica batching queue: requests wait here until the primary can
+/// open a new batch (bounded pipeline).
+#[derive(Default)]
+pub struct BatchQueue {
+    queue: Vec<BaseRequest>,
+    in_flight: usize,
+}
+
+impl BatchQueue {
+    /// Enqueue a request.
+    pub fn push(&mut self, req: BaseRequest) {
+        self.queue.push(req);
+    }
+
+    /// Queued requests not yet batched.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Batches currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Open a new batch if the pipeline has room and work is queued.
+    pub fn next_batch(&mut self, batch_max: usize, pipeline_depth: usize) -> Option<Vec<BaseRequest>> {
+        if self.in_flight >= pipeline_depth || self.queue.is_empty() {
+            return None;
+        }
+        let take = self.queue.len().min(batch_max);
+        let batch: Vec<BaseRequest> = self.queue.drain(..take).collect();
+        self.in_flight += 1;
+        Some(batch)
+    }
+
+    /// A batch finished: free a pipeline slot.
+    pub fn batch_done(&mut self) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_app::EchoWorkload;
+    use neo_wire::Addr;
+
+    struct Ctx {
+        now: u64,
+        timers: u64,
+    }
+    impl Context for Ctx {
+        fn now(&self) -> u64 {
+            self.now
+        }
+        fn me(&self) -> Addr {
+            Addr::Client(ClientId(0))
+        }
+        fn send_after(&mut self, _: Addr, _: Vec<u8>, _: u64) {}
+        fn set_timer(&mut self, _: u64, _: u32) -> TimerId {
+            self.timers += 1;
+            TimerId(self.timers)
+        }
+        fn cancel_timer(&mut self, _: TimerId) {}
+        fn charge(&mut self, _: u64) {}
+    }
+
+    #[test]
+    fn issue_complete_cycle() {
+        let mut core = ClientCore::new(ClientId(0), Box::new(EchoWorkload::new(8, 1)), 1000);
+        let mut ctx = Ctx { now: 10, timers: 0 };
+        let req = core.issue(&mut ctx).unwrap();
+        assert_eq!(req.request_id, RequestId(1));
+        assert!(core.issue(&mut ctx).is_none(), "closed loop: one at a time");
+        ctx.now = 50;
+        core.complete(b"r".to_vec(), &mut ctx);
+        assert_eq!(core.completed.len(), 1);
+        assert_eq!(core.completed[0].latency_ns(), 40);
+        let req2 = core.issue(&mut ctx).unwrap();
+        assert_eq!(req2.request_id, RequestId(2));
+    }
+
+    #[test]
+    fn max_ops_stops_issuing() {
+        let mut core = ClientCore::new(ClientId(0), Box::new(EchoWorkload::new(8, 1)), 1000);
+        core.max_ops = Some(1);
+        let mut ctx = Ctx { now: 0, timers: 0 };
+        core.issue(&mut ctx).unwrap();
+        core.complete(vec![], &mut ctx);
+        assert!(core.issue(&mut ctx).is_none());
+    }
+
+    #[test]
+    fn retransmit_bumps_retries() {
+        let mut core = ClientCore::new(ClientId(0), Box::new(EchoWorkload::new(8, 1)), 1000);
+        let mut ctx = Ctx { now: 0, timers: 0 };
+        let a = core.issue(&mut ctx).unwrap();
+        let b = core.retransmit(&mut ctx).unwrap();
+        assert_eq!(a, b, "same request is retransmitted");
+        core.complete(vec![], &mut ctx);
+        assert_eq!(core.completed[0].retries, 1);
+    }
+
+    #[test]
+    fn batch_queue_respects_pipeline_depth() {
+        let mut q = BatchQueue::default();
+        for i in 0..40 {
+            q.push(BaseRequest {
+                op: vec![],
+                request_id: RequestId(i),
+                client: ClientId(0),
+            });
+        }
+        let b1 = q.next_batch(16, 2).unwrap();
+        assert_eq!(b1.len(), 16);
+        let b2 = q.next_batch(16, 2).unwrap();
+        assert_eq!(b2.len(), 16);
+        assert!(q.next_batch(16, 2).is_none(), "pipeline full");
+        q.batch_done();
+        let b3 = q.next_batch(16, 2).unwrap();
+        assert_eq!(b3.len(), 8, "remainder");
+        assert_eq!(q.backlog(), 0);
+    }
+}

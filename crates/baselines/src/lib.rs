@@ -1,0 +1,41 @@
+#![allow(clippy::int_plus_one)] // quorum arithmetic stays literal: `matching >= f + 1`
+
+//! # neo-baselines
+//!
+//! The comparison protocols of §6, implemented in the same sans-IO
+//! framework as NeoBFT so that Figure 7/8/10 comparisons are
+//! apples-to-apples:
+//!
+//! * [`pbft`] — PBFT (Castro & Liskov): 3f+1 replicas, MAC-vector
+//!   authenticators, pre-prepare/prepare/commit, request batching.
+//!   Bottleneck O(N), authenticators O(N²), 5 message delays.
+//! * [`zyzzyva`] — Zyzzyva: speculative execution; 3-delay fast path on
+//!   3f+1 matching responses, client-driven commit-certificate slow path
+//!   when replicas are faulty (the Zyzzyva-F configuration).
+//! * [`hotstuff`] — chained HotStuff: 3f+1, signature votes and quorum
+//!   certificates, linear authenticator complexity, pipelined three-chain
+//!   commit; throughput comes from batching at a latency cost.
+//! * [`minbft`] — MinBFT: 2f+1 replicas with a trusted USIG component
+//!   (modelled as an in-process monotonic counter + HMAC attestation,
+//!   standing in for the paper's SGX enclave); prepare/commit, 4 delays.
+//! * [`unreplicated`] — a single unreplicated server: the upper bound.
+//!
+//! Scope note: these baselines implement the *normal-case* protocols
+//! with batching — exactly what the paper's evaluation measures — plus
+//! the failure modes the experiments need (a non-responsive replica for
+//! Zyzzyva-F). Leader-failure view changes are implemented only for
+//! NeoBFT, the protocol under study.
+
+pub mod common;
+pub mod hotstuff;
+pub mod minbft;
+pub mod pbft;
+pub mod unreplicated;
+pub mod zyzzyva;
+
+pub use common::{BaselineConfig, ClientCore};
+pub use hotstuff::{HotStuffClient, HotStuffReplica};
+pub use minbft::{MinBftClient, MinBftReplica, Usig};
+pub use pbft::{PbftClient, PbftReplica};
+pub use unreplicated::{UnreplicatedClient, UnreplicatedServer};
+pub use zyzzyva::{ZyzzyvaClient, ZyzzyvaReplica};

@@ -1,0 +1,227 @@
+//! The unreplicated baseline: one server, no fault tolerance, no
+//! cryptography — the performance upper bound in Figures 7 and 10.
+
+use crate::common::{BaseRequest, ClientCore};
+use neo_aom::Envelope;
+use neo_app::{App, Workload};
+use neo_sim::{Context, Node, TimerId};
+use neo_wire::{decode, encode, Addr, ClientId, ReplicaId, RequestId};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Unreplicated protocol messages.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+enum Msg {
+    Request(BaseRequest),
+    Reply {
+        request_id: RequestId,
+        result: Vec<u8>,
+    },
+}
+
+fn wrap(msg: &Msg) -> Vec<u8> {
+    Envelope::App(encode(msg).expect("encodes")).to_bytes()
+}
+
+fn unwrap(bytes: &[u8]) -> Option<Msg> {
+    match Envelope::from_bytes(bytes).ok()? {
+        Envelope::App(inner) => decode(&inner).ok(),
+        _ => None,
+    }
+}
+
+/// The single server.
+pub struct UnreplicatedServer {
+    app: Box<dyn App>,
+    /// At-most-once table.
+    table: HashMap<ClientId, (RequestId, Vec<u8>)>,
+    /// Executed operation count.
+    pub executed: u64,
+}
+
+impl UnreplicatedServer {
+    /// Server wrapping `app`.
+    pub fn new(app: Box<dyn App>) -> Self {
+        UnreplicatedServer {
+            app,
+            table: HashMap::new(),
+            executed: 0,
+        }
+    }
+}
+
+impl Node for UnreplicatedServer {
+    fn on_message(&mut self, from: Addr, payload: &[u8], ctx: &mut dyn Context) {
+        let Some(Msg::Request(req)) = unwrap(payload) else {
+            return;
+        };
+        if let Some((last, cached)) = self.table.get(&req.client) {
+            if req.request_id < *last {
+                return;
+            }
+            if req.request_id == *last {
+                ctx.send(
+                    from,
+                    wrap(&Msg::Reply {
+                        request_id: req.request_id,
+                        result: cached.clone(),
+                    }),
+                );
+                return;
+            }
+        }
+        let result = self.app.execute(&req.op);
+        self.executed += 1;
+        self.table
+            .insert(req.client, (req.request_id, result.clone()));
+        ctx.send(
+            Addr::Client(req.client),
+            wrap(&Msg::Reply {
+                request_id: req.request_id,
+                result,
+            }),
+        );
+    }
+
+    fn on_timer(&mut self, _: TimerId, _: u32, _: &mut dyn Context) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The unreplicated client.
+pub struct UnreplicatedClient {
+    /// Shared closed-loop core (completed ops live here).
+    pub core: ClientCore,
+    server: ReplicaId,
+}
+
+impl UnreplicatedClient {
+    /// Client talking to `server`.
+    pub fn new(
+        id: ClientId,
+        server: ReplicaId,
+        workload: Box<dyn Workload>,
+        retry_ns: u64,
+    ) -> Self {
+        UnreplicatedClient {
+            core: ClientCore::new(id, workload, retry_ns),
+            server,
+        }
+    }
+
+    fn transmit(&mut self, req: BaseRequest, ctx: &mut dyn Context) {
+        ctx.send(Addr::Replica(self.server), wrap(&Msg::Request(req)));
+    }
+}
+
+impl Node for UnreplicatedClient {
+    fn on_message(&mut self, _from: Addr, payload: &[u8], ctx: &mut dyn Context) {
+        let Some(Msg::Reply { request_id, result }) = unwrap(payload) else {
+            return;
+        };
+        let matches = self
+            .core
+            .pending
+            .as_ref()
+            .map(|p| p.request_id == request_id)
+            .unwrap_or(false);
+        if matches {
+            self.core.complete(result, ctx);
+            if let Some(req) = self.core.issue(ctx) {
+                self.transmit(req, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, kind: u32, ctx: &mut dyn Context) {
+        if kind == neo_sim::sim::INIT_TIMER_KIND {
+            if let Some(req) = self.core.issue(ctx) {
+                self.transmit(req, ctx);
+            }
+        } else if self.core.is_retry_timer(timer) {
+            if let Some(req) = self.core.retransmit(ctx) {
+                self.transmit(req, ctx);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_app::{EchoApp, EchoWorkload};
+    use neo_sim::{CpuConfig, FaultPlan, NetConfig, SimConfig, Simulator};
+
+    #[test]
+    fn echo_roundtrip_in_sim() {
+        let mut sim = Simulator::new(SimConfig {
+            net: NetConfig::DATACENTER,
+            default_cpu: CpuConfig::IDEAL,
+            seed: 1,
+            faults: FaultPlan::none(),
+        });
+        sim.add_node(
+            Addr::Replica(ReplicaId(0)),
+            Box::new(UnreplicatedServer::new(Box::new(EchoApp::new()))),
+        );
+        let mut client = UnreplicatedClient::new(
+            ClientId(0),
+            ReplicaId(0),
+            Box::new(EchoWorkload::new(32, 1)),
+            neo_sim::MILLIS,
+        );
+        client.core.max_ops = Some(20);
+        sim.add_node(Addr::Client(ClientId(0)), Box::new(client));
+        sim.run_until(neo_sim::SECS);
+        let c = sim
+            .node_ref::<UnreplicatedClient>(Addr::Client(ClientId(0)))
+            .unwrap();
+        assert_eq!(c.core.completed.len(), 20);
+        assert!(c.core.completed.iter().all(|o| o.result.len() == 32));
+        let s = sim
+            .node_ref::<UnreplicatedServer>(Addr::Replica(ReplicaId(0)))
+            .unwrap();
+        assert_eq!(s.executed, 20);
+    }
+
+    #[test]
+    fn retries_survive_drops() {
+        let mut sim = Simulator::new(SimConfig {
+            net: NetConfig::DATACENTER.with_drop_rate(0.3),
+            default_cpu: CpuConfig::IDEAL,
+            seed: 5,
+            faults: FaultPlan::none(),
+        });
+        sim.add_node(
+            Addr::Replica(ReplicaId(0)),
+            Box::new(UnreplicatedServer::new(Box::new(EchoApp::new()))),
+        );
+        let mut client = UnreplicatedClient::new(
+            ClientId(0),
+            ReplicaId(0),
+            Box::new(EchoWorkload::new(8, 1)),
+            neo_sim::MILLIS,
+        );
+        client.core.max_ops = Some(10);
+        sim.add_node(Addr::Client(ClientId(0)), Box::new(client));
+        sim.run_until(10 * neo_sim::SECS);
+        let c = sim
+            .node_ref::<UnreplicatedClient>(Addr::Client(ClientId(0)))
+            .unwrap();
+        assert_eq!(c.core.completed.len(), 10);
+        assert!(c.core.completed.iter().any(|o| o.retries > 0));
+    }
+}

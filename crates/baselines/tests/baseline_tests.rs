@@ -1,0 +1,240 @@
+//! End-to-end tests for every baseline protocol in the simulator.
+
+use neo_app::{EchoApp, EchoWorkload};
+use neo_baselines::zyzzyva::ZyzzyvaBehavior;
+use neo_baselines::{
+    BaselineConfig, HotStuffClient, HotStuffReplica, MinBftClient, MinBftReplica, PbftClient,
+    PbftReplica, ZyzzyvaClient, ZyzzyvaReplica,
+};
+use neo_crypto::{CostModel, SystemKeys};
+use neo_sim::{CpuConfig, FaultPlan, NetConfig, SimConfig, Simulator, SECS};
+use neo_wire::{Addr, ClientId, ReplicaId};
+
+fn sim(seed: u64) -> Simulator {
+    Simulator::new(SimConfig {
+        net: NetConfig::DATACENTER,
+        default_cpu: CpuConfig::IDEAL,
+        seed,
+        faults: FaultPlan::none(),
+    })
+}
+
+/// Which protocol to wire into the generic harness.
+enum Proto {
+    Pbft,
+    Zyzzyva { mute_one: bool },
+    HotStuff,
+    MinBft,
+}
+
+struct Outcome {
+    completed: Vec<neo_core::CompletedOp>,
+    executed_per_replica: Vec<u64>,
+    fast_commits: u64,
+    slow_commits: u64,
+}
+
+fn run(proto: Proto, n_clients: u64, ops: u64, virtual_secs: u64) -> Outcome {
+    let cfg = match proto {
+        Proto::MinBft => BaselineConfig::new_2f1(1),
+        _ => BaselineConfig::new_3f1(1),
+    };
+    let n = cfg.n;
+    let keys = SystemKeys::new(11, n, n_clients as usize);
+    let mut s = sim(5);
+    for r in 0..n as u32 {
+        let id = ReplicaId(r);
+        let app = Box::new(EchoApp::new());
+        let node: Box<dyn neo_sim::Node> = match proto {
+            Proto::Pbft => Box::new(PbftReplica::new(id, cfg.clone(), &keys, CostModel::FREE, app)),
+            Proto::Zyzzyva { mute_one } => {
+                let mut z = ZyzzyvaReplica::new(id, cfg.clone(), &keys, CostModel::FREE, app);
+                if mute_one && r == n as u32 - 1 {
+                    z.behavior = ZyzzyvaBehavior::Mute;
+                }
+                Box::new(z)
+            }
+            Proto::HotStuff => Box::new(HotStuffReplica::new(
+                id,
+                cfg.clone(),
+                &keys,
+                CostModel::FREE,
+                app,
+            )),
+            Proto::MinBft => Box::new(MinBftReplica::new(
+                id,
+                cfg.clone(),
+                &keys,
+                CostModel::FREE,
+                app,
+            )),
+        };
+        s.add_node(Addr::Replica(id), node);
+    }
+    for c in 0..n_clients {
+        let w = Box::new(EchoWorkload::new(32, c + 1));
+        let node: Box<dyn neo_sim::Node> = match proto {
+            Proto::Pbft => {
+                let mut cl = PbftClient::new(ClientId(c), cfg.clone(), &keys, CostModel::FREE, w);
+                cl.core.max_ops = Some(ops);
+                Box::new(cl)
+            }
+            Proto::Zyzzyva { .. } => {
+                let mut cl =
+                    ZyzzyvaClient::new(ClientId(c), cfg.clone(), &keys, CostModel::FREE, w);
+                cl.core.max_ops = Some(ops);
+                Box::new(cl)
+            }
+            Proto::HotStuff => {
+                let mut cl =
+                    HotStuffClient::new(ClientId(c), cfg.clone(), &keys, CostModel::FREE, w);
+                cl.core.max_ops = Some(ops);
+                Box::new(cl)
+            }
+            Proto::MinBft => {
+                let mut cl =
+                    MinBftClient::new(ClientId(c), cfg.clone(), &keys, CostModel::FREE, w);
+                cl.core.max_ops = Some(ops);
+                Box::new(cl)
+            }
+        };
+        s.add_node(Addr::Client(ClientId(c)), node);
+    }
+    s.run_until(virtual_secs * SECS);
+
+    let mut completed = Vec::new();
+    let mut fast = 0;
+    let mut slow = 0;
+    for c in 0..n_clients {
+        let addr = Addr::Client(ClientId(c));
+        match proto {
+            Proto::Pbft => {
+                completed.extend(s.node_ref::<PbftClient>(addr).unwrap().core.completed.clone())
+            }
+            Proto::Zyzzyva { .. } => {
+                let cl = s.node_ref::<ZyzzyvaClient>(addr).unwrap();
+                completed.extend(cl.core.completed.clone());
+                fast += cl.fast_commits;
+                slow += cl.slow_commits;
+            }
+            Proto::HotStuff => completed.extend(
+                s.node_ref::<HotStuffClient>(addr)
+                    .unwrap()
+                    .core
+                    .completed
+                    .clone(),
+            ),
+            Proto::MinBft => completed.extend(
+                s.node_ref::<MinBftClient>(addr)
+                    .unwrap()
+                    .core
+                    .completed
+                    .clone(),
+            ),
+        }
+    }
+    let executed_per_replica = (0..n as u32)
+        .map(|r| {
+            let addr = Addr::Replica(ReplicaId(r));
+            match proto {
+                Proto::Pbft => s.node_ref::<PbftReplica>(addr).unwrap().executed,
+                Proto::Zyzzyva { .. } => s.node_ref::<ZyzzyvaReplica>(addr).unwrap().executed,
+                Proto::HotStuff => s.node_ref::<HotStuffReplica>(addr).unwrap().executed,
+                Proto::MinBft => s.node_ref::<MinBftReplica>(addr).unwrap().executed,
+            }
+        })
+        .collect();
+    Outcome {
+        completed,
+        executed_per_replica,
+        fast_commits: fast,
+        slow_commits: slow,
+    }
+}
+
+#[test]
+fn pbft_commits_ops() {
+    let out = run(Proto::Pbft, 2, 15, 5);
+    assert_eq!(out.completed.len(), 30);
+    assert!(out.completed.iter().all(|o| o.result.len() == 32));
+    // All replicas executed every operation.
+    assert!(out.executed_per_replica.iter().all(|e| *e == 30));
+}
+
+#[test]
+fn pbft_batches_under_load() {
+    // 8 concurrent clients: batching must kick in, and everything still
+    // commits exactly once.
+    let out = run(Proto::Pbft, 8, 10, 10);
+    assert_eq!(out.completed.len(), 80);
+    assert!(out.executed_per_replica.iter().all(|e| *e == 80));
+}
+
+#[test]
+fn zyzzyva_fast_path_with_all_correct() {
+    let out = run(Proto::Zyzzyva { mute_one: false }, 2, 15, 5);
+    assert_eq!(out.completed.len(), 30);
+    assert_eq!(out.fast_commits, 30, "all commits via the fast path");
+    assert_eq!(out.slow_commits, 0);
+}
+
+#[test]
+fn zyzzyva_slow_path_with_one_faulty() {
+    // Zyzzyva-F: a single non-responsive replica forces the commit
+    // phase on every request.
+    let out = run(Proto::Zyzzyva { mute_one: true }, 2, 10, 10);
+    assert_eq!(out.completed.len(), 20);
+    assert_eq!(out.fast_commits, 0, "fast path impossible with 3f matching");
+    assert_eq!(out.slow_commits, 20);
+}
+
+#[test]
+fn zyzzyva_slow_path_is_slower() {
+    let fast = run(Proto::Zyzzyva { mute_one: false }, 1, 10, 10);
+    let slow = run(Proto::Zyzzyva { mute_one: true }, 1, 10, 10);
+    let avg = |o: &Outcome| {
+        o.completed.iter().map(|c| c.latency_ns()).sum::<u64>() / o.completed.len() as u64
+    };
+    assert!(
+        avg(&slow) > 2 * avg(&fast),
+        "commit phase + grace timeout dominates: {} vs {}",
+        avg(&slow),
+        avg(&fast)
+    );
+}
+
+#[test]
+fn hotstuff_commits_via_three_chain() {
+    let out = run(Proto::HotStuff, 2, 10, 10);
+    assert_eq!(out.completed.len(), 20);
+    assert!(out.executed_per_replica.iter().all(|e| *e == 20));
+}
+
+#[test]
+fn hotstuff_latency_exceeds_pbft() {
+    // The three-chain plus pacemaker makes HotStuff the slowest per-op
+    // protocol — the Figure 7 latency ordering.
+    let hs = run(Proto::HotStuff, 1, 10, 10);
+    let pbft = run(Proto::Pbft, 1, 10, 10);
+    let avg = |o: &Outcome| {
+        o.completed.iter().map(|c| c.latency_ns()).sum::<u64>() / o.completed.len() as u64
+    };
+    assert!(avg(&hs) > avg(&pbft), "{} vs {}", avg(&hs), avg(&pbft));
+}
+
+#[test]
+fn minbft_commits_with_2f_plus_1_replicas() {
+    let out = run(Proto::MinBft, 2, 15, 5);
+    assert_eq!(out.completed.len(), 30);
+    assert_eq!(out.executed_per_replica.len(), 3, "n = 2f+1 = 3");
+    assert!(out.executed_per_replica.iter().all(|e| *e == 30));
+}
+
+#[test]
+fn minbft_usig_serializes_throughput() {
+    // With a real USIG cost, MinBFT's primary is bottlenecked by the
+    // trusted component; with it free, it is not. Both must still
+    // commit everything — the cost only shifts time.
+    let out = run(Proto::MinBft, 4, 10, 10);
+    assert_eq!(out.completed.len(), 40);
+}

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the real cryptographic primitives —
+//! the measurements behind `CostModel::CALIBRATED` (see
+//! `neo_crypto::meter`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neo_crypto::{sha256, HmacKey, SequencerKeyPair, SignKeyPair};
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let msg = vec![0xA5u8; 112]; // digest ‖ seq ‖ epoch sized input
+    let payload = vec![0x5Au8; 1024];
+
+    c.bench_function("sha256_112B", |b| {
+        b.iter(|| sha256(black_box(&msg)));
+    });
+    c.bench_function("sha256_1KiB", |b| {
+        b.iter(|| sha256(black_box(&payload)));
+    });
+
+    let key = HmacKey([7u8; 16]);
+    c.bench_function("siphash_mac_112B", |b| {
+        b.iter(|| key.tag(black_box(&msg)));
+    });
+
+    let ed = SignKeyPair::from_seed([1u8; 32]);
+    let ed_sig = ed.sign(&msg);
+    let ed_vk = ed.verify_key();
+    c.bench_function("ed25519_sign", |b| {
+        b.iter(|| ed.sign(black_box(&msg)));
+    });
+    c.bench_function("ed25519_verify", |b| {
+        b.iter(|| ed_vk.verify(black_box(&msg), black_box(&ed_sig)).unwrap());
+    });
+
+    let seq = SequencerKeyPair::from_seed([2u8; 32]);
+    let ec_sig = seq.sign(&msg);
+    let ec_vk = seq.verify_key();
+    c.bench_function("secp256k1_sign", |b| {
+        b.iter(|| seq.sign(black_box(&msg)));
+    });
+    c.bench_function("secp256k1_verify", |b| {
+        b.iter(|| ec_vk.verify(black_box(&msg), black_box(&ec_sig)).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_crypto
+}
+criterion_main!(benches);

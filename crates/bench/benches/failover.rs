@@ -1,0 +1,70 @@
+//! §6.4 sequencer-switch failover: throughput timeline around a
+//! sequencer failure — drop to zero, view change, reconfiguration,
+//! recovery to peak in under ~100 ms of virtual time.
+
+use neo_bench::harness::{build, Protocol, RunParams, GROUP};
+use neo_bench::Table;
+use neo_core::Client;
+use neo_sim::MILLIS;
+use neo_wire::{Addr, ClientId};
+
+fn main() {
+    let mut p = RunParams::new(Protocol::NeoHm, 24);
+    p.warmup = 0;
+    p.measure = 400 * MILLIS;
+    let mut sim = build(&p);
+
+    // Run at full speed for 50 ms, then the sequencer dies.
+    let fail_at = 50 * MILLIS;
+    sim.run_until(fail_at);
+    sim.node_mut::<neo_aom::SequencerNode>(Addr::Sequencer(GROUP))
+        .expect("sequencer")
+        .set_behavior(neo_aom::Behavior::Mute);
+    sim.run_until(400 * MILLIS);
+
+    // Throughput timeline in 10 ms buckets.
+    let bucket = 10 * MILLIS;
+    let mut counts = vec![0u64; (400 * MILLIS / bucket) as usize];
+    for c in 0..p.n_clients as u64 {
+        let client = sim
+            .node_ref::<Client>(Addr::Client(ClientId(c)))
+            .expect("client");
+        for op in &client.completed {
+            let b = (op.completed_at / bucket) as usize;
+            if b < counts.len() {
+                counts[b] += 1;
+            }
+        }
+    }
+    let mut t = Table::new(
+        "§6.4 — throughput timeline across a sequencer failover (fail at 50ms)",
+        &["Window", "Throughput"],
+    );
+    for (i, c) in counts.iter().enumerate() {
+        t.row(vec![
+            format!("{}–{}ms", i * 10, (i + 1) * 10),
+            format!("{:.1}K ops/s", *c as f64 / (bucket as f64 / 1e9) / 1e3),
+        ]);
+    }
+    t.print();
+
+    // Recovery: first bucket after the failure that reaches 80% of the
+    // pre-failure rate.
+    let peak = counts[..(fail_at / bucket) as usize]
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0);
+    let fail_bucket = (fail_at / bucket) as usize;
+    let recovered = counts[fail_bucket..]
+        .iter()
+        .position(|c| *c * 10 >= peak * 8)
+        .map(|i| (i + fail_bucket) * 10);
+    match recovered {
+        Some(ms) => println!(
+            "  throughput recovered to ≥80% of peak by t = {ms} ms — {} ms after the failure\n  (paper: overall failover took < 100 ms, dominated by network reconfiguration).",
+            ms as u64 - fail_at / MILLIS
+        ),
+        None => println!("  WARNING: no recovery observed within the run"),
+    }
+}

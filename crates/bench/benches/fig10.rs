@@ -1,0 +1,42 @@
+//! Figure 10: maximum throughput of a replicated B-Tree key-value store
+//! under YCSB workload A (100 K records, 128-byte fields).
+
+use neo_app::YcsbConfig;
+use neo_bench::harness::{run_experiment, AppKind, Protocol, RunParams};
+use neo_bench::{fmt_ops, Table};
+use neo_sim::MILLIS;
+
+fn main() {
+    let app = AppKind::Ycsb(YcsbConfig::WORKLOAD_A);
+    let clients = [32usize, 96];
+    let mut t = Table::new(
+        "Figure 10 — replicated KV store, YCSB-A max throughput",
+        &["Protocol", "Max throughput (txns/sec)"],
+    );
+    let mut results: Vec<(&'static str, f64)> = Vec::new();
+    for proto in Protocol::comparison_set() {
+        let r = clients
+            .iter()
+            .map(|&c| {
+                let mut p = RunParams::new(*proto, c);
+                p.app = app;
+                p.warmup = 20 * MILLIS;
+                p.measure = 60 * MILLIS;
+                run_experiment(&p)
+            })
+            .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+            .expect("non-empty sweep");
+        results.push((proto.label(), r.throughput));
+        t.row(vec![proto.label().to_string(), fmt_ops(r.throughput)]);
+    }
+    t.print();
+    let get = |l: &str| results.iter().find(|(x, _)| *x == l).map(|(_, t)| *t).unwrap_or(0.0);
+    println!(
+        "  ordering check (paper: Neo > Zyzzyva > PBFT > HotStuff/MinBFT): Neo-HM {} vs Zyzzyva {} vs PBFT {} vs HotStuff {} vs MinBFT {}",
+        fmt_ops(get("Neo-HM")),
+        fmt_ops(get("Zyzzyva")),
+        fmt_ops(get("PBFT")),
+        fmt_ops(get("HotStuff")),
+        fmt_ops(get("MinBFT")),
+    );
+}

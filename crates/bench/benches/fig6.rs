@@ -1,0 +1,28 @@
+//! Figure 6: maximum throughput of aom-hm vs aom-pk with increasing
+//! group size (4 → 64 receivers).
+
+use neo_bench::Table;
+use neo_switch::{FpgaModel, SequencerTiming, TofinoModel};
+
+fn main() {
+    let hm = TofinoModel::PAPER;
+    let pk = FpgaModel::PAPER;
+    let mut t = Table::new(
+        "Figure 6 — maximum aom throughput vs receiver-group size",
+        &["Receivers", "aom-hm (Mpps)", "aom-pk (Mpps)"],
+    );
+    for g in [4usize, 8, 12, 16, 24, 32, 40, 48, 56, 64] {
+        t.row(vec![
+            g.to_string(),
+            format!("{:.2}", hm.max_throughput_pps(g) / 1e6),
+            format!("{:.2}", pk.max_throughput_pps(g) / 1e6),
+        ]);
+    }
+    t.print();
+    println!(
+        "  endpoints: aom-hm {:.1} Mpps @4 → {:.1} Mpps @64 (paper 76.24 → 5.7); aom-pk constant {:.2} Mpps (paper 1.11)",
+        hm.max_throughput_pps(4) / 1e6,
+        hm.max_throughput_pps(64) / 1e6,
+        pk.max_throughput_pps(4) / 1e6
+    );
+}

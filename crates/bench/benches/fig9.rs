@@ -1,0 +1,44 @@
+//! Figure 9: NeoBFT throughput with simulated network packet drops
+//! (0.001% – 1%).
+
+use neo_bench::harness::{run_experiment, AppKind, Protocol, RunParams};
+use neo_bench::{fmt_ops, Table};
+use neo_sim::MILLIS;
+
+fn main() {
+    let mut t = Table::new(
+        "Figure 9 — NeoBFT throughput vs simulated drop rate",
+        &["Drop rate", "Neo-HM", "Neo-PK"],
+    );
+    let mut base = [0.0f64; 2];
+    let mut at_1pct = [0.0f64; 2];
+    for &rate in &[0.0, 0.00001, 0.0001, 0.001, 0.01] {
+        let mut row = vec![if rate == 0.0 {
+            "0%".to_string()
+        } else {
+            format!("{}%", rate * 100.0)
+        }];
+        for (i, proto) in [Protocol::NeoHm, Protocol::NeoPk].iter().enumerate() {
+            let mut p = RunParams::new(*proto, 64);
+            p.app = AppKind::Echo { size: 64 };
+            p.net.drop_rate = rate;
+            p.warmup = 20 * MILLIS;
+            p.measure = 60 * MILLIS;
+            let r = run_experiment(&p);
+            if rate == 0.0 {
+                base[i] = r.throughput;
+            }
+            if rate == 0.01 {
+                at_1pct[i] = r.throughput;
+            }
+            row.push(fmt_ops(r.throughput));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!(
+        "  throughput at 1% drops: Neo-HM {:.0}% of lossless, Neo-PK {:.0}% (paper: \"largely\n  unaffected\" at moderate drop rates, observable drop at 1%).",
+        at_1pct[0] / base[0] * 100.0,
+        at_1pct[1] / base[1] * 100.0
+    );
+}

@@ -1,0 +1,53 @@
+//! Extension experiment (§2.3: "Our solution can be easily extended to
+//! geo-distributed settings"): how NeoBFT's single-round-trip commit
+//! compares to the leader-based baselines as one-way latency grows from
+//! data-center (5 µs) to metro (250 µs) to regional (2 ms) scale.
+//!
+//! NeoBFT's advantage *widens* with distance: its commit needs 2 message
+//! delays end-to-end, while PBFT pays 5 and HotStuff pays a chained
+//! pipeline — message delays dominate once propagation ≫ processing.
+
+use neo_bench::harness::{run_experiment, Protocol, RunParams};
+use neo_bench::{fmt_us, Table};
+use neo_sim::{NetConfig, MILLIS};
+
+fn main() {
+    let latencies = [
+        ("datacenter (5µs)", 5_000u64, 150 * MILLIS),
+        ("metro (250µs)", 250_000, 400 * MILLIS),
+        ("regional (2ms)", 2_000_000, 800 * MILLIS),
+    ];
+    let mut t = Table::new(
+        "Geo extension — commit latency (1 client) vs one-way delay",
+        &["Fabric", "Neo-HM", "PBFT", "Zyzzyva", "MinBFT", "PBFT/Neo"],
+    );
+    for (label, one_way, measure) in latencies {
+        let run = |proto: Protocol| {
+            let mut p = RunParams::new(proto, 1);
+            p.net = NetConfig {
+                one_way_latency_ns: one_way,
+                jitter_ns: one_way / 10,
+                ns_per_128_bytes: 10,
+                drop_rate: 0.0,
+            };
+            p.warmup = measure / 4;
+            p.measure = measure;
+            run_experiment(&p).mean_latency_ns
+        };
+        let neo = run(Protocol::NeoHm);
+        let pbft = run(Protocol::Pbft);
+        let zyz = run(Protocol::Zyzzyva);
+        let minbft = run(Protocol::MinBft);
+        t.row(vec![
+            label.to_string(),
+            fmt_us(neo),
+            fmt_us(pbft),
+            fmt_us(zyz),
+            fmt_us(minbft),
+            format!("{:.2}×", pbft as f64 / neo as f64),
+        ]);
+    }
+    t.print();
+    println!("  message-delay counts dominate as propagation grows: NeoBFT's 2-delay");
+    println!("  commit converges to ~3 hops of wire time while PBFT converges to ~5.");
+}

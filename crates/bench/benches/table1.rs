@@ -1,0 +1,123 @@
+//! Table 1: protocol comparison — replication factor, bottleneck
+//! complexity, authenticator complexity, message delay.
+//!
+//! The analytic columns restate the table; the measured columns verify
+//! them empirically: message delays are measured as end-to-end latency
+//! divided by the one-way network delay in a simulation with free CPUs
+//! and zero jitter, and bottleneck complexity as messages processed per
+//! request at the busiest replica.
+//!
+//! Note on NeoBFT's delay count: the paper counts 2 message delays
+//! because the sequencer is a switch already on the client → replica
+//! path; the simulator models the sequencer as an explicit hop, so
+//! NeoBFT measures 3 hops here (client → sequencer → replica → client).
+
+use neo_bench::harness::{build, collect, replica_messages, Protocol, RunParams};
+use neo_bench::Table;
+use neo_crypto::CostModel;
+use neo_sim::{CpuConfig, MILLIS, NetConfig};
+
+struct AnalyticRow {
+    proto: Protocol,
+    replication: &'static str,
+    bottleneck: &'static str,
+    authenticators: &'static str,
+    delays: &'static str,
+}
+
+fn main() {
+    let rows = [
+        AnalyticRow {
+            proto: Protocol::Pbft,
+            replication: "3f+1",
+            bottleneck: "O(N)",
+            authenticators: "O(N^2)",
+            delays: "5",
+        },
+        AnalyticRow {
+            proto: Protocol::Zyzzyva,
+            replication: "3f+1",
+            bottleneck: "O(N)",
+            authenticators: "O(N)",
+            delays: "3",
+        },
+        AnalyticRow {
+            proto: Protocol::HotStuff,
+            replication: "3f+1",
+            bottleneck: "O(N)",
+            authenticators: "O(N)",
+            delays: "4 (chained impl: ~9 hops)",
+        },
+        AnalyticRow {
+            proto: Protocol::MinBft,
+            replication: "2f+1",
+            bottleneck: "O(N)",
+            authenticators: "O(N^2)",
+            delays: "4",
+        },
+        AnalyticRow {
+            proto: Protocol::NeoHmSoftware,
+            replication: "3f+1",
+            bottleneck: "O(1)",
+            authenticators: "O(N)",
+            delays: "2 (+switch hop in sim)",
+        },
+    ];
+
+    let mut t = Table::new(
+        "Table 1 — protocol comparison (analytic vs measured)",
+        &[
+            "Protocol",
+            "Replication",
+            "Bottleneck",
+            "Authenticators",
+            "Delays (paper)",
+            "Hops (measured)",
+            "Bottleneck msgs/op (measured)",
+        ],
+    );
+
+    let one_way = 5_000u64;
+    for row in &rows {
+        // Idealized network: fixed one-way latency, no jitter, free CPUs,
+        // free crypto — latency is purely message delays.
+        let mut p = RunParams::new(row.proto, 1);
+        p.hotstuff_interval_ns = Some(1_000);
+        p.net = NetConfig {
+            one_way_latency_ns: one_way,
+            jitter_ns: 0,
+            ns_per_128_bytes: 0,
+            drop_rate: 0.0,
+        };
+        p.costs = CostModel::FREE;
+        p.server_cpu = CpuConfig::IDEAL;
+        p.client_cpu = CpuConfig::IDEAL;
+        p.warmup = 10 * MILLIS;
+        p.measure = 50 * MILLIS;
+        let mut sim = build(&p);
+        sim.run_until(p.warmup + p.measure);
+        let r = collect(&sim, &p);
+        let hops = r.mean_latency_ns as f64 / one_way as f64;
+        let ops = r.committed.max(1);
+        let bottleneck = (0..p.n_replicas() as u32)
+            .map(|i| replica_messages(&sim, &p, i))
+            .max()
+            .unwrap_or(0) as f64
+            / ops as f64;
+        t.row(vec![
+            row.proto.label().to_string(),
+            row.replication.to_string(),
+            row.bottleneck.to_string(),
+            row.authenticators.to_string(),
+            row.delays.to_string(),
+            format!("{hops:.1}"),
+            format!("{bottleneck:.1}"),
+        ]);
+    }
+    t.print();
+    println!("  NeoBFT's bottleneck msgs/op ≈ 1 (the aom delivery) — O(1); leader-based");
+    println!("  protocols grow with N (their leaders process O(N) messages per batch).");
+    println!("  Measured column counts received messages; Zyzzyva's leader additionally");
+    println!("  *sends* O(N) order-requests per batch. HotStuff hops reflect the chained");
+    println!("  three-phase pipeline; the paper's '4' counts its event-driven basic form.");
+}

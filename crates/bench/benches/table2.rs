@@ -1,0 +1,23 @@
+//! Table 2: switch resource usage of the aom-hm HMAC-vector prototype.
+
+use neo_bench::Table;
+use neo_switch::switch_resource_table;
+
+fn main() {
+    let mut t = Table::new(
+        "Table 2 — Switch resource usage of the aom HMAC vector prototype",
+        &["Module", "Stages", "Action Data", "Hash Bit", "Hash Unit", "VLIW"],
+    );
+    for row in switch_resource_table() {
+        t.row(vec![
+            row.module,
+            row.stages.to_string(),
+            format!("{:.1}%", row.action_data_pct),
+            format!("{:.1}%", row.hash_bit_pct),
+            format!("{:.1}%", row.hash_unit_pct),
+            format!("{:.1}%", row.vliw_pct),
+        ]);
+    }
+    t.print();
+    println!("  (paper: Pipe0 = 7, 0.8%, 2.0%, 0%, 3.4%; Pipe1 = 12, 12.8%, 21.2%, 77.8%, 12.0%)");
+}

@@ -1,0 +1,21 @@
+//! Quick calibration probe: prints throughput/latency per protocol.
+use neo_bench::harness::*;
+
+fn main() {
+    let clients: Vec<usize> = std::env::args()
+        .nth(1)
+        .map(|s| s.split(',').map(|x| x.parse().unwrap()).collect())
+        .unwrap_or_else(|| vec![1, 8, 32, 64, 128]);
+    for p in Protocol::comparison_set() {
+        print!("{:>12}:", p.label());
+        for &c in &clients {
+            let r = run_experiment(&RunParams::new(*p, c));
+            print!(
+                "  c{c}: {:>8.1}K {:>7.1}us",
+                r.throughput / 1e3,
+                r.mean_latency_ns as f64 / 1e3
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,22 @@
+use neo_bench::harness::*;
+use std::time::Instant;
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let proto = match args.get(1).map(|s| s.as_str()).unwrap_or("neohm") {
+        "neohm" => Protocol::NeoHm, "neopk" => Protocol::NeoPk, "neobn" => Protocol::NeoBn,
+        "pbft" => Protocol::Pbft, "zyz" => Protocol::Zyzzyva, "zyzf" => Protocol::ZyzzyvaF,
+        "hs" => Protocol::HotStuff, "minbft" => Protocol::MinBft, "unrep" => Protocol::Unreplicated,
+        "neohmsw" => Protocol::NeoHmSoftware, "neopksw" => Protocol::NeoPkSoftware,
+        other => panic!("unknown {other}"),
+    };
+    let c: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(1);
+    let ms: u64 = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(100);
+    let mut p = RunParams::new(proto, c);
+    p.warmup = 20 * 1_000_000;
+    p.measure = ms * 1_000_000;
+    let t = Instant::now();
+    let r = run_experiment(&p);
+    println!("{} c={} -> {:.1}K ops/s, mean {:.1}us p50 {:.1}us p99 {:.1}us ({} ops) [wall {:?}]",
+        proto.label(), c, r.throughput/1e3, r.mean_latency_ns as f64/1e3,
+        r.p50_latency_ns as f64/1e3, r.p99_latency_ns as f64/1e3, r.committed, t.elapsed());
+}

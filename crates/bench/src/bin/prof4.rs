@@ -1,0 +1,20 @@
+use neo_bench::harness::*;
+use neo_crypto::CostModel;
+use neo_sim::CpuConfig;
+fn main() {
+    for (label, costs, cpu) in [
+        ("calibrated", CostModel::CALIBRATED, CpuConfig::SERVER),
+        ("free-costs", CostModel::FREE, CpuConfig::SERVER),
+        ("ideal-cpu", CostModel::CALIBRATED, CpuConfig::IDEAL),
+        ("all-free", CostModel::FREE, CpuConfig::IDEAL),
+    ] {
+        let mut p = RunParams::new(Protocol::Pbft, 64);
+        p.warmup = 20_000_000;
+        p.measure = 100_000_000;
+        p.costs = costs;
+        p.server_cpu = cpu;
+        p.client_cpu = cpu;
+        let r = run_experiment(&p);
+        println!("PBFT {label}: {:.1}K ops/s mean {:.1}us", r.throughput/1e3, r.mean_latency_ns as f64/1e3);
+    }
+}

@@ -1,0 +1,569 @@
+//! Protocol-generic experiment runner.
+//!
+//! Builds a full deployment (replicas, clients, and for NeoBFT the
+//! config service + sequencer) in the deterministic simulator, runs it
+//! with closed-loop clients for a warm-up plus a measurement window, and
+//! reports throughput and latency over the window — the methodology of
+//! §6.2 ("an increasing number of closed-loop clients").
+
+use neo_aom::{AuthMode, ConfigService, SequencerHw, SequencerNode};
+use neo_app::{App, EchoApp, EchoWorkload, KvApp, Workload, YcsbConfig, YcsbGenerator};
+use neo_baselines::zyzzyva::ZyzzyvaBehavior;
+use neo_baselines::{
+    BaselineConfig, HotStuffClient, HotStuffReplica, MinBftClient, MinBftReplica, PbftClient,
+    PbftReplica, UnreplicatedClient, UnreplicatedServer, ZyzzyvaClient, ZyzzyvaReplica,
+};
+use neo_core::{Client, CompletedOp, NeoConfig, Replica};
+use neo_crypto::{CostModel, SystemKeys};
+use neo_sim::{CpuConfig, FaultPlan, NetConfig, SimConfig, Simulator, MILLIS, SECS};
+use neo_switch::{FpgaModel, TofinoModel};
+use neo_wire::{Addr, ClientId, GroupId, ReplicaId};
+
+/// The aom group used by all NeoBFT experiments.
+pub const GROUP: GroupId = GroupId(0);
+
+/// Protocols under test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Protocol {
+    /// NeoBFT over aom-hm (Tofino switch model).
+    NeoHm,
+    /// NeoBFT over aom-pk (FPGA coprocessor model).
+    NeoPk,
+    /// NeoBFT over aom-hm tolerating a Byzantine network (confirms).
+    NeoBn,
+    /// NeoBFT over a software sequencer (the §6.3 EC2 deployment).
+    NeoHmSoftware,
+    /// NeoBFT aom-pk over a software sequencer.
+    NeoPkSoftware,
+    /// PBFT.
+    Pbft,
+    /// Zyzzyva, all replicas correct (fast path).
+    Zyzzyva,
+    /// Zyzzyva with one non-responsive Byzantine replica (slow path).
+    ZyzzyvaF,
+    /// Chained HotStuff.
+    HotStuff,
+    /// MinBFT (2f+1 replicas, USIG).
+    MinBft,
+    /// Unreplicated single server.
+    Unreplicated,
+}
+
+impl Protocol {
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Protocol::NeoHm => "Neo-HM",
+            Protocol::NeoPk => "Neo-PK",
+            Protocol::NeoBn => "Neo-BN",
+            Protocol::NeoHmSoftware => "Neo-HM(sw)",
+            Protocol::NeoPkSoftware => "Neo-PK(sw)",
+            Protocol::Pbft => "PBFT",
+            Protocol::Zyzzyva => "Zyzzyva",
+            Protocol::ZyzzyvaF => "Zyzzyva-F",
+            Protocol::HotStuff => "HotStuff",
+            Protocol::MinBft => "MinBFT",
+            Protocol::Unreplicated => "Unreplicated",
+        }
+    }
+
+    /// Every protocol compared in Figure 7 / Figure 10.
+    pub fn comparison_set() -> &'static [Protocol] {
+        &[
+            Protocol::Unreplicated,
+            Protocol::NeoHm,
+            Protocol::NeoPk,
+            Protocol::NeoBn,
+            Protocol::Zyzzyva,
+            Protocol::ZyzzyvaF,
+            Protocol::Pbft,
+            Protocol::HotStuff,
+            Protocol::MinBft,
+        ]
+    }
+}
+
+/// Which application/workload drives the run.
+#[derive(Clone, Copy, Debug)]
+pub enum AppKind {
+    /// Echo RPC with fixed-size random payloads (§6.2).
+    Echo {
+        /// Payload size in bytes.
+        size: usize,
+    },
+    /// YCSB over the B-Tree KV store (§6.5).
+    Ycsb(YcsbConfig),
+}
+
+impl AppKind {
+    fn build_app(&self) -> Box<dyn App> {
+        match self {
+            AppKind::Echo { .. } => Box::new(EchoApp::new()),
+            AppKind::Ycsb(cfg) => Box::new(KvApp::loaded(cfg.record_count, cfg.field_len)),
+        }
+    }
+
+    fn build_workload(&self, salt: u64) -> Box<dyn Workload> {
+        match self {
+            AppKind::Echo { size } => Box::new(EchoWorkload::new(*size, salt)),
+            AppKind::Ycsb(cfg) => Box::new(YcsbGenerator::new(*cfg, salt)),
+        }
+    }
+}
+
+/// Parameters of one experiment run.
+#[derive(Clone, Debug)]
+pub struct RunParams {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Fault bound (replica count follows the protocol's rule).
+    pub f: usize,
+    /// Closed-loop clients.
+    pub n_clients: usize,
+    /// Application + workload.
+    pub app: AppKind,
+    /// Warm-up window excluded from measurement.
+    pub warmup: u64,
+    /// Measurement window.
+    pub measure: u64,
+    /// Network model.
+    pub net: NetConfig,
+    /// Crypto cost model.
+    pub costs: CostModel,
+    /// Replica CPU model.
+    pub server_cpu: CpuConfig,
+    /// Client CPU model.
+    pub client_cpu: CpuConfig,
+    /// RNG seed.
+    pub seed: u64,
+    /// Targeted fault plan.
+    pub faults: FaultPlan,
+    /// Override HotStuff's pacemaker interval (Table 1 measures pure
+    /// message delays with a near-zero batching window).
+    pub hotstuff_interval_ns: Option<u64>,
+}
+
+impl RunParams {
+    /// Defaults mirroring the paper's testbed: f = 1, echo RPC, 64-byte
+    /// requests, calibrated costs, server/client CPU models.
+    pub fn new(protocol: Protocol, n_clients: usize) -> Self {
+        RunParams {
+            protocol,
+            f: 1,
+            n_clients,
+            app: AppKind::Echo { size: 64 },
+            warmup: 100 * MILLIS,
+            measure: 400 * MILLIS,
+            net: NetConfig::DATACENTER,
+            costs: CostModel::CALIBRATED,
+            server_cpu: CpuConfig::SERVER,
+            client_cpu: CpuConfig::CLIENT,
+            seed: 42,
+            faults: FaultPlan::none(),
+            hotstuff_interval_ns: None,
+        }
+    }
+
+    /// Replica count for this protocol and f.
+    pub fn n_replicas(&self) -> usize {
+        match self.protocol {
+            Protocol::MinBft => 2 * self.f + 1,
+            Protocol::Unreplicated => 1,
+            _ => 3 * self.f + 1,
+        }
+    }
+}
+
+/// Measured outcome of one run.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct RunResult {
+    /// Ops committed inside the measurement window.
+    pub committed: u64,
+    /// Throughput over the window (ops/sec).
+    pub throughput: f64,
+    /// Mean end-to-end latency (ns) over the window.
+    pub mean_latency_ns: u64,
+    /// Median latency (ns).
+    pub p50_latency_ns: u64,
+    /// 99th percentile latency (ns).
+    pub p99_latency_ns: u64,
+    /// All measured latencies (for CDFs).
+    #[serde(skip)]
+    pub latencies_ns: Vec<u64>,
+}
+
+impl RunResult {
+    fn from_ops(ops: &[CompletedOp], window_start: u64, window_end: u64) -> RunResult {
+        let mut lats: Vec<u64> = ops
+            .iter()
+            .filter(|o| o.completed_at >= window_start && o.completed_at < window_end)
+            .map(|o| o.latency_ns())
+            .collect();
+        lats.sort_unstable();
+        let committed = lats.len() as u64;
+        let dur_s = (window_end - window_start) as f64 / 1e9;
+        let pct = |p: f64| -> u64 {
+            if lats.is_empty() {
+                0
+            } else {
+                lats[((p * (lats.len() - 1) as f64) as usize).min(lats.len() - 1)]
+            }
+        };
+        RunResult {
+            committed,
+            throughput: committed as f64 / dur_s,
+            mean_latency_ns: if lats.is_empty() {
+                0
+            } else {
+                lats.iter().sum::<u64>() / lats.len() as u64
+            },
+            p50_latency_ns: pct(0.5),
+            p99_latency_ns: pct(0.99),
+            latencies_ns: lats,
+        }
+    }
+}
+
+/// Execute one experiment.
+pub fn run_experiment(params: &RunParams) -> RunResult {
+    let mut sim = build(params);
+    let end = params.warmup + params.measure;
+    let events = sim.run_until(end);
+    if std::env::var_os("NEO_BENCH_DEBUG").is_some() {
+        eprintln!("[debug] {} events", events);
+    }
+    collect(&sim, params)
+}
+
+/// Build the simulator for an experiment without running it (failover
+/// experiments drive it in phases).
+pub fn build(params: &RunParams) -> Simulator {
+    let n = params.n_replicas();
+    let keys = SystemKeys::new(params.seed, n, params.n_clients);
+    let mut sim = Simulator::new(SimConfig {
+        net: params.net,
+        default_cpu: params.server_cpu,
+        seed: params.seed,
+        faults: params.faults.clone(),
+    });
+
+    match params.protocol {
+        Protocol::NeoHm
+        | Protocol::NeoPk
+        | Protocol::NeoBn
+        | Protocol::NeoHmSoftware
+        | Protocol::NeoPkSoftware => build_neo(params, n, &keys, &mut sim),
+        Protocol::Pbft => build_baseline(params, n, &keys, &mut sim, BaselineKind::Pbft),
+        Protocol::Zyzzyva => {
+            build_baseline(params, n, &keys, &mut sim, BaselineKind::Zyzzyva { mute: false })
+        }
+        Protocol::ZyzzyvaF => {
+            build_baseline(params, n, &keys, &mut sim, BaselineKind::Zyzzyva { mute: true })
+        }
+        Protocol::HotStuff => build_baseline(params, n, &keys, &mut sim, BaselineKind::HotStuff),
+        Protocol::MinBft => build_baseline(params, n, &keys, &mut sim, BaselineKind::MinBft),
+        Protocol::Unreplicated => {
+            sim.add_node(
+                Addr::Replica(ReplicaId(0)),
+                Box::new(UnreplicatedServer::new(params.app.build_app())),
+            );
+            for c in 0..params.n_clients as u64 {
+                let client = UnreplicatedClient::new(
+                    ClientId(c),
+                    ReplicaId(0),
+                    params.app.build_workload(c + 1),
+                    50 * MILLIS,
+                );
+                sim.add_node_with_cpu(Addr::Client(ClientId(c)), Box::new(client), params.client_cpu);
+            }
+        }
+    }
+    sim
+}
+
+fn neo_config(params: &RunParams) -> NeoConfig {
+    let mut cfg = NeoConfig::new(params.f);
+    match params.protocol {
+        Protocol::NeoPk | Protocol::NeoPkSoftware => {
+            cfg = cfg.with_pk();
+        }
+        Protocol::NeoBn => {
+            cfg = cfg.with_byzantine_network();
+        }
+        _ => {}
+    }
+    if matches!(
+        params.protocol,
+        Protocol::NeoHmSoftware | Protocol::NeoPkSoftware
+    ) {
+        // §6.3: with the software sequencer replicas process one packet
+        // per subgroup per request.
+        cfg.emulate_hm_subgroups = matches!(params.protocol, Protocol::NeoHmSoftware);
+    }
+    cfg
+}
+
+fn build_neo(params: &RunParams, n: usize, keys: &SystemKeys, sim: &mut Simulator) {
+    let cfg = neo_config(params);
+
+    let mut config = ConfigService::new();
+    config.register_group(GROUP, (0..n as u32).map(ReplicaId).collect(), params.f);
+    sim.add_node_with_cpu(Addr::Config, Box::new(config), CpuConfig::IDEAL);
+
+    let (auth_mode, hw) = match params.protocol {
+        Protocol::NeoHm | Protocol::NeoBn => (
+            AuthMode::HmacVector,
+            SequencerHw::Tofino(TofinoModel::PAPER),
+        ),
+        Protocol::NeoPk => (
+            AuthMode::PublicKey,
+            SequencerHw::Fpga(
+                FpgaModel::PAPER,
+                neo_switch::fpga::SigningRatioController::new(FpgaModel::PAPER),
+            ),
+        ),
+        Protocol::NeoHmSoftware => (AuthMode::HmacVector, SequencerHw::Software(params.costs)),
+        Protocol::NeoPkSoftware => {
+            // Software sequencer signing in software: model it as a
+            // "coprocessor" whose rates reflect one CPU core with
+            // precomputed-table signing, plus the hash-chain skip path.
+            // Signing is pipelined off the dispatch path (a dedicated
+            // signer thread); its *rate* is bounded by the signing-ratio
+            // controller, and skipped packets ride the hash chain.
+            let model = FpgaModel {
+                io_latency_ns: 0,
+                hash_latency_ns: 300,
+                sign_latency_ns: params.costs.ecdsa_sign,
+                sign_service_ns: 600,
+                precompute_rate_per_sec: 1_000_000_000 / params.costs.ecdsa_sign.max(1),
+                table_capacity: 1024,
+                skip_threshold: 64,
+            };
+            (
+                AuthMode::PublicKey,
+                SequencerHw::Fpga(model, neo_switch::fpga::SigningRatioController::new(model)),
+            )
+        }
+        _ => unreachable!("neo build called for a baseline"),
+    };
+    let sequencer = SequencerNode::new(
+        GROUP,
+        (0..n as u32).map(ReplicaId).collect(),
+        auth_mode,
+        hw,
+        keys,
+    );
+    // The sequencer is a switch (or a dedicated multicast service in the
+    // software deployment): its occupancy is charged via the hardware
+    // model, not a server CPU.
+    let seq_cpu = CpuConfig {
+        dispatch_ns: 0,
+        send_ns: 5, // per-copy replication-engine cost (drives the
+        // gentle large-group decline in Figure 8)
+        ns_per_kb: 0,
+        cores: 1,
+    };
+    sim.add_node_with_cpu(Addr::Sequencer(GROUP), Box::new(sequencer), seq_cpu);
+
+    for r in 0..n as u32 {
+        let replica = Replica::new(
+            ReplicaId(r),
+            cfg.clone(),
+            keys,
+            params.costs,
+            params.app.build_app(),
+        );
+        sim.add_node_with_cpu(Addr::Replica(ReplicaId(r)), Box::new(replica), params.server_cpu);
+    }
+    for c in 0..params.n_clients as u64 {
+        let client = Client::new(
+            ClientId(c),
+            cfg.clone(),
+            keys,
+            params.costs,
+            params.app.build_workload(c + 1),
+        );
+        sim.add_node_with_cpu(Addr::Client(ClientId(c)), Box::new(client), params.client_cpu);
+    }
+}
+
+enum BaselineKind {
+    Pbft,
+    Zyzzyva { mute: bool },
+    HotStuff,
+    MinBft,
+}
+
+fn build_baseline(
+    params: &RunParams,
+    n: usize,
+    keys: &SystemKeys,
+    sim: &mut Simulator,
+    kind: BaselineKind,
+) {
+    // Batching follows each protocol's original tuning (§6: "following
+    // the batching techniques proposed in their original work"): PBFT
+    // opens small adaptive batches; MinBFT batches per USIG-paced
+    // prepare; HotStuff fills large blocks paced by its pacemaker.
+    let mut cfg = match kind {
+        BaselineKind::MinBft => BaselineConfig::new_2f1(params.f),
+        _ => BaselineConfig::new_3f1(params.f),
+    };
+    match kind {
+        BaselineKind::Pbft => {
+            cfg.batch_max = 8;
+        }
+        BaselineKind::MinBft => {
+            cfg.batch_max = 8;
+            cfg.usig_cost_ns = 30_000;
+        }
+        BaselineKind::HotStuff => {
+            cfg.batch_max = 48;
+            cfg.pipeline_depth = 2;
+            cfg.proposal_interval_ns = params
+                .hotstuff_interval_ns
+                .unwrap_or(500 * neo_sim::MICROS);
+        }
+        BaselineKind::Zyzzyva { .. } => {
+            cfg.batch_max = 16;
+        }
+    }
+    // Pure-logic runs (free crypto) also zero the trusted-component cost.
+    if params.costs == CostModel::FREE {
+        cfg.usig_cost_ns = 0;
+    }
+    for r in 0..n as u32 {
+        let id = ReplicaId(r);
+        let app = params.app.build_app();
+        let node: Box<dyn neo_sim::Node> = match kind {
+            BaselineKind::Pbft => {
+                Box::new(PbftReplica::new(id, cfg.clone(), keys, params.costs, app))
+            }
+            BaselineKind::Zyzzyva { mute } => {
+                let mut z = ZyzzyvaReplica::new(id, cfg.clone(), keys, params.costs, app);
+                if mute && r == n as u32 - 1 {
+                    z.behavior = ZyzzyvaBehavior::Mute;
+                }
+                Box::new(z)
+            }
+            BaselineKind::HotStuff => {
+                Box::new(HotStuffReplica::new(id, cfg.clone(), keys, params.costs, app))
+            }
+            BaselineKind::MinBft => {
+                Box::new(MinBftReplica::new(id, cfg.clone(), keys, params.costs, app))
+            }
+        };
+        sim.add_node_with_cpu(Addr::Replica(id), node, params.server_cpu);
+    }
+    for c in 0..params.n_clients as u64 {
+        let id = ClientId(c);
+        let w = params.app.build_workload(c + 1);
+        let node: Box<dyn neo_sim::Node> = match kind {
+            BaselineKind::Pbft => Box::new(PbftClient::new(id, cfg.clone(), keys, params.costs, w)),
+            BaselineKind::Zyzzyva { .. } => {
+                Box::new(ZyzzyvaClient::new(id, cfg.clone(), keys, params.costs, w))
+            }
+            BaselineKind::HotStuff => {
+                Box::new(HotStuffClient::new(id, cfg.clone(), keys, params.costs, w))
+            }
+            BaselineKind::MinBft => {
+                Box::new(MinBftClient::new(id, cfg.clone(), keys, params.costs, w))
+            }
+        };
+        sim.add_node_with_cpu(Addr::Client(id), node, params.client_cpu);
+    }
+}
+
+/// Gather results from all clients over the measurement window.
+pub fn collect(sim: &Simulator, params: &RunParams) -> RunResult {
+    let mut ops: Vec<CompletedOp> = Vec::new();
+    for c in 0..params.n_clients as u64 {
+        let addr = Addr::Client(ClientId(c));
+        let completed: &[CompletedOp] = match params.protocol {
+            Protocol::NeoHm
+            | Protocol::NeoPk
+            | Protocol::NeoBn
+            | Protocol::NeoHmSoftware
+            | Protocol::NeoPkSoftware => &sim.node_ref::<Client>(addr).expect("client").completed,
+            Protocol::Pbft => &sim.node_ref::<PbftClient>(addr).expect("client").core.completed,
+            Protocol::Zyzzyva | Protocol::ZyzzyvaF => {
+                &sim.node_ref::<ZyzzyvaClient>(addr).expect("client").core.completed
+            }
+            Protocol::HotStuff => {
+                &sim.node_ref::<HotStuffClient>(addr).expect("client").core.completed
+            }
+            Protocol::MinBft => {
+                &sim.node_ref::<MinBftClient>(addr).expect("client").core.completed
+            }
+            Protocol::Unreplicated => {
+                &sim.node_ref::<UnreplicatedClient>(addr).expect("client").core.completed
+            }
+        };
+        ops.extend_from_slice(completed);
+    }
+    RunResult::from_ops(&ops, params.warmup, params.warmup + params.measure)
+}
+
+/// Sweep client counts and return the (throughput, mean latency) curve —
+/// the Figure 7 methodology.
+pub fn latency_throughput_curve(
+    protocol: Protocol,
+    client_counts: &[usize],
+    app: AppKind,
+) -> Vec<(usize, RunResult)> {
+    client_counts
+        .iter()
+        .map(|&c| {
+            let mut p = RunParams::new(protocol, c);
+            p.app = app;
+            (c, run_experiment(&p))
+        })
+        .collect()
+}
+
+/// Maximum sustainable throughput over a client sweep.
+pub fn max_throughput(protocol: Protocol, client_counts: &[usize], app: AppKind) -> RunResult {
+    latency_throughput_curve(protocol, client_counts, app)
+        .into_iter()
+        .map(|(_, r)| r)
+        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+        .expect("non-empty sweep")
+}
+
+/// Messages processed by replica `r` (Table 1's bottleneck-complexity
+/// instrumentation).
+pub fn replica_messages(sim: &Simulator, params: &RunParams, r: u32) -> u64 {
+    let addr = Addr::Replica(ReplicaId(r));
+    match params.protocol {
+        Protocol::NeoHm
+        | Protocol::NeoPk
+        | Protocol::NeoBn
+        | Protocol::NeoHmSoftware
+        | Protocol::NeoPkSoftware => {
+            sim.node_ref::<Replica>(addr).map(|n| n.stats.messages_in).unwrap_or(0)
+        }
+        Protocol::Pbft => sim.node_ref::<PbftReplica>(addr).map(|n| n.messages_in).unwrap_or(0),
+        Protocol::Zyzzyva | Protocol::ZyzzyvaF => {
+            sim.node_ref::<ZyzzyvaReplica>(addr).map(|n| n.messages_in).unwrap_or(0)
+        }
+        Protocol::HotStuff => {
+            sim.node_ref::<HotStuffReplica>(addr).map(|n| n.messages_in).unwrap_or(0)
+        }
+        Protocol::MinBft => sim.node_ref::<MinBftReplica>(addr).map(|n| n.messages_in).unwrap_or(0),
+        Protocol::Unreplicated => sim
+            .node_ref::<UnreplicatedServer>(addr)
+            .map(|n| n.executed)
+            .unwrap_or(0),
+    }
+}
+
+/// Short smoke parameters used by tests (tiny windows).
+pub fn smoke(protocol: Protocol) -> RunParams {
+    let mut p = RunParams::new(protocol, 4);
+    p.warmup = 20 * MILLIS;
+    p.measure = 80 * MILLIS;
+    p
+}
+
+/// One virtual second, re-exported for bench targets.
+pub const SECOND: u64 = SECS;

@@ -1,0 +1,16 @@
+//! # neo-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§6). The `benches/` directory contains one target
+//! per table/figure; each builds on [`harness`] — a protocol-generic
+//! cluster runner over the deterministic simulator — and prints the same
+//! rows/series the paper reports.
+//!
+//! Run all of them with `cargo bench -p neo-bench`, or a single one with
+//! e.g. `cargo bench -p neo-bench --bench fig7`.
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{AppKind, Protocol, RunParams, RunResult};
+pub use report::{fmt_ops, fmt_us, Table};

@@ -1,0 +1,104 @@
+//! Plain-text table/series formatting for experiment output, plus an
+//! optional JSON side-channel for plotting scripts.
+
+use serde::Serialize;
+
+/// A printable table with a title, column headers, and rows.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        println!("\n=== {} ===", self.title);
+        let line = |cells: &[String]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.headers);
+        let total = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Format ops/sec as `123.4K`.
+pub fn fmt_ops(ops: f64) -> String {
+    if ops >= 1e6 {
+        format!("{:.2}M", ops / 1e6)
+    } else {
+        format!("{:.1}K", ops / 1e3)
+    }
+}
+
+/// Format nanoseconds as microseconds.
+pub fn fmt_us(ns: u64) -> String {
+    format!("{:.1}µs", ns as f64 / 1e3)
+}
+
+/// When `NEO_BENCH_JSON` is set to a directory, write `value` as
+/// `<dir>/<name>.json` so plotting scripts can consume the exact series
+/// behind each printed table. Silent no-op otherwise.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let Some(dir) = std::env::var_os("NEO_BENCH_JSON") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(&path, json);
+        eprintln!("[neo-bench] wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ops(1_500_000.0), "1.50M");
+        assert_eq!(fmt_ops(250_300.0), "250.3K");
+        assert_eq!(fmt_us(12_345), "12.3µs");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Harness smoke tests: every protocol commits operations under the
+//! calibrated cost model, and headline orderings from the paper hold.
+
+use neo_bench::harness::{run_experiment, smoke, Protocol, RunParams};
+
+fn result(p: Protocol) -> neo_bench::RunResult {
+    run_experiment(&smoke(p))
+}
+
+#[test]
+fn every_protocol_commits_under_real_costs() {
+    for p in Protocol::comparison_set() {
+        let r = result(*p);
+        assert!(
+            r.committed > 50,
+            "{} committed only {} ops",
+            p.label(),
+            r.committed
+        );
+    }
+}
+
+#[test]
+fn neo_beats_baselines_on_latency() {
+    let neo = result(Protocol::NeoHm);
+    for p in [Protocol::Pbft, Protocol::Zyzzyva, Protocol::HotStuff, Protocol::MinBft] {
+        let other = result(p);
+        assert!(
+            neo.p50_latency_ns < other.p50_latency_ns,
+            "Neo-HM p50 {} must beat {} p50 {}",
+            neo.p50_latency_ns,
+            p.label(),
+            other.p50_latency_ns
+        );
+    }
+}
+
+#[test]
+fn software_sequencer_variants_commit() {
+    for p in [Protocol::NeoHmSoftware, Protocol::NeoPkSoftware] {
+        let r = result(p);
+        assert!(r.committed > 50, "{}: {}", p.label(), r.committed);
+    }
+}
+
+#[test]
+fn scaling_clients_scales_throughput_until_saturation() {
+    let low = run_experiment(&{
+        let mut p = smoke(Protocol::NeoHm);
+        p.n_clients = 1;
+        p
+    });
+    let high = run_experiment(&{
+        let mut p = smoke(Protocol::NeoHm);
+        p.n_clients = 16;
+        p
+    });
+    assert!(
+        high.throughput > 4.0 * low.throughput,
+        "closed-loop scaling: {} vs {}",
+        high.throughput,
+        low.throughput
+    );
+}
+
+#[test]
+fn results_are_deterministic() {
+    let p = smoke(Protocol::Pbft);
+    let a = run_experiment(&p);
+    let b = run_experiment(&p);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.latencies_ns, b.latencies_ns);
+}
+
+#[test]
+fn ycsb_workload_runs_on_kv_store() {
+    use neo_bench::harness::AppKind;
+    use neo_app::YcsbConfig;
+    let mut p = smoke(Protocol::NeoHm);
+    p.app = AppKind::Ycsb(YcsbConfig {
+        record_count: 1_000, // small table keeps the smoke test fast
+        ..YcsbConfig::WORKLOAD_A
+    });
+    let r = run_experiment(&p);
+    assert!(r.committed > 50, "YCSB commits: {}", r.committed);
+    let _ = RunParams::new(Protocol::NeoHm, 1);
+}

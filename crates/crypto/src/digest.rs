@@ -1,0 +1,184 @@
+//! SHA-256 digests and hash chains.
+
+use neo_wire::DIGEST_LEN;
+use serde::{Deserialize, Serialize};
+use sha2::{Digest as _, Sha256};
+use std::fmt;
+
+/// A SHA-256 digest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Digest(pub [u8; DIGEST_LEN]);
+
+impl Digest {
+    /// The all-zero digest, used as the root of hash chains.
+    pub const ZERO: Digest = Digest([0u8; DIGEST_LEN]);
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Digest({:02x}{:02x}{:02x}{:02x}…)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0[..8] {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// SHA-256 of a byte string.
+pub fn sha256(bytes: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(bytes);
+    Digest(h.finalize().into())
+}
+
+/// One hash-chain step: `H(prev ‖ item)`.
+///
+/// Used by NeoBFT replicas for the O(1) log-hash in replies (§5.3) and by
+/// the aom-pk coprocessor's packet chaining (§4.4).
+pub fn chain(prev: Digest, item: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(prev.0);
+    h.update(item);
+    Digest(h.finalize().into())
+}
+
+/// An incrementally maintained hash chain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct HashChain {
+    head: Digest,
+    len: u64,
+}
+
+impl HashChain {
+    /// Empty chain rooted at [`Digest::ZERO`].
+    pub fn new() -> Self {
+        HashChain {
+            head: Digest::ZERO,
+            len: 0,
+        }
+    }
+
+    /// Append an item, returning the new head.
+    pub fn push(&mut self, item: &[u8]) -> Digest {
+        self.head = chain(self.head, item);
+        self.len += 1;
+        self.head
+    }
+
+    /// Current head of the chain.
+    pub fn head(&self) -> Digest {
+        self.head
+    }
+
+    /// Number of items appended.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reset to a known (head, len) pair — used when a replica rolls back
+    /// its log during gap agreement or view change and recomputes the
+    /// suffix.
+    pub fn reset_to(&mut self, head: Digest, len: u64) {
+        self.head = head;
+        self.len = len;
+    }
+}
+
+/// Verify that `items` re-hashed from `root` reproduces `expected_head`.
+///
+/// This is the receiver-side batch verification of the aom-pk hash chain:
+/// "receivers wait until the next signed packet and verify the entire batch
+/// by validating the hash chain in the reverse order" (§4.4). Verification
+/// here walks forward, which is equivalent and allocation-free.
+pub fn verify_chain(root: Digest, items: &[&[u8]], expected_head: Digest) -> bool {
+    let mut d = root;
+    for item in items {
+        d = chain(d, item);
+    }
+    d == expected_head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_known_vector() {
+        // SHA-256("abc")
+        let d = sha256(b"abc");
+        assert_eq!(
+            d.0[..4],
+            [0xba, 0x78, 0x16, 0xbf],
+            "matches FIPS 180-2 test vector prefix"
+        );
+    }
+
+    #[test]
+    fn digests_differ_on_different_input() {
+        assert_ne!(sha256(b"a"), sha256(b"b"));
+        assert_ne!(sha256(b""), Digest::ZERO);
+    }
+
+    #[test]
+    fn chain_is_order_sensitive() {
+        let ab = chain(chain(Digest::ZERO, b"a"), b"b");
+        let ba = chain(chain(Digest::ZERO, b"b"), b"a");
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn hash_chain_incremental_matches_manual() {
+        let mut hc = HashChain::new();
+        assert!(hc.is_empty());
+        let h1 = hc.push(b"one");
+        let h2 = hc.push(b"two");
+        assert_eq!(hc.len(), 2);
+        assert_eq!(h1, chain(Digest::ZERO, b"one"));
+        assert_eq!(h2, chain(h1, b"two"));
+        assert_eq!(hc.head(), h2);
+    }
+
+    #[test]
+    fn verify_chain_accepts_and_rejects() {
+        let items: Vec<&[u8]> = vec![b"p1", b"p2", b"p3"];
+        let mut hc = HashChain::new();
+        for i in &items {
+            hc.push(i);
+        }
+        assert!(verify_chain(Digest::ZERO, &items, hc.head()));
+        let tampered: Vec<&[u8]> = vec![b"p1", b"pX", b"p3"];
+        assert!(!verify_chain(Digest::ZERO, &tampered, hc.head()));
+        assert!(!verify_chain(sha256(b"wrong root"), &items, hc.head()));
+    }
+
+    #[test]
+    fn reset_to_supports_rollback() {
+        let mut hc = HashChain::new();
+        hc.push(b"a");
+        let (head, len) = (hc.head(), hc.len());
+        hc.push(b"b");
+        hc.reset_to(head, len);
+        let after = hc.push(b"b2");
+        assert_eq!(after, chain(head, b"b2"));
+        assert_eq!(hc.len(), 2);
+    }
+}

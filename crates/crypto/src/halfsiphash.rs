@@ -1,0 +1,174 @@
+//! HalfSipHash-2-4 — the hash the switch data plane actually computes
+//! (§4.3, via Yoo & Chen's in-switch implementation).
+//!
+//! HalfSipHash is SipHash restructured over 32-bit words, which is what
+//! makes it implementable in a Tofino ALU: each SipRound is four 32-bit
+//! add/xor/rotate groups, and the unrolled 2-4 variant needs 12 pipeline
+//! passes (matching `neo_switch::TofinoModel::passes_per_hmac`).
+//!
+//! This is a faithful software implementation of the reference
+//! `halfsiphash.c` (64-bit-key, 32- or 64-bit output). The wire protocol
+//! uses full SipHash-2-4 (`crate::mac`) — the software sequencer's
+//! choice — while this module exists for fidelity with the hardware
+//! design and for the switch-model tests.
+
+/// A HalfSipHash key: 64 bits (two 32-bit words), the size that fits the
+/// switch's per-receiver register pair.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct HalfSipKey(pub [u8; 8]);
+
+impl std::fmt::Debug for HalfSipKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HalfSipKey(..)")
+    }
+}
+
+#[inline]
+fn sipround(v: &mut [u32; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(5);
+    v[1] ^= v[0];
+    v[0] = v[0].rotate_left(16);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(8);
+    v[3] ^= v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(7);
+    v[3] ^= v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13);
+    v[1] ^= v[2];
+    v[2] = v[2].rotate_left(16);
+}
+
+impl HalfSipKey {
+    /// HalfSipHash-2-4 with 32-bit output.
+    pub fn hash32(&self, msg: &[u8]) -> u32 {
+        self.run(msg, false)[0]
+    }
+
+    /// HalfSipHash-2-4 with 64-bit output (two finalization passes).
+    pub fn hash64(&self, msg: &[u8]) -> u64 {
+        let out = self.run(msg, true);
+        (out[0] as u64) | ((out[1] as u64) << 32)
+    }
+
+    fn run(&self, msg: &[u8], wide: bool) -> [u32; 2] {
+        let k0 = u32::from_le_bytes(self.0[0..4].try_into().expect("4 bytes"));
+        let k1 = u32::from_le_bytes(self.0[4..8].try_into().expect("4 bytes"));
+        let mut v: [u32; 4] = [k0, k1, 0x6c79_6765 ^ k0, 0x7465_6462 ^ k1];
+        if wide {
+            v[1] ^= 0xee;
+        }
+
+        let mut chunks = msg.chunks_exact(4);
+        for chunk in &mut chunks {
+            let m = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+            v[3] ^= m;
+            sipround(&mut v);
+            sipround(&mut v);
+            v[0] ^= m;
+        }
+        // Last block: remaining bytes plus the length in the top byte.
+        let rem = chunks.remainder();
+        let mut b = (msg.len() as u32 & 0xff) << 24;
+        for (i, byte) in rem.iter().enumerate() {
+            b |= (*byte as u32) << (8 * i);
+        }
+        v[3] ^= b;
+        sipround(&mut v);
+        sipround(&mut v);
+        v[0] ^= b;
+
+        v[2] ^= if wide { 0xee } else { 0xff };
+        sipround(&mut v);
+        sipround(&mut v);
+        sipround(&mut v);
+        sipround(&mut v);
+        let first = v[1] ^ v[3];
+        if !wide {
+            return [first, 0];
+        }
+        v[1] ^= 0xdd;
+        sipround(&mut v);
+        sipround(&mut v);
+        sipround(&mut v);
+        sipround(&mut v);
+        [first, v[1] ^ v[3]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> HalfSipKey {
+        HalfSipKey([0, 1, 2, 3, 4, 5, 6, 7])
+    }
+
+    /// Reference vectors from the SipHash repository's `vectors.h`
+    /// (`hsiphash` with the key 0x03020100/0x07060504 over the byte
+    /// sequence 0, 1, 2, …).
+    #[test]
+    fn reference_vectors_hash32() {
+        let k = key();
+        let input: Vec<u8> = (0u8..8).collect();
+        let expect: [u32; 8] = [
+            u32::from_le_bytes([0xa9, 0x35, 0x9f, 0x5b]),
+            u32::from_le_bytes([0x27, 0x47, 0x5a, 0xb8]),
+            u32::from_le_bytes([0xfa, 0x62, 0xa6, 0x03]),
+            u32::from_le_bytes([0x8a, 0xfe, 0xe7, 0x04]),
+            u32::from_le_bytes([0x2a, 0x6e, 0x46, 0x89]),
+            u32::from_le_bytes([0xc5, 0xfa, 0xb6, 0x69]),
+            u32::from_le_bytes([0x58, 0x63, 0xfc, 0x23]),
+            u32::from_le_bytes([0x8b, 0xcf, 0x63, 0xc5]),
+        ];
+        for (len, want) in expect.iter().enumerate() {
+            assert_eq!(
+                k.hash32(&input[..len]),
+                *want,
+                "hsiphash-2-4/32 vector at length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_and_key_sensitive() {
+        let a = HalfSipKey([1; 8]);
+        let b = HalfSipKey([2; 8]);
+        assert_eq!(a.hash32(b"msg"), a.hash32(b"msg"));
+        assert_ne!(a.hash32(b"msg"), b.hash32(b"msg"));
+        assert_ne!(a.hash64(b"msg"), b.hash64(b"msg"));
+    }
+
+    #[test]
+    fn message_sensitive() {
+        let k = key();
+        assert_ne!(k.hash32(b"msg-a"), k.hash32(b"msg-b"));
+        assert_ne!(k.hash32(b""), k.hash32(b"\0"));
+        // Length is folded in: a zero byte is not a no-op.
+        assert_ne!(k.hash32(b"ab"), k.hash32(b"ab\0"));
+    }
+
+    #[test]
+    fn wide_output_extends_narrow() {
+        // The 64-bit variant is a distinct PRF, not a concatenation.
+        let k = key();
+        let narrow = k.hash32(b"packet");
+        let wide = k.hash64(b"packet");
+        assert_ne!(wide as u32, narrow);
+    }
+
+    #[test]
+    fn avalanche_smoke() {
+        // Flipping one input bit flips roughly half the output bits.
+        let k = key();
+        let a = k.hash64(b"0123456789abcdef");
+        let b = k.hash64(b"1123456789abcdef");
+        let flipped = (a ^ b).count_ones();
+        assert!(
+            (16..=48).contains(&flipped),
+            "avalanche: {flipped} bits flipped"
+        );
+    }
+}

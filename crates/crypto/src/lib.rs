@@ -1,0 +1,36 @@
+//! # neo-crypto
+//!
+//! All cryptography used by the NeoBFT stack, implemented with real
+//! primitives (nothing is mocked):
+//!
+//! * [`digest`] — SHA-256 digests and the hash-chaining helpers used both
+//!   by the aom-pk signing-ratio scheme (§4.4) and by NeoBFT's O(1)
+//!   reply log-hash (§5.3);
+//! * [`mac`] — SipHash-2-4 keyed MACs (the software stand-in for the
+//!   in-switch HalfSipHash of §4.3) and HMAC vectors;
+//! * [`sign`] — Ed25519 signatures for replica/client messages and
+//!   secp256k1 ECDSA for the sequencer, matching the paper's curve;
+//! * [`keys`] — key material for a whole deployment (replicas, clients,
+//!   sequencer, pairwise MAC keys), generated from a seed so simulations
+//!   are reproducible;
+//! * [`meter`] — the cost meter: every operation both performs the real
+//!   computation and records a calibrated virtual-time cost, which the
+//!   discrete-event simulator charges to the node's CPU;
+//! * [`provider`] — [`provider::NodeCrypto`], the per-node façade protocol
+//!   code uses: sign/verify, MAC/MAC-vector, digest — all metered.
+
+pub mod digest;
+pub mod halfsiphash;
+pub mod keys;
+pub mod mac;
+pub mod meter;
+pub mod provider;
+pub mod sign;
+
+pub use digest::{chain, sha256, Digest, HashChain};
+pub use halfsiphash::HalfSipKey;
+pub use keys::{KeyStore, Principal, SystemKeys};
+pub use mac::{HmacKey, MacError};
+pub use meter::{CostModel, Meter};
+pub use provider::NodeCrypto;
+pub use sign::{SequencerKeyPair, SequencerVerifyKey, SigError, SignKeyPair, Signature, VerifyKey};

@@ -1,0 +1,156 @@
+//! Keyed MACs.
+//!
+//! The in-switch design (§4.3) computes HalfSipHash over
+//! digest ‖ sequence-number with a per-receiver secret key. In software we
+//! use full SipHash-2-4 (same construction family, 64-bit tag), which is
+//! what the paper's own software sequencer uses for the EC2 evaluation.
+
+use neo_wire::{HmacTag, HMAC_TAG_LEN};
+use serde::{Deserialize, Serialize};
+use siphasher::sip::SipHasher24;
+use std::hash::Hasher;
+use thiserror::Error;
+
+/// MAC verification failure.
+#[derive(Debug, Error, PartialEq, Eq)]
+pub enum MacError {
+    /// The tag did not verify under the expected key.
+    #[error("MAC tag mismatch")]
+    Mismatch,
+    /// The HMAC vector does not have an entry for this receiver.
+    #[error("HMAC vector has {got} entries, receiver index is {index}")]
+    MissingEntry {
+        /// Receiver's position in the group membership.
+        index: usize,
+        /// Entries actually present.
+        got: usize,
+    },
+}
+
+/// A 128-bit SipHash key shared between the sequencer and one receiver
+/// (established via the key-exchange protocol run through the
+/// configuration service, §4.3).
+#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HmacKey(pub [u8; 16]);
+
+impl std::fmt::Debug for HmacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "HmacKey(..)")
+    }
+}
+
+impl HmacKey {
+    /// Compute the 64-bit SipHash-2-4 tag of `msg`.
+    pub fn tag(&self, msg: &[u8]) -> HmacTag {
+        let mut h = SipHasher24::new_with_key(&self.0);
+        h.write(msg);
+        let v = h.finish();
+        let mut out = [0u8; HMAC_TAG_LEN];
+        out.copy_from_slice(&v.to_le_bytes());
+        out
+    }
+
+    /// Constant-shape verification of a tag.
+    pub fn verify(&self, msg: &[u8], tag: &HmacTag) -> Result<(), MacError> {
+        // Compare without early exit; tags are only 8 bytes so a branchless
+        // fold is cheap and avoids a remote timing oracle.
+        let expect = self.tag(msg);
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        if diff == 0 {
+            Ok(())
+        } else {
+            Err(MacError::Mismatch)
+        }
+    }
+}
+
+/// Compute the full HMAC vector for a message: one tag per receiver key,
+/// in membership order. This is what the switch's folded pipeline produces
+/// (§4.3); in subgroups of four in hardware, all at once in software.
+pub fn hmac_vector(keys: &[HmacKey], msg: &[u8]) -> Vec<HmacTag> {
+    keys.iter().map(|k| k.tag(msg)).collect()
+}
+
+/// Verify one entry of an HMAC vector as receiver `index`.
+pub fn verify_vector_entry(
+    key: &HmacKey,
+    index: usize,
+    vector: &[HmacTag],
+    msg: &[u8],
+) -> Result<(), MacError> {
+    let tag = vector.get(index).ok_or(MacError::MissingEntry {
+        index,
+        got: vector.len(),
+    })?;
+    key.verify(msg, tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: u8) -> HmacKey {
+        HmacKey([b; 16])
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        let k = key(1);
+        let t = k.tag(b"message");
+        assert!(k.verify(b"message", &t).is_ok());
+    }
+
+    #[test]
+    fn tag_rejects_wrong_message() {
+        let k = key(1);
+        let t = k.tag(b"message");
+        assert_eq!(k.verify(b"other", &t), Err(MacError::Mismatch));
+    }
+
+    #[test]
+    fn tag_rejects_wrong_key() {
+        let t = key(1).tag(b"message");
+        assert_eq!(key(2).verify(b"message", &t), Err(MacError::Mismatch));
+    }
+
+    #[test]
+    fn vector_has_one_entry_per_key() {
+        let keys: Vec<_> = (0..7u8).map(key).collect();
+        let v = hmac_vector(&keys, b"m");
+        assert_eq!(v.len(), 7);
+        for (i, k) in keys.iter().enumerate() {
+            assert!(verify_vector_entry(k, i, &v, b"m").is_ok());
+        }
+    }
+
+    #[test]
+    fn vector_entries_are_receiver_specific() {
+        let keys: Vec<_> = (0..4u8).map(key).collect();
+        let v = hmac_vector(&keys, b"m");
+        // Receiver 1 cannot pass off receiver 0's entry as its own.
+        assert_eq!(
+            keys[1].verify(b"m", &v[0]),
+            Err(MacError::Mismatch),
+            "entries are bound to the per-receiver key"
+        );
+    }
+
+    #[test]
+    fn out_of_range_index_is_reported() {
+        let keys: Vec<_> = (0..2u8).map(key).collect();
+        let v = hmac_vector(&keys, b"m");
+        assert_eq!(
+            verify_vector_entry(&keys[0], 5, &v, b"m"),
+            Err(MacError::MissingEntry { index: 5, got: 2 })
+        );
+    }
+
+    #[test]
+    fn keys_do_not_leak_via_debug() {
+        assert_eq!(format!("{:?}", key(0x41)), "HmacKey(..)");
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-node metered crypto façade.
+//!
+//! Protocol state machines never touch raw keys: they hold a
+//! [`NodeCrypto`], which performs the real operation *and* charges the
+//! node's [`Meter`] the calibrated virtual-time cost. This is the one
+//! place where the paper's "authenticator complexity" becomes measurable
+//! simulation time.
+
+use crate::digest::{sha256, Digest};
+use crate::keys::{KeyStore, Principal, SystemKeys};
+use crate::mac::{HmacKey, MacError};
+use crate::meter::{CostModel, Meter};
+use crate::sign::{SigError, SignKeyPair, Signature};
+use neo_wire::HmacTag;
+
+/// A node's metered view of the system's cryptography.
+#[derive(Clone, Debug)]
+pub struct NodeCrypto {
+    me: Principal,
+    sign_key: SignKeyPair,
+    store: KeyStore,
+    system: SystemKeys,
+    costs: CostModel,
+    meter: Meter,
+}
+
+impl NodeCrypto {
+    /// Build the crypto view for `me` out of the deployment key material.
+    pub fn new(me: Principal, system: &SystemKeys, costs: CostModel) -> Self {
+        NodeCrypto {
+            me,
+            sign_key: system.sign_key(me),
+            store: system.key_store(),
+            system: system.clone(),
+            costs,
+            meter: Meter::new(),
+        }
+    }
+
+    /// The principal this provider signs as.
+    pub fn me(&self) -> Principal {
+        self.me
+    }
+
+    /// The meter the simulator drains.
+    pub fn meter(&self) -> &Meter {
+        &self.meter
+    }
+
+    /// The cost model in force (exported so experiment reports can record
+    /// their inputs).
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// SHA-256 digest, charged serially (hashing happens inline with
+    /// packet processing).
+    pub fn digest(&self, bytes: &[u8]) -> Digest {
+        self.meter.charge_serial(self.costs.sha256(bytes.len()));
+        sha256(bytes)
+    }
+
+    /// Ed25519-sign a message (charged to the worker pool).
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        self.meter.charge_parallel(self.costs.ed25519_sign);
+        self.sign_key.sign(msg)
+    }
+
+    /// Verify `signer`'s Ed25519 signature (charged to the worker pool).
+    /// Unknown principals fail closed.
+    pub fn verify(&self, signer: Principal, msg: &[u8], sig: &Signature) -> Result<(), SigError> {
+        self.meter.charge_parallel(self.costs.ed25519_verify);
+        match self.store.verify_key(signer) {
+            Some(vk) => vk.verify(msg, sig),
+            None => Err(SigError::Invalid),
+        }
+    }
+
+    /// Compute the pairwise MAC authenticating `msg` from `self` to `peer`
+    /// (charged serially — MACs are cheap enough to run on the dispatch
+    /// core, exactly why PBFT prefers them).
+    pub fn mac_for(&self, peer: Principal, msg: &[u8]) -> HmacTag {
+        self.meter.charge_serial(self.costs.siphash);
+        self.pairwise(peer).tag(msg)
+    }
+
+    /// Verify a pairwise MAC sent by `peer`.
+    pub fn verify_mac_from(
+        &self,
+        peer: Principal,
+        msg: &[u8],
+        tag: &HmacTag,
+    ) -> Result<(), MacError> {
+        self.meter.charge_serial(self.costs.siphash);
+        self.pairwise(peer).verify(msg, tag)
+    }
+
+    /// Compute a full authenticator vector: one MAC per peer in `peers`,
+    /// in order. This is PBFT's O(N) per-message authenticator.
+    pub fn mac_vector(&self, peers: &[Principal], msg: &[u8]) -> Vec<HmacTag> {
+        self.meter
+            .charge_serial(self.costs.siphash * peers.len() as u64);
+        peers.iter().map(|p| self.pairwise(*p).tag(msg)).collect()
+    }
+
+    fn pairwise(&self, peer: Principal) -> HmacKey {
+        self.system.pairwise_hmac_key(self.me, peer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_wire::{ClientId, ReplicaId};
+
+    fn setup() -> (NodeCrypto, NodeCrypto) {
+        let sys = SystemKeys::new(11, 4, 2);
+        let a = NodeCrypto::new(
+            Principal::Replica(ReplicaId(0)),
+            &sys,
+            CostModel::CALIBRATED,
+        );
+        let b = NodeCrypto::new(Principal::Client(ClientId(1)), &sys, CostModel::CALIBRATED);
+        (a, b)
+    }
+
+    #[test]
+    fn cross_node_signature_verifies() {
+        let (a, b) = setup();
+        let sig = a.sign(b"msg");
+        assert!(b.verify(a.me(), b"msg", &sig).is_ok());
+        assert!(b.verify(b.me(), b"msg", &sig).is_err(), "wrong signer");
+    }
+
+    #[test]
+    fn unknown_principal_fails_closed() {
+        let (a, _) = setup();
+        let sig = a.sign(b"m");
+        assert_eq!(
+            a.verify(Principal::Replica(ReplicaId(99)), b"m", &sig),
+            Err(SigError::Invalid)
+        );
+    }
+
+    #[test]
+    fn pairwise_macs_agree_between_the_two_parties() {
+        let (a, b) = setup();
+        let tag = a.mac_for(b.me(), b"hello");
+        assert!(b.verify_mac_from(a.me(), b"hello", &tag).is_ok());
+        assert!(b.verify_mac_from(a.me(), b"other", &tag).is_err());
+    }
+
+    #[test]
+    fn mac_vector_entries_verify_per_peer() {
+        let sys = SystemKeys::new(3, 4, 0);
+        let sender = NodeCrypto::new(Principal::Replica(ReplicaId(0)), &sys, CostModel::FREE);
+        let peers: Vec<Principal> = (1..4).map(|i| Principal::Replica(ReplicaId(i))).collect();
+        let v = sender.mac_vector(&peers, b"broadcast");
+        for (i, p) in peers.iter().enumerate() {
+            let peer = NodeCrypto::new(*p, &sys, CostModel::FREE);
+            assert!(peer
+                .verify_mac_from(sender.me(), b"broadcast", &v[i])
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn meter_charges_costs() {
+        let (a, _) = setup();
+        a.meter().drain();
+        let _ = a.sign(b"x");
+        let (s, p) = a.meter().drain();
+        assert_eq!(s, 0);
+        assert_eq!(p, vec![CostModel::CALIBRATED.ed25519_sign]);
+        let _ = a.digest(b"payload");
+        let (s, _) = a.meter().drain();
+        assert!(s > 0, "digest is charged serially");
+    }
+
+    #[test]
+    fn mac_vector_charges_linear_cost() {
+        let sys = SystemKeys::new(3, 8, 0);
+        let a = NodeCrypto::new(
+            Principal::Replica(ReplicaId(0)),
+            &sys,
+            CostModel::CALIBRATED,
+        );
+        let peers: Vec<Principal> = (1..8).map(|i| Principal::Replica(ReplicaId(i))).collect();
+        a.meter().drain();
+        let _ = a.mac_vector(&peers, b"m");
+        let (s, _) = a.meter().drain();
+        assert_eq!(s, CostModel::CALIBRATED.siphash * 7);
+    }
+}

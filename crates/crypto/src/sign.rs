@@ -1,0 +1,259 @@
+//! Public-key signatures.
+//!
+//! Two schemes, mirroring the paper's deployment:
+//!
+//! * **Ed25519** for end-host message signatures (client requests, replica
+//!   replies, gap/view-change protocol messages);
+//! * **secp256k1 ECDSA** for the sequencer's aom-pk authenticator — the
+//!   exact curve the FPGA coprocessor implements (§4.4).
+//!
+//! Both are wrapped in small owned types so that key material stays out of
+//! wire structs and `Debug` output.
+
+use k256::ecdsa::signature::{Signer as _, Verifier as _};
+use serde::{Deserialize, Serialize};
+use thiserror::Error;
+
+/// Signature verification failure.
+#[derive(Debug, Error, PartialEq, Eq)]
+pub enum SigError {
+    /// The signature bytes are malformed.
+    #[error("malformed signature encoding")]
+    Malformed,
+    /// The signature does not verify under the given key.
+    #[error("signature verification failed")]
+    Invalid,
+}
+
+/// A detached signature (Ed25519: 64 bytes; secp256k1: 64-byte fixed
+/// encoding). Kept as bytes on the wire; parsed at verification time.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize, Hash)]
+pub struct Signature(pub Vec<u8>);
+
+impl Signature {
+    /// An empty placeholder signature; never verifies. Useful for faulty
+    /// node injection in tests.
+    pub fn empty() -> Self {
+        Signature(Vec::new())
+    }
+}
+
+/// An Ed25519 signing key pair for an end host.
+#[derive(Clone)]
+pub struct SignKeyPair {
+    key: ed25519_dalek::SigningKey,
+}
+
+/// An Ed25519 verification key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VerifyKey {
+    key: ed25519_dalek::VerifyingKey,
+}
+
+impl std::fmt::Debug for SignKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SignKeyPair(..)")
+    }
+}
+
+impl SignKeyPair {
+    /// Derive a key pair deterministically from 32 bytes of seed material.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        SignKeyPair {
+            key: ed25519_dalek::SigningKey::from_bytes(&seed),
+        }
+    }
+
+    /// The corresponding verification key.
+    pub fn verify_key(&self) -> VerifyKey {
+        VerifyKey {
+            key: self.key.verifying_key(),
+        }
+    }
+
+    /// Sign a byte string.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        Signature(self.key.sign(msg).to_bytes().to_vec())
+    }
+}
+
+impl VerifyKey {
+    /// Verify a detached signature.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), SigError> {
+        let bytes: &[u8; 64] = sig
+            .0
+            .as_slice()
+            .try_into()
+            .map_err(|_| SigError::Malformed)?;
+        let sig = ed25519_dalek::Signature::from_bytes(bytes);
+        self.key.verify(msg, &sig).map_err(|_| SigError::Invalid)
+    }
+
+    /// Stable byte encoding (for key distribution via the config service).
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.key.to_bytes()
+    }
+
+    /// Decode from bytes.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<Self, SigError> {
+        ed25519_dalek::VerifyingKey::from_bytes(bytes)
+            .map(|key| VerifyKey { key })
+            .map_err(|_| SigError::Malformed)
+    }
+}
+
+/// The sequencer's secp256k1 key pair (aom-pk, §4.4).
+#[derive(Clone)]
+pub struct SequencerKeyPair {
+    key: k256::ecdsa::SigningKey,
+}
+
+/// The sequencer's secp256k1 verification key, distributed to receivers by
+/// the configuration service.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SequencerVerifyKey {
+    key: k256::ecdsa::VerifyingKey,
+}
+
+impl std::fmt::Debug for SequencerKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SequencerKeyPair(..)")
+    }
+}
+
+impl SequencerKeyPair {
+    /// Derive deterministically from seed material.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        // Rejection-free: the probability that a 32-byte seed is not a
+        // valid scalar is ~2^-128; nudge the last byte until it is.
+        let mut s = seed;
+        loop {
+            if let Ok(key) = k256::ecdsa::SigningKey::from_bytes((&s).into()) {
+                return SequencerKeyPair { key };
+            }
+            s[31] = s[31].wrapping_add(1);
+        }
+    }
+
+    /// The corresponding verification key.
+    pub fn verify_key(&self) -> SequencerVerifyKey {
+        SequencerVerifyKey {
+            key: *self.key.verifying_key(),
+        }
+    }
+
+    /// ECDSA-sign a byte string (the coprocessor SHA-256-hashes it first;
+    /// `k256` does the same internally).
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let sig: k256::ecdsa::Signature = self.key.sign(msg);
+        Signature(sig.to_bytes().to_vec())
+    }
+}
+
+impl SequencerVerifyKey {
+    /// Verify a sequencer signature.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), SigError> {
+        let sig =
+            k256::ecdsa::Signature::from_slice(&sig.0).map_err(|_| SigError::Malformed)?;
+        self.key.verify(msg, &sig).map_err(|_| SigError::Invalid)
+    }
+
+    /// SEC1-compressed encoding for distribution.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.key.to_sec1_bytes().to_vec()
+    }
+
+    /// Decode from SEC1 bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SigError> {
+        k256::ecdsa::VerifyingKey::from_sec1_bytes(bytes)
+            .map(|key| SequencerVerifyKey { key })
+            .map_err(|_| SigError::Malformed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ed25519_roundtrip() {
+        let kp = SignKeyPair::from_seed([7u8; 32]);
+        let sig = kp.sign(b"hello");
+        assert!(kp.verify_key().verify(b"hello", &sig).is_ok());
+    }
+
+    #[test]
+    fn ed25519_rejects_tampered_message() {
+        let kp = SignKeyPair::from_seed([7u8; 32]);
+        let sig = kp.sign(b"hello");
+        assert_eq!(
+            kp.verify_key().verify(b"hellp", &sig),
+            Err(SigError::Invalid)
+        );
+    }
+
+    #[test]
+    fn ed25519_rejects_wrong_signer() {
+        let a = SignKeyPair::from_seed([1u8; 32]);
+        let b = SignKeyPair::from_seed([2u8; 32]);
+        let sig = a.sign(b"msg");
+        assert_eq!(b.verify_key().verify(b"msg", &sig), Err(SigError::Invalid));
+    }
+
+    #[test]
+    fn ed25519_rejects_malformed_signature() {
+        let kp = SignKeyPair::from_seed([7u8; 32]);
+        assert_eq!(
+            kp.verify_key().verify(b"m", &Signature(vec![1, 2, 3])),
+            Err(SigError::Malformed)
+        );
+        assert_eq!(
+            kp.verify_key().verify(b"m", &Signature::empty()),
+            Err(SigError::Malformed)
+        );
+    }
+
+    #[test]
+    fn ed25519_key_encoding_roundtrip() {
+        let kp = SignKeyPair::from_seed([9u8; 32]);
+        let vk = kp.verify_key();
+        let decoded = VerifyKey::from_bytes(&vk.to_bytes()).unwrap();
+        assert!(decoded.verify(b"x", &kp.sign(b"x")).is_ok());
+    }
+
+    #[test]
+    fn secp256k1_roundtrip() {
+        let kp = SequencerKeyPair::from_seed([3u8; 32]);
+        let sig = kp.sign(b"aom packet");
+        assert!(kp.verify_key().verify(b"aom packet", &sig).is_ok());
+    }
+
+    #[test]
+    fn secp256k1_rejects_tampered() {
+        let kp = SequencerKeyPair::from_seed([3u8; 32]);
+        let sig = kp.sign(b"aom packet");
+        assert_eq!(
+            kp.verify_key().verify(b"aom packe!", &sig),
+            Err(SigError::Invalid)
+        );
+    }
+
+    #[test]
+    fn secp256k1_key_encoding_roundtrip() {
+        let kp = SequencerKeyPair::from_seed([4u8; 32]);
+        let vk = kp.verify_key();
+        let decoded = SequencerVerifyKey::from_bytes(&vk.to_bytes()).unwrap();
+        assert!(decoded.verify(b"x", &kp.sign(b"x")).is_ok());
+        assert!(SequencerVerifyKey::from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = SignKeyPair::from_seed([5u8; 32]);
+        let b = SignKeyPair::from_seed([5u8; 32]);
+        assert_eq!(a.verify_key().to_bytes(), b.verify_key().to_bytes());
+        let sa = SequencerKeyPair::from_seed([6u8; 32]);
+        let sb = SequencerKeyPair::from_seed([6u8; 32]);
+        assert_eq!(sa.verify_key().to_bytes(), sb.verify_key().to_bytes());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the cryptographic building blocks.
+
+use neo_crypto::{chain, sha256, Digest, HashChain, HmacKey, SignKeyPair};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sha256_is_deterministic_and_sensitive(a in any::<Vec<u8>>(), b in any::<Vec<u8>>()) {
+        prop_assert_eq!(sha256(&a), sha256(&a));
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        }
+    }
+
+    #[test]
+    fn hash_chain_incremental_equals_fold(items in proptest::collection::vec(any::<Vec<u8>>(), 0..20)) {
+        let mut hc = HashChain::new();
+        for i in &items {
+            hc.push(i);
+        }
+        let folded = items.iter().fold(Digest::ZERO, |acc, i| chain(acc, i));
+        prop_assert_eq!(hc.head(), folded);
+        prop_assert_eq!(hc.len(), items.len() as u64);
+    }
+
+    #[test]
+    fn chain_is_prefix_sensitive(
+        items in proptest::collection::vec(any::<Vec<u8>>(), 1..10),
+        idx in any::<proptest::sample::Index>(),
+        tweak in any::<u8>(),
+    ) {
+        let i = idx.index(items.len());
+        let mut mutated = items.clone();
+        mutated[i].push(tweak);
+        let head = |v: &[Vec<u8>]| v.iter().fold(Digest::ZERO, |acc, x| chain(acc, x));
+        prop_assert_ne!(head(&items), head(&mutated));
+    }
+
+    #[test]
+    fn mac_verifies_iff_key_and_message_match(
+        key_a in any::<[u8; 16]>(),
+        key_b in any::<[u8; 16]>(),
+        msg_a in any::<Vec<u8>>(),
+        msg_b in any::<Vec<u8>>(),
+    ) {
+        let ka = HmacKey(key_a);
+        let kb = HmacKey(key_b);
+        let tag = ka.tag(&msg_a);
+        prop_assert!(ka.verify(&msg_a, &tag).is_ok());
+        if key_a != key_b {
+            prop_assert!(kb.verify(&msg_a, &tag).is_err());
+        }
+        if msg_a != msg_b {
+            prop_assert!(ka.verify(&msg_b, &tag).is_err());
+        }
+    }
+
+    #[test]
+    fn signatures_bind_message_and_signer(
+        seed_a in any::<[u8; 32]>(),
+        seed_b in any::<[u8; 32]>(),
+        msg in any::<Vec<u8>>(),
+        other in any::<Vec<u8>>(),
+    ) {
+        let a = SignKeyPair::from_seed(seed_a);
+        let sig = a.sign(&msg);
+        prop_assert!(a.verify_key().verify(&msg, &sig).is_ok());
+        if msg != other {
+            prop_assert!(a.verify_key().verify(&other, &sig).is_err());
+        }
+        if seed_a != seed_b {
+            let b = SignKeyPair::from_seed(seed_b);
+            prop_assert!(b.verify_key().verify(&msg, &sig).is_err());
+        }
+    }
+
+    #[test]
+    fn tampered_signatures_never_verify(
+        seed in any::<[u8; 32]>(),
+        msg in any::<Vec<u8>>(),
+        flip_byte in 0usize..64,
+        flip_bit in 0u8..8,
+    ) {
+        let kp = SignKeyPair::from_seed(seed);
+        let mut sig = kp.sign(&msg);
+        sig.0[flip_byte] ^= 1 << flip_bit;
+        prop_assert!(kp.verify_key().verify(&msg, &sig).is_err());
+    }
+}

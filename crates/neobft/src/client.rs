@@ -1,0 +1,245 @@
+//! The NeoBFT client (§5.3).
+//!
+//! Closed-loop: one outstanding operation at a time. The client
+//! aom-multicasts a signed request, waits for 2f+1 replies with valid
+//! signatures and matching (view-id, log-slot-num, log-hash, result),
+//! and falls back to unicast retransmission if replies do not arrive in
+//! time — which also arms the replicas' sequencer-suspicion watchdogs.
+
+use crate::config::NeoConfig;
+use crate::messages::{NeoMsg, Reply, Request, SignedRequest};
+use neo_aom::{AomSender, Envelope};
+use neo_app::Workload;
+use neo_crypto::{CostModel, NodeCrypto, Principal, SystemKeys};
+use neo_sim::{Context, Node, TimerId};
+use neo_wire::{Addr, ClientId, ReplicaId, RequestId};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// A completed operation record for the experiment harness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompletedOp {
+    /// The request id.
+    pub request_id: RequestId,
+    /// Virtual time the request was first issued.
+    pub issued_at: u64,
+    /// Virtual time the reply quorum completed.
+    pub completed_at: u64,
+    /// The agreed result.
+    pub result: Vec<u8>,
+    /// Retries needed (0 = first transmission succeeded).
+    pub retries: u32,
+}
+
+impl CompletedOp {
+    /// End-to-end latency in nanoseconds.
+    pub fn latency_ns(&self) -> u64 {
+        self.completed_at - self.issued_at
+    }
+}
+
+struct Pending {
+    request_id: RequestId,
+    op: Vec<u8>,
+    issued_at: u64,
+    retries: u32,
+    /// Replies keyed by replica; the quorum check groups matching ones.
+    replies: HashMap<ReplicaId, Reply>,
+    retry_timer: TimerId,
+}
+
+/// The closed-loop NeoBFT client node.
+pub struct Client {
+    id: ClientId,
+    cfg: NeoConfig,
+    crypto: NodeCrypto,
+    sender: AomSender,
+    workload: Box<dyn Workload>,
+    next_request: u64,
+    pending: Option<Pending>,
+    /// Completed operations, in order.
+    pub completed: Vec<CompletedOp>,
+    /// Stop after this many operations (None = run forever).
+    pub max_ops: Option<u64>,
+}
+
+impl Client {
+    /// Build client `id` issuing operations from `workload`.
+    pub fn new(
+        id: ClientId,
+        cfg: NeoConfig,
+        keys: &SystemKeys,
+        costs: CostModel,
+        workload: Box<dyn Workload>,
+    ) -> Self {
+        let crypto = NodeCrypto::new(Principal::Client(id), keys, costs);
+        let sender = AomSender::new(cfg.group);
+        Client {
+            id,
+            cfg,
+            crypto,
+            sender,
+            workload,
+            next_request: 1,
+            pending: None,
+            completed: Vec::new(),
+            max_ops: None,
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// True if an operation is in flight.
+    pub fn busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    fn issue_next(&mut self, ctx: &mut dyn Context) {
+        if self.pending.is_some() {
+            return;
+        }
+        if let Some(max) = self.max_ops {
+            if self.completed.len() as u64 >= max {
+                return;
+            }
+        }
+        let op = self.workload.next_op();
+        let request_id = RequestId(self.next_request);
+        self.next_request += 1;
+        let retry_timer = ctx.set_timer(self.cfg.client_retry_ns, 2);
+        self.pending = Some(Pending {
+            request_id,
+            op: op.clone(),
+            issued_at: ctx.now(),
+            retries: 0,
+            replies: HashMap::new(),
+            retry_timer,
+        });
+        self.send_request(ctx);
+    }
+
+    fn signed_request(&self) -> SignedRequest {
+        let p = self.pending.as_ref().expect("pending request");
+        let request = Request {
+            op: p.op.clone(),
+            request_id: p.request_id,
+            client: self.id,
+        };
+        let bytes = neo_wire::encode(&request).expect("requests encode");
+        let peers: Vec<neo_crypto::Principal> = (0..self.cfg.n as u32)
+            .map(|r| neo_crypto::Principal::Replica(ReplicaId(r)))
+            .collect();
+        let auth = self.crypto.mac_vector(&peers, &bytes);
+        SignedRequest { request, auth }
+    }
+
+    fn send_request(&mut self, ctx: &mut dyn Context) {
+        let signed = self.signed_request();
+        let bytes = self.sender.wrap(signed.to_bytes(), &self.crypto);
+        ctx.send(self.sender.dest(), bytes);
+    }
+
+    fn retransmit(&mut self, ctx: &mut dyn Context) {
+        // Keep multicasting via aom *and* unicast to every replica
+        // (§5.3).
+        self.send_request(ctx);
+        let signed = self.signed_request();
+        let unicast = NeoMsg::RequestUnicast(signed).to_app_bytes();
+        for r in 0..self.cfg.n as u32 {
+            ctx.send(Addr::Replica(ReplicaId(r)), unicast.clone());
+        }
+        if let Some(p) = self.pending.as_mut() {
+            p.retries += 1;
+            p.retry_timer = ctx.set_timer(self.cfg.client_retry_ns, 2);
+        }
+    }
+
+    fn on_reply(&mut self, reply: Reply, tag: neo_wire::HmacTag, ctx: &mut dyn Context) {
+        let Some(p) = self.pending.as_mut() else {
+            return;
+        };
+        if reply.request_id != p.request_id {
+            return;
+        }
+        if reply.replica.index() >= self.cfg.n {
+            return;
+        }
+        let bytes = neo_wire::encode(&reply).expect("replies encode");
+        if self
+            .crypto
+            .verify_mac_from(Principal::Replica(reply.replica), &bytes, &tag)
+            .is_err()
+        {
+            return;
+        }
+        p.replies.insert(reply.replica, reply);
+        // Quorum: 2f+1 replies matching on (view, slot, log_hash, result).
+        let quorum = self.cfg.quorum();
+        let mut groups: HashMap<(u64, u64, u64, neo_crypto::Digest, Vec<u8>), usize> =
+            HashMap::new();
+        for r in p.replies.values() {
+            let key = (
+                r.view.epoch.0,
+                r.view.leader_num,
+                r.slot.0,
+                r.log_hash,
+                r.result.clone(),
+            );
+            *groups.entry(key).or_default() += 1;
+        }
+        if let Some((key, _)) = groups.into_iter().find(|(_, c)| *c >= quorum) {
+            let p = self.pending.take().expect("pending");
+            ctx.cancel_timer(p.retry_timer);
+            self.completed.push(CompletedOp {
+                request_id: p.request_id,
+                issued_at: p.issued_at,
+                completed_at: ctx.now(),
+                result: key.4,
+                retries: p.retries,
+            });
+            self.issue_next(ctx);
+        }
+    }
+}
+
+impl Node for Client {
+    fn on_message(&mut self, _from: Addr, payload: &[u8], ctx: &mut dyn Context) {
+        let Ok(Envelope::App(bytes)) = Envelope::from_bytes(payload) else {
+            return;
+        };
+        if let Some(NeoMsg::Reply(reply, tag)) = NeoMsg::from_app_bytes(&bytes) {
+            self.on_reply(reply, tag, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, kind: u32, ctx: &mut dyn Context) {
+        match kind {
+            neo_sim::sim::INIT_TIMER_KIND => self.issue_next(ctx),
+            2 => {
+                let active = self
+                    .pending
+                    .as_ref()
+                    .map(|p| p.retry_timer == timer)
+                    .unwrap_or(false);
+                if active {
+                    self.retransmit(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn meter(&self) -> Option<&neo_crypto::Meter> {
+        Some(self.crypto.meter())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,111 @@
+//! Protocol configuration shared by replicas and clients.
+
+use neo_aom::{NetworkTrust, ReceiverAuth};
+use neo_sim::{MICROS, MILLIS};
+use neo_wire::GroupId;
+
+/// NeoBFT deployment parameters.
+#[derive(Clone, Debug)]
+pub struct NeoConfig {
+    /// Total replicas (n = 3f + 1).
+    pub n: usize,
+    /// Fault bound.
+    pub f: usize,
+    /// The aom group replicas receive on.
+    pub group: GroupId,
+    /// Authenticator scheme the sequencer uses.
+    pub auth: ReceiverAuth,
+    /// Network trust model (§3.1).
+    pub trust: NetworkTrust,
+    /// How long a receiver waits on a sequence-number gap before
+    /// delivering a drop-notification.
+    pub aom_gap_timeout_ns: u64,
+    /// Query retransmission interval during gap recovery (§5.4).
+    pub query_retry_ns: u64,
+    /// Gap-agreement progress timeout before suspecting the leader.
+    pub gap_agreement_timeout_ns: u64,
+    /// View-change message retransmission interval.
+    pub view_change_resend_ns: u64,
+    /// How long a replica holding a unicast-fallback request waits for
+    /// aom delivery before asking the config service for a sequencer
+    /// failover (§5.5).
+    pub unicast_watchdog_ns: u64,
+    /// Client reply timeout before retrying (and falling back to
+    /// unicast).
+    pub client_retry_ns: u64,
+    /// State synchronization interval in log entries (§B.2's N).
+    pub sync_interval: u64,
+    /// Batch confirm messages per destination (§6.2 Byzantine-network
+    /// optimization).
+    pub batch_confirms: bool,
+    /// Model the aom-hm subgroup fan-out (§4.3): with G receivers the
+    /// switch emits ⌈G/4⌉ partial-vector packets to *each* receiver, who
+    /// assembles the full vector. When enabled, replicas charge the
+    /// dispatch cost of the extra partial packets — this is what makes
+    /// Neo-HM throughput fall with group size in Figure 8.
+    pub emulate_hm_subgroups: bool,
+    /// Per-partial-packet dispatch cost charged when emulating subgroups.
+    pub subgroup_packet_cost_ns: u64,
+}
+
+impl NeoConfig {
+    /// A deployment with n = 3f+1 replicas and data-center timeouts.
+    pub fn new(f: usize) -> Self {
+        NeoConfig {
+            n: 3 * f + 1,
+            f,
+            group: GroupId(0),
+            auth: ReceiverAuth::Hmac,
+            trust: NetworkTrust::Trusted,
+            aom_gap_timeout_ns: 100 * MICROS,
+            query_retry_ns: 200 * MICROS,
+            gap_agreement_timeout_ns: 10 * MILLIS,
+            view_change_resend_ns: 5 * MILLIS,
+            unicast_watchdog_ns: 20 * MILLIS,
+            client_retry_ns: 5 * MILLIS,
+            sync_interval: 128,
+            batch_confirms: true,
+            emulate_hm_subgroups: false,
+            subgroup_packet_cost_ns: 1_100,
+        }
+    }
+
+    /// Quorum size (2f + 1).
+    pub fn quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// Switch to the public-key aom variant.
+    pub fn with_pk(mut self) -> Self {
+        self.auth = ReceiverAuth::PublicKey;
+        self
+    }
+
+    /// Switch to the Byzantine-network trust model.
+    pub fn with_byzantine_network(mut self) -> Self {
+        self.trust = NetworkTrust::Byzantine;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n_and_quorum_follow_f() {
+        let c = NeoConfig::new(1);
+        assert_eq!(c.n, 4);
+        assert_eq!(c.quorum(), 3);
+        let c = NeoConfig::new(33);
+        assert_eq!(c.n, 100);
+        assert_eq!(c.quorum(), 67);
+    }
+
+    #[test]
+    fn builders_set_modes() {
+        let c = NeoConfig::new(1).with_pk().with_byzantine_network();
+        assert!(matches!(c.auth, ReceiverAuth::PublicKey));
+        assert_eq!(c.trust, NetworkTrust::Byzantine);
+    }
+}

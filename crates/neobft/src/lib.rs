@@ -1,0 +1,45 @@
+#![allow(clippy::int_plus_one)] // quorum arithmetic stays literal: `count >= f + 1`
+
+//! # neo-core — the NeoBFT protocol (§5)
+//!
+//! NeoBFT is a Byzantine fault-tolerant state machine replication protocol
+//! co-designed with the aom network primitive. With n = 3f+1 replicas it
+//! tolerates f Byzantine replicas and commits client operations in a
+//! single round trip in the common case:
+//!
+//! 1. the client aom-multicasts a signed request (§5.3);
+//! 2. the sequencer stamps and authenticates it; every replica delivers
+//!    it in the same order, speculatively executes, and sends a signed
+//!    reply;
+//! 3. the client accepts on 2f+1 matching replies.
+//!
+//! No replica-to-replica communication or signature verification happens
+//! on this path — the ordering certificate from aom replaces both.
+//!
+//! The crate also implements the full exceptional-case machinery:
+//!
+//! * [`replica`] — the replica state machine: speculative execution with
+//!   rollback, the client table (at-most-once), reply generation with the
+//!   O(1) hash-chained log hash;
+//! * gap agreement (§5.4) — `query`/`query-reply` recovery from the
+//!   leader, and the leader-driven binary consensus (`gap-find` /
+//!   `gap-recv` / `gap-drop` / `gap-decision` / `gap-prepare` /
+//!   `gap-commit`) that commits a slot as a request or a no-op;
+//! * view changes (§5.5, §B.1) — leader replacement and sequencer
+//!   failover with epoch certificates and log merging;
+//! * state synchronization (§B.2) — periodic sync-points that finalize
+//!   speculative execution and propagate gap certificates;
+//! * [`client`] — the closed-loop client with aom multicast, reply
+//!   quorum matching, and the unicast fallback path.
+
+pub mod client;
+pub mod config;
+pub mod log;
+pub mod messages;
+pub mod replica;
+
+pub use client::{Client, CompletedOp};
+pub use config::NeoConfig;
+pub use log::{Log, LogEntry};
+pub use messages::{GapCert, NeoMsg, Reply, Request, SignedRequest};
+pub use replica::Replica;

@@ -1,0 +1,391 @@
+//! The replica log.
+//!
+//! Slots are filled with ordering certificates (requests) or no-ops (gap
+//! agreement outcomes). A hash chain over the entries provides the O(1)
+//! `log-hash` replicas put in replies (§5.3): two replicas with the same
+//! log-hash at a slot agree on the entire prefix.
+
+use crate::messages::{GapCert, WireLogEntry};
+use neo_aom::OrderingCert;
+use neo_crypto::{chain, Digest};
+use neo_wire::{EpochNum, SlotNum};
+use serde::{Deserialize, Serialize};
+
+/// One resolved log entry.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum LogEntry {
+    /// A client request with its ordering certificate.
+    Request(OrderingCert),
+    /// A slot committed as a no-op. The gap certificate is attached once
+    /// known (it is absent while the entry comes from a merged view-change
+    /// log whose certificate lived in another entry's proof).
+    NoOp(Option<GapCert>),
+}
+
+impl LogEntry {
+    /// The bytes folded into the log hash chain for this entry.
+    fn chain_input(&self) -> Vec<u8> {
+        match self {
+            LogEntry::Request(oc) => {
+                let mut v = b"req".to_vec();
+                v.extend_from_slice(&oc.packet.header.auth_input());
+                v
+            }
+            LogEntry::NoOp(_) => b"noop".to_vec(),
+        }
+    }
+
+    /// View-change wire form.
+    pub fn to_wire(&self) -> WireLogEntry {
+        match self {
+            LogEntry::Request(oc) => WireLogEntry::Request(oc.clone()),
+            LogEntry::NoOp(cert) => WireLogEntry::NoOp(cert.clone().unwrap_or_default()),
+        }
+    }
+}
+
+/// A slot: unresolved (awaiting gap agreement) or filled.
+#[derive(Clone, PartialEq, Debug)]
+enum Slot {
+    /// A drop-notification was delivered; agreement pending.
+    Pending,
+    /// Resolved entry with the chained log hash up to it (valid only for
+    /// slots below the chain watermark).
+    Filled(LogEntry, Digest),
+}
+
+/// The log.
+#[derive(Clone, Debug, Default)]
+pub struct Log {
+    slots: Vec<Slot>,
+    /// Chain watermark: hashes are valid for slots `< chained`; every
+    /// slot below it is filled. Entries appended past a pending slot get
+    /// their hash once the gap resolves.
+    chained: usize,
+    /// Start slot of each epoch (epoch 0 starts at 0 implicitly).
+    epoch_starts: Vec<(EpochNum, SlotNum)>,
+}
+
+impl Log {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of slots (filled or pending).
+    pub fn len(&self) -> SlotNum {
+        SlotNum(self.slots.len() as u64)
+    }
+
+    /// True if no slots exist.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The log hash after `slot` (the value carried in replies). Only
+    /// available once every earlier slot is resolved.
+    pub fn hash_at(&self, slot: SlotNum) -> Option<Digest> {
+        if slot.index() >= self.chained {
+            return None;
+        }
+        match self.slots.get(slot.index()) {
+            Some(Slot::Filled(_, h)) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// The entry at `slot`, if resolved.
+    pub fn entry(&self, slot: SlotNum) -> Option<&LogEntry> {
+        match self.slots.get(slot.index()) {
+            Some(Slot::Filled(e, _)) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// True if `slot` exists but is awaiting gap agreement.
+    pub fn is_pending(&self, slot: SlotNum) -> bool {
+        matches!(self.slots.get(slot.index()), Some(Slot::Pending))
+    }
+
+    /// Append a request certificate at the tail.
+    pub fn append_request(&mut self, oc: OrderingCert) -> SlotNum {
+        let slot = self.len();
+        self.slots
+            .push(Slot::Filled(LogEntry::Request(oc), Digest::ZERO));
+        self.advance_chain();
+        slot
+    }
+
+    /// Append a pending slot (drop-notification delivered, fate unknown).
+    pub fn append_pending(&mut self) -> SlotNum {
+        let slot = self.len();
+        self.slots.push(Slot::Pending);
+        slot
+    }
+
+    /// Resolve a slot (pending, overwrite, or tail + 1) with an entry and
+    /// recompute the hash chain as far as it now reaches.
+    pub fn fill(&mut self, slot: SlotNum, entry: LogEntry) -> Result<(), FillError> {
+        if slot.index() > self.slots.len() {
+            return Err(FillError::BeyondTail);
+        }
+        if slot.index() == self.slots.len() {
+            self.slots.push(Slot::Pending);
+        }
+        self.slots[slot.index()] = Slot::Filled(entry, Digest::ZERO);
+        // An overwrite below the watermark invalidates the chain suffix.
+        self.chained = self.chained.min(slot.index());
+        self.advance_chain();
+        Ok(())
+    }
+
+    /// Extend the chain watermark over every consecutively filled slot.
+    fn advance_chain(&mut self) {
+        let mut h = if self.chained == 0 {
+            Digest::ZERO
+        } else {
+            match &self.slots[self.chained - 1] {
+                Slot::Filled(_, h) => *h,
+                Slot::Pending => unreachable!("watermark only covers filled slots"),
+            }
+        };
+        while self.chained < self.slots.len() {
+            match &mut self.slots[self.chained] {
+                Slot::Filled(e, hash) => {
+                    h = chain(h, &e.chain_input());
+                    *hash = h;
+                    self.chained += 1;
+                }
+                Slot::Pending => break,
+            }
+        }
+    }
+
+    /// Attach a gap certificate to a no-op slot.
+    pub fn attach_gap_cert(&mut self, slot: SlotNum, cert: GapCert) {
+        if let Some(Slot::Filled(LogEntry::NoOp(c), _)) = self.slots.get_mut(slot.index()) {
+            *c = Some(cert);
+        }
+    }
+
+    /// Record that `epoch` starts at `slot`.
+    pub fn record_epoch_start(&mut self, epoch: EpochNum, slot: SlotNum) {
+        if !self.epoch_starts.iter().any(|(e, _)| *e == epoch) {
+            self.epoch_starts.push((epoch, slot));
+            self.epoch_starts.sort();
+        }
+    }
+
+    /// Start slot of an epoch (0 for the initial epoch).
+    pub fn epoch_start(&self, epoch: EpochNum) -> Option<SlotNum> {
+        if epoch == EpochNum::INITIAL {
+            return Some(SlotNum(0));
+        }
+        self.epoch_starts
+            .iter()
+            .find(|(e, _)| *e == epoch)
+            .map(|(_, s)| *s)
+    }
+
+    /// All recorded epoch starts.
+    pub fn epoch_starts(&self) -> &[(EpochNum, SlotNum)] {
+        &self.epoch_starts
+    }
+
+    /// First unresolved (pending) slot, if any.
+    pub fn first_pending(&self) -> Option<SlotNum> {
+        self.slots
+            .iter()
+            .position(|s| matches!(s, Slot::Pending))
+            .map(|i| SlotNum(i as u64))
+    }
+
+    /// Wire form of the whole log for view changes.
+    pub fn to_wire(&self) -> Vec<WireLogEntry> {
+        // Wire logs are positional (index = slot), so the log is truncated
+        // at the first pending slot: everything after it would otherwise
+        // shift positions.
+        self.slots
+            .iter()
+            .map_while(|s| match s {
+                Slot::Filled(e, _) => Some(e.to_wire()),
+                Slot::Pending => None,
+            })
+            .collect()
+    }
+
+    /// Length of the resolved prefix (slots filled with no pending gap
+    /// before them). O(1): this is exactly the hash-chain watermark.
+    pub fn resolved_prefix_len(&self) -> SlotNum {
+        SlotNum(self.chained as u64)
+    }
+
+    /// Drop every slot at or beyond `len` (uncommitted speculative tail
+    /// discarded when an epoch-switching view change adopts the merged
+    /// log, §B.1).
+    pub fn truncate(&mut self, len: SlotNum) {
+        self.slots.truncate(len.index());
+        self.chained = self.chained.min(len.index());
+        self.advance_chain();
+    }
+}
+
+/// Log fill violation.
+#[derive(Debug, PartialEq, Eq, thiserror::Error)]
+pub enum FillError {
+    /// Attempted to fill past the tail + 1.
+    #[error("slot is beyond the log tail")]
+    BeyondTail,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_aom::AomPacket;
+    use neo_wire::{AomHeader, GroupId, SeqNum};
+
+    fn oc(seq: u64, payload: &[u8]) -> OrderingCert {
+        let mut header = AomHeader::unstamped(GroupId(0), neo_crypto::sha256(payload).0);
+        header.seq = SeqNum(seq);
+        header.auth = neo_wire::Authenticator::HmacVector(vec![[0u8; 8]; 4]);
+        OrderingCert {
+            packet: AomPacket {
+                header,
+                payload: payload.to_vec(),
+            },
+            confirms: vec![],
+        }
+    }
+
+    #[test]
+    fn appends_chain_hashes() {
+        let mut log = Log::new();
+        let s0 = log.append_request(oc(1, b"a"));
+        let s1 = log.append_request(oc(2, b"b"));
+        assert_eq!(s0, SlotNum(0));
+        assert_eq!(s1, SlotNum(1));
+        let h0 = log.hash_at(s0).unwrap();
+        let h1 = log.hash_at(s1).unwrap();
+        assert_ne!(h0, h1);
+        // Same entries in another log produce the same chain.
+        let mut log2 = Log::new();
+        log2.append_request(oc(1, b"a"));
+        log2.append_request(oc(2, b"b"));
+        assert_eq!(log2.hash_at(SlotNum(1)), Some(h1));
+    }
+
+    #[test]
+    fn different_order_different_hash() {
+        let mut a = Log::new();
+        a.append_request(oc(1, b"x"));
+        a.append_request(oc(2, b"y"));
+        let mut b = Log::new();
+        b.append_request(oc(1, b"y"));
+        b.append_request(oc(2, b"x"));
+        assert_ne!(a.hash_at(SlotNum(1)), b.hash_at(SlotNum(1)));
+    }
+
+    #[test]
+    fn pending_slots_block_hashes_downstream() {
+        let mut log = Log::new();
+        log.append_request(oc(1, b"a"));
+        let gap = log.append_pending();
+        assert!(log.is_pending(gap));
+        assert_eq!(log.hash_at(gap), None);
+        assert_eq!(log.first_pending(), Some(gap));
+        assert_eq!(log.resolved_prefix_len(), SlotNum(1));
+    }
+
+    #[test]
+    fn filling_a_pending_slot_rechains_suffix() {
+        let mut log = Log::new();
+        log.append_request(oc(1, b"a"));
+        let gap = log.append_pending();
+        log.fill(gap, LogEntry::Request(oc(2, b"b"))).unwrap();
+        let suffix = log.append_request(oc(3, b"c"));
+        // Reference: straight-through log.
+        let mut reference = Log::new();
+        reference.append_request(oc(1, b"a"));
+        reference.append_request(oc(2, b"b"));
+        reference.append_request(oc(3, b"c"));
+        assert_eq!(log.hash_at(suffix), reference.hash_at(SlotNum(2)));
+    }
+
+    #[test]
+    fn noop_fill_changes_hash_vs_request() {
+        let mut a = Log::new();
+        a.append_request(oc(1, b"a"));
+        a.append_request(oc(2, b"b"));
+        let mut b = Log::new();
+        b.append_request(oc(1, b"a"));
+        let gap = b.append_pending();
+        b.fill(gap, LogEntry::NoOp(None)).unwrap();
+        assert_ne!(a.hash_at(SlotNum(1)), b.hash_at(SlotNum(1)));
+    }
+
+    #[test]
+    fn out_of_order_fill_defers_hashes() {
+        let mut log = Log::new();
+        log.append_pending();
+        log.append_pending();
+        // The second gap resolves first: allowed, but no hash yet.
+        log.fill(SlotNum(1), LogEntry::NoOp(None)).unwrap();
+        assert_eq!(log.hash_at(SlotNum(1)), None, "prefix still pending");
+        log.fill(SlotNum(0), LogEntry::NoOp(None)).unwrap();
+        assert!(log.hash_at(SlotNum(1)).is_some(), "chain caught up");
+        assert_eq!(
+            log.fill(SlotNum(5), LogEntry::NoOp(None)),
+            Err(FillError::BeyondTail)
+        );
+    }
+
+    #[test]
+    fn appends_after_pending_get_hashes_on_resolution() {
+        let mut log = Log::new();
+        log.append_request(oc(1, b"a"));
+        let gap = log.append_pending();
+        let tail = log.append_request(oc(3, b"c"));
+        assert_eq!(log.hash_at(tail), None, "blocked behind the gap");
+        log.fill(gap, LogEntry::NoOp(None)).unwrap();
+        assert!(log.hash_at(tail).is_some());
+    }
+
+    #[test]
+    fn overwrite_request_with_noop_rechains() {
+        // State-sync can overwrite a speculative request with a certified
+        // no-op (§B.2 "possibly overwriting existing request").
+        let mut log = Log::new();
+        log.append_request(oc(1, b"a"));
+        log.append_request(oc(2, b"b"));
+        let before = log.hash_at(SlotNum(1)).unwrap();
+        log.fill(SlotNum(0), LogEntry::NoOp(None)).unwrap();
+        let after = log.hash_at(SlotNum(1)).unwrap();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn epoch_starts_are_recorded_once_and_sorted() {
+        let mut log = Log::new();
+        log.record_epoch_start(EpochNum(2), SlotNum(20));
+        log.record_epoch_start(EpochNum(1), SlotNum(10));
+        log.record_epoch_start(EpochNum(1), SlotNum(99)); // duplicate ignored
+        assert_eq!(log.epoch_start(EpochNum(0)), Some(SlotNum(0)));
+        assert_eq!(log.epoch_start(EpochNum(1)), Some(SlotNum(10)));
+        assert_eq!(log.epoch_start(EpochNum(2)), Some(SlotNum(20)));
+        assert_eq!(log.epoch_start(EpochNum(3)), None);
+        assert_eq!(
+            log.epoch_starts(),
+            &[(EpochNum(1), SlotNum(10)), (EpochNum(2), SlotNum(20))]
+        );
+    }
+
+    #[test]
+    fn wire_form_truncates_at_first_pending() {
+        let mut log = Log::new();
+        log.append_request(oc(1, b"a"));
+        log.append_pending();
+        log.append_request(oc(3, b"c"));
+        let wire = log.to_wire();
+        assert_eq!(wire.len(), 1, "truncated at the first pending slot");
+    }
+}

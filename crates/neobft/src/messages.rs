@@ -1,0 +1,376 @@
+//! NeoBFT wire messages (§5.3–§5.5, §B).
+//!
+//! Signed messages carry `(body, signature)` where the signature covers
+//! the bincode encoding of the body. Messages the paper marks as
+//! unsigned (`query`, `query-reply`, `gap-recv-message`) are unsigned
+//! here too — their validity rests on the transferable authentication of
+//! the enclosed ordering certificates.
+
+use neo_aom::OrderingCert;
+use neo_crypto::{Digest, NodeCrypto, Principal, Signature};
+use neo_wire::{
+    encode, ClientId, EpochNum, ReplicaId, RequestId, SlotNum, ViewId,
+};
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
+
+/// Sign a message body as this node.
+pub fn sign_body<T: Serialize>(body: &T, crypto: &NodeCrypto) -> Signature {
+    crypto.sign(&encode(body).expect("protocol bodies encode"))
+}
+
+/// Verify a message body's signature against a principal.
+pub fn verify_body<T: Serialize + DeserializeOwned>(
+    body: &T,
+    sig: &Signature,
+    signer: Principal,
+    crypto: &NodeCrypto,
+) -> bool {
+    crypto
+        .verify(signer, &encode(body).expect("protocol bodies encode"), sig)
+        .is_ok()
+}
+
+/// A client operation request (§5.3): ⟨request, op, request-id⟩σc.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// The operation to execute.
+    pub op: Vec<u8>,
+    /// Client-chosen identifier, strictly increasing per client.
+    pub request_id: RequestId,
+    /// The issuing client.
+    pub client: ClientId,
+}
+
+/// An authenticated request — the aom payload.
+///
+/// Requests carry a MAC *vector* (one entry per replica) rather than a
+/// signature: integrity and ordering are already covered by the aom
+/// authenticator, so the client authenticator only proves the client's
+/// identity to each replica — exactly the cheap per-request
+/// authentication the single-round-trip fast path needs. Signatures are
+/// reserved for the rare-path protocol messages (gap agreement, view
+/// changes) where transferability matters.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SignedRequest {
+    /// The request body.
+    pub request: Request,
+    /// Client MAC vector: entry `i` authenticates the request to
+    /// replica `i`.
+    pub auth: Vec<neo_wire::HmacTag>,
+}
+
+impl SignedRequest {
+    /// Encode to aom payload bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        encode(self).expect("requests encode")
+    }
+
+    /// Decode from aom payload bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        neo_wire::decode(bytes).ok()
+    }
+}
+
+/// A replica's reply (§5.3): ⟨reply, view-id, i, log-slot-num, log-hash,
+/// request-id, result⟩σi.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Reply {
+    /// View in which the replica executed the request.
+    pub view: ViewId,
+    /// The replying replica.
+    pub replica: ReplicaId,
+    /// Log slot the request occupies.
+    pub slot: SlotNum,
+    /// Hash chain over the log up to and including `slot` (O(1) to
+    /// maintain, §5.3).
+    pub log_hash: Digest,
+    /// Echo of the client's request id.
+    pub request_id: RequestId,
+    /// Execution result.
+    pub result: Vec<u8>,
+}
+
+/// Body of a gap-drop message (§5.4), signed.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct GapDropBody {
+    /// View of the agreement.
+    pub view: ViewId,
+    /// The replica reporting the drop.
+    pub replica: ReplicaId,
+    /// Slot under agreement.
+    pub slot: SlotNum,
+}
+
+/// Leader's decision for a gap slot.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum GapDecisionBody {
+    /// The message exists: here is its ordering certificate.
+    Recv(OrderingCert),
+    /// 2f+1 replicas report it dropped: commit a no-op.
+    Drop(Vec<(GapDropBody, Signature)>),
+}
+
+/// Body of a gap-prepare / gap-commit, signed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct GapVoteBody {
+    /// View of the agreement.
+    pub view: ViewId,
+    /// Voting replica.
+    pub replica: ReplicaId,
+    /// Slot under agreement.
+    pub slot: SlotNum,
+    /// `true` = recv, `false` = drop.
+    pub recv: bool,
+}
+
+/// A gap certificate: 2f+1 gap-commits proving a slot was committed as a
+/// no-op (or as a recv) — consumed by state sync and view changes.
+pub type GapCert = Vec<(GapVoteBody, Signature)>;
+
+/// One serialized log entry inside a view-change message.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum WireLogEntry {
+    /// A request slot, proven by its ordering certificate.
+    Request(OrderingCert),
+    /// A no-op slot, proven by a gap certificate.
+    NoOp(GapCert),
+}
+
+/// An epoch certificate: 2f+1 epoch-start messages with matching epoch
+/// and starting slot (§5.5).
+pub type EpochCert = Vec<(EpochStartBody, Signature)>;
+
+/// Body of an epoch-start message, signed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct EpochStartBody {
+    /// The epoch being started.
+    pub epoch: EpochNum,
+    /// First log slot of the epoch.
+    pub start_slot: SlotNum,
+    /// Signing replica.
+    pub replica: ReplicaId,
+}
+
+/// Body of a view-change message (§B.1), signed.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ViewChangeBody {
+    /// The new view being proposed.
+    pub new_view: ViewId,
+    /// Sender.
+    pub replica: ReplicaId,
+    /// Epoch certificates for every epoch the sender's log has started
+    /// (beyond the initial epoch, which needs none).
+    pub epoch_certs: Vec<(EpochNum, SlotNum, EpochCert)>,
+    /// The sender's full log.
+    pub log: Vec<WireLogEntry>,
+}
+
+/// Body of a state-sync message (§B.2), signed.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SyncBody {
+    /// Current view.
+    pub view: ViewId,
+    /// Sender.
+    pub replica: ReplicaId,
+    /// Latest log index that is a multiple of the sync interval.
+    pub slot: SlotNum,
+    /// Gap certificates for slots committed as no-op in this view.
+    pub drops: Vec<(SlotNum, GapCert)>,
+}
+
+/// All NeoBFT protocol messages (transported as `Envelope::App` bytes).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum NeoMsg {
+    /// Replica → client, authenticated with a per-client MAC.
+    Reply(Reply, neo_wire::HmacTag),
+    /// Client → replicas: unicast fallback when aom stalls (§5.3).
+    RequestUnicast(SignedRequest),
+    /// Non-leader → leader: recover a missing slot (§5.4). Unsigned.
+    Query {
+        /// Current view.
+        view: ViewId,
+        /// Missing slot.
+        slot: SlotNum,
+    },
+    /// Leader → replica: the ordering certificate for a queried slot.
+    /// Unsigned — the certificate authenticates itself.
+    QueryReply {
+        /// View of the query.
+        view: ViewId,
+        /// Slot recovered.
+        slot: SlotNum,
+        /// The certificate.
+        oc: OrderingCert,
+    },
+    /// Leader → all: the leader itself is missing a slot.
+    GapFind {
+        /// View.
+        view: ViewId,
+        /// Slot the leader is missing.
+        slot: SlotNum,
+        /// Leader signature over (view, slot).
+        sig: Signature,
+    },
+    /// Replica → leader: I have the certificate. Unsigned.
+    GapRecv {
+        /// View.
+        view: ViewId,
+        /// Slot.
+        slot: SlotNum,
+        /// The certificate.
+        oc: OrderingCert,
+    },
+    /// Replica → leader: I also saw a drop-notification. Signed.
+    GapDrop(GapDropBody, Signature),
+    /// Leader → all: the agreement decision. Signed.
+    GapDecision {
+        /// View.
+        view: ViewId,
+        /// Slot.
+        slot: SlotNum,
+        /// Recv with a certificate, or Drop with 2f+1 gap-drops.
+        decision: GapDecisionBody,
+        /// Leader signature over (view, slot, decision digest).
+        sig: Signature,
+    },
+    /// Replica → all: first agreement phase vote. Signed.
+    GapPrepare(GapVoteBody, Signature),
+    /// Replica → all: second agreement phase vote. Signed.
+    GapCommit(GapVoteBody, Signature),
+    /// Replica → all: view change (§B.1). Signed.
+    ViewChange(ViewChangeBody, Signature),
+    /// New leader → all: the merged log starting the view. Signed.
+    ViewStart {
+        /// The view being started.
+        new_view: ViewId,
+        /// The 2f+1 view-change messages justifying the merge.
+        view_changes: Vec<(ViewChangeBody, Signature)>,
+        /// Leader signature.
+        sig: Signature,
+    },
+    /// Replica → all: ready to start an epoch at a slot (§B.1). Signed.
+    EpochStart(EpochStartBody, Signature),
+    /// Replica → all: periodic state synchronization (§B.2). Signed.
+    Sync(SyncBody, Signature),
+}
+
+impl NeoMsg {
+    /// Encode as `Envelope::App` payload bytes.
+    pub fn to_app_bytes(&self) -> Vec<u8> {
+        neo_aom::Envelope::App(encode(self).expect("neo msgs encode")).to_bytes()
+    }
+
+    /// Decode from the inner bytes of an `Envelope::App`.
+    pub fn from_app_bytes(bytes: &[u8]) -> Option<Self> {
+        neo_wire::decode(bytes).ok()
+    }
+}
+
+/// The digest a leader signs for a gap decision: binds view, slot, and
+/// the decision content without re-serializing certificates twice.
+pub fn gap_decision_digest(view: ViewId, slot: SlotNum, decision: &GapDecisionBody) -> Vec<u8> {
+    let mut bytes = encode(&(view, slot)).expect("encodes");
+    bytes.extend_from_slice(
+        neo_crypto::sha256(&encode(decision).expect("encodes")).as_bytes(),
+    );
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_crypto::{CostModel, SystemKeys};
+
+    fn crypto(r: u32) -> NodeCrypto {
+        NodeCrypto::new(
+            Principal::Replica(ReplicaId(r)),
+            &SystemKeys::new(1, 4, 2),
+            CostModel::FREE,
+        )
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let c0 = crypto(0);
+        let c1 = crypto(1);
+        let body = GapDropBody {
+            view: ViewId::INITIAL,
+            replica: ReplicaId(0),
+            slot: SlotNum(3),
+        };
+        let sig = sign_body(&body, &c0);
+        assert!(verify_body(&body, &sig, Principal::Replica(ReplicaId(0)), &c1));
+        assert!(!verify_body(&body, &sig, Principal::Replica(ReplicaId(1)), &c1));
+        let mut tampered = body;
+        tampered.slot = SlotNum(4);
+        assert!(!verify_body(&tampered, &sig, Principal::Replica(ReplicaId(0)), &c1));
+    }
+
+    #[test]
+    fn neomsg_roundtrip_via_envelope() {
+        let msg = NeoMsg::Query {
+            view: ViewId::INITIAL,
+            slot: SlotNum(7),
+        };
+        let bytes = msg.to_app_bytes();
+        let env = neo_aom::Envelope::from_bytes(&bytes).unwrap();
+        let neo_aom::Envelope::App(inner) = env else {
+            panic!()
+        };
+        assert_eq!(NeoMsg::from_app_bytes(&inner).unwrap(), msg);
+    }
+
+    #[test]
+    fn request_payload_roundtrip() {
+        let c = NodeCrypto::new(
+            Principal::Client(ClientId(1)),
+            &SystemKeys::new(1, 4, 2),
+            CostModel::FREE,
+        );
+        let req = Request {
+            op: b"op".to_vec(),
+            request_id: RequestId(5),
+            client: ClientId(1),
+        };
+        let bytes = encode(&req).expect("encodes");
+        let peers: Vec<Principal> = (0..4).map(|r| Principal::Replica(ReplicaId(r))).collect();
+        let signed = SignedRequest {
+            auth: c.mac_vector(&peers, &bytes),
+            request: req,
+        };
+        let decoded = SignedRequest::from_bytes(&signed.to_bytes()).unwrap();
+        assert_eq!(decoded, signed);
+        // Replica 2 verifies its MAC-vector entry.
+        let r2 = NodeCrypto::new(
+            Principal::Replica(ReplicaId(2)),
+            &SystemKeys::new(1, 4, 2),
+            CostModel::FREE,
+        );
+        assert!(r2
+            .verify_mac_from(Principal::Client(ClientId(1)), &bytes, &decoded.auth[2])
+            .is_ok());
+        assert!(
+            r2.verify_mac_from(Principal::Client(ClientId(1)), &bytes, &decoded.auth[1])
+                .is_err(),
+            "entries are replica-specific"
+        );
+    }
+
+    #[test]
+    fn gap_decision_digest_binds_decision() {
+        let d1 = GapDecisionBody::Drop(vec![]);
+        let d2 = GapDecisionBody::Drop(vec![(
+            GapDropBody {
+                view: ViewId::INITIAL,
+                replica: ReplicaId(1),
+                slot: SlotNum(0),
+            },
+            Signature::empty(),
+        )]);
+        let a = gap_decision_digest(ViewId::INITIAL, SlotNum(0), &d1);
+        let b = gap_decision_digest(ViewId::INITIAL, SlotNum(0), &d2);
+        assert_ne!(a, b);
+        let c = gap_decision_digest(ViewId::INITIAL, SlotNum(1), &d1);
+        assert_ne!(a, c);
+    }
+}

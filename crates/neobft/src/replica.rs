@@ -1,0 +1,1803 @@
+//! The NeoBFT replica (§5).
+//!
+//! One state machine implements normal operation (§5.3), gap agreement
+//! (§5.4), view changes with epoch certificates (§5.5, §B.1), and state
+//! synchronization (§B.2). All network effects flow through the sans-IO
+//! [`Context`], so the same replica runs under the simulator and the
+//! tokio transport.
+
+use crate::config::NeoConfig;
+use crate::log::{Log, LogEntry};
+use crate::messages::{
+    gap_decision_digest, sign_body, verify_body, EpochCert, EpochStartBody, GapDecisionBody,
+    GapDropBody, GapVoteBody, NeoMsg, Reply, SignedRequest, SyncBody, ViewChangeBody,
+    WireLogEntry,
+};
+use neo_aom::{AomReceiver, ConfigMsg, Delivery, Envelope, OrderingCert};
+use neo_app::App;
+use neo_crypto::{CostModel, NodeCrypto, Principal, Signature, SystemKeys};
+use neo_sim::{Context, Node, TimerId};
+use neo_wire::{
+    Addr, ClientId, EpochNum, ReplicaId, RequestId, SeqNum, SlotNum, ViewId,
+};
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+
+/// Replica fault behaviour for experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplicaBehavior {
+    /// Follow the protocol.
+    Correct,
+    /// Byzantine-silent: receive everything, send nothing (the
+    /// "non-responding Byzantine replica" of the Zyzzyva-F experiment —
+    /// NeoBFT is expected to shrug it off).
+    Mute,
+}
+
+/// Counters exported to the experiment harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplicaStats {
+    /// Operations executed (including re-executions).
+    pub executed: u64,
+    /// Replies sent to clients.
+    pub replies_sent: u64,
+    /// Gap slots committed as no-op.
+    pub noops_committed: u64,
+    /// Gap slots recovered with a certificate (query or agreement).
+    pub gaps_recovered: u64,
+    /// Application rollbacks performed.
+    pub rollbacks: u64,
+    /// View changes entered.
+    pub view_changes: u64,
+    /// Messages processed.
+    pub messages_in: u64,
+    /// Sync points advanced.
+    pub sync_points: u64,
+}
+
+/// Pending timer meanings.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TimerPayload {
+    /// aom gap: declare a drop for the missing seq if still missing.
+    AomGap(SeqNum),
+    /// Resend a query for a missing slot.
+    QueryRetry(SlotNum),
+    /// Gap agreement for this slot is stuck; suspect the leader.
+    GapAgreement(SlotNum),
+    /// Resend the current view-change message.
+    ViewChangeResend,
+    /// A unicast-fallback request never arrived via aom; suspect the
+    /// sequencer.
+    UnicastWatchdog(ClientId, RequestId),
+    /// Flush the accumulated confirm batch (Byzantine-network mode).
+    ConfirmFlush,
+}
+
+/// Per-slot gap-agreement state.
+#[derive(Default)]
+struct GapState {
+    /// Leader: the first valid ordering certificate received.
+    recv: Option<OrderingCert>,
+    /// Leader: gap-drop votes.
+    drops: HashMap<ReplicaId, (GapDropBody, Signature)>,
+    /// Leader: decision already broadcast.
+    decision_sent: bool,
+    /// All: validated decision from the leader (`true` = recv).
+    decision: Option<(bool, Option<OrderingCert>, GapDecisionBody)>,
+    /// All: prepare votes.
+    prepares: HashMap<ReplicaId, (GapVoteBody, Signature)>,
+    /// All: commit votes.
+    commits: HashMap<ReplicaId, (GapVoteBody, Signature)>,
+    /// All: my prepare / commit already sent.
+    prepared: bool,
+    committed: bool,
+    /// I answered a gap-find with gap-drop: must ignore query-replies and
+    /// wait for the agreement outcome (§5.4).
+    voted_drop: bool,
+    /// The leader asked about this slot before I reached it.
+    find_pending: bool,
+    /// Timers.
+    query_timer: Option<TimerId>,
+    agreement_timer: Option<TimerId>,
+    /// Resolved: slot filled and unblocked.
+    resolved: bool,
+}
+
+/// Client-table entry for at-most-once semantics and reply caching.
+struct ClientEntry {
+    last_request: RequestId,
+    cached_reply: Option<Vec<u8>>,
+    slot: SlotNum,
+}
+
+/// View-change collection state.
+#[derive(Default)]
+struct ViewChangeState {
+    /// Valid view-change messages per proposed view.
+    msgs: BTreeMap<ViewId, HashMap<ReplicaId, (ViewChangeBody, Signature)>>,
+    /// My own view-change message for the view I am proposing.
+    own: Option<(ViewChangeBody, Signature)>,
+    resend_timer: Option<TimerId>,
+    /// view-start already processed for this view.
+    started: bool,
+    /// Epoch-start votes: (epoch, slot) → replica → signed body.
+    epoch_votes: HashMap<(EpochNum, SlotNum), HashMap<ReplicaId, (EpochStartBody, Signature)>>,
+    /// My pending epoch entry after a merge, awaiting the certificate.
+    awaiting_epoch: Option<(EpochNum, SlotNum)>,
+}
+
+/// Protocol status.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Normal,
+    ViewChange,
+}
+
+/// The NeoBFT replica node.
+pub struct Replica {
+    cfg: NeoConfig,
+    id: ReplicaId,
+    crypto: NodeCrypto,
+    aom: AomReceiver,
+    app: Box<dyn App>,
+    log: Log,
+    view: ViewId,
+    status: Status,
+    /// First log slot of the current epoch.
+    epoch_base: SlotNum,
+    /// Next slot to execute.
+    exec_cursor: SlotNum,
+    /// Slots executed as requests (for rollback accounting): slot →
+    /// executed-as-request flag.
+    executed_req: Vec<bool>,
+    client_table: HashMap<ClientId, ClientEntry>,
+    gaps: HashMap<SlotNum, GapState>,
+    timers: HashMap<TimerId, TimerPayload>,
+    aom_gap_timer: Option<(SeqNum, TimerId)>,
+    vc: ViewChangeState,
+    /// Epoch certificates I have collected (for my view-change messages).
+    epoch_certs: Vec<(EpochNum, SlotNum, EpochCert)>,
+    /// Unicast-fallback requests awaiting aom delivery.
+    unicast_watch: HashMap<(ClientId, RequestId), TimerId>,
+    /// State-sync votes per slot.
+    sync_votes: HashMap<SlotNum, HashMap<ReplicaId, SyncBody>>,
+    sync_point: SlotNum,
+    last_sync_slot: SlotNum,
+    /// Packets stamped in a future epoch, buffered until this replica
+    /// finishes the epoch-switching view change and installs that epoch
+    /// (without this, replicas that enter the new epoch late would miss
+    /// its first sequence numbers and immediately re-enter gap agreement).
+    future_epoch: std::collections::BTreeMap<EpochNum, Vec<neo_aom::AomPacket>>,
+    /// Byzantine-network mode: confirms awaiting a batched flush (§6.2).
+    pending_confirms: Vec<neo_aom::SignedConfirm>,
+    confirm_flush_timer: Option<TimerId>,
+    /// Last virtual time an aom delivery reached the application —
+    /// sustained silence here (not one lost packet) is what implicates
+    /// the sequencer (§4.2).
+    last_aom_delivery: u64,
+    /// Fault behaviour.
+    pub behavior: ReplicaBehavior,
+    /// Counters.
+    pub stats: ReplicaStats,
+}
+
+impl Replica {
+    /// Build replica `id` with its application instance.
+    pub fn new(
+        id: ReplicaId,
+        cfg: NeoConfig,
+        keys: &SystemKeys,
+        costs: CostModel,
+        app: Box<dyn App>,
+    ) -> Self {
+        let crypto = NodeCrypto::new(Principal::Replica(id), keys, costs);
+        let aom = AomReceiver::new(
+            cfg.group,
+            id,
+            id.index(),
+            cfg.f,
+            cfg.auth.clone(),
+            cfg.trust,
+            keys,
+        );
+        Replica {
+            cfg,
+            id,
+            crypto,
+            aom,
+            app,
+            log: Log::new(),
+            view: ViewId::INITIAL,
+            status: Status::Normal,
+            epoch_base: SlotNum(0),
+            exec_cursor: SlotNum(0),
+            executed_req: Vec::new(),
+            client_table: HashMap::new(),
+            gaps: HashMap::new(),
+            timers: HashMap::new(),
+            aom_gap_timer: None,
+            vc: ViewChangeState::default(),
+            epoch_certs: Vec::new(),
+            unicast_watch: HashMap::new(),
+            sync_votes: HashMap::new(),
+            sync_point: SlotNum(0),
+            last_sync_slot: SlotNum(0),
+            future_epoch: std::collections::BTreeMap::new(),
+            pending_confirms: Vec::new(),
+            confirm_flush_timer: None,
+            last_aom_delivery: 0,
+            behavior: ReplicaBehavior::Correct,
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Current view.
+    pub fn view(&self) -> ViewId {
+        self.view
+    }
+
+    /// Current log length.
+    pub fn log_len(&self) -> SlotNum {
+        self.log.len()
+    }
+
+    /// Read-only access to the log (tests and harness).
+    pub fn log(&self) -> &Log {
+        &self.log
+    }
+
+    /// Current sync point (§B.2).
+    pub fn sync_point(&self) -> SlotNum {
+        self.sync_point
+    }
+
+    /// The application (downcast by tests to inspect state).
+    pub fn app(&self) -> &dyn App {
+        self.app.as_ref()
+    }
+
+    fn leader(&self) -> ReplicaId {
+        self.view.leader(self.cfg.n)
+    }
+
+    fn is_leader(&self) -> bool {
+        self.leader() == self.id
+    }
+
+    fn others(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        (0..self.cfg.n as u32)
+            .map(ReplicaId)
+            .filter(move |r| *r != self.id)
+    }
+
+    fn broadcast(&self, msg: &NeoMsg, ctx: &mut dyn Context) {
+        if self.behavior == ReplicaBehavior::Mute {
+            return;
+        }
+        let bytes = msg.to_app_bytes();
+        for r in self.others() {
+            ctx.send(Addr::Replica(r), bytes.clone());
+        }
+    }
+
+    fn send_to(&self, r: ReplicaId, msg: &NeoMsg, ctx: &mut dyn Context) {
+        if self.behavior == ReplicaBehavior::Mute {
+            return;
+        }
+        ctx.send(Addr::Replica(r), msg.to_app_bytes());
+    }
+
+    fn arm(&mut self, delay: u64, payload: TimerPayload, ctx: &mut dyn Context) -> TimerId {
+        // The timer kind discriminates in on_timer via the payload map;
+        // the u32 kind itself is unused (always 1 = "protocol timer").
+        let id = ctx.set_timer(delay, 1);
+        self.timers.insert(id, payload);
+        id
+    }
+
+    fn disarm(&mut self, id: TimerId, ctx: &mut dyn Context) {
+        self.timers.remove(&id);
+        ctx.cancel_timer(id);
+    }
+
+    // ------------------------------------------------------------------
+    // aom delivery path (§5.3)
+    // ------------------------------------------------------------------
+
+    /// Confirms per batch before an eager flush (§6.2 batching).
+    const CONFIRM_BATCH: usize = 8;
+    /// How long a confirm may wait for batching before it is flushed.
+    const CONFIRM_FLUSH_NS: u64 = 40 * neo_sim::MICROS;
+
+    fn pump_aom(&mut self, ctx: &mut dyn Context) {
+        // Queue confirms the receiver produced (Byzantine-network mode)
+        // and flush in batches (§6.2: "By batch processing confirm
+        // messages, NeoBFT minimizes the impact of the additional
+        // message exchanges").
+        let outgoing = self.aom.take_outgoing_confirms();
+        if !outgoing.is_empty() && self.behavior != ReplicaBehavior::Mute {
+            if self.cfg.batch_confirms {
+                self.pending_confirms.extend(outgoing);
+                if self.pending_confirms.len() >= Self::CONFIRM_BATCH {
+                    self.flush_confirms(ctx);
+                } else if self.confirm_flush_timer.is_none() {
+                    let t = self.arm(Self::CONFIRM_FLUSH_NS, TimerPayload::ConfirmFlush, ctx);
+                    self.confirm_flush_timer = Some(t);
+                }
+            } else {
+                for sc in outgoing {
+                    let bytes = Envelope::Confirm(sc).to_bytes();
+                    for r in self.others() {
+                        ctx.send(Addr::Replica(r), bytes.clone());
+                    }
+                }
+            }
+        }
+        // Drain ordered deliveries.
+        let mut any = false;
+        while let Some(d) = self.aom.poll() {
+            any = true;
+            match d {
+                Delivery::Message(cert) => self.on_aom_message(cert, ctx),
+                Delivery::Drop(seq) => self.on_drop_notification(seq, ctx),
+            }
+        }
+        if any {
+            self.last_aom_delivery = ctx.now();
+        }
+        self.update_gap_timer(ctx);
+    }
+
+    fn flush_confirms(&mut self, ctx: &mut dyn Context) {
+        if let Some(t) = self.confirm_flush_timer.take() {
+            self.disarm(t, ctx);
+        }
+        if self.pending_confirms.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending_confirms);
+        let env = if batch.len() == 1 {
+            Envelope::Confirm(batch.into_iter().next().expect("len checked"))
+        } else {
+            Envelope::ConfirmBatch(batch)
+        };
+        let bytes = env.to_bytes();
+        for r in self.others() {
+            ctx.send(Addr::Replica(r), bytes.clone());
+        }
+    }
+
+    fn update_gap_timer(&mut self, ctx: &mut dyn Context) {
+        match self.aom.gap_pending() {
+            Some(missing) => {
+                let rearm = match self.aom_gap_timer {
+                    Some((seq, _)) => seq != missing,
+                    None => true,
+                };
+                if rearm {
+                    if let Some((_, t)) = self.aom_gap_timer.take() {
+                        self.disarm(t, ctx);
+                    }
+                    let t = self.arm(self.cfg.aom_gap_timeout_ns, TimerPayload::AomGap(missing), ctx);
+                    self.aom_gap_timer = Some((missing, t));
+                }
+            }
+            None => {
+                if let Some((_, t)) = self.aom_gap_timer.take() {
+                    self.disarm(t, ctx);
+                }
+            }
+        }
+    }
+
+    fn slot_of_seq(&self, seq: SeqNum) -> SlotNum {
+        SlotNum(self.epoch_base.0 + seq.0 - 1)
+    }
+
+    fn seq_of_slot(&self, slot: SlotNum) -> SeqNum {
+        SeqNum(slot.0 - self.epoch_base.0 + 1)
+    }
+
+    fn on_aom_message(&mut self, cert: OrderingCert, ctx: &mut dyn Context) {
+        let slot = self.slot_of_seq(cert.packet.header.seq);
+        if slot < self.log.len() {
+            return; // already have it (e.g. via view-change merge)
+        }
+        debug_assert_eq!(slot, self.log.len(), "aom delivers densely");
+        self.log.append_request(cert);
+        self.executed_req.push(false);
+        self.answer_pending_find(slot, ctx);
+        self.try_execute(ctx);
+        self.maybe_sync(ctx);
+    }
+
+    fn on_drop_notification(&mut self, seq: SeqNum, ctx: &mut dyn Context) {
+        let slot = self.slot_of_seq(seq);
+        if slot < self.log.len() {
+            return;
+        }
+        self.log.append_pending();
+        self.executed_req.push(false);
+        self.start_gap(slot, ctx);
+    }
+
+    /// Execute every resolved request slot at the execution cursor,
+    /// replying to clients.
+    fn try_execute(&mut self, ctx: &mut dyn Context) {
+        while self.exec_cursor < self.log.len() {
+            let slot = self.exec_cursor;
+            let Some(entry) = self.log.entry(slot) else {
+                break; // pending gap: execution blocks here (§5.4)
+            };
+            match entry.clone() {
+                LogEntry::NoOp(_) => {
+                    self.exec_cursor = self.exec_cursor.next();
+                }
+                LogEntry::Request(oc) => {
+                    self.execute_slot(slot, &oc, ctx);
+                    self.exec_cursor = self.exec_cursor.next();
+                }
+            }
+        }
+    }
+
+    fn execute_slot(&mut self, slot: SlotNum, oc: &OrderingCert, ctx: &mut dyn Context) {
+        let Some(signed) = SignedRequest::from_bytes(&oc.packet.payload) else {
+            return; // malformed request: consistent no-op everywhere
+        };
+        let req = &signed.request;
+        // Client authentication: verify my entry of the request's MAC
+        // vector. A request forged in the client's name must not be
+        // executed (it would still occupy the slot).
+        if !self.verify_request_auth(&signed) {
+            return;
+        }
+        // At-most-once (§C.1): re-execution of an old request only
+        // re-sends the cached reply.
+        if let Some(entry) = self.client_table.get(&req.client) {
+            if req.request_id < entry.last_request {
+                return;
+            }
+            if req.request_id == entry.last_request {
+                if let Some(cached) = entry.cached_reply.clone() {
+                    if self.behavior != ReplicaBehavior::Mute {
+                        ctx.send(Addr::Client(req.client), cached);
+                    }
+                }
+                return;
+            }
+        }
+        let result = self.app.execute(&req.op);
+        self.stats.executed += 1;
+        if slot.index() < self.executed_req.len() {
+            self.executed_req[slot.index()] = true;
+        }
+        let reply = Reply {
+            view: self.view,
+            replica: self.id,
+            slot,
+            log_hash: self.log.hash_at(slot).expect("executed slot is filled"),
+            request_id: req.request_id,
+            result,
+        };
+        let bytes = neo_wire::encode(&reply).expect("replies encode");
+        let tag = self.crypto.mac_for(Principal::Client(req.client), &bytes);
+        let msg = NeoMsg::Reply(reply, tag).to_app_bytes();
+        self.client_table.insert(
+            req.client,
+            ClientEntry {
+                last_request: req.request_id,
+                cached_reply: Some(msg.clone()),
+                slot,
+            },
+        );
+        // The request arrived: cancel any unicast watchdog for it.
+        if let Some(t) = self.unicast_watch.remove(&(req.client, req.request_id)) {
+            self.disarm(t, ctx);
+        }
+        if self.behavior != ReplicaBehavior::Mute {
+            ctx.send(Addr::Client(req.client), msg);
+        }
+        self.stats.replies_sent += 1;
+    }
+
+    /// Roll the application back so that `slot` is the next to execute.
+    fn rollback_to(&mut self, slot: SlotNum, _ctx: &mut dyn Context) {
+        if self.exec_cursor <= slot {
+            return;
+        }
+        self.stats.rollbacks += 1;
+        let mut cur = self.exec_cursor;
+        while cur > slot {
+            cur = SlotNum(cur.0 - 1);
+            if self.executed_req.get(cur.index()).copied().unwrap_or(false) {
+                self.app.undo();
+                self.executed_req[cur.index()] = false;
+            }
+        }
+        // Invalidate cached replies for rolled-back slots: re-execution
+        // will regenerate them against the new log hashes.
+        self.client_table.retain(|_, e| e.slot < slot);
+        self.exec_cursor = slot;
+    }
+
+    // ------------------------------------------------------------------
+    // Gap agreement (§5.4)
+    // ------------------------------------------------------------------
+
+    fn start_gap(&mut self, slot: SlotNum, ctx: &mut dyn Context) {
+        if self.status != Status::Normal {
+            return;
+        }
+        let view = self.view;
+        let leader = self.leader();
+        let is_leader = self.is_leader();
+        let gap = self.gaps.entry(slot).or_default();
+        if gap.resolved {
+            return;
+        }
+        if is_leader {
+            if !gap.decision_sent {
+                let sig = sign_body(&(view, slot), &self.crypto);
+                let find = NeoMsg::GapFind { view, slot, sig };
+                // The leader counts itself as one gap-drop vote.
+                let body = GapDropBody {
+                    view,
+                    replica: self.id,
+                    slot,
+                };
+                let dsig = sign_body(&body, &self.crypto);
+                self.gaps
+                    .entry(slot)
+                    .or_default()
+                    .drops
+                    .insert(self.id, (body, dsig));
+                self.broadcast(&find, ctx);
+            }
+        } else {
+            let q = NeoMsg::Query { view, slot };
+            self.send_to(leader, &q, ctx);
+            let t = self.arm(self.cfg.query_retry_ns, TimerPayload::QueryRetry(slot), ctx);
+            self.gaps.entry(slot).or_default().query_timer = Some(t);
+        }
+        let t = self.arm(
+            self.cfg.gap_agreement_timeout_ns,
+            TimerPayload::GapAgreement(slot),
+            ctx,
+        );
+        self.gaps.entry(slot).or_default().agreement_timer = Some(t);
+    }
+
+    /// A slot just materialized; if the leader asked about it earlier,
+    /// answer now.
+    fn answer_pending_find(&mut self, slot: SlotNum, ctx: &mut dyn Context) {
+        let Some(gap) = self.gaps.get_mut(&slot) else {
+            return;
+        };
+        if !gap.find_pending || gap.resolved {
+            return;
+        }
+        gap.find_pending = false;
+        let view = self.view;
+        let leader = self.leader();
+        match self.log.entry(slot) {
+            Some(LogEntry::Request(oc)) => {
+                let msg = NeoMsg::GapRecv {
+                    view,
+                    slot,
+                    oc: oc.clone(),
+                };
+                self.send_to(leader, &msg, ctx);
+            }
+            _ => {
+                if self.log.is_pending(slot) {
+                    self.send_gap_drop(slot, ctx);
+                }
+            }
+        }
+    }
+
+    fn send_gap_drop(&mut self, slot: SlotNum, ctx: &mut dyn Context) {
+        let body = GapDropBody {
+            view: self.view,
+            replica: self.id,
+            slot,
+        };
+        let sig = sign_body(&body, &self.crypto);
+        let leader = self.leader();
+        self.send_to(leader, &NeoMsg::GapDrop(body, sig), ctx);
+        self.gaps.entry(slot).or_default().voted_drop = true;
+    }
+
+    fn on_query(&mut self, from: Addr, view: ViewId, slot: SlotNum, ctx: &mut dyn Context) {
+        if view != self.view || self.status != Status::Normal {
+            return;
+        }
+        let Some(Addr::Replica(_)) = Some(from) else {
+            return;
+        };
+        if let Some(LogEntry::Request(oc)) = self.log.entry(slot) {
+            let reply = NeoMsg::QueryReply {
+                view,
+                slot,
+                oc: oc.clone(),
+            };
+            if let Addr::Replica(r) = from {
+                self.send_to(r, &reply, ctx);
+            }
+        }
+        // If the leader itself is missing the slot, its own gap-find is
+        // already in flight; nothing else to do.
+    }
+
+    fn on_query_reply(
+        &mut self,
+        view: ViewId,
+        slot: SlotNum,
+        oc: OrderingCert,
+        ctx: &mut dyn Context,
+    ) {
+        if view != self.view || self.status != Status::Normal {
+            return;
+        }
+        let gap_voted_drop = self
+            .gaps
+            .get(&slot)
+            .map(|g| g.voted_drop || g.resolved)
+            .unwrap_or(false);
+        if gap_voted_drop {
+            return; // §5.4: blocked on the agreement decision
+        }
+        if !self.log.is_pending(slot) {
+            return;
+        }
+        if !self.verify_oc_for_slot(&oc, slot) {
+            return;
+        }
+        self.fill_slot(slot, LogEntry::Request(oc), ctx);
+        self.resolve_gap(slot, false, ctx);
+        self.stats.gaps_recovered += 1;
+    }
+
+    /// Validate that an ordering certificate authenticates and matches
+    /// the slot position (§5.4: "ensures the enclosed aom message is the
+    /// missing message by checking the internal sequence number").
+    fn verify_oc_for_slot(&self, oc: &OrderingCert, slot: SlotNum) -> bool {
+        oc.packet.header.seq == self.seq_of_slot(slot)
+            && oc.packet.header.epoch == self.view.epoch
+            && self.aom.verify_cert(oc, &self.crypto)
+    }
+
+    /// Verify my entry of a request's client MAC vector.
+    fn verify_request_auth(&self, signed: &SignedRequest) -> bool {
+        let Some(tag) = signed.auth.get(self.id.index()) else {
+            return false;
+        };
+        let bytes = neo_wire::encode(&signed.request).expect("requests encode");
+        self.crypto
+            .verify_mac_from(Principal::Client(signed.request.client), &bytes, tag)
+            .is_ok()
+    }
+
+    fn on_gap_find(
+        &mut self,
+        view: ViewId,
+        slot: SlotNum,
+        sig: Signature,
+        ctx: &mut dyn Context,
+    ) {
+        if view != self.view || self.status != Status::Normal {
+            return;
+        }
+        let leader = self.leader();
+        if !verify_body(&(view, slot), &sig, Principal::Replica(leader), &self.crypto) {
+            return;
+        }
+        match self.log.entry(slot) {
+            Some(LogEntry::Request(oc)) => {
+                let msg = NeoMsg::GapRecv {
+                    view,
+                    slot,
+                    oc: oc.clone(),
+                };
+                self.send_to(leader, &msg, ctx);
+            }
+            Some(LogEntry::NoOp(_)) => {
+                // Already committed as no-op in a previous round; the
+                // leader will learn via view change or sync.
+            }
+            None => {
+                if self.log.is_pending(slot) {
+                    self.send_gap_drop(slot, ctx);
+                } else {
+                    // The slot is beyond my log: answer when it arrives.
+                    self.gaps.entry(slot).or_default().find_pending = true;
+                }
+            }
+        }
+    }
+
+    fn on_gap_recv(
+        &mut self,
+        view: ViewId,
+        slot: SlotNum,
+        oc: OrderingCert,
+        ctx: &mut dyn Context,
+    ) {
+        if view != self.view || !self.is_leader() || self.status != Status::Normal {
+            return;
+        }
+        if !self.verify_oc_for_slot(&oc, slot) {
+            return;
+        }
+        let gap = self.gaps.entry(slot).or_default();
+        if gap.decision_sent || gap.resolved {
+            return;
+        }
+        gap.recv = Some(oc.clone());
+        self.send_gap_decision(slot, GapDecisionBody::Recv(oc), ctx);
+    }
+
+    fn on_gap_drop(
+        &mut self,
+        body: GapDropBody,
+        sig: Signature,
+        ctx: &mut dyn Context,
+    ) {
+        if body.view != self.view || !self.is_leader() || self.status != Status::Normal {
+            return;
+        }
+        if !verify_body(&body, &sig, Principal::Replica(body.replica), &self.crypto) {
+            return;
+        }
+        let quorum = self.cfg.quorum();
+        let slot = body.slot;
+        let gap = self.gaps.entry(slot).or_default();
+        if gap.decision_sent || gap.resolved {
+            return;
+        }
+        gap.drops.insert(body.replica, (body, sig));
+        if gap.drops.len() >= quorum {
+            let drops: Vec<_> = gap.drops.values().cloned().collect();
+            self.send_gap_decision(slot, GapDecisionBody::Drop(drops), ctx);
+        }
+    }
+
+    fn send_gap_decision(&mut self, slot: SlotNum, decision: GapDecisionBody, ctx: &mut dyn Context) {
+        let view = self.view;
+        let digest = gap_decision_digest(view, slot, &decision);
+        let sig = self.crypto.sign(&digest);
+        let msg = NeoMsg::GapDecision {
+            view,
+            slot,
+            decision: decision.clone(),
+            sig,
+        };
+        self.broadcast(&msg, ctx);
+        self.gaps.entry(slot).or_default().decision_sent = true;
+        // The leader validates its own decision and proceeds through the
+        // agreement like everyone else.
+        self.adopt_decision(view, slot, decision, ctx);
+    }
+
+    fn on_gap_decision(
+        &mut self,
+        view: ViewId,
+        slot: SlotNum,
+        decision: GapDecisionBody,
+        sig: Signature,
+        ctx: &mut dyn Context,
+    ) {
+        if view != self.view || self.status != Status::Normal {
+            return;
+        }
+        let digest = gap_decision_digest(view, slot, &decision);
+        if self
+            .crypto
+            .verify(Principal::Replica(self.leader()), &digest, &sig)
+            .is_err()
+        {
+            return;
+        }
+        self.adopt_decision(view, slot, decision, ctx);
+    }
+
+    fn adopt_decision(
+        &mut self,
+        view: ViewId,
+        slot: SlotNum,
+        decision: GapDecisionBody,
+        ctx: &mut dyn Context,
+    ) {
+        // Validate decision contents (§5.4).
+        let recv = match &decision {
+            GapDecisionBody::Recv(oc) => {
+                if !self.verify_oc_for_slot(oc, slot) {
+                    return;
+                }
+                true
+            }
+            GapDecisionBody::Drop(drops) => {
+                let quorum = self.cfg.quorum();
+                let mut seen = std::collections::BTreeSet::new();
+                for (body, sig) in drops {
+                    if body.slot != slot || body.view != view {
+                        continue;
+                    }
+                    if verify_body(body, sig, Principal::Replica(body.replica), &self.crypto) {
+                        seen.insert(body.replica);
+                    }
+                }
+                if seen.len() < quorum {
+                    return;
+                }
+                false
+            }
+        };
+        let gap = self.gaps.entry(slot).or_default();
+        if gap.resolved || gap.decision.is_some() {
+            return;
+        }
+        let oc = match &decision {
+            GapDecisionBody::Recv(oc) => Some(oc.clone()),
+            GapDecisionBody::Drop(_) => None,
+        };
+        gap.decision = Some((recv, oc, decision));
+        // Broadcast my prepare vote.
+        let body = GapVoteBody {
+            view,
+            replica: self.id,
+            slot,
+            recv,
+        };
+        let sig = sign_body(&body, &self.crypto);
+        gap.prepares.insert(self.id, (body, sig.clone()));
+        gap.prepared = true;
+        self.broadcast(&NeoMsg::GapPrepare(body, sig), ctx);
+        self.check_gap_progress(slot, ctx);
+    }
+
+    fn on_gap_prepare(&mut self, body: GapVoteBody, sig: Signature, ctx: &mut dyn Context) {
+        if body.view != self.view || self.status != Status::Normal {
+            return;
+        }
+        if !verify_body(&body, &sig, Principal::Replica(body.replica), &self.crypto) {
+            return;
+        }
+        let gap = self.gaps.entry(body.slot).or_default();
+        if gap.resolved {
+            return;
+        }
+        gap.prepares.insert(body.replica, (body, sig));
+        self.check_gap_progress(body.slot, ctx);
+    }
+
+    fn on_gap_commit(&mut self, body: GapVoteBody, sig: Signature, ctx: &mut dyn Context) {
+        if body.view != self.view || self.status != Status::Normal {
+            return;
+        }
+        if !verify_body(&body, &sig, Principal::Replica(body.replica), &self.crypto) {
+            return;
+        }
+        let gap = self.gaps.entry(body.slot).or_default();
+        if gap.resolved {
+            return;
+        }
+        gap.commits.insert(body.replica, (body, sig));
+        self.check_gap_progress(body.slot, ctx);
+    }
+
+    fn check_gap_progress(&mut self, slot: SlotNum, ctx: &mut dyn Context) {
+        let quorum = self.cfg.quorum();
+        let f2 = 2 * self.cfg.f;
+        let Some(gap) = self.gaps.get_mut(&slot) else {
+            return;
+        };
+        let Some((recv, oc, _)) = gap.decision.clone() else {
+            return;
+        };
+        // Phase 1 → 2: 2f matching prepares from distinct replicas
+        // (possibly including self) plus the validated decision.
+        let matching_prepares = gap
+            .prepares
+            .values()
+            .filter(|(b, _)| b.recv == recv)
+            .count();
+        if !gap.committed && matching_prepares >= f2 {
+            gap.committed = true;
+            let body = GapVoteBody {
+                view: self.view,
+                replica: self.id,
+                slot,
+                recv,
+            };
+            let sig = sign_body(&body, &self.crypto);
+            gap.commits.insert(self.id, (body, sig.clone()));
+            self.broadcast(&NeoMsg::GapCommit(body, sig), ctx);
+        }
+        let Some(gap) = self.gaps.get_mut(&slot) else {
+            return;
+        };
+        // Phase 2 → commit: 2f+1 matching commits.
+        let matching_commits: Vec<(GapVoteBody, Signature)> = gap
+            .commits
+            .values()
+            .filter(|(b, _)| b.recv == recv)
+            .cloned()
+            .collect();
+        if gap.resolved || matching_commits.len() < quorum {
+            return;
+        }
+        // Commit the slot.
+        if recv {
+            let oc = oc.expect("recv decision carries a certificate");
+            if self.log.is_pending(slot) || slot == self.log.len() {
+                self.fill_slot(slot, LogEntry::Request(oc), ctx);
+            }
+            self.stats.gaps_recovered += 1;
+        } else {
+            // No-op: roll back if we speculatively executed this slot.
+            if self.exec_cursor > slot {
+                self.rollback_to(slot, ctx);
+            }
+            self.fill_slot(slot, LogEntry::NoOp(Some(matching_commits)), ctx);
+            self.stats.noops_committed += 1;
+        }
+        self.resolve_gap(slot, true, ctx);
+    }
+
+    fn fill_slot(&mut self, slot: SlotNum, entry: LogEntry, ctx: &mut dyn Context) {
+        // A fill may rewrite an executed suffix: roll back first so
+        // re-execution sees consistent hashes.
+        if self.exec_cursor > slot {
+            self.rollback_to(slot, ctx);
+        }
+        while self.log.len() <= slot {
+            self.log.append_pending();
+            self.executed_req.push(false);
+        }
+        self.log.fill(slot, entry).expect("prefix resolved");
+        if self.executed_req.len() < self.log.len().index() {
+            self.executed_req.resize(self.log.len().index(), false);
+        }
+    }
+
+    fn resolve_gap(&mut self, slot: SlotNum, _committed: bool, ctx: &mut dyn Context) {
+        let timers: Vec<TimerId> = {
+            let Some(gap) = self.gaps.get_mut(&slot) else {
+                return;
+            };
+            gap.resolved = true;
+            gap.query_timer
+                .take()
+                .into_iter()
+                .chain(gap.agreement_timer.take())
+                .collect()
+        };
+        for t in timers {
+            self.disarm(t, ctx);
+        }
+        self.try_execute(ctx);
+        self.maybe_sync(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // State synchronization (§B.2)
+    // ------------------------------------------------------------------
+
+    fn maybe_sync(&mut self, ctx: &mut dyn Context) {
+        if self.cfg.sync_interval == 0 || self.status != Status::Normal {
+            return;
+        }
+        let len = self.log.resolved_prefix_len();
+        let interval = self.cfg.sync_interval;
+        let latest_multiple = SlotNum(len.0 - len.0 % interval);
+        if latest_multiple.0 == 0 || latest_multiple <= self.last_sync_slot {
+            return;
+        }
+        self.last_sync_slot = latest_multiple;
+        // Gap certificates for slots committed as no-op in this view.
+        let mut drops = Vec::new();
+        for (slot, gap) in &self.gaps {
+            if *slot < latest_multiple {
+                if let Some(LogEntry::NoOp(Some(cert))) = self.log.entry(*slot) {
+                    let _ = gap;
+                    drops.push((*slot, cert.clone()));
+                }
+            }
+        }
+        let body = SyncBody {
+            view: self.view,
+            replica: self.id,
+            slot: latest_multiple,
+            drops,
+        };
+        let sig = sign_body(&body, &self.crypto);
+        self.sync_votes
+            .entry(latest_multiple)
+            .or_default()
+            .insert(self.id, body.clone());
+        self.broadcast(&NeoMsg::Sync(body, sig), ctx);
+        self.check_sync(latest_multiple, ctx);
+    }
+
+    fn on_sync(&mut self, body: SyncBody, sig: Signature, ctx: &mut dyn Context) {
+        if body.view != self.view || self.status != Status::Normal {
+            return;
+        }
+        if !verify_body(&body, &sig, Principal::Replica(body.replica), &self.crypto) {
+            return;
+        }
+        let slot = body.slot;
+        self.sync_votes
+            .entry(slot)
+            .or_default()
+            .insert(body.replica, body);
+        self.check_sync(slot, ctx);
+    }
+
+    fn check_sync(&mut self, slot: SlotNum, ctx: &mut dyn Context) {
+        let f2 = 2 * self.cfg.f;
+        let Some(votes) = self.sync_votes.get(&slot) else {
+            return;
+        };
+        // 2f sync messages from *other* replicas (§B.2), i.e. 2f+1 total
+        // with our own when we sent one.
+        let others = votes.keys().filter(|r| **r != self.id).count();
+        if others < f2 || slot <= self.sync_point {
+            return;
+        }
+        // Apply certified no-ops from any vote.
+        let mut to_apply: Vec<(SlotNum, crate::messages::GapCert)> = Vec::new();
+        for body in votes.values() {
+            for (s, cert) in &body.drops {
+                if self.verify_gap_cert(*s, cert) {
+                    to_apply.push((*s, cert.clone()));
+                }
+            }
+        }
+        for (s, cert) in to_apply {
+            match self.log.entry(s) {
+                Some(LogEntry::NoOp(_)) => {
+                    self.log.attach_gap_cert(s, cert);
+                }
+                _ => {
+                    if s < self.log.len() {
+                        self.fill_slot(s, LogEntry::NoOp(Some(cert)), ctx);
+                    }
+                }
+            }
+        }
+        self.sync_point = slot;
+        self.stats.sync_points += 1;
+        // Finalized: drop undo history for everything at or before the
+        // sync point.
+        let still_speculative = self
+            .executed_req
+            .iter()
+            .skip(slot.index())
+            .filter(|b| **b)
+            .count() as u64;
+        self.app.compact(still_speculative);
+        self.try_execute(ctx);
+    }
+
+    /// Validate a gap certificate: 2f+1 distinct valid drop commits.
+    fn verify_gap_cert(&self, slot: SlotNum, cert: &crate::messages::GapCert) -> bool {
+        let quorum = self.cfg.quorum();
+        let mut seen = std::collections::BTreeSet::new();
+        for (body, sig) in cert {
+            if body.slot != slot || body.recv {
+                continue;
+            }
+            if verify_body(body, sig, Principal::Replica(body.replica), &self.crypto) {
+                seen.insert(body.replica);
+            }
+        }
+        seen.len() >= quorum
+    }
+
+    // ------------------------------------------------------------------
+    // View changes (§5.5, §B.1)
+    // ------------------------------------------------------------------
+
+    /// Enter a view change toward `new_view`.
+    pub fn start_view_change(&mut self, new_view: ViewId, ctx: &mut dyn Context) {
+        if new_view <= self.view && self.status == Status::Normal {
+            return;
+        }
+        if self.status == Status::ViewChange && self.vc.own.as_ref().is_some_and(|(b, _)| b.new_view >= new_view) {
+            return;
+        }
+        self.status = Status::ViewChange;
+        self.view = new_view;
+        self.stats.view_changes += 1;
+        let body = ViewChangeBody {
+            new_view,
+            replica: self.id,
+            epoch_certs: self.epoch_certs.clone(),
+            log: self.log.to_wire(),
+        };
+        let sig = sign_body(&body, &self.crypto);
+        self.vc.own = Some((body.clone(), sig.clone()));
+        self.vc.started = false;
+        self.vc
+            .msgs
+            .entry(new_view)
+            .or_default()
+            .insert(self.id, (body.clone(), sig.clone()));
+        self.broadcast(&NeoMsg::ViewChange(body, sig), ctx);
+        if let Some(t) = self.vc.resend_timer.take() {
+            self.disarm(t, ctx);
+        }
+        let t = self.arm(self.cfg.view_change_resend_ns, TimerPayload::ViewChangeResend, ctx);
+        self.vc.resend_timer = Some(t);
+        self.maybe_start_view(new_view, ctx);
+    }
+
+    fn on_view_change(&mut self, body: ViewChangeBody, sig: Signature, ctx: &mut dyn Context) {
+        if !verify_body(&body, &sig, Principal::Replica(body.replica), &self.crypto) {
+            return;
+        }
+        if body.new_view < self.view {
+            return;
+        }
+        if !self.validate_wire_log(&body) {
+            return;
+        }
+        let new_view = body.new_view;
+        self.vc
+            .msgs
+            .entry(new_view)
+            .or_default()
+            .insert(body.replica, (body, sig));
+        // Join rule: f+1 replicas moving to a higher view means at least
+        // one correct replica did — follow them.
+        let count = self.vc.msgs.get(&new_view).map(|m| m.len()).unwrap_or(0);
+        if new_view > self.view && count >= self.cfg.f + 1 {
+            self.start_view_change(new_view, ctx);
+            return;
+        }
+        self.maybe_start_view(new_view, ctx);
+    }
+
+    /// Validate a view-change message's log (§5.5 log validity): every
+    /// entry carries a valid certificate, and epoch starts are certified.
+    fn validate_wire_log(&self, body: &ViewChangeBody) -> bool {
+        // Epoch certs: 2f+1 distinct valid epoch-starts each.
+        for (epoch, slot, cert) in &body.epoch_certs {
+            if !self.verify_epoch_cert(*epoch, *slot, cert) {
+                return false;
+            }
+        }
+        let epoch_of_slot = |s: SlotNum| -> EpochNum {
+            let mut e = EpochNum::INITIAL;
+            for (epoch, start, _) in &body.epoch_certs {
+                if *start <= s {
+                    e = e.max(*epoch);
+                }
+            }
+            e
+        };
+        for (i, entry) in body.log.iter().enumerate() {
+            let slot = SlotNum(i as u64);
+            match entry {
+                WireLogEntry::Request(oc) => {
+                    let epoch = epoch_of_slot(slot);
+                    if !self.aom.verify_cert_in_epoch(oc, epoch, &self.crypto) {
+                        return false;
+                    }
+                }
+                WireLogEntry::NoOp(cert) => {
+                    if !self.verify_gap_cert(slot, cert) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn verify_epoch_cert(&self, epoch: EpochNum, slot: SlotNum, cert: &EpochCert) -> bool {
+        let quorum = self.cfg.quorum();
+        let mut seen = std::collections::BTreeSet::new();
+        for (body, sig) in cert {
+            if body.epoch != epoch || body.start_slot != slot {
+                continue;
+            }
+            if verify_body(body, sig, Principal::Replica(body.replica), &self.crypto) {
+                seen.insert(body.replica);
+            }
+        }
+        seen.len() >= quorum
+    }
+
+    fn maybe_start_view(&mut self, new_view: ViewId, ctx: &mut dyn Context) {
+        if self.status != Status::ViewChange || new_view != self.view {
+            return;
+        }
+        if new_view.leader(self.cfg.n) != self.id || self.vc.started {
+            return;
+        }
+        let Some(msgs) = self.vc.msgs.get(&new_view) else {
+            return;
+        };
+        if msgs.len() < self.cfg.quorum() {
+            return;
+        }
+        let view_changes: Vec<(ViewChangeBody, Signature)> =
+            msgs.values().take(self.cfg.quorum()).cloned().collect();
+        let sig = sign_body(&(new_view, view_changes.len() as u64), &self.crypto);
+        let msg = NeoMsg::ViewStart {
+            new_view,
+            view_changes: view_changes.clone(),
+            sig,
+        };
+        self.broadcast(&msg, ctx);
+        self.vc.started = true;
+        self.apply_view_start(new_view, &view_changes, ctx);
+    }
+
+    fn on_view_start(
+        &mut self,
+        new_view: ViewId,
+        view_changes: Vec<(ViewChangeBody, Signature)>,
+        sig: Signature,
+        ctx: &mut dyn Context,
+    ) {
+        if new_view < self.view {
+            return;
+        }
+        let leader = new_view.leader(self.cfg.n);
+        if !verify_body(
+            &(new_view, view_changes.len() as u64),
+            &sig,
+            Principal::Replica(leader),
+            &self.crypto,
+        ) {
+            return;
+        }
+        // Validate: 2f+1 distinct properly signed view-changes for this
+        // view with valid logs.
+        let mut seen = std::collections::BTreeSet::new();
+        for (body, vc_sig) in &view_changes {
+            if body.new_view != new_view {
+                return;
+            }
+            if !verify_body(body, vc_sig, Principal::Replica(body.replica), &self.crypto) {
+                return;
+            }
+            if !self.validate_wire_log(body) {
+                return;
+            }
+            seen.insert(body.replica);
+        }
+        if seen.len() < self.cfg.quorum() {
+            return;
+        }
+        self.view = new_view;
+        self.status = Status::ViewChange;
+        self.apply_view_start(new_view, &view_changes, ctx);
+    }
+
+    /// Merge the 2f+1 logs (§B.1) and enter the view (directly, or after
+    /// the epoch-start exchange when the epoch advanced).
+    fn apply_view_start(
+        &mut self,
+        new_view: ViewId,
+        view_changes: &[(ViewChangeBody, Signature)],
+        ctx: &mut dyn Context,
+    ) {
+        let merged = merge_logs(view_changes);
+        // Roll back to the first slot where the merged log diverges from
+        // ours, then adopt the merged entries.
+        let mut divergence = None;
+        for (i, entry) in merged.iter().enumerate() {
+            let slot = SlotNum(i as u64);
+            let differs = match (self.log.entry(slot), entry) {
+                (Some(LogEntry::Request(a)), WireLogEntry::Request(b)) => {
+                    a.packet.header.auth_input() != b.packet.header.auth_input()
+                }
+                (Some(LogEntry::NoOp(_)), WireLogEntry::NoOp(_)) => false,
+                (None, _) => true,
+                _ => true,
+            };
+            if differs {
+                divergence = Some(slot);
+                break;
+            }
+        }
+        let epoch_switch = new_view.epoch > self.epoch_of_log();
+        if let Some(slot) = divergence {
+            self.rollback_to(slot, ctx);
+            for (i, entry) in merged.iter().enumerate().skip(slot.index()) {
+                let s = SlotNum(i as u64);
+                let e = match entry {
+                    WireLogEntry::Request(oc) => LogEntry::Request(oc.clone()),
+                    WireLogEntry::NoOp(cert) => LogEntry::NoOp(Some(cert.clone())),
+                };
+                self.fill_slot(s, e, ctx);
+            }
+        }
+        if epoch_switch && self.log.len().index() > merged.len() {
+            // §B.1: the new epoch begins right after the *merged* log.
+            // Our speculative tail beyond it was not seen by the merge
+            // quorum and cannot commit in the dead epoch — roll it back
+            // and discard. Clients re-submit through the new sequencer;
+            // the client table deduplicates. Same-epoch (leader-only)
+            // view changes keep the tail: its slots still map to live
+            // aom sequence numbers.
+            let cut = SlotNum(merged.len() as u64);
+            self.rollback_to(cut, ctx);
+            self.log.truncate(cut);
+            self.executed_req.truncate(cut.index());
+        }
+        // Epoch bookkeeping.
+        if epoch_switch {
+            // Epoch switch: certify the starting position (§B.1) — all
+            // replicas adopted exactly the merged log, so this matches.
+            let start_slot = self.log.len();
+            let body = EpochStartBody {
+                epoch: new_view.epoch,
+                start_slot,
+                replica: self.id,
+            };
+            let sig = sign_body(&body, &self.crypto);
+            self.vc.awaiting_epoch = Some((new_view.epoch, start_slot));
+            self.vc
+                .epoch_votes
+                .entry((new_view.epoch, start_slot))
+                .or_default()
+                .insert(self.id, (body, sig.clone()));
+            self.broadcast(&NeoMsg::EpochStart(body, sig), ctx);
+            self.check_epoch_start(new_view.epoch, start_slot, ctx);
+        } else {
+            self.enter_view(ctx);
+        }
+    }
+
+    fn epoch_of_log(&self) -> EpochNum {
+        self.log
+            .epoch_starts()
+            .last()
+            .map(|(e, _)| *e)
+            .unwrap_or(EpochNum::INITIAL)
+    }
+
+    fn on_epoch_start(&mut self, body: EpochStartBody, sig: Signature, ctx: &mut dyn Context) {
+        if !verify_body(&body, &sig, Principal::Replica(body.replica), &self.crypto) {
+            return;
+        }
+        self.vc
+            .epoch_votes
+            .entry((body.epoch, body.start_slot))
+            .or_default()
+            .insert(body.replica, (body, sig));
+        self.check_epoch_start(body.epoch, body.start_slot, ctx);
+    }
+
+    fn check_epoch_start(&mut self, epoch: EpochNum, slot: SlotNum, ctx: &mut dyn Context) {
+        let Some((await_e, await_s)) = self.vc.awaiting_epoch else {
+            return;
+        };
+        if await_e != epoch || await_s != slot {
+            return;
+        }
+        let Some(votes) = self.vc.epoch_votes.get(&(epoch, slot)) else {
+            return;
+        };
+        if votes.len() < self.cfg.quorum() {
+            return;
+        }
+        let cert: EpochCert = votes.values().cloned().collect();
+        self.epoch_certs.push((epoch, slot, cert));
+        self.log.record_epoch_start(epoch, slot);
+        self.epoch_base = slot;
+        self.aom.install_epoch(epoch);
+        // Replay packets that raced ahead of the epoch switch.
+        let buffered = self.future_epoch.remove(&epoch).unwrap_or_default();
+        self.future_epoch.retain(|e, _| *e > epoch);
+        for pkt in buffered {
+            let _ = self.aom.on_packet(pkt, &self.crypto);
+        }
+        self.vc.awaiting_epoch = None;
+        self.enter_view(ctx);
+    }
+
+    fn enter_view(&mut self, ctx: &mut dyn Context) {
+        self.status = Status::Normal;
+        if let Some(t) = self.vc.resend_timer.take() {
+            self.disarm(t, ctx);
+        }
+        // Abandon stale per-slot agreement state from the old view.
+        self.gaps.clear();
+        self.vc.started = false;
+        // Unresolved pending slots at the tail carry into the new view's
+        // gap agreement.
+        if let Some(slot) = self.log.first_pending() {
+            self.start_gap(slot, ctx);
+        }
+        self.try_execute(ctx);
+        // Drain deliveries (and confirms) that accumulated while the view
+        // change was in flight.
+        self.pump_aom(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Client unicast fallback (§5.3 / §5.5)
+    // ------------------------------------------------------------------
+
+    fn on_request_unicast(&mut self, signed: SignedRequest, ctx: &mut dyn Context) {
+        if !self.verify_request_auth(&signed) {
+            return;
+        }
+        let req = &signed.request;
+        if let Some(entry) = self.client_table.get(&req.client) {
+            if req.request_id <= entry.last_request {
+                // Already executed: re-send the cached reply.
+                if let Some(cached) = entry.cached_reply.clone() {
+                    if req.request_id == entry.last_request
+                        && self.behavior != ReplicaBehavior::Mute
+                    {
+                        ctx.send(Addr::Client(req.client), cached);
+                    }
+                }
+                return;
+            }
+        }
+        // Not yet delivered by aom: arm the sequencer-suspicion watchdog.
+        let key = (req.client, req.request_id);
+        if !self.unicast_watch.contains_key(&key) {
+            let t = self.arm(
+                self.cfg.unicast_watchdog_ns,
+                TimerPayload::UnicastWatchdog(key.0, key.1),
+                ctx,
+            );
+            self.unicast_watch.insert(key, t);
+        }
+    }
+
+    fn on_timer_payload(&mut self, payload: TimerPayload, ctx: &mut dyn Context) {
+        match payload {
+            TimerPayload::AomGap(seq) => {
+                self.aom_gap_timer = None;
+                if self.aom.gap_pending() == Some(seq) && self.status == Status::Normal {
+                    self.aom.declare_drop();
+                    self.pump_aom(ctx);
+                }
+            }
+            TimerPayload::QueryRetry(slot) => {
+                if self.status != Status::Normal {
+                    return;
+                }
+                let unresolved = self
+                    .gaps
+                    .get(&slot)
+                    .map(|g| !g.resolved && !g.voted_drop)
+                    .unwrap_or(false);
+                if unresolved && self.log.is_pending(slot) {
+                    let q = NeoMsg::Query {
+                        view: self.view,
+                        slot,
+                    };
+                    let leader = self.leader();
+                    self.send_to(leader, &q, ctx);
+                    let t = self.arm(self.cfg.query_retry_ns, TimerPayload::QueryRetry(slot), ctx);
+                    if let Some(g) = self.gaps.get_mut(&slot) {
+                        g.query_timer = Some(t);
+                    }
+                }
+            }
+            TimerPayload::GapAgreement(slot) => {
+                let unresolved = self
+                    .gaps
+                    .get(&slot)
+                    .map(|g| !g.resolved)
+                    .unwrap_or(false);
+                if unresolved && self.status == Status::Normal {
+                    // The leader failed to drive the agreement: view
+                    // change (§5.5).
+                    let next = self.view.next_leader();
+                    self.start_view_change(next, ctx);
+                }
+            }
+            TimerPayload::ViewChangeResend => {
+                if self.status == Status::ViewChange {
+                    if let Some((body, sig)) = self.vc.own.clone() {
+                        self.broadcast(&NeoMsg::ViewChange(body, sig), ctx);
+                    }
+                    let t = self.arm(
+                        self.cfg.view_change_resend_ns,
+                        TimerPayload::ViewChangeResend,
+                        ctx,
+                    );
+                    self.vc.resend_timer = Some(t);
+                }
+            }
+            TimerPayload::ConfirmFlush => {
+                self.confirm_flush_timer = None;
+                self.flush_confirms(ctx);
+            }
+            TimerPayload::UnicastWatchdog(client, request_id) => {
+                self.unicast_watch.remove(&(client, request_id));
+                let executed = self
+                    .client_table
+                    .get(&client)
+                    .map(|e| e.last_request >= request_id)
+                    .unwrap_or(false);
+                if !executed {
+                    // Only implicate the sequencer on *sustained* aom
+                    // silence: a single lost packet with deliveries still
+                    // flowing is the client's retransmission to fix, not
+                    // grounds for an epoch change (§4.2).
+                    let silent = ctx.now().saturating_sub(self.last_aom_delivery)
+                        >= self.cfg.unicast_watchdog_ns;
+                    if silent {
+                        let msg = Envelope::Config(ConfigMsg::FailoverRequest {
+                            group: self.cfg.group,
+                            epoch: self.aom.epoch(),
+                            requester: self.id,
+                        });
+                        ctx.send(Addr::Config, msg.to_bytes());
+                    }
+                    // Re-arm: keep escalating until the request commits
+                    // or the epoch changes.
+                    let t = self.arm(
+                        self.cfg.unicast_watchdog_ns,
+                        TimerPayload::UnicastWatchdog(client, request_id),
+                        ctx,
+                    );
+                    self.unicast_watch.insert((client, request_id), t);
+                }
+            }
+        }
+    }
+
+    fn on_neo_msg(&mut self, from: Addr, msg: NeoMsg, ctx: &mut dyn Context) {
+        match msg {
+            NeoMsg::Reply(..) => {} // replicas ignore stray replies
+            NeoMsg::RequestUnicast(signed) => self.on_request_unicast(signed, ctx),
+            NeoMsg::Query { view, slot } => self.on_query(from, view, slot, ctx),
+            NeoMsg::QueryReply { view, slot, oc } => self.on_query_reply(view, slot, oc, ctx),
+            NeoMsg::GapFind { view, slot, sig } => self.on_gap_find(view, slot, sig, ctx),
+            NeoMsg::GapRecv { view, slot, oc } => self.on_gap_recv(view, slot, oc, ctx),
+            NeoMsg::GapDrop(body, sig) => self.on_gap_drop(body, sig, ctx),
+            NeoMsg::GapDecision {
+                view,
+                slot,
+                decision,
+                sig,
+            } => self.on_gap_decision(view, slot, decision, sig, ctx),
+            NeoMsg::GapPrepare(body, sig) => self.on_gap_prepare(body, sig, ctx),
+            NeoMsg::GapCommit(body, sig) => self.on_gap_commit(body, sig, ctx),
+            NeoMsg::ViewChange(body, sig) => self.on_view_change(body, sig, ctx),
+            NeoMsg::ViewStart {
+                new_view,
+                view_changes,
+                sig,
+            } => self.on_view_start(new_view, view_changes, sig, ctx),
+            NeoMsg::EpochStart(body, sig) => self.on_epoch_start(body, sig, ctx),
+            NeoMsg::Sync(body, sig) => self.on_sync(body, sig, ctx),
+        }
+    }
+}
+
+/// Merge 2f+1 view-change logs per §B.1.
+fn merge_logs(view_changes: &[(ViewChangeBody, Signature)]) -> Vec<WireLogEntry> {
+    // (1) Largest certified epoch across the messages.
+    let mut best_epoch = EpochNum::INITIAL;
+    let mut best_start = SlotNum(0);
+    for (body, _) in view_changes {
+        for (e, s, _) in &body.epoch_certs {
+            if *e > best_epoch {
+                best_epoch = *e;
+                best_start = *s;
+            }
+        }
+    }
+    // (2)+(3) From logs that started `best_epoch` (all of them, for the
+    // initial epoch), take the longest; copy its prefix and its requests.
+    let candidates: Vec<&ViewChangeBody> = view_changes
+        .iter()
+        .map(|(b, _)| b)
+        .filter(|b| {
+            best_epoch == EpochNum::INITIAL
+                || b.epoch_certs.iter().any(|(e, _, _)| *e == best_epoch)
+        })
+        .collect();
+    let longest = candidates
+        .iter()
+        .max_by_key(|b| b.log.len())
+        .map(|b| b.log.clone())
+        .unwrap_or_default();
+    let mut merged = longest;
+    // (4) Overlay no-ops from every candidate log within the epoch.
+    for body in &candidates {
+        for (i, entry) in body.log.iter().enumerate() {
+            if SlotNum(i as u64) < best_start {
+                continue;
+            }
+            if let WireLogEntry::NoOp(cert) = entry {
+                if i < merged.len() {
+                    merged[i] = WireLogEntry::NoOp(cert.clone());
+                }
+            }
+        }
+    }
+    merged
+}
+
+impl Node for Replica {
+    fn on_message(&mut self, from: Addr, payload: &[u8], ctx: &mut dyn Context) {
+        self.stats.messages_in += 1;
+        let Ok(env) = Envelope::from_bytes(payload) else {
+            return;
+        };
+        match env {
+            Envelope::Aom(pkt) => {
+                // aom-hm subgroup emulation (§4.3): account for the
+                // ⌈n/4⌉−1 additional partial-vector packets per message
+                // that a large group's receivers process.
+                if self.cfg.emulate_hm_subgroups {
+                    let subgroups = self.cfg.n.div_ceil(4) as u64;
+                    if subgroups > 1 {
+                        ctx.charge((subgroups - 1) * self.cfg.subgroup_packet_cost_ns);
+                    }
+                }
+                if pkt.header.epoch > self.aom.epoch() {
+                    // Stamped by a newer sequencer than we have installed:
+                    // park it until the epoch-switching view change lands.
+                    let buf = self.future_epoch.entry(pkt.header.epoch).or_default();
+                    if buf.len() < 65_536 {
+                        buf.push(pkt);
+                    }
+                } else {
+                    // Feed the receiver even mid-view-change (it only
+                    // buffers); deliveries are pumped in normal status.
+                    let _ = self.aom.on_packet(pkt, &self.crypto);
+                }
+                if self.status == Status::Normal {
+                    self.pump_aom(ctx);
+                }
+            }
+            Envelope::Confirm(_) | Envelope::ConfirmBatch(_) => {
+                self.aom.on_envelope(&env, &self.crypto);
+                if self.status == Status::Normal {
+                    self.pump_aom(ctx);
+                }
+            }
+            Envelope::Config(ConfigMsg::NewEpoch { group, epoch }) => {
+                if group == self.cfg.group && epoch > self.aom.epoch() {
+                    let new_view = ViewId::new(epoch, self.view.leader_num + 1);
+                    self.start_view_change(new_view, ctx);
+                }
+            }
+            Envelope::Config(_) => {}
+            Envelope::App(bytes) => {
+                if let Some(msg) = NeoMsg::from_app_bytes(&bytes) {
+                    self.on_neo_msg(from, msg, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, _kind: u32, ctx: &mut dyn Context) {
+        if let Some(payload) = self.timers.remove(&timer) {
+            self.on_timer_payload(payload, ctx);
+        }
+    }
+
+    fn meter(&self) -> Option<&neo_crypto::Meter> {
+        Some(self.crypto.meter())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_aom::{AomPacket, OrderingCert};
+    use neo_wire::{AomHeader, GroupId, SeqNum};
+
+    fn oc(seq: u64, payload: u8) -> OrderingCert {
+        let mut header = AomHeader::unstamped(GroupId(0), neo_crypto::sha256(&[payload]).0);
+        header.seq = SeqNum(seq);
+        header.auth = neo_wire::Authenticator::HmacVector(vec![[0u8; 8]; 4]);
+        OrderingCert {
+            packet: AomPacket {
+                header,
+                payload: vec![payload],
+            },
+            confirms: vec![],
+        }
+    }
+
+    fn vc(replica: u32, entries: &[WireLogEntry]) -> (ViewChangeBody, Signature) {
+        (
+            ViewChangeBody {
+                new_view: ViewId::new(EpochNum(0), 1),
+                replica: ReplicaId(replica),
+                epoch_certs: vec![],
+                log: entries.to_vec(),
+            },
+            Signature::empty(),
+        )
+    }
+
+    fn req(seq: u64, p: u8) -> WireLogEntry {
+        WireLogEntry::Request(oc(seq, p))
+    }
+
+    fn payload_of(e: &WireLogEntry) -> Option<u8> {
+        match e {
+            WireLogEntry::Request(oc) => Some(oc.packet.payload[0]),
+            WireLogEntry::NoOp(_) => None,
+        }
+    }
+
+    #[test]
+    fn merge_takes_the_longest_log() {
+        let msgs = vec![
+            vc(0, &[req(1, 10)]),
+            vc(1, &[req(1, 10), req(2, 20)]),
+            vc(2, &[req(1, 10), req(2, 20), req(3, 30)]),
+        ];
+        let merged = merge_logs(&msgs);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(
+            merged.iter().map(payload_of).collect::<Vec<_>>(),
+            vec![Some(10), Some(20), Some(30)]
+        );
+    }
+
+    #[test]
+    fn merge_overlays_noops_from_any_log() {
+        // Replica 2 committed slot 1 as a no-op (with a gap certificate);
+        // the merge must carry the no-op even though a longer log holds a
+        // request there (§B.1 step 4: no-ops overwrite).
+        let msgs = vec![
+            vc(0, &[req(1, 10), req(2, 20), req(3, 30)]),
+            vc(1, &[req(1, 10), WireLogEntry::NoOp(vec![])]),
+            vc(2, &[req(1, 10)]),
+        ];
+        let merged = merge_logs(&msgs);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(payload_of(&merged[0]), Some(10));
+        assert!(matches!(merged[1], WireLogEntry::NoOp(_)));
+        assert_eq!(payload_of(&merged[2]), Some(30));
+    }
+
+    #[test]
+    fn merge_of_empty_logs_is_empty() {
+        let msgs = vec![vc(0, &[]), vc(1, &[]), vc(2, &[])];
+        assert!(merge_logs(&msgs).is_empty());
+    }
+
+    #[test]
+    fn merge_is_deterministic_across_orderings() {
+        let a = vec![
+            vc(0, &[req(1, 1)]),
+            vc(1, &[req(1, 1), req(2, 2)]),
+            vc(2, &[req(1, 1), WireLogEntry::NoOp(vec![])]),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        let ma = merge_logs(&a);
+        let mb = merge_logs(&b);
+        assert_eq!(ma.len(), mb.len());
+        for (x, y) in ma.iter().zip(mb.iter()) {
+            assert_eq!(payload_of(x), payload_of(y));
+        }
+    }
+}

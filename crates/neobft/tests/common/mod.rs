@@ -1,0 +1,131 @@
+//! Shared cluster harness: wires a full NeoBFT deployment (config
+//! service, sequencer, replicas, clients) into the simulator.
+
+use neo_aom::{AuthMode, ConfigService, ReceiverAuth, SequencerHw, SequencerNode};
+use neo_app::{EchoApp, EchoWorkload};
+use neo_core::{Client, NeoConfig, Replica};
+use neo_crypto::{CostModel, SystemKeys};
+use neo_sim::{CpuConfig, FaultPlan, NetConfig, SimConfig, Simulator};
+use neo_wire::{Addr, ClientId, GroupId, ReplicaId};
+
+pub const GROUP: GroupId = GroupId(0);
+
+pub struct ClusterSpec {
+    pub f: usize,
+    pub n_clients: usize,
+    pub ops_per_client: u64,
+    pub cfg: NeoConfig,
+    pub net: NetConfig,
+    pub seed: u64,
+    pub costs: CostModel,
+}
+
+impl ClusterSpec {
+    pub fn small() -> Self {
+        let cfg = NeoConfig::new(1);
+        ClusterSpec {
+            f: 1,
+            n_clients: 1,
+            ops_per_client: 10,
+            cfg,
+            net: NetConfig::DATACENTER,
+            seed: 7,
+            costs: CostModel::FREE,
+        }
+    }
+}
+
+pub struct Cluster {
+    pub sim: Simulator,
+    pub spec: ClusterSpec,
+    pub keys: SystemKeys,
+}
+
+impl Cluster {
+    pub fn build(spec: ClusterSpec) -> Self {
+        let n = spec.cfg.n;
+        let keys = SystemKeys::new(spec.seed, n, spec.n_clients);
+        let mut sim = Simulator::new(SimConfig {
+            net: spec.net,
+            default_cpu: CpuConfig::IDEAL,
+            seed: spec.seed,
+            faults: FaultPlan::none(),
+        });
+
+        // Configuration service.
+        let mut config = ConfigService::new();
+        config.register_group(GROUP, (0..n as u32).map(ReplicaId).collect(), spec.f);
+        sim.add_node(Addr::Config, Box::new(config));
+
+        // Sequencer.
+        let auth_mode = match spec.cfg.auth {
+            ReceiverAuth::Hmac => AuthMode::HmacVector,
+            ReceiverAuth::PublicKey => AuthMode::PublicKey,
+        };
+        let sequencer = SequencerNode::new(
+            GROUP,
+            (0..n as u32).map(ReplicaId).collect(),
+            auth_mode,
+            SequencerHw::Software(spec.costs),
+            &keys,
+        );
+        sim.add_node(Addr::Sequencer(GROUP), Box::new(sequencer));
+
+        // Replicas.
+        for r in 0..n as u32 {
+            let replica = Replica::new(
+                ReplicaId(r),
+                spec.cfg.clone(),
+                &keys,
+                spec.costs,
+                Box::new(EchoApp::new()),
+            );
+            sim.add_node(Addr::Replica(ReplicaId(r)), Box::new(replica));
+        }
+
+        // Clients.
+        for c in 0..spec.n_clients as u64 {
+            let mut client = Client::new(
+                ClientId(c),
+                spec.cfg.clone(),
+                &keys,
+                spec.costs,
+                Box::new(EchoWorkload::new(64, c + 1)),
+            );
+            client.max_ops = Some(spec.ops_per_client);
+            sim.add_node(Addr::Client(ClientId(c)), Box::new(client));
+        }
+
+        Cluster { sim, spec, keys }
+    }
+
+    pub fn client(&self, c: u64) -> &Client {
+        self.sim
+            .node_ref::<Client>(Addr::Client(ClientId(c)))
+            .expect("client exists")
+    }
+
+    pub fn replica(&self, r: u32) -> &Replica {
+        self.sim
+            .node_ref::<Replica>(Addr::Replica(ReplicaId(r)))
+            .expect("replica exists")
+    }
+
+    pub fn sequencer_mut(&mut self) -> &mut SequencerNode {
+        self.sim
+            .node_mut::<SequencerNode>(Addr::Sequencer(GROUP))
+            .expect("sequencer exists")
+    }
+
+    pub fn replica_mut(&mut self, r: u32) -> &mut Replica {
+        self.sim
+            .node_mut::<Replica>(Addr::Replica(ReplicaId(r)))
+            .expect("replica exists")
+    }
+
+    pub fn total_completed(&self) -> u64 {
+        (0..self.spec.n_clients as u64)
+            .map(|c| self.client(c).completed.len() as u64)
+            .sum()
+    }
+}

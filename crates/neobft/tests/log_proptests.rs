@@ -1,0 +1,140 @@
+//! Property-based tests of the replica log's hash-chain invariants.
+
+use neo_aom::{AomPacket, OrderingCert};
+use neo_core::{Log, LogEntry};
+use neo_wire::{AomHeader, GroupId, SeqNum, SlotNum};
+use proptest::prelude::*;
+
+fn oc(seq: u64, payload: u8) -> OrderingCert {
+    let mut header = AomHeader::unstamped(GroupId(0), neo_crypto::sha256(&[payload]).0);
+    header.seq = SeqNum(seq);
+    header.auth = neo_wire::Authenticator::HmacVector(vec![[0u8; 8]; 4]);
+    OrderingCert {
+        packet: AomPacket {
+            header,
+            payload: vec![payload],
+        },
+        confirms: vec![],
+    }
+}
+
+/// A build step for a log.
+#[derive(Clone, Debug)]
+enum Step {
+    AppendRequest(u8),
+    AppendPending,
+    /// Resolve the oldest pending slot (if any) as a request / no-op.
+    ResolveOldest(bool, u8),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        any::<u8>().prop_map(Step::AppendRequest),
+        Just(Step::AppendPending),
+        (any::<bool>(), any::<u8>()).prop_map(|(r, p)| Step::ResolveOldest(r, p)),
+    ]
+}
+
+/// Apply steps; return the final log and the linear entry history that a
+/// straight-line log would contain.
+fn build(steps: &[Step]) -> Log {
+    let mut log = Log::new();
+    let mut seq = 1u64;
+    for step in steps {
+        match step {
+            Step::AppendRequest(p) => {
+                log.append_request(oc(seq, *p));
+                seq += 1;
+            }
+            Step::AppendPending => {
+                log.append_pending();
+                seq += 1;
+            }
+            Step::ResolveOldest(as_request, p) => {
+                if let Some(slot) = log.first_pending() {
+                    let entry = if *as_request {
+                        LogEntry::Request(oc(slot.0 + 1, *p))
+                    } else {
+                        LogEntry::NoOp(None)
+                    };
+                    log.fill(slot, entry).unwrap();
+                }
+            }
+        }
+    }
+    log
+}
+
+proptest! {
+    /// Hashes exist exactly for the resolved prefix, and the watermark
+    /// equals the first pending slot (or the tail).
+    #[test]
+    fn watermark_matches_first_pending(steps in proptest::collection::vec(arb_step(), 0..60)) {
+        let log = build(&steps);
+        let prefix = log.resolved_prefix_len();
+        match log.first_pending() {
+            Some(p) => prop_assert_eq!(prefix, p),
+            None => prop_assert_eq!(prefix, log.len()),
+        }
+        for i in 0..log.len().0 {
+            let slot = SlotNum(i);
+            if i < prefix.0 {
+                prop_assert!(log.hash_at(slot).is_some());
+                prop_assert!(log.entry(slot).is_some());
+            } else {
+                prop_assert!(log.hash_at(slot).is_none());
+            }
+        }
+    }
+
+    /// Two logs whose resolved prefixes contain identical entries have
+    /// identical hashes there — regardless of how the entries arrived
+    /// (straight appends vs. gaps resolved later).
+    #[test]
+    fn hash_depends_only_on_content(entries in proptest::collection::vec(any::<u8>(), 1..30)) {
+        // Log A: straight-line appends.
+        let mut a = Log::new();
+        for (i, p) in entries.iter().enumerate() {
+            a.append_request(oc(i as u64 + 1, *p));
+        }
+        // Log B: every slot starts pending, filled in reverse order.
+        let mut b = Log::new();
+        for _ in &entries {
+            b.append_pending();
+        }
+        for (i, p) in entries.iter().enumerate().rev() {
+            b.fill(SlotNum(i as u64), LogEntry::Request(oc(i as u64 + 1, *p))).unwrap();
+        }
+        prop_assert_eq!(a.len(), b.len());
+        for i in 0..entries.len() as u64 {
+            prop_assert_eq!(a.hash_at(SlotNum(i)), b.hash_at(SlotNum(i)));
+        }
+    }
+
+    /// Truncation is exact: the prefix keeps its hashes, the tail is gone.
+    #[test]
+    fn truncate_preserves_prefix(
+        entries in proptest::collection::vec(any::<u8>(), 1..30),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let mut log = Log::new();
+        for (i, p) in entries.iter().enumerate() {
+            log.append_request(oc(i as u64 + 1, *p));
+        }
+        let cut = SlotNum(cut.index(entries.len()) as u64);
+        let expect: Vec<_> = (0..cut.0).map(|i| log.hash_at(SlotNum(i))).collect();
+        log.truncate(cut);
+        prop_assert_eq!(log.len(), cut);
+        for i in 0..cut.0 {
+            prop_assert_eq!(log.hash_at(SlotNum(i)), expect[i as usize]);
+        }
+    }
+
+    /// Wire form always equals the resolved prefix.
+    #[test]
+    fn wire_form_is_the_resolved_prefix(steps in proptest::collection::vec(arb_step(), 0..60)) {
+        let log = build(&steps);
+        let wire = log.to_wire();
+        prop_assert_eq!(wire.len() as u64, log.resolved_prefix_len().0);
+    }
+}

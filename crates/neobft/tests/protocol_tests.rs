@@ -1,0 +1,340 @@
+//! End-to-end NeoBFT protocol tests in the simulator: the fast path, the
+//! gap protocols, Byzantine participants, and sequencer failover.
+
+mod common;
+
+use common::{Cluster, ClusterSpec, GROUP};
+use neo_aom::{Behavior, NetworkTrust};
+use neo_core::replica::ReplicaBehavior;
+use neo_sim::{FaultPlan, NetConfig, MILLIS, SECS};
+use neo_wire::Addr;
+
+#[test]
+fn fast_path_commits_echo_ops() {
+    let mut cluster = Cluster::build(ClusterSpec::small());
+    cluster.sim.run_until(SECS);
+    let client = cluster.client(0);
+    assert_eq!(client.completed.len(), 10);
+    // Echo semantics: results come back non-empty and ops completed in
+    // order with strictly increasing ids.
+    for (i, op) in client.completed.iter().enumerate() {
+        assert_eq!(op.request_id.0, i as u64 + 1);
+        assert_eq!(op.result.len(), 64);
+        assert_eq!(op.retries, 0, "fast path needs no retries");
+    }
+    // Replicas executed everything and never entered a view change.
+    for r in 0..4 {
+        let replica = cluster.replica(r);
+        assert_eq!(replica.stats.executed, 10);
+        assert_eq!(replica.stats.view_changes, 0);
+        assert_eq!(replica.stats.noops_committed, 0);
+    }
+}
+
+#[test]
+fn fast_path_latency_is_three_hops() {
+    // With zero processing cost and zero jitter the end-to-end latency is
+    // exactly client → sequencer → replica → client = 3 one-way delays.
+    // (The paper counts 2 "message delays" because the sequencer is a
+    // switch already on the client→replica path; the simulator models it
+    // as an explicit hop.)
+    let mut spec = ClusterSpec::small();
+    spec.net = NetConfig {
+        one_way_latency_ns: 5_000,
+        jitter_ns: 0,
+        ns_per_128_bytes: 0,
+        drop_rate: 0.0,
+    };
+    let mut cluster = Cluster::build(spec);
+    cluster.sim.run_until(SECS);
+    let client = cluster.client(0);
+    assert_eq!(client.completed.len(), 10);
+    for op in &client.completed {
+        assert_eq!(op.latency_ns(), 15_000, "3 hops × 5µs, no queueing");
+    }
+}
+
+#[test]
+fn replies_match_across_replicas() {
+    let mut spec = ClusterSpec::small();
+    spec.n_clients = 3;
+    spec.ops_per_client = 20;
+    let mut cluster = Cluster::build(spec);
+    cluster.sim.run_until(SECS);
+    assert_eq!(cluster.total_completed(), 60);
+    // All correct replicas end with identical logs.
+    let h = |r: u32| {
+        let replica = cluster.replica(r);
+        let len = replica.log_len();
+        (len, replica.log().hash_at(neo_wire::SlotNum(len.0 - 1)))
+    };
+    let reference = h(0);
+    for r in 1..4 {
+        assert_eq!(h(r), reference, "replica {r} log diverged");
+    }
+}
+
+#[test]
+fn tolerates_one_mute_byzantine_replica() {
+    // The Zyzzyva-F scenario: one replica goes silent. NeoBFT's fast
+    // path needs only 2f+1 = 3 replies, so throughput and latency are
+    // unaffected (§6.2).
+    let mut spec = ClusterSpec::small();
+    spec.ops_per_client = 25;
+    let mut cluster = Cluster::build(spec);
+    cluster.replica_mut(3).behavior = ReplicaBehavior::Mute;
+    cluster.sim.run_until(SECS);
+    let client = cluster.client(0);
+    assert_eq!(client.completed.len(), 25);
+    assert!(client.completed.iter().all(|op| op.retries == 0));
+}
+
+#[test]
+fn recovers_dropped_messages_from_leader_via_query() {
+    // The sequencer delivers every 3rd message only to replica 0 (the
+    // leader). Followers detect the gap and recover the ordering
+    // certificate with query/query-reply — no agreement, no view change.
+    let mut spec = ClusterSpec::small();
+    spec.ops_per_client = 15;
+    let mut cluster = Cluster::build(spec);
+    cluster
+        .sequencer_mut()
+        .set_behavior(Behavior::DropEveryAtAllButOne(3));
+    cluster.sim.run_until(2 * SECS);
+    let client = cluster.client(0);
+    assert_eq!(client.completed.len(), 15);
+    let recovered: u64 = (1..4)
+        .map(|r| cluster.replica(r).stats.gaps_recovered)
+        .sum();
+    assert!(recovered > 0, "followers recovered certificates");
+    for r in 0..4 {
+        assert_eq!(cluster.replica(r).stats.view_changes, 0);
+        assert_eq!(cluster.replica(r).stats.noops_committed, 0);
+    }
+}
+
+#[test]
+fn commits_noops_when_everyone_misses_a_message() {
+    // The sequencer stamps but drops every 4th message for everyone: the
+    // gap agreement must commit a no-op, and the client's retry commits
+    // the operation in a later slot.
+    let mut spec = ClusterSpec::small();
+    spec.ops_per_client = 10;
+    let mut cluster = Cluster::build(spec);
+    cluster.sequencer_mut().set_behavior(Behavior::DropEvery(4));
+    cluster.sim.run_until(5 * SECS);
+    let client = cluster.client(0);
+    assert_eq!(client.completed.len(), 10, "all ops commit despite drops");
+    assert!(
+        client.completed.iter().any(|op| op.retries > 0),
+        "dropped requests needed retries"
+    );
+    let noops: u64 = (0..4)
+        .map(|r| cluster.replica(r).stats.noops_committed)
+        .sum();
+    assert!(noops > 0, "gap agreement committed no-ops");
+    // Logs still identical.
+    let reference = cluster.replica(0).log_len();
+    for r in 1..4 {
+        assert_eq!(cluster.replica(r).log_len(), reference);
+    }
+}
+
+#[test]
+fn byzantine_network_mode_still_commits() {
+    let mut spec = ClusterSpec::small();
+    spec.cfg = spec.cfg.with_byzantine_network();
+    spec.ops_per_client = 10;
+    let mut cluster = Cluster::build(spec);
+    cluster.sim.run_until(SECS);
+    assert_eq!(cluster.client(0).completed.len(), 10);
+}
+
+#[test]
+fn byzantine_network_mode_with_pk_authenticator() {
+    let mut spec = ClusterSpec::small();
+    spec.cfg = spec.cfg.with_pk().with_byzantine_network();
+    spec.ops_per_client = 5;
+    let mut cluster = Cluster::build(spec);
+    cluster.sim.run_until(SECS);
+    assert_eq!(cluster.client(0).completed.len(), 5);
+}
+
+#[test]
+fn pk_variant_commits() {
+    let mut spec = ClusterSpec::small();
+    spec.cfg = spec.cfg.with_pk();
+    spec.ops_per_client = 10;
+    let mut cluster = Cluster::build(spec);
+    cluster.sim.run_until(SECS);
+    assert_eq!(cluster.client(0).completed.len(), 10);
+}
+
+#[test]
+fn random_network_drops_are_survived() {
+    // Figure 9's mechanism test: uniform packet loss engages drop
+    // recovery but every operation still commits.
+    let mut spec = ClusterSpec::small();
+    spec.ops_per_client = 30;
+    spec.net = NetConfig::DATACENTER.with_drop_rate(0.01);
+    let mut cluster = Cluster::build(spec);
+    cluster.sim.run_until(20 * SECS);
+    assert_eq!(cluster.client(0).completed.len(), 30);
+}
+
+#[test]
+fn equivocating_sequencer_triggers_failover_and_recovery() {
+    // Byzantine-network mode with an equivocating sequencer: confirms
+    // never reach quorum, clients fall back to unicast, replicas ask the
+    // config service for a failover, and the new epoch commits the ops.
+    // Two clients: their interleaved requests give the equivocating
+    // sequencer genuinely different messages to pair under one sequence
+    // number (a single closed-loop client's retry would pair with an
+    // identical copy of itself and slip through).
+    let mut spec = ClusterSpec::small();
+    spec.cfg = spec.cfg.with_byzantine_network();
+    spec.ops_per_client = 3;
+    spec.n_clients = 2;
+    let mut cluster = Cluster::build(spec);
+    cluster.sequencer_mut().set_behavior(Behavior::Equivocate);
+    cluster.sim.run_until(10 * SECS);
+    assert_eq!(
+        cluster.total_completed(),
+        6,
+        "operations commit after sequencer failover"
+    );
+    let client = cluster.client(0);
+    assert!(
+        client.completed.iter().any(|op| op.retries > 0),
+        "the equivocation phase forced retries"
+    );
+    // The config service performed at least one failover and replicas
+    // moved to a new epoch.
+    let vc: u64 = (0..4).map(|r| cluster.replica(r).stats.view_changes).sum();
+    assert!(vc > 0, "an epoch view change happened");
+    for r in 0..4 {
+        assert!(cluster.replica(r).view().epoch.0 >= 1);
+    }
+}
+
+#[test]
+fn muted_sequencer_triggers_failover() {
+    // A crashed/muted sequencer (trusted-network mode) stalls delivery;
+    // the unicast watchdog drives a failover and commits resume.
+    let mut spec = ClusterSpec::small();
+    spec.ops_per_client = 3;
+    let mut cluster = Cluster::build(spec);
+    cluster.sequencer_mut().set_behavior(Behavior::Mute);
+    cluster.sim.run_until(10 * SECS);
+    let client = cluster.client(0);
+    assert_eq!(client.completed.len(), 3);
+    for r in 0..4 {
+        assert!(cluster.replica(r).view().epoch.0 >= 1, "replica {r} moved epochs");
+    }
+}
+
+#[test]
+fn leader_crash_view_change_preserves_commits() {
+    // Crash the leader (replica 0) mid-run while the sequencer drops
+    // messages for everyone, forcing a gap agreement that the dead
+    // leader cannot drive: the agreement timeout elects replica 1.
+    let mut spec = ClusterSpec::small();
+    spec.ops_per_client = 12;
+    let mut cluster = Cluster::build(spec);
+    cluster.sequencer_mut().set_behavior(Behavior::DropEvery(5));
+    // Crash the leader at 1 ms — after the first few commits but before
+    // the first sequencer drop needs gap agreement.
+    *cluster.sim.faults_mut() =
+        FaultPlan::none().crash(Addr::Replica(neo_wire::ReplicaId(0)), MILLIS);
+    cluster.sim.run_until(20 * SECS);
+    let client = cluster.client(0);
+    assert_eq!(client.completed.len(), 12, "ops commit across the view change");
+    let vc: u64 = (1..4).map(|r| cluster.replica(r).stats.view_changes).sum();
+    assert!(vc > 0, "view change elected a new leader");
+    // Surviving replicas agree on their logs.
+    let reference = cluster.replica(1).log_len();
+    for r in 2..4 {
+        assert_eq!(cluster.replica(r).log_len(), reference);
+    }
+}
+
+#[test]
+fn state_sync_advances_sync_point() {
+    let mut spec = ClusterSpec::small();
+    spec.ops_per_client = 40;
+    spec.cfg.sync_interval = 16;
+    let mut cluster = Cluster::build(spec);
+    cluster.sim.run_until(5 * SECS);
+    assert_eq!(cluster.client(0).completed.len(), 40);
+    for r in 0..4 {
+        let replica = cluster.replica(r);
+        assert!(
+            replica.sync_point().0 >= 32,
+            "replica {r} sync point {} advanced",
+            replica.sync_point()
+        );
+        assert!(replica.stats.sync_points > 0);
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = |seed| {
+        let mut spec = ClusterSpec::small();
+        spec.seed = seed;
+        spec.ops_per_client = 10;
+        let mut cluster = Cluster::build(spec);
+        cluster.sim.run_until(SECS);
+        cluster
+            .client(0)
+            .completed
+            .iter()
+            .map(|op| (op.request_id, op.issued_at, op.completed_at))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(3), run(3));
+    assert_ne!(run(3), run(4), "jitter differs across seeds");
+}
+
+#[test]
+fn scales_to_f_4_thirteen_replicas() {
+    let mut spec = ClusterSpec::small();
+    spec.f = 4;
+    spec.cfg = neo_core::NeoConfig::new(4);
+    spec.ops_per_client = 5;
+    spec.n_clients = 2;
+    let mut cluster = Cluster::build(spec);
+    cluster.sim.run_until(SECS);
+    assert_eq!(cluster.total_completed(), 10);
+    // Even with 13 replicas, a mute f-sized coalition is tolerated.
+    let mut spec = ClusterSpec::small();
+    spec.f = 4;
+    spec.cfg = neo_core::NeoConfig::new(4);
+    spec.ops_per_client = 5;
+    let mut cluster = Cluster::build(spec);
+    for r in 9..13 {
+        cluster.replica_mut(r).behavior = ReplicaBehavior::Mute;
+    }
+    cluster.sim.run_until(SECS);
+    assert_eq!(cluster.client(0).completed.len(), 5);
+}
+
+#[test]
+fn sequencer_failover_latency_is_bounded() {
+    // §6.4: failover completes well under a second of virtual time, with
+    // the reconfiguration delay dominating.
+    let mut spec = ClusterSpec::small();
+    spec.ops_per_client = 2;
+    let mut cluster = Cluster::build(spec);
+    cluster.sequencer_mut().set_behavior(Behavior::Mute);
+    cluster.sim.run_until(SECS);
+    assert_eq!(cluster.client(0).completed.len(), 2);
+    let last = cluster.client(0).completed.last().unwrap().completed_at;
+    assert!(
+        last < 500 * MILLIS,
+        "failover + commit finished at {} ms",
+        last / MILLIS
+    );
+    let _ = GROUP;
+    let _ = NetworkTrust::Trusted;
+}

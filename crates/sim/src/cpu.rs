@@ -1,0 +1,223 @@
+//! Per-node CPU model: one serial dispatch core plus a worker-core pool.
+//!
+//! Saturation throughput of every protocol in Figure 7 is set by queueing
+//! at the bottleneck replica. We model the replica process the way the
+//! paper's implementation works: a dispatch thread that receives packets,
+//! runs the protocol state machine, and sends replies; and a pool of
+//! worker threads that perform bulk cryptography.
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// CPU parameters for one node.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct CpuConfig {
+    /// Serial cost to receive + dispatch one message (syscall, parse,
+    /// state-machine bookkeeping).
+    pub dispatch_ns: u64,
+    /// Serial cost to emit one message.
+    pub send_ns: u64,
+    /// Serial cost per kilobyte moved in or out (serialization, memcpy,
+    /// NIC descriptor work) — what makes large batched messages and big
+    /// KV values expensive (Figure 10).
+    pub ns_per_kb: u64,
+    /// Worker cores available for parallel (crypto) work.
+    pub cores: usize,
+}
+
+impl CpuConfig {
+    /// The paper's replica machines: 32 physical cores, kernel UDP stack.
+    pub const SERVER: CpuConfig = CpuConfig {
+        dispatch_ns: 1_100,
+        send_ns: 650,
+        ns_per_kb: 400,
+        cores: 30,
+    };
+
+    /// Client machines (20 cores).
+    pub const CLIENT: CpuConfig = CpuConfig {
+        dispatch_ns: 1_100,
+        send_ns: 650,
+        ns_per_kb: 400,
+        cores: 18,
+    };
+
+    /// Infinitely fast CPU for logic-only tests.
+    pub const IDEAL: CpuConfig = CpuConfig {
+        dispatch_ns: 0,
+        send_ns: 0,
+        ns_per_kb: 0,
+        cores: 1,
+    };
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::SERVER
+    }
+}
+
+/// Queueing state of one node's CPU.
+#[derive(Debug)]
+pub struct CpuState {
+    config: CpuConfig,
+    /// When the dispatch core becomes free.
+    dispatch_free: Time,
+    /// Min-heap of worker-core free times.
+    workers: BinaryHeap<Reverse<Time>>,
+    /// Total serial busy nanoseconds (for utilization reporting).
+    busy_serial: u64,
+    /// Total worker busy nanoseconds.
+    busy_parallel: u64,
+}
+
+impl CpuState {
+    /// Fresh, idle CPU.
+    pub fn new(config: CpuConfig) -> Self {
+        let mut workers = BinaryHeap::with_capacity(config.cores);
+        for _ in 0..config.cores.max(1) {
+            workers.push(Reverse(0));
+        }
+        CpuState {
+            config,
+            dispatch_free: 0,
+            workers,
+            busy_serial: 0,
+            busy_parallel: 0,
+        }
+    }
+
+    /// The configuration this CPU runs with.
+    pub fn config(&self) -> CpuConfig {
+        self.config
+    }
+
+    /// The time at which a job arriving at `arrival` would begin
+    /// processing (the handler's observed `now`).
+    pub fn next_start(&self, arrival: Time) -> Time {
+        arrival.max(self.dispatch_free)
+    }
+
+    /// Admit a message-handling job that arrived at `arrival`, consuming
+    /// `serial_extra` serial ns (metered crypto + explicit charges) plus
+    /// one worker-pool task per entry of `parallel_tasks`, and emitting
+    /// `sends` messages.
+    ///
+    /// Returns `(handler_start, effects_ready)`: the virtual time at which
+    /// the handler logically ran, and the time at which its outputs hit
+    /// the wire (after the slowest of its parallel tasks completes).
+    pub fn admit(
+        &mut self,
+        arrival: Time,
+        serial_extra: u64,
+        parallel_tasks: &[u64],
+        sends: usize,
+        bytes_moved: u64,
+        is_timer: bool,
+    ) -> (Time, Time) {
+        let start = arrival.max(self.dispatch_free);
+        let dispatch = if is_timer { 0 } else { self.config.dispatch_ns };
+        let serial = dispatch
+            + serial_extra
+            + self.config.send_ns * sends as u64
+            + self.config.ns_per_kb * bytes_moved / 1024;
+        let serial_done = start + serial;
+        self.busy_serial += serial;
+        self.dispatch_free = serial_done;
+
+        let mut ready = serial_done;
+        for &task in parallel_tasks {
+            let Reverse(core_free) = self.workers.pop().unwrap_or(Reverse(0));
+            let core_start = serial_done.max(core_free);
+            let core_done = core_start + task;
+            self.workers.push(Reverse(core_done));
+            self.busy_parallel += task;
+            ready = ready.max(core_done);
+        }
+        (start, ready)
+    }
+
+    /// Serial busy time accumulated so far.
+    pub fn busy_serial(&self) -> u64 {
+        self.busy_serial
+    }
+
+    /// Worker busy time accumulated so far.
+    pub fn busy_parallel(&self) -> u64 {
+        self.busy_parallel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_jobs_queue_fifo() {
+        let cfg = CpuConfig {
+            dispatch_ns: 100,
+            send_ns: 10,
+            ns_per_kb: 0,
+            cores: 1,
+        };
+        let mut cpu = CpuState::new(cfg);
+        let (s1, r1) = cpu.admit(0, 0, &[], 1, 0, false);
+        assert_eq!((s1, r1), (0, 110));
+        // Arrives while busy: waits for the dispatch core.
+        let (s2, r2) = cpu.admit(50, 0, &[], 0, 0, false);
+        assert_eq!(s2, 110);
+        assert_eq!(r2, 210);
+    }
+
+    #[test]
+    fn idle_gap_is_not_charged() {
+        let mut cpu = CpuState::new(CpuConfig {
+            dispatch_ns: 100,
+            send_ns: 0,
+            ns_per_kb: 0,
+            cores: 1,
+        });
+        cpu.admit(0, 0, &[], 0, 0, false);
+        let (s, _) = cpu.admit(1_000_000, 0, &[], 0, 0, false);
+        assert_eq!(s, 1_000_000, "CPU idles between arrivals");
+        assert_eq!(cpu.busy_serial(), 200);
+    }
+
+    #[test]
+    fn parallel_work_uses_multiple_cores() {
+        let mut cpu = CpuState::new(CpuConfig {
+            dispatch_ns: 0,
+            send_ns: 0,
+            ns_per_kb: 0,
+            cores: 2,
+        });
+        // Three 1000ns crypto jobs, back to back, on 2 cores.
+        let (_, r1) = cpu.admit(0, 0, &[1000], 0, 0, false);
+        let (_, r2) = cpu.admit(0, 0, &[1000], 0, 0, false);
+        let (_, r3) = cpu.admit(0, 0, &[1000], 0, 0, false);
+        assert_eq!(r1, 1000);
+        assert_eq!(r2, 1000, "second core absorbs the second job");
+        assert_eq!(r3, 2000, "third job waits for a core");
+    }
+
+    #[test]
+    fn timers_skip_dispatch_cost() {
+        let mut cpu = CpuState::new(CpuConfig {
+            dispatch_ns: 500,
+            send_ns: 0,
+            ns_per_kb: 0,
+            cores: 1,
+        });
+        let (_, r) = cpu.admit(0, 0, &[], 0, 0, true);
+        assert_eq!(r, 0, "timer handler with no work is free");
+    }
+
+    #[test]
+    fn explicit_serial_charge_extends_occupancy() {
+        let mut cpu = CpuState::new(CpuConfig::IDEAL);
+        let (_, r) = cpu.admit(10, 777, &[], 0, 0, false);
+        assert_eq!(r, 10 + 777);
+    }
+}

@@ -1,0 +1,150 @@
+//! Targeted fault injection.
+//!
+//! Beyond the uniform random drop rate in [`crate::NetConfig`], experiments
+//! need *surgical* faults: kill the sequencer at t=10s (§6.4), drop every
+//! packet from a given replica (Zyzzyva-F), partition a node, etc. A
+//! [`FaultPlan`] is a set of declarative rules the simulator consults for
+//! every packet.
+
+use crate::time::Time;
+use neo_wire::Addr;
+
+/// One fault rule.
+#[derive(Clone, Debug)]
+pub enum FaultRule {
+    /// Drop every packet whose source matches, within the time window.
+    SilenceSource {
+        /// Source address to silence.
+        addr: Addr,
+        /// Window start (inclusive).
+        from: Time,
+        /// Window end (exclusive); `u64::MAX` = forever.
+        until: Time,
+    },
+    /// Drop every packet whose destination matches, within the window.
+    Isolate {
+        /// Destination to isolate.
+        addr: Addr,
+        /// Window start (inclusive).
+        from: Time,
+        /// Window end (exclusive).
+        until: Time,
+    },
+    /// Drop packets between a specific pair (directional).
+    CutLink {
+        /// Source address.
+        src: Addr,
+        /// Destination address.
+        dst: Addr,
+        /// Window start (inclusive).
+        from: Time,
+        /// Window end (exclusive).
+        until: Time,
+    },
+}
+
+/// A collection of fault rules.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no targeted faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a rule.
+    pub fn with(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Silence `addr` as a sender from `from` onwards (crash fault).
+    pub fn crash(self, addr: Addr, from: Time) -> Self {
+        self.with(FaultRule::SilenceSource {
+            addr,
+            from,
+            until: u64::MAX,
+        })
+        .with(FaultRule::Isolate {
+            addr,
+            from,
+            until: u64::MAX,
+        })
+    }
+
+    /// Should the packet `src → dst` at time `t` be dropped?
+    pub fn drops(&self, src: Addr, dst: Addr, t: Time) -> bool {
+        self.rules.iter().any(|r| match *r {
+            FaultRule::SilenceSource { addr, from, until } => {
+                addr == src && t >= from && t < until
+            }
+            FaultRule::Isolate { addr, from, until } => addr == dst && t >= from && t < until,
+            FaultRule::CutLink {
+                src: s,
+                dst: d,
+                from,
+                until,
+            } => s == src && d == dst && t >= from && t < until,
+        })
+    }
+
+    /// True if the plan has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_wire::{GroupId, ReplicaId};
+
+    const R0: Addr = Addr::Replica(ReplicaId(0));
+    const R1: Addr = Addr::Replica(ReplicaId(1));
+    const SEQ: Addr = Addr::Sequencer(GroupId(0));
+
+    #[test]
+    fn empty_plan_drops_nothing() {
+        let p = FaultPlan::none();
+        assert!(!p.drops(R0, R1, 0));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn silence_source_is_directional_and_windowed() {
+        let p = FaultPlan::none().with(FaultRule::SilenceSource {
+            addr: R0,
+            from: 100,
+            until: 200,
+        });
+        assert!(!p.drops(R0, R1, 99));
+        assert!(p.drops(R0, R1, 100));
+        assert!(p.drops(R0, SEQ, 150));
+        assert!(!p.drops(R0, R1, 200));
+        assert!(!p.drops(R1, R0, 150), "only the source direction");
+    }
+
+    #[test]
+    fn crash_cuts_both_directions_forever() {
+        let p = FaultPlan::none().crash(SEQ, 1000);
+        assert!(!p.drops(SEQ, R0, 999));
+        assert!(p.drops(SEQ, R0, 1000));
+        assert!(p.drops(R0, SEQ, u64::MAX - 1));
+    }
+
+    #[test]
+    fn cut_link_is_pairwise() {
+        let p = FaultPlan::none().with(FaultRule::CutLink {
+            src: R0,
+            dst: R1,
+            from: 0,
+            until: u64::MAX,
+        });
+        assert!(p.drops(R0, R1, 5));
+        assert!(!p.drops(R1, R0, 5));
+        assert!(!p.drops(R0, SEQ, 5));
+    }
+}

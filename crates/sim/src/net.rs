@@ -1,0 +1,83 @@
+//! Network link model.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simulated data-center fabric.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct NetConfig {
+    /// Base one-way latency between any two hosts, in nanoseconds. The
+    /// paper's testbed is a single rack behind one Tofino: ~5 µs one-way.
+    pub one_way_latency_ns: u64,
+    /// Uniform jitter added on top of the base latency: `U[0, jitter)`.
+    pub jitter_ns: u64,
+    /// Serialization delay per byte (ns). 100 Gbps ≈ 0.08 ns/B; we charge
+    /// it in integer picosecond-free form as ns per 128 bytes.
+    pub ns_per_128_bytes: u64,
+    /// Independent per-packet drop probability (Figure 9 sweeps this).
+    pub drop_rate: f64,
+}
+
+impl NetConfig {
+    /// The paper's testbed fabric: 100 Gbps links, one switch hop.
+    pub const DATACENTER: NetConfig = NetConfig {
+        one_way_latency_ns: 5_000,
+        jitter_ns: 500,
+        ns_per_128_bytes: 10,
+        drop_rate: 0.0,
+    };
+
+    /// A perfect, zero-latency network — for unit tests that assert
+    /// protocol logic only.
+    pub const IDEAL: NetConfig = NetConfig {
+        one_way_latency_ns: 0,
+        jitter_ns: 0,
+        ns_per_128_bytes: 0,
+        drop_rate: 0.0,
+    };
+
+    /// Delay experienced by a packet of `len` bytes, given a jitter draw.
+    pub fn delay(&self, len: usize, jitter_draw: u64) -> u64 {
+        self.one_way_latency_ns + jitter_draw + self.ns_per_128_bytes * (len as u64 / 128)
+    }
+
+    /// Same fabric with a different drop rate.
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::DATACENTER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_components_add_up() {
+        let c = NetConfig {
+            one_way_latency_ns: 1000,
+            jitter_ns: 100,
+            ns_per_128_bytes: 10,
+            drop_rate: 0.0,
+        };
+        assert_eq!(c.delay(0, 0), 1000);
+        assert_eq!(c.delay(256, 50), 1000 + 50 + 20);
+    }
+
+    #[test]
+    fn ideal_network_is_instant() {
+        assert_eq!(NetConfig::IDEAL.delay(10_000, 0), 0);
+    }
+
+    #[test]
+    fn with_drop_rate_only_changes_drop_rate() {
+        let c = NetConfig::DATACENTER.with_drop_rate(0.01);
+        assert_eq!(c.drop_rate, 0.01);
+        assert_eq!(c.one_way_latency_ns, NetConfig::DATACENTER.one_way_latency_ns);
+    }
+}

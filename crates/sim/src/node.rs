@@ -1,0 +1,99 @@
+//! The sans-IO node abstraction.
+//!
+//! Every protocol participant — NeoBFT replicas and clients, baseline
+//! protocol nodes, the software aom sequencer, the configuration service —
+//! implements [`Node`]. A node reacts to exactly two stimuli (a message or
+//! a timer) and expresses all side effects through the [`Context`]. The
+//! same state machines run unchanged under the simulator and under the
+//! real tokio/UDP transport.
+
+use neo_wire::Addr;
+use std::any::Any;
+
+/// Handle for a pending timer, scoped to the node that set it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+/// The effect interface a node drives.
+pub trait Context {
+    /// Current virtual (or real) time in nanoseconds.
+    fn now(&self) -> crate::time::Time;
+
+    /// The address this node is registered under.
+    fn me(&self) -> Addr;
+
+    /// Send `payload` to a logical destination. Multicast addresses route
+    /// to the group's sequencer.
+    fn send(&mut self, to: Addr, payload: Vec<u8>) {
+        self.send_after(to, payload, 0);
+    }
+
+    /// Send `payload` after an extra fixed delay beyond normal processing
+    /// — used by the switch models to represent pipeline latency that does
+    /// not occupy the node's CPU.
+    fn send_after(&mut self, to: Addr, payload: Vec<u8>, extra_delay: crate::time::Duration);
+
+    /// Arm a timer that fires after `delay` with the caller-chosen `kind`
+    /// discriminant.
+    fn set_timer(&mut self, delay: crate::time::Duration, kind: u32) -> TimerId;
+
+    /// Cancel a previously armed timer. Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    fn cancel_timer(&mut self, timer: TimerId);
+
+    /// Charge extra serial CPU time beyond what the crypto meter records
+    /// (e.g. MinBFT's USIG round trip into the trusted component).
+    fn charge(&mut self, ns: u64);
+}
+
+/// A protocol state machine.
+///
+/// `Send` so the same node can be moved onto a dedicated thread by the
+/// real (tokio/UDP) transport.
+pub trait Node: Any + Send {
+    /// A message arrived from `from`.
+    fn on_message(&mut self, from: Addr, payload: &[u8], ctx: &mut dyn Context);
+
+    /// A timer armed with `kind` fired.
+    fn on_timer(&mut self, timer: TimerId, kind: u32, ctx: &mut dyn Context);
+
+    /// The crypto meter the simulator drains after each handler, if this
+    /// node performs metered cryptography.
+    fn meter(&self) -> Option<&neo_crypto::Meter> {
+        None
+    }
+
+    /// Downcast support (the experiment harness inspects node state, e.g.
+    /// to read a client's completed-operation records).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Probe(u32);
+    impl Node for Probe {
+        fn on_message(&mut self, _: Addr, _: &[u8], _: &mut dyn Context) {
+            self.0 += 1;
+        }
+        fn on_timer(&mut self, _: TimerId, _: u32, _: &mut dyn Context) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn downcasting_reaches_concrete_state() {
+        let mut n: Box<dyn Node> = Box::new(Probe(7));
+        assert_eq!(n.as_any().downcast_ref::<Probe>().unwrap().0, 7);
+        n.as_any_mut().downcast_mut::<Probe>().unwrap().0 = 9;
+        assert_eq!(n.as_any().downcast_ref::<Probe>().unwrap().0, 9);
+    }
+}

@@ -1,0 +1,43 @@
+//! Network-level counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters the simulator maintains about the fabric.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the network by nodes.
+    pub sent: u64,
+    /// Messages delivered to a node's handler.
+    pub delivered: u64,
+    /// Messages dropped by the random loss process.
+    pub dropped_random: u64,
+    /// Messages dropped by targeted fault rules.
+    pub dropped_fault: u64,
+    /// Messages addressed to an unregistered node.
+    pub dropped_unroutable: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl NetStats {
+    /// All drops combined.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_random + self.dropped_fault + self.dropped_unroutable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropped_sums_categories() {
+        let s = NetStats {
+            dropped_random: 2,
+            dropped_fault: 3,
+            dropped_unroutable: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.dropped(), 10);
+    }
+}

@@ -1,0 +1,30 @@
+//! Virtual time.
+//!
+//! Time is a `u64` count of nanoseconds since simulation start. Protocol
+//! code never consults a wall clock; it reads [`crate::Context::now`].
+
+/// A point in virtual time (nanoseconds since simulation start).
+pub type Time = u64;
+
+/// A span of virtual time (nanoseconds).
+pub type Duration = u64;
+
+/// One microsecond in [`Time`] units.
+pub const MICROS: u64 = 1_000;
+
+/// One millisecond in [`Time`] units.
+pub const MILLIS: u64 = 1_000_000;
+
+/// One second in [`Time`] units.
+pub const SECS: u64 = 1_000_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_relationships() {
+        assert_eq!(MILLIS, 1000 * MICROS);
+        assert_eq!(SECS, 1000 * MILLIS);
+    }
+}

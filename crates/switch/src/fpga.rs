@@ -1,0 +1,224 @@
+//! The aom-pk FPGA coprocessor model (§4.4, Figure 3).
+//!
+//! The Alveo U50 pipeline: packet parser → SHA-256 hash-chain unit →
+//! secp256k1 signer (fed by a precomputed-point table) → stream merger.
+//! A *signing-ratio controller* watches the precompute table's stock
+//! level and tells the signer to skip packets when it runs low; skipped
+//! packets are still hash-chained, and receivers authenticate them in a
+//! batch once the next signed packet arrives.
+//!
+//! The model tracks the precompute table as a token bucket refilled at the
+//! pre-computer's rate and drained one entry per signature. Per-packet
+//! output is `(signed, latency)`, which both the Figure 5 latency sampler
+//! and the aom sequencer node consume.
+
+use crate::SequencerTiming;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the coprocessor design.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct FpgaModel {
+    /// Wire + parse + merge latency through the QSFP28 path (ns).
+    pub io_latency_ns: u64,
+    /// SHA-256 hash-chain unit latency per packet (ns).
+    pub hash_latency_ns: u64,
+    /// Signer latency when a precomputed point is available (ns).
+    pub sign_latency_ns: u64,
+    /// Signer occupancy per signature — the signing-rate bottleneck (ns).
+    pub sign_service_ns: u64,
+    /// Rate at which the pre-computer refills the table (entries/sec).
+    pub precompute_rate_per_sec: u64,
+    /// Capacity of the precomputed-point table (block RAM bound).
+    pub table_capacity: u64,
+    /// Stock level below which the controller starts skipping signatures.
+    pub skip_threshold: u64,
+}
+
+impl FpgaModel {
+    /// The paper's prototype: ~3 µs median latency (Figure 5) and a
+    /// constant 1.1 Mpps signing rate regardless of group size (Figure 6).
+    pub const PAPER: FpgaModel = FpgaModel {
+        io_latency_ns: 1_400,
+        hash_latency_ns: 250,
+        sign_latency_ns: 1_250,
+        sign_service_ns: 909, // 1.1 Mpps
+        precompute_rate_per_sec: 1_100_000,
+        table_capacity: 4_096,
+        skip_threshold: 256,
+    };
+}
+
+impl Default for FpgaModel {
+    fn default() -> Self {
+        FpgaModel::PAPER
+    }
+}
+
+impl SequencerTiming for FpgaModel {
+    fn pipeline_latency_ns(&self, _group_size: usize) -> u64 {
+        self.io_latency_ns + self.hash_latency_ns + self.sign_latency_ns
+    }
+
+    fn service_ns(&self, _group_size: usize) -> u64 {
+        // A single signature per packet, independent of receivers.
+        self.sign_service_ns
+    }
+}
+
+/// Dynamic state of the signing path: precompute stock + controller.
+#[derive(Clone, Debug)]
+pub struct SigningRatioController {
+    model: FpgaModel,
+    /// Current precomputed entries in the table.
+    stock: u64,
+    /// Last virtual time the pre-computer was credited.
+    last_refill_ns: u64,
+    /// Signatures produced.
+    pub signed: u64,
+    /// Packets skipped (hash-chain only).
+    pub skipped: u64,
+}
+
+impl SigningRatioController {
+    /// Start with a full table at time zero.
+    pub fn new(model: FpgaModel) -> Self {
+        SigningRatioController {
+            stock: model.table_capacity,
+            last_refill_ns: 0,
+            model,
+            signed: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Current stock level.
+    pub fn stock(&self) -> u64 {
+        self.stock
+    }
+
+    /// A packet arrives at virtual time `now_ns`. Returns `true` if the
+    /// signer signs it, `false` if the controller skips it (hash-chain
+    /// authentication only).
+    pub fn on_packet(&mut self, now_ns: u64) -> bool {
+        // Credit the pre-computer for elapsed time.
+        if now_ns > self.last_refill_ns {
+            let dt = now_ns - self.last_refill_ns;
+            let credit = dt * self.model.precompute_rate_per_sec / 1_000_000_000;
+            if credit > 0 {
+                self.stock = (self.stock + credit).min(self.model.table_capacity);
+                // Only advance by the time actually converted into credit,
+                // so fractional refill accumulates across calls.
+                self.last_refill_ns +=
+                    credit * 1_000_000_000 / self.model.precompute_rate_per_sec;
+            }
+        }
+        if self.stock > self.model.skip_threshold {
+            self.stock -= 1;
+            self.signed += 1;
+            true
+        } else {
+            self.skipped += 1;
+            false
+        }
+    }
+
+    /// Fraction of packets signed so far.
+    pub fn signing_ratio(&self) -> f64 {
+        let total = self.signed + self.skipped;
+        if total == 0 {
+            1.0
+        } else {
+            self.signed as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_matches_figure5_median() {
+        let m = FpgaModel::PAPER;
+        let lat = m.pipeline_latency_ns(4);
+        assert!(
+            (2_500..3_500).contains(&lat),
+            "≈3µs median, got {lat}ns"
+        );
+        assert_eq!(
+            lat,
+            m.pipeline_latency_ns(64),
+            "latency is group-size agnostic"
+        );
+    }
+
+    #[test]
+    fn throughput_is_group_size_agnostic_1_1_mpps() {
+        let m = FpgaModel::PAPER;
+        for g in [4, 16, 64, 100] {
+            let t = m.max_throughput_pps(g) / 1e6;
+            assert!((1.0..1.2).contains(&t), "~1.1 Mpps, got {t:.2}");
+        }
+    }
+
+    #[test]
+    fn controller_signs_everything_below_precompute_rate() {
+        let m = FpgaModel::PAPER;
+        let mut c = SigningRatioController::new(m);
+        // 0.5 Mpps for 100 ms: always below the 1.1 M/s refill rate.
+        let mut now = 0;
+        for _ in 0..50_000 {
+            now += 2_000; // 0.5 Mpps
+            assert!(c.on_packet(now), "no skips under light load");
+        }
+        assert_eq!(c.skipped, 0);
+        assert!((c.signing_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn controller_skips_under_overload() {
+        let m = FpgaModel::PAPER;
+        let mut c = SigningRatioController::new(m);
+        // 5 Mpps for 50 ms: far above the refill rate; the table drains
+        // and the controller must start skipping.
+        let mut now = 0;
+        for _ in 0..250_000 {
+            now += 200; // 5 Mpps
+            c.on_packet(now);
+        }
+        assert!(c.skipped > 0, "controller engaged");
+        // Steady-state signing rate equals the precompute rate: ~1.1M/s of
+        // a 5M/s stream ≈ 22%.
+        let ratio = c.signing_ratio();
+        assert!(
+            (0.15..0.35).contains(&ratio),
+            "steady-state ratio ≈ precompute/arrival = 0.22, got {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn stock_never_exceeds_capacity() {
+        let m = FpgaModel::PAPER;
+        let mut c = SigningRatioController::new(m);
+        c.on_packet(0);
+        // A long idle period refills at most to capacity.
+        c.on_packet(10_000_000_000);
+        assert!(c.stock() <= m.table_capacity);
+    }
+
+    #[test]
+    fn signing_resumes_after_overload_ends() {
+        let m = FpgaModel::PAPER;
+        let mut c = SigningRatioController::new(m);
+        let mut now = 0;
+        for _ in 0..100_000 {
+            now += 150; // overload
+            c.on_packet(now);
+        }
+        let skipped_before = c.skipped;
+        assert!(skipped_before > 0);
+        // Idle for 10 ms: the table refills above the threshold.
+        now += 10_000_000;
+        assert!(c.on_packet(now), "signing resumes after refill");
+    }
+}

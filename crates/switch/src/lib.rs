@@ -1,0 +1,55 @@
+//! # neo-switch
+//!
+//! Timing and resource models of the two aom sequencer hardware designs,
+//! plus the shared open-loop queueing sampler used by the Figure 4/5/6
+//! micro-benchmarks.
+//!
+//! The paper prototypes aom on an Intel Tofino switch (aom-hm, §4.3) and
+//! on a Tofino + Xilinx Alveo U50 FPGA coprocessor (aom-pk, §4.4). We do
+//! not have that hardware; per the reproduction methodology (DESIGN.md §2)
+//! we model the *structure* that determines the published numbers:
+//!
+//! * [`tofino`] — the folded-pipeline HMAC design: 12 recirculation passes
+//!   per 4-HMAC subgroup, 16 loopback ports, per-pass latency, pass-slot
+//!   capacity. This yields Figure 4's ~9 µs median latency and Figure 6's
+//!   77 Mpps → 5.7 Mpps throughput fall-off with group size.
+//! * [`fpga`] — the coprocessor: SHA-256 hash-chain unit, secp256k1 signer
+//!   fed by a precomputed-point table, the signing-ratio controller that
+//!   skips signatures when the table runs low. This yields Figure 5's
+//!   ~3 µs latency and Figure 6's group-size-independent 1.1 Mpps.
+//! * [`queue`] — a deterministic-service FIFO sampler that turns a
+//!   (latency, capacity) model plus an arrival process into the latency
+//!   distributions plotted in Figures 4 and 5.
+//! * [`resources`] — structural resource accounting reproducing Table 2
+//!   (switch stage/hash/VLIW usage) and Table 3 (FPGA LUT/REG/BRAM/DSP).
+//!
+//! The *protocol* behaviour of the sequencer (stamping, authentication,
+//! multicast, failover) lives in `neo-aom`; these models only supply
+//! timing and capacity.
+
+pub mod fpga;
+pub mod queue;
+pub mod resources;
+pub mod tofino;
+
+pub use fpga::FpgaModel;
+pub use queue::{percentile, LatencySampler};
+pub use resources::{fpga_resource_table, switch_resource_table, FpgaResourceRow, SwitchResourceRow};
+pub use tofino::TofinoModel;
+
+/// Common timing interface both sequencer hardware models expose to the
+/// aom sequencer node.
+pub trait SequencerTiming {
+    /// Fixed processing latency a packet experiences through the device
+    /// for a given receiver-group size, in nanoseconds (excludes queueing).
+    fn pipeline_latency_ns(&self, group_size: usize) -> u64;
+
+    /// Time the device's bottleneck resource is occupied per packet, in
+    /// nanoseconds (the reciprocal of maximum throughput).
+    fn service_ns(&self, group_size: usize) -> u64;
+
+    /// Maximum sustainable packets per second for the group size.
+    fn max_throughput_pps(&self, group_size: usize) -> f64 {
+        1e9 / self.service_ns(group_size) as f64
+    }
+}

@@ -1,0 +1,140 @@
+//! Open-loop latency sampling for the Figure 4/5 micro-benchmarks.
+//!
+//! The paper drives each hardware design with the Tofino packet generator
+//! at a fraction of saturation load and plots the per-packet latency CDF.
+//! We reproduce that with a deterministic-service FIFO queue (the pipeline
+//! bottleneck) fed by a Poisson arrival process: per-packet latency =
+//! pipeline latency + queue wait.
+
+use crate::SequencerTiming;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates per-packet latency samples for a sequencer hardware model
+/// under open-loop load.
+pub struct LatencySampler<'a, T: SequencerTiming> {
+    model: &'a T,
+    group_size: usize,
+}
+
+impl<'a, T: SequencerTiming> LatencySampler<'a, T> {
+    /// Sample latencies for `model` serving `group_size` receivers.
+    pub fn new(model: &'a T, group_size: usize) -> Self {
+        LatencySampler { model, group_size }
+    }
+
+    /// Draw `n` per-packet latencies (ns) at `load` fraction of saturation
+    /// (0 < load ≤ 0.999…). Deterministic for a given `seed`.
+    pub fn sample(&self, load: f64, n: usize, seed: u64) -> Vec<u64> {
+        assert!(load > 0.0 && load < 1.0, "load must be in (0,1)");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let service = self.model.service_ns(self.group_size) as f64;
+        let pipeline = self.model.pipeline_latency_ns(self.group_size);
+        let mean_interarrival = service / load;
+
+        let mut out = Vec::with_capacity(n);
+        let mut now = 0.0f64;
+        let mut server_free = 0.0f64;
+        // Warm the queue past its transient before recording.
+        let warmup = n / 4;
+        for i in 0..n + warmup {
+            // Exponential inter-arrival (Poisson process).
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            now += -mean_interarrival * u.ln();
+            let start = now.max(server_free);
+            server_free = start + service;
+            let latency = (start - now) + service + pipeline as f64;
+            if i >= warmup {
+                out.push(latency as u64);
+            }
+        }
+        out
+    }
+}
+
+/// The `p`-th percentile (0–100) of a sample set. Sorts a copy.
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    assert!(!samples.is_empty());
+    let mut s = samples.to_vec();
+    s.sort_unstable();
+    let rank = ((p / 100.0) * (s.len() - 1) as f64).round() as usize;
+    s[rank.min(s.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpga::FpgaModel;
+    use crate::tofino::TofinoModel;
+
+    #[test]
+    fn percentile_basics() {
+        let s: Vec<u64> = (0..=100).collect();
+        assert_eq!(percentile(&s, 0.0), 0);
+        assert_eq!(percentile(&s, 50.0), 50);
+        assert_eq!(percentile(&s, 100.0), 100);
+    }
+
+    #[test]
+    fn light_load_latency_is_near_pipeline_latency() {
+        let m = TofinoModel::PAPER;
+        let sampler = LatencySampler::new(&m, 4);
+        let samples = sampler.sample(0.25, 20_000, 1);
+        let p50 = percentile(&samples, 50.0);
+        let base = m.pipeline_latency_ns(4);
+        assert!(
+            p50 >= base && p50 < base + 200,
+            "median ~pipeline latency: {p50} vs {base}"
+        );
+    }
+
+    #[test]
+    fn near_saturation_has_a_longer_tail() {
+        let m = TofinoModel::PAPER;
+        let sampler = LatencySampler::new(&m, 4);
+        let low = sampler.sample(0.25, 20_000, 1);
+        let high = sampler.sample(0.99, 20_000, 1);
+        let base = m.pipeline_latency_ns(4);
+        let wait_low = percentile(&low, 99.9).saturating_sub(base);
+        let wait_high = percentile(&high, 99.9).saturating_sub(base);
+        assert!(
+            wait_high > wait_low * 10,
+            "99% load queueing tail ({wait_high}) ≫ 25% load tail ({wait_low})"
+        );
+    }
+
+    #[test]
+    fn moderate_load_latency_is_highly_consistent() {
+        // Paper: "the 99.9% latency increases by only 0.7% compared to the
+        // median" for aom-hm at sub-saturation load.
+        let m = TofinoModel::PAPER;
+        let sampler = LatencySampler::new(&m, 4);
+        let s = sampler.sample(0.5, 50_000, 2);
+        let p50 = percentile(&s, 50.0) as f64;
+        let p999 = percentile(&s, 99.9) as f64;
+        assert!(
+            p999 / p50 < 1.05,
+            "tight distribution below saturation: {p999}/{p50}"
+        );
+    }
+
+    #[test]
+    fn fpga_median_is_faster_than_tofino() {
+        let hm = TofinoModel::PAPER;
+        let pk = FpgaModel::PAPER;
+        let hm50 = percentile(&LatencySampler::new(&hm, 4).sample(0.5, 10_000, 3), 50.0);
+        let pk50 = percentile(&LatencySampler::new(&pk, 4).sample(0.5, 10_000, 3), 50.0);
+        assert!(
+            pk50 < hm50 / 2,
+            "aom-pk (~3µs = {pk50}) beats aom-hm (~9µs = {hm50})"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let m = FpgaModel::PAPER;
+        let s1 = LatencySampler::new(&m, 4).sample(0.5, 1000, 9);
+        let s2 = LatencySampler::new(&m, 4).sample(0.5, 1000, 9);
+        assert_eq!(s1, s2);
+    }
+}

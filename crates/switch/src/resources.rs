@@ -1,0 +1,351 @@
+//! Structural resource accounting (Tables 2 and 3).
+//!
+//! Hardware resource budgets are fixed by the devices; each design
+//! component declares how much of each resource it consumes, and the
+//! accounting divides by the device totals. Per-component consumption is
+//! taken from the paper's prototype (Table 2 and Table 3 of §6); the
+//! totals are the public device specifications (Tofino-1: 12 stages per
+//! pipe; Alveo U50: 870K LUTs, 1740K registers, 1.34K BRAM tiles, 5.94K
+//! DSP slices).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-stage capacities of one Tofino pipe (public Tofino-1 figures,
+/// normalized units).
+#[derive(Clone, Copy, Debug)]
+pub struct TofinoPipeBudget {
+    /// Match-action stages per pipe.
+    pub stages: u32,
+    /// Action-data bytes per pipe.
+    pub action_data_bytes: u64,
+    /// Hash-distribution bits per pipe.
+    pub hash_bits: u64,
+    /// Hash computation units per pipe.
+    pub hash_units: u64,
+    /// VLIW instruction slots per pipe.
+    pub vliw_slots: u64,
+}
+
+/// Tofino-1, one pipe.
+pub const TOFINO_PIPE: TofinoPipeBudget = TofinoPipeBudget {
+    stages: 12,
+    action_data_bytes: 12_288,
+    hash_bits: 61_440,
+    hash_units: 72,
+    vliw_slots: 384,
+};
+
+/// A component placed into a pipe, with its absolute resource use.
+#[derive(Clone, Debug)]
+pub struct SwitchComponent {
+    /// Component name (for reporting).
+    pub name: &'static str,
+    /// Pipe index the component occupies (0 = forwarding, 1 = HMAC).
+    pub pipe: u8,
+    /// Stages the component's tables span.
+    pub stages: u32,
+    /// Action-data bytes consumed.
+    pub action_data_bytes: u64,
+    /// Hash bits consumed.
+    pub hash_bits: u64,
+    /// Hash units consumed.
+    pub hash_units: u64,
+    /// VLIW slots consumed.
+    pub vliw_slots: u64,
+}
+
+/// The aom-hm prototype's component inventory.
+///
+/// Pipe 0 carries L2/L3 forwarding, the per-group sequence counters and
+/// the group match table, and the multicast/replication configuration.
+/// Pipe 1 carries the four unrolled HalfSipHash instances.
+pub fn aom_hm_components() -> Vec<SwitchComponent> {
+    vec![
+        SwitchComponent {
+            name: "l2l3-routing",
+            pipe: 0,
+            stages: 3,
+            action_data_bytes: 58,
+            hash_bits: 737,
+            hash_units: 0,
+            vliw_slots: 7,
+        },
+        SwitchComponent {
+            name: "aom-sequencer",
+            pipe: 0,
+            stages: 3,
+            action_data_bytes: 30,
+            hash_bits: 368,
+            hash_units: 0,
+            vliw_slots: 4,
+        },
+        SwitchComponent {
+            name: "replication-engine",
+            pipe: 0,
+            stages: 1,
+            action_data_bytes: 10,
+            hash_bits: 124,
+            hash_units: 0,
+            vliw_slots: 2,
+        },
+        // Four parallel unrolled HalfSipHash instances: each uses 14 hash
+        // units, ~3.2 KB of round keys/state in action data, ~3.3 K hash
+        // bits, and 11–12 VLIW slots across the 12 stages.
+        SwitchComponent {
+            name: "halfsiphash-x4",
+            pipe: 1,
+            stages: 12,
+            action_data_bytes: 1_573,
+            hash_bits: 13_025,
+            hash_units: 56,
+            vliw_slots: 46,
+        },
+    ]
+}
+
+/// One row of Table 2.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct SwitchResourceRow {
+    /// Module label ("Pipe 0" / "Pipe 1").
+    pub module: String,
+    /// Stages occupied.
+    pub stages: u32,
+    /// Action-data utilization (percent of pipe budget).
+    pub action_data_pct: f64,
+    /// Hash-bit utilization (percent).
+    pub hash_bit_pct: f64,
+    /// Hash-unit utilization (percent).
+    pub hash_unit_pct: f64,
+    /// VLIW utilization (percent).
+    pub vliw_pct: f64,
+}
+
+fn pct(used: u64, total: u64) -> f64 {
+    (used as f64 / total as f64 * 1000.0).round() / 10.0
+}
+
+/// Compute Table 2 from the component inventory.
+pub fn switch_resource_table() -> Vec<SwitchResourceRow> {
+    let comps = aom_hm_components();
+    let budget = TOFINO_PIPE;
+    (0u8..2)
+        .map(|pipe| {
+            let in_pipe: Vec<_> = comps.iter().filter(|c| c.pipe == pipe).collect();
+            let sum = |f: fn(&SwitchComponent) -> u64| in_pipe.iter().map(|c| f(c)).sum::<u64>();
+            SwitchResourceRow {
+                module: format!("Pipe {pipe}"),
+                stages: in_pipe.iter().map(|c| c.stages).max().unwrap_or(0).max(
+                    if pipe == 0 {
+                        // Pipe 0 components are laid out sequentially
+                        // (routing → sequencing → replication): 7 stages.
+                        in_pipe.iter().map(|c| c.stages).sum::<u32>()
+                    } else {
+                        0
+                    },
+                ),
+                action_data_pct: pct(sum(|c| c.action_data_bytes), budget.action_data_bytes),
+                hash_bit_pct: pct(sum(|c| c.hash_bits), budget.hash_bits),
+                hash_unit_pct: pct(sum(|c| c.hash_units), budget.hash_units),
+                vliw_pct: pct(sum(|c| c.vliw_slots), budget.vliw_slots),
+            }
+        })
+        .collect()
+}
+
+/// Alveo U50 device totals (Table 3 "Available" row).
+#[derive(Clone, Copy, Debug)]
+pub struct FpgaBudget {
+    /// Lookup tables.
+    pub lut: u64,
+    /// Flip-flop registers.
+    pub register: u64,
+    /// Block RAM tiles.
+    pub bram: u64,
+    /// DSP slices.
+    pub dsp: u64,
+}
+
+/// Alveo U50.
+pub const ALVEO_U50: FpgaBudget = FpgaBudget {
+    lut: 870_000,
+    register: 1_740_000,
+    bram: 1_340,
+    dsp: 5_940,
+};
+
+/// A hardware module in the coprocessor design.
+#[derive(Clone, Debug)]
+pub struct FpgaComponent {
+    /// Module name.
+    pub name: &'static str,
+    /// LUTs used.
+    pub lut: u64,
+    /// Registers used.
+    pub register: u64,
+    /// BRAM tiles used.
+    pub bram: u64,
+    /// DSP slices used.
+    pub dsp: u64,
+}
+
+/// The aom-pk coprocessor's module inventory (Figure 3).
+pub fn aom_pk_components() -> Vec<FpgaComponent> {
+    vec![
+        FpgaComponent {
+            name: "packet-pipeline", // parser + updater + merger
+            lut: 7_917,
+            register: 12_180,
+            bram: 28,
+            dsp: 34,
+        },
+        FpgaComponent {
+            name: "secp256k1-signer",
+            lut: 182_700,
+            register: 337_560,
+            bram: 144,
+            dsp: 1_694,
+        },
+        FpgaComponent {
+            name: "secp256k1-precomputer",
+            // The pre-computer shares the signer's field-arithmetic cores
+            // (it runs in the signer's idle slots), so it adds almost no
+            // DSP of its own.
+            lut: 64_000,
+            register: 92_000,
+            bram: 96,
+            dsp: 4,
+        },
+        FpgaComponent {
+            name: "sha256-hash-chain",
+            lut: 21_000,
+            register: 38_000,
+            bram: 12,
+            dsp: 0,
+        },
+        FpgaComponent {
+            name: "signing-ratio-controller",
+            lut: 1_200,
+            register: 2_600,
+            bram: 2,
+            dsp: 0,
+        },
+        FpgaComponent {
+            name: "qsfp28-ethernet",
+            lut: 25_000,
+            register: 26_000,
+            bram: 103,
+            dsp: 0,
+        },
+    ]
+}
+
+/// One row of Table 3.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct FpgaResourceRow {
+    /// Module label.
+    pub module: String,
+    /// LUT utilization (percent of device).
+    pub lut_pct: f64,
+    /// Register utilization (percent).
+    pub register_pct: f64,
+    /// BRAM utilization (percent).
+    pub bram_pct: f64,
+    /// DSP utilization (percent).
+    pub dsp_pct: f64,
+}
+
+/// Compute Table 3: the Pipeline and Signer rows the paper itemizes, plus
+/// the Total over all modules.
+pub fn fpga_resource_table() -> Vec<FpgaResourceRow> {
+    let comps = aom_pk_components();
+    let b = ALVEO_U50;
+    let row = |module: &str, lut: u64, reg: u64, bram: u64, dsp: u64| FpgaResourceRow {
+        module: module.to_string(),
+        lut_pct: (lut as f64 / b.lut as f64 * 10000.0).round() / 100.0,
+        register_pct: (reg as f64 / b.register as f64 * 10000.0).round() / 100.0,
+        bram_pct: (bram as f64 / b.bram as f64 * 10000.0).round() / 100.0,
+        dsp_pct: (dsp as f64 / b.dsp as f64 * 10000.0).round() / 100.0,
+    };
+    let pipeline = comps.iter().find(|c| c.name == "packet-pipeline").unwrap();
+    let signer = comps.iter().find(|c| c.name == "secp256k1-signer").unwrap();
+    let total = comps.iter().fold((0, 0, 0, 0), |acc, c| {
+        (
+            acc.0 + c.lut,
+            acc.1 + c.register,
+            acc.2 + c.bram,
+            acc.3 + c.dsp,
+        )
+    });
+    vec![
+        row(
+            "Pipeline",
+            pipeline.lut,
+            pipeline.register,
+            pipeline.bram,
+            pipeline.dsp,
+        ),
+        row("Signer", signer.lut, signer.register, signer.bram, signer.dsp),
+        row("Total", total.0, total.1, total.2, total.3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let t = switch_resource_table();
+        assert_eq!(t.len(), 2);
+        let p0 = &t[0];
+        assert_eq!(p0.stages, 7);
+        assert!((p0.action_data_pct - 0.8).abs() < 0.15, "{}", p0.action_data_pct);
+        assert!((p0.hash_bit_pct - 2.0).abs() < 0.15);
+        assert_eq!(p0.hash_unit_pct, 0.0);
+        assert!((p0.vliw_pct - 3.4).abs() < 0.15);
+        let p1 = &t[1];
+        assert_eq!(p1.stages, 12);
+        assert!((p1.action_data_pct - 12.8).abs() < 0.2, "{}", p1.action_data_pct);
+        assert!((p1.hash_bit_pct - 21.2).abs() < 0.2);
+        assert!((p1.hash_unit_pct - 77.8).abs() < 0.2);
+        assert!((p1.vliw_pct - 12.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn table3_matches_paper() {
+        let t = fpga_resource_table();
+        let pipeline = &t[0];
+        assert!((pipeline.lut_pct - 0.91).abs() < 0.05, "{}", pipeline.lut_pct);
+        assert!((pipeline.register_pct - 0.70).abs() < 0.05);
+        assert!((pipeline.bram_pct - 2.12).abs() < 0.1);
+        assert!((pipeline.dsp_pct - 0.57).abs() < 0.05);
+        let signer = &t[1];
+        assert!((signer.lut_pct - 21.0).abs() < 0.1);
+        assert!((signer.register_pct - 19.4).abs() < 0.1);
+        assert!((signer.bram_pct - 10.71).abs() < 0.15);
+        assert!((signer.dsp_pct - 28.52).abs() < 0.15);
+        let total = &t[2];
+        assert!((total.lut_pct - 34.69).abs() < 0.3, "{}", total.lut_pct);
+        assert!((total.register_pct - 29.22).abs() < 0.3);
+        assert!((total.bram_pct - 28.76).abs() < 0.5);
+        assert!((total.dsp_pct - 29.16).abs() < 0.5);
+    }
+
+    #[test]
+    fn nothing_exceeds_device_budget() {
+        let comps = aom_pk_components();
+        let lut: u64 = comps.iter().map(|c| c.lut).sum();
+        assert!(lut < ALVEO_U50.lut);
+        let t = switch_resource_table();
+        for row in t {
+            for v in [
+                row.action_data_pct,
+                row.hash_bit_pct,
+                row.hash_unit_pct,
+                row.vliw_pct,
+            ] {
+                assert!((0.0..=100.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The folded-pipeline aom-hm data plane model (§4.3, Figure 2).
+//!
+//! Structure taken from the paper:
+//!
+//! * The reference HalfSipHash implementation uses all 12 stages of one
+//!   pipeline for 6 passes per HMAC; the unrolled variant used here
+//!   halves per-pass resources, doubling passes to **12 per HMAC** but
+//!   fitting **4 parallel instances**, so one subgroup of 4 receivers
+//!   costs 12 pass-slots total.
+//! * Receivers are partitioned into ⌈group/4⌉ subgroups; the packet is
+//!   multicast to one loopback port per subgroup; with 16 loopback ports
+//!   the design scales to 64 receivers.
+//! * Pipe 0 does ingress/sequencing/egress (7 stages); pipe 1 is dedicated
+//!   to HMAC generation.
+
+use crate::SequencerTiming;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Tofino aom-hm design.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct TofinoModel {
+    /// Latency of one recirculation pass through the HMAC pipe (ns).
+    pub pass_latency_ns: u64,
+    /// Base forwarding latency through ingress + egress (ns).
+    pub base_latency_ns: u64,
+    /// Recirculation passes needed per HMAC (unrolled HalfSipHash).
+    pub passes_per_hmac: u64,
+    /// Parallel HalfSipHash instances per pass (subgroup width).
+    pub subgroup_width: usize,
+    /// Loopback ports available for subgroup fan-out.
+    pub loopback_ports: usize,
+    /// Aggregate pass-slot capacity of the HMAC pipe (pass-slots/sec).
+    /// One aom packet consumes `passes_per_hmac × n_subgroups` slots.
+    pub pass_slots_per_sec: u64,
+}
+
+impl TofinoModel {
+    /// The paper's prototype: calibrated so that group-of-4 throughput is
+    /// 77 Mpps and median latency ≈ 9 µs (Figures 4 and 6).
+    pub const PAPER: TofinoModel = TofinoModel {
+        pass_latency_ns: 683,
+        base_latency_ns: 800,
+        passes_per_hmac: 12,
+        subgroup_width: 4,
+        loopback_ports: 16,
+        pass_slots_per_sec: 924_000_000,
+    };
+
+    /// Number of subgroups (and loopback ports engaged) for a group.
+    pub fn subgroups(&self, group_size: usize) -> usize {
+        group_size.div_ceil(self.subgroup_width).max(1)
+    }
+
+    /// Largest group size the design supports (§4.3: 64 with 16 ports).
+    pub fn max_group_size(&self) -> usize {
+        self.loopback_ports * self.subgroup_width
+    }
+
+    /// True if the group fits the hardware.
+    pub fn supports(&self, group_size: usize) -> bool {
+        group_size <= self.max_group_size()
+    }
+}
+
+impl Default for TofinoModel {
+    fn default() -> Self {
+        TofinoModel::PAPER
+    }
+}
+
+impl SequencerTiming for TofinoModel {
+    fn pipeline_latency_ns(&self, _group_size: usize) -> u64 {
+        // Subgroups recirculate in parallel on distinct loopback ports, so
+        // latency is passes × per-pass regardless of group size.
+        self.base_latency_ns + self.passes_per_hmac * self.pass_latency_ns
+    }
+
+    fn service_ns(&self, group_size: usize) -> u64 {
+        // Each packet consumes passes_per_hmac pass-slots per subgroup of
+        // the shared HMAC pipe.
+        let slots = self.passes_per_hmac * self.subgroups(group_size) as u64;
+        // ns per packet = slots / (slots_per_sec / 1e9)
+        (slots * 1_000_000_000).div_ceil(self.pass_slots_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_matches_paper_median() {
+        let m = TofinoModel::PAPER;
+        let lat = m.pipeline_latency_ns(4);
+        assert!(
+            (8_500..9_500).contains(&lat),
+            "≈9µs median for group of 4, got {lat}ns"
+        );
+        // Latency is group-size independent (parallel loopback ports).
+        assert_eq!(lat, m.pipeline_latency_ns(64));
+    }
+
+    #[test]
+    fn throughput_matches_figure6_endpoints() {
+        let m = TofinoModel::PAPER;
+        let t4 = m.max_throughput_pps(4) / 1e6;
+        assert!((70.0..85.0).contains(&t4), "~77 Mpps at 4, got {t4:.1}");
+        let t64 = m.max_throughput_pps(64) / 1e6;
+        assert!((4.0..7.0).contains(&t64), "~5.7 Mpps at 64, got {t64:.1}");
+        // The fall-off factor the paper quotes: 64-receiver throughput is
+        // under 10% of the 4-receiver figure.
+        assert!(t64 / t4 < 0.10);
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_group_size() {
+        let m = TofinoModel::PAPER;
+        let mut last = f64::INFINITY;
+        for g in [4, 8, 16, 24, 32, 48, 64] {
+            let t = m.max_throughput_pps(g);
+            assert!(t <= last, "throughput cannot rise with group size");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn subgroup_partitioning() {
+        let m = TofinoModel::PAPER;
+        assert_eq!(m.subgroups(1), 1);
+        assert_eq!(m.subgroups(4), 1);
+        assert_eq!(m.subgroups(5), 2);
+        assert_eq!(m.subgroups(64), 16);
+        assert_eq!(m.max_group_size(), 64);
+        assert!(m.supports(64));
+        assert!(!m.supports(65));
+    }
+
+    #[test]
+    fn same_capacity_within_a_subgroup_boundary() {
+        let m = TofinoModel::PAPER;
+        assert_eq!(m.service_ns(1), m.service_ns(4));
+        assert!(m.service_ns(5) > m.service_ns(4));
+    }
+}

@@ -1,0 +1,90 @@
+//! Logical addresses.
+//!
+//! Protocol state machines are sans-IO: they name destinations with a
+//! logical [`Addr`], and the transport (simulator or tokio/UDP) resolves it
+//! to a delivery path. This mirrors the paper's architecture where senders
+//! "only specify the group address as the destination" (§3.2) and never
+//! learn receiver identities.
+
+use crate::id::{ClientId, GroupId, ReplicaId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A logical destination or source in the system.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Addr {
+    /// A replica in the replication group.
+    Replica(ReplicaId),
+    /// A client process.
+    Client(ClientId),
+    /// The sequencer currently serving a group (switch or software).
+    Sequencer(GroupId),
+    /// The network-wide configuration service (§4.1).
+    Config,
+    /// An aom group address: routed to the group's sequencer, which stamps
+    /// and multicasts to all receivers.
+    Multicast(GroupId),
+}
+
+impl Addr {
+    /// Returns the replica id if this address names a replica.
+    pub fn as_replica(self) -> Option<ReplicaId> {
+        match self {
+            Addr::Replica(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Returns the client id if this address names a client.
+    pub fn as_client(self) -> Option<ClientId> {
+        match self {
+            Addr::Client(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// True if the address is a point-to-point endpoint (not a multicast
+    /// group address).
+    pub fn is_unicast(self) -> bool {
+        !matches!(self, Addr::Multicast(_))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Replica(r) => write!(f, "{r}"),
+            Addr::Client(c) => write!(f, "{c}"),
+            Addr::Sequencer(g) => write!(f, "seq[{g}]"),
+            Addr::Config => write!(f, "config"),
+            Addr::Multicast(g) => write!(f, "mcast[{g}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Addr::Replica(ReplicaId(2)).as_replica(), Some(ReplicaId(2)));
+        assert_eq!(Addr::Client(ClientId(5)).as_replica(), None);
+        assert_eq!(Addr::Client(ClientId(5)).as_client(), Some(ClientId(5)));
+        assert_eq!(Addr::Config.as_client(), None);
+    }
+
+    #[test]
+    fn unicast_classification() {
+        assert!(Addr::Replica(ReplicaId(0)).is_unicast());
+        assert!(Addr::Sequencer(GroupId(0)).is_unicast());
+        assert!(Addr::Config.is_unicast());
+        assert!(!Addr::Multicast(GroupId(0)).is_unicast());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Addr::Multicast(GroupId(1)).to_string(), "mcast[g1]");
+        assert_eq!(Addr::Sequencer(GroupId(2)).to_string(), "seq[g2]");
+    }
+}

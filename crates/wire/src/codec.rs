@@ -1,0 +1,85 @@
+//! Serialization helpers.
+//!
+//! All protocol messages cross the wire as bincode. These wrappers pin the
+//! configuration in one place and convert errors into a stable type so
+//! protocol code can treat malformed input as a Byzantine artifact rather
+//! than a panic.
+
+use serde::{de::DeserializeOwned, Serialize};
+use thiserror::Error;
+
+/// Error produced while encoding or decoding a wire message.
+#[derive(Debug, Error)]
+pub enum CodecError {
+    /// The payload could not be decoded; treat the sender as faulty.
+    #[error("malformed wire payload: {0}")]
+    Malformed(String),
+    /// The value could not be encoded (should not happen for well-formed
+    /// protocol types; surfaced rather than panicking).
+    #[error("unencodable value: {0}")]
+    Unencodable(String),
+}
+
+/// Encode a message to bytes.
+pub fn encode<T: Serialize>(value: &T) -> Result<Vec<u8>, CodecError> {
+    bincode::serialize(value).map_err(|e| CodecError::Unencodable(e.to_string()))
+}
+
+/// Decode a message from bytes.
+pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+    bincode::deserialize(bytes).map_err(|e| CodecError::Malformed(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{AomHeader, Authenticator};
+    use crate::id::{EpochNum, GroupId, SeqNum};
+    use serde::Deserialize;
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Probe {
+        a: u64,
+        b: Vec<u8>,
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = Probe {
+            a: 42,
+            b: vec![1, 2, 3],
+        };
+        let bytes = encode(&p).unwrap();
+        let q: Probe = decode(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let mut h = AomHeader::unstamped(GroupId(3), [9u8; 32]);
+        h.seq = SeqNum(10);
+        h.epoch = EpochNum(1);
+        h.auth = Authenticator::HmacVector(vec![[7u8; 8]; 4]);
+        let bytes = encode(&h).unwrap();
+        let g: AomHeader = decode(&bytes).unwrap();
+        assert_eq!(h, g);
+    }
+
+    #[test]
+    fn truncated_input_is_malformed_not_panic() {
+        let p = Probe {
+            a: 1,
+            b: vec![0; 16],
+        };
+        let bytes = encode(&p).unwrap();
+        let err = decode::<Probe>(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(matches!(err, CodecError::Malformed(_)));
+    }
+
+    #[test]
+    fn garbage_input_is_malformed() {
+        // A length prefix claiming more bytes than exist must not panic.
+        let garbage = vec![0xFFu8; 9];
+        assert!(decode::<Probe>(&garbage).is_err());
+    }
+}

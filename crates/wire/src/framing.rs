@@ -1,0 +1,146 @@
+//! Length-prefixed framing for stream transports.
+//!
+//! The simulator delivers whole datagrams, but the tokio transport (and the
+//! configuration service's TLS-like channels) run over streams and need
+//! message boundaries. Frames are `u32` little-endian length followed by
+//! that many payload bytes. The decoder is sans-IO: feed it arbitrary byte
+//! chunks, pull out complete frames.
+
+use bytes::{Buf, BufMut, BytesMut};
+use thiserror::Error;
+
+/// Upper bound on a single frame; anything larger is treated as a protocol
+/// violation (a Byzantine peer trying to exhaust memory).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Framing-layer error.
+#[derive(Debug, Error, PartialEq, Eq)]
+pub enum FramingError {
+    /// Peer announced a frame longer than [`MAX_FRAME_LEN`].
+    #[error("frame of {0} bytes exceeds the {MAX_FRAME_LEN}-byte limit")]
+    Oversized(usize),
+}
+
+/// Encodes frames onto an output buffer.
+#[derive(Debug, Default)]
+pub struct FrameEncoder;
+
+impl FrameEncoder {
+    /// Append one framed payload to `out`.
+    pub fn encode(&self, payload: &[u8], out: &mut BytesMut) -> Result<(), FramingError> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(FramingError::Oversized(payload.len()));
+        }
+        out.reserve(4 + payload.len());
+        out.put_u32_le(payload.len() as u32);
+        out.put_slice(payload);
+        Ok(())
+    }
+}
+
+/// Incremental frame decoder.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Create an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed raw bytes received from the stream.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes currently buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pull the next complete frame, if one is available.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FramingError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FramingError::Oversized(len));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        let frame = self.buf.split_to(len).to_vec();
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = BytesMut::new();
+        FrameEncoder.encode(payload, &mut out).unwrap();
+        out.to_vec()
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame(b"hello"));
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"hello");
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn handles_split_delivery() {
+        let bytes = frame(b"split across reads");
+        let mut dec = FrameDecoder::new();
+        for b in &bytes {
+            dec.feed(std::slice::from_ref(b));
+        }
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"split across reads");
+    }
+
+    #[test]
+    fn handles_coalesced_frames() {
+        let mut bytes = frame(b"one");
+        bytes.extend(frame(b"two"));
+        bytes.extend(frame(b""));
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"one");
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"two");
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"");
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_oversized_announcement() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            dec.next_frame().unwrap_err(),
+            FramingError::Oversized(u32::MAX as usize)
+        );
+    }
+
+    #[test]
+    fn encoder_rejects_oversized_payload() {
+        let mut out = BytesMut::new();
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(FrameEncoder.encode(&huge, &mut out).is_err());
+    }
+
+    #[test]
+    fn partial_header_waits() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[5, 0]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.buffered(), 2);
+    }
+}

@@ -1,0 +1,198 @@
+//! The aom packet header (§4.1).
+//!
+//! "The sender-side library generates a custom packet header that follows
+//! the UDP header. This custom header includes the group ID, a sequence
+//! number, an epoch number, a message digest, and an authenticator."
+//!
+//! The sender fills in the group id and the digest; the sequencer fills in
+//! everything else. The authenticator is either a vector of HMAC tags
+//! (aom-hm, §4.3) or a single secp256k1 signature (aom-pk, §4.4), possibly
+//! absent on hash-chained packets whose signature was skipped by the
+//! signing-ratio controller.
+
+use crate::id::{EpochNum, GroupId, SeqNum};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Length of the message digest (SHA-256).
+pub const DIGEST_LEN: usize = 32;
+
+/// Length of one HMAC tag. The in-switch design produces 64-bit SipHash
+/// tags (HalfSipHash yields 32-bit words; the deployed vector entry is the
+/// 8-byte tag that fits the Tofino PHV budget).
+pub const HMAC_TAG_LEN: usize = 8;
+
+/// One entry of the HMAC vector.
+pub type HmacTag = [u8; HMAC_TAG_LEN];
+
+/// Opaque signature bytes (DER-less fixed encoding, 64 bytes for both
+/// secp256k1 ECDSA and Ed25519).
+pub type SignatureBytes = Vec<u8>;
+
+/// The authenticator carried in an aom header.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Authenticator {
+    /// Not yet stamped by the sequencer (sender → sequencer leg).
+    Unstamped,
+    /// aom-hm: one HMAC tag per receiver, indexed by receiver position in
+    /// the group membership. Transferable because the *whole* vector is in
+    /// the header (§4.3).
+    HmacVector(Vec<HmacTag>),
+    /// aom-pk: a single secp256k1 signature over digest ‖ seq ‖ epoch
+    /// (§4.4), plus the SHA-256 hash of the *previous* packet in the stream
+    /// (the hash chain).
+    Signature {
+        /// Signature bytes; `None` when the signing-ratio controller
+        /// skipped this packet (receivers authenticate it through the hash
+        /// chain of the next signed packet).
+        sig: Option<SignatureBytes>,
+        /// Hash of the preceding packet in the sequence (all-zero for the
+        /// first packet of an epoch).
+        prev_hash: [u8; DIGEST_LEN],
+    },
+}
+
+impl Authenticator {
+    /// True if the sequencer has filled in this authenticator.
+    pub fn is_stamped(&self) -> bool {
+        !matches!(self, Authenticator::Unstamped)
+    }
+
+    /// Number of wire bytes this authenticator occupies (used by the
+    /// switch model to account for PHV pressure and by the simulator for
+    /// transmission delay).
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Authenticator::Unstamped => 0,
+            Authenticator::HmacVector(v) => v.len() * HMAC_TAG_LEN,
+            Authenticator::Signature { sig, .. } => {
+                DIGEST_LEN + sig.as_ref().map_or(0, |s| s.len())
+            }
+        }
+    }
+}
+
+/// The aom header, stamped by the sequencer and verified by receivers.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AomHeader {
+    /// Destination aom group.
+    pub group: GroupId,
+    /// Epoch in which the sequencer stamped this packet.
+    pub epoch: EpochNum,
+    /// Sequence number within the epoch (1-based; 0 = unstamped).
+    pub seq: SeqNum,
+    /// Collision-resistant digest of the payload, computed by the sender.
+    pub digest: [u8; DIGEST_LEN],
+    /// Sequencer-generated authenticator.
+    pub auth: Authenticator,
+}
+
+impl AomHeader {
+    /// Header as a sender emits it: digest filled, everything else zeroed.
+    pub fn unstamped(group: GroupId, digest: [u8; DIGEST_LEN]) -> Self {
+        AomHeader {
+            group,
+            epoch: EpochNum(0),
+            seq: SeqNum(0),
+            digest,
+            auth: Authenticator::Unstamped,
+        }
+    }
+
+    /// True once the sequencer has stamped sequence number and
+    /// authenticator.
+    pub fn is_stamped(&self) -> bool {
+        self.seq != SeqNum(0) && self.auth.is_stamped()
+    }
+
+    /// The byte string the sequencer authenticates: digest ‖ seq ‖ epoch
+    /// (§4.1: "inputting the concatenated message digest and the sequence
+    /// number").
+    pub fn auth_input(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(DIGEST_LEN + 16);
+        buf.extend_from_slice(&self.digest);
+        buf.extend_from_slice(&self.seq.0.to_le_bytes());
+        buf.extend_from_slice(&self.epoch.0.to_le_bytes());
+        buf
+    }
+
+    /// Total wire length of the header (used for transmission-delay
+    /// modelling).
+    pub fn wire_len(&self) -> usize {
+        // group(4) + epoch(8) + seq(8) + digest
+        4 + 8 + 8 + DIGEST_LEN + self.auth.wire_len()
+    }
+}
+
+impl fmt::Display for AomHeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aom[{} {} {}]", self.group, self.epoch, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(b: u8) -> [u8; DIGEST_LEN] {
+        [b; DIGEST_LEN]
+    }
+
+    #[test]
+    fn unstamped_header_is_not_stamped() {
+        let h = AomHeader::unstamped(GroupId(1), digest(7));
+        assert!(!h.is_stamped());
+        assert_eq!(h.seq, SeqNum(0));
+        assert_eq!(h.auth, Authenticator::Unstamped);
+    }
+
+    #[test]
+    fn stamping_requires_both_seq_and_auth() {
+        let mut h = AomHeader::unstamped(GroupId(1), digest(7));
+        h.seq = SeqNum(1);
+        assert!(!h.is_stamped(), "seq alone is not enough");
+        h.auth = Authenticator::HmacVector(vec![[0u8; HMAC_TAG_LEN]; 4]);
+        assert!(h.is_stamped());
+    }
+
+    #[test]
+    fn auth_input_binds_digest_seq_epoch() {
+        let mut h = AomHeader::unstamped(GroupId(1), digest(7));
+        h.seq = SeqNum(5);
+        h.epoch = EpochNum(2);
+        let a = h.auth_input();
+        h.seq = SeqNum(6);
+        let b = h.auth_input();
+        assert_ne!(a, b, "changing the seq changes the authenticated bytes");
+        h.seq = SeqNum(5);
+        h.epoch = EpochNum(3);
+        let c = h.auth_input();
+        assert_ne!(a, c, "changing the epoch changes the authenticated bytes");
+        assert_eq!(a.len(), DIGEST_LEN + 16);
+    }
+
+    #[test]
+    fn wire_len_grows_with_hmac_vector() {
+        let mut h = AomHeader::unstamped(GroupId(1), digest(0));
+        let base = h.wire_len();
+        h.auth = Authenticator::HmacVector(vec![[0u8; HMAC_TAG_LEN]; 4]);
+        assert_eq!(h.wire_len(), base + 4 * HMAC_TAG_LEN);
+        h.auth = Authenticator::HmacVector(vec![[0u8; HMAC_TAG_LEN]; 64]);
+        assert_eq!(h.wire_len(), base + 64 * HMAC_TAG_LEN);
+    }
+
+    #[test]
+    fn signature_wire_len_counts_chain_hash() {
+        let mut h = AomHeader::unstamped(GroupId(1), digest(0));
+        h.auth = Authenticator::Signature {
+            sig: None,
+            prev_hash: [0; DIGEST_LEN],
+        };
+        let skipped = h.wire_len();
+        h.auth = Authenticator::Signature {
+            sig: Some(vec![0u8; 64]),
+            prev_hash: [0; DIGEST_LEN],
+        };
+        assert_eq!(h.wire_len(), skipped + 64);
+    }
+}

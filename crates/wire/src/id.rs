@@ -1,0 +1,251 @@
+//! Strongly-typed identifiers used across the stack.
+//!
+//! Every identifier is a thin newtype over an integer so that the compiler
+//! rejects, e.g., passing a sequence number where a log-slot number is
+//! expected — a class of bug that plagues hand-rolled BFT implementations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a replica within a replication group (0-based, dense).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct ReplicaId(pub u32);
+
+impl ReplicaId {
+    /// Index usable for vector addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of a client process.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of an aom multicast group (§3.2: "each identified by a unique
+/// group address").
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Epoch number: incremented on every sequencer failover (§5.2).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct EpochNum(pub u64);
+
+impl EpochNum {
+    /// The epoch installed when the group is first configured.
+    pub const INITIAL: EpochNum = EpochNum(0);
+
+    /// The next epoch (sequencer failover).
+    pub fn next(self) -> EpochNum {
+        EpochNum(self.0 + 1)
+    }
+}
+
+impl fmt::Display for EpochNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Sequence number stamped by the aom sequencer. Starts at 1 within each
+/// epoch; 0 means "unstamped".
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// First sequence number stamped in an epoch.
+    pub const FIRST: SeqNum = SeqNum(1);
+
+    /// Successor sequence number.
+    pub fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+
+    /// Predecessor, saturating at zero (the unstamped sentinel).
+    pub fn prev(self) -> SeqNum {
+        SeqNum(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Position in a replica's log (0-based).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct SlotNum(pub u64);
+
+impl SlotNum {
+    /// Index usable for vector addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Successor slot.
+    pub fn next(self) -> SlotNum {
+        SlotNum(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SlotNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Client-generated request identifier used to match replies (§5.3). The
+/// pair (client id, request id) is unique; request ids increase per client,
+/// which the at-most-once deduplication table relies on.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// View identifier: a ⟨epoch-num, leader-num⟩ 2-tuple (§5.2). Views are
+/// totally ordered lexicographically: an epoch switch dominates any leader
+/// change within an older epoch.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct ViewId {
+    /// Epoch component: advanced on sequencer failover.
+    pub epoch: EpochNum,
+    /// Leader component: advanced on (suspected) leader failure.
+    pub leader_num: u64,
+}
+
+impl ViewId {
+    /// The first view of the first epoch.
+    pub const INITIAL: ViewId = ViewId {
+        epoch: EpochNum(0),
+        leader_num: 0,
+    };
+
+    /// Construct a view id.
+    pub fn new(epoch: EpochNum, leader_num: u64) -> Self {
+        ViewId { epoch, leader_num }
+    }
+
+    /// The view that follows this one after a leader change (same epoch).
+    pub fn next_leader(self) -> ViewId {
+        ViewId {
+            epoch: self.epoch,
+            leader_num: self.leader_num + 1,
+        }
+    }
+
+    /// The view that follows this one after a sequencer failover
+    /// (new epoch, leader counter restarts from this view's leader so that
+    /// the leadership rotation keeps moving forward).
+    pub fn next_epoch(self) -> ViewId {
+        ViewId {
+            epoch: self.epoch.next(),
+            leader_num: self.leader_num + 1,
+        }
+    }
+
+    /// Which replica leads this view under round-robin rotation.
+    pub fn leader(self, n: usize) -> ReplicaId {
+        ReplicaId((self.leader_num % n as u64) as u32)
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v({},{})", self.epoch, self.leader_num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_ordering_is_lexicographic() {
+        let a = ViewId::new(EpochNum(0), 5);
+        let b = ViewId::new(EpochNum(1), 0);
+        assert!(a < b, "epoch switch dominates leader number");
+        let c = ViewId::new(EpochNum(1), 1);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn next_leader_and_epoch_advance() {
+        let v = ViewId::INITIAL;
+        assert_eq!(v.next_leader(), ViewId::new(EpochNum(0), 1));
+        assert_eq!(v.next_epoch(), ViewId::new(EpochNum(1), 1));
+        assert!(v < v.next_leader());
+        assert!(v.next_leader() < v.next_epoch());
+    }
+
+    #[test]
+    fn leader_rotation_round_robin() {
+        let n = 4;
+        for i in 0..8u64 {
+            let v = ViewId::new(EpochNum(0), i);
+            assert_eq!(v.leader(n), ReplicaId((i % 4) as u32));
+        }
+    }
+
+    #[test]
+    fn seq_num_successor_chain() {
+        let s = SeqNum::FIRST;
+        assert_eq!(s.next(), SeqNum(2));
+        assert_eq!(s.next().prev(), s);
+        assert_eq!(SeqNum(0).prev(), SeqNum(0), "saturates at sentinel");
+    }
+
+    #[test]
+    fn display_forms_are_compact() {
+        assert_eq!(ReplicaId(3).to_string(), "r3");
+        assert_eq!(ClientId(7).to_string(), "c7");
+        assert_eq!(GroupId(1).to_string(), "g1");
+        assert_eq!(SeqNum(9).to_string(), "s9");
+        assert_eq!(SlotNum(2).to_string(), "l2");
+        assert_eq!(ViewId::new(EpochNum(1), 2).to_string(), "v(e1,2)");
+    }
+
+    #[test]
+    fn epoch_initial_and_next() {
+        assert_eq!(EpochNum::INITIAL.next(), EpochNum(1));
+        assert!(EpochNum::INITIAL < EpochNum::INITIAL.next());
+    }
+}

@@ -1,0 +1,29 @@
+//! # neo-wire
+//!
+//! Wire-level building blocks shared by every crate in the NeoBFT stack:
+//!
+//! * strongly-typed identifiers ([`id`]) — replica, client, group, view,
+//!   epoch, sequence and log-slot numbers;
+//! * logical addresses ([`addr`]) used by the transports and the simulator;
+//! * the aom packet header ([`header`]) exactly as §4.1 of the paper
+//!   specifies it: group id, epoch, sequence number, message digest, and an
+//!   authenticator (HMAC vector or secp256k1 signature);
+//! * length-prefixed framing ([`framing`]) for stream transports;
+//! * serialization helpers ([`codec`]) wrapping bincode with a stable error
+//!   type.
+//!
+//! The crate is deliberately free of cryptography and I/O so that protocol
+//! crates, the simulator, and the real tokio transport all agree on formats
+//! without dragging in heavyweight dependencies.
+
+pub mod addr;
+pub mod codec;
+pub mod framing;
+pub mod header;
+pub mod id;
+
+pub use addr::Addr;
+pub use codec::{decode, encode, CodecError};
+pub use framing::{FrameDecoder, FrameEncoder, FramingError, MAX_FRAME_LEN};
+pub use header::{AomHeader, Authenticator, HmacTag, SignatureBytes, DIGEST_LEN, HMAC_TAG_LEN};
+pub use id::{ClientId, EpochNum, GroupId, ReplicaId, RequestId, SeqNum, SlotNum, ViewId};

@@ -1,0 +1,100 @@
+//! Property-based tests for wire formats and framing.
+
+use bytes::BytesMut;
+use neo_wire::{
+    decode, encode, AomHeader, Authenticator, EpochNum, FrameDecoder, FrameEncoder, GroupId,
+    SeqNum, HMAC_TAG_LEN,
+};
+use proptest::prelude::*;
+
+fn arb_authenticator() -> impl Strategy<Value = Authenticator> {
+    prop_oneof![
+        Just(Authenticator::Unstamped),
+        proptest::collection::vec(proptest::array::uniform8(any::<u8>()), 0..64)
+            .prop_map(Authenticator::HmacVector),
+        (
+            proptest::option::of(proptest::collection::vec(any::<u8>(), 64..=64)),
+            proptest::array::uniform32(any::<u8>())
+        )
+            .prop_map(|(sig, prev_hash)| Authenticator::Signature { sig, prev_hash }),
+    ]
+}
+
+fn arb_header() -> impl Strategy<Value = AomHeader> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::array::uniform32(any::<u8>()),
+        arb_authenticator(),
+    )
+        .prop_map(|(g, e, s, digest, auth)| AomHeader {
+            group: GroupId(g),
+            epoch: EpochNum(e),
+            seq: SeqNum(s),
+            digest,
+            auth,
+        })
+}
+
+proptest! {
+    #[test]
+    fn header_roundtrips(h in arb_header()) {
+        let bytes = encode(&h).unwrap();
+        let back: AomHeader = decode(&bytes).unwrap();
+        prop_assert_eq!(back, h);
+    }
+
+    #[test]
+    fn auth_input_is_injective_in_seq_and_epoch(
+        h in arb_header(),
+        s2 in any::<u64>(),
+        e2 in any::<u64>(),
+    ) {
+        let mut other = h.clone();
+        other.seq = SeqNum(s2);
+        other.epoch = EpochNum(e2);
+        if h.seq != other.seq || h.epoch != other.epoch {
+            prop_assert_ne!(h.auth_input(), other.auth_input());
+        } else {
+            prop_assert_eq!(h.auth_input(), other.auth_input());
+        }
+    }
+
+    #[test]
+    fn hmac_wire_len_is_linear(n in 0usize..100) {
+        let auth = Authenticator::HmacVector(vec![[0u8; HMAC_TAG_LEN]; n]);
+        prop_assert_eq!(auth.wire_len(), n * HMAC_TAG_LEN);
+    }
+
+    /// Frames survive arbitrary payloads delivered in arbitrary chunk
+    /// splits.
+    #[test]
+    fn framing_roundtrips_under_any_chunking(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..512), 1..8),
+        chunk in 1usize..64,
+    ) {
+        let mut stream = BytesMut::new();
+        for p in &payloads {
+            FrameEncoder.encode(p, &mut stream).unwrap();
+        }
+        let bytes = stream.to_vec();
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            dec.feed(piece);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                out.push(frame);
+            }
+        }
+        prop_assert_eq!(out, payloads);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Whatever arrives from a Byzantine peer, decoding returns
+        // Ok or Err — never panics.
+        let _ = decode::<AomHeader>(&bytes);
+    }
+}

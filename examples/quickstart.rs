@@ -1,0 +1,110 @@
+//! Quickstart: a live NeoBFT deployment on localhost UDP.
+//!
+//! Spawns the configuration service, a software aom sequencer, four
+//! replicas (f = 1), and one closed-loop client — each on its own
+//! thread with a real UDP socket — then commits 200 echo operations and
+//! prints the observed latencies.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use neobft::aom::{AuthMode, ConfigService, SequencerHw, SequencerNode};
+use neobft::app::{EchoApp, EchoWorkload};
+use neobft::core::{Client, NeoConfig, Replica};
+use neobft::crypto::{CostModel, SystemKeys};
+use neobft::runtime::{spawn_node, AddressBook};
+use neobft::wire::{Addr, ClientId, GroupId, ReplicaId};
+use std::time::Duration;
+
+fn main() {
+    let group = GroupId(0);
+    let n = 4;
+    let f = 1;
+    let ops = 200u64;
+    let keys = SystemKeys::new(2024, n, 1);
+    let cfg = NeoConfig::new(f);
+    let book = AddressBook::localhost(n, 1, group, 45000);
+
+    println!("neobft quickstart — 4 replicas, 1 sequencer, 1 client on 127.0.0.1");
+
+    // Configuration service.
+    let mut config = ConfigService::new();
+    config.register_group(group, (0..n as u32).map(ReplicaId).collect(), f);
+    let config_h = spawn_node(Box::new(config), Addr::Config, book.clone());
+
+    // Software sequencer (the paper's §6.3 deployment flavour).
+    let sequencer = SequencerNode::new(
+        group,
+        (0..n as u32).map(ReplicaId).collect(),
+        AuthMode::HmacVector,
+        SequencerHw::Software(CostModel::FREE),
+        &keys,
+    );
+    let seq_h = spawn_node(Box::new(sequencer), Addr::Sequencer(group), book.clone());
+
+    // Replicas.
+    let replica_hs: Vec<_> = (0..n as u32)
+        .map(|r| {
+            let replica = Replica::new(
+                ReplicaId(r),
+                cfg.clone(),
+                &keys,
+                CostModel::FREE,
+                Box::new(EchoApp::new()),
+            );
+            spawn_node(Box::new(replica), Addr::Replica(ReplicaId(r)), book.clone())
+        })
+        .collect();
+
+    // One closed-loop client issuing 64-byte echo requests.
+    let mut client = Client::new(
+        ClientId(0),
+        cfg,
+        &keys,
+        CostModel::FREE,
+        Box::new(EchoWorkload::new(64, 1)),
+    );
+    client.max_ops = Some(ops);
+    let client_h = spawn_node(Box::new(client), Addr::Client(ClientId(0)), book);
+
+    // Give the run a moment (200 ops at sub-ms latency completes fast).
+    std::thread::sleep(Duration::from_secs(3));
+
+    let client_node = client_h.shutdown();
+    let client = client_node
+        .as_any()
+        .downcast_ref::<Client>()
+        .expect("client node");
+    let done = client.completed.len();
+    println!("committed {done}/{ops} operations");
+    if done > 0 {
+        let mut lats: Vec<u64> = client.completed.iter().map(|o| o.latency_ns()).collect();
+        lats.sort_unstable();
+        let us = |v: u64| v as f64 / 1e3;
+        println!(
+            "latency over UDP localhost: p50 {:.0}µs  p90 {:.0}µs  p99 {:.0}µs",
+            us(lats[done / 2]),
+            us(lats[done * 9 / 10]),
+            us(lats[(done - 1).min(done * 99 / 100)]),
+        );
+        let retries: u32 = client.completed.iter().map(|o| o.retries).sum();
+        println!("retries needed: {retries}");
+    }
+
+    for h in replica_hs {
+        let node = h.shutdown();
+        let replica = node.as_any().downcast_ref::<Replica>().expect("replica");
+        println!(
+            "{}: executed {} ops, log length {}, view {}",
+            replica.id(),
+            replica.stats.executed,
+            replica.log_len(),
+            replica.view()
+        );
+    }
+    seq_h.shutdown();
+    config_h.shutdown();
+    assert_eq!(done as u64, ops, "all operations must commit");
+    println!("ok");
+}

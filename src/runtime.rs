@@ -1,0 +1,294 @@
+//! Real transport: the same sans-IO nodes that run under the simulator,
+//! driven by tokio over UDP sockets.
+//!
+//! Each node gets its own OS thread running a single-threaded tokio
+//! runtime (so nodes never migrate threads and need no internal
+//! locking, mirroring the paper's one-dispatch-thread replica design).
+//! An [`AddressBook`] maps logical [`Addr`]esses to socket addresses;
+//! `Addr::Multicast(g)` maps to the group's sequencer socket, exactly
+//! like the BGP-advertised group address of §4.1.
+
+use neo_sim::{Context, Node, TimerId};
+use neo_wire::{Addr, ClientId, GroupId, ReplicaId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tokio::net::UdpSocket;
+
+/// Logical address ↔ socket address mapping for a deployment.
+#[derive(Clone, Debug, Default)]
+pub struct AddressBook {
+    forward: HashMap<Addr, SocketAddr>,
+    reverse: HashMap<SocketAddr, Addr>,
+}
+
+impl AddressBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a node.
+    pub fn insert(&mut self, addr: Addr, sock: SocketAddr) {
+        self.forward.insert(addr, sock);
+        self.reverse.insert(sock, addr);
+    }
+
+    /// A localhost deployment: `n` replicas, `clients` clients, one
+    /// sequencer and the config service, on consecutive ports starting
+    /// at `base_port`.
+    pub fn localhost(n: usize, clients: usize, group: GroupId, base_port: u16) -> Self {
+        let mut book = Self::new();
+        let mut port = base_port;
+        let mut next = |a: Addr, book: &mut Self| {
+            book.insert(a, SocketAddr::from(([127, 0, 0, 1], port)));
+            port += 1;
+        };
+        for r in 0..n as u32 {
+            next(Addr::Replica(ReplicaId(r)), &mut book);
+        }
+        for c in 0..clients as u64 {
+            next(Addr::Client(ClientId(c)), &mut book);
+        }
+        next(Addr::Sequencer(group), &mut book);
+        next(Addr::Config, &mut book);
+        // The multicast group address routes to the sequencer (§3.2).
+        let seq = book.forward[&Addr::Sequencer(group)];
+        book.forward.insert(Addr::Multicast(group), seq);
+        book
+    }
+
+    /// Socket address of a logical node.
+    pub fn lookup(&self, addr: Addr) -> Option<SocketAddr> {
+        self.forward.get(&addr).copied()
+    }
+
+    /// Logical address of a socket.
+    pub fn resolve(&self, sock: SocketAddr) -> Option<Addr> {
+        self.reverse.get(&sock).copied()
+    }
+}
+
+/// Handle to a spawned node; dropping does not stop it — call
+/// [`NodeHandle::shutdown`].
+pub struct NodeHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<Box<dyn Node>>>,
+    /// The node's logical address.
+    pub addr: Addr,
+}
+
+impl NodeHandle {
+    /// Signal the node loop to stop and wait for it, returning the node
+    /// (so callers can inspect final state, e.g. client completions).
+    pub fn shutdown(mut self) -> Box<dyn Node> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join
+            .take()
+            .expect("not yet joined")
+            .join()
+            .expect("node thread panicked")
+    }
+}
+
+struct RtCtx {
+    start: Instant,
+    me: Addr,
+    sends: Vec<(Addr, Vec<u8>, u64)>,
+    timers: Vec<(u64, u32, TimerId)>,
+    cancels: Vec<TimerId>,
+    next_timer: u64,
+}
+
+impl Context for RtCtx {
+    fn now(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+    fn me(&self) -> Addr {
+        self.me
+    }
+    fn send_after(&mut self, to: Addr, payload: Vec<u8>, extra_delay: u64) {
+        self.sends.push((to, payload, extra_delay));
+    }
+    fn set_timer(&mut self, delay: u64, kind: u32) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        self.timers.push((delay, kind, id));
+        id
+    }
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.cancels.push(timer);
+    }
+    fn charge(&mut self, _ns: u64) {
+        // Real time: work costs what it costs.
+    }
+}
+
+/// Spawn `node` under `me`, bound to its socket from the book.
+///
+/// # Panics
+/// Panics if `me` is not in the book or the socket cannot be bound.
+pub fn spawn_node(node: Box<dyn Node>, me: Addr, book: AddressBook) -> NodeHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("{me}"))
+        .spawn(move || run_node(node, me, book, stop2))
+        .expect("spawn node thread");
+    NodeHandle {
+        stop,
+        join: Some(join),
+        addr: me,
+    }
+}
+
+fn run_node(
+    mut node: Box<dyn Node>,
+    me: Addr,
+    book: AddressBook,
+    stop: Arc<AtomicBool>,
+) -> Box<dyn Node> {
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    rt.block_on(async move {
+        let bind = book.lookup(me).expect("address registered");
+        let sock = UdpSocket::bind(bind).await.expect("bind");
+        let start = Instant::now();
+        let mut next_timer_id: u64 = 1;
+        // (deadline_ns, seq, timer_id, kind); seq breaks ties FIFO.
+        let mut timers: BinaryHeap<Reverse<(u64, u64, u64, u32)>> = BinaryHeap::new();
+        let mut timer_seq = 0u64;
+        let mut cancelled: HashSet<TimerId> = HashSet::new();
+        // Delayed sends (send_after with a positive delay):
+        // (due_ns, tiebreak, destination, payload).
+        type DelayedSend = (u64, u64, Addr, Vec<u8>);
+        let mut delayed: BinaryHeap<Reverse<DelayedSend>> = BinaryHeap::new();
+        let mut buf = vec![0u8; 65_536];
+
+        // Bootstrap timer, mirroring the simulator convention.
+        timers.push(Reverse((0, 0, 0, neo_sim::sim::INIT_TIMER_KIND)));
+
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let now_ns = start.elapsed().as_nanos() as u64;
+            // Earliest pending deadline across timers and delayed sends.
+            let next_deadline = [
+                timers.peek().map(|Reverse((d, ..))| *d),
+                delayed.peek().map(|Reverse((d, ..))| *d),
+            ]
+            .into_iter()
+            .flatten()
+            .min();
+
+            let mut fired: Option<(TimerId, u32)> = None;
+            let mut due_send: Option<(Addr, Vec<u8>)> = None;
+            let mut received: Option<(Addr, usize)> = None;
+
+            if let Some(d) = next_deadline.filter(|d| *d <= now_ns) {
+                // Something is due right now.
+                let timer_due = timers.peek().map(|Reverse((t, ..))| *t == d).unwrap_or(false)
+                    && timers.peek().map(|Reverse((t, ..))| *t).unwrap_or(u64::MAX)
+                        <= delayed.peek().map(|Reverse((t, ..))| *t).unwrap_or(u64::MAX);
+                if timer_due {
+                    let Reverse((_, _, id, kind)) = timers.pop().expect("peeked");
+                    if !cancelled.remove(&TimerId(id)) {
+                        fired = Some((TimerId(id), kind));
+                    }
+                } else {
+                    let Reverse((_, _, to, payload)) = delayed.pop().expect("peeked");
+                    due_send = Some((to, payload));
+                }
+            } else {
+                // Wait for a packet or the next deadline (or a stop poll).
+                let wait = next_deadline
+                    .map(|d| Duration::from_nanos(d.saturating_sub(now_ns)))
+                    .unwrap_or(Duration::from_millis(50))
+                    .min(Duration::from_millis(50));
+                tokio::select! {
+                    r = sock.recv_from(&mut buf) => {
+                        if let Ok((len, src)) = r {
+                            if let Some(from) = book.resolve(src) {
+                                received = Some((from, len));
+                            }
+                        }
+                    }
+                    _ = tokio::time::sleep(wait) => {}
+                }
+            }
+
+            if let Some((to, payload)) = due_send {
+                if let Some(dst) = book.lookup(to) {
+                    let _ = sock.send_to(&payload, dst).await;
+                }
+                continue;
+            }
+
+            let mut ctx = RtCtx {
+                start,
+                me,
+                sends: Vec::new(),
+                timers: Vec::new(),
+                cancels: Vec::new(),
+                next_timer: next_timer_id,
+            };
+            match (fired, received) {
+                (Some((id, kind)), _) => node.on_timer(id, kind, &mut ctx),
+                (_, Some((from, len))) => node.on_message(from, &buf[..len], &mut ctx),
+                _ => continue,
+            }
+            next_timer_id = ctx.next_timer;
+            let now_ns = start.elapsed().as_nanos() as u64;
+            for id in ctx.cancels {
+                cancelled.insert(id);
+            }
+            for (delay, kind, id) in ctx.timers {
+                timer_seq += 1;
+                timers.push(Reverse((now_ns + delay, timer_seq, id.0, kind)));
+            }
+            for (to, payload, extra) in ctx.sends {
+                if extra == 0 {
+                    if let Some(dst) = book.lookup(to) {
+                        let _ = sock.send_to(&payload, dst).await;
+                    }
+                } else {
+                    timer_seq += 1;
+                    delayed.push(Reverse((now_ns + extra, timer_seq, to, payload)));
+                }
+            }
+        }
+        node
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_book_localhost_layout() {
+        let book = AddressBook::localhost(4, 2, GroupId(0), 47000);
+        assert_eq!(
+            book.lookup(Addr::Replica(ReplicaId(0))),
+            Some(SocketAddr::from(([127, 0, 0, 1], 47000)))
+        );
+        assert_eq!(
+            book.lookup(Addr::Client(ClientId(1))),
+            Some(SocketAddr::from(([127, 0, 0, 1], 47005)))
+        );
+        // Multicast resolves to the sequencer socket.
+        assert_eq!(
+            book.lookup(Addr::Multicast(GroupId(0))),
+            book.lookup(Addr::Sequencer(GroupId(0)))
+        );
+        // Reverse resolution names the sequencer (registered first).
+        let seq_sock = book.lookup(Addr::Sequencer(GroupId(0))).unwrap();
+        assert_eq!(book.resolve(seq_sock), Some(Addr::Sequencer(GroupId(0))));
+    }
+}
