@@ -226,7 +226,11 @@ mod tests {
     fn single_request_does_not_fail_over() {
         let mut c = service();
         let mut ctx = Collect { got: vec![] };
-        c.on_message(Addr::Replica(ReplicaId(0)), &request(G, EpochNum(0), 0), &mut ctx);
+        c.on_message(
+            Addr::Replica(ReplicaId(0)),
+            &request(G, EpochNum(0), 0),
+            &mut ctx,
+        );
         assert_eq!(c.failovers, 0);
         assert_eq!(c.epoch_of(G), Some(EpochNum(0)));
     }
@@ -236,17 +240,32 @@ mod tests {
         let mut c = service();
         let mut ctx = Collect { got: vec![] };
         for _ in 0..5 {
-            c.on_message(Addr::Replica(ReplicaId(2)), &request(G, EpochNum(0), 2), &mut ctx);
+            c.on_message(
+                Addr::Replica(ReplicaId(2)),
+                &request(G, EpochNum(0), 2),
+                &mut ctx,
+            );
         }
-        assert_eq!(c.failovers, 0, "a single Byzantine replica cannot force churn");
+        assert_eq!(
+            c.failovers, 0,
+            "a single Byzantine replica cannot force churn"
+        );
     }
 
     #[test]
     fn f_plus_one_distinct_requests_fail_over() {
         let mut c = service();
         let mut ctx = Collect { got: vec![] };
-        c.on_message(Addr::Replica(ReplicaId(0)), &request(G, EpochNum(0), 0), &mut ctx);
-        c.on_message(Addr::Replica(ReplicaId(1)), &request(G, EpochNum(0), 1), &mut ctx);
+        c.on_message(
+            Addr::Replica(ReplicaId(0)),
+            &request(G, EpochNum(0), 0),
+            &mut ctx,
+        );
+        c.on_message(
+            Addr::Replica(ReplicaId(1)),
+            &request(G, EpochNum(0), 1),
+            &mut ctx,
+        );
         assert_eq!(c.failovers, 1);
         assert_eq!(c.epoch_of(G), Some(EpochNum(1)));
     }
@@ -255,20 +274,47 @@ mod tests {
     fn stale_epoch_requests_are_ignored() {
         let mut c = service();
         let mut ctx = Collect { got: vec![] };
-        c.on_message(Addr::Replica(ReplicaId(0)), &request(G, EpochNum(0), 0), &mut ctx);
-        c.on_message(Addr::Replica(ReplicaId(1)), &request(G, EpochNum(0), 1), &mut ctx);
+        c.on_message(
+            Addr::Replica(ReplicaId(0)),
+            &request(G, EpochNum(0), 0),
+            &mut ctx,
+        );
+        c.on_message(
+            Addr::Replica(ReplicaId(1)),
+            &request(G, EpochNum(0), 1),
+            &mut ctx,
+        );
         // Old-epoch stragglers after the failover:
-        c.on_message(Addr::Replica(ReplicaId(2)), &request(G, EpochNum(0), 2), &mut ctx);
-        c.on_message(Addr::Replica(ReplicaId(3)), &request(G, EpochNum(0), 3), &mut ctx);
-        assert_eq!(c.failovers, 1, "stale requests do not trigger another epoch");
+        c.on_message(
+            Addr::Replica(ReplicaId(2)),
+            &request(G, EpochNum(0), 2),
+            &mut ctx,
+        );
+        c.on_message(
+            Addr::Replica(ReplicaId(3)),
+            &request(G, EpochNum(0), 3),
+            &mut ctx,
+        );
+        assert_eq!(
+            c.failovers, 1,
+            "stale requests do not trigger another epoch"
+        );
     }
 
     #[test]
     fn foreign_replicas_cannot_vote() {
         let mut c = service();
         let mut ctx = Collect { got: vec![] };
-        c.on_message(Addr::Replica(ReplicaId(7)), &request(G, EpochNum(0), 7), &mut ctx);
-        c.on_message(Addr::Replica(ReplicaId(8)), &request(G, EpochNum(0), 8), &mut ctx);
+        c.on_message(
+            Addr::Replica(ReplicaId(7)),
+            &request(G, EpochNum(0), 7),
+            &mut ctx,
+        );
+        c.on_message(
+            Addr::Replica(ReplicaId(8)),
+            &request(G, EpochNum(0), 8),
+            &mut ctx,
+        );
         assert_eq!(c.failovers, 0);
     }
 
@@ -276,8 +322,16 @@ mod tests {
     fn install_and_announce_on_timer() {
         let mut c = service();
         let mut ctx = Collect { got: vec![] };
-        c.on_message(Addr::Replica(ReplicaId(0)), &request(G, EpochNum(0), 0), &mut ctx);
-        c.on_message(Addr::Replica(ReplicaId(1)), &request(G, EpochNum(0), 1), &mut ctx);
+        c.on_message(
+            Addr::Replica(ReplicaId(0)),
+            &request(G, EpochNum(0), 0),
+            &mut ctx,
+        );
+        c.on_message(
+            Addr::Replica(ReplicaId(1)),
+            &request(G, EpochNum(0), 1),
+            &mut ctx,
+        );
         // The timer was armed; fire it.
         let kind = 1; // first pending key
         let mut ctx2 = Collect { got: vec![] };

@@ -37,8 +37,8 @@ pub mod sequencer;
 pub use config::{ConfigMsg, ConfigService};
 pub use envelope::Envelope;
 pub use receiver::{
-    AomError, AomReceiver, Confirm, Delivery, NetworkTrust, OrderingCert, ReceiverAuth,
-    SignedConfirm,
+    AomError, AomReceiver, AomReceiverStats, Confirm, Delivery, NetworkTrust, OrderingCert,
+    ReceiverAuth, SignedConfirm,
 };
 pub use sender::AomSender;
 pub use sequencer::{AuthMode, Behavior, SequencerHw, SequencerNode};

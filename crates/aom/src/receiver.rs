@@ -22,9 +22,7 @@
 
 use crate::{AomPacket, Envelope};
 use neo_crypto::{chain, Digest, HmacKey, NodeCrypto, SequencerVerifyKey, Signature, SystemKeys};
-use neo_wire::{
-    encode, Authenticator, EpochNum, GroupId, ReplicaId, SeqNum,
-};
+use neo_wire::{encode, Authenticator, EpochNum, GroupId, ReplicaId, SeqNum};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use thiserror::Error;
@@ -123,6 +121,33 @@ pub enum Delivery {
     Drop(SeqNum),
 }
 
+/// Point-in-time counters and buffer depths describing the receiver's
+/// ordering buffer and drop detection. Hosts mirror these into their
+/// observability registry (see `neo-sim`'s `obs` module).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AomReceiverStats {
+    /// Messages delivered in order.
+    pub delivered: u64,
+    /// Drop-notifications emitted.
+    pub drops_declared: u64,
+    /// Authenticated packets buffered awaiting in-order delivery (or a
+    /// confirm quorum, in Byzantine mode).
+    pub buffered: u64,
+    /// Signature-less packets parked awaiting hash-chain validation.
+    pub pending_chain: u64,
+    /// Sequence numbers locked awaiting confirms (Byzantine mode).
+    pub locked: u64,
+    /// Packets rejected as stale (sequence number already passed).
+    pub stale_rejected: u64,
+    /// Equivocation attempts ignored (conflicting message for a locked
+    /// sequence number, Byzantine mode).
+    pub equivocations_rejected: u64,
+    /// Parked packets promoted by backwards hash-chain validation.
+    pub chain_promoted: u64,
+    /// Confirms this receiver generated for broadcast.
+    pub confirms_generated: u64,
+}
+
 /// The receiver state machine.
 pub struct AomReceiver {
     group: GroupId,
@@ -154,6 +179,10 @@ pub struct AomReceiver {
     pub delivered: u64,
     /// Drop-notifications delivered (stats).
     pub drops_declared: u64,
+    stale_rejected: u64,
+    equivocations_rejected: u64,
+    chain_promoted: u64,
+    confirms_generated: u64,
 }
 
 impl AomReceiver {
@@ -189,6 +218,25 @@ impl AomReceiver {
             out: VecDeque::new(),
             delivered: 0,
             drops_declared: 0,
+            stale_rejected: 0,
+            equivocations_rejected: 0,
+            chain_promoted: 0,
+            confirms_generated: 0,
+        }
+    }
+
+    /// Counters and buffer depths for observability.
+    pub fn stats(&self) -> AomReceiverStats {
+        AomReceiverStats {
+            delivered: self.delivered,
+            drops_declared: self.drops_declared,
+            buffered: self.ready.len() as u64,
+            pending_chain: self.pending_chain.len() as u64,
+            locked: self.locked.len() as u64,
+            stale_rejected: self.stale_rejected,
+            equivocations_rejected: self.equivocations_rejected,
+            chain_promoted: self.chain_promoted,
+            confirms_generated: self.confirms_generated,
         }
     }
 
@@ -228,12 +276,12 @@ impl AomReceiver {
                 current: self.epoch,
             });
         }
-        if !pkt.header.is_stamped() && !matches!(pkt.header.auth, Authenticator::Signature { .. })
-        {
+        if !pkt.header.is_stamped() && !matches!(pkt.header.auth, Authenticator::Signature { .. }) {
             return Err(AomError::Unstamped);
         }
         let seq = pkt.header.seq;
         if seq < self.next {
+            self.stale_rejected += 1;
             return Err(AomError::Stale);
         }
 
@@ -266,9 +314,9 @@ impl AomReceiver {
                     // future linkage checks) plus reorder-buffer admin
                     // runs inline with dispatch; the ECDSA verification
                     // itself goes to the worker pool.
-                    crypto.meter().charge_serial(
-                        crypto.costs().sha256(pkt.header.auth_input().len()) + 500,
-                    );
+                    crypto
+                        .meter()
+                        .charge_serial(crypto.costs().sha256(pkt.header.auth_input().len()) + 500);
                     crypto.meter().charge_parallel(crypto.costs().ecdsa_verify);
                     self.seq_vk
                         .verify(&pkt.header.auth_input(), &Signature(bytes.clone()))
@@ -315,6 +363,7 @@ impl AomReceiver {
                 return;
             }
             let promoted = self.pending_chain.remove(&prev_seq).expect("checked");
+            self.chain_promoted += 1;
             self.accept(promoted.clone(), crypto);
             successor = promoted;
         }
@@ -339,6 +388,7 @@ impl AomReceiver {
                         // Equivocation attempt: ignore (§4.2 "ignores
                         // subsequent aom messages with the same sequence
                         // number").
+                        self.equivocations_rejected += 1;
                         return;
                     }
                     self.ready.entry(seq).or_insert(pkt);
@@ -354,12 +404,16 @@ impl AomReceiver {
                         replica: self.me,
                     };
                     let sig = crypto.sign(&encode(&body).expect("confirm encodes"));
-                    let sc = SignedConfirm { body: body.clone(), sig };
+                    let sc = SignedConfirm {
+                        body: body.clone(),
+                        sig,
+                    };
                     self.confirms
                         .entry(seq)
                         .or_default()
                         .insert(self.me, sc.clone());
                     self.outgoing.push(sc);
+                    self.confirms_generated += 1;
                 }
                 self.try_complete(seq);
             }
@@ -381,6 +435,7 @@ impl AomReceiver {
             });
         }
         if sc.body.seq < self.next {
+            self.stale_rejected += 1;
             return Err(AomError::Stale);
         }
         let bytes = encode(&sc.body).expect("confirm encodes");
@@ -392,7 +447,10 @@ impl AomReceiver {
             )
             .map_err(|_| AomError::BadAuth)?;
         let seq = sc.body.seq;
-        self.confirms.entry(seq).or_default().insert(sc.body.replica, sc);
+        self.confirms
+            .entry(seq)
+            .or_default()
+            .insert(sc.body.replica, sc);
         self.try_complete(seq);
         Ok(())
     }
@@ -438,12 +496,7 @@ impl AomReceiver {
                 let matching: Vec<SignedConfirm> = self
                     .confirms
                     .get(&seq)
-                    .map(|m| {
-                        m.values()
-                            .filter(|c| c.body.hash == h)
-                            .cloned()
-                            .collect()
-                    })
+                    .map(|m| m.values().filter(|c| c.body.hash == h).cloned().collect())
                     .unwrap_or_default();
                 if matching.len() < quorum {
                     return;

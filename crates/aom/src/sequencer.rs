@@ -389,8 +389,16 @@ mod tests {
     fn stamps_sequential_numbers_and_multicasts() {
         let mut seq = hm_sequencer();
         let mut ctx = Collect::new();
-        seq.on_message(Addr::Client(neo_wire::ClientId(0)), &unstamped(b"a"), &mut ctx);
-        seq.on_message(Addr::Client(neo_wire::ClientId(0)), &unstamped(b"b"), &mut ctx);
+        seq.on_message(
+            Addr::Client(neo_wire::ClientId(0)),
+            &unstamped(b"a"),
+            &mut ctx,
+        );
+        seq.on_message(
+            Addr::Client(neo_wire::ClientId(0)),
+            &unstamped(b"b"),
+            &mut ctx,
+        );
         let pkts = ctx.packets();
         assert_eq!(pkts.len(), 8, "2 messages × 4 receivers");
         // First four all have seq 1, next four seq 2.
@@ -403,7 +411,11 @@ mod tests {
     fn hmac_vector_has_one_entry_per_receiver_and_verifies() {
         let mut seq = hm_sequencer();
         let mut ctx = Collect::new();
-        seq.on_message(Addr::Client(neo_wire::ClientId(0)), &unstamped(b"a"), &mut ctx);
+        seq.on_message(
+            Addr::Client(neo_wire::ClientId(0)),
+            &unstamped(b"a"),
+            &mut ctx,
+        );
         let (_, pkt, _) = &ctx.packets()[0];
         let Authenticator::HmacVector(tags) = &pkt.header.auth else {
             panic!("expected hmac vector");
@@ -426,8 +438,16 @@ mod tests {
             &keys(),
         );
         let mut ctx = Collect::new();
-        seq.on_message(Addr::Client(neo_wire::ClientId(0)), &unstamped(b"a"), &mut ctx);
-        seq.on_message(Addr::Client(neo_wire::ClientId(0)), &unstamped(b"b"), &mut ctx);
+        seq.on_message(
+            Addr::Client(neo_wire::ClientId(0)),
+            &unstamped(b"a"),
+            &mut ctx,
+        );
+        seq.on_message(
+            Addr::Client(neo_wire::ClientId(0)),
+            &unstamped(b"b"),
+            &mut ctx,
+        );
         let pkts = ctx.packets();
         let (_, p1, _) = &pkts[0];
         let (_, p2, _) = &pkts[4];
@@ -455,7 +475,11 @@ mod tests {
         let mut seq = hm_sequencer();
         seq.set_behavior(Behavior::Mute);
         let mut ctx = Collect::new();
-        seq.on_message(Addr::Client(neo_wire::ClientId(0)), &unstamped(b"a"), &mut ctx);
+        seq.on_message(
+            Addr::Client(neo_wire::ClientId(0)),
+            &unstamped(b"a"),
+            &mut ctx,
+        );
         assert!(ctx.sends.is_empty());
     }
 
@@ -474,7 +498,11 @@ mod tests {
         let pkts = ctx.packets();
         let seqs: std::collections::BTreeSet<u64> =
             pkts.iter().map(|(_, p, _)| p.header.seq.0).collect();
-        assert_eq!(seqs, [1u64, 2, 4, 5].into_iter().collect(), "3 and 6 dropped");
+        assert_eq!(
+            seqs,
+            [1u64, 2, 4, 5].into_iter().collect(),
+            "3 and 6 dropped"
+        );
     }
 
     #[test]
@@ -482,10 +510,21 @@ mod tests {
         let mut seq = hm_sequencer();
         seq.set_behavior(Behavior::DropEveryAtAllButOne(2));
         let mut ctx = Collect::new();
-        seq.on_message(Addr::Client(neo_wire::ClientId(0)), &unstamped(b"a"), &mut ctx);
-        seq.on_message(Addr::Client(neo_wire::ClientId(0)), &unstamped(b"b"), &mut ctx);
+        seq.on_message(
+            Addr::Client(neo_wire::ClientId(0)),
+            &unstamped(b"a"),
+            &mut ctx,
+        );
+        seq.on_message(
+            Addr::Client(neo_wire::ClientId(0)),
+            &unstamped(b"b"),
+            &mut ctx,
+        );
         let pkts = ctx.packets();
-        let seq2: Vec<_> = pkts.iter().filter(|(_, p, _)| p.header.seq == SeqNum(2)).collect();
+        let seq2: Vec<_> = pkts
+            .iter()
+            .filter(|(_, p, _)| p.header.seq == SeqNum(2))
+            .collect();
         assert_eq!(seq2.len(), 1);
         assert_eq!(seq2[0].0, Addr::Replica(ReplicaId(0)));
     }
@@ -495,9 +534,17 @@ mod tests {
         let mut seq = hm_sequencer();
         seq.set_behavior(Behavior::Equivocate);
         let mut ctx = Collect::new();
-        seq.on_message(Addr::Client(neo_wire::ClientId(0)), &unstamped(b"a"), &mut ctx);
+        seq.on_message(
+            Addr::Client(neo_wire::ClientId(0)),
+            &unstamped(b"a"),
+            &mut ctx,
+        );
         assert!(ctx.packets().is_empty(), "first message held back");
-        seq.on_message(Addr::Client(neo_wire::ClientId(0)), &unstamped(b"b"), &mut ctx);
+        seq.on_message(
+            Addr::Client(neo_wire::ClientId(0)),
+            &unstamped(b"b"),
+            &mut ctx,
+        );
         let pkts = ctx.packets();
         assert_eq!(pkts.len(), 4);
         assert!(pkts.iter().all(|(_, p, _)| p.header.seq == SeqNum(1)));
@@ -505,7 +552,10 @@ mod tests {
             pkts.iter().map(|(_, p, _)| p.payload.clone()).collect();
         assert_eq!(payloads.len(), 2, "two different messages share seq 1");
         // Each half of the group sees a consistent single message.
-        let by_receiver: Vec<_> = pkts.iter().map(|(a, p, _)| (*a, p.payload.clone())).collect();
+        let by_receiver: Vec<_> = pkts
+            .iter()
+            .map(|(a, p, _)| (*a, p.payload.clone()))
+            .collect();
         assert_eq!(by_receiver[0].1, by_receiver[1].1);
         assert_eq!(by_receiver[2].1, by_receiver[3].1);
         assert_ne!(by_receiver[0].1, by_receiver[2].1);
@@ -521,7 +571,11 @@ mod tests {
             &keys(),
         );
         let mut ctx = Collect::new();
-        seq.on_message(Addr::Client(neo_wire::ClientId(0)), &unstamped(b"a"), &mut ctx);
+        seq.on_message(
+            Addr::Client(neo_wire::ClientId(0)),
+            &unstamped(b"a"),
+            &mut ctx,
+        );
         let (_, _, delay) = ctx.packets()[0];
         assert_eq!(delay, TofinoModel::PAPER.pipeline_latency_ns(4));
         assert_eq!(ctx.charged, TofinoModel::PAPER.service_ns(4));
@@ -531,13 +585,21 @@ mod tests {
     fn install_epoch_resets_counter_and_rotates_keys() {
         let mut seq = hm_sequencer();
         let mut ctx = Collect::new();
-        seq.on_message(Addr::Client(neo_wire::ClientId(0)), &unstamped(b"a"), &mut ctx);
+        seq.on_message(
+            Addr::Client(neo_wire::ClientId(0)),
+            &unstamped(b"a"),
+            &mut ctx,
+        );
         assert_eq!(seq.next_seq(), SeqNum(2));
         seq.install_epoch(EpochNum(1));
         assert_eq!(seq.epoch(), EpochNum(1));
         assert_eq!(seq.next_seq(), SeqNum::FIRST);
         let mut ctx2 = Collect::new();
-        seq.on_message(Addr::Client(neo_wire::ClientId(0)), &unstamped(b"b"), &mut ctx2);
+        seq.on_message(
+            Addr::Client(neo_wire::ClientId(0)),
+            &unstamped(b"b"),
+            &mut ctx2,
+        );
         let (_, pkt, _) = &ctx2.packets()[0];
         assert_eq!(pkt.header.epoch, EpochNum(1));
         // Epoch-1 packets verify under epoch-1 keys, not epoch-0 keys.
@@ -567,10 +629,17 @@ mod tests {
     fn already_stamped_packets_are_ignored() {
         let mut seq = hm_sequencer();
         let mut ctx = Collect::new();
-        seq.on_message(Addr::Client(neo_wire::ClientId(0)), &unstamped(b"a"), &mut ctx);
+        seq.on_message(
+            Addr::Client(neo_wire::ClientId(0)),
+            &unstamped(b"a"),
+            &mut ctx,
+        );
         let replay = ctx.sends[0].1.clone();
         let before = seq.stamped;
         seq.on_message(Addr::Replica(ReplicaId(3)), &replay, &mut ctx);
-        assert_eq!(seq.stamped, before, "replayed stamped packet not re-stamped");
+        assert_eq!(
+            seq.stamped, before,
+            "replayed stamped packet not re-stamped"
+        );
     }
 }

@@ -368,7 +368,8 @@ fn forged_confirms_do_not_count_toward_quorum() {
     let ctx = stamp_many(&mut seq, &[b"a"]);
     let crypto = crypto_for(0);
     let mut rcv = receiver(0, ReceiverAuth::Hmac, NetworkTrust::Byzantine);
-    rcv.on_packet(ctx.packets_for(0)[0].clone(), &crypto).unwrap();
+    rcv.on_packet(ctx.packets_for(0)[0].clone(), &crypto)
+        .unwrap();
     let own = rcv.take_outgoing_confirms().pop().unwrap();
     // Forge confirms claiming to be replicas 1 and 2, signed wrongly.
     for forged_id in [1u32, 2] {
@@ -407,7 +408,8 @@ fn install_epoch_resets_receiver_state() {
     // …and new-epoch packets (from the reinstalled sequencer) verify.
     seq.install_epoch(EpochNum(1));
     let ctx = stamp_many(&mut seq, &[b"d"]);
-    rcv.on_packet(ctx.packets_for(0)[0].clone(), &crypto).unwrap();
+    rcv.on_packet(ctx.packets_for(0)[0].clone(), &crypto)
+        .unwrap();
     assert_eq!(deliveries(&mut rcv).len(), 1);
 }
 

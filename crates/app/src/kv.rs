@@ -77,10 +77,7 @@ enum Undo {
     /// Operation did not modify state (Get/Scan/BadRequest).
     Nothing,
     /// Restore `key` to `prior` (None = key did not exist).
-    Restore {
-        key: String,
-        prior: Option<Vec<u8>>,
-    },
+    Restore { key: String, prior: Option<Vec<u8>> },
 }
 
 /// The B-Tree key-value store.

@@ -62,8 +62,8 @@ impl YcsbGenerator {
         let zeta_n = zeta(cfg.record_count, cfg.theta);
         let zeta2 = zeta(2, cfg.theta);
         let alpha = 1.0 / (1.0 - cfg.theta);
-        let eta = (1.0 - (2.0 / cfg.record_count as f64).powf(1.0 - cfg.theta))
-            / (1.0 - zeta2 / zeta_n);
+        let eta =
+            (1.0 - (2.0 / cfg.record_count as f64).powf(1.0 - cfg.theta)) / (1.0 - zeta2 / zeta_n);
         YcsbGenerator {
             cfg,
             rng: ChaCha8Rng::seed_from_u64(seed),

@@ -5,8 +5,7 @@ use neo_app::{App, KvApp, KvOp};
 use proptest::prelude::*;
 
 fn arb_op() -> impl Strategy<Value = KvOp> {
-    let key = proptest::sample::select(vec!["a", "b", "c", "d", "e"])
-        .prop_map(|s| s.to_string());
+    let key = proptest::sample::select(vec!["a", "b", "c", "d", "e"]).prop_map(|s| s.to_string());
     prop_oneof![
         key.clone().prop_map(|key| KvOp::Get { key }),
         (key.clone(), proptest::collection::vec(any::<u8>(), 0..16))

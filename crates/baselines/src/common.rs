@@ -174,10 +174,22 @@ impl ClientCore {
             return;
         };
         ctx.cancel_timer(p.retry_timer);
+        let completed_at = ctx.now();
+        {
+            let m = ctx.metrics();
+            m.observe(
+                "client.latency_ns",
+                completed_at.saturating_sub(p.issued_at),
+            );
+            m.incr("client.ops_completed");
+            if p.retries > 0 {
+                m.add("client.retries", p.retries as u64);
+            }
+        }
         self.completed.push(CompletedOp {
             request_id: p.request_id,
             issued_at: p.issued_at,
-            completed_at: ctx.now(),
+            completed_at,
             result,
             retries: p.retries,
         });
@@ -209,7 +221,11 @@ impl BatchQueue {
     }
 
     /// Open a new batch if the pipeline has room and work is queued.
-    pub fn next_batch(&mut self, batch_max: usize, pipeline_depth: usize) -> Option<Vec<BaseRequest>> {
+    pub fn next_batch(
+        &mut self,
+        batch_max: usize,
+        pipeline_depth: usize,
+    ) -> Option<Vec<BaseRequest>> {
         if self.in_flight >= pipeline_depth || self.queue.is_empty() {
             return None;
         }

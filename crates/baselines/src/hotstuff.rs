@@ -240,7 +240,10 @@ impl HotStuffReplica {
             sig,
         };
         let bytes = wrap(&msg);
-        for r in (0..self.cfg.n as u32).map(ReplicaId).filter(|r| *r != self.id) {
+        for r in (0..self.cfg.n as u32)
+            .map(ReplicaId)
+            .filter(|r| *r != self.id)
+        {
             ctx.send(Addr::Replica(r), bytes.clone());
         }
         self.next_height += 1;
@@ -318,7 +321,11 @@ impl HotStuffReplica {
         }
         if self
             .crypto
-            .verify(Principal::Replica(replica), &vote_input(height, &digest), &sig)
+            .verify(
+                Principal::Replica(replica),
+                &vote_input(height, &digest),
+                &sig,
+            )
             .is_err()
         {
             return;
@@ -383,7 +390,8 @@ impl HotStuffReplica {
                     result,
                     mac,
                 };
-                self.table.insert(req.client, (req.request_id, reply.clone()));
+                self.table
+                    .insert(req.client, (req.request_id, reply.clone()));
                 ctx.send(Addr::Client(req.client), wrap(&reply));
             }
             if self.is_leader() && !block.batch.is_empty() {

@@ -15,7 +15,9 @@
 use crate::common::{BaseRequest, BaselineConfig, BatchQueue, ClientCore};
 use neo_aom::Envelope;
 use neo_app::{App, Workload};
-use neo_crypto::{sha256, CostModel, Digest, HmacKey, NodeCrypto, Principal, Signature, SystemKeys};
+use neo_crypto::{
+    sha256, CostModel, Digest, HmacKey, NodeCrypto, Principal, Signature, SystemKeys,
+};
 use neo_sim::{Context, Node, TimerId};
 use neo_wire::{decode, encode, Addr, ClientId, HmacTag, ReplicaId, RequestId};
 use serde::{Deserialize, Serialize};
@@ -45,10 +47,7 @@ pub struct Usig {
 fn usig_key(keys: &SystemKeys, owner: ReplicaId) -> HmacKey {
     // The USIG attestation key, provisioned to the trusted components at
     // deployment time (remote attestation in the SGX deployment).
-    keys.pairwise_hmac_key(
-        Principal::Replica(owner),
-        Principal::Replica(owner),
-    )
+    keys.pairwise_hmac_key(Principal::Replica(owner), Principal::Replica(owner))
 }
 
 impl Usig {
@@ -269,7 +268,10 @@ impl MinBftReplica {
                 ui,
             };
             let bytes = wrap(&prepare);
-            for r in (0..self.cfg.n as u32).map(ReplicaId).filter(|r| *r != self.id) {
+            for r in (0..self.cfg.n as u32)
+                .map(ReplicaId)
+                .filter(|r| *r != self.id)
+            {
                 ctx.send(Addr::Replica(r), bytes.clone());
             }
             self.accept_prepare(self.cfg.primary(), signed, digest, ui, ctx);
@@ -313,7 +315,10 @@ impl MinBftReplica {
                 ui: my_ui,
             };
             let bytes = wrap(&msg);
-            for r in (0..self.cfg.n as u32).map(ReplicaId).filter(|r| *r != self.id) {
+            for r in (0..self.cfg.n as u32)
+                .map(ReplicaId)
+                .filter(|r| *r != self.id)
+            {
                 ctx.send(Addr::Replica(r), bytes.clone());
             }
         }
@@ -332,7 +337,14 @@ impl MinBftReplica {
         }
         let digest = sha256(&encode(&batch).expect("encodes"));
         let primary = self.cfg.primary();
-        if !Usig::verify_ui(primary, &self.keys, &digest, &ui, self.cfg.usig_cost_ns, ctx) {
+        if !Usig::verify_ui(
+            primary,
+            &self.keys,
+            &digest,
+            &ui,
+            self.cfg.usig_cost_ns,
+            ctx,
+        ) {
             return;
         }
         if !self.monotonic_ok(primary, ui.counter) {
@@ -424,7 +436,8 @@ impl MinBftReplica {
                     result,
                     mac,
                 };
-                self.table.insert(req.client, (req.request_id, reply.clone()));
+                self.table
+                    .insert(req.client, (req.request_id, reply.clone()));
                 ctx.send(Addr::Client(req.client), wrap(&reply));
             }
             if let Some(inst) = self.instances.get_mut(&counter) {
@@ -615,7 +628,14 @@ mod tests {
         assert_eq!(u1.counter, 1);
         assert_eq!(u2.counter, 2);
         assert_eq!(ctx.charged, 2000, "trusted calls charged serially");
-        assert!(Usig::verify_ui(ReplicaId(0), &keys, &d, &u1, 1000, &mut ctx));
+        assert!(Usig::verify_ui(
+            ReplicaId(0),
+            &keys,
+            &d,
+            &u1,
+            1000,
+            &mut ctx
+        ));
         assert!(
             !Usig::verify_ui(ReplicaId(1), &keys, &d, &u1, 1000, &mut ctx),
             "UI is bound to its owner"

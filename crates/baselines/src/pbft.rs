@@ -10,6 +10,7 @@ use crate::common::{BaseRequest, BaselineConfig, BatchQueue, ClientCore};
 use neo_aom::Envelope;
 use neo_app::{App, Workload};
 use neo_crypto::{sha256, CostModel, Digest, NodeCrypto, Principal, Signature, SystemKeys};
+use neo_sim::obs::Event;
 use neo_sim::{Context, Node, TimerId};
 use neo_wire::{decode, encode, Addr, ClientId, HmacTag, ReplicaId, RequestId};
 use serde::{Deserialize, Serialize};
@@ -171,6 +172,8 @@ impl PbftReplica {
                 })
                 .collect();
             let digest = batch_digest(&signed);
+            ctx.metrics()
+                .observe("replica.batch_size", signed.len() as u64);
             let inst = self.instances.entry(seq).or_default();
             inst.batch = Some(signed.clone());
             inst.digest = Some(digest);
@@ -218,6 +221,7 @@ impl PbftReplica {
         if self.sig_cache.contains_key(&(req.client, req.request_id)) {
             return;
         }
+        ctx.emit(Event::RequestReceived);
         self.sig_cache.insert((req.client, req.request_id), sig);
         self.queue.push(req);
         self.try_open_batches(ctx);
@@ -307,9 +311,11 @@ impl PbftReplica {
         match tag {
             2 => {
                 inst.prepares.insert(replica, digest);
+                ctx.metrics().incr("pbft.prepares_in");
             }
             3 => {
                 inst.commits.insert(replica, digest);
+                ctx.metrics().incr("pbft.commits_in");
             }
             _ => return,
         }
@@ -370,6 +376,7 @@ impl PbftReplica {
                 }
                 let result = self.app.execute(&req.op);
                 self.executed += 1;
+                ctx.emit(Event::Commit { slot: seq });
                 let input = reply_mac_input(req.request_id, &result);
                 let mac = self.crypto.mac_for(Principal::Client(req.client), &input);
                 let reply = Msg::Reply {
@@ -407,6 +414,7 @@ fn reply_mac_input(request_id: RequestId, result: &[u8]) -> Vec<u8> {
 impl Node for PbftReplica {
     fn on_message(&mut self, _from: Addr, payload: &[u8], ctx: &mut dyn Context) {
         self.messages_in += 1;
+        ctx.metrics().incr("replica.messages_in");
         let Some(msg) = unwrap(payload) else {
             return;
         };

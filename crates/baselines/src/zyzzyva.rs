@@ -190,7 +190,10 @@ impl ZyzzyvaReplica {
             let bdigest = sha256(&encode(&signed).expect("encodes"));
             let history = chain(self.history, bdigest.as_bytes());
             if self.behavior != ZyzzyvaBehavior::Mute {
-                for r in (0..self.cfg.n as u32).map(ReplicaId).filter(|r| *r != self.id) {
+                for r in (0..self.cfg.n as u32)
+                    .map(ReplicaId)
+                    .filter(|r| *r != self.id)
+                {
                     let mut input = seq.to_le_bytes().to_vec();
                     input.extend_from_slice(history.as_bytes());
                     let mac = self.crypto.mac_for(Principal::Replica(r), &input);
@@ -302,7 +305,12 @@ impl ZyzzyvaReplica {
         let _ = seq;
     }
 
-    fn on_commit(&mut self, cert: Vec<(SpecBody, Signature)>, client: ClientId, ctx: &mut dyn Context) {
+    fn on_commit(
+        &mut self,
+        cert: Vec<(SpecBody, Signature)>,
+        client: ClientId,
+        ctx: &mut dyn Context,
+    ) {
         if self.behavior == ZyzzyvaBehavior::Mute {
             return;
         }
@@ -314,7 +322,12 @@ impl ZyzzyvaReplica {
         };
         for (body, sig) in &cert {
             if (body.seq, body.history, body.request_id, body.result_digest)
-                != (first.seq, first.history, first.request_id, first.result_digest)
+                != (
+                    first.seq,
+                    first.history,
+                    first.request_id,
+                    first.result_digest,
+                )
             {
                 continue;
             }
@@ -448,8 +461,7 @@ impl ZyzzyvaClient {
 
     /// The largest set of mutually matching spec-responses.
     fn matching_set(&self) -> Vec<(SpecBody, Signature)> {
-        let mut groups: HashMap<(u64, Digest, Digest), Vec<(SpecBody, Signature)>> =
-            HashMap::new();
+        let mut groups: HashMap<(u64, Digest, Digest), Vec<(SpecBody, Signature)>> = HashMap::new();
         for (body, _, sig) in self.spec.values() {
             groups
                 .entry((body.seq, body.history, body.result_digest))
@@ -513,8 +525,7 @@ impl ZyzzyvaClient {
             return; // keep waiting; retransmission will kick in
         }
         self.committing = true;
-        let cert: Vec<(SpecBody, Signature)> =
-            best.into_iter().take(self.cfg.quorum()).collect();
+        let cert: Vec<(SpecBody, Signature)> = best.into_iter().take(self.cfg.quorum()).collect();
         let msg = wrap(&Msg::Commit {
             client: self.core.id,
             cert,
@@ -524,7 +535,13 @@ impl ZyzzyvaClient {
         }
     }
 
-    fn on_local_commit(&mut self, replica: ReplicaId, request_id: RequestId, mac: HmacTag, ctx: &mut dyn Context) {
+    fn on_local_commit(
+        &mut self,
+        replica: ReplicaId,
+        request_id: RequestId,
+        mac: HmacTag,
+        ctx: &mut dyn Context,
+    ) {
         let Some(p) = self.core.pending.as_ref() else {
             return;
         };

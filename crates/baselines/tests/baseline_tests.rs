@@ -46,7 +46,13 @@ fn run(proto: Proto, n_clients: u64, ops: u64, virtual_secs: u64) -> Outcome {
         let id = ReplicaId(r);
         let app = Box::new(EchoApp::new());
         let node: Box<dyn neo_sim::Node> = match proto {
-            Proto::Pbft => Box::new(PbftReplica::new(id, cfg.clone(), &keys, CostModel::FREE, app)),
+            Proto::Pbft => Box::new(PbftReplica::new(
+                id,
+                cfg.clone(),
+                &keys,
+                CostModel::FREE,
+                app,
+            )),
             Proto::Zyzzyva { mute_one } => {
                 let mut z = ZyzzyvaReplica::new(id, cfg.clone(), &keys, CostModel::FREE, app);
                 if mute_one && r == n as u32 - 1 {
@@ -92,8 +98,7 @@ fn run(proto: Proto, n_clients: u64, ops: u64, virtual_secs: u64) -> Outcome {
                 Box::new(cl)
             }
             Proto::MinBft => {
-                let mut cl =
-                    MinBftClient::new(ClientId(c), cfg.clone(), &keys, CostModel::FREE, w);
+                let mut cl = MinBftClient::new(ClientId(c), cfg.clone(), &keys, CostModel::FREE, w);
                 cl.core.max_ops = Some(ops);
                 Box::new(cl)
             }
@@ -108,9 +113,13 @@ fn run(proto: Proto, n_clients: u64, ops: u64, virtual_secs: u64) -> Outcome {
     for c in 0..n_clients {
         let addr = Addr::Client(ClientId(c));
         match proto {
-            Proto::Pbft => {
-                completed.extend(s.node_ref::<PbftClient>(addr).unwrap().core.completed.clone())
-            }
+            Proto::Pbft => completed.extend(
+                s.node_ref::<PbftClient>(addr)
+                    .unwrap()
+                    .core
+                    .completed
+                    .clone(),
+            ),
             Proto::Zyzzyva { .. } => {
                 let cl = s.node_ref::<ZyzzyvaClient>(addr).unwrap();
                 completed.extend(cl.core.completed.clone());

@@ -23,10 +23,7 @@ fn run(params: &RunParams) -> neo_bench::RunResult {
 
 /// Like the harness runner, but with a caller-tweaked `NeoConfig`
 /// (the knobs under ablation are per-replica configuration).
-fn run_with_cfg(
-    params: &RunParams,
-    tweak: impl Fn(&mut NeoConfig),
-) -> neo_bench::RunResult {
+fn run_with_cfg(params: &RunParams, tweak: impl Fn(&mut NeoConfig)) -> neo_bench::RunResult {
     use neo_aom::{AuthMode, ConfigService, SequencerHw, SequencerNode};
     use neo_app::EchoWorkload;
     use neo_core::Client;
@@ -76,7 +73,11 @@ fn run_with_cfg(
             params.costs,
             Box::new(neo_app::EchoApp::new()),
         );
-        sim.add_node_with_cpu(Addr::Replica(ReplicaId(r)), Box::new(replica), params.server_cpu);
+        sim.add_node_with_cpu(
+            Addr::Replica(ReplicaId(r)),
+            Box::new(replica),
+            params.server_cpu,
+        );
     }
     for c in 0..params.n_clients as u64 {
         let client = Client::new(
@@ -86,7 +87,11 @@ fn run_with_cfg(
             params.costs,
             Box::new(EchoWorkload::new(64, c + 1)),
         );
-        sim.add_node_with_cpu(Addr::Client(ClientId(c)), Box::new(client), params.client_cpu);
+        sim.add_node_with_cpu(
+            Addr::Client(ClientId(c)),
+            Box::new(client),
+            params.client_cpu,
+        );
     }
     sim.run_until(params.warmup + params.measure);
     collect(&sim, params)
@@ -118,8 +123,8 @@ fn main() {
     for (label, proto) in [
         ("ratio controller + chain", Protocol::NeoPkSoftware),
         ("sign every packet", Protocol::NeoPk), // FPGA signs all, but at
-                                                 // hardware rates: shown
-                                                 // for reference
+                                                // hardware rates: shown
+                                                // for reference
     ] {
         let mut p = RunParams::new(proto, 64);
         p.warmup = 15 * MILLIS;
@@ -134,8 +139,10 @@ fn main() {
     }
 
     // 3. Subgroup fan-out cost at a 31-replica group.
-    for (label, emulate) in [("⌈n/4⌉ packets/msg (§4.3)", true), ("single packet (ideal)", false)]
-    {
+    for (label, emulate) in [
+        ("⌈n/4⌉ packets/msg (§4.3)", true),
+        ("single packet (ideal)", false),
+    ] {
         let mut p = RunParams::new(Protocol::NeoHmSoftware, 48);
         p.f = 10; // n = 31
         p.warmup = 15 * MILLIS;

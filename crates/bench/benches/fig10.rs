@@ -30,7 +30,13 @@ fn main() {
         t.row(vec![proto.label().to_string(), fmt_ops(r.throughput)]);
     }
     t.print();
-    let get = |l: &str| results.iter().find(|(x, _)| *x == l).map(|(_, t)| *t).unwrap_or(0.0);
+    let get = |l: &str| {
+        results
+            .iter()
+            .find(|(x, _)| *x == l)
+            .map(|(_, t)| *t)
+            .unwrap_or(0.0)
+    };
     println!(
         "  ordering check (paper: Neo > Zyzzyva > PBFT > HotStuff/MinBFT): Neo-HM {} vs Zyzzyva {} vs PBFT {} vs HotStuff {} vs MinBFT {}",
         fmt_ops(get("Neo-HM")),

@@ -3,7 +3,7 @@
 //! (echo-RPC, 64-byte requests, f = 1).
 
 use neo_bench::harness::{run_experiment, AppKind, Protocol, RunParams};
-use neo_bench::{fmt_ops, fmt_us, Table};
+use neo_bench::{fmt_ops, fmt_us, phase_breakdown, Table};
 use neo_sim::MILLIS;
 
 fn main() {
@@ -43,6 +43,18 @@ fn main() {
     neo_bench::report::write_json("fig7", &series);
     t.print();
 
+    // Per-phase breakdown for the highest-load NeoBFT and PBFT runs:
+    // where did each operation spend its protocol life?
+    for label in ["Neo-HM", "PBFT"] {
+        if let Some((_, clients, r)) = series.iter().rev().find(|(l, _, _)| l == label) {
+            phase_breakdown(
+                &format!("{label} aggregate, {clients} clients"),
+                &r.obs.aggregate,
+            )
+            .print();
+        }
+    }
+
     let mut s = Table::new(
         "Figure 7 summary — max throughput and low-load latency",
         &["Protocol", "Max throughput", "Latency (1 client)"],
@@ -56,11 +68,19 @@ fn main() {
         s.row(vec![
             label.to_string(),
             format!("{} ({:.2}× vs Neo-HM)", fmt_ops(*thr), neo.0 / thr),
-            format!("{} ({:.2}× vs Neo-HM)", fmt_us(*lat), *lat as f64 / neo.1 as f64),
+            format!(
+                "{} ({:.2}× vs Neo-HM)",
+                fmt_us(*lat),
+                *lat as f64 / neo.1 as f64
+            ),
         ]);
     }
     s.print();
-    println!("  paper: Neo-HM beats PBFT 2.5×, HotStuff 3.4×, MinBFT 4.1×, Zyzzyva 1.8× on throughput;");
-    println!("         latency advantages: PBFT 14.68×, HotStuff 42.28×, Zyzzyva 8.56×, MinBFT 6.08×;");
+    println!(
+        "  paper: Neo-HM beats PBFT 2.5×, HotStuff 3.4×, MinBFT 4.1×, Zyzzyva 1.8× on throughput;"
+    );
+    println!(
+        "         latency advantages: PBFT 14.68×, HotStuff 42.28×, Zyzzyva 8.56×, MinBFT 6.08×;"
+    );
     println!("         Zyzzyva-F drops >54% vs Zyzzyva; Neo-PK ≈ Neo-HM − 60K with +55µs latency.");
 }

@@ -15,7 +15,7 @@
 use neo_bench::harness::{build, collect, replica_messages, Protocol, RunParams};
 use neo_bench::Table;
 use neo_crypto::CostModel;
-use neo_sim::{CpuConfig, MILLIS, NetConfig};
+use neo_sim::{CpuConfig, NetConfig, MILLIS};
 
 struct AnalyticRow {
     proto: Protocol,

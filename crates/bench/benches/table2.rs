@@ -6,7 +6,14 @@ use neo_switch::switch_resource_table;
 fn main() {
     let mut t = Table::new(
         "Table 2 — Switch resource usage of the aom HMAC vector prototype",
-        &["Module", "Stages", "Action Data", "Hash Bit", "Hash Unit", "VLIW"],
+        &[
+            "Module",
+            "Stages",
+            "Action Data",
+            "Hash Bit",
+            "Hash Unit",
+            "VLIW",
+        ],
     );
     for row in switch_resource_table() {
         t.row(vec![

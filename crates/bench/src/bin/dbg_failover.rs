@@ -1,27 +1,52 @@
+use neo_aom::{ConfigService, SequencerNode};
 use neo_bench::harness::*;
 use neo_core::{Client, Replica};
-use neo_aom::{SequencerNode, ConfigService};
 use neo_sim::MILLIS;
 use neo_wire::{Addr, ClientId, ReplicaId};
 
 fn main() {
-    let clients: usize = std::env::args().nth(1).map(|s| s.parse().unwrap()).unwrap_or(32);
+    let clients: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(32);
     let mut p = RunParams::new(Protocol::NeoHm, clients);
     p.warmup = 0;
     p.measure = 400 * MILLIS;
     let mut sim = build(&p);
     sim.run_until(50 * MILLIS);
-    sim.node_mut::<SequencerNode>(Addr::Sequencer(GROUP)).unwrap().set_behavior(neo_aom::Behavior::Mute);
+    sim.node_mut::<SequencerNode>(Addr::Sequencer(GROUP))
+        .unwrap()
+        .set_behavior(neo_aom::Behavior::Mute);
     for t in [100u64, 150, 200, 300, 400, 600] {
         sim.run_until(t * MILLIS);
         let cfg = sim.node_ref::<ConfigService>(Addr::Config).unwrap();
-        let seq = sim.node_ref::<SequencerNode>(Addr::Sequencer(GROUP)).unwrap();
-        print!("t={t}ms failovers={} seq_epoch={} ", cfg.failovers, seq.epoch());
+        let seq = sim
+            .node_ref::<SequencerNode>(Addr::Sequencer(GROUP))
+            .unwrap();
+        print!(
+            "t={t}ms failovers={} seq_epoch={} ",
+            cfg.failovers,
+            seq.epoch()
+        );
         for r in 0..4 {
-            let rep = sim.node_ref::<Replica>(Addr::Replica(ReplicaId(r))).unwrap();
-            print!("r{r}[view={} log={} vc={}] ", rep.view(), rep.log_len(), rep.stats.view_changes);
+            let rep = sim
+                .node_ref::<Replica>(Addr::Replica(ReplicaId(r)))
+                .unwrap();
+            print!(
+                "r{r}[view={} log={} vc={}] ",
+                rep.view(),
+                rep.log_len(),
+                rep.stats.view_changes
+            );
         }
-        let done: usize = (0..clients as u64).map(|c| sim.node_ref::<Client>(Addr::Client(ClientId(c))).unwrap().completed.len()).sum();
+        let done: usize = (0..clients as u64)
+            .map(|c| {
+                sim.node_ref::<Client>(Addr::Client(ClientId(c)))
+                    .unwrap()
+                    .completed
+                    .len()
+            })
+            .sum();
         println!("completed={done}");
     }
 }

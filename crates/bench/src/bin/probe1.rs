@@ -3,10 +3,17 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let proto = match args.get(1).map(|s| s.as_str()).unwrap_or("neohm") {
-        "neohm" => Protocol::NeoHm, "neopk" => Protocol::NeoPk, "neobn" => Protocol::NeoBn,
-        "pbft" => Protocol::Pbft, "zyz" => Protocol::Zyzzyva, "zyzf" => Protocol::ZyzzyvaF,
-        "hs" => Protocol::HotStuff, "minbft" => Protocol::MinBft, "unrep" => Protocol::Unreplicated,
-        "neohmsw" => Protocol::NeoHmSoftware, "neopksw" => Protocol::NeoPkSoftware,
+        "neohm" => Protocol::NeoHm,
+        "neopk" => Protocol::NeoPk,
+        "neobn" => Protocol::NeoBn,
+        "pbft" => Protocol::Pbft,
+        "zyz" => Protocol::Zyzzyva,
+        "zyzf" => Protocol::ZyzzyvaF,
+        "hs" => Protocol::HotStuff,
+        "minbft" => Protocol::MinBft,
+        "unrep" => Protocol::Unreplicated,
+        "neohmsw" => Protocol::NeoHmSoftware,
+        "neopksw" => Protocol::NeoPkSoftware,
         other => panic!("unknown {other}"),
     };
     let c: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(1);
@@ -16,7 +23,15 @@ fn main() {
     p.measure = ms * 1_000_000;
     let t = Instant::now();
     let r = run_experiment(&p);
-    println!("{} c={} -> {:.1}K ops/s, mean {:.1}us p50 {:.1}us p99 {:.1}us ({} ops) [wall {:?}]",
-        proto.label(), c, r.throughput/1e3, r.mean_latency_ns as f64/1e3,
-        r.p50_latency_ns as f64/1e3, r.p99_latency_ns as f64/1e3, r.committed, t.elapsed());
+    println!(
+        "{} c={} -> {:.1}K ops/s, mean {:.1}us p50 {:.1}us p99 {:.1}us ({} ops) [wall {:?}]",
+        proto.label(),
+        c,
+        r.throughput / 1e3,
+        r.mean_latency_ns as f64 / 1e3,
+        r.p50_latency_ns as f64 / 1e3,
+        r.p99_latency_ns as f64 / 1e3,
+        r.committed,
+        t.elapsed()
+    );
 }

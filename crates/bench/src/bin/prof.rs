@@ -1,7 +1,7 @@
 //! Micro-profiling: time the suspected hot operations.
-use std::time::Instant;
 use neo_crypto::*;
 use neo_wire::*;
+use std::time::Instant;
 
 fn main() {
     let sys = SystemKeys::new(1, 4, 8);
@@ -9,19 +9,39 @@ fn main() {
     let n = 100_000;
 
     let t = Instant::now();
-    for i in 0..n { u64_noop(i); }
+    for i in 0..n {
+        u64_noop(i);
+    }
     println!("baseline loop: {:?}", t.elapsed());
 
     let t = Instant::now();
-    for _ in 0..n { let _ = nc.mac_for(Principal::Client(ClientId(1)), b"hello world input"); }
-    println!("mac_for (incl. key derivation): {:?} ({:.0}ns/op)", t.elapsed(), t.elapsed().as_nanos() as f64 / n as f64);
+    for _ in 0..n {
+        let _ = nc.mac_for(Principal::Client(ClientId(1)), b"hello world input");
+    }
+    println!(
+        "mac_for (incl. key derivation): {:?} ({:.0}ns/op)",
+        t.elapsed(),
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
 
     let t = Instant::now();
-    for _ in 0..n { let _ = sha256(b"some payload of modest size 64 bytes long ............ .......");}
-    println!("sha256: {:?} ({:.0}ns/op)", t.elapsed(), t.elapsed().as_nanos() as f64 / n as f64);
+    for _ in 0..n {
+        let _ = sha256(b"some payload of modest size 64 bytes long ............ .......");
+    }
+    println!(
+        "sha256: {:?} ({:.0}ns/op)",
+        t.elapsed(),
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
 
     let t = Instant::now();
-    for _ in 0..n { let _ = NodeCrypto::new(Principal::Replica(ReplicaId(0)), &sys, CostModel::FREE); }
-    println!("NodeCrypto::new: {:?} ({:.0}ns/op)", t.elapsed(), t.elapsed().as_nanos() as f64 / n as f64);
+    for _ in 0..n {
+        let _ = NodeCrypto::new(Principal::Replica(ReplicaId(0)), &sys, CostModel::FREE);
+    }
+    println!(
+        "NodeCrypto::new: {:?} ({:.0}ns/op)",
+        t.elapsed(),
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
 }
 fn u64_noop(_x: u64) {}

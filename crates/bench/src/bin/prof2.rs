@@ -14,8 +14,12 @@ impl Node for Echo {
         }
     }
     fn on_timer(&mut self, _: TimerId, _: u32, _: &mut dyn Context) {}
-    fn as_any(&self) -> &dyn Any { self }
-    fn as_any_mut(&mut self) -> &mut dyn Any { self }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 fn main() {
@@ -34,5 +38,10 @@ fn main() {
     }
     let t = Instant::now();
     let n = sim.run_until(u64::MAX / 2);
-    println!("{} events in {:?} ({:.0}ns/event)", n, t.elapsed(), t.elapsed().as_nanos() as f64 / n as f64);
+    println!(
+        "{} events in {:?} ({:.0}ns/event)",
+        n,
+        t.elapsed(),
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
 }

@@ -1,18 +1,28 @@
 //! Time individual protocol handlers outside the simulator.
 use neo_aom::*;
+use neo_app::*;
 use neo_core::*;
 use neo_crypto::*;
-use neo_app::*;
 use neo_sim::{Context, Node, TimerId};
 use neo_wire::*;
 use std::time::Instant;
 
-struct Sink { sends: Vec<(Addr, Vec<u8>)> }
+struct Sink {
+    sends: Vec<(Addr, Vec<u8>)>,
+}
 impl Context for Sink {
-    fn now(&self) -> u64 { 0 }
-    fn me(&self) -> Addr { Addr::Replica(ReplicaId(0)) }
-    fn send_after(&mut self, to: Addr, p: Vec<u8>, _: u64) { self.sends.push((to, p)); }
-    fn set_timer(&mut self, _: u64, _: u32) -> TimerId { TimerId(9) }
+    fn now(&self) -> u64 {
+        0
+    }
+    fn me(&self) -> Addr {
+        Addr::Replica(ReplicaId(0))
+    }
+    fn send_after(&mut self, to: Addr, p: Vec<u8>, _: u64) {
+        self.sends.push((to, p));
+    }
+    fn set_timer(&mut self, _: u64, _: u32) -> TimerId {
+        TimerId(9)
+    }
     fn cancel_timer(&mut self, _: TimerId) {}
     fn charge(&mut self, _: u64) {}
 }
@@ -21,15 +31,33 @@ fn main() {
     let cfg = NeoConfig::new(1);
     let keys = SystemKeys::new(1, 4, 4);
     let t = Instant::now();
-    let mut replica = Replica::new(ReplicaId(0), cfg.clone(), &keys, CostModel::CALIBRATED, Box::new(EchoApp::new()));
+    let mut replica = Replica::new(
+        ReplicaId(0),
+        cfg.clone(),
+        &keys,
+        CostModel::CALIBRATED,
+        Box::new(EchoApp::new()),
+    );
     println!("Replica::new: {:?}", t.elapsed());
 
     let t = Instant::now();
-    let mut seq = SequencerNode::new(GroupId(0), (0..4).map(ReplicaId).collect(), AuthMode::HmacVector, SequencerHw::Software(CostModel::FREE), &keys);
+    let mut seq = SequencerNode::new(
+        GroupId(0),
+        (0..4).map(ReplicaId).collect(),
+        AuthMode::HmacVector,
+        SequencerHw::Software(CostModel::FREE),
+        &keys,
+    );
     println!("Sequencer::new: {:?}", t.elapsed());
 
     let t = Instant::now();
-    let mut client = Client::new(ClientId(0), cfg.clone(), &keys, CostModel::CALIBRATED, Box::new(EchoWorkload::new(64, 1)));
+    let mut client = Client::new(
+        ClientId(0),
+        cfg.clone(),
+        &keys,
+        CostModel::CALIBRATED,
+        Box::new(EchoWorkload::new(64, 1)),
+    );
     println!("Client::new: {:?}", t.elapsed());
 
     // Drive: client issues request via init timer
@@ -41,20 +69,42 @@ fn main() {
     // sequencer handler timing
     let mut sctx = Sink { sends: vec![] };
     let t = Instant::now();
-    for _ in 0..n { seq.on_message(Addr::Client(ClientId(0)), &req_bytes, &mut sctx); }
-    println!("sequencer.on_message: {:.0}ns/op", t.elapsed().as_nanos() as f64 / n as f64);
+    for _ in 0..n {
+        seq.on_message(Addr::Client(ClientId(0)), &req_bytes, &mut sctx);
+    }
+    println!(
+        "sequencer.on_message: {:.0}ns/op",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
 
     // replica handler timing: feed successive stamped packets
-    let pkts: Vec<Vec<u8>> = sctx.sends.iter().filter(|(a,_)| *a == Addr::Replica(ReplicaId(0))).map(|(_,p)| p.clone()).collect();
+    let pkts: Vec<Vec<u8>> = sctx
+        .sends
+        .iter()
+        .filter(|(a, _)| *a == Addr::Replica(ReplicaId(0)))
+        .map(|(_, p)| p.clone())
+        .collect();
     let mut rctx = Sink { sends: vec![] };
     let t = Instant::now();
-    for p in &pkts { replica.on_message(Addr::Sequencer(GroupId(0)), p, &mut rctx); }
-    println!("replica.on_message(aom pkt): {:.0}ns/op over {} pkts, {} replies", t.elapsed().as_nanos() as f64 / pkts.len() as f64, pkts.len(), rctx.sends.len());
+    for p in &pkts {
+        replica.on_message(Addr::Sequencer(GroupId(0)), p, &mut rctx);
+    }
+    println!(
+        "replica.on_message(aom pkt): {:.0}ns/op over {} pkts, {} replies",
+        t.elapsed().as_nanos() as f64 / pkts.len() as f64,
+        pkts.len(),
+        rctx.sends.len()
+    );
 
     // client reply handling
     let reply = rctx.sends[0].1.clone();
     let mut cctx = Sink { sends: vec![] };
     let t = Instant::now();
-    for _ in 0..n { client.on_message(Addr::Replica(ReplicaId(0)), &reply, &mut cctx); }
-    println!("client.on_message(reply): {:.0}ns/op", t.elapsed().as_nanos() as f64 / n as f64);
+    for _ in 0..n {
+        client.on_message(Addr::Replica(ReplicaId(0)), &reply, &mut cctx);
+    }
+    println!(
+        "client.on_message(reply): {:.0}ns/op",
+        t.elapsed().as_nanos() as f64 / n as f64
+    );
 }

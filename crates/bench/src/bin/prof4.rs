@@ -15,6 +15,10 @@ fn main() {
         p.server_cpu = cpu;
         p.client_cpu = cpu;
         let r = run_experiment(&p);
-        println!("PBFT {label}: {:.1}K ops/s mean {:.1}us", r.throughput/1e3, r.mean_latency_ns as f64/1e3);
+        println!(
+            "PBFT {label}: {:.1}K ops/s mean {:.1}us",
+            r.throughput / 1e3,
+            r.mean_latency_ns as f64 / 1e3
+        );
     }
 }

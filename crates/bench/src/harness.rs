@@ -15,6 +15,7 @@ use neo_baselines::{
 };
 use neo_core::{Client, CompletedOp, NeoConfig, Replica};
 use neo_crypto::{CostModel, SystemKeys};
+use neo_sim::obs::{MetricsSnapshot, ObsConfig};
 use neo_sim::{CpuConfig, FaultPlan, NetConfig, SimConfig, Simulator, MILLIS, SECS};
 use neo_switch::{FpgaModel, TofinoModel};
 use neo_wire::{Addr, ClientId, GroupId, ReplicaId};
@@ -141,6 +142,9 @@ pub struct RunParams {
     /// Override HotStuff's pacemaker interval (Table 1 measures pure
     /// message delays with a near-zero batching window).
     pub hotstuff_interval_ns: Option<u64>,
+    /// Per-node observability configuration (metrics on by default; the
+    /// numbers reported by the harness are virtual-time and unaffected).
+    pub obs: ObsConfig,
 }
 
 impl RunParams {
@@ -161,6 +165,7 @@ impl RunParams {
             seed: 42,
             faults: FaultPlan::none(),
             hotstuff_interval_ns: None,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -172,6 +177,16 @@ impl RunParams {
             _ => 3 * self.f + 1,
         }
     }
+}
+
+/// Per-phase observability snapshots gathered from a run, serialized
+/// into the JSON reports next to the latency/throughput numbers.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct ObsReport {
+    /// Merge of every node's metrics (replicas, clients, services).
+    pub aggregate: MetricsSnapshot,
+    /// Per-replica snapshots, indexed by replica id.
+    pub replicas: Vec<MetricsSnapshot>,
 }
 
 /// Measured outcome of one run.
@@ -190,6 +205,9 @@ pub struct RunResult {
     /// All measured latencies (for CDFs).
     #[serde(skip)]
     pub latencies_ns: Vec<u64>,
+    /// Phase breakdown: event counters, named counters, and latency
+    /// histograms, per replica and aggregated.
+    pub obs: ObsReport,
 }
 
 impl RunResult {
@@ -220,6 +238,7 @@ impl RunResult {
             p50_latency_ns: pct(0.5),
             p99_latency_ns: pct(0.99),
             latencies_ns: lats,
+            obs: ObsReport::default(),
         }
     }
 }
@@ -246,6 +265,7 @@ pub fn build(params: &RunParams) -> Simulator {
         seed: params.seed,
         faults: params.faults.clone(),
     });
+    sim.set_obs(params.obs);
 
     match params.protocol {
         Protocol::NeoHm
@@ -254,12 +274,20 @@ pub fn build(params: &RunParams) -> Simulator {
         | Protocol::NeoHmSoftware
         | Protocol::NeoPkSoftware => build_neo(params, n, &keys, &mut sim),
         Protocol::Pbft => build_baseline(params, n, &keys, &mut sim, BaselineKind::Pbft),
-        Protocol::Zyzzyva => {
-            build_baseline(params, n, &keys, &mut sim, BaselineKind::Zyzzyva { mute: false })
-        }
-        Protocol::ZyzzyvaF => {
-            build_baseline(params, n, &keys, &mut sim, BaselineKind::Zyzzyva { mute: true })
-        }
+        Protocol::Zyzzyva => build_baseline(
+            params,
+            n,
+            &keys,
+            &mut sim,
+            BaselineKind::Zyzzyva { mute: false },
+        ),
+        Protocol::ZyzzyvaF => build_baseline(
+            params,
+            n,
+            &keys,
+            &mut sim,
+            BaselineKind::Zyzzyva { mute: true },
+        ),
         Protocol::HotStuff => build_baseline(params, n, &keys, &mut sim, BaselineKind::HotStuff),
         Protocol::MinBft => build_baseline(params, n, &keys, &mut sim, BaselineKind::MinBft),
         Protocol::Unreplicated => {
@@ -274,7 +302,11 @@ pub fn build(params: &RunParams) -> Simulator {
                     params.app.build_workload(c + 1),
                     50 * MILLIS,
                 );
-                sim.add_node_with_cpu(Addr::Client(ClientId(c)), Box::new(client), params.client_cpu);
+                sim.add_node_with_cpu(
+                    Addr::Client(ClientId(c)),
+                    Box::new(client),
+                    params.client_cpu,
+                );
             }
         }
     }
@@ -373,7 +405,11 @@ fn build_neo(params: &RunParams, n: usize, keys: &SystemKeys, sim: &mut Simulato
             params.costs,
             params.app.build_app(),
         );
-        sim.add_node_with_cpu(Addr::Replica(ReplicaId(r)), Box::new(replica), params.server_cpu);
+        sim.add_node_with_cpu(
+            Addr::Replica(ReplicaId(r)),
+            Box::new(replica),
+            params.server_cpu,
+        );
     }
     for c in 0..params.n_clients as u64 {
         let client = Client::new(
@@ -383,7 +419,11 @@ fn build_neo(params: &RunParams, n: usize, keys: &SystemKeys, sim: &mut Simulato
             params.costs,
             params.app.build_workload(c + 1),
         );
-        sim.add_node_with_cpu(Addr::Client(ClientId(c)), Box::new(client), params.client_cpu);
+        sim.add_node_with_cpu(
+            Addr::Client(ClientId(c)),
+            Box::new(client),
+            params.client_cpu,
+        );
     }
 }
 
@@ -420,9 +460,7 @@ fn build_baseline(
         BaselineKind::HotStuff => {
             cfg.batch_max = 48;
             cfg.pipeline_depth = 2;
-            cfg.proposal_interval_ns = params
-                .hotstuff_interval_ns
-                .unwrap_or(500 * neo_sim::MICROS);
+            cfg.proposal_interval_ns = params.hotstuff_interval_ns.unwrap_or(500 * neo_sim::MICROS);
         }
         BaselineKind::Zyzzyva { .. } => {
             cfg.batch_max = 16;
@@ -446,9 +484,13 @@ fn build_baseline(
                 }
                 Box::new(z)
             }
-            BaselineKind::HotStuff => {
-                Box::new(HotStuffReplica::new(id, cfg.clone(), keys, params.costs, app))
-            }
+            BaselineKind::HotStuff => Box::new(HotStuffReplica::new(
+                id,
+                cfg.clone(),
+                keys,
+                params.costs,
+                app,
+            )),
             BaselineKind::MinBft => {
                 Box::new(MinBftReplica::new(id, cfg.clone(), keys, params.costs, app))
             }
@@ -485,23 +527,50 @@ pub fn collect(sim: &Simulator, params: &RunParams) -> RunResult {
             | Protocol::NeoBn
             | Protocol::NeoHmSoftware
             | Protocol::NeoPkSoftware => &sim.node_ref::<Client>(addr).expect("client").completed,
-            Protocol::Pbft => &sim.node_ref::<PbftClient>(addr).expect("client").core.completed,
+            Protocol::Pbft => {
+                &sim.node_ref::<PbftClient>(addr)
+                    .expect("client")
+                    .core
+                    .completed
+            }
             Protocol::Zyzzyva | Protocol::ZyzzyvaF => {
-                &sim.node_ref::<ZyzzyvaClient>(addr).expect("client").core.completed
+                &sim.node_ref::<ZyzzyvaClient>(addr)
+                    .expect("client")
+                    .core
+                    .completed
             }
             Protocol::HotStuff => {
-                &sim.node_ref::<HotStuffClient>(addr).expect("client").core.completed
+                &sim.node_ref::<HotStuffClient>(addr)
+                    .expect("client")
+                    .core
+                    .completed
             }
             Protocol::MinBft => {
-                &sim.node_ref::<MinBftClient>(addr).expect("client").core.completed
+                &sim.node_ref::<MinBftClient>(addr)
+                    .expect("client")
+                    .core
+                    .completed
             }
             Protocol::Unreplicated => {
-                &sim.node_ref::<UnreplicatedClient>(addr).expect("client").core.completed
+                &sim.node_ref::<UnreplicatedClient>(addr)
+                    .expect("client")
+                    .core
+                    .completed
             }
         };
         ops.extend_from_slice(completed);
     }
-    RunResult::from_ops(&ops, params.warmup, params.warmup + params.measure)
+    let mut result = RunResult::from_ops(&ops, params.warmup, params.warmup + params.measure);
+    result.obs = ObsReport {
+        aggregate: sim.aggregate_metrics(),
+        replicas: (0..params.n_replicas())
+            .map(|r| {
+                sim.metrics_snapshot(Addr::Replica(ReplicaId(r as u32)))
+                    .unwrap_or_default()
+            })
+            .collect(),
+    };
+    result
 }
 
 /// Sweep client counts and return the (throughput, mean latency) curve —
@@ -539,17 +608,26 @@ pub fn replica_messages(sim: &Simulator, params: &RunParams, r: u32) -> u64 {
         | Protocol::NeoPk
         | Protocol::NeoBn
         | Protocol::NeoHmSoftware
-        | Protocol::NeoPkSoftware => {
-            sim.node_ref::<Replica>(addr).map(|n| n.stats.messages_in).unwrap_or(0)
-        }
-        Protocol::Pbft => sim.node_ref::<PbftReplica>(addr).map(|n| n.messages_in).unwrap_or(0),
-        Protocol::Zyzzyva | Protocol::ZyzzyvaF => {
-            sim.node_ref::<ZyzzyvaReplica>(addr).map(|n| n.messages_in).unwrap_or(0)
-        }
-        Protocol::HotStuff => {
-            sim.node_ref::<HotStuffReplica>(addr).map(|n| n.messages_in).unwrap_or(0)
-        }
-        Protocol::MinBft => sim.node_ref::<MinBftReplica>(addr).map(|n| n.messages_in).unwrap_or(0),
+        | Protocol::NeoPkSoftware => sim
+            .node_ref::<Replica>(addr)
+            .map(|n| n.stats.messages_in)
+            .unwrap_or(0),
+        Protocol::Pbft => sim
+            .node_ref::<PbftReplica>(addr)
+            .map(|n| n.messages_in)
+            .unwrap_or(0),
+        Protocol::Zyzzyva | Protocol::ZyzzyvaF => sim
+            .node_ref::<ZyzzyvaReplica>(addr)
+            .map(|n| n.messages_in)
+            .unwrap_or(0),
+        Protocol::HotStuff => sim
+            .node_ref::<HotStuffReplica>(addr)
+            .map(|n| n.messages_in)
+            .unwrap_or(0),
+        Protocol::MinBft => sim
+            .node_ref::<MinBftReplica>(addr)
+            .map(|n| n.messages_in)
+            .unwrap_or(0),
         Protocol::Unreplicated => sim
             .node_ref::<UnreplicatedServer>(addr)
             .map(|n| n.executed)

@@ -1,6 +1,7 @@
 //! Plain-text table/series formatting for experiment output, plus an
 //! optional JSON side-channel for plotting scripts.
 
+use neo_sim::MetricsSnapshot;
 use serde::Serialize;
 
 /// A printable table with a title, column headers, and rows.
@@ -64,6 +65,53 @@ pub fn fmt_ops(ops: f64) -> String {
 /// Format nanoseconds as microseconds.
 pub fn fmt_us(ns: u64) -> String {
     format!("{:.1}µs", ns as f64 / 1e3)
+}
+
+/// Render an observability snapshot as a per-phase breakdown table:
+/// protocol events first, then named counters and gauges, then latency
+/// histograms with their quantiles. `label` names the node set the
+/// snapshot covers (e.g. "Neo-HM aggregate", "PBFT replica 0").
+pub fn phase_breakdown(label: &str, snap: &MetricsSnapshot) -> Table {
+    let mut t = Table::new(&format!("Phase breakdown — {label}"), &["Metric", "Value"]);
+    for (kind, count) in &snap.events {
+        t.row(vec![format!("event.{kind}"), count.to_string()]);
+    }
+    for (name, value) in &snap.counters {
+        t.row(vec![name.clone(), value.to_string()]);
+    }
+    for (name, value) in &snap.gauges {
+        t.row(vec![format!("{name} (gauge)"), value.to_string()]);
+    }
+    for (name, h) in &snap.histograms {
+        // Histograms named `*_ns` hold nanosecond latencies; everything
+        // else (batch sizes, …) is unitless.
+        let v = |x: u64| {
+            if name.ends_with("_ns") {
+                fmt_us(x)
+            } else {
+                x.to_string()
+            }
+        };
+        t.row(vec![
+            name.clone(),
+            format!(
+                "n={} mean={} p50={} p90={} p99={} max={}",
+                h.count,
+                v(h.mean() as u64),
+                v(h.p50),
+                v(h.p90),
+                v(h.p99),
+                v(h.max),
+            ),
+        ]);
+    }
+    if snap.trace_dropped > 0 {
+        t.row(vec![
+            "trace_dropped".to_string(),
+            snap.trace_dropped.to_string(),
+        ]);
+    }
+    t
 }
 
 /// When `NEO_BENCH_JSON` is set to a directory, write `value` as

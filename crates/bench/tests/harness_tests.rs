@@ -23,7 +23,12 @@ fn every_protocol_commits_under_real_costs() {
 #[test]
 fn neo_beats_baselines_on_latency() {
     let neo = result(Protocol::NeoHm);
-    for p in [Protocol::Pbft, Protocol::Zyzzyva, Protocol::HotStuff, Protocol::MinBft] {
+    for p in [
+        Protocol::Pbft,
+        Protocol::Zyzzyva,
+        Protocol::HotStuff,
+        Protocol::MinBft,
+    ] {
         let other = result(p);
         assert!(
             neo.p50_latency_ns < other.p50_latency_ns,
@@ -74,8 +79,8 @@ fn results_are_deterministic() {
 
 #[test]
 fn ycsb_workload_runs_on_kv_store() {
-    use neo_bench::harness::AppKind;
     use neo_app::YcsbConfig;
+    use neo_bench::harness::AppKind;
     let mut p = smoke(Protocol::NeoHm);
     p.app = AppKind::Ycsb(YcsbConfig {
         record_count: 1_000, // small table keeps the smoke test fast

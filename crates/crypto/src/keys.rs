@@ -195,14 +195,8 @@ mod tests {
         let r0 = k.sign_key(Principal::Replica(ReplicaId(0)));
         let r1 = k.sign_key(Principal::Replica(ReplicaId(1)));
         let c0 = k.sign_key(Principal::Client(ClientId(0)));
-        assert_ne!(
-            r0.verify_key().to_bytes(),
-            r1.verify_key().to_bytes()
-        );
-        assert_ne!(
-            r0.verify_key().to_bytes(),
-            c0.verify_key().to_bytes()
-        );
+        assert_ne!(r0.verify_key().to_bytes(), r1.verify_key().to_bytes());
+        assert_ne!(r0.verify_key().to_bytes(), c0.verify_key().to_bytes());
     }
 
     #[test]
@@ -233,9 +227,7 @@ mod tests {
         let p = Principal::Replica(ReplicaId(2));
         let sig = k.sign_key(p).sign(b"m");
         assert!(store.verify_key(p).unwrap().verify(b"m", &sig).is_ok());
-        assert!(store
-            .verify_key(Principal::Replica(ReplicaId(9)))
-            .is_none());
+        assert!(store.verify_key(Principal::Replica(ReplicaId(9))).is_none());
     }
 
     #[test]

@@ -153,8 +153,7 @@ impl SequencerKeyPair {
 impl SequencerVerifyKey {
     /// Verify a sequencer signature.
     pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), SigError> {
-        let sig =
-            k256::ecdsa::Signature::from_slice(&sig.0).map_err(|_| SigError::Malformed)?;
+        let sig = k256::ecdsa::Signature::from_slice(&sig.0).map_err(|_| SigError::Malformed)?;
         self.key.verify(msg, &sig).map_err(|_| SigError::Invalid)
     }
 

@@ -193,10 +193,22 @@ impl Client {
         if let Some((key, _)) = groups.into_iter().find(|(_, c)| *c >= quorum) {
             let p = self.pending.take().expect("pending");
             ctx.cancel_timer(p.retry_timer);
+            let completed_at = ctx.now();
+            {
+                let m = ctx.metrics();
+                m.observe(
+                    "client.latency_ns",
+                    completed_at.saturating_sub(p.issued_at),
+                );
+                m.incr("client.ops_completed");
+                if p.retries > 0 {
+                    m.add("client.retries", p.retries as u64);
+                }
+            }
             self.completed.push(CompletedOp {
                 request_id: p.request_id,
                 issued_at: p.issued_at,
-                completed_at: ctx.now(),
+                completed_at,
                 result: key.4,
                 retries: p.retries,
             });

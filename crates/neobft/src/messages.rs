@@ -8,9 +8,7 @@
 
 use neo_aom::OrderingCert;
 use neo_crypto::{Digest, NodeCrypto, Principal, Signature};
-use neo_wire::{
-    encode, ClientId, EpochNum, ReplicaId, RequestId, SlotNum, ViewId,
-};
+use neo_wire::{encode, ClientId, EpochNum, ReplicaId, RequestId, SlotNum, ViewId};
 use serde::{de::DeserializeOwned, Deserialize, Serialize};
 
 /// Sign a message body as this node.
@@ -270,9 +268,7 @@ impl NeoMsg {
 /// the decision content without re-serializing certificates twice.
 pub fn gap_decision_digest(view: ViewId, slot: SlotNum, decision: &GapDecisionBody) -> Vec<u8> {
     let mut bytes = encode(&(view, slot)).expect("encodes");
-    bytes.extend_from_slice(
-        neo_crypto::sha256(&encode(decision).expect("encodes")).as_bytes(),
-    );
+    bytes.extend_from_slice(neo_crypto::sha256(&encode(decision).expect("encodes")).as_bytes());
     bytes
 }
 
@@ -299,11 +295,26 @@ mod tests {
             slot: SlotNum(3),
         };
         let sig = sign_body(&body, &c0);
-        assert!(verify_body(&body, &sig, Principal::Replica(ReplicaId(0)), &c1));
-        assert!(!verify_body(&body, &sig, Principal::Replica(ReplicaId(1)), &c1));
+        assert!(verify_body(
+            &body,
+            &sig,
+            Principal::Replica(ReplicaId(0)),
+            &c1
+        ));
+        assert!(!verify_body(
+            &body,
+            &sig,
+            Principal::Replica(ReplicaId(1)),
+            &c1
+        ));
         let mut tampered = body;
         tampered.slot = SlotNum(4);
-        assert!(!verify_body(&tampered, &sig, Principal::Replica(ReplicaId(0)), &c1));
+        assert!(!verify_body(
+            &tampered,
+            &sig,
+            Principal::Replica(ReplicaId(0)),
+            &c1
+        ));
     }
 
     #[test]

@@ -10,16 +10,14 @@ use crate::config::NeoConfig;
 use crate::log::{Log, LogEntry};
 use crate::messages::{
     gap_decision_digest, sign_body, verify_body, EpochCert, EpochStartBody, GapDecisionBody,
-    GapDropBody, GapVoteBody, NeoMsg, Reply, SignedRequest, SyncBody, ViewChangeBody,
-    WireLogEntry,
+    GapDropBody, GapVoteBody, NeoMsg, Reply, SignedRequest, SyncBody, ViewChangeBody, WireLogEntry,
 };
 use neo_aom::{AomReceiver, ConfigMsg, Delivery, Envelope, OrderingCert};
 use neo_app::App;
 use neo_crypto::{CostModel, NodeCrypto, Principal, Signature, SystemKeys};
+use neo_sim::obs::Event;
 use neo_sim::{Context, Node, TimerId};
-use neo_wire::{
-    Addr, ClientId, EpochNum, ReplicaId, RequestId, SeqNum, SlotNum, ViewId,
-};
+use neo_wire::{Addr, ClientId, EpochNum, ReplicaId, RequestId, SeqNum, SlotNum, ViewId};
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 
@@ -350,6 +348,27 @@ impl Replica {
         if any {
             self.last_aom_delivery = ctx.now();
         }
+        // Mirror the receiver's ordering-buffer state into the registry
+        // (point-in-time levels: `set`, not `add`, so re-pumping is
+        // idempotent).
+        {
+            let m = ctx.metrics();
+            if m.enabled() {
+                let s = self.aom.stats();
+                m.set_gauge("aom.reorder_buffered", s.buffered as i64);
+                m.set_gauge("aom.pending_chain", s.pending_chain as i64);
+                m.set_gauge("aom.locked", s.locked as i64);
+                m.set_gauge("aom.delivered", s.delivered as i64);
+                m.set_gauge("aom.drops_declared", s.drops_declared as i64);
+                m.set_gauge("aom.stale_rejected", s.stale_rejected as i64);
+                m.set_gauge(
+                    "aom.equivocations_rejected",
+                    s.equivocations_rejected as i64,
+                );
+                m.set_gauge("aom.chain_promoted", s.chain_promoted as i64);
+                m.set_gauge("aom.confirms_generated", s.confirms_generated as i64);
+            }
+        }
         self.update_gap_timer(ctx);
     }
 
@@ -361,6 +380,11 @@ impl Replica {
             return;
         }
         let batch = std::mem::take(&mut self.pending_confirms);
+        ctx.emit(Event::ConfirmBatch {
+            size: batch.len() as u32,
+        });
+        ctx.metrics()
+            .observe("replica.confirm_batch_size", batch.len() as u64);
         let env = if batch.len() == 1 {
             Envelope::Confirm(batch.into_iter().next().expect("len checked"))
         } else {
@@ -383,7 +407,11 @@ impl Replica {
                     if let Some((_, t)) = self.aom_gap_timer.take() {
                         self.disarm(t, ctx);
                     }
-                    let t = self.arm(self.cfg.aom_gap_timeout_ns, TimerPayload::AomGap(missing), ctx);
+                    let t = self.arm(
+                        self.cfg.aom_gap_timeout_ns,
+                        TimerPayload::AomGap(missing),
+                        ctx,
+                    );
                     self.aom_gap_timer = Some((missing, t));
                 }
             }
@@ -409,6 +437,7 @@ impl Replica {
             return; // already have it (e.g. via view-change merge)
         }
         debug_assert_eq!(slot, self.log.len(), "aom delivers densely");
+        ctx.emit(Event::RequestReceived);
         self.log.append_request(cert);
         self.executed_req.push(false);
         self.answer_pending_find(slot, ctx);
@@ -421,6 +450,7 @@ impl Replica {
         if slot < self.log.len() {
             return;
         }
+        ctx.emit(Event::DropNotification { seq: seq.0 });
         self.log.append_pending();
         self.executed_req.push(false);
         self.start_gap(slot, ctx);
@@ -474,6 +504,9 @@ impl Replica {
         }
         let result = self.app.execute(&req.op);
         self.stats.executed += 1;
+        // Execution here is ahead of the stable sync point — the paper's
+        // speculative fast path (§5.3).
+        ctx.emit(Event::SpeculativeExecute { slot: slot.0 });
         if slot.index() < self.executed_req.len() {
             self.executed_req[slot.index()] = true;
         }
@@ -504,14 +537,16 @@ impl Replica {
             ctx.send(Addr::Client(req.client), msg);
         }
         self.stats.replies_sent += 1;
+        ctx.emit(Event::Commit { slot: slot.0 });
     }
 
     /// Roll the application back so that `slot` is the next to execute.
-    fn rollback_to(&mut self, slot: SlotNum, _ctx: &mut dyn Context) {
+    fn rollback_to(&mut self, slot: SlotNum, ctx: &mut dyn Context) {
         if self.exec_cursor <= slot {
             return;
         }
         self.stats.rollbacks += 1;
+        ctx.metrics().incr("replica.rollbacks");
         let mut cur = self.exec_cursor;
         while cur > slot {
             cur = SlotNum(cur.0 - 1);
@@ -533,6 +568,9 @@ impl Replica {
     fn start_gap(&mut self, slot: SlotNum, ctx: &mut dyn Context) {
         if self.status != Status::Normal {
             return;
+        }
+        if !self.gaps.contains_key(&slot) {
+            ctx.emit(Event::GapFind { slot: slot.0 });
         }
         let view = self.view;
         let leader = self.leader();
@@ -662,6 +700,7 @@ impl Replica {
         self.fill_slot(slot, LogEntry::Request(oc), ctx);
         self.resolve_gap(slot, false, ctx);
         self.stats.gaps_recovered += 1;
+        ctx.metrics().incr("replica.gap_recovered_by_query");
     }
 
     /// Validate that an ordering certificate authenticates and matches
@@ -684,18 +723,17 @@ impl Replica {
             .is_ok()
     }
 
-    fn on_gap_find(
-        &mut self,
-        view: ViewId,
-        slot: SlotNum,
-        sig: Signature,
-        ctx: &mut dyn Context,
-    ) {
+    fn on_gap_find(&mut self, view: ViewId, slot: SlotNum, sig: Signature, ctx: &mut dyn Context) {
         if view != self.view || self.status != Status::Normal {
             return;
         }
         let leader = self.leader();
-        if !verify_body(&(view, slot), &sig, Principal::Replica(leader), &self.crypto) {
+        if !verify_body(
+            &(view, slot),
+            &sig,
+            Principal::Replica(leader),
+            &self.crypto,
+        ) {
             return;
         }
         match self.log.entry(slot) {
@@ -743,12 +781,7 @@ impl Replica {
         self.send_gap_decision(slot, GapDecisionBody::Recv(oc), ctx);
     }
 
-    fn on_gap_drop(
-        &mut self,
-        body: GapDropBody,
-        sig: Signature,
-        ctx: &mut dyn Context,
-    ) {
+    fn on_gap_drop(&mut self, body: GapDropBody, sig: Signature, ctx: &mut dyn Context) {
         if body.view != self.view || !self.is_leader() || self.status != Status::Normal {
             return;
         }
@@ -768,7 +801,12 @@ impl Replica {
         }
     }
 
-    fn send_gap_decision(&mut self, slot: SlotNum, decision: GapDecisionBody, ctx: &mut dyn Context) {
+    fn send_gap_decision(
+        &mut self,
+        slot: SlotNum,
+        decision: GapDecisionBody,
+        ctx: &mut dyn Context,
+    ) {
         let view = self.view;
         let digest = gap_decision_digest(view, slot, &decision);
         let sig = self.crypto.sign(&digest);
@@ -948,6 +986,10 @@ impl Replica {
             self.fill_slot(slot, LogEntry::NoOp(Some(matching_commits)), ctx);
             self.stats.noops_committed += 1;
         }
+        ctx.emit(Event::GapCommit {
+            slot: slot.0,
+            noop: !recv,
+        });
         self.resolve_gap(slot, true, ctx);
     }
 
@@ -1075,6 +1117,7 @@ impl Replica {
         }
         self.sync_point = slot;
         self.stats.sync_points += 1;
+        ctx.metrics().incr("replica.sync_points");
         // Finalized: drop undo history for everything at or before the
         // sync point.
         let still_speculative = self
@@ -1111,12 +1154,21 @@ impl Replica {
         if new_view <= self.view && self.status == Status::Normal {
             return;
         }
-        if self.status == Status::ViewChange && self.vc.own.as_ref().is_some_and(|(b, _)| b.new_view >= new_view) {
+        if self.status == Status::ViewChange
+            && self
+                .vc
+                .own
+                .as_ref()
+                .is_some_and(|(b, _)| b.new_view >= new_view)
+        {
             return;
         }
         self.status = Status::ViewChange;
         self.view = new_view;
         self.stats.view_changes += 1;
+        ctx.emit(Event::ViewChange {
+            view: new_view.leader_num,
+        });
         let body = ViewChangeBody {
             new_view,
             replica: self.id,
@@ -1135,7 +1187,11 @@ impl Replica {
         if let Some(t) = self.vc.resend_timer.take() {
             self.disarm(t, ctx);
         }
-        let t = self.arm(self.cfg.view_change_resend_ns, TimerPayload::ViewChangeResend, ctx);
+        let t = self.arm(
+            self.cfg.view_change_resend_ns,
+            TimerPayload::ViewChangeResend,
+            ctx,
+        );
         self.vc.resend_timer = Some(t);
         self.maybe_start_view(new_view, ctx);
     }
@@ -1399,6 +1455,7 @@ impl Replica {
         self.log.record_epoch_start(epoch, slot);
         self.epoch_base = slot;
         self.aom.install_epoch(epoch);
+        ctx.emit(Event::EpochChange { epoch: epoch.0 });
         // Replay packets that raced ahead of the epoch switch.
         let buffered = self.future_epoch.remove(&epoch).unwrap_or_default();
         self.future_epoch.retain(|e, _| *e > epoch);
@@ -1494,11 +1551,7 @@ impl Replica {
                 }
             }
             TimerPayload::GapAgreement(slot) => {
-                let unresolved = self
-                    .gaps
-                    .get(&slot)
-                    .map(|g| !g.resolved)
-                    .unwrap_or(false);
+                let unresolved = self.gaps.get(&slot).map(|g| !g.resolved).unwrap_or(false);
                 if unresolved && self.status == Status::Normal {
                     // The leader failed to drive the agreement: view
                     // change (§5.5).
@@ -1635,6 +1688,7 @@ fn merge_logs(view_changes: &[(ViewChangeBody, Signature)]) -> Vec<WireLogEntry>
 impl Node for Replica {
     fn on_message(&mut self, from: Addr, payload: &[u8], ctx: &mut dyn Context) {
         self.stats.messages_in += 1;
+        ctx.metrics().incr("replica.messages_in");
         let Ok(env) = Envelope::from_bytes(payload) else {
             return;
         };

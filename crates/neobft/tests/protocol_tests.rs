@@ -229,7 +229,10 @@ fn muted_sequencer_triggers_failover() {
     let client = cluster.client(0);
     assert_eq!(client.completed.len(), 3);
     for r in 0..4 {
-        assert!(cluster.replica(r).view().epoch.0 >= 1, "replica {r} moved epochs");
+        assert!(
+            cluster.replica(r).view().epoch.0 >= 1,
+            "replica {r} moved epochs"
+        );
     }
 }
 
@@ -248,7 +251,11 @@ fn leader_crash_view_change_preserves_commits() {
         FaultPlan::none().crash(Addr::Replica(neo_wire::ReplicaId(0)), MILLIS);
     cluster.sim.run_until(20 * SECS);
     let client = cluster.client(0);
-    assert_eq!(client.completed.len(), 12, "ops commit across the view change");
+    assert_eq!(
+        client.completed.len(),
+        12,
+        "ops commit across the view change"
+    );
     let vc: u64 = (1..4).map(|r| cluster.replica(r).stats.view_changes).sum();
     assert!(vc > 0, "view change elected a new leader");
     // Surviving replicas agree on their logs.

@@ -78,9 +78,7 @@ impl FaultPlan {
     /// Should the packet `src → dst` at time `t` be dropped?
     pub fn drops(&self, src: Addr, dst: Addr, t: Time) -> bool {
         self.rules.iter().any(|r| match *r {
-            FaultRule::SilenceSource { addr, from, until } => {
-                addr == src && t >= from && t < until
-            }
+            FaultRule::SilenceSource { addr, from, until } => addr == src && t >= from && t < until,
             FaultRule::Isolate { addr, from, until } => addr == dst && t >= from && t < until,
             FaultRule::CutLink {
                 src: s,

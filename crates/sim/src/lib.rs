@@ -30,6 +30,7 @@ pub mod cpu;
 pub mod fault;
 pub mod net;
 pub mod node;
+pub mod obs;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -38,6 +39,7 @@ pub use cpu::CpuConfig;
 pub use fault::FaultPlan;
 pub use net::NetConfig;
 pub use node::{Context, Node, TimerId};
+pub use obs::{Event, EventKind, EventRecord, Metrics, MetricsSnapshot, ObsConfig};
 pub use sim::{SimConfig, Simulator};
 pub use stats::NetStats;
 pub use time::{Duration, Time, MICROS, MILLIS, SECS};

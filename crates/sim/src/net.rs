@@ -78,6 +78,9 @@ mod tests {
     fn with_drop_rate_only_changes_drop_rate() {
         let c = NetConfig::DATACENTER.with_drop_rate(0.01);
         assert_eq!(c.drop_rate, 0.01);
-        assert_eq!(c.one_way_latency_ns, NetConfig::DATACENTER.one_way_latency_ns);
+        assert_eq!(
+            c.one_way_latency_ns,
+            NetConfig::DATACENTER.one_way_latency_ns
+        );
     }
 }

@@ -44,6 +44,24 @@ pub trait Context {
     /// Charge extra serial CPU time beyond what the crypto meter records
     /// (e.g. MinBFT's USIG round trip into the trusted component).
     fn charge(&mut self, ns: u64);
+
+    /// This node's metrics registry. Executors that carry per-node
+    /// registries (the simulator, the tokio runtime) override this; the
+    /// default returns a process-wide disabled registry whose operations
+    /// are no-ops, so `Context` impls that predate observability compile
+    /// unchanged and pay nothing.
+    fn metrics(&self) -> &crate::obs::Metrics {
+        crate::obs::Metrics::disabled()
+    }
+
+    /// Emit a structured protocol event: counted per
+    /// [`crate::obs::EventKind`], and appended to the bounded trace when
+    /// tracing is enabled.
+    fn emit(&mut self, ev: crate::obs::Event) {
+        let at = self.now();
+        let me = self.me();
+        self.metrics().record_event(at, me, ev);
+    }
 }
 
 /// A protocol state machine.
@@ -87,6 +105,38 @@ mod tests {
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
         }
+    }
+
+    /// A Context that overrides nothing observability-related: the default
+    /// `metrics`/`emit` must compile and stay inert.
+    struct BareCtx;
+    impl Context for BareCtx {
+        fn now(&self) -> crate::time::Time {
+            42
+        }
+        fn me(&self) -> Addr {
+            Addr::Config
+        }
+        fn send_after(&mut self, _: Addr, _: Vec<u8>, _: crate::time::Duration) {}
+        fn set_timer(&mut self, _: crate::time::Duration, _: u32) -> TimerId {
+            TimerId(0)
+        }
+        fn cancel_timer(&mut self, _: TimerId) {}
+        fn charge(&mut self, _: u64) {}
+    }
+
+    #[test]
+    fn default_observability_is_inert() {
+        let mut ctx = BareCtx;
+        assert!(!ctx.metrics().enabled());
+        ctx.emit(crate::obs::Event::RequestReceived);
+        ctx.metrics().incr("ignored");
+        assert_eq!(ctx.metrics().counter("ignored"), 0);
+        assert_eq!(
+            ctx.metrics()
+                .event_count(crate::obs::EventKind::RequestReceived),
+            0
+        );
     }
 
     #[test]

@@ -1,0 +1,720 @@
+//! Protocol observability: metrics registries and structured event traces.
+//!
+//! Every figure in the paper is a claim about *where time goes* inside a
+//! protocol — how many slots committed on the fast path versus through gap
+//! agreement, how large confirm batches grew, how deep the aom reorder
+//! buffer ran. [`crate::stats::NetStats`] counts only fabric-level traffic;
+//! this module gives protocol code a per-node registry of monotonic
+//! counters, gauges, and streaming histograms, plus a structured
+//! [`Event`] trace, reachable from any handler through
+//! [`crate::Context::metrics`] and [`crate::Context::emit`].
+//!
+//! ## Zero cost when disabled
+//!
+//! A registry built from [`ObsConfig::disabled`] short-circuits every
+//! operation before touching its lock, and the default
+//! [`crate::Context::metrics`] implementation returns a process-wide
+//! disabled registry — so `Context` implementations that predate this
+//! module (test probes, the switch models) compile unchanged and pay
+//! nothing.
+//!
+//! ## Registry sharing
+//!
+//! All mutation goes through `&self` (a mutex guards the interior), so an
+//! executor can hand the same registry to its event loop and to whoever is
+//! reading snapshots — the simulator keeps one `Arc<Metrics>` per node
+//! slot, the tokio runtime one per node thread. Snapshots are plain
+//! serde-serializable values; [`MetricsSnapshot::merge`] folds the
+//! per-node views into cluster aggregates for bench reports.
+
+use crate::time::Time;
+use neo_wire::Addr;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Per-node observability configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record counters, gauges, histograms, and event counts.
+    pub metrics: bool,
+    /// Keep up to this many [`EventRecord`]s per node; 0 disables the
+    /// trace (event *counts* are still kept). Records past the cap are
+    /// dropped and tallied in [`MetricsSnapshot::trace_dropped`].
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            metrics: true,
+            trace_capacity: 0,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Everything off: every registry operation is a no-op.
+    pub fn disabled() -> Self {
+        ObsConfig {
+            metrics: false,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Enable the bounded event trace with the given capacity.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+/// A structured protocol event. Variants carry only the identifiers needed
+/// to correlate a trace with a log slot or view — payloads stay out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A client request reached the node's protocol layer.
+    RequestReceived,
+    /// A slot was executed speculatively, ahead of the stable sync point.
+    SpeculativeExecute { slot: u64 },
+    /// An operation was executed and its reply issued (fast-path commit
+    /// for NeoBFT, quorum commit for the baselines).
+    Commit { slot: u64 },
+    /// Gap agreement started for a missing slot.
+    GapFind { slot: u64 },
+    /// Gap agreement decided a slot (`noop` = the slot was voided).
+    GapCommit { slot: u64, noop: bool },
+    /// The node moved to a new view.
+    ViewChange { view: u64 },
+    /// The node installed a new sequencing epoch.
+    EpochChange { epoch: u64 },
+    /// A batch of aom confirms was flushed to the group.
+    ConfirmBatch { size: u32 },
+    /// The aom layer declared a sequence number dropped.
+    DropNotification { seq: u64 },
+}
+
+/// Discriminant-only view of [`Event`], used to index the per-kind counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    RequestReceived,
+    SpeculativeExecute,
+    Commit,
+    GapFind,
+    GapCommit,
+    ViewChange,
+    EpochChange,
+    ConfirmBatch,
+    DropNotification,
+}
+
+/// Number of [`EventKind`] variants.
+pub const EVENT_KIND_COUNT: usize = 9;
+
+impl EventKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [EventKind; EVENT_KIND_COUNT] = [
+        EventKind::RequestReceived,
+        EventKind::SpeculativeExecute,
+        EventKind::Commit,
+        EventKind::GapFind,
+        EventKind::GapCommit,
+        EventKind::ViewChange,
+        EventKind::EpochChange,
+        EventKind::ConfirmBatch,
+        EventKind::DropNotification,
+    ];
+
+    /// Stable snake_case name used as the key in snapshots and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::RequestReceived => "request_received",
+            EventKind::SpeculativeExecute => "speculative_execute",
+            EventKind::Commit => "commit",
+            EventKind::GapFind => "gap_find",
+            EventKind::GapCommit => "gap_commit",
+            EventKind::ViewChange => "view_change",
+            EventKind::EpochChange => "epoch_change",
+            EventKind::ConfirmBatch => "confirm_batch",
+            EventKind::DropNotification => "drop_notification",
+        }
+    }
+}
+
+impl Event {
+    /// The kind discriminant of this event.
+    pub fn kind(self) -> EventKind {
+        match self {
+            Event::RequestReceived => EventKind::RequestReceived,
+            Event::SpeculativeExecute { .. } => EventKind::SpeculativeExecute,
+            Event::Commit { .. } => EventKind::Commit,
+            Event::GapFind { .. } => EventKind::GapFind,
+            Event::GapCommit { .. } => EventKind::GapCommit,
+            Event::ViewChange { .. } => EventKind::ViewChange,
+            Event::EpochChange { .. } => EventKind::EpochChange,
+            Event::ConfirmBatch { .. } => EventKind::ConfirmBatch,
+            Event::DropNotification { .. } => EventKind::DropNotification,
+        }
+    }
+}
+
+/// One entry of the bounded per-node event trace.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Virtual (or wall) time the event was emitted, nanoseconds.
+    pub at: Time,
+    /// The emitting node.
+    pub node: Addr,
+    /// The event itself.
+    pub event: Event,
+}
+
+// Histogram bucket layout: exact buckets for values < 64, then 32
+// logarithmically-spaced sub-buckets per power of two (relative error
+// bounded by 1/32 ≈ 3%). Covers the full u64 range in 1920 buckets.
+const LINEAR_BUCKETS: usize = 64;
+const SUB_BUCKETS: u64 = 32;
+const N_BUCKETS: usize = LINEAR_BUCKETS + (64 - 6) * SUB_BUCKETS as usize;
+
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_BUCKETS as u64 {
+        return v as usize;
+    }
+    let e = 63 - u64::from(v.leading_zeros());
+    let sub = (v >> (e - 5)) & (SUB_BUCKETS - 1);
+    (64 + (e - 6) * SUB_BUCKETS + sub) as usize
+}
+
+/// Lower bound of the values mapped to bucket `i` (the value reported for
+/// quantiles landing in that bucket).
+pub fn bucket_floor(i: u32) -> u64 {
+    let i = u64::from(i);
+    if i < LINEAR_BUCKETS as u64 {
+        return i;
+    }
+    let e = 6 + (i - 64) / SUB_BUCKETS;
+    let sub = (i - 64) % SUB_BUCKETS;
+    (1u64 << e) + (sub << (e - 5))
+}
+
+/// A streaming histogram with bounded relative error (~3% above 64).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; N_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one value.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (lower bound of its bucket;
+    /// 0 for an empty histogram).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return bucket_floor(i as u32);
+            }
+        }
+        self.max
+    }
+
+    /// Freeze into a serializable, mergeable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(i, c)| (i as u32, *c))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable summary of one [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    /// Sparse `(bucket index, count)` pairs — enough to merge snapshots
+    /// across nodes without losing quantile accuracy.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0 if empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Fold `other` into `self`, recomputing the quantiles from the merged
+    /// sparse buckets.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
+        for (i, c) in &other.buckets {
+            *merged.entry(*i).or_default() += c;
+        }
+        self.buckets = merged.into_iter().collect();
+        self.p50 = quantile_from_buckets(&self.buckets, self.count, 0.50);
+        self.p90 = quantile_from_buckets(&self.buckets, self.count, 0.90);
+        self.p99 = quantile_from_buckets(&self.buckets, self.count, 0.99);
+    }
+}
+
+fn quantile_from_buckets(buckets: &[(u32, u64)], count: u64, q: f64) -> u64 {
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut acc = 0u64;
+    for (i, c) in buckets {
+        acc += c;
+        if acc >= target {
+            return bucket_floor(*i);
+        }
+    }
+    buckets.last().map(|(i, _)| bucket_floor(*i)).unwrap_or(0)
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+    events: [u64; EVENT_KIND_COUNT],
+    trace: Vec<EventRecord>,
+    trace_dropped: u64,
+}
+
+/// A per-node metrics registry.
+///
+/// All operations take `&self` (the interior is mutex-guarded) so one
+/// registry can be shared between an executor's event loop and snapshot
+/// readers via `Arc`. Every operation checks the enabled flag before
+/// touching the lock, so a disabled registry costs one branch.
+pub struct Metrics {
+    enabled: bool,
+    trace_capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new(ObsConfig::default())
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("enabled", &self.enabled)
+            .field("trace_capacity", &self.trace_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Metrics {
+    /// Build a registry from `cfg`.
+    pub fn new(cfg: ObsConfig) -> Self {
+        Metrics {
+            enabled: cfg.metrics,
+            trace_capacity: cfg.trace_capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The process-wide disabled registry, used by the default
+    /// [`crate::Context::metrics`] implementation.
+    pub fn disabled() -> &'static Metrics {
+        static DISABLED: OnceLock<Metrics> = OnceLock::new();
+        DISABLED.get_or_init(|| Metrics::new(ObsConfig::disabled()))
+    }
+
+    /// Whether this registry records anything. Instrumentation that does
+    /// non-trivial work to *compute* a metric should guard on this.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Increment the monotonic counter `name` by 1.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment the monotonic counter `name` by `v`.
+    pub fn add(&self, name: &str, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        if let Some(c) = inner.counters.get_mut(name) {
+            *c += v;
+        } else {
+            inner.counters.insert(name.to_string(), v);
+        }
+    }
+
+    /// Set the gauge `name` to `v` (a point-in-time level, e.g. a buffer
+    /// depth).
+    pub fn set_gauge(&self, name: &str, v: i64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        if let Some(g) = inner.gauges.get_mut(name) {
+            *g = v;
+        } else {
+            inner.gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// Record `v` into the streaming histogram `name`.
+    pub fn observe(&self, name: &str, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        if let Some(h) = inner.histograms.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(v);
+            inner.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Count `ev` and, when tracing is enabled, append a record. Called by
+    /// the default [`crate::Context::emit`].
+    pub fn record_event(&self, at: Time, node: Addr, ev: Event) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.events[event_slot(ev.kind())] += 1;
+        if self.trace_capacity > 0 {
+            if inner.trace.len() < self.trace_capacity {
+                inner.trace.push(EventRecord {
+                    at,
+                    node,
+                    event: ev,
+                });
+            } else {
+                inner.trace_dropped += 1;
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of events of `kind` recorded so far.
+    pub fn event_count(&self, kind: EventKind) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        self.lock().events[event_slot(kind)]
+    }
+
+    /// Drain the bounded event trace, leaving it empty.
+    pub fn take_trace(&self) -> Vec<EventRecord> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        std::mem::take(&mut self.lock().trace)
+    }
+
+    /// Freeze the registry into a serializable snapshot. Disabled
+    /// registries snapshot to the empty default.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        if !self.enabled {
+            return MetricsSnapshot::default();
+        }
+        let inner = self.lock();
+        let mut events = BTreeMap::new();
+        for kind in EventKind::ALL {
+            let n = inner.events[event_slot(kind)];
+            if n > 0 {
+                events.insert(kind.name().to_string(), n);
+            }
+        }
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            events,
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+            trace_dropped: inner.trace_dropped,
+        }
+    }
+}
+
+fn event_slot(kind: EventKind) -> usize {
+    EventKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("kind listed in ALL")
+}
+
+/// Serializable point-in-time view of one registry (or, after
+/// [`merge`](MetricsSnapshot::merge), of many).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters. Summed on merge.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges (levels). Summed on merge, so a merged gauge reads as a
+    /// cluster-wide total (e.g. total buffered envelopes).
+    pub gauges: BTreeMap<String, i64>,
+    /// Per-kind event counts, keyed by [`EventKind::name`]. Only nonzero
+    /// kinds appear. Summed on merge.
+    pub events: BTreeMap<String, u64>,
+    /// Histograms, merged bucket-wise.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Trace records dropped because the per-node capacity was reached.
+    #[serde(default)]
+    pub trace_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Count of events of `kind` (0 if absent).
+    pub fn event(&self, kind: EventKind) -> u64 {
+        self.events.get(kind.name()).copied().unwrap_or(0)
+    }
+
+    /// Fold `other` into `self`: counters/gauges/events sum, histograms
+    /// merge bucket-wise with quantiles recomputed.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.events {
+            *self.events.entry(k.clone()).or_default() += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        self.trace_dropped += other.trace_dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_wire::ReplicaId;
+
+    #[test]
+    fn bucket_mapping_roundtrips() {
+        for v in [0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            let floor = bucket_floor(i as u32);
+            assert!(floor <= v, "floor {floor} > value {v}");
+            // Relative error is bounded by one sub-bucket width.
+            if v >= 64 {
+                assert!(v - floor <= v / 32, "bucket too wide at {v}");
+            } else {
+                assert_eq!(floor, v);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.50);
+        let p90 = h.quantile(0.90);
+        let p99 = h.quantile(0.99);
+        assert!((480..=500).contains(&p50), "p50 = {p50}");
+        assert!((870..=900).contains(&p90), "p90 = {p90}");
+        assert!((955..=990).contains(&p99), "p99 = {p99}");
+        let snap = h.snapshot();
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 1000);
+        assert_eq!(snap.sum, 500_500);
+        assert_eq!(snap.mean(), 500);
+    }
+
+    #[test]
+    fn small_histograms_are_exact() {
+        let mut h = Histogram::default();
+        for v in [3u64, 5, 5, 7] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 3);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn counters_merge_across_nodes() {
+        let a = Metrics::new(ObsConfig::default());
+        let b = Metrics::new(ObsConfig::default());
+        a.incr("commits");
+        a.add("commits", 4);
+        a.set_gauge("buffered", 3);
+        b.add("commits", 10);
+        b.incr("gaps");
+        b.set_gauge("buffered", 2);
+        let mut agg = a.snapshot();
+        agg.merge(&b.snapshot());
+        assert_eq!(agg.counters["commits"], 15);
+        assert_eq!(agg.counters["gaps"], 1);
+        assert_eq!(agg.gauges["buffered"], 5);
+    }
+
+    #[test]
+    fn histograms_merge_with_recomputed_quantiles() {
+        let a = Metrics::new(ObsConfig::default());
+        let b = Metrics::new(ObsConfig::default());
+        for v in 1..=500u64 {
+            a.observe("lat", v);
+        }
+        for v in 501..=1000u64 {
+            b.observe("lat", v);
+        }
+        let mut agg = a.snapshot();
+        agg.merge(&b.snapshot());
+        let h = &agg.histograms["lat"];
+        assert_eq!(h.count, 1000);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 1000);
+        assert!((480..=500).contains(&h.p50), "merged p50 = {}", h.p50);
+        assert!((955..=990).contains(&h.p99), "merged p99 = {}", h.p99);
+    }
+
+    #[test]
+    fn events_count_per_kind() {
+        let m = Metrics::new(ObsConfig::default());
+        let node = Addr::Replica(ReplicaId(0));
+        m.record_event(10, node, Event::Commit { slot: 1 });
+        m.record_event(20, node, Event::Commit { slot: 2 });
+        m.record_event(30, node, Event::GapFind { slot: 3 });
+        assert_eq!(m.event_count(EventKind::Commit), 2);
+        assert_eq!(m.event_count(EventKind::GapFind), 1);
+        assert_eq!(m.event_count(EventKind::GapCommit), 0);
+        let snap = m.snapshot();
+        assert_eq!(snap.event(EventKind::Commit), 2);
+        assert_eq!(snap.event(EventKind::GapCommit), 0);
+        assert!(!snap.events.contains_key("gap_commit"));
+    }
+
+    #[test]
+    fn trace_is_bounded() {
+        let m = Metrics::new(ObsConfig::default().with_trace(2));
+        let node = Addr::Replica(ReplicaId(1));
+        for slot in 0..5u64 {
+            m.record_event(slot, node, Event::Commit { slot });
+        }
+        let trace = m.take_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].event, Event::Commit { slot: 0 });
+        assert_eq!(m.snapshot().trace_dropped, 3);
+        // Event counts are unaffected by the trace cap.
+        assert_eq!(m.event_count(EventKind::Commit), 5);
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let m = Metrics::new(ObsConfig::disabled());
+        assert!(!m.enabled());
+        m.incr("x");
+        m.observe("h", 42);
+        m.set_gauge("g", 7);
+        m.record_event(0, Addr::Config, Event::RequestReceived);
+        assert_eq!(m.counter("x"), 0);
+        assert_eq!(m.event_count(EventKind::RequestReceived), 0);
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        assert!(m.take_trace().is_empty());
+    }
+
+    #[test]
+    fn snapshots_serialize_to_json() {
+        let m = Metrics::new(ObsConfig::default());
+        m.incr("replica.messages_in");
+        m.observe("client.latency_ns", 1500);
+        m.record_event(5, Addr::Replica(ReplicaId(2)), Event::Commit { slot: 9 });
+        let json = serde_json::to_string(&m.snapshot()).expect("serialize");
+        assert!(json.contains("replica.messages_in"));
+        assert!(json.contains("\"commit\":1"));
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, m.snapshot());
+    }
+}

@@ -4,6 +4,7 @@ use crate::cpu::{CpuConfig, CpuState};
 use crate::fault::FaultPlan;
 use crate::net::NetConfig;
 use crate::node::{Context, Node, TimerId};
+use crate::obs::{Metrics, MetricsSnapshot, ObsConfig};
 use crate::stats::NetStats;
 use crate::time::{Duration, Time};
 use neo_wire::Addr;
@@ -11,6 +12,7 @@ use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Timer kind every node receives once at t = 0 (bootstrap convention:
 /// nodes use it to arm their own timers or send their first messages).
@@ -46,6 +48,7 @@ enum Event {
 /// The simulator: owns the nodes, the clock, and the event queue.
 pub struct Simulator {
     cfg: SimConfig,
+    obs: ObsConfig,
     nodes: HashMap<Addr, Slot>,
     queue: BinaryHeap<Reverse<(Time, u64)>>,
     events: HashMap<u64, Event>,
@@ -60,6 +63,7 @@ pub struct Simulator {
 struct Slot {
     node: Box<dyn Node>,
     cpu: CpuState,
+    metrics: Arc<Metrics>,
 }
 
 struct SimCtx {
@@ -70,6 +74,7 @@ struct SimCtx {
     cancels: Vec<TimerId>,
     charge: u64,
     next_timer: u64,
+    metrics: Arc<Metrics>,
 }
 
 impl Context for SimCtx {
@@ -94,6 +99,9 @@ impl Context for SimCtx {
     fn charge(&mut self, ns: u64) {
         self.charge += ns;
     }
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
 }
 
 impl Simulator {
@@ -102,6 +110,7 @@ impl Simulator {
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         Simulator {
             cfg,
+            obs: ObsConfig::default(),
             nodes: HashMap::new(),
             queue: BinaryHeap::new(),
             events: HashMap::new(),
@@ -120,6 +129,13 @@ impl Simulator {
         self.add_node_with_cpu(addr, node, self.cfg.default_cpu);
     }
 
+    /// Observability configuration applied to nodes added *after* this
+    /// call (each node's registry is created at registration time).
+    /// Defaults to metrics on, trace off.
+    pub fn set_obs(&mut self, obs: ObsConfig) {
+        self.obs = obs;
+    }
+
     /// Register a node with an explicit CPU model.
     pub fn add_node_with_cpu(&mut self, addr: Addr, node: Box<dyn Node>, cpu: CpuConfig) {
         self.nodes.insert(
@@ -127,6 +143,7 @@ impl Simulator {
             Slot {
                 node,
                 cpu: CpuState::new(cpu),
+                metrics: Arc::new(Metrics::new(self.obs)),
             },
         );
         self.push_event(
@@ -185,6 +202,26 @@ impl Simulator {
         self.nodes
             .get_mut(&addr)
             .and_then(|s| s.node.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// A node's live metrics registry (counters keep moving as the
+    /// simulation runs).
+    pub fn metrics(&self, addr: Addr) -> Option<&Metrics> {
+        self.nodes.get(&addr).map(|s| &*s.metrics)
+    }
+
+    /// Snapshot one node's metrics.
+    pub fn metrics_snapshot(&self, addr: Addr) -> Option<MetricsSnapshot> {
+        self.nodes.get(&addr).map(|s| s.metrics.snapshot())
+    }
+
+    /// Merge every node's metrics into one cluster-wide snapshot.
+    pub fn aggregate_metrics(&self) -> MetricsSnapshot {
+        let mut agg = MetricsSnapshot::default();
+        for slot in self.nodes.values() {
+            agg.merge(&slot.metrics.snapshot());
+        }
+        agg
     }
 
     /// Serial CPU busy time of a node so far (utilization reporting).
@@ -246,6 +283,7 @@ impl Simulator {
             cancels: Vec::new(),
             charge: 0,
             next_timer: self.next_timer,
+            metrics: slot.metrics.clone(),
         };
         slot.node.on_message(from, &payload, &mut ctx);
         self.finish_handler(to, t, false, recv_bytes, ctx);
@@ -267,6 +305,7 @@ impl Simulator {
             cancels: Vec::new(),
             charge: 0,
             next_timer: self.next_timer,
+            metrics: slot.metrics.clone(),
         };
         slot.node.on_timer(id, kind, &mut ctx);
         self.finish_handler(node, t, true, 0, ctx);
@@ -426,7 +465,13 @@ mod tests {
     #[test]
     fn ping_pong_round_trip() {
         let mut sim = ideal_sim(1);
-        sim.add_node(A, Box::new(Pinger { peer: B, replies: vec![] }));
+        sim.add_node(
+            A,
+            Box::new(Pinger {
+                peer: B,
+                replies: vec![],
+            }),
+        );
         sim.add_node(B, Box::new(Echo { got: vec![] }));
         sim.run_until(10_000);
         let pinger = sim.node_ref::<Pinger>(A).unwrap();
@@ -499,7 +544,13 @@ mod tests {
     fn fault_plan_silences_a_node() {
         let mut sim = ideal_sim(1);
         *sim.faults_mut() = FaultPlan::none().crash(B, 0);
-        sim.add_node(A, Box::new(Pinger { peer: B, replies: vec![] }));
+        sim.add_node(
+            A,
+            Box::new(Pinger {
+                peer: B,
+                replies: vec![],
+            }),
+        );
         sim.add_node(B, Box::new(Echo { got: vec![] }));
         sim.run_until(10_000);
         assert!(sim.node_ref::<Pinger>(A).unwrap().replies.is_empty());
@@ -521,7 +572,7 @@ mod tests {
             default_cpu: CpuConfig {
                 dispatch_ns: 1_000,
                 send_ns: 0,
-            ns_per_kb: 0,
+                ns_per_kb: 0,
                 cores: 1,
             },
             seed: 1,
@@ -585,6 +636,68 @@ mod tests {
         sim.post(A, Addr::Multicast(GroupId(9)), vec![5], 0);
         sim.run_until(10_000);
         assert_eq!(sim.node_ref::<Echo>(seq_addr).unwrap().got.len(), 1);
+    }
+
+    #[test]
+    fn per_node_metrics_are_recorded_and_aggregated() {
+        use crate::obs::EventKind;
+
+        /// Counts deliveries into its registry and emits a Commit event.
+        struct Metered;
+        impl Node for Metered {
+            fn on_message(&mut self, _: Addr, payload: &[u8], ctx: &mut dyn Context) {
+                ctx.metrics().incr("test.delivered");
+                ctx.metrics().observe("test.len", payload.len() as u64);
+                ctx.emit(crate::obs::Event::Commit { slot: 1 });
+            }
+            fn on_timer(&mut self, _: TimerId, _: u32, _: &mut dyn Context) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let mut sim = ideal_sim(1);
+        sim.add_node(A, Box::new(Metered));
+        sim.add_node(B, Box::new(Metered));
+        sim.post(Addr::Config, A, vec![1, 2], 0);
+        sim.post(Addr::Config, A, vec![3], 0);
+        sim.post(Addr::Config, B, vec![4], 0);
+        sim.run_until(10_000);
+
+        let a = sim.metrics_snapshot(A).unwrap();
+        assert_eq!(a.counters["test.delivered"], 2);
+        assert_eq!(a.event(EventKind::Commit), 2);
+        assert_eq!(a.histograms["test.len"].count, 2);
+        let agg = sim.aggregate_metrics();
+        assert_eq!(agg.counters["test.delivered"], 3);
+        assert_eq!(agg.event(EventKind::Commit), 3);
+        assert_eq!(agg.histograms["test.len"].count, 3);
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        struct M;
+        impl Node for M {
+            fn on_message(&mut self, _: Addr, _: &[u8], ctx: &mut dyn Context) {
+                ctx.metrics().incr("test.delivered");
+            }
+            fn on_timer(&mut self, _: TimerId, _: u32, _: &mut dyn Context) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = ideal_sim(1);
+        sim.set_obs(ObsConfig::disabled());
+        sim.add_node(A, Box::new(M));
+        sim.post(B, A, vec![1], 0);
+        sim.run_until(10_000);
+        assert_eq!(sim.metrics_snapshot(A).unwrap(), MetricsSnapshot::default());
     }
 
     #[test]

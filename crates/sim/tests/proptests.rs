@@ -1,9 +1,7 @@
 //! Property-based tests of the simulator's core guarantees:
 //! determinism, message conservation, and CPU accounting.
 
-use neo_sim::{
-    Context, CpuConfig, FaultPlan, NetConfig, Node, SimConfig, Simulator, TimerId,
-};
+use neo_sim::{Context, CpuConfig, FaultPlan, NetConfig, Node, SimConfig, Simulator, TimerId};
 use neo_wire::{Addr, ReplicaId};
 use proptest::prelude::*;
 use std::any::Any;

@@ -108,8 +108,7 @@ impl SigningRatioController {
                 self.stock = (self.stock + credit).min(self.model.table_capacity);
                 // Only advance by the time actually converted into credit,
                 // so fractional refill accumulates across calls.
-                self.last_refill_ns +=
-                    credit * 1_000_000_000 / self.model.precompute_rate_per_sec;
+                self.last_refill_ns += credit * 1_000_000_000 / self.model.precompute_rate_per_sec;
             }
         }
         if self.stock > self.model.skip_threshold {
@@ -141,10 +140,7 @@ mod tests {
     fn latency_matches_figure5_median() {
         let m = FpgaModel::PAPER;
         let lat = m.pipeline_latency_ns(4);
-        assert!(
-            (2_500..3_500).contains(&lat),
-            "≈3µs median, got {lat}ns"
-        );
+        assert!((2_500..3_500).contains(&lat), "≈3µs median, got {lat}ns");
         assert_eq!(
             lat,
             m.pipeline_latency_ns(64),

@@ -34,7 +34,9 @@ pub mod tofino;
 
 pub use fpga::FpgaModel;
 pub use queue::{percentile, LatencySampler};
-pub use resources::{fpga_resource_table, switch_resource_table, FpgaResourceRow, SwitchResourceRow};
+pub use resources::{
+    fpga_resource_table, switch_resource_table, FpgaResourceRow, SwitchResourceRow,
+};
 pub use tofino::TofinoModel;
 
 /// Common timing interface both sequencer hardware models expose to the

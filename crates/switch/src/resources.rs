@@ -134,15 +134,18 @@ pub fn switch_resource_table() -> Vec<SwitchResourceRow> {
             let sum = |f: fn(&SwitchComponent) -> u64| in_pipe.iter().map(|c| f(c)).sum::<u64>();
             SwitchResourceRow {
                 module: format!("Pipe {pipe}"),
-                stages: in_pipe.iter().map(|c| c.stages).max().unwrap_or(0).max(
-                    if pipe == 0 {
+                stages: in_pipe
+                    .iter()
+                    .map(|c| c.stages)
+                    .max()
+                    .unwrap_or(0)
+                    .max(if pipe == 0 {
                         // Pipe 0 components are laid out sequentially
                         // (routing → sequencing → replication): 7 stages.
                         in_pipe.iter().map(|c| c.stages).sum::<u32>()
                     } else {
                         0
-                    },
-                ),
+                    }),
                 action_data_pct: pct(sum(|c| c.action_data_bytes), budget.action_data_bytes),
                 hash_bit_pct: pct(sum(|c| c.hash_bits), budget.hash_bits),
                 hash_unit_pct: pct(sum(|c| c.hash_units), budget.hash_units),
@@ -284,7 +287,13 @@ pub fn fpga_resource_table() -> Vec<FpgaResourceRow> {
             pipeline.bram,
             pipeline.dsp,
         ),
-        row("Signer", signer.lut, signer.register, signer.bram, signer.dsp),
+        row(
+            "Signer",
+            signer.lut,
+            signer.register,
+            signer.bram,
+            signer.dsp,
+        ),
         row("Total", total.0, total.1, total.2, total.3),
     ]
 }
@@ -299,13 +308,21 @@ mod tests {
         assert_eq!(t.len(), 2);
         let p0 = &t[0];
         assert_eq!(p0.stages, 7);
-        assert!((p0.action_data_pct - 0.8).abs() < 0.15, "{}", p0.action_data_pct);
+        assert!(
+            (p0.action_data_pct - 0.8).abs() < 0.15,
+            "{}",
+            p0.action_data_pct
+        );
         assert!((p0.hash_bit_pct - 2.0).abs() < 0.15);
         assert_eq!(p0.hash_unit_pct, 0.0);
         assert!((p0.vliw_pct - 3.4).abs() < 0.15);
         let p1 = &t[1];
         assert_eq!(p1.stages, 12);
-        assert!((p1.action_data_pct - 12.8).abs() < 0.2, "{}", p1.action_data_pct);
+        assert!(
+            (p1.action_data_pct - 12.8).abs() < 0.2,
+            "{}",
+            p1.action_data_pct
+        );
         assert!((p1.hash_bit_pct - 21.2).abs() < 0.2);
         assert!((p1.hash_unit_pct - 77.8).abs() < 0.2);
         assert!((p1.vliw_pct - 12.0).abs() < 0.2);
@@ -315,7 +332,11 @@ mod tests {
     fn table3_matches_paper() {
         let t = fpga_resource_table();
         let pipeline = &t[0];
-        assert!((pipeline.lut_pct - 0.91).abs() < 0.05, "{}", pipeline.lut_pct);
+        assert!(
+            (pipeline.lut_pct - 0.91).abs() < 0.05,
+            "{}",
+            pipeline.lut_pct
+        );
         assert!((pipeline.register_pct - 0.70).abs() < 0.05);
         assert!((pipeline.bram_pct - 2.12).abs() < 0.1);
         assert!((pipeline.dsp_pct - 0.57).abs() < 0.05);

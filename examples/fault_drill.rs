@@ -105,9 +105,7 @@ fn main() {
     {
         let mut sim = build(&cfg, 20, 0.02);
         sim.run_until(20 * SECS);
-        let recovered: u64 = (0..4)
-            .map(|r| replica(&sim, r).stats.gaps_recovered)
-            .sum();
+        let recovered: u64 = (0..4).map(|r| replica(&sim, r).stats.gaps_recovered).sum();
         let noops: u64 = (0..4).map(|r| replica(&sim, r).stats.noops_committed).sum();
         println!(
             "  committed {}/20; certificates recovered from peers: {recovered}, no-ops committed: {noops}",
@@ -124,7 +122,9 @@ fn main() {
             .set_behavior(Behavior::DropEvery(5));
         *sim.faults_mut() = FaultPlan::none().crash(Addr::Replica(ReplicaId(0)), MILLIS);
         sim.run_until(30 * SECS);
-        let views: Vec<String> = (1..4).map(|r| replica(&sim, r).view().to_string()).collect();
+        let views: Vec<String> = (1..4)
+            .map(|r| replica(&sim, r).view().to_string())
+            .collect();
         println!(
             "  committed {}/12 after leader crash; surviving views: {views:?}",
             completed(&sim)

@@ -9,7 +9,7 @@ use neobft::aom::{AuthMode, ConfigService, SequencerHw, SequencerNode};
 use neobft::app::{KvApp, KvOp, KvResult, YcsbConfig, YcsbGenerator};
 use neobft::core::{Client, NeoConfig, Replica};
 use neobft::crypto::{CostModel, SystemKeys};
-use neobft::runtime::{spawn_node, AddressBook};
+use neobft::runtime::{try_spawn_node, AddressBook};
 use neobft::wire::{Addr, ClientId, GroupId, ReplicaId};
 use std::time::Duration;
 
@@ -31,7 +31,8 @@ fn main() {
 
     let mut config = ConfigService::new();
     config.register_group(group, (0..n as u32).map(ReplicaId).collect(), 1);
-    let config_h = spawn_node(Box::new(config), Addr::Config, book.clone());
+    let config_h = try_spawn_node(Box::new(config), Addr::Config, book.clone())
+        .expect("config service spawns");
 
     let sequencer = SequencerNode::new(
         group,
@@ -40,7 +41,8 @@ fn main() {
         SequencerHw::Software(CostModel::FREE),
         &keys,
     );
-    let seq_h = spawn_node(Box::new(sequencer), Addr::Sequencer(group), book.clone());
+    let seq_h = try_spawn_node(Box::new(sequencer), Addr::Sequencer(group), book.clone())
+        .expect("sequencer spawns");
 
     let replica_hs: Vec<_> = (0..n as u32)
         .map(|r| {
@@ -51,7 +53,8 @@ fn main() {
                 CostModel::FREE,
                 Box::new(KvApp::loaded(records, 128)),
             );
-            spawn_node(Box::new(replica), Addr::Replica(ReplicaId(r)), book.clone())
+            try_spawn_node(Box::new(replica), Addr::Replica(ReplicaId(r)), book.clone())
+                .expect("replica spawns")
         })
         .collect();
 
@@ -66,7 +69,8 @@ fn main() {
                 Box::new(YcsbGenerator::new(ycsb, c + 1)),
             );
             client.max_ops = Some(ops_each);
-            spawn_node(Box::new(client), Addr::Client(ClientId(c)), book.clone())
+            try_spawn_node(Box::new(client), Addr::Client(ClientId(c)), book.clone())
+                .expect("client spawns")
         })
         .collect();
 
@@ -77,7 +81,7 @@ fn main() {
     let mut reads = 0u64;
     let mut writes = 0u64;
     for h in client_hs {
-        let node = h.shutdown();
+        let node = h.try_shutdown().expect("node joins");
         let client = node.as_any().downcast_ref::<Client>().expect("client");
         total += client.completed.len() as u64;
         for op in &client.completed {
@@ -96,7 +100,7 @@ fn main() {
     // Every replica converged to the same store contents: issue one more
     // deterministic probe through a fresh client against a single key.
     for h in replica_hs {
-        let node = h.shutdown();
+        let node = h.try_shutdown().expect("node joins");
         let replica = node.as_any().downcast_ref::<Replica>().expect("replica");
         println!(
             "{}: executed {}, log {}",
@@ -105,8 +109,8 @@ fn main() {
             replica.log_len()
         );
     }
-    seq_h.shutdown();
-    config_h.shutdown();
+    seq_h.try_shutdown().expect("sequencer joins");
+    config_h.try_shutdown().expect("config service joins");
     assert_eq!(total, ops_each * clients as u64);
     let _ = KvOp::Get {
         key: "user0".into(),

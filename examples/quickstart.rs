@@ -13,8 +13,8 @@ use neobft::aom::{AuthMode, ConfigService, SequencerHw, SequencerNode};
 use neobft::app::{EchoApp, EchoWorkload};
 use neobft::core::{Client, NeoConfig, Replica};
 use neobft::crypto::{CostModel, SystemKeys};
-use neobft::runtime::{spawn_node, AddressBook};
-use neobft::wire::{Addr, ClientId, GroupId, ReplicaId};
+use neobft::runtime::AddressBook;
+use neobft::wire::{ClientId, GroupId, ReplicaId};
 use std::time::Duration;
 
 fn main() {
@@ -24,38 +24,49 @@ fn main() {
     let ops = 200u64;
     let keys = SystemKeys::new(2024, n, 1);
     let cfg = NeoConfig::new(f);
-    let book = AddressBook::localhost(n, 1, group, 45000);
+    let dep = AddressBook::builder()
+        .replicas(n)
+        .clients(1)
+        .group(group)
+        .base_port(45000)
+        .build()
+        .expect("deployment fits the port space");
 
     println!("neobft quickstart — 4 replicas, 1 sequencer, 1 client on 127.0.0.1");
 
     // Configuration service.
     let mut config = ConfigService::new();
-    config.register_group(group, (0..n as u32).map(ReplicaId).collect(), f);
-    let config_h = spawn_node(Box::new(config), Addr::Config, book.clone());
+    config.register_group(group, dep.replica_ids(), f);
+    let config_h = dep
+        .spawn(Box::new(config), dep.config_service())
+        .expect("config service spawns");
 
     // Software sequencer (the paper's §6.3 deployment flavour).
     let sequencer = SequencerNode::new(
         group,
-        (0..n as u32).map(ReplicaId).collect(),
+        dep.replica_ids(),
         AuthMode::HmacVector,
         SequencerHw::Software(CostModel::FREE),
         &keys,
     );
-    let seq_h = spawn_node(Box::new(sequencer), Addr::Sequencer(group), book.clone());
+    let seq_h = dep
+        .spawn(Box::new(sequencer), dep.sequencer())
+        .expect("sequencer spawns");
 
     // Replicas.
-    let replica_hs: Vec<_> = (0..n as u32)
+    let replica_hs: Vec<_> = (0..n)
         .map(|r| {
             let replica = Replica::new(
-                ReplicaId(r),
+                ReplicaId(r as u32),
                 cfg.clone(),
                 &keys,
                 CostModel::FREE,
                 Box::new(EchoApp::new()),
             );
-            spawn_node(Box::new(replica), Addr::Replica(ReplicaId(r)), book.clone())
+            dep.spawn(Box::new(replica), dep.replica(r))
+                .expect("replica spawns")
         })
-        .collect();
+        .collect::<Vec<_>>();
 
     // One closed-loop client issuing 64-byte echo requests.
     let mut client = Client::new(
@@ -66,12 +77,17 @@ fn main() {
         Box::new(EchoWorkload::new(64, 1)),
     );
     client.max_ops = Some(ops);
-    let client_h = spawn_node(Box::new(client), Addr::Client(ClientId(0)), book);
+    let client_h = dep
+        .spawn(Box::new(client), dep.client(0))
+        .expect("client spawns");
 
     // Give the run a moment (200 ops at sub-ms latency completes fast).
     std::thread::sleep(Duration::from_secs(3));
 
-    let client_node = client_h.shutdown();
+    // The handle exposes the node's live metrics registry; snapshot it
+    // before joining to show the per-phase view of the run.
+    let client_metrics = client_h.metrics_snapshot();
+    let client_node = client_h.try_shutdown().expect("client joins");
     let client = client_node
         .as_any()
         .downcast_ref::<Client>()
@@ -92,8 +108,17 @@ fn main() {
         println!("retries needed: {retries}");
     }
 
+    if let Some(lat) = client_metrics.histograms.get("client.latency_ns") {
+        println!(
+            "metrics registry agrees: {} ops, p50 {:.0}µs p99 {:.0}µs",
+            lat.count,
+            lat.p50 as f64 / 1e3,
+            lat.p99 as f64 / 1e3,
+        );
+    }
+
     for h in replica_hs {
-        let node = h.shutdown();
+        let node = h.try_shutdown().expect("replica joins");
         let replica = node.as_any().downcast_ref::<Replica>().expect("replica");
         println!(
             "{}: executed {} ops, log length {}, view {}",
@@ -103,8 +128,8 @@ fn main() {
             replica.view()
         );
     }
-    seq_h.shutdown();
-    config_h.shutdown();
+    seq_h.try_shutdown().expect("sequencer joins");
+    config_h.try_shutdown().expect("config service joins");
     assert_eq!(done as u64, ops, "all operations must commit");
     println!("ok");
 }

@@ -16,7 +16,7 @@ use neobft::aom::{AuthMode, ConfigService, SequencerHw, SequencerNode};
 use neobft::app::{App, Workload};
 use neobft::core::{Client, NeoConfig, Replica};
 use neobft::crypto::{CostModel, SystemKeys};
-use neobft::runtime::{spawn_node, AddressBook};
+use neobft::runtime::{try_spawn_node, AddressBook};
 use neobft::wire::{Addr, ClientId, GroupId, ReplicaId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -250,7 +250,8 @@ fn main() {
 
     let mut config = ConfigService::new();
     config.register_group(group, (0..n as u32).map(ReplicaId).collect(), 1);
-    let config_h = spawn_node(Box::new(config), Addr::Config, book.clone());
+    let config_h = try_spawn_node(Box::new(config), Addr::Config, book.clone())
+        .expect("config service spawns");
 
     let sequencer = SequencerNode::new(
         group,
@@ -259,7 +260,8 @@ fn main() {
         SequencerHw::Software(CostModel::FREE),
         &keys,
     );
-    let seq_h = spawn_node(Box::new(sequencer), Addr::Sequencer(group), book.clone());
+    let seq_h = try_spawn_node(Box::new(sequencer), Addr::Sequencer(group), book.clone())
+        .expect("sequencer spawns");
 
     let replica_hs: Vec<_> = (0..n as u32)
         .map(|r| {
@@ -270,7 +272,8 @@ fn main() {
                 CostModel::FREE,
                 Box::new(MatchingEngine::default()),
             );
-            spawn_node(Box::new(replica), Addr::Replica(ReplicaId(r)), book.clone())
+            try_spawn_node(Box::new(replica), Addr::Replica(ReplicaId(r)), book.clone())
+                .expect("replica spawns")
         })
         .collect();
 
@@ -281,13 +284,11 @@ fn main() {
                 cfg.clone(),
                 &keys,
                 CostModel::FREE,
-                Box::new(OrderFlow {
-                    trader: c,
-                    tick: 0,
-                }),
+                Box::new(OrderFlow { trader: c, tick: 0 }),
             );
             client.max_ops = Some(orders_each);
-            spawn_node(Box::new(client), Addr::Client(ClientId(c)), book.clone())
+            try_spawn_node(Box::new(client), Addr::Client(ClientId(c)), book.clone())
+                .expect("client spawns")
         })
         .collect();
 
@@ -296,7 +297,7 @@ fn main() {
     let mut orders = 0u64;
     let mut fills = 0u64;
     for h in client_hs {
-        let node = h.shutdown();
+        let node = h.try_shutdown().expect("node joins");
         let client = node.as_any().downcast_ref::<Client>().expect("client");
         orders += client.completed.len() as u64;
         for op in &client.completed {
@@ -305,18 +306,18 @@ fn main() {
             }
         }
     }
-    println!("orders committed: {orders}/{}", orders_each * traders as u64);
+    println!(
+        "orders committed: {orders}/{}",
+        orders_each * traders as u64
+    );
     println!("fills returned to takers: {fills}");
 
     // Every replica's engine must agree exactly.
     let mut states = Vec::new();
     for h in replica_hs {
-        let node = h.shutdown();
+        let node = h.try_shutdown().expect("node joins");
         let replica = node.as_any().downcast_ref::<Replica>().expect("replica");
-        let engine = replica
-            .app()
-            .as_any_ref()
-            .downcast_ref::<MatchingEngine>();
+        let engine = replica.app().as_any_ref().downcast_ref::<MatchingEngine>();
         if let Some(e) = engine {
             states.push((e.trades, e.volume, e.next_order_id));
             println!(
@@ -329,8 +330,8 @@ fn main() {
             );
         }
     }
-    seq_h.shutdown();
-    config_h.shutdown();
+    seq_h.try_shutdown().expect("sequencer joins");
+    config_h.try_shutdown().expect("config service joins");
     assert!(states.windows(2).all(|w| w[0] == w[1]), "books diverged!");
     assert_eq!(orders, orders_each * traders as u64);
     println!("ok — all replica order books identical");

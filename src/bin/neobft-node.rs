@@ -26,7 +26,7 @@ use neobft::aom::{AuthMode, ConfigService, ReceiverAuth, SequencerHw, SequencerN
 use neobft::app::{App, EchoApp, EchoWorkload, KvApp, Workload, YcsbConfig, YcsbGenerator};
 use neobft::core::{Client, NeoConfig, Replica};
 use neobft::crypto::{CostModel, SystemKeys};
-use neobft::runtime::{spawn_node, AddressBook, NodeHandle};
+use neobft::runtime::{try_spawn_node, AddressBook, NodeHandle};
 use neobft::wire::{Addr, ClientId, GroupId, ReplicaId};
 use std::time::Duration;
 
@@ -73,7 +73,10 @@ fn parse(args: &[String]) -> (String, Option<u64>, Opts) {
     let role = args[0].clone();
     let mut idx = 1;
     let id = if matches!(role.as_str(), "replica" | "client") {
-        let id = args.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+        let id = args
+            .get(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage());
         idx = 2;
         Some(id)
     } else {
@@ -159,8 +162,16 @@ fn spawn_replica(id: u32, opts: &Opts, book: &AddressBook, keys: &SystemKeys) ->
         CostModel::FREE,
         build_app(opts.app),
     );
-    println!("replica {id} listening on {:?}", book.lookup(Addr::Replica(ReplicaId(id))));
-    spawn_node(Box::new(replica), Addr::Replica(ReplicaId(id)), book.clone())
+    println!(
+        "replica {id} listening on {:?}",
+        book.lookup(Addr::Replica(ReplicaId(id)))
+    );
+    try_spawn_node(
+        Box::new(replica),
+        Addr::Replica(ReplicaId(id)),
+        book.clone(),
+    )
+    .expect("replica spawns")
 }
 
 fn spawn_sequencer(opts: &Opts, book: &AddressBook, keys: &SystemKeys) -> (NodeHandle, NodeHandle) {
@@ -170,7 +181,8 @@ fn spawn_sequencer(opts: &Opts, book: &AddressBook, keys: &SystemKeys) -> (NodeH
         (0..opts.n as u32).map(ReplicaId).collect(),
         (opts.n - 1) / 3,
     );
-    let config_h = spawn_node(Box::new(config), Addr::Config, book.clone());
+    let config_h = try_spawn_node(Box::new(config), Addr::Config, book.clone())
+        .expect("config service spawns");
     let mode = match opts.auth {
         ReceiverAuth::Hmac => AuthMode::HmacVector,
         ReceiverAuth::PublicKey => AuthMode::PublicKey,
@@ -186,7 +198,8 @@ fn spawn_sequencer(opts: &Opts, book: &AddressBook, keys: &SystemKeys) -> (NodeH
         "sequencer listening on {:?} (group address)",
         book.lookup(Addr::Sequencer(GROUP))
     );
-    let seq_h = spawn_node(Box::new(sequencer), Addr::Sequencer(GROUP), book.clone());
+    let seq_h = try_spawn_node(Box::new(sequencer), Addr::Sequencer(GROUP), book.clone())
+        .expect("sequencer spawns");
     (config_h, seq_h)
 }
 
@@ -200,14 +213,12 @@ fn spawn_client(id: u64, opts: &Opts, book: &AddressBook, keys: &SystemKeys) -> 
     );
     client.max_ops = Some(opts.ops);
     println!("client {id} issuing {} ops", opts.ops);
-    spawn_node(Box::new(client), Addr::Client(ClientId(id)), book.clone())
+    try_spawn_node(Box::new(client), Addr::Client(ClientId(id)), book.clone())
+        .expect("client spawns")
 }
 
 fn report_client(node: Box<dyn neobft::sim::Node>) {
-    let client = node
-        .as_any()
-        .downcast_ref::<Client>()
-        .expect("client node");
+    let client = node.as_any().downcast_ref::<Client>().expect("client node");
     let done = client.completed.len();
     println!("client {}: committed {done} ops", client.id());
     if done > 0 {
@@ -232,7 +243,7 @@ fn main() {
         "replica" => {
             let h = spawn_replica(id.unwrap() as u32, &opts, &book, &keys);
             std::thread::sleep(Duration::from_secs(opts.run_secs));
-            let node = h.shutdown();
+            let node = h.try_shutdown().expect("node joins");
             let replica = node.as_any().downcast_ref::<Replica>().expect("replica");
             println!(
                 "replica {}: executed {}, log {}, view {}",
@@ -245,13 +256,13 @@ fn main() {
         "sequencer" => {
             let (config_h, seq_h) = spawn_sequencer(&opts, &book, &keys);
             std::thread::sleep(Duration::from_secs(opts.run_secs));
-            seq_h.shutdown();
-            config_h.shutdown();
+            seq_h.try_shutdown().expect("sequencer joins");
+            config_h.try_shutdown().expect("config service joins");
         }
         "client" => {
             let h = spawn_client(id.unwrap(), &opts, &book, &keys);
             std::thread::sleep(Duration::from_secs(opts.run_secs.min(opts.ops / 100 + 10)));
-            report_client(h.shutdown());
+            report_client(h.try_shutdown().expect("client joins"));
         }
         "all" => {
             let (config_h, seq_h) = spawn_sequencer(&opts, &book, &keys);
@@ -261,12 +272,14 @@ fn main() {
             let client_hs: Vec<_> = (0..opts.clients as u64)
                 .map(|c| spawn_client(c, &opts, &book, &keys))
                 .collect();
-            std::thread::sleep(Duration::from_secs((opts.ops / 1000 + 3).min(opts.run_secs)));
+            std::thread::sleep(Duration::from_secs(
+                (opts.ops / 1000 + 3).min(opts.run_secs),
+            ));
             for h in client_hs {
-                report_client(h.shutdown());
+                report_client(h.try_shutdown().expect("client joins"));
             }
             for h in replica_hs {
-                let node = h.shutdown();
+                let node = h.try_shutdown().expect("node joins");
                 let replica = node.as_any().downcast_ref::<Replica>().expect("replica");
                 println!(
                     "replica {}: executed {}, log {}",
@@ -275,8 +288,8 @@ fn main() {
                     replica.log_len()
                 );
             }
-            seq_h.shutdown();
-            config_h.shutdown();
+            seq_h.try_shutdown().expect("sequencer joins");
+            config_h.try_shutdown().expect("config service joins");
         }
         _ => usage(),
     }

@@ -7,16 +7,57 @@
 //! An [`AddressBook`] maps logical [`Addr`]esses to socket addresses;
 //! `Addr::Multicast(g)` maps to the group's sequencer socket, exactly
 //! like the BGP-advertised group address of §4.1.
+//!
+//! Deployments are described with [`AddressBook::builder`], which lays
+//! out a cluster without hand-rolled port arithmetic, and nodes are
+//! spawned with the fallible [`try_spawn_node`] — lookup and bind
+//! failures come back as a [`RuntimeError`] instead of a panic. The
+//! panicking [`spawn_node`]/[`NodeHandle::shutdown`] survive one release
+//! as deprecated wrappers.
 
+use neo_sim::obs::{Metrics, MetricsSnapshot, ObsConfig};
 use neo_sim::{Context, Node, TimerId};
 use neo_wire::{Addr, ClientId, GroupId, ReplicaId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::net::SocketAddr;
+use std::net::{IpAddr, SocketAddr};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tokio::net::UdpSocket;
+
+/// Errors surfaced by the deployment and spawn APIs.
+#[derive(Debug, thiserror::Error)]
+pub enum RuntimeError {
+    /// The logical address is not registered in the [`AddressBook`].
+    #[error("no socket address registered for {0}")]
+    UnknownAddress(Addr),
+    /// The node's UDP socket could not be bound or configured.
+    #[error("failed to bind UDP socket for {addr}")]
+    Bind {
+        addr: Addr,
+        #[source]
+        source: std::io::Error,
+    },
+    /// The per-node OS thread could not be spawned.
+    #[error("failed to spawn node thread")]
+    Spawn(#[source] std::io::Error),
+    /// The node's thread panicked before or during shutdown.
+    #[error("node thread for {0} panicked")]
+    NodePanicked(Addr),
+    /// The handle was already shut down.
+    #[error("node {0} already shut down")]
+    AlreadyJoined(Addr),
+    /// The deployment does not fit in the port range above `base_port`.
+    #[error(
+        "deployment needs {needed} ports but only {available} are available above {base_port}"
+    )]
+    PortSpace {
+        base_port: u16,
+        needed: usize,
+        available: usize,
+    },
+}
 
 /// Logical address ↔ socket address mapping for a deployment.
 #[derive(Clone, Debug, Default)]
@@ -31,6 +72,12 @@ impl AddressBook {
         Self::default()
     }
 
+    /// Describe a deployment without hand-rolling port arithmetic:
+    /// `AddressBook::builder().replicas(4).clients(2).build()?`.
+    pub fn builder() -> DeploymentBuilder {
+        DeploymentBuilder::default()
+    }
+
     /// Register a node.
     pub fn insert(&mut self, addr: Addr, sock: SocketAddr) {
         self.forward.insert(addr, sock);
@@ -41,24 +88,14 @@ impl AddressBook {
     /// sequencer and the config service, on consecutive ports starting
     /// at `base_port`.
     pub fn localhost(n: usize, clients: usize, group: GroupId, base_port: u16) -> Self {
-        let mut book = Self::new();
-        let mut port = base_port;
-        let mut next = |a: Addr, book: &mut Self| {
-            book.insert(a, SocketAddr::from(([127, 0, 0, 1], port)));
-            port += 1;
-        };
-        for r in 0..n as u32 {
-            next(Addr::Replica(ReplicaId(r)), &mut book);
-        }
-        for c in 0..clients as u64 {
-            next(Addr::Client(ClientId(c)), &mut book);
-        }
-        next(Addr::Sequencer(group), &mut book);
-        next(Addr::Config, &mut book);
-        // The multicast group address routes to the sequencer (§3.2).
-        let seq = book.forward[&Addr::Sequencer(group)];
-        book.forward.insert(Addr::Multicast(group), seq);
-        book
+        Self::builder()
+            .replicas(n)
+            .clients(clients)
+            .group(group)
+            .base_port(base_port)
+            .build()
+            .expect("deployment fits the port space")
+            .into_book()
     }
 
     /// Socket address of a logical node.
@@ -72,11 +109,172 @@ impl AddressBook {
     }
 }
 
+/// Builder for a [`Deployment`]: replicas, clients, one sequencer, and
+/// the config service on consecutive ports.
+#[derive(Clone, Debug)]
+pub struct DeploymentBuilder {
+    replicas: usize,
+    clients: usize,
+    group: GroupId,
+    base_port: u16,
+    host: IpAddr,
+}
+
+impl Default for DeploymentBuilder {
+    fn default() -> Self {
+        DeploymentBuilder {
+            replicas: 4,
+            clients: 1,
+            group: GroupId(0),
+            base_port: 47000,
+            host: IpAddr::from([127, 0, 0, 1]),
+        }
+    }
+}
+
+impl DeploymentBuilder {
+    /// Number of replicas (default 4, the paper's f = 1 group).
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.replicas = n;
+        self
+    }
+
+    /// Number of client processes (default 1).
+    pub fn clients(mut self, n: usize) -> Self {
+        self.clients = n;
+        self
+    }
+
+    /// The aom group id (default 0).
+    pub fn group(mut self, group: GroupId) -> Self {
+        self.group = group;
+        self
+    }
+
+    /// First port of the consecutive range (default 47000).
+    pub fn base_port(mut self, port: u16) -> Self {
+        self.base_port = port;
+        self
+    }
+
+    /// Host every node binds on (default 127.0.0.1).
+    pub fn host(mut self, host: IpAddr) -> Self {
+        self.host = host;
+        self
+    }
+
+    /// Lay out the address book. Fails with [`RuntimeError::PortSpace`]
+    /// if the cluster does not fit above `base_port`.
+    pub fn build(self) -> Result<Deployment, RuntimeError> {
+        let needed = self.replicas + self.clients + 2;
+        let available = usize::from(u16::MAX - self.base_port) + 1;
+        if needed > available {
+            return Err(RuntimeError::PortSpace {
+                base_port: self.base_port,
+                needed,
+                available,
+            });
+        }
+        let mut book = AddressBook::new();
+        let mut port = self.base_port;
+        let mut next = |a: Addr, book: &mut AddressBook| {
+            book.insert(a, SocketAddr::new(self.host, port));
+            port += 1;
+        };
+        for r in 0..self.replicas as u32 {
+            next(Addr::Replica(ReplicaId(r)), &mut book);
+        }
+        for c in 0..self.clients as u64 {
+            next(Addr::Client(ClientId(c)), &mut book);
+        }
+        next(Addr::Sequencer(self.group), &mut book);
+        next(Addr::Config, &mut book);
+        // The multicast group address routes to the sequencer (§3.2).
+        let seq = book.forward[&Addr::Sequencer(self.group)];
+        book.forward.insert(Addr::Multicast(self.group), seq);
+        Ok(Deployment {
+            book,
+            group: self.group,
+            replicas: self.replicas,
+            clients: self.clients,
+        })
+    }
+}
+
+/// A laid-out deployment: the address book plus the logical roster, with
+/// helpers for naming nodes and spawning them.
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    book: AddressBook,
+    group: GroupId,
+    replicas: usize,
+    clients: usize,
+}
+
+impl Deployment {
+    /// The address book (cloned into each spawned node).
+    pub fn book(&self) -> &AddressBook {
+        &self.book
+    }
+
+    /// Consume the deployment, keeping only the book.
+    pub fn into_book(self) -> AddressBook {
+        self.book
+    }
+
+    /// Number of replicas in the roster.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Number of clients in the roster.
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// The aom group id.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// All replica ids, in order (the membership list protocol nodes are
+    /// configured with).
+    pub fn replica_ids(&self) -> Vec<ReplicaId> {
+        (0..self.replicas as u32).map(ReplicaId).collect()
+    }
+
+    /// Logical address of replica `i`.
+    pub fn replica(&self, i: usize) -> Addr {
+        Addr::Replica(ReplicaId(i as u32))
+    }
+
+    /// Logical address of client `i`.
+    pub fn client(&self, i: usize) -> Addr {
+        Addr::Client(ClientId(i as u64))
+    }
+
+    /// Logical address of the group's sequencer.
+    pub fn sequencer(&self) -> Addr {
+        Addr::Sequencer(self.group)
+    }
+
+    /// Logical address of the configuration service.
+    pub fn config_service(&self) -> Addr {
+        Addr::Config
+    }
+
+    /// Spawn `node` under `addr` with this deployment's book.
+    pub fn spawn(&self, node: Box<dyn Node>, addr: Addr) -> Result<NodeHandle, RuntimeError> {
+        try_spawn_node(node, addr, self.book.clone())
+    }
+}
+
 /// Handle to a spawned node; dropping does not stop it — call
-/// [`NodeHandle::shutdown`].
+/// [`NodeHandle::try_shutdown`].
 pub struct NodeHandle {
     stop: Arc<AtomicBool>,
     join: Option<std::thread::JoinHandle<Box<dyn Node>>>,
+    metrics: Arc<Metrics>,
     /// The node's logical address.
     pub addr: Addr,
 }
@@ -84,13 +282,36 @@ pub struct NodeHandle {
 impl NodeHandle {
     /// Signal the node loop to stop and wait for it, returning the node
     /// (so callers can inspect final state, e.g. client completions).
-    pub fn shutdown(mut self) -> Box<dyn Node> {
+    pub fn try_shutdown(mut self) -> Result<Box<dyn Node>, RuntimeError> {
         self.stop.store(true, Ordering::SeqCst);
-        self.join
+        let join = self
+            .join
             .take()
-            .expect("not yet joined")
-            .join()
-            .expect("node thread panicked")
+            .ok_or(RuntimeError::AlreadyJoined(self.addr))?;
+        join.join()
+            .map_err(|_| RuntimeError::NodePanicked(self.addr))
+    }
+
+    /// The node's live metrics registry (readable while the node runs).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Snapshot the node's metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Deprecated panicking shutdown.
+    ///
+    /// # Panics
+    /// Panics if the node thread panicked.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_shutdown`, which reports thread panics as a `RuntimeError`"
+    )]
+    pub fn shutdown(self) -> Box<dyn Node> {
+        self.try_shutdown().expect("node shutdown")
     }
 }
 
@@ -101,6 +322,7 @@ struct RtCtx {
     timers: Vec<(u64, u32, TimerId)>,
     cancels: Vec<TimerId>,
     next_timer: u64,
+    metrics: Arc<Metrics>,
 }
 
 impl Context for RtCtx {
@@ -125,39 +347,84 @@ impl Context for RtCtx {
     fn charge(&mut self, _ns: u64) {
         // Real time: work costs what it costs.
     }
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
 }
 
-/// Spawn `node` under `me`, bound to its socket from the book.
+/// Spawn `node` under `me`, bound to its socket from the book, with
+/// metrics on and the event trace off.
+///
+/// The socket is bound *before* the thread starts, so address-lookup and
+/// bind failures surface here instead of panicking the node thread.
+pub fn try_spawn_node(
+    node: Box<dyn Node>,
+    me: Addr,
+    book: AddressBook,
+) -> Result<NodeHandle, RuntimeError> {
+    try_spawn_node_with_obs(node, me, book, ObsConfig::default())
+}
+
+/// [`try_spawn_node`] with explicit observability configuration.
+pub fn try_spawn_node_with_obs(
+    node: Box<dyn Node>,
+    me: Addr,
+    book: AddressBook,
+    obs: ObsConfig,
+) -> Result<NodeHandle, RuntimeError> {
+    let bind = book.lookup(me).ok_or(RuntimeError::UnknownAddress(me))?;
+    let sock = std::net::UdpSocket::bind(bind)
+        .map_err(|source| RuntimeError::Bind { addr: me, source })?;
+    sock.set_nonblocking(true)
+        .map_err(|source| RuntimeError::Bind { addr: me, source })?;
+    let metrics = Arc::new(Metrics::new(obs));
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let metrics2 = metrics.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("{me}"))
+        .spawn(move || run_node(node, me, book, sock, stop2, metrics2))
+        .map_err(RuntimeError::Spawn)?;
+    Ok(NodeHandle {
+        stop,
+        join: Some(join),
+        metrics,
+        addr: me,
+    })
+}
+
+/// Deprecated panicking spawn.
 ///
 /// # Panics
 /// Panics if `me` is not in the book or the socket cannot be bound.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `try_spawn_node`, which reports lookup and bind failures as a `RuntimeError`"
+)]
 pub fn spawn_node(node: Box<dyn Node>, me: Addr, book: AddressBook) -> NodeHandle {
-    let stop = Arc::new(AtomicBool::new(false));
-    let stop2 = stop.clone();
-    let join = std::thread::Builder::new()
-        .name(format!("{me}"))
-        .spawn(move || run_node(node, me, book, stop2))
-        .expect("spawn node thread");
-    NodeHandle {
-        stop,
-        join: Some(join),
-        addr: me,
-    }
+    try_spawn_node(node, me, book).expect("spawn node")
 }
 
 fn run_node(
     mut node: Box<dyn Node>,
     me: Addr,
     book: AddressBook,
+    sock: std::net::UdpSocket,
     stop: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
 ) -> Box<dyn Node> {
     let rt = tokio::runtime::Builder::new_current_thread()
         .enable_all()
         .build()
         .expect("tokio runtime");
     rt.block_on(async move {
-        let bind = book.lookup(me).expect("address registered");
-        let sock = UdpSocket::bind(bind).await.expect("bind");
+        let sock = match UdpSocket::from_std(sock) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("node {me}: failed to register socket with tokio: {e}");
+                return node;
+            }
+        };
         let start = Instant::now();
         let mut next_timer_id: u64 = 1;
         // (deadline_ns, seq, timer_id, kind); seq breaks ties FIFO.
@@ -193,9 +460,15 @@ fn run_node(
 
             if let Some(d) = next_deadline.filter(|d| *d <= now_ns) {
                 // Something is due right now.
-                let timer_due = timers.peek().map(|Reverse((t, ..))| *t == d).unwrap_or(false)
+                let timer_due = timers
+                    .peek()
+                    .map(|Reverse((t, ..))| *t == d)
+                    .unwrap_or(false)
                     && timers.peek().map(|Reverse((t, ..))| *t).unwrap_or(u64::MAX)
-                        <= delayed.peek().map(|Reverse((t, ..))| *t).unwrap_or(u64::MAX);
+                        <= delayed
+                            .peek()
+                            .map(|Reverse((t, ..))| *t)
+                            .unwrap_or(u64::MAX);
                 if timer_due {
                     let Reverse((_, _, id, kind)) = timers.pop().expect("peeked");
                     if !cancelled.remove(&TimerId(id)) {
@@ -237,6 +510,7 @@ fn run_node(
                 timers: Vec::new(),
                 cancels: Vec::new(),
                 next_timer: next_timer_id,
+                metrics: metrics.clone(),
             };
             match (fired, received) {
                 (Some((id, kind)), _) => node.on_timer(id, kind, &mut ctx),
@@ -270,6 +544,7 @@ fn run_node(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::any::Any;
 
     #[test]
     fn address_book_localhost_layout() {
@@ -290,5 +565,71 @@ mod tests {
         // Reverse resolution names the sequencer (registered first).
         let seq_sock = book.lookup(Addr::Sequencer(GroupId(0))).unwrap();
         assert_eq!(book.resolve(seq_sock), Some(Addr::Sequencer(GroupId(0))));
+    }
+
+    #[test]
+    fn builder_matches_localhost_layout() {
+        let dep = AddressBook::builder()
+            .replicas(4)
+            .clients(2)
+            .group(GroupId(0))
+            .base_port(47100)
+            .build()
+            .unwrap();
+        assert_eq!(dep.replicas(), 4);
+        assert_eq!(dep.clients(), 2);
+        assert_eq!(
+            dep.replica_ids(),
+            vec![ReplicaId(0), ReplicaId(1), ReplicaId(2), ReplicaId(3)]
+        );
+        assert_eq!(dep.replica(0), Addr::Replica(ReplicaId(0)));
+        assert_eq!(dep.client(1), Addr::Client(ClientId(1)));
+        assert_eq!(dep.sequencer(), Addr::Sequencer(GroupId(0)));
+        let legacy = AddressBook::localhost(4, 2, GroupId(0), 47100);
+        for addr in [
+            dep.replica(0),
+            dep.replica(3),
+            dep.client(0),
+            dep.client(1),
+            dep.sequencer(),
+            dep.config_service(),
+            Addr::Multicast(GroupId(0)),
+        ] {
+            assert_eq!(dep.book().lookup(addr), legacy.lookup(addr), "{addr}");
+        }
+    }
+
+    #[test]
+    fn builder_rejects_exhausted_port_space() {
+        let err = AddressBook::builder()
+            .replicas(10)
+            .clients(10)
+            .base_port(u16::MAX - 3)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::PortSpace { needed: 22, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn spawn_of_unregistered_address_fails() {
+        struct Nop;
+        impl Node for Nop {
+            fn on_message(&mut self, _: Addr, _: &[u8], _: &mut dyn Context) {}
+            fn on_timer(&mut self, _: TimerId, _: u32, _: &mut dyn Context) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let err = try_spawn_node(Box::new(Nop), Addr::Config, AddressBook::new()).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::UnknownAddress(Addr::Config)),
+            "{err}"
+        );
     }
 }

@@ -5,7 +5,7 @@ use neobft::aom::{AuthMode, ConfigService, SequencerHw, SequencerNode};
 use neobft::app::{EchoApp, EchoWorkload, KvApp, KvOp, KvResult, YcsbConfig, YcsbGenerator};
 use neobft::core::{Client, NeoConfig, Replica};
 use neobft::crypto::{CostModel, SystemKeys};
-use neobft::runtime::{spawn_node, AddressBook};
+use neobft::runtime::AddressBook;
 use neobft::sim::{CpuConfig, FaultPlan, NetConfig, SimConfig, Simulator, SECS};
 use neobft::wire::{Addr, ClientId, GroupId, ReplicaId, SlotNum};
 
@@ -42,7 +42,13 @@ fn sim_cluster(
         sim.add_node(Addr::Replica(ReplicaId(r)), Box::new(replica));
     }
     for c in 0..n_clients as u64 {
-        let mut client = Client::new(ClientId(c), cfg.clone(), &keys, CostModel::FREE, workload(c));
+        let mut client = Client::new(
+            ClientId(c),
+            cfg.clone(),
+            &keys,
+            CostModel::FREE,
+            workload(c),
+        );
         client.max_ops = Some(ops);
         sim.add_node(Addr::Client(ClientId(c)), Box::new(client));
     }
@@ -75,7 +81,9 @@ fn replicated_kv_store_is_linearizable_per_key() {
     }
     // Identical logs ⇒ identical stores.
     let hash = |r: u32| {
-        let replica = sim.node_ref::<Replica>(Addr::Replica(ReplicaId(r))).unwrap();
+        let replica = sim
+            .node_ref::<Replica>(Addr::Replica(ReplicaId(r)))
+            .unwrap();
         let len = replica.log_len();
         (len, replica.log().hash_at(SlotNum(len.0 - 1)).unwrap())
     };
@@ -85,7 +93,9 @@ fn replicated_kv_store_is_linearizable_per_key() {
     }
     // Store contents agree key-by-key.
     let dump = |r: u32| {
-        let replica = sim.node_ref::<Replica>(Addr::Replica(ReplicaId(r))).unwrap();
+        let replica = sim
+            .node_ref::<Replica>(Addr::Replica(ReplicaId(r)))
+            .unwrap();
         let kv = replica
             .app()
             .as_any_ref()
@@ -196,23 +206,34 @@ fn results_reflect_a_single_global_order() {
 
 #[test]
 fn udp_runtime_commits_echo_ops() {
-    // The same state machines over real sockets: a small end-to-end run.
+    // The same state machines over real sockets: a small end-to-end run,
+    // deployed through the builder and the fallible spawn API.
     let n = 4;
     let keys = SystemKeys::new(10, n, 1);
     let cfg = NeoConfig::new(1);
-    let book = AddressBook::localhost(n, 1, GROUP, 46800);
+    let dep = AddressBook::builder()
+        .replicas(n)
+        .clients(1)
+        .group(GROUP)
+        .base_port(46800)
+        .build()
+        .expect("deployment fits the port space");
 
     let mut config = ConfigService::new();
-    config.register_group(GROUP, (0..n as u32).map(ReplicaId).collect(), 1);
-    let config_h = spawn_node(Box::new(config), Addr::Config, book.clone());
+    config.register_group(GROUP, dep.replica_ids(), 1);
+    let config_h = dep
+        .spawn(Box::new(config), dep.config_service())
+        .expect("config service spawns");
     let seq = SequencerNode::new(
         GROUP,
-        (0..n as u32).map(ReplicaId).collect(),
+        dep.replica_ids(),
         AuthMode::HmacVector,
         SequencerHw::Software(CostModel::FREE),
         &keys,
     );
-    let seq_h = spawn_node(Box::new(seq), Addr::Sequencer(GROUP), book.clone());
+    let seq_h = dep
+        .spawn(Box::new(seq), dep.sequencer())
+        .expect("sequencer spawns");
     let replica_hs: Vec<_> = (0..n as u32)
         .map(|r| {
             let replica = Replica::new(
@@ -222,7 +243,8 @@ fn udp_runtime_commits_echo_ops() {
                 CostModel::FREE,
                 Box::new(EchoApp::new()),
             );
-            spawn_node(Box::new(replica), Addr::Replica(ReplicaId(r)), book.clone())
+            dep.spawn(Box::new(replica), dep.replica(r as usize))
+                .expect("replica spawns")
         })
         .collect();
     let mut client = Client::new(
@@ -233,28 +255,30 @@ fn udp_runtime_commits_echo_ops() {
         Box::new(EchoWorkload::new(32, 1)),
     );
     client.max_ops = Some(30);
-    let client_h = spawn_node(Box::new(client), Addr::Client(ClientId(0)), book);
+    let client_h = dep
+        .spawn(Box::new(client), dep.client(0))
+        .expect("client spawns");
 
     // Wait up to 10 s of wall time for completion.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
     std::thread::sleep(std::time::Duration::from_millis(300));
     let node = loop {
         if std::time::Instant::now() > deadline {
-            break client_h.shutdown();
+            break client_h.try_shutdown().expect("client joins");
         }
         std::thread::sleep(std::time::Duration::from_millis(100));
         // No way to peek while running; rely on generous sleep then stop.
         if std::time::Instant::now() > deadline - std::time::Duration::from_secs(8) {
-            break client_h.shutdown();
+            break client_h.try_shutdown().expect("client joins");
         }
     };
     let client = node.as_any().downcast_ref::<Client>().unwrap();
     assert_eq!(client.completed.len(), 30, "all UDP ops commit");
     for h in replica_hs {
-        let node = h.shutdown();
+        let node = h.try_shutdown().expect("replica joins");
         let replica = node.as_any().downcast_ref::<Replica>().unwrap();
         assert_eq!(replica.stats.executed, 30);
     }
-    seq_h.shutdown();
-    config_h.shutdown();
+    seq_h.try_shutdown().expect("sequencer joins");
+    config_h.try_shutdown().expect("config service joins");
 }

@@ -1,0 +1,156 @@
+//! Observability integration tests: a simulated NeoBFT cluster emits
+//! per-phase counters and latency histograms through the `Context`
+//! metrics API, and disabling the layer changes nothing about the
+//! protocol outcome.
+
+use neobft::aom::{AuthMode, ConfigService, SequencerHw, SequencerNode};
+use neobft::app::{EchoApp, EchoWorkload};
+use neobft::core::{Client, NeoConfig, Replica};
+use neobft::crypto::{CostModel, SystemKeys};
+use neobft::sim::obs::ObsConfig;
+use neobft::sim::{CpuConfig, EventKind, FaultPlan, NetConfig, SimConfig, Simulator, SECS};
+use neobft::wire::{Addr, ClientId, GroupId, ReplicaId};
+
+const GROUP: GroupId = GroupId(0);
+const OPS: u64 = 20;
+
+/// A 4-replica NeoBFT cluster (f = 1) with one closed-loop echo client
+/// on a lossless fabric.
+fn neo_cluster(obs: ObsConfig) -> Simulator {
+    let cfg = NeoConfig::new(1);
+    let n = cfg.n;
+    let keys = SystemKeys::new(7, n, 1);
+    let mut sim = Simulator::new(SimConfig {
+        net: NetConfig::DATACENTER,
+        default_cpu: CpuConfig::IDEAL,
+        seed: 7,
+        faults: FaultPlan::none(),
+    });
+    sim.set_obs(obs);
+    let mut config = ConfigService::new();
+    config.register_group(GROUP, (0..n as u32).map(ReplicaId).collect(), cfg.f);
+    sim.add_node(Addr::Config, Box::new(config));
+    sim.add_node(
+        Addr::Sequencer(GROUP),
+        Box::new(SequencerNode::new(
+            GROUP,
+            (0..n as u32).map(ReplicaId).collect(),
+            AuthMode::HmacVector,
+            SequencerHw::Software(CostModel::FREE),
+            &keys,
+        )),
+    );
+    for r in 0..n as u32 {
+        sim.add_node(
+            Addr::Replica(ReplicaId(r)),
+            Box::new(Replica::new(
+                ReplicaId(r),
+                cfg.clone(),
+                &keys,
+                CostModel::FREE,
+                Box::new(EchoApp::new()),
+            )),
+        );
+    }
+    let mut client = Client::new(
+        ClientId(0),
+        cfg,
+        &keys,
+        CostModel::FREE,
+        Box::new(EchoWorkload::new(32, 1)),
+    );
+    client.max_ops = Some(OPS);
+    sim.add_node(Addr::Client(ClientId(0)), Box::new(client));
+    sim
+}
+
+fn completed(sim: &Simulator) -> usize {
+    sim.node_ref::<Client>(Addr::Client(ClientId(0)))
+        .expect("client")
+        .completed
+        .len()
+}
+
+#[test]
+fn lossless_run_commits_without_gap_agreement() {
+    let mut sim = neo_cluster(ObsConfig::default());
+    sim.run_until(5 * SECS);
+    assert_eq!(completed(&sim), OPS as usize);
+
+    let agg = sim.aggregate_metrics();
+    // Every replica executes and replies on the speculative fast path.
+    assert!(
+        agg.event(EventKind::Commit) >= OPS * 4,
+        "commits: {}",
+        agg.event(EventKind::Commit)
+    );
+    assert_eq!(
+        agg.event(EventKind::SpeculativeExecute),
+        agg.event(EventKind::Commit),
+        "every execution on a lossless fabric is speculative-then-replied"
+    );
+    assert_eq!(agg.event(EventKind::RequestReceived), OPS * 4);
+    // No drops ⇒ the gap agreement protocol never runs.
+    assert_eq!(agg.event(EventKind::GapFind), 0);
+    assert_eq!(agg.event(EventKind::GapCommit), 0);
+    assert_eq!(agg.event(EventKind::ViewChange), 0);
+    // Client latency histogram is populated and ordered.
+    let lat = agg.histograms.get("client.latency_ns").expect("latency");
+    assert_eq!(lat.count, OPS);
+    assert!(lat.min > 0 && lat.p50 <= lat.p99 && lat.p99 <= lat.max);
+    assert_eq!(agg.counters.get("client.ops_completed"), Some(&OPS));
+
+    // Per-replica snapshots carry the same phases individually.
+    for r in 0..4u32 {
+        let snap = sim
+            .metrics_snapshot(Addr::Replica(ReplicaId(r)))
+            .expect("replica snapshot");
+        assert_eq!(snap.event(EventKind::Commit), OPS, "replica {r}");
+        assert_eq!(snap.event(EventKind::GapCommit), 0, "replica {r}");
+    }
+}
+
+#[test]
+fn disabled_observability_changes_nothing() {
+    let mut on = neo_cluster(ObsConfig::default());
+    let mut off = neo_cluster(ObsConfig::disabled());
+    on.run_until(5 * SECS);
+    off.run_until(5 * SECS);
+    // Same protocol outcome, op for op.
+    let ops_on = &on
+        .node_ref::<Client>(Addr::Client(ClientId(0)))
+        .unwrap()
+        .completed;
+    let ops_off = &off
+        .node_ref::<Client>(Addr::Client(ClientId(0)))
+        .unwrap()
+        .completed;
+    assert_eq!(ops_on, ops_off, "observability must not perturb the run");
+    // But the disabled registry recorded nothing at all.
+    let agg = off.aggregate_metrics();
+    assert!(agg.events.is_empty());
+    assert!(agg.counters.is_empty());
+    assert!(agg.histograms.is_empty());
+}
+
+#[test]
+fn event_trace_records_protocol_history() {
+    let mut sim = neo_cluster(ObsConfig::default().with_trace(4096));
+    sim.run_until(5 * SECS);
+    assert_eq!(completed(&sim), OPS as usize);
+    let replica = Addr::Replica(ReplicaId(0));
+    let trace = sim.metrics(replica).expect("replica metrics").take_trace();
+    assert!(!trace.is_empty(), "trace captured events");
+    // Chronological, and attributed to the node that emitted them.
+    for pair in trace.windows(2) {
+        assert!(pair[0].at <= pair[1].at);
+    }
+    assert!(trace.iter().all(|rec| rec.node == replica));
+    // The first protocol event a replica sees is an incoming request.
+    assert_eq!(
+        trace[0].event.kind(),
+        EventKind::RequestReceived,
+        "first event: {:?}",
+        trace[0]
+    );
+}
