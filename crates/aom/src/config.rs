@@ -121,6 +121,7 @@ impl ConfigService {
             // reconfiguration delay.
             let key = self.next_pending;
             self.next_pending += 1;
+            // neo-lint: allow(R5, key is a local counter and the insert is gated by f+1 distinct in-group votes per epoch)
             self.pending.insert(key, (group, new_epoch));
             ctx.set_timer(self.reconfig_delay_ns, key);
         }

@@ -29,9 +29,10 @@ pub enum Envelope {
 }
 
 impl Envelope {
-    /// Encode to wire bytes.
+    /// Encode to wire bytes. Falls back to an empty datagram (which
+    /// every decoder rejects) if encoding fails rather than panicking.
     pub fn to_bytes(&self) -> Vec<u8> {
-        encode(self).expect("envelope types are always encodable")
+        encode(self).unwrap_or_default()
     }
 
     /// Decode from wire bytes.

@@ -1,6 +1,7 @@
 #![allow(clippy::int_plus_one, clippy::manual_is_multiple_of)]
 // Quorum arithmetic is kept literal: `votes >= f + 1` mirrors the
 // protocol text; `seq % n` mirrors the fault-injection spec.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! # neo-aom
 //!

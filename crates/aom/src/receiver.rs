@@ -50,6 +50,11 @@ pub enum AomError {
     /// Sequence number already delivered or declared dropped.
     #[error("stale sequence number")]
     Stale,
+    /// Sequence number too far beyond the delivery frontier; buffering
+    /// it would let a Byzantine sender grow memory without bound
+    /// (neo-lint R5).
+    #[error("sequence number beyond the receive window")]
+    OutOfWindow,
     /// Another message was already locked for this sequence number
     /// (Byzantine-network mode observed an equivocation attempt).
     #[error("conflicting message for locked sequence number")]
@@ -146,6 +151,11 @@ pub struct AomReceiverStats {
     pub chain_promoted: u64,
     /// Confirms this receiver generated for broadcast.
     pub confirms_generated: u64,
+    /// Packets/confirms rejected for landing beyond the receive window.
+    pub window_rejected: u64,
+    /// Internal failures (e.g. encoding our own wire types) survived
+    /// without panicking.
+    pub internal_errors: u64,
 }
 
 /// The receiver state machine.
@@ -183,9 +193,17 @@ pub struct AomReceiver {
     equivocations_rejected: u64,
     chain_promoted: u64,
     confirms_generated: u64,
+    window_rejected: u64,
+    internal_errors: u64,
 }
 
 impl AomReceiver {
+    /// How far past the delivery frontier (`next`) a sequence number may
+    /// land and still be buffered. Packets and confirms beyond the
+    /// window are rejected so a Byzantine sequencer or peer cannot grow
+    /// `pending_chain`/`confirms` without bound (neo-lint R5).
+    pub const SEQ_WINDOW: u64 = 4096;
+
     /// Build the receiver for replica `me` (at position `my_index` in the
     /// group membership) in a group tolerating `f` faulty receivers.
     pub fn new(
@@ -222,6 +240,8 @@ impl AomReceiver {
             equivocations_rejected: 0,
             chain_promoted: 0,
             confirms_generated: 0,
+            window_rejected: 0,
+            internal_errors: 0,
         }
     }
 
@@ -237,6 +257,8 @@ impl AomReceiver {
             equivocations_rejected: self.equivocations_rejected,
             chain_promoted: self.chain_promoted,
             confirms_generated: self.confirms_generated,
+            window_rejected: self.window_rejected,
+            internal_errors: self.internal_errors,
         }
     }
 
@@ -284,6 +306,10 @@ impl AomReceiver {
             self.stale_rejected += 1;
             return Err(AomError::Stale);
         }
+        if seq.0 > self.next.0 + Self::SEQ_WINDOW {
+            self.window_rejected += 1;
+            return Err(AomError::OutOfWindow);
+        }
 
         // Reject authenticator-type confusion: a receiver configured for
         // one scheme must not accept the other (the sequencer never mixes
@@ -330,6 +356,7 @@ impl AomReceiver {
                 None => {
                     // Signature skipped by the ratio controller: park it
                     // until a signed successor arrives (§4.4).
+                    // neo-lint: allow(R5, seq bounded to SEQ_WINDOW above)
                     self.pending_chain.insert(seq, pkt);
                     Ok(())
                 }
@@ -349,7 +376,7 @@ impl AomReceiver {
             if prev_seq == SeqNum(0) {
                 return;
             }
-            let Some(candidate) = self.pending_chain.get(&prev_seq) else {
+            let Some(candidate) = self.pending_chain.remove(&prev_seq) else {
                 return;
             };
             crypto
@@ -358,11 +385,10 @@ impl AomReceiver {
             let expect = chain(Digest::ZERO, &candidate.header.auth_input());
             if expect.0 != *prev_hash {
                 // Linkage broken: the parked packet is not the one the
-                // sequencer chained. Discard it.
-                self.pending_chain.remove(&prev_seq);
+                // sequencer chained. It stays discarded.
                 return;
             }
-            let promoted = self.pending_chain.remove(&prev_seq).expect("checked");
+            let promoted = candidate;
             self.chain_promoted += 1;
             self.accept(promoted.clone(), crypto);
             successor = promoted;
@@ -403,7 +429,13 @@ impl AomReceiver {
                         hash,
                         replica: self.me,
                     };
-                    let sig = crypto.sign(&encode(&body).expect("confirm encodes"));
+                    let Ok(body_bytes) = encode(&body) else {
+                        // Cannot even encode our own confirm: count it
+                        // and skip the broadcast rather than panic.
+                        self.internal_errors += 1;
+                        return;
+                    };
+                    let sig = crypto.sign(&body_bytes);
                     let sc = SignedConfirm {
                         body: body.clone(),
                         sig,
@@ -438,7 +470,14 @@ impl AomReceiver {
             self.stale_rejected += 1;
             return Err(AomError::Stale);
         }
-        let bytes = encode(&sc.body).expect("confirm encodes");
+        if sc.body.seq.0 > self.next.0 + Self::SEQ_WINDOW {
+            self.window_rejected += 1;
+            return Err(AomError::OutOfWindow);
+        }
+        let Ok(bytes) = encode(&sc.body) else {
+            self.internal_errors += 1;
+            return Err(AomError::BadAuth);
+        };
         crypto
             .verify(
                 neo_crypto::Principal::Replica(sc.body.replica),
@@ -447,10 +486,9 @@ impl AomReceiver {
             )
             .map_err(|_| AomError::BadAuth)?;
         let seq = sc.body.seq;
-        self.confirms
-            .entry(seq)
-            .or_default()
-            .insert(sc.body.replica, sc);
+        // neo-lint: allow(R5, seq bounded to SEQ_WINDOW above)
+        let slot_confirms = self.confirms.entry(seq).or_default();
+        slot_confirms.insert(sc.body.replica, sc);
         self.try_complete(seq);
         Ok(())
     }
@@ -619,7 +657,9 @@ impl AomReceiver {
                 {
                     continue;
                 }
-                let bytes = encode(&sc.body).expect("confirm encodes");
+                let Ok(bytes) = encode(&sc.body) else {
+                    continue;
+                };
                 if crypto
                     .verify(
                         neo_crypto::Principal::Replica(sc.body.replica),

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 //! Multi-group aom deployments (§3.2: "an aom deployment consists of one
 //! or multiple aom groups, each identified by a unique group address").
 //! Two independent groups share a fabric; each has its own sequencer,

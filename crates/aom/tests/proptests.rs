@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 //! Property-based tests of the aom ordering guarantee (§3.2): whatever
 //! subset of stamped packets arrives, in whatever order, every receiver
 //! delivers a *gap-free ordered* stream consistent with the sequencer's

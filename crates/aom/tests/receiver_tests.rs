@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 //! Receiver-library tests: every aom guarantee from §3.2, exercised
 //! through the public API with a real sequencer state machine on the
 //! other end.

@@ -94,8 +94,9 @@ pub struct HotStuffReplica {
     blocks: BTreeMap<u64, Block>,
     /// QCs by height.
     qcs: BTreeMap<u64, Qc>,
-    /// Leader: votes for the block at each height.
-    votes: HashMap<u64, HashMap<ReplicaId, Signature>>,
+    /// Leader: votes for the block at each height. BTreeMap so QC
+    /// signature lists assemble in deterministic order (neo-lint R1).
+    votes: BTreeMap<u64, BTreeMap<ReplicaId, Signature>>,
     /// Leader: request queue.
     queue: BatchQueue,
     /// Heights executed (committed via three-chain).
@@ -116,6 +117,13 @@ pub struct HotStuffReplica {
     pub messages_in: u64,
 }
 
+/// How far past the execution frontier a block height may land and
+/// still open leader vote-collection state (neo-lint R5 bound).
+const SEQ_WINDOW: u64 = 4096;
+/// Cap on verified-but-unbatched client signatures buffered at the
+/// leader (neo-lint R5 bound).
+const SIG_CACHE_MAX: usize = 4096;
+
 impl HotStuffReplica {
     /// Build replica `id`.
     pub fn new(
@@ -132,7 +140,7 @@ impl HotStuffReplica {
             app,
             blocks: BTreeMap::new(),
             qcs: BTreeMap::new(),
-            votes: HashMap::new(),
+            votes: BTreeMap::new(),
             queue: BatchQueue::default(),
             exec_next: 1,
             next_height: 1,
@@ -163,13 +171,12 @@ impl HotStuffReplica {
                 return;
             }
         }
+        let Ok(req_bytes) = encode(&req) else {
+            return;
+        };
         if self
             .crypto
-            .verify(
-                Principal::Client(req.client),
-                &encode(&req).expect("encodes"),
-                &sig,
-            )
+            .verify(Principal::Client(req.client), &req_bytes, &sig)
             .is_err()
         {
             return;
@@ -177,6 +184,11 @@ impl HotStuffReplica {
         if self.sig_cache.contains_key(&(req.client, req.request_id)) {
             return;
         }
+        if self.sig_cache.len() >= SIG_CACHE_MAX {
+            ctx.metrics().incr("replica.bounded_rejects");
+            return;
+        }
+        // neo-lint: allow(R5, size-capped at SIG_CACHE_MAX above)
         self.sig_cache.insert((req.client, req.request_id), sig);
         self.queue.push(req);
         if !self.proposal_timer_armed {
@@ -289,6 +301,7 @@ impl HotStuffReplica {
             return;
         }
         if justify.height > 0 {
+            // neo-lint: allow(R5, justify is quorum-signed — verify_qc above — so at most one QC can form per height)
             self.qcs.insert(justify.height, justify);
         }
         // Vote.
@@ -330,26 +343,31 @@ impl HotStuffReplica {
         {
             return;
         }
-        let votes = self.votes.entry(height).or_default();
-        votes.insert(replica, sig);
+        if height > self.exec_next + SEQ_WINDOW {
+            ctx.metrics().incr("replica.bounded_rejects");
+            return;
+        }
+        // neo-lint: allow(R5, height bounded to SEQ_WINDOW above)
+        let height_votes = self.votes.entry(height).or_default();
+        height_votes.insert(replica, sig);
         // The leader votes implicitly.
-        if let std::collections::hash_map::Entry::Vacant(e) = votes.entry(self.id) {
+        if let std::collections::btree_map::Entry::Vacant(e) = height_votes.entry(self.id) {
             let my_sig = self.crypto.sign(&vote_input(height, &digest));
             e.insert(my_sig);
         }
-        if votes.len() >= self.cfg.quorum() && self.high_qc.height < height {
-            let sigs: Vec<(ReplicaId, Signature)> = self
-                .votes
-                .get(&height)
-                .expect("present")
-                .iter()
-                .map(|(r, s)| (*r, s.clone()))
-                .collect();
+        let quorum_reached = height_votes.len() >= self.cfg.quorum();
+        let sigs: Vec<(ReplicaId, Signature)> = if quorum_reached {
+            height_votes.iter().map(|(r, s)| (*r, s.clone())).collect()
+        } else {
+            Vec::new()
+        };
+        if quorum_reached && self.high_qc.height < height {
             self.high_qc = Qc {
                 height,
                 digest,
                 sigs,
             };
+            // neo-lint: allow(R5, height bounded to SEQ_WINDOW above)
             self.qcs.insert(height, self.high_qc.clone());
             self.try_commit(ctx);
             // Chain the next proposal immediately.
@@ -455,7 +473,8 @@ pub struct HotStuffClient {
     pub core: ClientCore,
     cfg: BaselineConfig,
     crypto: NodeCrypto,
-    replies: HashMap<ReplicaId, (RequestId, Vec<u8>)>,
+    // BTreeMap: the reply-matching scan iterates this (neo-lint R1).
+    replies: BTreeMap<ReplicaId, (RequestId, Vec<u8>)>,
 }
 
 impl HotStuffClient {
@@ -472,7 +491,7 @@ impl HotStuffClient {
             core: ClientCore::new(id, workload, retry),
             cfg,
             crypto: NodeCrypto::new(Principal::Client(id), keys, costs),
-            replies: HashMap::new(),
+            replies: BTreeMap::new(),
         }
     }
 

@@ -170,6 +170,13 @@ pub struct MinBftReplica {
     pub messages_in: u64,
 }
 
+/// How far past the execution frontier a USIG counter may land and
+/// still open a protocol instance (neo-lint R5 bound).
+const SEQ_WINDOW: u64 = 4096;
+/// Cap on verified-but-unbatched client signatures buffered at the
+/// primary (neo-lint R5 bound).
+const SIG_CACHE_MAX: usize = 4096;
+
 impl MinBftReplica {
     /// Build replica `id`.
     pub fn new(
@@ -226,13 +233,12 @@ impl MinBftReplica {
                 return;
             }
         }
+        let Ok(req_bytes) = encode(&req) else {
+            return;
+        };
         if self
             .crypto
-            .verify(
-                Principal::Client(req.client),
-                &encode(&req).expect("encodes"),
-                &sig,
-            )
+            .verify(Principal::Client(req.client), &req_bytes, &sig)
             .is_err()
         {
             return;
@@ -240,6 +246,11 @@ impl MinBftReplica {
         if self.sig_cache.contains_key(&(req.client, req.request_id)) {
             return;
         }
+        if self.sig_cache.len() >= SIG_CACHE_MAX {
+            ctx.metrics().incr("replica.bounded_rejects");
+            return;
+        }
+        // neo-lint: allow(R5, size-capped at SIG_CACHE_MAX above)
         self.sig_cache.insert((req.client, req.request_id), sig);
         self.queue.push(req);
         self.try_prepare(ctx);
@@ -335,7 +346,10 @@ impl MinBftReplica {
         if view != self.view || self.is_primary() {
             return;
         }
-        let digest = sha256(&encode(&batch).expect("encodes"));
+        let Ok(batch_bytes) = encode(&batch) else {
+            return;
+        };
+        let digest = sha256(&batch_bytes);
         let primary = self.cfg.primary();
         if !Usig::verify_ui(
             primary,
@@ -351,13 +365,12 @@ impl MinBftReplica {
             return;
         }
         for (req, sig) in &batch {
+            let Ok(req_bytes) = encode(req) else {
+                return;
+            };
             if self
                 .crypto
-                .verify(
-                    Principal::Client(req.client),
-                    &encode(req).expect("encodes"),
-                    sig,
-                )
+                .verify(Principal::Client(req.client), &req_bytes, sig)
                 .is_err()
             {
                 return;
@@ -394,6 +407,11 @@ impl MinBftReplica {
         if !self.monotonic_ok(replica, ui.counter) {
             return;
         }
+        if prepare_counter > self.exec_next + SEQ_WINDOW {
+            ctx.metrics().incr("replica.bounded_rejects");
+            return;
+        }
+        // neo-lint: allow(R5, counter bounded to SEQ_WINDOW above)
         let inst = self.instances.entry(prepare_counter).or_default();
         if inst.digest.is_some() && inst.digest != Some(prepare_digest) {
             return;
@@ -492,7 +510,8 @@ pub struct MinBftClient {
     pub core: ClientCore,
     cfg: BaselineConfig,
     crypto: NodeCrypto,
-    replies: HashMap<ReplicaId, (RequestId, Vec<u8>)>,
+    // BTreeMap: the reply-matching scan iterates this (neo-lint R1).
+    replies: BTreeMap<ReplicaId, (RequestId, Vec<u8>)>,
 }
 
 impl MinBftClient {
@@ -509,7 +528,7 @@ impl MinBftClient {
             core: ClientCore::new(id, workload, retry),
             cfg,
             crypto: NodeCrypto::new(Principal::Client(id), keys, costs),
-            replies: HashMap::new(),
+            replies: BTreeMap::new(),
         }
     }
 

@@ -78,8 +78,10 @@ fn phase_mac_input(tag: u8, view: u64, seq: u64, digest: &Digest) -> Vec<u8> {
 struct Instance {
     batch: Option<Vec<(BaseRequest, Signature)>>,
     digest: Option<Digest>,
-    prepares: HashMap<ReplicaId, Digest>,
-    commits: HashMap<ReplicaId, Digest>,
+    // BTreeMap: quorum counting iterates these, and iteration order must
+    // be deterministic across replicas (neo-lint R1).
+    prepares: BTreeMap<ReplicaId, Digest>,
+    commits: BTreeMap<ReplicaId, Digest>,
     prepare_sent: bool,
     commit_sent: bool,
     executed: bool,
@@ -104,6 +106,13 @@ pub struct PbftReplica {
     /// Messages processed (Table 1 instrumentation).
     pub messages_in: u64,
 }
+
+/// How far past the execution frontier a sequence number may land and
+/// still open a protocol instance (neo-lint R5 bound).
+const SEQ_WINDOW: u64 = 4096;
+/// Cap on verified-but-unbatched client signatures buffered at the
+/// primary (neo-lint R5 bound).
+const SIG_CACHE_MAX: usize = 4096;
 
 impl PbftReplica {
     /// Build replica `id`.
@@ -206,13 +215,12 @@ impl PbftReplica {
                 return;
             }
         }
+        let Ok(req_bytes) = encode(&req) else {
+            return;
+        };
         if self
             .crypto
-            .verify(
-                Principal::Client(req.client),
-                &encode(&req).expect("encodes"),
-                &sig,
-            )
+            .verify(Principal::Client(req.client), &req_bytes, &sig)
             .is_err()
         {
             return;
@@ -221,7 +229,12 @@ impl PbftReplica {
         if self.sig_cache.contains_key(&(req.client, req.request_id)) {
             return;
         }
+        if self.sig_cache.len() >= SIG_CACHE_MAX {
+            ctx.metrics().incr("replica.bounded_rejects");
+            return;
+        }
         ctx.emit(Event::RequestReceived);
+        // neo-lint: allow(R5, size-capped at SIG_CACHE_MAX above)
         self.sig_cache.insert((req.client, req.request_id), sig);
         self.queue.push(req);
         self.try_open_batches(ctx);
@@ -250,18 +263,22 @@ impl PbftReplica {
         }
         // Verify client signatures in the batch.
         for (req, sig) in &batch {
+            let Ok(req_bytes) = encode(req) else {
+                return;
+            };
             if self
                 .crypto
-                .verify(
-                    Principal::Client(req.client),
-                    &encode(req).expect("encodes"),
-                    sig,
-                )
+                .verify(Principal::Client(req.client), &req_bytes, sig)
                 .is_err()
             {
                 return;
             }
         }
+        if seq > self.exec_next + SEQ_WINDOW {
+            ctx.metrics().incr("replica.bounded_rejects");
+            return;
+        }
+        // neo-lint: allow(R5, seq bounded to SEQ_WINDOW above)
         let inst = self.instances.entry(seq).or_default();
         if inst.batch.is_some() {
             return; // duplicate pre-prepare
@@ -307,6 +324,11 @@ impl PbftReplica {
         {
             return;
         }
+        if seq > self.exec_next + SEQ_WINDOW {
+            ctx.metrics().incr("replica.bounded_rejects");
+            return;
+        }
+        // neo-lint: allow(R5, seq bounded to SEQ_WINDOW above)
         let inst = self.instances.entry(seq).or_default();
         match tag {
             2 => {
@@ -465,7 +487,8 @@ pub struct PbftClient {
     pub core: ClientCore,
     cfg: BaselineConfig,
     crypto: NodeCrypto,
-    replies: HashMap<ReplicaId, (RequestId, Vec<u8>)>,
+    // BTreeMap: the reply-matching scan iterates this (neo-lint R1).
+    replies: BTreeMap<ReplicaId, (RequestId, Vec<u8>)>,
 }
 
 impl PbftClient {
@@ -482,7 +505,7 @@ impl PbftClient {
             core: ClientCore::new(id, workload, retry),
             cfg,
             crypto: NodeCrypto::new(Principal::Client(id), keys, costs),
-            replies: HashMap::new(),
+            replies: BTreeMap::new(),
         }
     }
 

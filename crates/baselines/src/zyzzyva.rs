@@ -106,6 +106,10 @@ pub struct ZyzzyvaReplica {
     pub messages_in: u64,
 }
 
+/// Cap on verified-but-unbatched client signatures buffered at the
+/// primary (neo-lint R5 bound).
+const SIG_CACHE_MAX: usize = 4096;
+
 impl ZyzzyvaReplica {
     /// Build replica `id`.
     pub fn new(
@@ -151,13 +155,12 @@ impl ZyzzyvaReplica {
                 return;
             }
         }
+        let Ok(req_bytes) = encode(&req) else {
+            return;
+        };
         if self
             .crypto
-            .verify(
-                Principal::Client(req.client),
-                &encode(&req).expect("encodes"),
-                &sig,
-            )
+            .verify(Principal::Client(req.client), &req_bytes, &sig)
             .is_err()
         {
             return;
@@ -165,6 +168,11 @@ impl ZyzzyvaReplica {
         if self.sig_cache.contains_key(&(req.client, req.request_id)) {
             return;
         }
+        if self.sig_cache.len() >= SIG_CACHE_MAX {
+            ctx.metrics().incr("replica.bounded_rejects");
+            return;
+        }
+        // neo-lint: allow(R5, size-capped at SIG_CACHE_MAX above)
         self.sig_cache.insert((req.client, req.request_id), sig);
         self.queue.push(req);
         self.try_order(ctx);
@@ -235,13 +243,12 @@ impl ZyzzyvaReplica {
             return;
         }
         for (req, sig) in &batch {
+            let Ok(req_bytes) = encode(req) else {
+                return;
+            };
             if self
                 .crypto
-                .verify(
-                    Principal::Client(req.client),
-                    &encode(req).expect("encodes"),
-                    sig,
-                )
+                .verify(Principal::Client(req.client), &req_bytes, sig)
                 .is_err()
             {
                 return;
@@ -331,13 +338,12 @@ impl ZyzzyvaReplica {
             {
                 continue;
             }
+            let Ok(body_bytes) = encode(body) else {
+                continue;
+            };
             if self
                 .crypto
-                .verify(
-                    Principal::Replica(body.replica),
-                    &encode(body).expect("encodes"),
-                    sig,
-                )
+                .verify(Principal::Replica(body.replica), &body_bytes, sig)
                 .is_ok()
             {
                 seen.insert(body.replica);
@@ -402,7 +408,9 @@ pub struct ZyzzyvaClient {
     pub core: ClientCore,
     cfg: BaselineConfig,
     crypto: NodeCrypto,
-    spec: HashMap<ReplicaId, (SpecBody, Vec<u8>, Signature)>,
+    // BTreeMap: `matching_set` iterates this, and the chosen maximal
+    // group must be the same on every run (neo-lint R1).
+    spec: BTreeMap<ReplicaId, (SpecBody, Vec<u8>, Signature)>,
     local_commits: HashMap<ReplicaId, RequestId>,
     fast_timer: Option<TimerId>,
     committing: bool,
@@ -426,7 +434,7 @@ impl ZyzzyvaClient {
             core: ClientCore::new(id, workload, retry),
             cfg,
             crypto: NodeCrypto::new(Principal::Client(id), keys, costs),
-            spec: HashMap::new(),
+            spec: BTreeMap::new(),
             local_commits: HashMap::new(),
             fast_timer: None,
             committing: false,
@@ -461,7 +469,8 @@ impl ZyzzyvaClient {
 
     /// The largest set of mutually matching spec-responses.
     fn matching_set(&self) -> Vec<(SpecBody, Signature)> {
-        let mut groups: HashMap<(u64, Digest, Digest), Vec<(SpecBody, Signature)>> = HashMap::new();
+        let mut groups: BTreeMap<(u64, Digest, Digest), Vec<(SpecBody, Signature)>> =
+            BTreeMap::new();
         for (body, _, sig) in self.spec.values() {
             groups
                 .entry((body.seq, body.history, body.result_digest))
@@ -487,13 +496,12 @@ impl ZyzzyvaClient {
         if body.request_id != p.request_id || self.committing {
             return;
         }
+        let Ok(body_bytes) = encode(&body) else {
+            return;
+        };
         if self
             .crypto
-            .verify(
-                Principal::Replica(body.replica),
-                &encode(&body).expect("encodes"),
-                &sig,
-            )
+            .verify(Principal::Replica(body.replica), &body_bytes, &sig)
             .is_err()
         {
             return;
@@ -505,11 +513,13 @@ impl ZyzzyvaClient {
         let best = self.matching_set();
         if best.len() == self.cfg.n {
             // Fast path: all 3f+1 match.
-            let result = self
-                .spec
-                .get(&best[0].0.replica)
+            let Some(result) = best
+                .first()
+                .and_then(|(b, _)| self.spec.get(&b.replica))
                 .map(|(_, r, _)| r.clone())
-                .expect("present");
+            else {
+                return;
+            };
             self.fast_commits += 1;
             self.core.complete(result, ctx);
             self.start_next(ctx);

@@ -1,0 +1,413 @@
+//! A minimal Rust tokenizer for `neo-lint`.
+//!
+//! The container this repo builds in cannot assume `syn` (or any
+//! crates.io dependency) is available, so the rule engine runs over a
+//! hand-rolled token stream instead of a full AST. The lexer only needs
+//! to be precise about the things that would otherwise produce false
+//! findings: comments (line, nested block), string literals (plain,
+//! raw, byte), char literals vs. lifetimes, and line numbers. Operators
+//! are emitted one character at a time — the rules match multi-char
+//! sequences (`::`) as consecutive punct tokens.
+
+/// Token kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Any literal (number, string, char, byte string).
+    Literal,
+    /// A lifetime (`'a`) — kept distinct so char-literal handling stays
+    /// honest.
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (single char for punct).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the punct character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// An inline waiver: `// neo-lint: allow(R2, reason...)`.
+///
+/// A waiver on line N suppresses matching findings on line N and N+1,
+/// so it works both as a trailing comment and as a comment on the line
+/// above the flagged expression.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Rule id, lowercase (`r1`..`r5`), or `*` for all rules.
+    pub rule: String,
+    /// Free-text justification (required, may be empty only for `*`).
+    pub reason: String,
+}
+
+/// Lexer output: tokens plus the waivers found in comments.
+pub struct Lexed {
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// Inline waivers.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes are skipped so the
+/// linter degrades gracefully on exotic input instead of crashing.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut toks = Vec::new();
+    let mut waivers = Vec::new();
+
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc comments).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            parse_waivers(&text, line, &mut waivers);
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let text: String = b[start..i.min(b.len())].iter().collect();
+            parse_waivers(&text, start_line, &mut waivers);
+            continue;
+        }
+        // Raw / byte string prefixes: r", r#", br", b", br#".
+        if (c == 'r' || c == 'b') && is_string_prefix(&b, i) {
+            let (ni, nl) = consume_prefixed_string(&b, i, line);
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::from("\"…\""),
+                line,
+            });
+            i = ni;
+            line = nl;
+            continue;
+        }
+        // Plain string.
+        if c == '"' {
+            let (ni, nl) = consume_string(&b, i, line);
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::from("\"…\""),
+                line,
+            });
+            i = ni;
+            line = nl;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            if is_lifetime(&b, i) {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            } else {
+                // Char literal: consume to the closing quote, honoring
+                // escapes.
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' {
+                        i += 2;
+                    } else if b[i] == '\'' {
+                        i += 1;
+                        break;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::from("'…'"),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Number literal (handles `1..n`: the dot is consumed only when
+        // followed by a digit).
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < b.len() {
+                let d = b[i];
+                if d.is_alphanumeric() || d == '_' {
+                    i += 1;
+                } else if d == '.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Single punctuation char.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    Lexed { toks, waivers }
+}
+
+/// True if position `i` (at 'r' or 'b') starts a raw/byte string.
+fn is_string_prefix(b: &[char], i: usize) -> bool {
+    let c = b[i];
+    let next = |k: usize| b.get(i + k).copied().unwrap_or('\0');
+    match c {
+        'r' => next(1) == '"' || (next(1) == '#' && (next(2) == '#' || next(2) == '"')),
+        'b' => next(1) == '"' || (next(1) == 'r' && (next(2) == '"' || next(2) == '#')),
+        _ => false,
+    }
+}
+
+/// Consume `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` starting at `i`.
+/// Returns (next index, next line).
+fn consume_prefixed_string(b: &[char], mut i: usize, mut line: u32) -> (usize, u32) {
+    let mut raw = false;
+    if b[i] == 'b' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == 'r' {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while raw && i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == '"' {
+        i += 1;
+    }
+    if raw {
+        // Scan for `"` followed by `hashes` hash marks; no escapes.
+        while i < b.len() {
+            if b[i] == '\n' {
+                line += 1;
+                i += 1;
+                continue;
+            }
+            if b[i] == '"' {
+                let mut k = 0usize;
+                while k < hashes && b.get(i + 1 + k) == Some(&'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return (i + 1 + hashes, line);
+                }
+            }
+            i += 1;
+        }
+        (i, line)
+    } else {
+        consume_string_body(b, i, line)
+    }
+}
+
+/// Consume a plain string starting at the opening quote at `i`.
+fn consume_string(b: &[char], i: usize, line: u32) -> (usize, u32) {
+    consume_string_body(b, i + 1, line)
+}
+
+/// Consume a (non-raw) string body starting just after the opening
+/// quote; handles `\"` and `\\` escapes and multi-line strings.
+fn consume_string_body(b: &[char], mut i: usize, mut line: u32) -> (usize, u32) {
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return (i + 1, line),
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+/// Distinguish `'a` (lifetime) from `'a'` (char literal) at a `'`.
+fn is_lifetime(b: &[char], i: usize) -> bool {
+    let first = match b.get(i + 1) {
+        Some(c) => *c,
+        None => return false,
+    };
+    if !(first.is_alphabetic() || first == '_') {
+        return false; // '\n', '0', etc.: char literal
+    }
+    // `'x'` is a char literal; `'x` followed by anything else is a
+    // lifetime. `'static` has more letters before any quote.
+    b.get(i + 2) != Some(&'\'')
+}
+
+/// Extract `neo-lint: allow(rule, reason)` waivers from comment text.
+fn parse_waivers(comment: &str, first_line: u32, out: &mut Vec<Waiver>) {
+    for (off, text) in comment.lines().enumerate() {
+        let line = first_line + off as u32;
+        let mut rest = text;
+        while let Some(pos) = rest.find("neo-lint:") {
+            rest = &rest[pos + "neo-lint:".len()..];
+            let trimmed = rest.trim_start();
+            let Some(args) = trimmed.strip_prefix("allow(") else {
+                continue;
+            };
+            let Some(end) = args.find(')') else {
+                continue;
+            };
+            let inner = &args[..end];
+            let (rule, reason) = match inner.split_once(',') {
+                Some((r, why)) => (r.trim(), why.trim()),
+                None => (inner.trim(), ""),
+            };
+            if !rule.is_empty() {
+                out.push(Waiver {
+                    line,
+                    rule: rule.to_ascii_lowercase(),
+                    reason: reason.to_string(),
+                });
+            }
+            rest = &args[end..];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts() {
+        let l = lex("fn foo(x: u32) { x.iter() }");
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["fn", "foo", "x", "u32", "x", "iter"]);
+    }
+
+    #[test]
+    fn comments_and_strings_are_skipped() {
+        let l = lex("let s = \"iter() // not code\"; // .unwrap()\n/* .expect( */ let t = 1;");
+        assert!(!l.toks.iter().any(|t| t.is_ident("iter")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("expect")));
+        assert!(l.toks.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let l = lex("let r = r#\"has \"quotes\" and .unwrap()\"#; let c = '\\''; let lt: &'static str = \"x\";");
+        assert!(!l.toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Lifetime));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn waivers_parse() {
+        let l = lex("x(); // neo-lint: allow(R2, bounded by quorum math)\n// neo-lint: allow(*, test scaffolding)\n");
+        assert_eq!(l.waivers.len(), 2);
+        assert_eq!(l.waivers[0].rule, "r2");
+        assert_eq!(l.waivers[0].reason, "bounded by quorum math");
+        assert_eq!(l.waivers[0].line, 1);
+        assert_eq!(l.waivers[1].rule, "*");
+    }
+
+    #[test]
+    fn numeric_ranges_do_not_eat_dots() {
+        let l = lex("for i in 0..n {}");
+        assert!(l.toks.iter().any(|t| t.text == "0"));
+        assert!(l.toks.iter().any(|t| t.is_ident("n")));
+        let dots = l.toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! `neo-lint` CLI.
+//!
+//! ```text
+//! neo-lint [--root DIR] [--format text|json] [--baseline FILE]
+//!          [--write-baseline] [--no-baseline] [paths...]
+//! ```
+//!
+//! With no paths, lints the default sans-IO scope under `--root`
+//! (default: current directory). Explicit paths (files or directories)
+//! override the scope — used by CI to prove the gate trips on a seeded
+//! violation fixture.
+//!
+//! Exit codes: 0 = clean or fully baselined; 1 = findings beyond the
+//! baseline; 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: PathBuf,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    no_baseline: bool,
+    paths: Vec<PathBuf>,
+}
+
+#[derive(PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+/// Write to stdout, ignoring a closed pipe (`neo-lint | head` must not
+/// panic — R2 applies to us too).
+fn emit(s: &str) {
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(s.as_bytes());
+}
+
+fn usage() -> String {
+    let mut s = String::from(
+        "neo-lint: protocol-invariant static analysis for the NeoBFT workspace\n\n\
+         usage: neo-lint [--root DIR] [--format text|json] [--baseline FILE]\n\
+         \x20               [--write-baseline] [--no-baseline] [paths...]\n\nrules:\n",
+    );
+    for (id, name) in neo_lint::rules::RULES {
+        s.push_str("  ");
+        s.push_str(id);
+        s.push(' ');
+        s.push_str(name);
+        s.push('\n');
+    }
+    s
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        format: Format::Text,
+        baseline: None,
+        write_baseline: false,
+        no_baseline: false,
+        paths: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a value")?);
+            }
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                _ => return Err("--format must be `text` or `json`".into()),
+            },
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    args.next().ok_or("--baseline needs a value")?,
+                ));
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            "--no-baseline" => opts.no_baseline = true,
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            if e.is_empty() {
+                emit(&usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = if opts.paths.is_empty() {
+        neo_lint::lint_default_scope(&opts.root)
+    } else {
+        neo_lint::lint_paths(&opts.root, &opts.paths)
+    };
+    let findings = match findings {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint-baseline.tsv"));
+
+    if opts.write_baseline {
+        let s = neo_lint::report::baseline_to_string(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, s) {
+            eprintln!("error: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "wrote baseline for {} finding(s) to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if opts.no_baseline {
+        Default::default()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => neo_lint::report::parse_baseline(&s),
+            Err(_) => Default::default(), // no baseline file: everything is new
+        }
+    };
+    let violations = neo_lint::report::compare_to_baseline(&findings, &baseline);
+    let ok = violations.is_empty();
+
+    match opts.format {
+        Format::Text => {
+            emit(&neo_lint::report::to_text(&findings));
+            if ok {
+                eprintln!(
+                    "neo-lint: {} finding(s), all within baseline",
+                    findings.len()
+                );
+            } else {
+                eprintln!("neo-lint: findings beyond baseline:");
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+            }
+        }
+        Format::Json => {
+            emit(&neo_lint::report::to_json(&findings, &violations, ok));
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

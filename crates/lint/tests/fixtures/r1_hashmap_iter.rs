@@ -1,0 +1,27 @@
+// Fixture for R1 no-nondeterministic-iteration. Expected: exactly 3 R1
+// findings (two HashMap/HashSet loops, one `.values()` call); the
+// BTreeMap loop is clean. This file is lint input, never compiled.
+use std::collections::{HashMap, HashSet};
+
+struct State {
+    slots: HashMap<u64, u32>,
+    peers: HashSet<u32>,
+    ordered: std::collections::BTreeMap<u64, u32>,
+}
+
+impl State {
+    fn scan(&self) -> u32 {
+        let mut acc = 0;
+        for (_k, v) in &self.slots {
+            acc += v;
+        }
+        for p in self.peers.iter() {
+            acc += p;
+        }
+        acc += self.slots.values().sum::<u32>();
+        for (_k, v) in &self.ordered {
+            acc += v;
+        }
+        acc
+    }
+}

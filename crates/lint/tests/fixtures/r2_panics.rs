@@ -1,0 +1,21 @@
+// Fixture for R2 no-panic-in-handlers. Expected: exactly 5 R2 findings
+// inside `on_message` (unwrap, expect, indexing, panic!, unreachable!);
+// the same unwrap in the non-handler `helper` is clean. This file is
+// lint input, never compiled.
+struct Node;
+
+impl Node {
+    fn on_message(&mut self, data: Option<u32>, buf: &[u8]) {
+        let v = data.unwrap();
+        let w = data.expect("present");
+        if buf[0] == 0 {
+            panic!("zero tag");
+        }
+        let _ = (v, w);
+        unreachable!();
+    }
+
+    fn helper(&self, data: Option<u32>) -> u32 {
+        data.unwrap()
+    }
+}

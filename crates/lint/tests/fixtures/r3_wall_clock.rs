@@ -1,0 +1,13 @@
+// Fixture for R3 no-wall-clock-or-ambient-rand. Expected: exactly 3 R3
+// findings (Instant::now, SystemTime, thread_rng). This file is lint
+// input, never compiled.
+fn timestamp() -> u64 {
+    let _t = std::time::Instant::now();
+    let _s = std::time::SystemTime::now();
+    0
+}
+
+fn jitter() -> u32 {
+    let _rng = thread_rng();
+    0
+}

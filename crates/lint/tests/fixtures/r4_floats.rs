@@ -1,0 +1,8 @@
+// Fixture for R4 no-float-in-replicated-state. Expected: exactly 2 R4
+// findings (the f64 and f32 fields); the integer field is clean. This
+// file is lint input, never compiled.
+struct ReplicatedState {
+    balance: f64,
+    ratio: f32,
+    count: u64,
+}

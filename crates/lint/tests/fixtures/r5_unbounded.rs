@@ -1,0 +1,20 @@
+// Fixture for R5 no-unbounded-collection-growth. Expected: exactly 2
+// R5 findings (client-keyed HashMap insert, client-keyed BTreeMap
+// entry — determinism does not make growth bounded); the
+// ReplicaId-keyed insert is clean because the replica set is fixed.
+// This file is lint input, never compiled.
+use std::collections::{BTreeMap, HashMap};
+
+struct Replica {
+    client_table: HashMap<u64, u32>,
+    buffered: BTreeMap<u64, u32>,
+    per_replica: HashMap<ReplicaId, u32>,
+}
+
+impl Replica {
+    fn on_request(&mut self, from: u64, r: ReplicaId) {
+        self.client_table.insert(from, 0);
+        self.buffered.entry(from).or_insert(0);
+        self.per_replica.insert(r, 0);
+    }
+}

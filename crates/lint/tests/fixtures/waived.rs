@@ -1,0 +1,19 @@
+// Fixture for waiver handling. Every violation below carries a
+// `neo-lint: allow(...)` waiver (same line or the line above), so the
+// expected finding count is exactly 0. This file is lint input, never
+// compiled.
+use std::collections::HashMap;
+
+struct S {
+    m: HashMap<u64, u32>,
+}
+
+impl S {
+    fn on_tick(&mut self, v: Option<u32>) {
+        // neo-lint: allow(R2, fixture demonstrates waivers)
+        let _x = v.unwrap();
+        let _n = self.m.values().count(); // neo-lint: allow(R1, fixture demonstrates waivers)
+        // neo-lint: allow(R5, fixture demonstrates waivers)
+        self.m.insert(0, 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Fixture-based tests: one intentionally-bad fixture per rule under
+//! `tests/fixtures/`, asserting exact finding counts, plus a fixture
+//! proving waivers suppress.
+
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> Vec<neo_lint::Finding> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    neo_lint::lint_paths(&dir, &[PathBuf::from(name)]).expect("fixture lints")
+}
+
+fn count(findings: &[neo_lint::Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn r1_fixture_has_exact_findings() {
+    let f = fixture("r1_hashmap_iter.rs");
+    assert_eq!(count(&f, "R1"), 3, "findings: {f:#?}");
+    assert_eq!(f.len(), 3, "no other rules should fire: {f:#?}");
+}
+
+#[test]
+fn r2_fixture_has_exact_findings() {
+    let f = fixture("r2_panics.rs");
+    assert_eq!(count(&f, "R2"), 5, "findings: {f:#?}");
+    assert_eq!(f.len(), 5, "no other rules should fire: {f:#?}");
+    // The non-handler `helper` unwrap must not be flagged.
+    assert!(f.iter().all(|x| x.message.contains("on_message")));
+}
+
+#[test]
+fn r3_fixture_has_exact_findings() {
+    let f = fixture("r3_wall_clock.rs");
+    assert_eq!(count(&f, "R3"), 3, "findings: {f:#?}");
+    assert_eq!(f.len(), 3, "no other rules should fire: {f:#?}");
+}
+
+#[test]
+fn r4_fixture_has_exact_findings() {
+    let f = fixture("r4_floats.rs");
+    assert_eq!(count(&f, "R4"), 2, "findings: {f:#?}");
+    assert_eq!(f.len(), 2, "no other rules should fire: {f:#?}");
+}
+
+#[test]
+fn r5_fixture_has_exact_findings() {
+    let f = fixture("r5_unbounded.rs");
+    assert_eq!(count(&f, "R5"), 2, "findings: {f:#?}");
+    assert_eq!(f.len(), 2, "no other rules should fire: {f:#?}");
+    // The ReplicaId-keyed map must not be flagged.
+    assert!(f.iter().all(|x| !x.message.contains("per_replica")));
+}
+
+#[test]
+fn waivers_suppress_all_findings() {
+    let f = fixture("waived.rs");
+    assert!(f.is_empty(), "waived fixture must be clean: {f:#?}");
+}
+
+#[test]
+fn findings_are_sorted_and_stable() {
+    let f = fixture("r2_panics.rs");
+    let mut sorted = f.clone();
+    sorted
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    assert_eq!(f, sorted);
+    // Deterministic across runs — the report is baseline input.
+    assert_eq!(f, fixture("r2_panics.rs"));
+}

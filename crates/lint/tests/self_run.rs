@@ -1,0 +1,45 @@
+//! Workspace self-run: lint the real protocol crates and hold the
+//! result to the checked-in baseline — and hold `neobft`/`aom` handler
+//! paths to a stricter bar (no R1/R2 at all, baselined or not).
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn baseline_matches_workspace() {
+    let root = workspace_root();
+    let findings = neo_lint::lint_default_scope(&root).expect("lint workspace");
+    let baseline_src =
+        std::fs::read_to_string(root.join("lint-baseline.tsv")).expect("lint-baseline.tsv exists");
+    let baseline = neo_lint::report::parse_baseline(&baseline_src);
+    let counts = neo_lint::report::count_by_rule_file(&findings);
+    assert_eq!(
+        counts, baseline,
+        "workspace findings drifted from lint-baseline.tsv; if the change is intentional, \
+         regenerate with `cargo run -p neo-lint -- --write-baseline` and review the diff"
+    );
+}
+
+#[test]
+fn neobft_and_aom_handler_paths_have_no_r1_r2() {
+    let root = workspace_root();
+    let findings = neo_lint::lint_paths(
+        &root,
+        &[
+            PathBuf::from("crates/neobft/src"),
+            PathBuf::from("crates/aom/src"),
+        ],
+    )
+    .expect("lint neobft + aom");
+    let bad: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "R1" || f.rule == "R2")
+        .collect();
+    assert!(
+        bad.is_empty(),
+        "R1/R2 findings in neobft/aom must be fixed, not baselined: {bad:#?}"
+    );
+}

@@ -14,7 +14,7 @@ use neo_crypto::{CostModel, NodeCrypto, Principal, SystemKeys};
 use neo_sim::{Context, Node, TimerId};
 use neo_wire::{Addr, ClientId, ReplicaId, RequestId};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A completed operation record for the experiment harness.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,7 +44,9 @@ struct Pending {
     issued_at: u64,
     retries: u32,
     /// Replies keyed by replica; the quorum check groups matching ones.
-    replies: HashMap<ReplicaId, Reply>,
+    /// BTreeMap so the quorum grouping below iterates deterministically
+    /// (neo-lint R1).
+    replies: BTreeMap<ReplicaId, Reply>,
     retry_timer: TimerId,
 }
 
@@ -115,29 +117,31 @@ impl Client {
             op: op.clone(),
             issued_at: ctx.now(),
             retries: 0,
-            replies: HashMap::new(),
+            replies: BTreeMap::new(),
             retry_timer,
         });
         self.send_request(ctx);
     }
 
-    fn signed_request(&self) -> SignedRequest {
-        let p = self.pending.as_ref().expect("pending request");
+    fn signed_request(&self) -> Option<SignedRequest> {
+        let p = self.pending.as_ref()?;
         let request = Request {
             op: p.op.clone(),
             request_id: p.request_id,
             client: self.id,
         };
-        let bytes = neo_wire::encode(&request).expect("requests encode");
+        let bytes = neo_wire::encode(&request).ok()?;
         let peers: Vec<neo_crypto::Principal> = (0..self.cfg.n as u32)
             .map(|r| neo_crypto::Principal::Replica(ReplicaId(r)))
             .collect();
         let auth = self.crypto.mac_vector(&peers, &bytes);
-        SignedRequest { request, auth }
+        Some(SignedRequest { request, auth })
     }
 
     fn send_request(&mut self, ctx: &mut dyn Context) {
-        let signed = self.signed_request();
+        let Some(signed) = self.signed_request() else {
+            return;
+        };
         let bytes = self.sender.wrap(signed.to_bytes(), &self.crypto);
         ctx.send(self.sender.dest(), bytes);
     }
@@ -146,7 +150,9 @@ impl Client {
         // Keep multicasting via aom *and* unicast to every replica
         // (§5.3).
         self.send_request(ctx);
-        let signed = self.signed_request();
+        let Some(signed) = self.signed_request() else {
+            return;
+        };
         let unicast = NeoMsg::RequestUnicast(signed).to_app_bytes();
         for r in 0..self.cfg.n as u32 {
             ctx.send(Addr::Replica(ReplicaId(r)), unicast.clone());
@@ -167,7 +173,9 @@ impl Client {
         if reply.replica.index() >= self.cfg.n {
             return;
         }
-        let bytes = neo_wire::encode(&reply).expect("replies encode");
+        let Ok(bytes) = neo_wire::encode(&reply) else {
+            return;
+        };
         if self
             .crypto
             .verify_mac_from(Principal::Replica(reply.replica), &bytes, &tag)
@@ -178,8 +186,8 @@ impl Client {
         p.replies.insert(reply.replica, reply);
         // Quorum: 2f+1 replies matching on (view, slot, log_hash, result).
         let quorum = self.cfg.quorum();
-        let mut groups: HashMap<(u64, u64, u64, neo_crypto::Digest, Vec<u8>), usize> =
-            HashMap::new();
+        let mut groups: BTreeMap<(u64, u64, u64, neo_crypto::Digest, Vec<u8>), usize> =
+            BTreeMap::new();
         for r in p.replies.values() {
             let key = (
                 r.view.epoch.0,
@@ -188,10 +196,13 @@ impl Client {
                 r.log_hash,
                 r.result.clone(),
             );
+            // neo-lint: allow(R5, at most n per-replica replies feed this map)
             *groups.entry(key).or_default() += 1;
         }
         if let Some((key, _)) = groups.into_iter().find(|(_, c)| *c >= quorum) {
-            let p = self.pending.take().expect("pending");
+            let Some(p) = self.pending.take() else {
+                return;
+            };
             ctx.cancel_timer(p.retry_timer);
             let completed_at = ctx.now();
             {

@@ -1,0 +1,30 @@
+//! Typed protocol errors.
+//!
+//! Handler paths must never panic on Byzantine input: anything
+//! malformed degrades to a dropped message, anything that violates an
+//! internal invariant is surfaced as a [`ProtocolError`] and counted on
+//! the `replica.protocol_errors` obs counter instead of crashing the
+//! replica (neo-lint rule R2).
+
+use neo_wire::SlotNum;
+use thiserror::Error;
+
+/// A recoverable protocol-level failure. None of these abort the
+/// replica; they drop the offending message or skip the offending
+/// step and increment `ReplicaStats::protocol_errors`.
+#[derive(Clone, Debug, PartialEq, Eq, Error)]
+pub enum ProtocolError {
+    /// Serialization of an outgoing body failed (should be impossible
+    /// for our own wire types, but must not panic a replica mid-vote).
+    #[error("failed to encode outgoing {0}")]
+    Encode(&'static str),
+    /// A log slot expected to be filled has no hash yet.
+    #[error("log hash missing for executed slot {0:?}")]
+    MissingLogHash(SlotNum),
+    /// A log fill targeted a slot whose prefix is not resolved.
+    #[error("log fill rejected at slot {0:?}")]
+    FillRejected(SlotNum),
+    /// A gap decision claimed `recv` but carried no certificate.
+    #[error("recv gap decision without a certificate at slot {0:?}")]
+    MissingCertificate(SlotNum),
+}

@@ -1,4 +1,5 @@
 #![allow(clippy::int_plus_one)] // quorum arithmetic stays literal: `count >= f + 1`
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 //! # neo-core — the NeoBFT protocol (§5)
 //!
@@ -34,12 +35,14 @@
 
 pub mod client;
 pub mod config;
+pub mod error;
 pub mod log;
 pub mod messages;
 pub mod replica;
 
 pub use client::{Client, CompletedOp};
 pub use config::NeoConfig;
+pub use error::ProtocolError;
 pub use log::{Log, LogEntry};
 pub use messages::{GapCert, NeoMsg, Reply, Request, SignedRequest};
 pub use replica::Replica;

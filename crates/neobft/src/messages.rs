@@ -12,8 +12,15 @@ use neo_wire::{encode, ClientId, EpochNum, ReplicaId, RequestId, SlotNum, ViewId
 use serde::{de::DeserializeOwned, Deserialize, Serialize};
 
 /// Sign a message body as this node.
+///
+/// Encoding our own wire types cannot fail in practice; if it ever
+/// does, the fallback is an empty signature that never verifies —
+/// peers drop the message instead of this node panicking mid-protocol.
 pub fn sign_body<T: Serialize>(body: &T, crypto: &NodeCrypto) -> Signature {
-    crypto.sign(&encode(body).expect("protocol bodies encode"))
+    match encode(body) {
+        Ok(bytes) => crypto.sign(&bytes),
+        Err(_) => Signature::empty(),
+    }
 }
 
 /// Verify a message body's signature against a principal.
@@ -23,9 +30,10 @@ pub fn verify_body<T: Serialize + DeserializeOwned>(
     signer: Principal,
     crypto: &NodeCrypto,
 ) -> bool {
-    crypto
-        .verify(signer, &encode(body).expect("protocol bodies encode"), sig)
-        .is_ok()
+    let Ok(bytes) = encode(body) else {
+        return false;
+    };
+    crypto.verify(signer, &bytes, sig).is_ok()
 }
 
 /// A client operation request (§5.3): ⟨request, op, request-id⟩σc.
@@ -58,9 +66,10 @@ pub struct SignedRequest {
 }
 
 impl SignedRequest {
-    /// Encode to aom payload bytes.
+    /// Encode to aom payload bytes. Falls back to an empty payload
+    /// (which no replica accepts) if encoding fails.
     pub fn to_bytes(&self) -> Vec<u8> {
-        encode(self).expect("requests encode")
+        encode(self).unwrap_or_default()
     }
 
     /// Decode from aom payload bytes.
@@ -253,9 +262,10 @@ pub enum NeoMsg {
 }
 
 impl NeoMsg {
-    /// Encode as `Envelope::App` payload bytes.
+    /// Encode as `Envelope::App` payload bytes. Falls back to an empty
+    /// payload (which no peer decodes) if encoding fails.
     pub fn to_app_bytes(&self) -> Vec<u8> {
-        neo_aom::Envelope::App(encode(self).expect("neo msgs encode")).to_bytes()
+        neo_aom::Envelope::App(encode(self).unwrap_or_default()).to_bytes()
     }
 
     /// Decode from the inner bytes of an `Envelope::App`.
@@ -267,8 +277,8 @@ impl NeoMsg {
 /// The digest a leader signs for a gap decision: binds view, slot, and
 /// the decision content without re-serializing certificates twice.
 pub fn gap_decision_digest(view: ViewId, slot: SlotNum, decision: &GapDecisionBody) -> Vec<u8> {
-    let mut bytes = encode(&(view, slot)).expect("encodes");
-    bytes.extend_from_slice(neo_crypto::sha256(&encode(decision).expect("encodes")).as_bytes());
+    let mut bytes = encode(&(view, slot)).unwrap_or_default();
+    bytes.extend_from_slice(neo_crypto::sha256(&encode(decision).unwrap_or_default()).as_bytes());
     bytes
 }
 

@@ -7,6 +7,7 @@
 //! tokio transport.
 
 use crate::config::NeoConfig;
+use crate::error::ProtocolError;
 use crate::log::{Log, LogEntry};
 use crate::messages::{
     gap_decision_digest, sign_body, verify_body, EpochCert, EpochStartBody, GapDecisionBody,
@@ -51,6 +52,8 @@ pub struct ReplicaStats {
     pub messages_in: u64,
     /// Sync points advanced.
     pub sync_points: u64,
+    /// Recoverable protocol errors (dropped instead of panicking).
+    pub protocol_errors: u64,
 }
 
 /// Pending timer meanings.
@@ -76,16 +79,18 @@ enum TimerPayload {
 struct GapState {
     /// Leader: the first valid ordering certificate received.
     recv: Option<OrderingCert>,
-    /// Leader: gap-drop votes.
-    drops: HashMap<ReplicaId, (GapDropBody, Signature)>,
+    /// Leader: gap-drop votes. BTreeMap: vote sets end up inside signed
+    /// decisions and certificates, so their order is wire-visible and
+    /// must not depend on hash seeds (neo-lint R1).
+    drops: BTreeMap<ReplicaId, (GapDropBody, Signature)>,
     /// Leader: decision already broadcast.
     decision_sent: bool,
     /// All: validated decision from the leader (`true` = recv).
     decision: Option<(bool, Option<OrderingCert>, GapDecisionBody)>,
     /// All: prepare votes.
-    prepares: HashMap<ReplicaId, (GapVoteBody, Signature)>,
+    prepares: BTreeMap<ReplicaId, (GapVoteBody, Signature)>,
     /// All: commit votes.
-    commits: HashMap<ReplicaId, (GapVoteBody, Signature)>,
+    commits: BTreeMap<ReplicaId, (GapVoteBody, Signature)>,
     /// All: my prepare / commit already sent.
     prepared: bool,
     committed: bool,
@@ -111,15 +116,18 @@ struct ClientEntry {
 /// View-change collection state.
 #[derive(Default)]
 struct ViewChangeState {
-    /// Valid view-change messages per proposed view.
-    msgs: BTreeMap<ViewId, HashMap<ReplicaId, (ViewChangeBody, Signature)>>,
+    /// Valid view-change messages per proposed view. Both levels are
+    /// BTreeMaps: the quorum selected in `maybe_start_view` goes on the
+    /// wire, so the pick must be order-stable (neo-lint R1).
+    msgs: BTreeMap<ViewId, BTreeMap<ReplicaId, (ViewChangeBody, Signature)>>,
     /// My own view-change message for the view I am proposing.
     own: Option<(ViewChangeBody, Signature)>,
     resend_timer: Option<TimerId>,
     /// view-start already processed for this view.
     started: bool,
     /// Epoch-start votes: (epoch, slot) → replica → signed body.
-    epoch_votes: HashMap<(EpochNum, SlotNum), HashMap<ReplicaId, (EpochStartBody, Signature)>>,
+    /// BTreeMaps: the votes become the broadcast epoch certificate.
+    epoch_votes: BTreeMap<(EpochNum, SlotNum), BTreeMap<ReplicaId, (EpochStartBody, Signature)>>,
     /// My pending epoch entry after a merge, awaiting the certificate.
     awaiting_epoch: Option<(EpochNum, SlotNum)>,
 }
@@ -148,17 +156,21 @@ pub struct Replica {
     /// Slots executed as requests (for rollback accounting): slot →
     /// executed-as-request flag.
     executed_req: Vec<bool>,
+    /// Point lookups only (never iterated), so HashMap stays safe here.
     client_table: HashMap<ClientId, ClientEntry>,
-    gaps: HashMap<SlotNum, GapState>,
+    /// BTreeMap: `maybe_sync` walks this map and the result is signed.
+    gaps: BTreeMap<SlotNum, GapState>,
     timers: HashMap<TimerId, TimerPayload>,
     aom_gap_timer: Option<(SeqNum, TimerId)>,
     vc: ViewChangeState,
     /// Epoch certificates I have collected (for my view-change messages).
     epoch_certs: Vec<(EpochNum, SlotNum, EpochCert)>,
-    /// Unicast-fallback requests awaiting aom delivery.
+    /// Unicast-fallback requests awaiting aom delivery (point lookups
+    /// only; size-capped in `on_request_unicast`).
     unicast_watch: HashMap<(ClientId, RequestId), TimerId>,
-    /// State-sync votes per slot.
-    sync_votes: HashMap<SlotNum, HashMap<ReplicaId, SyncBody>>,
+    /// State-sync votes per slot. BTreeMaps: `check_sync` iterates both
+    /// levels when applying certified no-ops.
+    sync_votes: BTreeMap<SlotNum, BTreeMap<ReplicaId, SyncBody>>,
     sync_point: SlotNum,
     last_sync_slot: SlotNum,
     /// Packets stamped in a future epoch, buffered until this replica
@@ -211,13 +223,13 @@ impl Replica {
             exec_cursor: SlotNum(0),
             executed_req: Vec::new(),
             client_table: HashMap::new(),
-            gaps: HashMap::new(),
+            gaps: BTreeMap::new(),
             timers: HashMap::new(),
             aom_gap_timer: None,
             vc: ViewChangeState::default(),
             epoch_certs: Vec::new(),
             unicast_watch: HashMap::new(),
-            sync_votes: HashMap::new(),
+            sync_votes: BTreeMap::new(),
             sync_point: SlotNum(0),
             last_sync_slot: SlotNum(0),
             future_epoch: std::collections::BTreeMap::new(),
@@ -290,6 +302,13 @@ impl Replica {
         ctx.send(Addr::Replica(r), msg.to_app_bytes());
     }
 
+    /// Record a recoverable protocol error: count it, never panic.
+    fn note_error(&mut self, err: ProtocolError, ctx: &mut dyn Context) {
+        self.stats.protocol_errors += 1;
+        ctx.metrics().incr("replica.protocol_errors");
+        let _ = err;
+    }
+
     fn arm(&mut self, delay: u64, payload: TimerPayload, ctx: &mut dyn Context) -> TimerId {
         // The timer kind discriminates in on_timer via the payload map;
         // the u32 kind itself is unused (always 1 = "protocol timer").
@@ -311,6 +330,28 @@ impl Replica {
     const CONFIRM_BATCH: usize = 8;
     /// How long a confirm may wait for batching before it is flushed.
     const CONFIRM_FLUSH_NS: u64 = 40 * neo_sim::MICROS;
+    /// How far past the log tail remote messages may create per-slot
+    /// agreement/sync state (neo-lint R5: Byzantine peers naming
+    /// far-future slots must not grow maps at will).
+    const SLOT_WINDOW: u64 = 4096;
+    /// How many epochs past the installed one packets and votes are
+    /// buffered.
+    const FUTURE_EPOCH_WINDOW: u64 = 4;
+    /// Concurrent unicast-fallback watchdog cap.
+    const UNICAST_WATCH_MAX: usize = 4096;
+    /// Distinct proposed views / epoch positions buffered during view
+    /// changes.
+    const VC_BUFFER_MAX: usize = 64;
+
+    /// R5 growth bound shared by the gap and sync handlers; a rejected
+    /// slot is counted, not processed.
+    fn slot_in_window(&self, slot: SlotNum, ctx: &mut dyn Context) -> bool {
+        if slot.0 > self.log.len().0 + Self::SLOT_WINDOW {
+            ctx.metrics().incr("replica.bounded_rejects");
+            return false;
+        }
+        true
+    }
 
     fn pump_aom(&mut self, ctx: &mut dyn Context) {
         // Queue confirms the receiver produced (Byzantine-network mode)
@@ -367,6 +408,8 @@ impl Replica {
                 );
                 m.set_gauge("aom.chain_promoted", s.chain_promoted as i64);
                 m.set_gauge("aom.confirms_generated", s.confirms_generated as i64);
+                m.set_gauge("aom.window_rejected", s.window_rejected as i64);
+                m.set_gauge("aom.internal_errors", s.internal_errors as i64);
             }
         }
         self.update_gap_timer(ctx);
@@ -379,14 +422,17 @@ impl Replica {
         if self.pending_confirms.is_empty() {
             return;
         }
-        let batch = std::mem::take(&mut self.pending_confirms);
+        let mut batch = std::mem::take(&mut self.pending_confirms);
         ctx.emit(Event::ConfirmBatch {
             size: batch.len() as u32,
         });
         ctx.metrics()
             .observe("replica.confirm_batch_size", batch.len() as u64);
         let env = if batch.len() == 1 {
-            Envelope::Confirm(batch.into_iter().next().expect("len checked"))
+            match batch.pop() {
+                Some(sc) => Envelope::Confirm(sc),
+                None => return,
+            }
         } else {
             Envelope::ConfirmBatch(batch)
         };
@@ -469,29 +515,36 @@ impl Replica {
                     self.exec_cursor = self.exec_cursor.next();
                 }
                 LogEntry::Request(oc) => {
-                    self.execute_slot(slot, &oc, ctx);
+                    if let Err(e) = self.execute_slot(slot, &oc, ctx) {
+                        self.note_error(e, ctx);
+                    }
                     self.exec_cursor = self.exec_cursor.next();
                 }
             }
         }
     }
 
-    fn execute_slot(&mut self, slot: SlotNum, oc: &OrderingCert, ctx: &mut dyn Context) {
+    fn execute_slot(
+        &mut self,
+        slot: SlotNum,
+        oc: &OrderingCert,
+        ctx: &mut dyn Context,
+    ) -> Result<(), ProtocolError> {
         let Some(signed) = SignedRequest::from_bytes(&oc.packet.payload) else {
-            return; // malformed request: consistent no-op everywhere
+            return Ok(()); // malformed request: consistent no-op everywhere
         };
         let req = &signed.request;
         // Client authentication: verify my entry of the request's MAC
         // vector. A request forged in the client's name must not be
         // executed (it would still occupy the slot).
         if !self.verify_request_auth(&signed) {
-            return;
+            return Ok(());
         }
         // At-most-once (§C.1): re-execution of an old request only
         // re-sends the cached reply.
         if let Some(entry) = self.client_table.get(&req.client) {
             if req.request_id < entry.last_request {
-                return;
+                return Ok(());
             }
             if req.request_id == entry.last_request {
                 if let Some(cached) = entry.cached_reply.clone() {
@@ -499,9 +552,14 @@ impl Replica {
                         ctx.send(Addr::Client(req.client), cached);
                     }
                 }
-                return;
+                return Ok(());
             }
         }
+        // Resolve the log hash before mutating anything: a missing hash
+        // is an internal invariant breach, not a reason to crash.
+        let Some(log_hash) = self.log.hash_at(slot) else {
+            return Err(ProtocolError::MissingLogHash(slot));
+        };
         let result = self.app.execute(&req.op);
         self.stats.executed += 1;
         // Execution here is ahead of the stable sync point — the paper's
@@ -514,11 +572,13 @@ impl Replica {
             view: self.view,
             replica: self.id,
             slot,
-            log_hash: self.log.hash_at(slot).expect("executed slot is filled"),
+            log_hash,
             request_id: req.request_id,
             result,
         };
-        let bytes = neo_wire::encode(&reply).expect("replies encode");
+        let Ok(bytes) = neo_wire::encode(&reply) else {
+            return Err(ProtocolError::Encode("reply"));
+        };
         let tag = self.crypto.mac_for(Principal::Client(req.client), &bytes);
         let msg = NeoMsg::Reply(reply, tag).to_app_bytes();
         self.client_table.insert(
@@ -538,6 +598,7 @@ impl Replica {
         }
         self.stats.replies_sent += 1;
         ctx.emit(Event::Commit { slot: slot.0 });
+        Ok(())
     }
 
     /// Roll the application back so that `slot` is the next to execute.
@@ -717,7 +778,9 @@ impl Replica {
         let Some(tag) = signed.auth.get(self.id.index()) else {
             return false;
         };
-        let bytes = neo_wire::encode(&signed.request).expect("requests encode");
+        let Ok(bytes) = neo_wire::encode(&signed.request) else {
+            return false; // unencodable request: drop, never panic
+        };
         self.crypto
             .verify_mac_from(Principal::Client(signed.request.client), &bytes, tag)
             .is_ok()
@@ -752,8 +815,9 @@ impl Replica {
             None => {
                 if self.log.is_pending(slot) {
                     self.send_gap_drop(slot, ctx);
-                } else {
+                } else if self.slot_in_window(slot, ctx) {
                     // The slot is beyond my log: answer when it arrives.
+                    // neo-lint: allow(R5, slot_in_window-bounded above)
                     self.gaps.entry(slot).or_default().find_pending = true;
                 }
             }
@@ -770,9 +834,10 @@ impl Replica {
         if view != self.view || !self.is_leader() || self.status != Status::Normal {
             return;
         }
-        if !self.verify_oc_for_slot(&oc, slot) {
+        if !self.verify_oc_for_slot(&oc, slot) || !self.slot_in_window(slot, ctx) {
             return;
         }
+        // neo-lint: allow(R5, slot_in_window-bounded above)
         let gap = self.gaps.entry(slot).or_default();
         if gap.decision_sent || gap.resolved {
             return;
@@ -790,6 +855,10 @@ impl Replica {
         }
         let quorum = self.cfg.quorum();
         let slot = body.slot;
+        if !self.slot_in_window(slot, ctx) {
+            return;
+        }
+        // neo-lint: allow(R5, slot_in_window-bounded above)
         let gap = self.gaps.entry(slot).or_default();
         if gap.decision_sent || gap.resolved {
             return;
@@ -907,6 +976,10 @@ impl Replica {
         if !verify_body(&body, &sig, Principal::Replica(body.replica), &self.crypto) {
             return;
         }
+        if !self.slot_in_window(body.slot, ctx) {
+            return;
+        }
+        // neo-lint: allow(R5, slot_in_window-bounded above)
         let gap = self.gaps.entry(body.slot).or_default();
         if gap.resolved {
             return;
@@ -922,6 +995,10 @@ impl Replica {
         if !verify_body(&body, &sig, Principal::Replica(body.replica), &self.crypto) {
             return;
         }
+        if !self.slot_in_window(body.slot, ctx) {
+            return;
+        }
+        // neo-lint: allow(R5, slot_in_window-bounded above)
         let gap = self.gaps.entry(body.slot).or_default();
         if gap.resolved {
             return;
@@ -973,7 +1050,12 @@ impl Replica {
         }
         // Commit the slot.
         if recv {
-            let oc = oc.expect("recv decision carries a certificate");
+            let Some(oc) = oc else {
+                // adopt_decision validated the decision, so this cannot
+                // happen; degrade to a counted error rather than a panic.
+                self.note_error(ProtocolError::MissingCertificate(slot), ctx);
+                return;
+            };
             if self.log.is_pending(slot) || slot == self.log.len() {
                 self.fill_slot(slot, LogEntry::Request(oc), ctx);
             }
@@ -1003,14 +1085,17 @@ impl Replica {
             self.log.append_pending();
             self.executed_req.push(false);
         }
-        self.log.fill(slot, entry).expect("prefix resolved");
+        if self.log.fill(slot, entry).is_err() {
+            self.note_error(ProtocolError::FillRejected(slot), ctx);
+            return;
+        }
         if self.executed_req.len() < self.log.len().index() {
             self.executed_req.resize(self.log.len().index(), false);
         }
     }
 
     fn resolve_gap(&mut self, slot: SlotNum, _committed: bool, ctx: &mut dyn Context) {
-        let timers: Vec<TimerId> = {
+        let to_disarm: Vec<TimerId> = {
             let Some(gap) = self.gaps.get_mut(&slot) else {
                 return;
             };
@@ -1021,7 +1106,7 @@ impl Replica {
                 .chain(gap.agreement_timer.take())
                 .collect()
         };
-        for t in timers {
+        for t in to_disarm {
             self.disarm(t, ctx);
         }
         self.try_execute(ctx);
@@ -1076,6 +1161,10 @@ impl Replica {
             return;
         }
         let slot = body.slot;
+        if slot <= self.sync_point || !self.slot_in_window(slot, ctx) {
+            return; // settled or far-future: nothing to collect
+        }
+        // neo-lint: allow(R5, slot_in_window-bounded above and pruned in check_sync)
         self.sync_votes
             .entry(slot)
             .or_default()
@@ -1116,6 +1205,9 @@ impl Replica {
             }
         }
         self.sync_point = slot;
+        // Settled rounds can never reach quorum again: prune them so the
+        // vote map stays bounded (neo-lint R5).
+        self.sync_votes = self.sync_votes.split_off(&SlotNum(slot.0 + 1));
         self.stats.sync_points += 1;
         ctx.metrics().incr("replica.sync_points");
         // Finalized: drop undo history for everything at or before the
@@ -1207,11 +1299,19 @@ impl Replica {
             return;
         }
         let new_view = body.new_view;
-        self.vc
-            .msgs
-            .entry(new_view)
-            .or_default()
-            .insert(body.replica, (body, sig));
+        // R5 bound: cap distinct proposed views; reclaim room from views
+        // below the current one before rejecting.
+        if !self.vc.msgs.contains_key(&new_view) && self.vc.msgs.len() >= Self::VC_BUFFER_MAX {
+            let cur = self.view;
+            self.vc.msgs.retain(|v, _| *v >= cur);
+            if self.vc.msgs.len() >= Self::VC_BUFFER_MAX {
+                ctx.metrics().incr("replica.bounded_rejects");
+                return;
+            }
+        }
+        // neo-lint: allow(R5, size-capped with pruning above)
+        let per_view = self.vc.msgs.entry(new_view).or_default();
+        per_view.insert(body.replica, (body, sig));
         // Join rule: f+1 replicas moving to a higher view means at least
         // one correct replica did — follow them.
         let count = self.vc.msgs.get(&new_view).map(|m| m.len()).unwrap_or(0);
@@ -1429,12 +1529,28 @@ impl Replica {
         if !verify_body(&body, &sig, Principal::Replica(body.replica), &self.crypto) {
             return;
         }
-        self.vc
-            .epoch_votes
-            .entry((body.epoch, body.start_slot))
-            .or_default()
-            .insert(body.replica, (body, sig));
-        self.check_epoch_start(body.epoch, body.start_slot, ctx);
+        // R5 bounds: reject epochs far past the installed one, and cap
+        // the distinct (epoch, slot) positions buffered (pruning
+        // positions below the installed epoch first).
+        if body.epoch.0 > self.aom.epoch().0 + Self::FUTURE_EPOCH_WINDOW {
+            ctx.metrics().incr("replica.bounded_rejects");
+            return;
+        }
+        let key = (body.epoch, body.start_slot);
+        if !self.vc.epoch_votes.contains_key(&key)
+            && self.vc.epoch_votes.len() >= Self::VC_BUFFER_MAX
+        {
+            let cur = self.aom.epoch();
+            self.vc.epoch_votes.retain(|(e, _), _| *e >= cur);
+            if self.vc.epoch_votes.len() >= Self::VC_BUFFER_MAX {
+                ctx.metrics().incr("replica.bounded_rejects");
+                return;
+            }
+        }
+        // neo-lint: allow(R5, epoch-windowed and size-capped above)
+        let votes = self.vc.epoch_votes.entry(key).or_default();
+        votes.insert(body.replica, (body, sig));
+        self.check_epoch_start(key.0, key.1, ctx);
     }
 
     fn check_epoch_start(&mut self, epoch: EpochNum, slot: SlotNum, ctx: &mut dyn Context) {
@@ -1463,6 +1579,9 @@ impl Replica {
             let _ = self.aom.on_packet(pkt, &self.crypto);
         }
         self.vc.awaiting_epoch = None;
+        // Votes at or below the installed epoch are settled: prune them
+        // so the buffer stays bounded (neo-lint R5).
+        self.vc.epoch_votes.retain(|(e, _), _| *e > epoch);
         self.enter_view(ctx);
     }
 
@@ -1510,11 +1629,18 @@ impl Replica {
         // Not yet delivered by aom: arm the sequencer-suspicion watchdog.
         let key = (req.client, req.request_id);
         if !self.unicast_watch.contains_key(&key) {
+            // R5 bound: an overflow denies the fallback path (clients
+            // retry through aom), never memory.
+            if self.unicast_watch.len() >= Self::UNICAST_WATCH_MAX {
+                ctx.metrics().incr("replica.bounded_rejects");
+                return;
+            }
             let t = self.arm(
                 self.cfg.unicast_watchdog_ns,
                 TimerPayload::UnicastWatchdog(key.0, key.1),
                 ctx,
             );
+            // neo-lint: allow(R5, size-capped above)
             self.unicast_watch.insert(key, t);
         }
     }
@@ -1605,6 +1731,7 @@ impl Replica {
                         TimerPayload::UnicastWatchdog(client, request_id),
                         ctx,
                     );
+                    // neo-lint: allow(R5, re-arms the key removed at handler entry; no net growth)
                     self.unicast_watch.insert((client, request_id), t);
                 }
             }
@@ -1706,9 +1833,16 @@ impl Node for Replica {
                 if pkt.header.epoch > self.aom.epoch() {
                     // Stamped by a newer sequencer than we have installed:
                     // park it until the epoch-switching view change lands.
-                    let buf = self.future_epoch.entry(pkt.header.epoch).or_default();
-                    if buf.len() < 65_536 {
-                        buf.push(pkt);
+                    // R5 bounds: a small window of future epochs, 64k
+                    // packets each.
+                    if pkt.header.epoch.0 > self.aom.epoch().0 + Self::FUTURE_EPOCH_WINDOW {
+                        ctx.metrics().incr("replica.bounded_rejects");
+                    } else {
+                        // neo-lint: allow(R5, epoch-windowed and size-capped above)
+                        let buf = self.future_epoch.entry(pkt.header.epoch).or_default();
+                        if buf.len() < 65_536 {
+                            buf.push(pkt);
+                        }
                     }
                 } else {
                     // Feed the receiver even mid-view-change (it only

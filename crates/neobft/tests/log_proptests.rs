@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 //! Property-based tests of the replica log's hash-chain invariants.
 
 use neo_aom::{AomPacket, OrderingCert};

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic freely
+
 //! End-to-end NeoBFT protocol tests in the simulator: the fast path, the
 //! gap protocols, Byzantine participants, and sequencer failover.
 
