@@ -158,11 +158,10 @@ impl Node for ConfigService {
         };
         // Tell the (new) sequencer to install, then announce to receivers.
         let install = Envelope::Config(ConfigMsg::InstallSequencer { group, epoch });
-        ctx.send(Addr::Sequencer(group), install.to_bytes());
-        let announce = Envelope::Config(ConfigMsg::NewEpoch { group, epoch });
-        for r in &state.receivers {
-            ctx.send(Addr::Replica(*r), announce.to_bytes());
-        }
+        ctx.send(Addr::Sequencer(group), install.to_payload());
+        // One encode for the whole group; fan-out is refcount bumps.
+        let announce = Envelope::Config(ConfigMsg::NewEpoch { group, epoch }).to_payload();
+        ctx.broadcast(&state.receivers, announce);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -193,7 +192,7 @@ mod tests {
     }
 
     struct Collect {
-        got: Vec<(Addr, Vec<u8>)>,
+        got: Vec<(Addr, neo_wire::Payload)>,
     }
     impl Context for Collect {
         fn now(&self) -> u64 {
@@ -202,13 +201,13 @@ mod tests {
         fn me(&self) -> Addr {
             Addr::Config
         }
-        fn send_after(&mut self, to: Addr, payload: Vec<u8>, _d: u64) {
+        fn send_after(&mut self, to: Addr, payload: neo_wire::Payload, _d: u64) {
             self.got.push((to, payload));
         }
         fn set_timer(&mut self, _delay: u64, kind: u32) -> TimerId {
             // Fire "timers" synchronously in this harness by recording
             // them as a special send.
-            self.got.push((Addr::Config, vec![kind as u8]));
+            self.got.push((Addr::Config, vec![kind as u8].into()));
             TimerId(kind as u64)
         }
         fn cancel_timer(&mut self, _t: TimerId) {}

@@ -9,7 +9,7 @@
 use crate::config::ConfigMsg;
 use crate::receiver::SignedConfirm;
 use crate::AomPacket;
-use neo_wire::{decode, encode, CodecError};
+use neo_wire::{decode, encode, CodecError, Payload};
 use serde::{Deserialize, Serialize};
 
 /// Top-level wire message.
@@ -33,6 +33,12 @@ impl Envelope {
     /// every decoder rejects) if encoding fails rather than panicking.
     pub fn to_bytes(&self) -> Vec<u8> {
         encode(self).unwrap_or_default()
+    }
+
+    /// Encode to a shared [`Payload`], the form every `Context::send`
+    /// takes. Encode once, then fan out with refcount bumps.
+    pub fn to_payload(&self) -> Payload {
+        self.to_bytes().into()
     }
 
     /// Decode from wire bytes.

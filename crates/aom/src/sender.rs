@@ -7,7 +7,7 @@
 
 use crate::{AomPacket, Envelope};
 use neo_crypto::NodeCrypto;
-use neo_wire::{Addr, AomHeader, GroupId};
+use neo_wire::{Addr, AomHeader, GroupId, Payload};
 
 /// Sender-side library: wraps payloads into unstamped aom packets.
 #[derive(Clone, Debug)]
@@ -31,12 +31,13 @@ impl AomSender {
         Addr::Multicast(self.group)
     }
 
-    /// Build the wire bytes for one aom message carrying `payload`.
-    /// The digest is computed (and metered) through the node's crypto.
-    pub fn wrap(&self, payload: Vec<u8>, crypto: &NodeCrypto) -> Vec<u8> {
+    /// Build the shared wire payload for one aom message carrying
+    /// `payload`. The digest is computed (and metered) through the
+    /// node's crypto.
+    pub fn wrap(&self, payload: Vec<u8>, crypto: &NodeCrypto) -> Payload {
         let digest = crypto.digest(&payload);
         let header = AomHeader::unstamped(self.group, digest.0);
-        Envelope::Aom(AomPacket { header, payload }).to_bytes()
+        Envelope::Aom(AomPacket { header, payload }).to_payload()
     }
 }
 

@@ -215,12 +215,13 @@ impl SequencerNode {
     }
 
     fn multicast(&self, pkt: &AomPacket, latency: u64, skip_set: &[usize], ctx: &mut dyn Context) {
-        let bytes = Envelope::Aom(pkt.clone()).to_bytes();
+        // Encode once; each receiver costs a refcount bump, not a copy.
+        let payload = Envelope::Aom(pkt.clone()).to_payload();
         for (i, r) in self.receivers.iter().enumerate() {
             if skip_set.contains(&i) {
                 continue;
             }
-            ctx.send_after(Addr::Replica(*r), bytes.clone(), latency);
+            ctx.send_after(Addr::Replica(*r), payload.clone(), latency);
         }
     }
 
@@ -317,10 +318,11 @@ impl Node for SequencerNode {
 mod tests {
     use super::*;
     use neo_sim::Duration;
+    use neo_wire::Payload;
 
     struct Collect {
         now: u64,
-        sends: Vec<(Addr, Vec<u8>, u64)>,
+        sends: Vec<(Addr, Payload, u64)>,
         charged: u64,
     }
     impl Collect {
@@ -348,7 +350,7 @@ mod tests {
         fn me(&self) -> Addr {
             Addr::Sequencer(GroupId(0))
         }
-        fn send_after(&mut self, to: Addr, payload: Vec<u8>, d: Duration) {
+        fn send_after(&mut self, to: Addr, payload: Payload, d: Duration) {
             self.sends.push((to, payload, d));
         }
         fn set_timer(&mut self, _delay: Duration, _kind: u32) -> TimerId {

@@ -154,7 +154,7 @@ fn cross_group_packets_are_rejected_by_receivers() {
         SequencerHw::Software(CostModel::FREE),
         &keys,
     );
-    struct Collect(Vec<(Addr, Vec<u8>)>);
+    struct Collect(Vec<(Addr, neo_wire::Payload)>);
     impl neo_sim::Context for Collect {
         fn now(&self) -> u64 {
             0
@@ -162,7 +162,7 @@ fn cross_group_packets_are_rejected_by_receivers() {
         fn me(&self) -> Addr {
             Addr::Sequencer(G2)
         }
-        fn send_after(&mut self, to: Addr, p: Vec<u8>, _: u64) {
+        fn send_after(&mut self, to: Addr, p: neo_wire::Payload, _: u64) {
             self.0.push((to, p));
         }
         fn set_timer(&mut self, _: u64, _: u32) -> TimerId {

@@ -12,13 +12,13 @@ use neo_aom::{
 };
 use neo_crypto::{CostModel, NodeCrypto, Principal, SystemKeys};
 use neo_sim::{Context, Node, TimerId};
-use neo_wire::{Addr, AomHeader, ClientId, GroupId, ReplicaId, SeqNum};
+use neo_wire::{Addr, AomHeader, ClientId, GroupId, Payload, ReplicaId, SeqNum};
 use proptest::prelude::*;
 
 const G: GroupId = GroupId(0);
 
 struct Collect {
-    sends: Vec<(Addr, Vec<u8>)>,
+    sends: Vec<(Addr, Payload)>,
 }
 impl Context for Collect {
     fn now(&self) -> u64 {
@@ -27,7 +27,7 @@ impl Context for Collect {
     fn me(&self) -> Addr {
         Addr::Sequencer(G)
     }
-    fn send_after(&mut self, to: Addr, payload: Vec<u8>, _d: u64) {
+    fn send_after(&mut self, to: Addr, payload: Payload, _d: u64) {
         self.sends.push((to, payload));
     }
     fn set_timer(&mut self, _: u64, _: u32) -> TimerId {

@@ -10,7 +10,7 @@ use neo_aom::{
 };
 use neo_crypto::{CostModel, NodeCrypto, Principal, SystemKeys};
 use neo_sim::{Context, TimerId};
-use neo_wire::{Addr, AomHeader, ClientId, EpochNum, GroupId, ReplicaId, SeqNum};
+use neo_wire::{Addr, AomHeader, ClientId, EpochNum, GroupId, Payload, ReplicaId, SeqNum};
 
 const G: GroupId = GroupId(0);
 const N: usize = 4;
@@ -26,7 +26,7 @@ fn crypto_for(r: u32) -> NodeCrypto {
 
 /// Collects sequencer output without a full simulator.
 struct Collect {
-    sends: Vec<(Addr, Vec<u8>)>,
+    sends: Vec<(Addr, Payload)>,
 }
 impl Collect {
     fn new() -> Self {
@@ -51,7 +51,7 @@ impl Context for Collect {
     fn me(&self) -> Addr {
         Addr::Sequencer(G)
     }
-    fn send_after(&mut self, to: Addr, payload: Vec<u8>, _d: u64) {
+    fn send_after(&mut self, to: Addr, payload: Payload, _d: u64) {
         self.sends.push((to, payload));
     }
     fn set_timer(&mut self, _delay: u64, _kind: u32) -> TimerId {

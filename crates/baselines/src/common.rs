@@ -258,7 +258,7 @@ mod tests {
         fn me(&self) -> Addr {
             Addr::Client(ClientId(0))
         }
-        fn send_after(&mut self, _: Addr, _: Vec<u8>, _: u64) {}
+        fn send_after(&mut self, _: Addr, _: neo_wire::Payload, _: u64) {}
         fn set_timer(&mut self, _: u64, _: u32) -> TimerId {
             self.timers += 1;
             TimerId(self.timers)

@@ -73,8 +73,8 @@ enum Msg {
     },
 }
 
-fn wrap(msg: &Msg) -> Vec<u8> {
-    Envelope::App(encode(msg).expect("encodes")).to_bytes()
+fn wrap(msg: &Msg) -> neo_wire::Payload {
+    Envelope::App(encode(msg).expect("encodes")).to_payload()
 }
 
 fn unwrap(bytes: &[u8]) -> Option<Msg> {
@@ -251,13 +251,11 @@ impl HotStuffReplica {
             justify,
             sig,
         };
-        let bytes = wrap(&msg);
-        for r in (0..self.cfg.n as u32)
+        let peers: Vec<ReplicaId> = (0..self.cfg.n as u32)
             .map(ReplicaId)
             .filter(|r| *r != self.id)
-        {
-            ctx.send(Addr::Replica(r), bytes.clone());
-        }
+            .collect();
+        ctx.broadcast(&peers, wrap(&msg));
         self.next_height += 1;
         self.accept_block(block, ctx);
     }
@@ -499,9 +497,9 @@ impl HotStuffClient {
         let sig = self.crypto.sign(&encode(&req).expect("encodes"));
         let msg = wrap(&Msg::Request(req, sig));
         if all {
-            for r in 0..self.cfg.n as u32 {
-                ctx.send(Addr::Replica(ReplicaId(r)), msg.clone());
-            }
+            // One encode; the whole-group retransmit is refcount bumps.
+            let dests: Vec<ReplicaId> = (0..self.cfg.n as u32).map(ReplicaId).collect();
+            ctx.broadcast(&dests, msg);
         } else {
             ctx.send(Addr::Replica(self.cfg.primary()), msg);
         }

@@ -127,8 +127,8 @@ enum Msg {
     },
 }
 
-fn wrap(msg: &Msg) -> Vec<u8> {
-    Envelope::App(encode(msg).expect("encodes")).to_bytes()
+fn wrap(msg: &Msg) -> neo_wire::Payload {
+    Envelope::App(encode(msg).expect("encodes")).to_payload()
 }
 
 fn unwrap(bytes: &[u8]) -> Option<Msg> {
@@ -278,13 +278,11 @@ impl MinBftReplica {
                 batch: signed.clone(),
                 ui,
             };
-            let bytes = wrap(&prepare);
-            for r in (0..self.cfg.n as u32)
+            let peers: Vec<ReplicaId> = (0..self.cfg.n as u32)
                 .map(ReplicaId)
                 .filter(|r| *r != self.id)
-            {
-                ctx.send(Addr::Replica(r), bytes.clone());
-            }
+                .collect();
+            ctx.broadcast(&peers, wrap(&prepare));
             self.accept_prepare(self.cfg.primary(), signed, digest, ui, ctx);
         }
     }
@@ -325,13 +323,11 @@ impl MinBftReplica {
                 replica: self.id,
                 ui: my_ui,
             };
-            let bytes = wrap(&msg);
-            for r in (0..self.cfg.n as u32)
+            let peers: Vec<ReplicaId> = (0..self.cfg.n as u32)
                 .map(ReplicaId)
                 .filter(|r| *r != self.id)
-            {
-                ctx.send(Addr::Replica(r), bytes.clone());
-            }
+                .collect();
+            ctx.broadcast(&peers, wrap(&msg));
         }
         self.try_execute(ctx);
     }
@@ -536,9 +532,9 @@ impl MinBftClient {
         let sig = self.crypto.sign(&encode(&req).expect("encodes"));
         let msg = wrap(&Msg::Request(req, sig));
         if all {
-            for r in 0..self.cfg.n as u32 {
-                ctx.send(Addr::Replica(ReplicaId(r)), msg.clone());
-            }
+            // One encode; the whole-group retransmit is refcount bumps.
+            let dests: Vec<ReplicaId> = (0..self.cfg.n as u32).map(ReplicaId).collect();
+            ctx.broadcast(&dests, msg);
         } else {
             ctx.send(Addr::Replica(self.cfg.primary()), msg);
         }
@@ -626,7 +622,7 @@ mod tests {
         fn me(&self) -> Addr {
             Addr::Replica(ReplicaId(0))
         }
-        fn send_after(&mut self, _: Addr, _: Vec<u8>, _: u64) {}
+        fn send_after(&mut self, _: Addr, _: neo_wire::Payload, _: u64) {}
         fn set_timer(&mut self, _: u64, _: u32) -> TimerId {
             TimerId(0)
         }

@@ -54,8 +54,8 @@ enum Msg {
     },
 }
 
-fn wrap(msg: &Msg) -> Vec<u8> {
-    Envelope::App(encode(msg).expect("encodes")).to_bytes()
+fn wrap(msg: &Msg) -> neo_wire::Payload {
+    Envelope::App(encode(msg).expect("encodes")).to_payload()
 }
 
 fn unwrap(bytes: &[u8]) -> Option<Msg> {
@@ -513,9 +513,9 @@ impl PbftClient {
         let sig = self.crypto.sign(&encode(&req).expect("encodes"));
         let msg = wrap(&Msg::Request(req, sig));
         if all {
-            for r in 0..self.cfg.n as u32 {
-                ctx.send(Addr::Replica(ReplicaId(r)), msg.clone());
-            }
+            // One encode; the whole-group retransmit is refcount bumps.
+            let dests: Vec<ReplicaId> = (0..self.cfg.n as u32).map(ReplicaId).collect();
+            ctx.broadcast(&dests, msg);
         } else {
             ctx.send(Addr::Replica(self.cfg.primary()), msg);
         }

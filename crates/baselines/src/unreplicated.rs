@@ -20,8 +20,8 @@ enum Msg {
     },
 }
 
-fn wrap(msg: &Msg) -> Vec<u8> {
-    Envelope::App(encode(msg).expect("encodes")).to_bytes()
+fn wrap(msg: &Msg) -> neo_wire::Payload {
+    Envelope::App(encode(msg).expect("encodes")).to_payload()
 }
 
 fn unwrap(bytes: &[u8]) -> Option<Msg> {

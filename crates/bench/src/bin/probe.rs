@@ -1,10 +1,30 @@
-//! Quick calibration probe: prints throughput/latency per protocol.
+//! Calibration probes.
+//!
+//! - `probe` / `probe sweep [c1,c2,..]` — throughput/latency grid over
+//!   the comparison set (default client counts 1,8,32,64,128).
+//! - `probe single <proto> [clients] [measure-ms]` — one protocol, one
+//!   line, with wall time and per-op copy accounting.
 use neo_bench::harness::*;
+use std::time::Instant;
 
 fn main() {
-    let clients: Vec<usize> = std::env::args()
-        .nth(1)
-        .map(|s| s.split(',').map(|x| x.parse().unwrap()).collect())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("single") => single(&args[1..]),
+        Some("sweep") => sweep(args.get(1).map(|s| s.as_str())),
+        None => sweep(None),
+        // Back-compat: `probe 1,8,32` sweeps those client counts.
+        Some(list) => sweep(Some(list)),
+    }
+}
+
+fn sweep(clients: Option<&str>) {
+    let clients: Vec<usize> = clients
+        .map(|s| {
+            s.split(',')
+                .map(|x| x.parse().expect("client count"))
+                .collect()
+        })
         .unwrap_or_else(|| vec![1, 8, 32, 64, 128]);
     for p in Protocol::comparison_set() {
         print!("{:>12}:", p.label());
@@ -18,4 +38,43 @@ fn main() {
         }
         println!();
     }
+}
+
+fn single(args: &[String]) {
+    let proto = match args.first().map(|s| s.as_str()).unwrap_or("neohm") {
+        "neohm" => Protocol::NeoHm,
+        "neopk" => Protocol::NeoPk,
+        "neobn" => Protocol::NeoBn,
+        "pbft" => Protocol::Pbft,
+        "zyz" => Protocol::Zyzzyva,
+        "zyzf" => Protocol::ZyzzyvaF,
+        "hs" => Protocol::HotStuff,
+        "minbft" => Protocol::MinBft,
+        "unrep" => Protocol::Unreplicated,
+        "neohmsw" => Protocol::NeoHmSoftware,
+        "neopksw" => Protocol::NeoPkSoftware,
+        other => panic!("unknown {other}"),
+    };
+    let c: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(1);
+    let ms: u64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(100);
+    let mut p = RunParams::new(proto, c);
+    p.warmup = 20 * 1_000_000;
+    p.measure = ms * 1_000_000;
+    let t = Instant::now();
+    let r = run_experiment(&p);
+    println!(
+        "{} c={} -> {:.1}K ops/s, mean {:.1}us p50 {:.1}us p99 {:.1}us ({} ops) [wall {:?}]",
+        proto.label(),
+        c,
+        r.throughput / 1e3,
+        r.mean_latency_ns as f64 / 1e3,
+        r.p50_latency_ns as f64 / 1e3,
+        r.p99_latency_ns as f64 / 1e3,
+        r.committed,
+        t.elapsed()
+    );
+    println!(
+        "  copy: {:.0} payload B/op, {:.2} allocs/op, {} clones total",
+        r.copy.bytes_per_op, r.copy.allocs_per_op, r.copy.payload_clones
+    );
 }

@@ -1,47 +1,258 @@
-//! Micro-profiling: time the suspected hot operations.
-use neo_crypto::*;
-use neo_wire::*;
-use std::time::Instant;
+//! Micro-profiling toolbox: `prof [crypto|sim|handlers|costs]`.
+//!
+//! - `crypto`   — time the suspected hot crypto operations (default)
+//! - `sim`      — time the raw simulator event loop with trivial nodes
+//! - `handlers` — time individual protocol handlers outside the simulator
+//! - `costs`    — PBFT throughput under cost-model / CPU-model variants
 
 fn main() {
-    let sys = SystemKeys::new(1, 4, 8);
-    let nc = NodeCrypto::new(Principal::Replica(ReplicaId(0)), &sys, CostModel::FREE);
-    let n = 100_000;
-
-    let t = Instant::now();
-    for i in 0..n {
-        u64_noop(i);
+    match std::env::args().nth(1).as_deref().unwrap_or("crypto") {
+        "crypto" => crypto::run(),
+        "sim" => sim_loop::run(),
+        "handlers" => handlers::run(),
+        "costs" => costs::run(),
+        other => {
+            eprintln!("unknown mode {other}; expected crypto|sim|handlers|costs");
+            std::process::exit(2);
+        }
     }
-    println!("baseline loop: {:?}", t.elapsed());
-
-    let t = Instant::now();
-    for _ in 0..n {
-        let _ = nc.mac_for(Principal::Client(ClientId(1)), b"hello world input");
-    }
-    println!(
-        "mac_for (incl. key derivation): {:?} ({:.0}ns/op)",
-        t.elapsed(),
-        t.elapsed().as_nanos() as f64 / n as f64
-    );
-
-    let t = Instant::now();
-    for _ in 0..n {
-        let _ = sha256(b"some payload of modest size 64 bytes long ............ .......");
-    }
-    println!(
-        "sha256: {:?} ({:.0}ns/op)",
-        t.elapsed(),
-        t.elapsed().as_nanos() as f64 / n as f64
-    );
-
-    let t = Instant::now();
-    for _ in 0..n {
-        let _ = NodeCrypto::new(Principal::Replica(ReplicaId(0)), &sys, CostModel::FREE);
-    }
-    println!(
-        "NodeCrypto::new: {:?} ({:.0}ns/op)",
-        t.elapsed(),
-        t.elapsed().as_nanos() as f64 / n as f64
-    );
 }
-fn u64_noop(_x: u64) {}
+
+mod crypto {
+    use neo_crypto::*;
+    use neo_wire::*;
+    use std::time::Instant;
+
+    fn u64_noop(_x: u64) {}
+
+    pub fn run() {
+        let sys = SystemKeys::new(1, 4, 8);
+        let nc = NodeCrypto::new(Principal::Replica(ReplicaId(0)), &sys, CostModel::FREE);
+        let n = 100_000;
+
+        let t = Instant::now();
+        for i in 0..n {
+            u64_noop(i);
+        }
+        println!("baseline loop: {:?}", t.elapsed());
+
+        let t = Instant::now();
+        for _ in 0..n {
+            let _ = nc.mac_for(Principal::Client(ClientId(1)), b"hello world input");
+        }
+        println!(
+            "mac_for (incl. key derivation): {:?} ({:.0}ns/op)",
+            t.elapsed(),
+            t.elapsed().as_nanos() as f64 / n as f64
+        );
+
+        let t = Instant::now();
+        for _ in 0..n {
+            let _ = sha256(b"some payload of modest size 64 bytes long ............ .......");
+        }
+        println!(
+            "sha256: {:?} ({:.0}ns/op)",
+            t.elapsed(),
+            t.elapsed().as_nanos() as f64 / n as f64
+        );
+
+        let t = Instant::now();
+        for _ in 0..n {
+            let _ = NodeCrypto::new(Principal::Replica(ReplicaId(0)), &sys, CostModel::FREE);
+        }
+        println!(
+            "NodeCrypto::new: {:?} ({:.0}ns/op)",
+            t.elapsed(),
+            t.elapsed().as_nanos() as f64 / n as f64
+        );
+    }
+}
+
+mod sim_loop {
+    use neo_sim::*;
+    use neo_wire::{Addr, ReplicaId};
+    use std::any::Any;
+    use std::time::Instant;
+
+    struct Echo;
+    impl Node for Echo {
+        fn on_message(&mut self, from: Addr, payload: &[u8], ctx: &mut dyn Context) {
+            if payload[0] > 0 {
+                let mut p = payload.to_vec();
+                p[0] -= 1;
+                ctx.send(from, p.into());
+            }
+        }
+        fn on_timer(&mut self, _: TimerId, _: u32, _: &mut dyn Context) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    pub fn run() {
+        let mut sim = Simulator::new(SimConfig {
+            net: NetConfig::DATACENTER,
+            default_cpu: CpuConfig::SERVER,
+            seed: 1,
+            faults: FaultPlan::none(),
+        });
+        let a = Addr::Replica(ReplicaId(0));
+        let b = Addr::Replica(ReplicaId(1));
+        sim.add_node(a, Box::new(Echo));
+        sim.add_node(b, Box::new(Echo));
+        for i in 0..50 {
+            sim.post(a, b, vec![255u8; 64], i);
+        }
+        let t = Instant::now();
+        let n = sim.run_until(u64::MAX / 2);
+        println!(
+            "{} events in {:?} ({:.0}ns/event)",
+            n,
+            t.elapsed(),
+            t.elapsed().as_nanos() as f64 / n as f64
+        );
+    }
+}
+
+mod handlers {
+    use neo_aom::*;
+    use neo_app::*;
+    use neo_core::*;
+    use neo_crypto::*;
+    use neo_sim::{Context, Node, TimerId};
+    use neo_wire::*;
+    use std::time::Instant;
+
+    struct Sink {
+        sends: Vec<(Addr, Payload)>,
+    }
+    impl Context for Sink {
+        fn now(&self) -> u64 {
+            0
+        }
+        fn me(&self) -> Addr {
+            Addr::Replica(ReplicaId(0))
+        }
+        fn send_after(&mut self, to: Addr, p: Payload, _: u64) {
+            self.sends.push((to, p));
+        }
+        fn set_timer(&mut self, _: u64, _: u32) -> TimerId {
+            TimerId(9)
+        }
+        fn cancel_timer(&mut self, _: TimerId) {}
+        fn charge(&mut self, _: u64) {}
+    }
+
+    pub fn run() {
+        let cfg = NeoConfig::new(1);
+        let keys = SystemKeys::new(1, 4, 4);
+        let t = Instant::now();
+        let mut replica = Replica::new(
+            ReplicaId(0),
+            cfg.clone(),
+            &keys,
+            CostModel::CALIBRATED,
+            Box::new(EchoApp::new()),
+        );
+        println!("Replica::new: {:?}", t.elapsed());
+
+        let t = Instant::now();
+        let mut seq = SequencerNode::new(
+            GroupId(0),
+            (0..4).map(ReplicaId).collect(),
+            AuthMode::HmacVector,
+            SequencerHw::Software(CostModel::FREE),
+            &keys,
+        );
+        println!("Sequencer::new: {:?}", t.elapsed());
+
+        let t = Instant::now();
+        let mut client = Client::new(
+            ClientId(0),
+            cfg.clone(),
+            &keys,
+            CostModel::CALIBRATED,
+            Box::new(EchoWorkload::new(64, 1)),
+        );
+        println!("Client::new: {:?}", t.elapsed());
+
+        // Drive: client issues request via init timer
+        let n = 20_000u64;
+        let mut ctx = Sink { sends: vec![] };
+        client.on_timer(TimerId(0), 0, &mut ctx);
+        let req_bytes = ctx.sends[0].1.clone();
+
+        // sequencer handler timing
+        let mut sctx = Sink { sends: vec![] };
+        let t = Instant::now();
+        for _ in 0..n {
+            seq.on_message(Addr::Client(ClientId(0)), &req_bytes, &mut sctx);
+        }
+        println!(
+            "sequencer.on_message: {:.0}ns/op",
+            t.elapsed().as_nanos() as f64 / n as f64
+        );
+
+        // replica handler timing: feed successive stamped packets
+        let pkts: Vec<Payload> = sctx
+            .sends
+            .iter()
+            .filter(|(a, _)| *a == Addr::Replica(ReplicaId(0)))
+            .map(|(_, p)| p.clone())
+            .collect();
+        let mut rctx = Sink { sends: vec![] };
+        let t = Instant::now();
+        for p in &pkts {
+            replica.on_message(Addr::Sequencer(GroupId(0)), p, &mut rctx);
+        }
+        println!(
+            "replica.on_message(aom pkt): {:.0}ns/op over {} pkts, {} replies",
+            t.elapsed().as_nanos() as f64 / pkts.len() as f64,
+            pkts.len(),
+            rctx.sends.len()
+        );
+
+        // client reply handling
+        let reply = rctx.sends[0].1.clone();
+        let mut cctx = Sink { sends: vec![] };
+        let t = Instant::now();
+        for _ in 0..n {
+            client.on_message(Addr::Replica(ReplicaId(0)), &reply, &mut cctx);
+        }
+        println!(
+            "client.on_message(reply): {:.0}ns/op",
+            t.elapsed().as_nanos() as f64 / n as f64
+        );
+    }
+}
+
+mod costs {
+    use neo_bench::harness::*;
+    use neo_crypto::CostModel;
+    use neo_sim::CpuConfig;
+
+    pub fn run() {
+        for (label, costs, cpu) in [
+            ("calibrated", CostModel::CALIBRATED, CpuConfig::SERVER),
+            ("free-costs", CostModel::FREE, CpuConfig::SERVER),
+            ("ideal-cpu", CostModel::CALIBRATED, CpuConfig::IDEAL),
+            ("all-free", CostModel::FREE, CpuConfig::IDEAL),
+        ] {
+            let mut p = RunParams::new(Protocol::Pbft, 64);
+            p.warmup = 20_000_000;
+            p.measure = 100_000_000;
+            p.costs = costs;
+            p.server_cpu = cpu;
+            p.client_cpu = cpu;
+            let r = run_experiment(&p);
+            println!(
+                "PBFT {label}: {:.1}K ops/s mean {:.1}us",
+                r.throughput / 1e3,
+                r.mean_latency_ns as f64 / 1e3
+            );
+        }
+    }
+}

@@ -189,6 +189,44 @@ pub struct ObsReport {
     pub replicas: Vec<MetricsSnapshot>,
 }
 
+/// Payload copy/allocation accounting over one run's window, derived
+/// from the process-wide [`neo_wire::PayloadStats`] counters. Makes
+/// copy regressions visible in `BENCH_*.json`: a fan-out that encodes
+/// per destination shows up as a jump in `allocs_per_op`.
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct CopyReport {
+    /// Payload buffers allocated (one per encoded wire message).
+    pub payload_allocations: u64,
+    /// Bytes copied into payload buffers.
+    pub payload_bytes: u64,
+    /// Payload refcount bumps (broadcast fan-out and reply caching).
+    pub payload_clones: u64,
+    /// Bytes copied into payloads per committed op.
+    pub bytes_per_op: f64,
+    /// Payload allocations per committed op.
+    pub allocs_per_op: f64,
+}
+
+impl CopyReport {
+    /// Build from a windowed counter delta and the ops committed in it.
+    pub fn from_delta(delta: neo_wire::PayloadStats, committed: u64) -> CopyReport {
+        let per = |v: u64| {
+            if committed == 0 {
+                0.0
+            } else {
+                v as f64 / committed as f64
+            }
+        };
+        CopyReport {
+            payload_allocations: delta.allocations,
+            payload_bytes: delta.allocated_bytes,
+            payload_clones: delta.clones,
+            bytes_per_op: per(delta.allocated_bytes),
+            allocs_per_op: per(delta.allocations),
+        }
+    }
+}
+
 /// Measured outcome of one run.
 #[derive(Clone, Debug, serde::Serialize)]
 pub struct RunResult {
@@ -208,6 +246,8 @@ pub struct RunResult {
     /// Phase breakdown: event counters, named counters, and latency
     /// histograms, per replica and aggregated.
     pub obs: ObsReport,
+    /// Payload bytes-copied / allocation accounting over the run.
+    pub copy: CopyReport,
 }
 
 impl RunResult {
@@ -239,6 +279,7 @@ impl RunResult {
             p99_latency_ns: pct(0.99),
             latencies_ns: lats,
             obs: ObsReport::default(),
+            copy: CopyReport::default(),
         }
     }
 }
@@ -247,11 +288,18 @@ impl RunResult {
 pub fn run_experiment(params: &RunParams) -> RunResult {
     let mut sim = build(params);
     let end = params.warmup + params.measure;
+    // Window the process-wide payload counters around the run; tests
+    // running in parallel can inflate the window, so the report is a
+    // diagnostic, not an exact assertion target.
+    let before = neo_wire::PayloadStats::snapshot();
     let events = sim.run_until(end);
     if std::env::var_os("NEO_BENCH_DEBUG").is_some() {
         eprintln!("[debug] {} events", events);
     }
-    collect(&sim, params)
+    let delta = neo_wire::PayloadStats::snapshot().since(&before);
+    let mut result = collect(&sim, params);
+    result.copy = CopyReport::from_delta(delta, result.committed);
+    result
 }
 
 /// Build the simulator for an experiment without running it (failover

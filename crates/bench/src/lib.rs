@@ -12,5 +12,5 @@
 pub mod harness;
 pub mod report;
 
-pub use harness::{AppKind, ObsReport, Protocol, RunParams, RunResult};
+pub use harness::{AppKind, CopyReport, ObsReport, Protocol, RunParams, RunResult};
 pub use report::{fmt_ops, fmt_us, phase_breakdown, Table};

@@ -1,6 +1,8 @@
 //! Workspace self-run: lint the real protocol crates and hold the
 //! result to the checked-in baseline — and hold `neobft`/`aom` handler
-//! paths to a stricter bar (no R1/R2 at all, baselined or not).
+//! paths to a stricter bar (no R1/R2 at all, baselined or not), plus a
+//! ratchet that keeps `Vec<u8>` out of `Context` send signatures now
+//! that payloads are shared `neo_wire::Payload` buffers.
 
 use std::path::{Path, PathBuf};
 
@@ -41,5 +43,55 @@ fn neobft_and_aom_handler_paths_have_no_r1_r2() {
     assert!(
         bad.is_empty(),
         "R1/R2 findings in neobft/aom must be fixed, not baselined: {bad:#?}"
+    );
+}
+
+/// Extract the signature text (whitespace stripped, up to the body `{`
+/// or declaration `;`) of every `fn send` / `fn send_after` /
+/// `fn broadcast` in `src`.
+fn send_signatures(src: &str) -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+    for target in ["send", "send_after", "broadcast"] {
+        let needle = format!("fn {target}");
+        let mut from = 0;
+        while let Some(pos) = src[from..].find(&needle) {
+            let abs = from + pos;
+            from = abs + needle.len();
+            // Only the fn itself: `fn send` inside `fn send_after` is
+            // filtered because the next char is not `(`.
+            let rest = &src[from..];
+            if rest.starts_with('(') {
+                let end = rest.find(['{', ';']).unwrap_or(rest.len());
+                let sig: String = rest[..end].split_whitespace().collect::<Vec<_>>().join("");
+                out.push((target, sig));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn context_send_signatures_take_payload_not_vec_u8() {
+    // Ratchet: every send-shaped signature in the workspace — the
+    // `Context` trait, its implementations, and test probes — must carry
+    // `Payload`, never `Vec<u8>`. A `Vec<u8>` send reintroduces a
+    // per-destination byte copy on broadcast fan-out.
+    let root = workspace_root();
+    let files = neo_lint::collect_rs_files(&root).expect("collect workspace sources");
+    let mut violations = Vec::new();
+    for file in &files {
+        if file.components().any(|c| c.as_os_str() == "fixtures") {
+            continue; // lint fixtures are deliberately bad code
+        }
+        let src = std::fs::read_to_string(file).expect("read source file");
+        for (name, sig) in send_signatures(&src) {
+            if sig.contains("Vec<u8>") {
+                violations.push(format!("{}: fn {name}: {sig}", file.display()));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "`Vec<u8>` crept back into Context send signatures: {violations:#?}"
     );
 }

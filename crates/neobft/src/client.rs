@@ -142,8 +142,8 @@ impl Client {
         let Some(signed) = self.signed_request() else {
             return;
         };
-        let bytes = self.sender.wrap(signed.to_bytes(), &self.crypto);
-        ctx.send(self.sender.dest(), bytes);
+        let payload = self.sender.wrap(signed.to_bytes(), &self.crypto);
+        ctx.send(self.sender.dest(), payload);
     }
 
     fn retransmit(&mut self, ctx: &mut dyn Context) {
@@ -153,10 +153,9 @@ impl Client {
         let Some(signed) = self.signed_request() else {
             return;
         };
-        let unicast = NeoMsg::RequestUnicast(signed).to_app_bytes();
-        for r in 0..self.cfg.n as u32 {
-            ctx.send(Addr::Replica(ReplicaId(r)), unicast.clone());
-        }
+        // Encode the unicast fallback once; fan-out is refcount bumps.
+        let all: Vec<ReplicaId> = (0..self.cfg.n as u32).map(ReplicaId).collect();
+        ctx.broadcast(&all, NeoMsg::RequestUnicast(signed).to_payload());
         if let Some(p) = self.pending.as_mut() {
             p.retries += 1;
             p.retry_timer = ctx.set_timer(self.cfg.client_retry_ns, 2);

@@ -268,6 +268,13 @@ impl NeoMsg {
         neo_aom::Envelope::App(encode(self).unwrap_or_default()).to_bytes()
     }
 
+    /// Encode as a shared [`neo_wire::Payload`]: the single-encode form
+    /// `Context::send`/`broadcast` consume. One allocation per message,
+    /// regardless of fan-out.
+    pub fn to_payload(&self) -> neo_wire::Payload {
+        neo_aom::Envelope::App(encode(self).unwrap_or_default()).to_payload()
+    }
+
     /// Decode from the inner bytes of an `Envelope::App`.
     pub fn from_app_bytes(bytes: &[u8]) -> Option<Self> {
         neo_wire::decode(bytes).ok()

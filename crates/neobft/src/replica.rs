@@ -109,7 +109,8 @@ struct GapState {
 /// Client-table entry for at-most-once semantics and reply caching.
 struct ClientEntry {
     last_request: RequestId,
-    cached_reply: Option<Vec<u8>>,
+    /// Shared buffer: re-sending a cached reply is a refcount bump.
+    cached_reply: Option<neo_wire::Payload>,
     slot: SlotNum,
 }
 
@@ -143,6 +144,9 @@ enum Status {
 pub struct Replica {
     cfg: NeoConfig,
     id: ReplicaId,
+    /// Every replica except this one, in id order — the broadcast
+    /// destination set, computed once (membership is static per config).
+    peers: Vec<ReplicaId>,
     crypto: NodeCrypto,
     aom: AomReceiver,
     app: Box<dyn App>,
@@ -210,9 +214,14 @@ impl Replica {
             cfg.trust,
             keys,
         );
+        let peers = (0..cfg.n as u32)
+            .map(ReplicaId)
+            .filter(|r| *r != id)
+            .collect();
         Replica {
             cfg,
             id,
+            peers,
             crypto,
             aom,
             app,
@@ -279,27 +288,19 @@ impl Replica {
         self.leader() == self.id
     }
 
-    fn others(&self) -> impl Iterator<Item = ReplicaId> + '_ {
-        (0..self.cfg.n as u32)
-            .map(ReplicaId)
-            .filter(move |r| *r != self.id)
-    }
-
     fn broadcast(&self, msg: &NeoMsg, ctx: &mut dyn Context) {
         if self.behavior == ReplicaBehavior::Mute {
             return;
         }
-        let bytes = msg.to_app_bytes();
-        for r in self.others() {
-            ctx.send(Addr::Replica(r), bytes.clone());
-        }
+        // Single-encode invariant: one allocation, N refcount bumps.
+        ctx.broadcast(&self.peers, msg.to_payload());
     }
 
     fn send_to(&self, r: ReplicaId, msg: &NeoMsg, ctx: &mut dyn Context) {
         if self.behavior == ReplicaBehavior::Mute {
             return;
         }
-        ctx.send(Addr::Replica(r), msg.to_app_bytes());
+        ctx.send(Addr::Replica(r), msg.to_payload());
     }
 
     /// Record a recoverable protocol error: count it, never panic.
@@ -370,10 +371,7 @@ impl Replica {
                 }
             } else {
                 for sc in outgoing {
-                    let bytes = Envelope::Confirm(sc).to_bytes();
-                    for r in self.others() {
-                        ctx.send(Addr::Replica(r), bytes.clone());
-                    }
+                    ctx.broadcast(&self.peers, Envelope::Confirm(sc).to_payload());
                 }
             }
         }
@@ -436,10 +434,7 @@ impl Replica {
         } else {
             Envelope::ConfirmBatch(batch)
         };
-        let bytes = env.to_bytes();
-        for r in self.others() {
-            ctx.send(Addr::Replica(r), bytes.clone());
-        }
+        ctx.broadcast(&self.peers, env.to_payload());
     }
 
     fn update_gap_timer(&mut self, ctx: &mut dyn Context) {
@@ -580,7 +575,7 @@ impl Replica {
             return Err(ProtocolError::Encode("reply"));
         };
         let tag = self.crypto.mac_for(Principal::Client(req.client), &bytes);
-        let msg = NeoMsg::Reply(reply, tag).to_app_bytes();
+        let msg = NeoMsg::Reply(reply, tag).to_payload();
         self.client_table.insert(
             req.client,
             ClientEntry {
@@ -1722,7 +1717,7 @@ impl Replica {
                             epoch: self.aom.epoch(),
                             requester: self.id,
                         });
-                        ctx.send(Addr::Config, msg.to_bytes());
+                        ctx.send(Addr::Config, msg.to_payload());
                     }
                     // Re-arm: keep escalating until the request commits
                     // or the epoch changes.

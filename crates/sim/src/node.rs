@@ -7,7 +7,7 @@
 //! same state machines run unchanged under the simulator and under the
 //! real tokio/UDP transport.
 
-use neo_wire::Addr;
+use neo_wire::{Addr, Payload, ReplicaId};
 use std::any::Any;
 
 /// Handle for a pending timer, scoped to the node that set it.
@@ -24,14 +24,32 @@ pub trait Context {
 
     /// Send `payload` to a logical destination. Multicast addresses route
     /// to the group's sequencer.
-    fn send(&mut self, to: Addr, payload: Vec<u8>) {
+    ///
+    /// Payloads are shared buffers ([`Payload`]): sending the same
+    /// message to many destinations clones a refcount, never the bytes.
+    fn send(&mut self, to: Addr, payload: Payload) {
         self.send_after(to, payload, 0);
     }
 
     /// Send `payload` after an extra fixed delay beyond normal processing
     /// — used by the switch models to represent pipeline latency that does
     /// not occupy the node's CPU.
-    fn send_after(&mut self, to: Addr, payload: Vec<u8>, extra_delay: crate::time::Duration);
+    fn send_after(&mut self, to: Addr, payload: Payload, extra_delay: crate::time::Duration);
+
+    /// Send one payload to every replica in `to`: the single-encode
+    /// broadcast invariant. Each destination costs one refcount bump;
+    /// the message bytes are encoded (and allocated) exactly once by the
+    /// caller, regardless of fan-out.
+    fn broadcast(&mut self, to: &[ReplicaId], payload: Payload) {
+        let Some((last, rest)) = to.split_last() else {
+            return;
+        };
+        for r in rest {
+            self.send(Addr::Replica(*r), payload.clone());
+        }
+        // The final destination consumes the caller's reference.
+        self.send(Addr::Replica(*last), payload);
+    }
 
     /// Arm a timer that fires after `delay` with the caller-chosen `kind`
     /// discriminant.
@@ -117,7 +135,7 @@ mod tests {
         fn me(&self) -> Addr {
             Addr::Config
         }
-        fn send_after(&mut self, _: Addr, _: Vec<u8>, _: crate::time::Duration) {}
+        fn send_after(&mut self, _: Addr, _: Payload, _: crate::time::Duration) {}
         fn set_timer(&mut self, _: crate::time::Duration, _: u32) -> TimerId {
             TimerId(0)
         }

@@ -7,7 +7,7 @@ use crate::node::{Context, Node, TimerId};
 use crate::obs::{Metrics, MetricsSnapshot, ObsConfig};
 use crate::stats::NetStats;
 use crate::time::{Duration, Time};
-use neo_wire::Addr;
+use neo_wire::{Addr, Payload};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cmp::Reverse;
@@ -36,7 +36,7 @@ enum Event {
     Deliver {
         to: Addr,
         from: Addr,
-        payload: Vec<u8>,
+        payload: Payload,
     },
     Timer {
         node: Addr,
@@ -69,7 +69,7 @@ struct Slot {
 struct SimCtx {
     now: Time,
     me: Addr,
-    sends: Vec<(Addr, Vec<u8>, Duration)>,
+    sends: Vec<(Addr, Payload, Duration)>,
     timers: Vec<(Duration, u32, TimerId)>,
     cancels: Vec<TimerId>,
     charge: u64,
@@ -84,7 +84,7 @@ impl Context for SimCtx {
     fn me(&self) -> Addr {
         self.me
     }
-    fn send_after(&mut self, to: Addr, payload: Vec<u8>, extra_delay: Duration) {
+    fn send_after(&mut self, to: Addr, payload: Payload, extra_delay: Duration) {
         self.sends.push((to, payload, extra_delay));
     }
     fn set_timer(&mut self, delay: Duration, kind: u32) -> TimerId {
@@ -165,8 +165,8 @@ impl Simulator {
     /// Inject a message from outside the simulation (the harness plays an
     /// unmodelled actor, e.g. an operator console). The message traverses
     /// the network like any other: it experiences latency and loss.
-    pub fn post(&mut self, from: Addr, to: Addr, payload: Vec<u8>, at: Time) {
-        self.transmit(from, to, payload, at.max(self.now));
+    pub fn post(&mut self, from: Addr, to: Addr, payload: impl Into<Payload>, at: Time) {
+        self.transmit(from, to, payload.into(), at.max(self.now));
     }
 
     /// Current virtual time.
@@ -266,7 +266,7 @@ impl Simulator {
         true
     }
 
-    fn handle_deliver(&mut self, t: Time, to: Addr, from: Addr, payload: Vec<u8>) {
+    fn handle_deliver(&mut self, t: Time, to: Addr, from: Addr, payload: Payload) {
         let Some(slot) = self.nodes.get_mut(&to) else {
             self.stats.dropped_unroutable += 1;
             return;
@@ -353,7 +353,7 @@ impl Simulator {
         }
     }
 
-    fn transmit(&mut self, from: Addr, to: Addr, payload: Vec<u8>, departure: Time) {
+    fn transmit(&mut self, from: Addr, to: Addr, payload: Payload, departure: Time) {
         self.stats.sent += 1;
         // Multicast group addresses route to the group's sequencer — the
         // sender never learns receiver identities (§3.2).
@@ -412,7 +412,7 @@ mod tests {
     impl Node for Echo {
         fn on_message(&mut self, from: Addr, payload: &[u8], ctx: &mut dyn Context) {
             self.got.push((from, payload.to_vec()));
-            ctx.send(from, payload.iter().map(|b| b * 2).collect());
+            ctx.send(from, payload.iter().map(|b| b * 2).collect::<Vec<u8>>().into());
         }
         fn on_timer(&mut self, _: TimerId, _: u32, _: &mut dyn Context) {}
         fn as_any(&self) -> &dyn Any {
@@ -434,7 +434,7 @@ mod tests {
         }
         fn on_timer(&mut self, _: TimerId, kind: u32, ctx: &mut dyn Context) {
             if kind == INIT_TIMER_KIND {
-                ctx.send(self.peer, vec![21]);
+                ctx.send(self.peer, vec![21].into());
             }
         }
         fn as_any(&self) -> &dyn Any {

@@ -18,7 +18,7 @@ impl Node for Ring {
         self.seen.push(payload.to_vec());
         if self.hops_left > 0 {
             self.hops_left -= 1;
-            ctx.send(self.next, payload.to_vec());
+            ctx.send(self.next, payload.into());
         }
     }
     fn on_timer(&mut self, _: TimerId, _: u32, _: &mut dyn Context) {}

@@ -25,6 +25,12 @@ pub fn encode<T: Serialize>(value: &T) -> Result<Vec<u8>, CodecError> {
     bincode::serialize(value).map_err(|e| CodecError::Unencodable(e.to_string()))
 }
 
+/// Encode a message into an existing buffer (appended), so hot encode
+/// paths can reuse scratch allocations across messages.
+pub fn encode_into<T: Serialize>(value: &T, buf: &mut Vec<u8>) -> Result<(), CodecError> {
+    bincode::serialize_into(&mut *buf, value).map_err(|e| CodecError::Unencodable(e.to_string()))
+}
+
 /// Decode a message from bytes.
 pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
     bincode::deserialize(bytes).map_err(|e| CodecError::Malformed(e.to_string()))

@@ -8,6 +8,9 @@
 //! * the aom packet header ([`header`]) exactly as §4.1 of the paper
 //!   specifies it: group id, epoch, sequence number, message digest, and an
 //!   authenticator (HMAC vector or secp256k1 signature);
+//! * shared zero-copy payloads ([`payload`]) — the `Arc<[u8]>`-backed
+//!   [`Payload`] every executor and broadcast path carries, plus the
+//!   scratch-reusing [`PayloadBuilder`];
 //! * length-prefixed framing ([`framing`]) for stream transports;
 //! * serialization helpers ([`codec`]) wrapping bincode with a stable error
 //!   type.
@@ -21,9 +24,11 @@ pub mod codec;
 pub mod framing;
 pub mod header;
 pub mod id;
+pub mod payload;
 
 pub use addr::Addr;
-pub use codec::{decode, encode, CodecError};
+pub use codec::{decode, encode, encode_into, CodecError};
+pub use payload::{Payload, PayloadBuilder, PayloadStats};
 pub use framing::{FrameDecoder, FrameEncoder, FramingError, MAX_FRAME_LEN};
 pub use header::{AomHeader, Authenticator, HmacTag, SignatureBytes, DIGEST_LEN, HMAC_TAG_LEN};
 pub use id::{ClientId, EpochNum, GroupId, ReplicaId, RequestId, SeqNum, SlotNum, ViewId};

@@ -11,13 +11,20 @@
 //! Deployments are described with [`AddressBook::builder`], which lays
 //! out a cluster without hand-rolled port arithmetic, and nodes are
 //! spawned with the fallible [`try_spawn_node`] — lookup and bind
-//! failures come back as a [`RuntimeError`] instead of a panic. The
-//! panicking [`spawn_node`]/[`NodeHandle::shutdown`] survive one release
-//! as deprecated wrappers.
+//! failures come back as a [`RuntimeError`] instead of a panic.
+//!
+//! The node loop is *batched*: each wakeup drains every due timer and
+//! delayed send and every ready packet into one reused [`RtCtx`] (its
+//! effect buffers are cleared between events, never reallocated), then
+//! flushes the coalesced outgoing sends in one pass. Payloads are
+//! [`neo_wire::Payload`]s end to end, so a broadcast that fans out to
+//! the whole group costs one encode regardless of group size. Batch
+//! sizes and send failures are recorded in the node's metrics registry
+//! (`runtime.batch_events`, `runtime_send_failed`).
 
 use neo_sim::obs::{Metrics, MetricsSnapshot, ObsConfig};
 use neo_sim::{Context, Node, TimerId};
-use neo_wire::{Addr, ClientId, GroupId, ReplicaId};
+use neo_wire::{Addr, ClientId, GroupId, Payload, ReplicaId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::net::{IpAddr, SocketAddr};
@@ -301,28 +308,29 @@ impl NodeHandle {
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
     }
-
-    /// Deprecated panicking shutdown.
-    ///
-    /// # Panics
-    /// Panics if the node thread panicked.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_shutdown`, which reports thread panics as a `RuntimeError`"
-    )]
-    pub fn shutdown(self) -> Box<dyn Node> {
-        self.try_shutdown().expect("node shutdown")
-    }
 }
 
+/// The executor-side [`Context`]: one instance lives for the whole node
+/// loop and is reused across events — `clear_effects` empties the
+/// buffers but keeps their allocations, so a steady-state node dispatches
+/// without allocating effect storage.
 struct RtCtx {
     start: Instant,
     me: Addr,
-    sends: Vec<(Addr, Vec<u8>, u64)>,
+    sends: Vec<(Addr, Payload, u64)>,
     timers: Vec<(u64, u32, TimerId)>,
     cancels: Vec<TimerId>,
     next_timer: u64,
     metrics: Arc<Metrics>,
+}
+
+impl RtCtx {
+    /// Drop accumulated effects, retaining buffer capacity for reuse.
+    fn clear_effects(&mut self) {
+        self.sends.clear();
+        self.timers.clear();
+        self.cancels.clear();
+    }
 }
 
 impl Context for RtCtx {
@@ -332,7 +340,7 @@ impl Context for RtCtx {
     fn me(&self) -> Addr {
         self.me
     }
-    fn send_after(&mut self, to: Addr, payload: Vec<u8>, extra_delay: u64) {
+    fn send_after(&mut self, to: Addr, payload: Payload, extra_delay: u64) {
         self.sends.push((to, payload, extra_delay));
     }
     fn set_timer(&mut self, delay: u64, kind: u32) -> TimerId {
@@ -393,16 +401,44 @@ pub fn try_spawn_node_with_obs(
     })
 }
 
-/// Deprecated panicking spawn.
-///
-/// # Panics
-/// Panics if `me` is not in the book or the socket cannot be bound.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `try_spawn_node`, which reports lookup and bind failures as a `RuntimeError`"
-)]
-pub fn spawn_node(node: Box<dyn Node>, me: Addr, book: AddressBook) -> NodeHandle {
-    try_spawn_node(node, me, book).expect("spawn node")
+/// Pending timers: `(deadline_ns, seq, timer_id, kind)`; seq breaks ties
+/// FIFO.
+type TimerHeap = BinaryHeap<Reverse<(u64, u64, u64, u32)>>;
+
+/// Delayed sends (`send_after` with a positive delay):
+/// `(due_ns, tiebreak, destination, payload)`.
+type DelayedHeap = BinaryHeap<Reverse<(u64, u64, Addr, Payload)>>;
+
+/// Move one event's effects out of the reused `ctx` into the loop's
+/// queues: cancels into the tombstone set, new timers onto the timer
+/// heap, immediate sends onto the coalesced `out` queue (flushed after
+/// the batch), and delayed sends onto the delayed heap. Clears `ctx`'s
+/// buffers keeping their capacity.
+fn drain_effects(
+    ctx: &mut RtCtx,
+    timers: &mut TimerHeap,
+    delayed: &mut DelayedHeap,
+    cancelled: &mut HashSet<TimerId>,
+    out: &mut Vec<(Addr, Payload)>,
+    timer_seq: &mut u64,
+) {
+    let now_ns = ctx.start.elapsed().as_nanos() as u64;
+    for id in ctx.cancels.drain(..) {
+        cancelled.insert(id);
+    }
+    for (delay, kind, id) in ctx.timers.drain(..) {
+        *timer_seq += 1;
+        timers.push(Reverse((now_ns + delay, *timer_seq, id.0, kind)));
+    }
+    for (to, payload, extra) in ctx.sends.drain(..) {
+        if extra == 0 {
+            out.push((to, payload));
+        } else {
+            *timer_seq += 1;
+            delayed.push(Reverse((now_ns + extra, *timer_seq, to, payload)));
+        }
+    }
+    ctx.clear_effects();
 }
 
 fn run_node(
@@ -426,16 +462,29 @@ fn run_node(
             }
         };
         let start = Instant::now();
-        let mut next_timer_id: u64 = 1;
-        // (deadline_ns, seq, timer_id, kind); seq breaks ties FIFO.
-        let mut timers: BinaryHeap<Reverse<(u64, u64, u64, u32)>> = BinaryHeap::new();
+        let mut timers = TimerHeap::new();
         let mut timer_seq = 0u64;
         let mut cancelled: HashSet<TimerId> = HashSet::new();
-        // Delayed sends (send_after with a positive delay):
-        // (due_ns, tiebreak, destination, payload).
-        type DelayedSend = (u64, u64, Addr, Vec<u8>);
-        let mut delayed: BinaryHeap<Reverse<DelayedSend>> = BinaryHeap::new();
+        let mut delayed = DelayedHeap::new();
+        // Reused receive buffer; payloads are copied out only when the
+        // node keeps them (decode borrows `&buf[..len]`).
         let mut buf = vec![0u8; 65_536];
+        // Coalesced outgoing sends, flushed once per batch.
+        let mut out: Vec<(Addr, Payload)> = Vec::new();
+        // Destinations whose send failures were already logged; failures
+        // stay *counted* per packet in `runtime_send_failed`.
+        let mut fail_logged: HashSet<Addr> = HashSet::new();
+        // One context for the node's lifetime; effect buffers are
+        // cleared between events, never reallocated.
+        let mut ctx = RtCtx {
+            start,
+            me,
+            sends: Vec::new(),
+            timers: Vec::new(),
+            cancels: Vec::new(),
+            next_timer: 1,
+            metrics: metrics.clone(),
+        };
 
         // Bootstrap timer, mirroring the simulator convention.
         timers.push(Reverse((0, 0, 0, neo_sim::sim::INIT_TIMER_KIND)));
@@ -444,8 +493,83 @@ fn run_node(
             if stop.load(Ordering::SeqCst) {
                 break;
             }
+
+            // Batch phase 1: drain every due timer and delayed send.
+            // Timers win ties with delayed sends at the same deadline,
+            // matching the simulator's ordering.
+            let mut events = 0u64;
+            loop {
+                let now_ns = start.elapsed().as_nanos() as u64;
+                let timer_at = timers.peek().map(|Reverse((d, ..))| *d).unwrap_or(u64::MAX);
+                let send_at = delayed
+                    .peek()
+                    .map(|Reverse((d, ..))| *d)
+                    .unwrap_or(u64::MAX);
+                if timer_at <= now_ns && timer_at <= send_at {
+                    let Reverse((_, _, id, kind)) = timers.pop().expect("peeked");
+                    if !cancelled.remove(&TimerId(id)) {
+                        node.on_timer(TimerId(id), kind, &mut ctx);
+                        drain_effects(
+                            &mut ctx,
+                            &mut timers,
+                            &mut delayed,
+                            &mut cancelled,
+                            &mut out,
+                            &mut timer_seq,
+                        );
+                        events += 1;
+                    }
+                } else if send_at <= now_ns {
+                    let Reverse((_, _, to, payload)) = delayed.pop().expect("peeked");
+                    out.push((to, payload));
+                } else {
+                    break;
+                }
+            }
+
+            // Batch phase 2: drain every ready packet without blocking.
+            // Due timers accumulated meanwhile fire on the next loop
+            // iteration, before the idle wait.
+            while let Ok((len, src)) = sock.try_recv_from(&mut buf) {
+                if let Some(from) = book.resolve(src) {
+                    node.on_message(from, &buf[..len], &mut ctx);
+                    drain_effects(
+                        &mut ctx,
+                        &mut timers,
+                        &mut delayed,
+                        &mut cancelled,
+                        &mut out,
+                        &mut timer_seq,
+                    );
+                    events += 1;
+                }
+            }
+
+            // Flush the batch's coalesced sends in one pass, preserving
+            // the order events produced them.
+            for (to, payload) in out.drain(..) {
+                let err = match book.lookup(to) {
+                    Some(dst) => sock.send_to(&payload, dst).await.err(),
+                    None => Some(std::io::Error::other("destination not in address book")),
+                };
+                if let Some(e) = err {
+                    metrics.incr("runtime_send_failed");
+                    if fail_logged.insert(to) {
+                        eprintln!(
+                            "node {me}: send to {to} failed: {e} \
+                             (further failures to this destination are counted, not logged)"
+                        );
+                    }
+                }
+            }
+
+            if events > 0 {
+                metrics.observe("runtime.batch_events", events);
+                continue;
+            }
+
+            // Idle: wait for a packet, the next deadline, or a stop poll.
             let now_ns = start.elapsed().as_nanos() as u64;
-            // Earliest pending deadline across timers and delayed sends.
             let next_deadline = [
                 timers.peek().map(|Reverse((d, ..))| *d),
                 delayed.peek().map(|Reverse((d, ..))| *d),
@@ -453,88 +577,13 @@ fn run_node(
             .into_iter()
             .flatten()
             .min();
-
-            let mut fired: Option<(TimerId, u32)> = None;
-            let mut due_send: Option<(Addr, Vec<u8>)> = None;
-            let mut received: Option<(Addr, usize)> = None;
-
-            if let Some(d) = next_deadline.filter(|d| *d <= now_ns) {
-                // Something is due right now.
-                let timer_due = timers
-                    .peek()
-                    .map(|Reverse((t, ..))| *t == d)
-                    .unwrap_or(false)
-                    && timers.peek().map(|Reverse((t, ..))| *t).unwrap_or(u64::MAX)
-                        <= delayed
-                            .peek()
-                            .map(|Reverse((t, ..))| *t)
-                            .unwrap_or(u64::MAX);
-                if timer_due {
-                    let Reverse((_, _, id, kind)) = timers.pop().expect("peeked");
-                    if !cancelled.remove(&TimerId(id)) {
-                        fired = Some((TimerId(id), kind));
-                    }
-                } else {
-                    let Reverse((_, _, to, payload)) = delayed.pop().expect("peeked");
-                    due_send = Some((to, payload));
-                }
-            } else {
-                // Wait for a packet or the next deadline (or a stop poll).
-                let wait = next_deadline
-                    .map(|d| Duration::from_nanos(d.saturating_sub(now_ns)))
-                    .unwrap_or(Duration::from_millis(50))
-                    .min(Duration::from_millis(50));
-                tokio::select! {
-                    r = sock.recv_from(&mut buf) => {
-                        if let Ok((len, src)) = r {
-                            if let Some(from) = book.resolve(src) {
-                                received = Some((from, len));
-                            }
-                        }
-                    }
-                    _ = tokio::time::sleep(wait) => {}
-                }
-            }
-
-            if let Some((to, payload)) = due_send {
-                if let Some(dst) = book.lookup(to) {
-                    let _ = sock.send_to(&payload, dst).await;
-                }
-                continue;
-            }
-
-            let mut ctx = RtCtx {
-                start,
-                me,
-                sends: Vec::new(),
-                timers: Vec::new(),
-                cancels: Vec::new(),
-                next_timer: next_timer_id,
-                metrics: metrics.clone(),
-            };
-            match (fired, received) {
-                (Some((id, kind)), _) => node.on_timer(id, kind, &mut ctx),
-                (_, Some((from, len))) => node.on_message(from, &buf[..len], &mut ctx),
-                _ => continue,
-            }
-            next_timer_id = ctx.next_timer;
-            let now_ns = start.elapsed().as_nanos() as u64;
-            for id in ctx.cancels {
-                cancelled.insert(id);
-            }
-            for (delay, kind, id) in ctx.timers {
-                timer_seq += 1;
-                timers.push(Reverse((now_ns + delay, timer_seq, id.0, kind)));
-            }
-            for (to, payload, extra) in ctx.sends {
-                if extra == 0 {
-                    if let Some(dst) = book.lookup(to) {
-                        let _ = sock.send_to(&payload, dst).await;
-                    }
-                } else {
-                    timer_seq += 1;
-                    delayed.push(Reverse((now_ns + extra, timer_seq, to, payload)));
-                }
+            let wait = next_deadline
+                .map(|d| Duration::from_nanos(d.saturating_sub(now_ns)))
+                .unwrap_or(Duration::from_millis(50))
+                .min(Duration::from_millis(50));
+            tokio::select! {
+                _ = sock.readable() => {}
+                _ = tokio::time::sleep(wait) => {}
             }
         }
         node
