@@ -153,6 +153,9 @@ pub struct AomReceiverStats {
     pub confirms_generated: u64,
     /// Packets/confirms rejected for landing beyond the receive window.
     pub window_rejected: u64,
+    /// Packets/confirms whose authenticator failed verification (forged,
+    /// tampered, or scheme-confused): every [`AomError::BadAuth`].
+    pub auth_rejected: u64,
     /// Internal failures (e.g. encoding our own wire types) survived
     /// without panicking.
     pub internal_errors: u64,
@@ -194,6 +197,7 @@ pub struct AomReceiver {
     chain_promoted: u64,
     confirms_generated: u64,
     window_rejected: u64,
+    auth_rejected: u64,
     internal_errors: u64,
 }
 
@@ -241,6 +245,7 @@ impl AomReceiver {
             chain_promoted: 0,
             confirms_generated: 0,
             window_rejected: 0,
+            auth_rejected: 0,
             internal_errors: 0,
         }
     }
@@ -258,6 +263,7 @@ impl AomReceiver {
             chain_promoted: self.chain_promoted,
             confirms_generated: self.confirms_generated,
             window_rejected: self.window_rejected,
+            auth_rejected: self.auth_rejected,
             internal_errors: self.internal_errors,
         }
     }
@@ -310,6 +316,17 @@ impl AomReceiver {
             self.window_rejected += 1;
             return Err(AomError::OutOfWindow);
         }
+        // The authenticator covers digest ‖ seq ‖ epoch — the payload is
+        // bound only through the digest, so the binding must be checked
+        // here or a relay could swap the payload under a valid stamp
+        // (§3.2 transferable authentication is over the whole message).
+        crypto
+            .meter()
+            .charge_serial(crypto.costs().sha256(pkt.payload.len()));
+        if neo_crypto::sha256(&pkt.payload).0 != pkt.header.digest {
+            self.auth_rejected += 1;
+            return Err(AomError::BadAuth);
+        }
 
         // Reject authenticator-type confusion: a receiver configured for
         // one scheme must not accept the other (the sequencer never mixes
@@ -318,7 +335,10 @@ impl AomReceiver {
             (ReceiverAuth::Hmac, Authenticator::HmacVector(_))
             | (ReceiverAuth::PublicKey, Authenticator::Signature { .. })
             | (_, Authenticator::Unstamped) => {}
-            _ => return Err(AomError::BadAuth),
+            _ => {
+                self.auth_rejected += 1;
+                return Err(AomError::BadAuth);
+            }
         }
         match &pkt.header.auth {
             Authenticator::Unstamped => Err(AomError::Unstamped),
@@ -330,7 +350,10 @@ impl AomReceiver {
                     tags,
                     &pkt.header.auth_input(),
                 )
-                .map_err(|_| AomError::BadAuth)?;
+                .map_err(|_| {
+                    self.auth_rejected += 1;
+                    AomError::BadAuth
+                })?;
                 self.accept(pkt, crypto);
                 Ok(())
             }
@@ -346,7 +369,10 @@ impl AomReceiver {
                     crypto.meter().charge_parallel(crypto.costs().ecdsa_verify);
                     self.seq_vk
                         .verify(&pkt.header.auth_input(), &Signature(bytes.clone()))
-                        .map_err(|_| AomError::BadAuth)?;
+                        .map_err(|_| {
+                            self.auth_rejected += 1;
+                            AomError::BadAuth
+                        })?;
                     // A signed packet also vouches, through the hash
                     // chain, for buffered signature-less predecessors.
                     self.accept(pkt.clone(), crypto);
@@ -484,7 +510,10 @@ impl AomReceiver {
                 &bytes,
                 &sc.sig,
             )
-            .map_err(|_| AomError::BadAuth)?;
+            .map_err(|_| {
+                self.auth_rejected += 1;
+                AomError::BadAuth
+            })?;
         let seq = sc.body.seq;
         // neo-lint: allow(R5, seq bounded to SEQ_WINDOW above)
         let slot_confirms = self.confirms.entry(seq).or_default();

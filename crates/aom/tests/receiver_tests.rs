@@ -438,6 +438,80 @@ fn cert_transfer_between_receivers() {
 }
 
 #[test]
+fn tampered_hmac_bumps_auth_rejected_counter() {
+    // A single bit flipped in flight — exactly what the simulator's
+    // `Tamper` fault does — must surface as BadAuth and be visible in
+    // the receiver's observability counters (aom-hm path).
+    let mut seq = sequencer(AuthMode::HmacVector);
+    let ctx = stamp_many(&mut seq, &[b"a"]);
+    let crypto = crypto_for(0);
+    let mut rcv = receiver(0, ReceiverAuth::Hmac, NetworkTrust::Trusted);
+    assert_eq!(rcv.stats().auth_rejected, 0);
+    let mut pkt = ctx.packets_for(0)[0].clone();
+    if let neo_wire::Authenticator::HmacVector(tags) = &mut pkt.header.auth {
+        tags[0][3] ^= 0x01;
+    }
+    assert_eq!(rcv.on_packet(pkt, &crypto), Err(AomError::BadAuth));
+    assert_eq!(rcv.stats().auth_rejected, 1);
+    // A payload flip under an intact stamp breaks the digest binding.
+    let mut pkt = ctx.packets_for(0)[0].clone();
+    pkt.payload[0] ^= 0x01;
+    assert_eq!(rcv.on_packet(pkt, &crypto), Err(AomError::BadAuth));
+    assert_eq!(rcv.stats().auth_rejected, 2);
+    // The pristine copy still verifies; the counter stays put.
+    rcv.on_packet(ctx.packets_for(0)[0].clone(), &crypto)
+        .unwrap();
+    assert_eq!(deliveries(&mut rcv).len(), 1);
+    assert_eq!(rcv.stats().auth_rejected, 2);
+}
+
+#[test]
+fn tampered_signature_bumps_auth_rejected_counter() {
+    // Same single-bit corruption on the aom-pk path: a flipped byte in
+    // the sequencer signature must fail verification and be counted.
+    let mut seq = sequencer(AuthMode::PublicKey);
+    let ctx = stamp_many(&mut seq, &[b"a"]);
+    let crypto = crypto_for(0);
+    let mut rcv = receiver(0, ReceiverAuth::PublicKey, NetworkTrust::Trusted);
+    let mut pkt = ctx.packets_for(0)[0].clone();
+    match &mut pkt.header.auth {
+        neo_wire::Authenticator::Signature {
+            sig: Some(bytes), ..
+        } => bytes[0] ^= 0x01,
+        other => panic!("expected a signed packet, got {other:?}"),
+    }
+    assert_eq!(rcv.on_packet(pkt, &crypto), Err(AomError::BadAuth));
+    assert_eq!(rcv.stats().auth_rejected, 1);
+    rcv.on_packet(ctx.packets_for(0)[0].clone(), &crypto)
+        .unwrap();
+    assert_eq!(deliveries(&mut rcv).len(), 1);
+    assert_eq!(rcv.stats().auth_rejected, 1);
+}
+
+#[test]
+fn auth_scheme_confusion_and_forged_confirms_are_counted() {
+    // Type confusion: an hm receiver handed a pk-authenticated packet.
+    let mut pk_seq = sequencer(AuthMode::PublicKey);
+    let ctx = stamp_many(&mut pk_seq, &[b"a"]);
+    let crypto = crypto_for(0);
+    let mut rcv = receiver(0, ReceiverAuth::Hmac, NetworkTrust::Trusted);
+    let pkt = ctx.packets_for(0)[0].clone();
+    assert_eq!(rcv.on_packet(pkt, &crypto), Err(AomError::BadAuth));
+    assert_eq!(rcv.stats().auth_rejected, 1);
+
+    // Forged confirm signatures count on the Byzantine-network path too.
+    let mut seq = sequencer(AuthMode::HmacVector);
+    let ctx = stamp_many(&mut seq, &[b"a"]);
+    let mut rcv = receiver(0, ReceiverAuth::Hmac, NetworkTrust::Byzantine);
+    rcv.on_packet(ctx.packets_for(0)[0].clone(), &crypto)
+        .unwrap();
+    let mut forged = rcv.take_outgoing_confirms().pop().unwrap();
+    forged.body.replica = ReplicaId(2);
+    assert_eq!(rcv.on_confirm(forged, &crypto), Err(AomError::BadAuth));
+    assert_eq!(rcv.stats().auth_rejected, 1);
+}
+
+#[test]
 fn unstamped_packets_are_rejected() {
     let crypto = crypto_for(0);
     let mut rcv = receiver(0, ReceiverAuth::Hmac, NetworkTrust::Trusted);

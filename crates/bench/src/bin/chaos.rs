@@ -1,0 +1,78 @@
+//! Seed-sweeping chaos explorer.
+//!
+//! - `chaos` — sweep the default 50 seeds (0..50).
+//! - `chaos --seeds N [--start S]` — sweep N seeds from S.
+//! - `chaos --seed X` — one seed, verbose (prints the full plan and the
+//!   PBFT control), for reproducing a reported violation.
+//! - `chaos --plan '<json>'` — re-run an exact serialized plan from a
+//!   violation report, bypassing the generator.
+//!
+//! Exit status is non-zero iff any run violated a safety invariant.
+
+use neo_bench::chaos::{
+    generate_plan, run_neo, run_pbft_control, summary_line, violation_report, ChaosPlan,
+};
+
+fn get<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a.as_str() == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn parse(args: &[String], flag: &str, default: u64) -> u64 {
+    match get(args, flag) {
+        Some(v) => v.parse().unwrap_or_else(|_| panic!("bad {flag}: {v}")),
+        None => default,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(json) = get(&args, "--plan") {
+        let plan: ChaosPlan = serde_json::from_str(json).expect("invalid plan JSON");
+        std::process::exit(run_one(&plan));
+    }
+    if get(&args, "--seed").is_some() {
+        let plan = generate_plan(parse(&args, "--seed", 0));
+        std::process::exit(run_one(&plan));
+    }
+
+    let start = parse(&args, "--start", 0);
+    let count = parse(&args, "--seeds", 50);
+    let mut failed = 0;
+    for seed in start..start + count {
+        let plan = generate_plan(seed);
+        let outcome = run_neo(&plan);
+        println!("{}", summary_line(&outcome));
+        if !outcome.violations.is_empty() {
+            eprint!("{}", violation_report(&outcome));
+            failed += 1;
+        }
+    }
+    println!("chaos: {count} seeds swept, {failed} violation(s)");
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}
+
+/// Run one scenario verbosely: print the plan, the NeoBFT outcome, and
+/// the PBFT control. Returns the process exit code.
+fn run_one(plan: &ChaosPlan) -> i32 {
+    println!(
+        "plan: {}",
+        serde_json::to_string_pretty(plan).expect("plan serializes")
+    );
+    let outcome = run_neo(plan);
+    println!("{}", summary_line(&outcome));
+    let (control_committed, control_anomalies) = run_pbft_control(plan);
+    println!("pbft control: committed {control_committed}");
+    for a in &control_anomalies {
+        eprintln!("  {a}");
+    }
+    if outcome.violations.is_empty() && control_anomalies.is_empty() {
+        0
+    } else {
+        eprint!("{}", violation_report(&outcome));
+        1
+    }
+}

@@ -1,0 +1,383 @@
+//! neo-chaos: deterministic adversarial exploration.
+//!
+//! Every scenario is derived from a single `u64` seed: the fault plan
+//! (duplication, delay spikes, tampering, partitions), the optional
+//! Byzantine transport adapter, and the simulator's RNG all come from
+//! it. A seed therefore *is* a reproduction: the sweep prints the seed
+//! and the serialized plan on any safety violation, and re-running that
+//! seed replays the run byte-for-byte.
+//!
+//! The runner drives a NeoBFT cluster in slices and checks the global
+//! safety invariants ([`neo_core::invariants`]) at every slice boundary
+//! and again after a drain period — transient violations that healing
+//! would mask still get caught. A PBFT control runs the same fault plan
+//! through a classical protocol, both as a harness sanity check and to
+//! confirm the plan generator produces survivable scenarios.
+
+use crate::harness::{build, Protocol, RunParams, GROUP};
+use neo_aom::{AuthMode, ConfigService, SequencerHw, SequencerNode};
+use neo_app::{EchoApp, EchoWorkload};
+use neo_baselines::PbftClient;
+use neo_core::invariants::InvariantChecker;
+use neo_core::{Client, NeoConfig, Replica};
+use neo_crypto::{CostModel, SystemKeys};
+use neo_sim::{
+    ByzStrategy, ByzantineNode, CpuConfig, FaultPlan, NetConfig, NetStats, SimConfig, Simulator,
+    MICROS, MILLIS,
+};
+use neo_wire::{Addr, ClientId, ReplicaId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Replica count of every chaos cluster (f = 1).
+pub const N: usize = 4;
+/// Fault bound.
+pub const F: usize = 1;
+/// Virtual-time horizon of one chaos run.
+pub const HORIZON: u64 = 20 * MILLIS;
+/// Invariants are checked this many times during a run (plus once after
+/// the drain).
+const SLICES: u64 = 10;
+
+/// Which replica runs behind a Byzantine transport adapter, and how it
+/// misbehaves.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ByzAssignment {
+    /// The wrapped replica.
+    pub replica: u32,
+    /// Its misbehaviour.
+    pub strategy: ByzStrategy,
+}
+
+/// A fully serialized chaos scenario. `generate_plan(seed)` is a pure
+/// function, so the seed alone reproduces the plan; the plan is still
+/// embedded in violation reports so a report is self-contained even if
+/// the generator changes later.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    /// Master seed: drives plan generation and the simulator RNG.
+    pub seed: u64,
+    /// Virtual run length in nanoseconds (faults all heal before it).
+    pub horizon_ns: u64,
+    /// Closed-loop clients.
+    pub n_clients: usize,
+    /// NeoBFT sync interval (small, so runs cross many sync points).
+    pub sync_interval: u64,
+    /// Network fault rules.
+    pub faults: FaultPlan,
+    /// Optional Byzantine replica.
+    pub byz: Option<ByzAssignment>,
+}
+
+/// Outcome of one chaos run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosOutcome {
+    /// The scenario that ran.
+    pub plan: ChaosPlan,
+    /// Rendered safety violations — empty on a correct run.
+    pub violations: Vec<String>,
+    /// Client operations that completed.
+    pub committed: u64,
+    /// Network counters (shows the faults actually fired).
+    pub net: NetStats,
+    /// Sends the Byzantine adapter perturbed (0 without one).
+    pub byz_perturbed: u64,
+}
+
+/// Derive the full scenario from a seed.
+///
+/// The first rule's kind is pinned to `seed % 4`, so any sweep of four
+/// or more consecutive seeds provably covers all four fault kinds;
+/// odd seeds carry a Byzantine adapter. Everything else is drawn from a
+/// ChaCha8 stream seeded by `seed`.
+pub fn generate_plan(seed: u64) -> ChaosPlan {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6e65_6f5f_6368_616f); // "neo_chao"
+    let h = HORIZON;
+    let mut faults = FaultPlan::none();
+    let n_rules = rng.gen_range(2..=4u32);
+    for i in 0..n_rules {
+        // Fault windows sit inside [h/5, 7h/10]: everything heals with
+        // enough horizon left for recovery machinery to run.
+        let from = rng.gen_range(h / 5..h / 2);
+        let until = rng.gen_range(from + h / 20..=7 * h / 10);
+        let src = if rng.gen_bool(0.5) {
+            Addr::Sequencer(GROUP)
+        } else {
+            Addr::Replica(ReplicaId(rng.gen_range(0..N as u32)))
+        };
+        let kind = if i == 0 {
+            (seed % 4) as u32
+        } else {
+            rng.gen_range(0..4u32)
+        };
+        faults = match kind {
+            0 => faults.duplicate(src, rng.gen_range(2..=4), from, until),
+            1 => faults.delay_spike(src, rng.gen_range(50 * MICROS..=2 * MILLIS), from, until),
+            2 => faults.tamper(src, from, until),
+            _ => {
+                let island: Vec<Addr> = match rng.gen_range(0..4u32) {
+                    0 => vec![Addr::Replica(ReplicaId(rng.gen_range(0..N as u32)))],
+                    1 => vec![Addr::Sequencer(GROUP)],
+                    2 => vec![Addr::Replica(ReplicaId(0)), Addr::Replica(ReplicaId(1))],
+                    _ => vec![
+                        Addr::Sequencer(GROUP),
+                        Addr::Replica(ReplicaId(0)),
+                        Addr::Replica(ReplicaId(1)),
+                    ],
+                };
+                faults.partition(island, from, until)
+            }
+        };
+    }
+    let byz = (seed % 2 == 1).then(|| ByzAssignment {
+        replica: rng.gen_range(0..N as u32),
+        strategy: match rng.gen_range(0..3u32) {
+            0 => ByzStrategy::Equivocate,
+            1 => ByzStrategy::ReplayStale {
+                every: rng.gen_range(2..=6),
+            },
+            _ => ByzStrategy::SilenceTowards(vec![Addr::Replica(ReplicaId(
+                rng.gen_range(0..N as u32),
+            ))]),
+        },
+    });
+    ChaosPlan {
+        seed,
+        horizon_ns: h,
+        n_clients: 2,
+        sync_interval: 8,
+        faults,
+        byz,
+    }
+}
+
+/// Build the NeoBFT cluster for a plan: software sequencer, free crypto
+/// and ideal CPUs (chaos exercises protocol logic, not queueing), the
+/// plan's fault rules installed in the fabric, and at most one replica
+/// wrapped in a [`ByzantineNode`].
+pub fn build_cluster(plan: &ChaosPlan) -> Simulator {
+    let keys = SystemKeys::new(plan.seed, N, plan.n_clients);
+    let mut sim = Simulator::new(SimConfig {
+        net: NetConfig::DATACENTER,
+        default_cpu: CpuConfig::IDEAL,
+        seed: plan.seed,
+        faults: plan.faults.clone(),
+    });
+    let mut cfg = NeoConfig::new(F);
+    cfg.sync_interval = plan.sync_interval;
+
+    let mut config = ConfigService::new();
+    config.register_group(GROUP, (0..N as u32).map(ReplicaId).collect(), F);
+    sim.add_node(Addr::Config, Box::new(config));
+
+    let sequencer = SequencerNode::new(
+        GROUP,
+        (0..N as u32).map(ReplicaId).collect(),
+        AuthMode::HmacVector,
+        SequencerHw::Software(CostModel::FREE),
+        &keys,
+    );
+    sim.add_node(Addr::Sequencer(GROUP), Box::new(sequencer));
+
+    for r in 0..N as u32 {
+        let replica = Replica::new(
+            ReplicaId(r),
+            cfg.clone(),
+            &keys,
+            CostModel::FREE,
+            Box::new(EchoApp::new()),
+        );
+        let node: Box<dyn neo_sim::Node> = match &plan.byz {
+            Some(b) if b.replica == r => {
+                Box::new(ByzantineNode::new(Box::new(replica), b.strategy.clone()))
+            }
+            _ => Box::new(replica),
+        };
+        sim.add_node(Addr::Replica(ReplicaId(r)), node);
+    }
+    for c in 0..plan.n_clients as u64 {
+        let client = Client::new(
+            ClientId(c),
+            cfg.clone(),
+            &keys,
+            CostModel::FREE,
+            Box::new(EchoWorkload::new(64, c + 1)),
+        );
+        sim.add_node(Addr::Client(ClientId(c)), Box::new(client));
+    }
+    sim
+}
+
+/// The *correct* replicas of a run: a Byzantine-wrapped replica is
+/// excluded (its `node_ref::<Replica>` downcast also fails, so the
+/// filter is structural, not just policy).
+fn correct_replicas<'a>(sim: &'a Simulator, plan: &ChaosPlan) -> Vec<&'a Replica> {
+    (0..N as u32)
+        .filter(|r| plan.byz.as_ref().is_none_or(|b| b.replica != *r))
+        .filter_map(|r| sim.node_ref::<Replica>(Addr::Replica(ReplicaId(r))))
+        .collect()
+}
+
+/// Run the NeoBFT side of a scenario, checking invariants at every
+/// slice boundary and after a post-horizon drain.
+pub fn run_neo(plan: &ChaosPlan) -> ChaosOutcome {
+    let mut sim = build_cluster(plan);
+    let mut checker = InvariantChecker::new();
+    let slice = (plan.horizon_ns / SLICES).max(1);
+    for i in 1..=SLICES {
+        sim.run_until(i * slice);
+        checker.check(&correct_replicas(&sim, plan));
+    }
+    // Drain: faults have healed; give recovery machinery (gap agreement,
+    // view changes, state sync) time to settle, then check once more.
+    sim.run_until(plan.horizon_ns + plan.horizon_ns / 2);
+    checker.check(&correct_replicas(&sim, plan));
+
+    let committed = (0..plan.n_clients as u64)
+        .filter_map(|c| sim.node_ref::<Client>(Addr::Client(ClientId(c))))
+        .map(|cl| cl.completed.len() as u64)
+        .sum();
+    let byz_perturbed = plan
+        .byz
+        .as_ref()
+        .and_then(|b| sim.node_ref::<ByzantineNode>(Addr::Replica(ReplicaId(b.replica))))
+        .map(|bn| {
+            let s = bn.stats();
+            s.mutated + s.replayed + s.suppressed
+        })
+        .unwrap_or(0);
+    ChaosOutcome {
+        plan: plan.clone(),
+        violations: checker.violations().iter().map(|v| v.to_string()).collect(),
+        committed,
+        net: sim.stats(),
+        byz_perturbed,
+    }
+}
+
+/// Run the same fault plan through PBFT as a control. Returns the
+/// committed-op count plus any control-level anomalies (a closed-loop
+/// client completing request ids out of order would mean the *harness*
+/// is broken, not the protocol).
+pub fn run_pbft_control(plan: &ChaosPlan) -> (u64, Vec<String>) {
+    let mut params = RunParams::new(Protocol::Pbft, plan.n_clients);
+    params.seed = plan.seed;
+    params.costs = CostModel::FREE;
+    params.server_cpu = CpuConfig::IDEAL;
+    params.client_cpu = CpuConfig::IDEAL;
+    params.warmup = 0;
+    params.measure = plan.horizon_ns;
+    params.faults = plan.faults.clone();
+    let mut sim = build(&params);
+    sim.run_until(plan.horizon_ns + plan.horizon_ns / 2);
+    let mut committed = 0u64;
+    let mut anomalies = Vec::new();
+    for c in 0..plan.n_clients as u64 {
+        let Some(client) = sim.node_ref::<PbftClient>(Addr::Client(ClientId(c))) else {
+            continue;
+        };
+        let ids: Vec<u64> = client
+            .core
+            .completed
+            .iter()
+            .map(|o| o.request_id.0)
+            .collect();
+        for w in ids.windows(2) {
+            if w[1] <= w[0] {
+                anomalies.push(format!(
+                    "pbft control: client {c} completed request {} after {}",
+                    w[1], w[0]
+                ));
+            }
+        }
+        committed += ids.len() as u64;
+    }
+    (committed, anomalies)
+}
+
+/// Render a violation as a self-contained, reproducible report.
+pub fn violation_report(outcome: &ChaosOutcome) -> String {
+    let plan_json =
+        serde_json::to_string(&outcome.plan).unwrap_or_else(|_| "<unserializable>".into());
+    let mut s = format!(
+        "chaos: SAFETY VIOLATION at seed {}\n\
+         reproduce: cargo run -p neo-bench --bin chaos -- --seed {}\n\
+         plan: {plan_json}\n",
+        outcome.plan.seed, outcome.plan.seed
+    );
+    for v in &outcome.violations {
+        s.push_str("  violation: ");
+        s.push_str(v);
+        s.push('\n');
+    }
+    s
+}
+
+/// One-line summary for sweep output.
+pub fn summary_line(outcome: &ChaosOutcome) -> String {
+    format!(
+        "seed {:>4}  committed {:>4}  dup {:>3}  tampered {:>3}  spiked {:>3}  \
+         dropped {:>4}  byz {:>3}  {}",
+        outcome.plan.seed,
+        outcome.committed,
+        outcome.net.duplicated,
+        outcome.net.tampered,
+        outcome.net.delay_spiked,
+        outcome.net.dropped(),
+        outcome.byz_perturbed,
+        if outcome.violations.is_empty() {
+            "ok"
+        } else {
+            "VIOLATION"
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_the_seed() {
+        for seed in 0..16 {
+            assert_eq!(generate_plan(seed), generate_plan(seed));
+        }
+        assert_ne!(generate_plan(1), generate_plan(2));
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        for seed in 0..8 {
+            let plan = generate_plan(seed);
+            let json = serde_json::to_string(&plan).expect("serialize");
+            let back: ChaosPlan = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(plan, back);
+        }
+    }
+
+    #[test]
+    fn first_rule_kind_cycles_through_all_four_faults() {
+        // seed % 4 pins the first rule's kind: 0 = duplicate,
+        // 1 = delay spike, 2 = tamper, 3 = partition.
+        use neo_sim::FaultRule;
+        let kinds: Vec<u32> = (0..4)
+            .map(|seed| match generate_plan(seed).faults.rules()[0] {
+                FaultRule::Duplicate { .. } => 0,
+                FaultRule::DelaySpike { .. } => 1,
+                FaultRule::Tamper { .. } => 2,
+                FaultRule::Partition { .. } => 3,
+                _ => 99,
+            })
+            .collect();
+        assert_eq!(kinds, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn odd_seeds_carry_a_byzantine_adapter() {
+        assert!(generate_plan(0).byz.is_none());
+        assert!(generate_plan(1).byz.is_some());
+        assert!(generate_plan(2).byz.is_none());
+        assert!(generate_plan(3).byz.is_some());
+    }
+}

@@ -294,7 +294,7 @@ pub fn run_experiment(params: &RunParams) -> RunResult {
     let before = neo_wire::PayloadStats::snapshot();
     let events = sim.run_until(end);
     if std::env::var_os("NEO_BENCH_DEBUG").is_some() {
-        eprintln!("[debug] {} events", events);
+        eprintln!("[debug] {events} events");
     }
     let delta = neo_wire::PayloadStats::snapshot().since(&before);
     let mut result = collect(&sim, params);

@@ -9,8 +9,10 @@
 //! Run all of them with `cargo bench -p neo-bench`, or a single one with
 //! e.g. `cargo bench -p neo-bench --bench fig7`.
 
+pub mod chaos;
 pub mod harness;
 pub mod report;
 
+pub use chaos::{ByzAssignment, ChaosOutcome, ChaosPlan};
 pub use harness::{AppKind, CopyReport, ObsReport, Protocol, RunParams, RunResult};
 pub use report::{fmt_ops, fmt_us, phase_breakdown, Table};

@@ -36,6 +36,7 @@
 pub mod client;
 pub mod config;
 pub mod error;
+pub mod invariants;
 pub mod log;
 pub mod messages;
 pub mod replica;
@@ -43,6 +44,7 @@ pub mod replica;
 pub use client::{Client, CompletedOp};
 pub use config::NeoConfig;
 pub use error::ProtocolError;
+pub use invariants::{InvariantChecker, Violation};
 pub use log::{Log, LogEntry};
 pub use messages::{GapCert, NeoMsg, Reply, Request, SignedRequest};
 pub use replica::Replica;

@@ -54,6 +54,9 @@ pub struct ReplicaStats {
     pub sync_points: u64,
     /// Recoverable protocol errors (dropped instead of panicking).
     pub protocol_errors: u64,
+    /// Slots executed while already marked executed — must stay zero
+    /// (the chaos harness treats any increment as a safety violation).
+    pub double_executions: u64,
 }
 
 /// Pending timer meanings.
@@ -189,6 +192,20 @@ pub struct Replica {
     /// sustained silence here (not one lost packet) is what implicates
     /// the sequencer (§4.2).
     last_aom_delivery: u64,
+    /// Every `(epoch, seq)` the aom layer delivered (messages and drop
+    /// notifications alike), in delivery order. The chaos harness checks
+    /// this trace for monotonicity; bounded by [`Self::TRACE_CAP`].
+    delivery_trace: Vec<(u64, u64)>,
+    /// The trace hit its cap and stopped recording (checkers must then
+    /// skip trace-based invariants rather than report false gaps).
+    trace_saturated: bool,
+    /// Per-slot digest of (client, request id, result) for executed
+    /// request slots; `None` for no-ops, pending and rolled-back slots.
+    /// Two correct replicas that both executed slot `s` must agree here.
+    exec_digests: Vec<Option<u64>>,
+    /// High-water mark of the resolved log prefix (monotone even across
+    /// epoch-switch truncation, unlike `log.resolved_prefix_len()`).
+    resolved_watermark: SlotNum,
     /// Fault behaviour.
     pub behavior: ReplicaBehavior,
     /// Counters.
@@ -245,6 +262,10 @@ impl Replica {
             pending_confirms: Vec::new(),
             confirm_flush_timer: None,
             last_aom_delivery: 0,
+            delivery_trace: Vec::new(),
+            trace_saturated: false,
+            exec_digests: Vec::new(),
+            resolved_watermark: SlotNum(0),
             behavior: ReplicaBehavior::Correct,
             stats: ReplicaStats::default(),
         }
@@ -278,6 +299,36 @@ impl Replica {
     /// The application (downcast by tests to inspect state).
     pub fn app(&self) -> &dyn App {
         self.app.as_ref()
+    }
+
+    /// Next slot to execute (the speculative execution cursor).
+    pub fn exec_cursor(&self) -> SlotNum {
+        self.exec_cursor
+    }
+
+    /// `(epoch, seq)` of every aom delivery, in delivery order.
+    pub fn delivery_trace(&self) -> &[(u64, u64)] {
+        &self.delivery_trace
+    }
+
+    /// Whether the delivery trace hit its cap and stopped recording.
+    pub fn delivery_trace_saturated(&self) -> bool {
+        self.trace_saturated
+    }
+
+    /// Per-slot execution digests (`None` = no-op / pending / undone).
+    pub fn exec_digests(&self) -> &[Option<u64>] {
+        &self.exec_digests
+    }
+
+    /// Highest resolved-prefix length this replica has ever observed.
+    pub fn resolved_watermark(&self) -> SlotNum {
+        self.resolved_watermark
+    }
+
+    /// The aom receiver's counters (invariant checking and tests).
+    pub fn aom_stats(&self) -> neo_aom::AomReceiverStats {
+        self.aom.stats()
     }
 
     fn leader(&self) -> ReplicaId {
@@ -343,6 +394,30 @@ impl Replica {
     /// Distinct proposed views / epoch positions buffered during view
     /// changes.
     const VC_BUFFER_MAX: usize = 64;
+    /// Delivery-trace entries kept before recording stops.
+    const TRACE_CAP: usize = 1 << 20;
+
+    /// Record one aom delivery in the trace (bounded).
+    fn record_delivery(&mut self, epoch: u64, seq: u64) {
+        if self.delivery_trace.len() >= Self::TRACE_CAP {
+            self.trace_saturated = true;
+            return;
+        }
+        self.delivery_trace.push((epoch, seq));
+    }
+
+    /// Digest binding a slot's execution outcome to the request identity,
+    /// for cross-replica comparison.
+    fn exec_digest(client: ClientId, request_id: RequestId, result: &[u8]) -> u64 {
+        let mut buf = Vec::with_capacity(16 + result.len());
+        buf.extend_from_slice(&client.0.to_le_bytes());
+        buf.extend_from_slice(&request_id.0.to_le_bytes());
+        buf.extend_from_slice(result);
+        let d = neo_crypto::sha256(&buf);
+        let mut first = [0u8; 8];
+        first.copy_from_slice(&d.0[..8]);
+        u64::from_le_bytes(first)
+    }
 
     /// R5 growth bound shared by the gap and sync handlers; a rejected
     /// slot is counted, not processed.
@@ -380,8 +455,14 @@ impl Replica {
         while let Some(d) = self.aom.poll() {
             any = true;
             match d {
-                Delivery::Message(cert) => self.on_aom_message(cert, ctx),
-                Delivery::Drop(seq) => self.on_drop_notification(seq, ctx),
+                Delivery::Message(cert) => {
+                    self.record_delivery(cert.packet.header.epoch.0, cert.packet.header.seq.0);
+                    self.on_aom_message(cert, ctx);
+                }
+                Delivery::Drop(seq) => {
+                    self.record_delivery(self.aom.epoch().0, seq.0);
+                    self.on_drop_notification(seq, ctx);
+                }
             }
         }
         if any {
@@ -408,6 +489,7 @@ impl Replica {
                 m.set_gauge("aom.confirms_generated", s.confirms_generated as i64);
                 m.set_gauge("aom.window_rejected", s.window_rejected as i64);
                 m.set_gauge("aom.internal_errors", s.internal_errors as i64);
+                m.set_gauge("aom.auth_rejected", s.auth_rejected as i64);
             }
         }
         self.update_gap_timer(ctx);
@@ -481,6 +563,7 @@ impl Replica {
         ctx.emit(Event::RequestReceived);
         self.log.append_request(cert);
         self.executed_req.push(false);
+        self.exec_digests.push(None);
         self.answer_pending_find(slot, ctx);
         self.try_execute(ctx);
         self.maybe_sync(ctx);
@@ -494,6 +577,7 @@ impl Replica {
         ctx.emit(Event::DropNotification { seq: seq.0 });
         self.log.append_pending();
         self.executed_req.push(false);
+        self.exec_digests.push(None);
         self.start_gap(slot, ctx);
     }
 
@@ -516,6 +600,10 @@ impl Replica {
                     self.exec_cursor = self.exec_cursor.next();
                 }
             }
+        }
+        let resolved = self.log.resolved_prefix_len();
+        if resolved > self.resolved_watermark {
+            self.resolved_watermark = resolved;
         }
     }
 
@@ -561,7 +649,16 @@ impl Replica {
         // speculative fast path (§5.3).
         ctx.emit(Event::SpeculativeExecute { slot: slot.0 });
         if slot.index() < self.executed_req.len() {
+            if self.executed_req[slot.index()] {
+                // Executing a slot twice without an intervening rollback
+                // corrupts application state; count it for the checker.
+                self.stats.double_executions += 1;
+            }
             self.executed_req[slot.index()] = true;
+        }
+        if slot.index() < self.exec_digests.len() {
+            self.exec_digests[slot.index()] =
+                Some(Self::exec_digest(req.client, req.request_id, &result));
         }
         let reply = Reply {
             view: self.view,
@@ -609,6 +706,9 @@ impl Replica {
             if self.executed_req.get(cur.index()).copied().unwrap_or(false) {
                 self.app.undo();
                 self.executed_req[cur.index()] = false;
+                if cur.index() < self.exec_digests.len() {
+                    self.exec_digests[cur.index()] = None;
+                }
             }
         }
         // Invalidate cached replies for rolled-back slots: re-execution
@@ -1079,6 +1179,7 @@ impl Replica {
         while self.log.len() <= slot {
             self.log.append_pending();
             self.executed_req.push(false);
+            self.exec_digests.push(None);
         }
         if self.log.fill(slot, entry).is_err() {
             self.note_error(ProtocolError::FillRejected(slot), ctx);
@@ -1086,6 +1187,9 @@ impl Replica {
         }
         if self.executed_req.len() < self.log.len().index() {
             self.executed_req.resize(self.log.len().index(), false);
+        }
+        if self.exec_digests.len() < self.log.len().index() {
+            self.exec_digests.resize(self.log.len().index(), None);
         }
     }
 
@@ -1487,6 +1591,7 @@ impl Replica {
             self.rollback_to(cut, ctx);
             self.log.truncate(cut);
             self.executed_req.truncate(cut.index());
+            self.exec_digests.truncate(cut.index());
         }
         // Epoch bookkeeping.
         if epoch_switch {

@@ -5,12 +5,32 @@
 //! packet from a given replica (Zyzzyva-F), partition a node, etc. A
 //! [`FaultPlan`] is a set of declarative rules the simulator consults for
 //! every packet.
+//!
+//! The adversary model goes beyond drops: [`FaultRule::Duplicate`] delivers
+//! extra copies of a packet (each with its own jitter draw, so copies
+//! reorder), [`FaultRule::DelaySpike`] holds a packet long enough to reorder
+//! it past the fabric's jitter window, [`FaultRule::Tamper`] flips a byte of
+//! the payload in flight (exercising authenticator rejection paths), and
+//! [`FaultRule::Partition`] splits the cluster into a named island that
+//! heals at a fixed time. Rules are plain data (`serde`-serializable) so a
+//! failing chaos seed can print its exact plan for one-command reproduction.
 
 use crate::time::Time;
 use neo_wire::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel "end of window" meaning *forever* (inclusive of `u64::MAX`).
+pub const FOREVER: Time = u64::MAX;
+
+/// True when `t` falls inside `[from, until)`, where `until == FOREVER`
+/// means the window never closes (a packet stamped at exactly `u64::MAX`
+/// is still inside it).
+fn in_window(t: Time, from: Time, until: Time) -> bool {
+    t >= from && (until == FOREVER || t < until)
+}
 
 /// One fault rule.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum FaultRule {
     /// Drop every packet whose source matches, within the time window.
     SilenceSource {
@@ -18,7 +38,7 @@ pub enum FaultRule {
         addr: Addr,
         /// Window start (inclusive).
         from: Time,
-        /// Window end (exclusive); `u64::MAX` = forever.
+        /// Window end (exclusive); [`FOREVER`] = forever.
         until: Time,
     },
     /// Drop every packet whose destination matches, within the window.
@@ -41,10 +61,82 @@ pub enum FaultRule {
         /// Window end (exclusive).
         until: Time,
     },
+    /// Deliver `copies` copies of every packet from `src` (the network
+    /// duplicated the frame). Each copy draws its own jitter, so copies
+    /// arrive reordered relative to each other and to later packets.
+    Duplicate {
+        /// Source whose packets are duplicated.
+        src: Addr,
+        /// Total number of delivered copies (≥ 1; 1 = no-op).
+        copies: u32,
+        /// Window start (inclusive).
+        from: Time,
+        /// Window end (exclusive).
+        until: Time,
+    },
+    /// Hold every packet from `src` for an extra `extra_ns` before it
+    /// enters the fabric — long spikes reorder packets past the jitter
+    /// window (packets sent *after* the window arrive first).
+    DelaySpike {
+        /// Source whose packets are delayed.
+        src: Addr,
+        /// Extra hold time in nanoseconds (added before normal latency).
+        extra_ns: u64,
+        /// Window start (inclusive).
+        from: Time,
+        /// Window end (exclusive).
+        until: Time,
+    },
+    /// Flip one byte of every packet from `src` (in-flight corruption of
+    /// payload or authenticator). Which byte/bit is chosen by the
+    /// simulator's seeded RNG, so runs stay deterministic.
+    Tamper {
+        /// Source whose packets are corrupted.
+        src: Addr,
+        /// Window start (inclusive).
+        from: Time,
+        /// Window end (exclusive).
+        until: Time,
+    },
+    /// Network partition: within the window, packets crossing the island
+    /// boundary (either direction) are dropped. Heals at `until`.
+    Partition {
+        /// The island: nodes on one side of the split.
+        island: Vec<Addr>,
+        /// Window start (inclusive).
+        from: Time,
+        /// Heal time (exclusive); [`FOREVER`] = never heals.
+        until: Time,
+    },
+}
+
+/// What the fault plan decided for a single packet: the simulator applies
+/// these effects in [`crate::Simulator`]'s transmit path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PacketFate {
+    /// Drop the packet entirely.
+    pub drop: bool,
+    /// Number of copies to deliver (1 = normal).
+    pub copies: u32,
+    /// Extra delay added before fabric latency, in nanoseconds.
+    pub extra_delay_ns: u64,
+    /// Flip one byte of the payload in flight.
+    pub tamper: bool,
+}
+
+impl Default for PacketFate {
+    fn default() -> Self {
+        PacketFate {
+            drop: false,
+            copies: 1,
+            extra_delay_ns: 0,
+            tamper: false,
+        }
+    }
 }
 
 /// A collection of fault rules.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     rules: Vec<FaultRule>,
 }
@@ -66,27 +158,126 @@ impl FaultPlan {
         self.with(FaultRule::SilenceSource {
             addr,
             from,
-            until: u64::MAX,
+            until: FOREVER,
         })
         .with(FaultRule::Isolate {
             addr,
             from,
-            until: u64::MAX,
+            until: FOREVER,
         })
+    }
+
+    /// Duplicate every packet from `src` within the window.
+    pub fn duplicate(self, src: Addr, copies: u32, from: Time, until: Time) -> Self {
+        self.with(FaultRule::Duplicate {
+            src,
+            copies,
+            from,
+            until,
+        })
+    }
+
+    /// Delay every packet from `src` by `extra_ns` within the window.
+    pub fn delay_spike(self, src: Addr, extra_ns: u64, from: Time, until: Time) -> Self {
+        self.with(FaultRule::DelaySpike {
+            src,
+            extra_ns,
+            from,
+            until,
+        })
+    }
+
+    /// Corrupt every packet from `src` within the window.
+    pub fn tamper(self, src: Addr, from: Time, until: Time) -> Self {
+        self.with(FaultRule::Tamper { src, from, until })
+    }
+
+    /// Partition `island` from the rest of the cluster until `until`.
+    pub fn partition(self, island: Vec<Addr>, from: Time, until: Time) -> Self {
+        self.with(FaultRule::Partition {
+            island,
+            from,
+            until,
+        })
+    }
+
+    /// Decide the fate of the packet `src → dst` departing at time `t`.
+    pub fn fate(&self, src: Addr, dst: Addr, t: Time) -> PacketFate {
+        let mut fate = PacketFate::default();
+        for r in &self.rules {
+            match r {
+                FaultRule::SilenceSource { addr, from, until } => {
+                    if *addr == src && in_window(t, *from, *until) {
+                        fate.drop = true;
+                    }
+                }
+                FaultRule::Isolate { addr, from, until } => {
+                    if *addr == dst && in_window(t, *from, *until) {
+                        fate.drop = true;
+                    }
+                }
+                FaultRule::CutLink {
+                    src: s,
+                    dst: d,
+                    from,
+                    until,
+                } => {
+                    if *s == src && *d == dst && in_window(t, *from, *until) {
+                        fate.drop = true;
+                    }
+                }
+                FaultRule::Duplicate {
+                    src: s,
+                    copies,
+                    from,
+                    until,
+                } => {
+                    if *s == src && in_window(t, *from, *until) {
+                        fate.copies = fate.copies.max((*copies).max(1));
+                    }
+                }
+                FaultRule::DelaySpike {
+                    src: s,
+                    extra_ns,
+                    from,
+                    until,
+                } => {
+                    if *s == src && in_window(t, *from, *until) {
+                        fate.extra_delay_ns = fate.extra_delay_ns.max(*extra_ns);
+                    }
+                }
+                FaultRule::Tamper {
+                    src: s,
+                    from,
+                    until,
+                } => {
+                    if *s == src && in_window(t, *from, *until) {
+                        fate.tamper = true;
+                    }
+                }
+                FaultRule::Partition {
+                    island,
+                    from,
+                    until,
+                } => {
+                    if in_window(t, *from, *until) && island.contains(&src) != island.contains(&dst)
+                    {
+                        fate.drop = true;
+                    }
+                }
+            }
+        }
+        fate
     }
 
     /// Should the packet `src → dst` at time `t` be dropped?
     pub fn drops(&self, src: Addr, dst: Addr, t: Time) -> bool {
-        self.rules.iter().any(|r| match *r {
-            FaultRule::SilenceSource { addr, from, until } => addr == src && t >= from && t < until,
-            FaultRule::Isolate { addr, from, until } => addr == dst && t >= from && t < until,
-            FaultRule::CutLink {
-                src: s,
-                dst: d,
-                from,
-                until,
-            } => s == src && d == dst && t >= from && t < until,
-        })
+        self.fate(src, dst, t).drop
+    }
+
+    /// The rules in this plan (read-only, for reporting/coverage).
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
     }
 
     /// True if the plan has no rules.
@@ -98,16 +289,19 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use neo_wire::{GroupId, ReplicaId};
+    use neo_wire::{ClientId, GroupId, ReplicaId};
 
     const R0: Addr = Addr::Replica(ReplicaId(0));
     const R1: Addr = Addr::Replica(ReplicaId(1));
+    const R2: Addr = Addr::Replica(ReplicaId(2));
+    const C0: Addr = Addr::Client(ClientId(0));
     const SEQ: Addr = Addr::Sequencer(GroupId(0));
 
     #[test]
     fn empty_plan_drops_nothing() {
         let p = FaultPlan::none();
         assert!(!p.drops(R0, R1, 0));
+        assert_eq!(p.fate(R0, R1, 0), PacketFate::default());
         assert!(p.is_empty());
     }
 
@@ -134,6 +328,23 @@ mod tests {
     }
 
     #[test]
+    fn forever_crash_is_inclusive_of_the_last_instant() {
+        // A "forever" window must not exclude t == u64::MAX: the old
+        // strict `t < until` check let a packet stamped at exactly the
+        // end of time slip through a crash.
+        let p = FaultPlan::none().crash(SEQ, 1000);
+        assert!(p.drops(SEQ, R0, u64::MAX));
+        assert!(p.drops(R0, SEQ, u64::MAX));
+        // Finite windows stay end-exclusive.
+        let q = FaultPlan::none().with(FaultRule::SilenceSource {
+            addr: R0,
+            from: 0,
+            until: u64::MAX - 1,
+        });
+        assert!(!q.drops(R0, R1, u64::MAX - 1));
+    }
+
+    #[test]
     fn cut_link_is_pairwise() {
         let p = FaultPlan::none().with(FaultRule::CutLink {
             src: R0,
@@ -144,5 +355,80 @@ mod tests {
         assert!(p.drops(R0, R1, 5));
         assert!(!p.drops(R1, R0, 5));
         assert!(!p.drops(R0, SEQ, 5));
+    }
+
+    #[test]
+    fn duplicate_sets_copy_count_inside_window() {
+        let p = FaultPlan::none().duplicate(SEQ, 3, 100, 200);
+        assert_eq!(p.fate(SEQ, R0, 150).copies, 3);
+        assert_eq!(p.fate(SEQ, R0, 99).copies, 1);
+        assert_eq!(p.fate(SEQ, R0, 200).copies, 1);
+        assert_eq!(p.fate(R0, SEQ, 150).copies, 1, "source-directional");
+        // Overlapping rules take the max, and copies is floored at 1.
+        let q = FaultPlan::none()
+            .duplicate(SEQ, 0, 0, 1000)
+            .duplicate(SEQ, 2, 0, 1000);
+        assert_eq!(q.fate(SEQ, R0, 10).copies, 2);
+    }
+
+    #[test]
+    fn delay_spike_adds_hold_time() {
+        let p = FaultPlan::none().delay_spike(R0, 5_000, 10, 20);
+        assert_eq!(p.fate(R0, R1, 15).extra_delay_ns, 5_000);
+        assert_eq!(p.fate(R0, R1, 9).extra_delay_ns, 0);
+        assert_eq!(p.fate(R1, R0, 15).extra_delay_ns, 0);
+    }
+
+    #[test]
+    fn tamper_marks_packets_inside_window() {
+        let p = FaultPlan::none().tamper(SEQ, 0, 100);
+        assert!(p.fate(SEQ, R0, 50).tamper);
+        assert!(!p.fate(SEQ, R0, 100).tamper);
+        assert!(!p.fate(R0, SEQ, 50).tamper);
+    }
+
+    #[test]
+    fn partition_cuts_the_boundary_both_ways_and_heals() {
+        let p = FaultPlan::none().partition(vec![R0, R1], 100, 200);
+        // Across the boundary, both directions.
+        assert!(p.drops(R0, R2, 150));
+        assert!(p.drops(R2, R1, 150));
+        assert!(p.drops(R0, SEQ, 150));
+        // Within an island traffic flows.
+        assert!(!p.drops(R0, R1, 150));
+        assert!(!p.drops(R2, C0, 150), "both outside the island");
+        // Heals at `until`.
+        assert!(!p.drops(R0, R2, 200));
+    }
+
+    #[test]
+    fn fates_combine_across_rules() {
+        let p = FaultPlan::none()
+            .duplicate(R0, 2, 0, 1000)
+            .delay_spike(R0, 9_000, 0, 1000)
+            .tamper(R0, 0, 1000);
+        let f = p.fate(R0, R1, 10);
+        assert_eq!(
+            f,
+            PacketFate {
+                drop: false,
+                copies: 2,
+                extra_delay_ns: 9_000,
+                tamper: true,
+            }
+        );
+    }
+
+    #[test]
+    fn plans_round_trip_through_serde() {
+        let p = FaultPlan::none()
+            .crash(SEQ, 500)
+            .duplicate(R0, 3, 0, 100)
+            .delay_spike(R1, 2_000, 10, 90)
+            .tamper(SEQ, 5, 50)
+            .partition(vec![R0, C0], 0, FOREVER);
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(p, back);
     }
 }

@@ -26,6 +26,7 @@
 //!   `Addr::Sequencer(g)` — exactly the paper's "senders only specify the
 //!   group address" (§3.2).
 
+pub mod byz;
 pub mod cpu;
 pub mod fault;
 pub mod net;
@@ -35,8 +36,9 @@ pub mod sim;
 pub mod stats;
 pub mod time;
 
+pub use byz::{ByzStats, ByzStrategy, ByzantineNode};
 pub use cpu::CpuConfig;
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, FaultRule, PacketFate, FOREVER};
 pub use net::NetConfig;
 pub use node::{Context, Node, TimerId};
 pub use obs::{Event, EventKind, EventRecord, Metrics, MetricsSnapshot, ObsConfig};

@@ -361,7 +361,8 @@ impl Simulator {
             Addr::Multicast(g) => Addr::Sequencer(g),
             other => other,
         };
-        if self.cfg.faults.drops(from, resolved, departure) {
+        let fate = self.cfg.faults.fate(from, resolved, departure);
+        if fate.drop {
             self.stats.dropped_fault += 1;
             return;
         }
@@ -369,20 +370,53 @@ impl Simulator {
             self.stats.dropped_random += 1;
             return;
         }
-        let jitter = if self.cfg.net.jitter_ns > 0 {
-            self.rng.next_u64() % self.cfg.net.jitter_ns
+        let payload = if fate.tamper {
+            self.stats.tampered += 1;
+            self.tamper(payload)
         } else {
-            0
+            payload
         };
-        let arrival = departure + self.cfg.net.delay(payload.len(), jitter);
-        self.push_event(
-            arrival,
-            Event::Deliver {
-                to: resolved,
-                from,
-                payload,
-            },
-        );
+        if fate.copies > 1 {
+            // Extra copies count as sent too, so conservation
+            // (delivered + dropped == sent) keeps holding.
+            let extra = u64::from(fate.copies) - 1;
+            self.stats.sent += extra;
+            self.stats.duplicated += extra;
+        }
+        if fate.extra_delay_ns > 0 {
+            self.stats.delay_spiked += 1;
+        }
+        for _ in 0..fate.copies {
+            let jitter = if self.cfg.net.jitter_ns > 0 {
+                self.rng.next_u64() % self.cfg.net.jitter_ns
+            } else {
+                0
+            };
+            let arrival = departure
+                .saturating_add(fate.extra_delay_ns)
+                .saturating_add(self.cfg.net.delay(payload.len(), jitter));
+            self.push_event(
+                arrival,
+                Event::Deliver {
+                    to: resolved,
+                    from,
+                    payload: payload.clone(),
+                },
+            );
+        }
+    }
+
+    /// Flip one deterministic-random byte of the payload (in-flight
+    /// corruption). Empty payloads pass through untouched.
+    fn tamper(&mut self, payload: Payload) -> Payload {
+        if payload.is_empty() {
+            return payload;
+        }
+        let mut bytes = payload.to_vec();
+        let idx = (self.rng.next_u64() as usize) % bytes.len();
+        let bit = 1u8 << (self.rng.next_u64() % 8);
+        bytes[idx] ^= bit;
+        Payload::from(bytes)
     }
 
     fn push_event(&mut self, t: Time, e: Event) {
@@ -412,7 +446,10 @@ mod tests {
     impl Node for Echo {
         fn on_message(&mut self, from: Addr, payload: &[u8], ctx: &mut dyn Context) {
             self.got.push((from, payload.to_vec()));
-            ctx.send(from, payload.iter().map(|b| b * 2).collect::<Vec<u8>>().into());
+            ctx.send(
+                from,
+                payload.iter().map(|b| b * 2).collect::<Vec<u8>>().into(),
+            );
         }
         fn on_timer(&mut self, _: TimerId, _: u32, _: &mut dyn Context) {}
         fn as_any(&self) -> &dyn Any {
@@ -554,6 +591,68 @@ mod tests {
         sim.add_node(B, Box::new(Echo { got: vec![] }));
         sim.run_until(10_000);
         assert!(sim.node_ref::<Pinger>(A).unwrap().replies.is_empty());
+        assert_eq!(sim.stats().dropped_fault, 1);
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_extra_copies() {
+        let mut sim = ideal_sim(1);
+        *sim.faults_mut() = FaultPlan::none().duplicate(A, 3, 0, u64::MAX);
+        sim.add_node(B, Box::new(Echo { got: vec![] }));
+        sim.post(A, B, vec![7], 0);
+        sim.run_until(10_000);
+        assert_eq!(sim.node_ref::<Echo>(B).unwrap().got.len(), 3);
+        let s = sim.stats();
+        assert_eq!(s.duplicated, 2);
+        assert_eq!(s.dropped() + s.delivered, s.sent, "conservation");
+    }
+
+    #[test]
+    fn delay_spike_reorders_past_later_packets() {
+        const C: Addr = Addr::Replica(ReplicaId(2));
+        let mut sim = ideal_sim(1);
+        // A's packet is held 5µs; C's packet sent 2µs later overtakes it.
+        *sim.faults_mut() = FaultPlan::none().delay_spike(A, 5_000, 0, u64::MAX);
+        sim.add_node(B, Box::new(Echo { got: vec![] }));
+        sim.post(A, B, vec![1], 0);
+        sim.post(C, B, vec![2], 2_000);
+        sim.run_until(10_000);
+        let got: Vec<Addr> = sim
+            .node_ref::<Echo>(B)
+            .unwrap()
+            .got
+            .iter()
+            .map(|(from, _)| *from)
+            .collect();
+        assert_eq!(got, vec![C, A], "spiked packet arrives last");
+        assert_eq!(sim.stats().delay_spiked, 1);
+    }
+
+    #[test]
+    fn tamper_flips_exactly_one_bit() {
+        let mut sim = ideal_sim(1);
+        *sim.faults_mut() = FaultPlan::none().tamper(A, 0, u64::MAX);
+        sim.add_node(B, Box::new(Echo { got: vec![] }));
+        sim.post(A, B, vec![0xAA, 0xBB], 0);
+        sim.run_until(10_000);
+        let echo = sim.node_ref::<Echo>(B).unwrap();
+        assert_eq!(echo.got.len(), 1);
+        let (_, bytes) = &echo.got[0];
+        assert_eq!(bytes.len(), 2, "length preserved");
+        let diff = (bytes[0] ^ 0xAA).count_ones() + (bytes[1] ^ 0xBB).count_ones();
+        assert_eq!(diff, 1, "exactly one bit flipped");
+        assert_eq!(sim.stats().tampered, 1);
+    }
+
+    #[test]
+    fn partition_heals_and_traffic_resumes() {
+        let mut sim = ideal_sim(1);
+        *sim.faults_mut() = FaultPlan::none().partition(vec![A], 0, 5_000);
+        sim.add_node(B, Box::new(Echo { got: vec![] }));
+        sim.post(A, B, vec![1], 100);
+        sim.post(A, B, vec![2], 6_000);
+        sim.run_until(20_000);
+        assert_eq!(sim.node_ref::<Echo>(B).unwrap().got.len(), 1);
         assert_eq!(sim.stats().dropped_fault, 1);
     }
 

@@ -17,6 +17,13 @@ pub struct NetStats {
     pub dropped_unroutable: u64,
     /// Total payload bytes delivered.
     pub bytes_delivered: u64,
+    /// Extra copies injected by `Duplicate` fault rules (each copy is
+    /// also counted in `sent`, so conservation holds).
+    pub duplicated: u64,
+    /// Packets corrupted in flight by `Tamper` fault rules.
+    pub tampered: u64,
+    /// Packets held back by `DelaySpike` fault rules.
+    pub delay_spiked: u64,
 }
 
 impl NetStats {

@@ -28,7 +28,7 @@ pub mod payload;
 
 pub use addr::Addr;
 pub use codec::{decode, encode, encode_into, CodecError};
-pub use payload::{Payload, PayloadBuilder, PayloadStats};
 pub use framing::{FrameDecoder, FrameEncoder, FramingError, MAX_FRAME_LEN};
 pub use header::{AomHeader, Authenticator, HmacTag, SignatureBytes, DIGEST_LEN, HMAC_TAG_LEN};
 pub use id::{ClientId, EpochNum, GroupId, ReplicaId, RequestId, SeqNum, SlotNum, ViewId};
+pub use payload::{Payload, PayloadBuilder, PayloadStats};
