@@ -23,7 +23,7 @@
 
 use crate::{AomPacket, ConfigMsg, Envelope};
 use neo_crypto::{chain, CostModel, Digest, HmacKey, SequencerKeyPair, SystemKeys};
-use neo_sim::{Context, Node, TimerId};
+use neo_sim::{Context, Event, Node, TimerId};
 use neo_switch::fpga::SigningRatioController;
 use neo_switch::{FpgaModel, SequencerTiming, TofinoModel};
 use neo_wire::{Addr, Authenticator, EpochNum, GroupId, ReplicaId, SeqNum};
@@ -158,6 +158,9 @@ impl SequencerNode {
         pkt.header.seq = self.next;
         self.next = self.next.next();
         self.stamped += 1;
+        ctx.emit(Event::SequencerStamp {
+            seq: pkt.header.seq.0,
+        });
 
         let auth_input = pkt.header.auth_input();
         let mut signed = true;

@@ -233,7 +233,8 @@ impl PbftReplica {
             ctx.metrics().incr("replica.bounded_rejects");
             return;
         }
-        ctx.emit(Event::RequestReceived);
+        // PBFT assigns the order later (at pre-prepare), so no slot yet.
+        ctx.emit(Event::RequestReceived { slot: None });
         // neo-lint: allow(R5, size-capped at SIG_CACHE_MAX above)
         self.sig_cache.insert((req.client, req.request_id), sig);
         self.queue.push(req);
@@ -398,7 +399,11 @@ impl PbftReplica {
                 }
                 let result = self.app.execute(&req.op);
                 self.executed += 1;
-                ctx.emit(Event::Commit { slot: seq });
+                ctx.emit(Event::Commit {
+                    slot: seq,
+                    client: req.client.0,
+                    request: req.request_id.0,
+                });
                 let input = reply_mac_input(req.request_id, &result);
                 let mac = self.crypto.mac_for(Principal::Client(req.client), &input);
                 let reply = Msg::Reply {

@@ -6,12 +6,24 @@
 //!   PBFT control), for reproducing a reported violation.
 //! - `chaos --plan '<json>'` — re-run an exact serialized plan from a
 //!   violation report, bypassing the generator.
+//! - `--obs-out <path>` — append live `ObsStreamLine` JSONL (one line
+//!   per node per slice boundary) to `path`.
+//! - `--flight-dir <dir>` — where flight-recorder dumps are written
+//!   (default `$NEO_FLIGHT_DIR`, falling back to `target/flight`).
 //!
-//! Exit status is non-zero iff any run violated a safety invariant.
+//! A safety violation or a SIGINT mid-run writes the cluster's flight
+//! recorder to `<flight-dir>/flight-seed-<seed>.json`; `neo-trace`
+//! renders it. Exit status is non-zero iff any run violated a safety
+//! invariant (130 on interrupt).
 
 use neo_bench::chaos::{
-    generate_plan, run_neo, run_pbft_control, summary_line, violation_report, ChaosPlan,
+    generate_plan, run_neo_with, run_pbft_control, summary_line, violation_report, ChaosOutcome,
+    ChaosPlan, RunHooks,
 };
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn get<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -27,43 +39,142 @@ fn parse(args: &[String], flag: &str, default: u64) -> u64 {
     }
 }
 
+/// Flight-dump directory: flag, then env, then `target/flight`.
+fn flight_dir(args: &[String]) -> PathBuf {
+    get(args, "--flight-dir")
+        .map(PathBuf::from)
+        .or_else(|| std::env::var_os("NEO_FLIGHT_DIR").map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("target/flight"))
+}
+
+/// Write the outcome's flight dump (if any) as a JSON artifact.
+fn write_flight(dir: &Path, outcome: &ChaosOutcome) {
+    let Some(flight) = &outcome.flight else {
+        return;
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("chaos: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("flight-seed-{}.json", outcome.plan.seed));
+    match serde_json::to_vec_pretty(flight) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("chaos: flight recorder written to {}", path.display()),
+            Err(e) => eprintln!("chaos: cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("chaos: cannot serialize flight dump: {e}"),
+    }
+}
+
+/// Arm a process-wide SIGINT watcher: the first ctrl-C sets the flag so
+/// runs can stop at a slice boundary and dump their rings; a second
+/// ctrl-C kills the process the default way.
+fn arm_sigint() -> Arc<AtomicBool> {
+    let flag = Arc::new(AtomicBool::new(false));
+    let seen = flag.clone();
+    std::thread::spawn(move || {
+        let rt = match tokio::runtime::Builder::new_current_thread()
+            .enable_all()
+            .build()
+        {
+            Ok(rt) => rt,
+            Err(_) => return, // no watcher: ctrl-C keeps its default meaning
+        };
+        rt.block_on(async {
+            if tokio::signal::ctrl_c().await.is_ok() {
+                seen.store(true, Ordering::Relaxed);
+                eprintln!("chaos: interrupt — dumping flight recorder at next slice boundary");
+            }
+            // Second ctrl-C: restore immediate termination.
+            if tokio::signal::ctrl_c().await.is_ok() {
+                std::process::exit(130);
+            }
+        });
+    });
+    flag
+}
+
+fn obs_writer(args: &[String]) -> Option<std::io::BufWriter<std::fs::File>> {
+    let path = get(args, "--obs-out")?;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        Ok(f) => Some(std::io::BufWriter::new(f)),
+        Err(e) => {
+            eprintln!("chaos: cannot open --obs-out {path}: {e}");
+            None
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let stop = arm_sigint();
+    let dir = flight_dir(&args);
+    let mut obs = obs_writer(&args);
 
     if let Some(json) = get(&args, "--plan") {
         let plan: ChaosPlan = serde_json::from_str(json).expect("invalid plan JSON");
-        std::process::exit(run_one(&plan));
+        std::process::exit(run_one(&plan, &dir, &stop, &mut obs));
     }
     if get(&args, "--seed").is_some() {
         let plan = generate_plan(parse(&args, "--seed", 0));
-        std::process::exit(run_one(&plan));
+        std::process::exit(run_one(&plan, &dir, &stop, &mut obs));
     }
 
     let start = parse(&args, "--start", 0);
     let count = parse(&args, "--seeds", 50);
     let mut failed = 0;
+    let mut swept = 0;
     for seed in start..start + count {
         let plan = generate_plan(seed);
-        let outcome = run_neo(&plan);
+        let mut hooks = RunHooks {
+            stop: Some(&stop),
+            obs_out: obs.as_mut().map(|w| w as &mut dyn Write),
+            ..RunHooks::default()
+        };
+        let outcome = run_neo_with(&plan, &mut hooks);
         println!("{}", summary_line(&outcome));
+        swept += 1;
         if !outcome.violations.is_empty() {
             eprint!("{}", violation_report(&outcome));
             failed += 1;
         }
+        write_flight(&dir, &outcome);
+        if stop.load(Ordering::Relaxed) {
+            eprintln!("chaos: interrupted after {swept} seed(s)");
+            std::process::exit(130);
+        }
     }
-    println!("chaos: {count} seeds swept, {failed} violation(s)");
+    println!("chaos: {swept} seeds swept, {failed} violation(s)");
     std::process::exit(if failed == 0 { 0 } else { 1 });
 }
 
 /// Run one scenario verbosely: print the plan, the NeoBFT outcome, and
 /// the PBFT control. Returns the process exit code.
-fn run_one(plan: &ChaosPlan) -> i32 {
+fn run_one(
+    plan: &ChaosPlan,
+    dir: &Path,
+    stop: &AtomicBool,
+    obs: &mut Option<std::io::BufWriter<std::fs::File>>,
+) -> i32 {
     println!(
         "plan: {}",
         serde_json::to_string_pretty(plan).expect("plan serializes")
     );
-    let outcome = run_neo(plan);
+    let mut hooks = RunHooks {
+        stop: Some(stop),
+        obs_out: obs.as_mut().map(|w| w as &mut dyn Write),
+        ..RunHooks::default()
+    };
+    let outcome = run_neo_with(plan, &mut hooks);
     println!("{}", summary_line(&outcome));
+    write_flight(dir, &outcome);
+    if stop.load(Ordering::Relaxed) {
+        return 130;
+    }
     let (control_committed, control_anomalies) = run_pbft_control(plan);
     println!("pbft control: committed {control_committed}");
     for a in &control_anomalies {

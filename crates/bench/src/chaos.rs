@@ -22,8 +22,8 @@ use neo_core::invariants::InvariantChecker;
 use neo_core::{Client, NeoConfig, Replica};
 use neo_crypto::{CostModel, SystemKeys};
 use neo_sim::{
-    ByzStrategy, ByzantineNode, CpuConfig, FaultPlan, NetConfig, NetStats, SimConfig, Simulator,
-    MICROS, MILLIS,
+    ByzStrategy, ByzantineNode, CpuConfig, FaultPlan, FlightDump, NetConfig, NetStats, ObsConfig,
+    SimConfig, Simulator, MICROS, MILLIS,
 };
 use neo_wire::{Addr, ClientId, ReplicaId};
 use rand::{Rng, SeedableRng};
@@ -83,6 +83,11 @@ pub struct ChaosOutcome {
     pub net: NetStats,
     /// Sends the Byzantine adapter perturbed (0 without one).
     pub byz_perturbed: u64,
+    /// Flight-recorder dump captured at the moment the invariant checker
+    /// tripped — `None` on a correct run. Self-contained: carries the
+    /// seed and serialized plan in its context plus every node's recent
+    /// events and packet digests.
+    pub flight: Option<FlightDump>,
 }
 
 /// Derive the full scenario from a seed.
@@ -164,6 +169,10 @@ pub fn build_cluster(plan: &ChaosPlan) -> Simulator {
         seed: plan.seed,
         faults: plan.faults.clone(),
     });
+    // Chaos always flies with the recorder on: when an invariant trips,
+    // the bounded per-node event/packet rings become the post-mortem.
+    // Must precede add_node so every node gets a recording registry.
+    sim.set_obs(ObsConfig::flight_recorder());
     let mut cfg = NeoConfig::new(F);
     cfg.sync_interval = plan.sync_interval;
 
@@ -219,20 +228,80 @@ fn correct_replicas<'a>(sim: &'a Simulator, plan: &ChaosPlan) -> Vec<&'a Replica
         .collect()
 }
 
+/// Side-channels for a chaos run, all optional. `run_neo` uses the
+/// defaults; the `chaos` bin wires SIGINT and `--obs-out` through here.
+#[derive(Default)]
+pub struct RunHooks<'a> {
+    /// Checked at every slice boundary: when set, the run stops early
+    /// and the outcome carries a `"sigint"` flight dump of whatever the
+    /// rings held at that moment.
+    pub stop: Option<&'a std::sync::atomic::AtomicBool>,
+    /// Live exporter: one [`neo_sim::ObsStreamLine`] JSON line per node
+    /// is appended at every slice boundary. Draining the trace rings
+    /// into the stream means the stream (not the flight dump) is the
+    /// complete event log when this is active.
+    pub obs_out: Option<&'a mut dyn std::io::Write>,
+    /// Fault-injection hook: called after each slice runs, before its
+    /// invariant check, with the simulator and the 1-based slice index.
+    /// Tests use it to corrupt replica state and exercise the
+    /// violation → flight-dump path end to end.
+    pub inject: Option<&'a mut dyn FnMut(&mut Simulator, u64)>,
+}
+
 /// Run the NeoBFT side of a scenario, checking invariants at every
 /// slice boundary and after a post-horizon drain.
 pub fn run_neo(plan: &ChaosPlan) -> ChaosOutcome {
+    run_neo_with(plan, &mut RunHooks::default())
+}
+
+/// [`run_neo`] with interruption and live-export hooks.
+pub fn run_neo_with(plan: &ChaosPlan, hooks: &mut RunHooks) -> ChaosOutcome {
     let mut sim = build_cluster(plan);
     let mut checker = InvariantChecker::new();
+    let mut flight: Option<FlightDump> = None;
+    // Snapshot the rings at the first slice boundary where the checker
+    // trips — later boundaries would have evicted the interesting tail.
+    let snap = |sim: &Simulator, checker: &InvariantChecker, flight: &mut Option<FlightDump>| {
+        if flight.is_some() || checker.violations().is_empty() {
+            return;
+        }
+        *flight = Some(flight_snapshot(sim, plan, checker, "invariant_violation"));
+    };
     let slice = (plan.horizon_ns / SLICES).max(1);
+    let mut interrupted = false;
     for i in 1..=SLICES {
         sim.run_until(i * slice);
+        if let Some(f) = hooks.inject.as_mut() {
+            f(&mut sim, i);
+        }
         checker.check(&correct_replicas(&sim, plan));
+        snap(&sim, &checker, &mut flight);
+        if let Some(w) = hooks.obs_out.as_deref_mut() {
+            stream_obs(&mut sim, w);
+        }
+        if hooks
+            .stop
+            .map(|s| s.load(std::sync::atomic::Ordering::Relaxed))
+            .unwrap_or(false)
+        {
+            if flight.is_none() {
+                flight = Some(flight_snapshot(&sim, plan, &checker, "sigint"));
+            }
+            interrupted = true;
+            break;
+        }
     }
-    // Drain: faults have healed; give recovery machinery (gap agreement,
-    // view changes, state sync) time to settle, then check once more.
-    sim.run_until(plan.horizon_ns + plan.horizon_ns / 2);
-    checker.check(&correct_replicas(&sim, plan));
+    if !interrupted {
+        // Drain: faults have healed; give recovery machinery (gap
+        // agreement, view changes, state sync) time to settle, then
+        // check once more.
+        sim.run_until(plan.horizon_ns + plan.horizon_ns / 2);
+        checker.check(&correct_replicas(&sim, plan));
+        snap(&sim, &checker, &mut flight);
+        if let Some(w) = hooks.obs_out.as_deref_mut() {
+            stream_obs(&mut sim, w);
+        }
+    }
 
     let committed = (0..plan.n_clients as u64)
         .filter_map(|c| sim.node_ref::<Client>(Addr::Client(ClientId(c))))
@@ -253,7 +322,39 @@ pub fn run_neo(plan: &ChaosPlan) -> ChaosOutcome {
         committed,
         net: sim.stats(),
         byz_perturbed,
+        flight,
     }
+}
+
+/// Append one [`neo_sim::ObsStreamLine`] JSON line per node, draining
+/// each node's trace ring into its line. Write errors are swallowed: a
+/// full disk must not abort the safety check itself.
+fn stream_obs(sim: &mut Simulator, w: &mut dyn std::io::Write) {
+    for line in sim.obs_stream_lines() {
+        if serde_json::to_writer(&mut *w, &line).is_err() || w.write_all(b"\n").is_err() {
+            return;
+        }
+    }
+    let _ = w.flush();
+}
+
+/// Freeze the cluster's flight-recorder rings into a self-contained
+/// dump: violations rendered, seed and serialized plan embedded so the
+/// artifact reproduces the run even detached from sweep output.
+fn flight_snapshot(
+    sim: &Simulator,
+    plan: &ChaosPlan,
+    checker: &InvariantChecker,
+    reason: &str,
+) -> FlightDump {
+    let mut dump = sim.flight_dump(reason);
+    dump.violations = checker.violations().iter().map(|v| v.to_string()).collect();
+    dump.context.insert("seed".into(), plan.seed.to_string());
+    dump.context.insert(
+        "plan".into(),
+        serde_json::to_string(plan).unwrap_or_else(|_| "<unserializable>".into()),
+    );
+    dump
 }
 
 /// Run the same fault plan through PBFT as a control. Returns the
@@ -310,6 +411,27 @@ pub fn violation_report(outcome: &ChaosOutcome) -> String {
         s.push_str("  violation: ");
         s.push_str(v);
         s.push('\n');
+    }
+    // The tail of the merged event timeline: what the cluster was doing
+    // right before the checker tripped.
+    if let Some(flight) = &outcome.flight {
+        const TAIL: usize = 40;
+        let merged = flight.merged_events();
+        let skipped = merged.len().saturating_sub(TAIL);
+        if skipped > 0 {
+            s.push_str(&format!(
+                "  last {TAIL} of {} recorded events (full rings in the flight dump):\n",
+                merged.len()
+            ));
+        } else {
+            s.push_str(&format!("  last {} recorded events:\n", merged.len()));
+        }
+        for r in &merged[skipped..] {
+            s.push_str(&format!(
+                "    {:>12}ns  {:?}  {:?}\n",
+                r.at, r.node, r.event
+            ));
+        }
     }
     s
 }
@@ -371,6 +493,53 @@ mod tests {
             })
             .collect();
         assert_eq!(kinds, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chaos_clusters_fly_with_the_recorder_on() {
+        // The recorder must capture events even though chaos never
+        // enables full tracing elsewhere — and a clean run attaches no
+        // flight dump to its outcome.
+        let plan = generate_plan(0);
+        let mut sim = build_cluster(&plan);
+        sim.run_until(2 * MILLIS);
+        let dump = sim.flight_dump("probe");
+        assert!(
+            dump.nodes.iter().any(|n| !n.events.is_empty()),
+            "event rings recording"
+        );
+        assert!(
+            dump.nodes.iter().any(|n| !n.packets.is_empty()),
+            "packet rings recording"
+        );
+        let outcome = run_neo(&plan);
+        assert!(outcome.violations.is_empty(), "seed 0 is a clean scenario");
+        assert!(outcome.flight.is_none(), "no dump without a violation");
+    }
+
+    #[test]
+    fn stop_hook_interrupts_with_a_sigint_dump() {
+        let stop = std::sync::atomic::AtomicBool::new(true);
+        let mut sink: Vec<u8> = Vec::new();
+        let mut hooks = RunHooks {
+            stop: Some(&stop),
+            obs_out: Some(&mut sink),
+            ..RunHooks::default()
+        };
+        let plan = generate_plan(0);
+        let outcome = run_neo_with(&plan, &mut hooks);
+        let flight = outcome.flight.expect("interrupted run dumps");
+        assert_eq!(flight.reason, "sigint");
+        assert_eq!(flight.context["seed"], "0");
+        // One slice ran before the flag was seen: the stream holds one
+        // valid ObsStreamLine per node.
+        let lines: Vec<neo_sim::ObsStreamLine> = String::from_utf8(sink)
+            .expect("utf8")
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("valid JSONL"))
+            .collect();
+        assert_eq!(lines.len(), N + plan.n_clients + 2, "nodes per slice");
+        assert!(lines.iter().any(|l| !l.events.is_empty()));
     }
 
     #[test]

@@ -112,6 +112,13 @@ impl AppKind {
     }
 }
 
+/// Default per-node event-trace ring size for harness runs: deep enough
+/// that a measurement window's requests survive to span assembly (each
+/// request emits a handful of events per node), shallow enough to keep a
+/// sweep's memory bounded. Rings keep the most recent records, so on
+/// overflow the report simply covers the tail of the run.
+pub const DEFAULT_TRACE_CAPACITY: usize = 32_768;
+
 /// Parameters of one experiment run.
 #[derive(Clone, Debug)]
 pub struct RunParams {
@@ -165,7 +172,7 @@ impl RunParams {
             seed: 42,
             faults: FaultPlan::none(),
             hotstuff_interval_ns: None,
-            obs: ObsConfig::default(),
+            obs: ObsConfig::default().with_trace(DEFAULT_TRACE_CAPACITY),
         }
     }
 
@@ -248,6 +255,11 @@ pub struct RunResult {
     pub obs: ObsReport,
     /// Payload bytes-copied / allocation accounting over the run.
     pub copy: CopyReport,
+    /// Per-request lifecycle spans assembled from the event trace:
+    /// per-phase latency histograms (send → stamp → deliver → exec →
+    /// reply → commit). `None` when tracing was disabled for the run.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub trace: Option<crate::trace::TraceReport>,
 }
 
 impl RunResult {
@@ -280,6 +292,7 @@ impl RunResult {
             latencies_ns: lats,
             obs: ObsReport::default(),
             copy: CopyReport::default(),
+            trace: None,
         }
     }
 }
@@ -618,6 +631,9 @@ pub fn collect(sim: &Simulator, params: &RunParams) -> RunResult {
             })
             .collect(),
     };
+    if params.obs.trace_capacity > 0 {
+        result.trace = Some(crate::trace::TraceReport::from_events(&sim.trace_records()));
+    }
     result
 }
 

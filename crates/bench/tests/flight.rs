@@ -1,0 +1,107 @@
+//! End-to-end flight-recorder pipeline: an injected safety violation in
+//! a chaos run must produce a self-contained flight dump whose events
+//! assemble into request waterfalls — the acceptance path a human takes
+//! from "CI says VIOLATION" to "here is where the request's time went".
+
+use neo_bench::chaos::{generate_plan, run_neo_with, violation_report, RunHooks};
+use neo_bench::trace::{assemble, render_waterfall, TraceReport};
+use neo_core::Replica;
+use neo_sim::FlightDump;
+use neo_wire::{Addr, ReplicaId};
+
+#[test]
+fn injected_violation_produces_dump_and_waterfall() {
+    // Seed 0 is a clean scenario (no Byzantine adapter); the injected
+    // double-execution count is the only corruption.
+    let plan = generate_plan(0);
+    let mut inject = |sim: &mut neo_sim::Simulator, slice: u64| {
+        if slice == 6 {
+            sim.node_mut::<Replica>(Addr::Replica(ReplicaId(0)))
+                .expect("replica 0 is not Byzantine-wrapped at seed 0")
+                .stats
+                .double_executions = 1;
+        }
+    };
+    let mut hooks = RunHooks {
+        inject: Some(&mut inject),
+        ..RunHooks::default()
+    };
+    let outcome = run_neo_with(&plan, &mut hooks);
+
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| v.contains("double execution")),
+        "injected violation detected: {:?}",
+        outcome.violations
+    );
+    let flight = outcome.flight.as_ref().expect("violation attaches a dump");
+    assert_eq!(flight.reason, "invariant_violation");
+    assert_eq!(flight.context["seed"], "0");
+    assert!(flight.context["plan"].contains("\"seed\":0"));
+    assert_eq!(flight.violations, outcome.violations);
+    assert!(
+        flight.nodes.iter().any(|n| !n.packets.is_empty()),
+        "packet digests captured"
+    );
+
+    // The artifact round-trips the way `neo-trace` reads it: JSON on
+    // disk, parsed back, events merged, spans assembled.
+    let json = serde_json::to_string_pretty(flight).expect("dump serializes");
+    let parsed: FlightDump = serde_json::from_str(&json).expect("dump parses");
+    assert_eq!(&parsed, flight);
+    let events = parsed.merged_events();
+    let spans = assemble(&events);
+    let full = spans
+        .iter()
+        .find(|s| {
+            s.deliver.is_some() && s.exec.is_some() && s.reply.is_some() && s.commit.is_some()
+        })
+        .expect("at least one request shows deliver → exec → reply → commit");
+
+    let waterfall = render_waterfall(full);
+    for milestone in [
+        "replica_deliver",
+        "speculative_exec",
+        "reply_sent",
+        "client_commit",
+    ] {
+        assert!(waterfall.contains(milestone), "waterfall: {waterfall}");
+    }
+    assert!(waterfall.contains("total "), "per-phase durations rendered");
+
+    // The rendered report embeds the event tail for triage without the
+    // artifact in hand.
+    let report = violation_report(&outcome);
+    assert!(report.contains("SAFETY VIOLATION at seed 0"));
+    assert!(report.contains("recorded events"));
+    assert!(report.contains("Commit"));
+
+    // And the same events feed the per-phase latency tables.
+    let tr = TraceReport::from_events(&events);
+    assert!(tr.requests > 0);
+    assert!(tr.phases.contains_key("deliver_to_exec") || tr.phases.contains_key("total"));
+}
+
+#[test]
+fn committed_fixture_matches_the_artifact_format() {
+    // The fixture CI feeds to `neo-trace --check`; parsing and assembly
+    // must keep working as the formats evolve.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/flight-fixture.json"
+    );
+    let text = std::fs::read_to_string(path).expect("fixture readable");
+    let dump: FlightDump = serde_json::from_str(&text).expect("fixture parses");
+    assert_eq!(dump.reason, "invariant_violation");
+    let spans = assemble(&dump.merged_events());
+    assert_eq!(spans.len(), 1);
+    let s = &spans[0];
+    assert_eq!((s.client, s.request, s.slot), (3, 7, Some(4)));
+    assert_eq!(s.stamp, Some(150_000), "seq 5 joins slot 4");
+    assert!(s.committed());
+    let w = render_waterfall(s);
+    assert!(w.contains("request 3:7 (slot 4)"));
+    assert!(w.contains("sequencer_stamp"));
+}

@@ -78,6 +78,36 @@ fn results_are_deterministic() {
 }
 
 #[test]
+fn clean_run_reports_per_phase_latency_tables() {
+    let r = result(Protocol::NeoHm);
+    let trace = r.trace.as_ref().expect("tracing is on by default");
+    assert!(trace.committed > 50, "spans assembled: {}", trace.committed);
+    assert_eq!(trace.gap_detours, 0, "clean run takes the fast path");
+    for phase in ["send_to_stamp", "reply_to_commit", "total"] {
+        let h = trace
+            .phases
+            .get(phase)
+            .unwrap_or_else(|| panic!("phase {phase} observed"));
+        assert_eq!(h.count, trace.requests, "{phase} covers every span");
+        assert!(h.p50 <= h.p99, "{phase} quantiles ordered");
+    }
+    assert!(
+        trace.phases["total"].p50 >= trace.phases["reply_to_commit"].p50,
+        "total dominates any single phase"
+    );
+    // The BENCH JSON view carries the tables.
+    let json = serde_json::to_value(&r).expect("serialize");
+    assert!(json["trace"]["phases"]["total"]["p99"].is_u64());
+
+    // Tracing off → no trace report, numbers unchanged.
+    let mut p = smoke(Protocol::NeoHm);
+    p.obs = p.obs.with_trace(0);
+    let untraced = run_experiment(&p);
+    assert!(untraced.trace.is_none());
+    assert_eq!(untraced.committed, r.committed, "tracing never perturbs");
+}
+
+#[test]
 fn ycsb_workload_runs_on_kv_store() {
     use neo_app::YcsbConfig;
     use neo_bench::harness::AppKind;

@@ -11,6 +11,7 @@ use crate::messages::{NeoMsg, Reply, Request, SignedRequest};
 use neo_aom::{AomSender, Envelope};
 use neo_app::Workload;
 use neo_crypto::{CostModel, NodeCrypto, Principal, SystemKeys};
+use neo_sim::obs::Event;
 use neo_sim::{Context, Node, TimerId};
 use neo_wire::{Addr, ClientId, ReplicaId, RequestId};
 use std::any::Any;
@@ -120,6 +121,12 @@ impl Client {
             replies: BTreeMap::new(),
             retry_timer,
         });
+        // Span start: everything downstream correlates back to this
+        // (client, request) pair.
+        ctx.emit(Event::ClientSend {
+            client: self.id.0,
+            request: request_id.0,
+        });
         self.send_request(ctx);
     }
 
@@ -204,6 +211,11 @@ impl Client {
             };
             ctx.cancel_timer(p.retry_timer);
             let completed_at = ctx.now();
+            // Span end: the 2f+1 matching-reply quorum completed.
+            ctx.emit(Event::ClientCommit {
+                client: self.id.0,
+                request: p.request_id.0,
+            });
             {
                 let m = ctx.metrics();
                 m.observe(

@@ -436,6 +436,11 @@ impl Replica {
         // message exchanges").
         let outgoing = self.aom.take_outgoing_confirms();
         if !outgoing.is_empty() && self.behavior != ReplicaBehavior::Mute {
+            for sc in &outgoing {
+                ctx.emit(Event::Confirm {
+                    seq: sc.body.seq.0,
+                });
+            }
             if self.cfg.batch_confirms {
                 self.pending_confirms.extend(outgoing);
                 if self.pending_confirms.len() >= Self::CONFIRM_BATCH {
@@ -560,7 +565,7 @@ impl Replica {
             return; // already have it (e.g. via view-change merge)
         }
         debug_assert_eq!(slot, self.log.len(), "aom delivers densely");
-        ctx.emit(Event::RequestReceived);
+        ctx.emit(Event::RequestReceived { slot: Some(slot.0) });
         self.log.append_request(cert);
         self.executed_req.push(false);
         self.exec_digests.push(None);
@@ -689,7 +694,13 @@ impl Replica {
             ctx.send(Addr::Client(req.client), msg);
         }
         self.stats.replies_sent += 1;
-        ctx.emit(Event::Commit { slot: slot.0 });
+        // Commit carries (slot, client, request) so the span assembler can
+        // join replica-side slot events to the client-side request span.
+        ctx.emit(Event::Commit {
+            slot: slot.0,
+            client: req.client.0,
+            request: req.request_id.0,
+        });
         Ok(())
     }
 
@@ -754,6 +765,7 @@ impl Replica {
                 self.broadcast(&find, ctx);
             }
         } else {
+            ctx.emit(Event::Query { slot: slot.0 });
             let q = NeoMsg::Query { view, slot };
             self.send_to(leader, &q, ctx);
             let t = self.arm(self.cfg.query_retry_ns, TimerPayload::QueryRetry(slot), ctx);
@@ -822,6 +834,7 @@ impl Replica {
                 oc: oc.clone(),
             };
             if let Addr::Replica(r) = from {
+                ctx.emit(Event::QueryReply { slot: slot.0 });
                 self.send_to(r, &reply, ctx);
             }
         }
@@ -1304,6 +1317,7 @@ impl Replica {
             }
         }
         self.sync_point = slot;
+        ctx.emit(Event::SyncPoint { slot: slot.0 });
         // Settled rounds can never reach quorum again: prune them so the
         // vote map stays bounded (neo-lint R5).
         self.sync_votes = self.sync_votes.split_off(&SlotNum(slot.0 + 1));
@@ -1764,6 +1778,7 @@ impl Replica {
                     .map(|g| !g.resolved && !g.voted_drop)
                     .unwrap_or(false);
                 if unresolved && self.log.is_pending(slot) {
+                    ctx.emit(Event::Query { slot: slot.0 });
                     let q = NeoMsg::Query {
                         view: self.view,
                         slot,

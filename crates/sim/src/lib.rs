@@ -41,7 +41,10 @@ pub use cpu::CpuConfig;
 pub use fault::{FaultPlan, FaultRule, PacketFate, FOREVER};
 pub use net::NetConfig;
 pub use node::{Context, Node, TimerId};
-pub use obs::{Event, EventKind, EventRecord, Metrics, MetricsSnapshot, ObsConfig};
+pub use obs::{
+    Event, EventKind, EventRecord, FlightDump, Metrics, MetricsSnapshot, NodeFlight, ObsConfig,
+    ObsStreamLine, PacketRecord,
+};
 pub use sim::{SimConfig, Simulator};
 pub use stats::NetStats;
 pub use time::{Duration, Time, MICROS, MILLIS, SECS};

@@ -147,7 +147,7 @@ mod tests {
     fn default_observability_is_inert() {
         let mut ctx = BareCtx;
         assert!(!ctx.metrics().enabled());
-        ctx.emit(crate::obs::Event::RequestReceived);
+        ctx.emit(crate::obs::Event::RequestReceived { slot: None });
         ctx.metrics().incr("ignored");
         assert_eq!(ctx.metrics().counter("ignored"), 0);
         assert_eq!(

@@ -30,7 +30,7 @@
 use crate::time::Time;
 use neo_wire::Addr;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Per-node observability configuration.
@@ -38,10 +38,13 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 pub struct ObsConfig {
     /// Record counters, gauges, histograms, and event counts.
     pub metrics: bool,
-    /// Keep up to this many [`EventRecord`]s per node; 0 disables the
-    /// trace (event *counts* are still kept). Records past the cap are
-    /// dropped and tallied in [`MetricsSnapshot::trace_dropped`].
+    /// Keep the most recent `trace_capacity` [`EventRecord`]s per node in
+    /// a ring; 0 disables the trace (event *counts* are still kept).
+    /// Evicted records are tallied in [`MetricsSnapshot::trace_dropped`].
     pub trace_capacity: usize,
+    /// Keep the most recent `packet_capacity` [`PacketRecord`]s per node
+    /// (the flight recorder's packet-digest ring); 0 disables it.
+    pub packet_capacity: usize,
 }
 
 impl Default for ObsConfig {
@@ -49,6 +52,7 @@ impl Default for ObsConfig {
         ObsConfig {
             metrics: true,
             trace_capacity: 0,
+            packet_capacity: 0,
         }
     }
 }
@@ -59,27 +63,59 @@ impl ObsConfig {
         ObsConfig {
             metrics: false,
             trace_capacity: 0,
+            packet_capacity: 0,
         }
     }
 
-    /// Enable the bounded event trace with the given capacity.
+    /// Enable the bounded (most-recent) event trace with the given
+    /// capacity.
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
         self
     }
+
+    /// Enable the packet-digest ring with the given capacity.
+    pub fn with_packets(mut self, capacity: usize) -> Self {
+        self.packet_capacity = capacity;
+        self
+    }
+
+    /// The flight-recorder preset: metrics plus bounded event and packet
+    /// rings sized so a dump tells a causal story without unbounded
+    /// memory (used by the chaos explorer and the runtime exporter).
+    pub fn flight_recorder() -> Self {
+        ObsConfig::default().with_trace(4096).with_packets(512)
+    }
 }
 
 /// A structured protocol event. Variants carry only the identifiers needed
-/// to correlate a trace with a log slot or view — payloads stay out.
+/// to correlate a trace with a request, log slot, or view — payloads stay
+/// out. Request-lifecycle events carry enough to be stitched into
+/// per-request timelines by the span assembler (`neo-bench`): the client
+/// side is keyed by `(client, request)`, the replica side by `slot`, and
+/// `Commit` carries all three so the assembler can join them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Event {
-    /// A client request reached the node's protocol layer.
-    RequestReceived,
+    /// A client issued a new request (span start).
+    ClientSend { client: u64, request: u64 },
+    /// A client collected its 2f+1 matching-reply quorum (span end).
+    ClientCommit { client: u64, request: u64 },
+    /// The sequencer stamped sequence number `seq` onto an aom packet.
+    SequencerStamp { seq: u64 },
+    /// A client request reached the node's protocol layer. For NeoBFT
+    /// replicas this is the aom delivery into `slot`; protocols that
+    /// receive requests before assigning an order report `slot: None`.
+    RequestReceived { slot: Option<u64> },
     /// A slot was executed speculatively, ahead of the stable sync point.
     SpeculativeExecute { slot: u64 },
     /// An operation was executed and its reply issued (fast-path commit
-    /// for NeoBFT, quorum commit for the baselines).
-    Commit { slot: u64 },
+    /// for NeoBFT, quorum commit for the baselines). `client`/`request`
+    /// tie the slot back to the request for span assembly.
+    Commit {
+        slot: u64,
+        client: u64,
+        request: u64,
+    },
     /// Gap agreement started for a missing slot.
     GapFind { slot: u64 },
     /// Gap agreement decided a slot (`noop` = the slot was voided).
@@ -88,15 +124,27 @@ pub enum Event {
     ViewChange { view: u64 },
     /// The node installed a new sequencing epoch.
     EpochChange { epoch: u64 },
+    /// A single aom confirm was produced for `seq` (Byzantine-network
+    /// mode, §4.2).
+    Confirm { seq: u64 },
     /// A batch of aom confirms was flushed to the group.
     ConfirmBatch { size: u32 },
     /// The aom layer declared a sequence number dropped.
     DropNotification { seq: u64 },
+    /// The stable sync point advanced to `slot` (§B.2).
+    SyncPoint { slot: u64 },
+    /// The node queried the leader for a missing slot's certificate.
+    Query { slot: u64 },
+    /// The node answered a slot query with its ordering certificate.
+    QueryReply { slot: u64 },
 }
 
 /// Discriminant-only view of [`Event`], used to index the per-kind counts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EventKind {
+    ClientSend,
+    ClientCommit,
+    SequencerStamp,
     RequestReceived,
     SpeculativeExecute,
     Commit,
@@ -104,16 +152,23 @@ pub enum EventKind {
     GapCommit,
     ViewChange,
     EpochChange,
+    Confirm,
     ConfirmBatch,
     DropNotification,
+    SyncPoint,
+    Query,
+    QueryReply,
 }
 
 /// Number of [`EventKind`] variants.
-pub const EVENT_KIND_COUNT: usize = 9;
+pub const EVENT_KIND_COUNT: usize = 16;
 
 impl EventKind {
     /// All kinds, in discriminant order.
     pub const ALL: [EventKind; EVENT_KIND_COUNT] = [
+        EventKind::ClientSend,
+        EventKind::ClientCommit,
+        EventKind::SequencerStamp,
         EventKind::RequestReceived,
         EventKind::SpeculativeExecute,
         EventKind::Commit,
@@ -121,13 +176,20 @@ impl EventKind {
         EventKind::GapCommit,
         EventKind::ViewChange,
         EventKind::EpochChange,
+        EventKind::Confirm,
         EventKind::ConfirmBatch,
         EventKind::DropNotification,
+        EventKind::SyncPoint,
+        EventKind::Query,
+        EventKind::QueryReply,
     ];
 
     /// Stable snake_case name used as the key in snapshots and JSON.
     pub fn name(self) -> &'static str {
         match self {
+            EventKind::ClientSend => "client_send",
+            EventKind::ClientCommit => "client_commit",
+            EventKind::SequencerStamp => "sequencer_stamp",
             EventKind::RequestReceived => "request_received",
             EventKind::SpeculativeExecute => "speculative_execute",
             EventKind::Commit => "commit",
@@ -135,8 +197,12 @@ impl EventKind {
             EventKind::GapCommit => "gap_commit",
             EventKind::ViewChange => "view_change",
             EventKind::EpochChange => "epoch_change",
+            EventKind::Confirm => "confirm",
             EventKind::ConfirmBatch => "confirm_batch",
             EventKind::DropNotification => "drop_notification",
+            EventKind::SyncPoint => "sync_point",
+            EventKind::Query => "query",
+            EventKind::QueryReply => "query_reply",
         }
     }
 }
@@ -145,15 +211,22 @@ impl Event {
     /// The kind discriminant of this event.
     pub fn kind(self) -> EventKind {
         match self {
-            Event::RequestReceived => EventKind::RequestReceived,
+            Event::ClientSend { .. } => EventKind::ClientSend,
+            Event::ClientCommit { .. } => EventKind::ClientCommit,
+            Event::SequencerStamp { .. } => EventKind::SequencerStamp,
+            Event::RequestReceived { .. } => EventKind::RequestReceived,
             Event::SpeculativeExecute { .. } => EventKind::SpeculativeExecute,
             Event::Commit { .. } => EventKind::Commit,
             Event::GapFind { .. } => EventKind::GapFind,
             Event::GapCommit { .. } => EventKind::GapCommit,
             Event::ViewChange { .. } => EventKind::ViewChange,
             Event::EpochChange { .. } => EventKind::EpochChange,
+            Event::Confirm { .. } => EventKind::Confirm,
             Event::ConfirmBatch { .. } => EventKind::ConfirmBatch,
             Event::DropNotification { .. } => EventKind::DropNotification,
+            Event::SyncPoint { .. } => EventKind::SyncPoint,
+            Event::Query { .. } => EventKind::Query,
+            Event::QueryReply { .. } => EventKind::QueryReply,
         }
     }
 }
@@ -167,6 +240,34 @@ pub struct EventRecord {
     pub node: Addr,
     /// The event itself.
     pub event: Event,
+}
+
+/// One entry of the flight recorder's packet-digest ring: enough to see
+/// what a node received around a failure without storing payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PacketRecord {
+    /// Virtual (or wall) time the packet was delivered, nanoseconds.
+    pub at: Time,
+    /// Sender.
+    pub from: Addr,
+    /// Receiver (the node whose ring this is).
+    pub to: Addr,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-1a digest of the payload bytes — cheap, deterministic, and
+    /// good enough to tell retransmissions from distinct messages.
+    pub digest: u64,
+}
+
+/// 64-bit FNV-1a over `bytes` (the packet-digest hash; not
+/// collision-resistant, purely diagnostic).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 // Histogram bucket layout: exact buckets for values < 64, then 32
@@ -340,8 +441,10 @@ struct Inner {
     gauges: BTreeMap<String, i64>,
     histograms: BTreeMap<String, Histogram>,
     events: [u64; EVENT_KIND_COUNT],
-    trace: Vec<EventRecord>,
+    trace: VecDeque<EventRecord>,
     trace_dropped: u64,
+    packets: VecDeque<PacketRecord>,
+    packets_dropped: u64,
 }
 
 /// A per-node metrics registry.
@@ -353,6 +456,7 @@ struct Inner {
 pub struct Metrics {
     enabled: bool,
     trace_capacity: usize,
+    packet_capacity: usize,
     inner: Mutex<Inner>,
 }
 
@@ -377,6 +481,7 @@ impl Metrics {
         Metrics {
             enabled: cfg.metrics,
             trace_capacity: cfg.trace_capacity,
+            packet_capacity: cfg.packet_capacity,
             inner: Mutex::new(Inner::default()),
         }
     }
@@ -448,8 +553,10 @@ impl Metrics {
         }
     }
 
-    /// Count `ev` and, when tracing is enabled, append a record. Called by
-    /// the default [`crate::Context::emit`].
+    /// Count `ev` and, when tracing is enabled, append a record to the
+    /// most-recent ring (the oldest record is evicted and tallied in
+    /// `trace_dropped` once the ring is full). Called by the default
+    /// [`crate::Context::emit`].
     pub fn record_event(&self, at: Time, node: Addr, ev: Event) {
         if !self.enabled {
             return;
@@ -457,16 +564,44 @@ impl Metrics {
         let mut inner = self.lock();
         inner.events[event_slot(ev.kind())] += 1;
         if self.trace_capacity > 0 {
-            if inner.trace.len() < self.trace_capacity {
-                inner.trace.push(EventRecord {
-                    at,
-                    node,
-                    event: ev,
-                });
-            } else {
+            if inner.trace.len() == self.trace_capacity {
+                inner.trace.pop_front();
                 inner.trace_dropped += 1;
             }
+            inner.trace.push_back(EventRecord {
+                at,
+                node,
+                event: ev,
+            });
         }
+    }
+
+    /// Record a delivered packet's digest into the flight recorder's ring
+    /// (the oldest record is evicted once the ring is full). A no-op
+    /// unless [`ObsConfig::packet_capacity`] is set.
+    pub fn record_packet(&self, at: Time, from: Addr, to: Addr, payload: &[u8]) {
+        if !self.enabled || self.packet_capacity == 0 {
+            return;
+        }
+        let rec = PacketRecord {
+            at,
+            from,
+            to,
+            len: payload.len() as u64,
+            digest: fnv1a(payload),
+        };
+        let mut inner = self.lock();
+        if inner.packets.len() == self.packet_capacity {
+            inner.packets.pop_front();
+            inner.packets_dropped += 1;
+        }
+        inner.packets.push_back(rec);
+    }
+
+    /// Whether this registry keeps a packet-digest ring (instrumentation
+    /// that must *hash* a payload should guard on this).
+    pub fn records_packets(&self) -> bool {
+        self.enabled && self.packet_capacity > 0
     }
 
     /// Current value of counter `name` (0 if never incremented).
@@ -490,7 +625,24 @@ impl Metrics {
         if !self.enabled {
             return Vec::new();
         }
-        std::mem::take(&mut self.lock().trace)
+        std::mem::take(&mut self.lock().trace).into()
+    }
+
+    /// Copy the bounded event trace without draining it (flight-recorder
+    /// dumps must not perturb a still-running node).
+    pub fn trace_snapshot(&self) -> Vec<EventRecord> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        self.lock().trace.iter().copied().collect()
+    }
+
+    /// Copy the packet-digest ring without draining it.
+    pub fn packet_snapshot(&self) -> Vec<PacketRecord> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        self.lock().packets.iter().copied().collect()
     }
 
     /// Freeze the registry into a serializable snapshot. Disabled
@@ -517,6 +669,19 @@ impl Metrics {
                 .map(|(k, h)| (k.clone(), h.snapshot()))
                 .collect(),
             trace_dropped: inner.trace_dropped,
+            packets_dropped: inner.packets_dropped,
+        }
+    }
+
+    /// Freeze the registry into a [`NodeFlight`] — the per-node unit of a
+    /// flight-recorder dump: the metrics snapshot plus copies of the
+    /// event and packet rings.
+    pub fn flight(&self, node: Addr) -> NodeFlight {
+        NodeFlight {
+            node,
+            snapshot: self.snapshot(),
+            events: self.trace_snapshot(),
+            packets: self.packet_snapshot(),
         }
     }
 }
@@ -542,9 +707,12 @@ pub struct MetricsSnapshot {
     pub events: BTreeMap<String, u64>,
     /// Histograms, merged bucket-wise.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
-    /// Trace records dropped because the per-node capacity was reached.
+    /// Trace records evicted because the per-node ring was full.
     #[serde(default)]
     pub trace_dropped: u64,
+    /// Packet records evicted because the per-node ring was full.
+    #[serde(default)]
+    pub packets_dropped: u64,
 }
 
 impl MetricsSnapshot {
@@ -569,7 +737,73 @@ impl MetricsSnapshot {
             self.histograms.entry(k.clone()).or_default().merge(h);
         }
         self.trace_dropped += other.trace_dropped;
+        self.packets_dropped += other.packets_dropped;
     }
+}
+
+/// One node's contribution to a flight-recorder dump.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeFlight {
+    /// The node.
+    pub node: Addr,
+    /// Its metrics at dump time.
+    pub snapshot: MetricsSnapshot,
+    /// The most recent events (the trace ring's contents).
+    pub events: Vec<EventRecord>,
+    /// The most recent packet digests.
+    #[serde(default)]
+    pub packets: Vec<PacketRecord>,
+}
+
+/// A flight-recorder dump: every node's recent events, packet digests,
+/// and metrics, frozen at the moment something went wrong. Serialized to
+/// a JSON artifact on an invariant violation, a failed chaos sweep, or
+/// SIGINT — the failure's black box, rendered by `neo-trace`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlightDump {
+    /// Why the dump was taken (`"invariant_violation"`, `"sigint"`, ...).
+    pub reason: String,
+    /// Virtual (or wall) time of the dump, nanoseconds.
+    pub at: Time,
+    /// Rendered safety violations, if any.
+    #[serde(default)]
+    pub violations: Vec<String>,
+    /// Free-form context: chaos seed, serialized plan, run parameters.
+    #[serde(default)]
+    pub context: BTreeMap<String, String>,
+    /// Per-node recent history.
+    pub nodes: Vec<NodeFlight>,
+}
+
+impl FlightDump {
+    /// All nodes' events merged into one timeline, sorted by time (ties
+    /// keep per-node order — each node's ring is already chronological).
+    pub fn merged_events(&self) -> Vec<EventRecord> {
+        let mut all: Vec<EventRecord> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.events.iter().copied())
+            .collect();
+        all.sort_by_key(|r| r.at);
+        all
+    }
+}
+
+/// One line of the live exporter's JSONL stream (`--obs-out`): a periodic
+/// per-node snapshot plus the events emitted since the previous line
+/// (the trace ring is drained into each line, so a stream's lines
+/// concatenate into a complete bounded-loss event log).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObsStreamLine {
+    /// Time of the snapshot, nanoseconds since the run started.
+    pub at: Time,
+    /// The reporting node.
+    pub node: Addr,
+    /// Its metrics at that moment.
+    pub snapshot: MetricsSnapshot,
+    /// Events drained from the trace ring since the previous line.
+    #[serde(default)]
+    pub events: Vec<EventRecord>,
 }
 
 #[cfg(test)]
@@ -660,12 +894,20 @@ mod tests {
         assert!((955..=990).contains(&h.p99), "merged p99 = {}", h.p99);
     }
 
+    fn commit(slot: u64) -> Event {
+        Event::Commit {
+            slot,
+            client: 0,
+            request: slot + 1,
+        }
+    }
+
     #[test]
     fn events_count_per_kind() {
         let m = Metrics::new(ObsConfig::default());
         let node = Addr::Replica(ReplicaId(0));
-        m.record_event(10, node, Event::Commit { slot: 1 });
-        m.record_event(20, node, Event::Commit { slot: 2 });
+        m.record_event(10, node, commit(1));
+        m.record_event(20, node, commit(2));
         m.record_event(30, node, Event::GapFind { slot: 3 });
         assert_eq!(m.event_count(EventKind::Commit), 2);
         assert_eq!(m.event_count(EventKind::GapFind), 1);
@@ -677,18 +919,51 @@ mod tests {
     }
 
     #[test]
-    fn trace_is_bounded() {
+    fn trace_ring_keeps_most_recent() {
         let m = Metrics::new(ObsConfig::default().with_trace(2));
         let node = Addr::Replica(ReplicaId(1));
         for slot in 0..5u64 {
-            m.record_event(slot, node, Event::Commit { slot });
+            m.record_event(slot, node, commit(slot));
         }
+        // Ring semantics: the *oldest* records are evicted, so a dump
+        // shows what happened just before a failure.
+        assert_eq!(
+            m.trace_snapshot().iter().map(|r| r.at).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
         let trace = m.take_trace();
         assert_eq!(trace.len(), 2);
-        assert_eq!(trace[0].event, Event::Commit { slot: 0 });
+        assert_eq!(trace[0].event, commit(3));
+        assert_eq!(trace[1].event, commit(4));
         assert_eq!(m.snapshot().trace_dropped, 3);
         // Event counts are unaffected by the trace cap.
         assert_eq!(m.event_count(EventKind::Commit), 5);
+        // take_trace drained the ring; the snapshot copy did not.
+        assert!(m.take_trace().is_empty());
+    }
+
+    #[test]
+    fn packet_ring_records_digests() {
+        let m = Metrics::new(ObsConfig::default().with_packets(2));
+        assert!(m.records_packets());
+        let a = Addr::Replica(ReplicaId(0));
+        let b = Addr::Replica(ReplicaId(1));
+        m.record_packet(1, a, b, b"one");
+        m.record_packet(2, a, b, b"two");
+        m.record_packet(3, a, b, b"three");
+        let packets = m.packet_snapshot();
+        assert_eq!(packets.len(), 2);
+        assert_eq!(packets[0].at, 2);
+        assert_eq!(packets[1].at, 3);
+        assert_eq!(packets[1].len, 5);
+        assert_eq!(packets[1].digest, fnv1a(b"three"));
+        assert_ne!(packets[0].digest, packets[1].digest);
+        assert_eq!(m.snapshot().packets_dropped, 1);
+        // Without packet capacity, recording is a no-op.
+        let off = Metrics::new(ObsConfig::default());
+        assert!(!off.records_packets());
+        off.record_packet(1, a, b, b"x");
+        assert!(off.packet_snapshot().is_empty());
     }
 
     #[test]
@@ -698,11 +973,13 @@ mod tests {
         m.incr("x");
         m.observe("h", 42);
         m.set_gauge("g", 7);
-        m.record_event(0, Addr::Config, Event::RequestReceived);
+        m.record_event(0, Addr::Config, Event::RequestReceived { slot: None });
+        m.record_packet(0, Addr::Config, Addr::Config, b"ignored");
         assert_eq!(m.counter("x"), 0);
         assert_eq!(m.event_count(EventKind::RequestReceived), 0);
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
         assert!(m.take_trace().is_empty());
+        assert!(m.packet_snapshot().is_empty());
     }
 
     #[test]
@@ -710,11 +987,117 @@ mod tests {
         let m = Metrics::new(ObsConfig::default());
         m.incr("replica.messages_in");
         m.observe("client.latency_ns", 1500);
-        m.record_event(5, Addr::Replica(ReplicaId(2)), Event::Commit { slot: 9 });
+        m.record_event(5, Addr::Replica(ReplicaId(2)), commit(9));
         let json = serde_json::to_string(&m.snapshot()).expect("serialize");
         assert!(json.contains("replica.messages_in"));
         assert!(json.contains("\"commit\":1"));
         let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, m.snapshot());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let m = Metrics::new(ObsConfig::default());
+        m.incr("c");
+        m.observe("h", 9);
+        m.record_event(1, Addr::Config, Event::GapFind { slot: 0 });
+        let base = m.snapshot();
+
+        // empty.merge(full) == full.
+        let mut empty = MetricsSnapshot::default();
+        empty.merge(&base);
+        assert_eq!(empty, base);
+        // full.merge(empty) == full.
+        let mut full = base.clone();
+        full.merge(&MetricsSnapshot::default());
+        assert_eq!(full, base);
+        // empty.merge(empty) == empty.
+        let mut e = MetricsSnapshot::default();
+        e.merge(&MetricsSnapshot::default());
+        assert_eq!(e, MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn merge_is_associative_across_three_nodes() {
+        let nodes: Vec<MetricsSnapshot> = (0..3u64)
+            .map(|i| {
+                let m = Metrics::new(ObsConfig::default().with_trace(4));
+                m.add("ops", i + 1);
+                m.set_gauge("depth", i as i64);
+                for v in [i + 1, 10 * (i + 1), 1000 * (i + 1)] {
+                    m.observe("lat", v);
+                }
+                m.record_event(i, Addr::Replica(ReplicaId(i as u32)), commit(i));
+                m.snapshot()
+            })
+            .collect();
+        // (a ⊕ b) ⊕ c
+        let mut left = nodes[0].clone();
+        left.merge(&nodes[1]);
+        left.merge(&nodes[2]);
+        // a ⊕ (b ⊕ c)
+        let mut bc = nodes[1].clone();
+        bc.merge(&nodes[2]);
+        let mut right = nodes[0].clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left.counters["ops"], 6);
+        assert_eq!(left.gauges["depth"], 3);
+        assert_eq!(left.histograms["lat"].count, 9);
+        assert_eq!(left.event(EventKind::Commit), 3);
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_wrapping() {
+        let mut h = Histogram::default();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        h.observe(1);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, u64::MAX, "sum saturates");
+        assert_eq!(snap.max, u64::MAX);
+        assert_eq!(snap.min, 1);
+        // Merging two saturated snapshots stays saturated.
+        let mut a = snap.clone();
+        a.merge(&snap);
+        assert_eq!(a.sum, u64::MAX);
+        assert_eq!(a.count, 6);
+        assert_eq!(a.p99, bucket_floor(bucket_index(u64::MAX) as u32));
+    }
+
+    #[test]
+    fn flight_dump_round_trips_and_merges_events() {
+        let m = Metrics::new(ObsConfig::flight_recorder());
+        let a = Addr::Replica(ReplicaId(0));
+        let b = Addr::Client(neo_wire::ClientId(1));
+        m.record_event(20, a, commit(0));
+        m.record_packet(5, b, a, b"payload");
+        let ma = m.flight(a);
+        let mb = Metrics::new(ObsConfig::flight_recorder());
+        mb.record_event(
+            10,
+            b,
+            Event::ClientSend {
+                client: 1,
+                request: 1,
+            },
+        );
+        let dump = FlightDump {
+            reason: "test".into(),
+            at: 30,
+            violations: vec!["prefix divergence".into()],
+            context: BTreeMap::new(),
+            nodes: vec![ma, mb.flight(b)],
+        };
+        let json = serde_json::to_string_pretty(&dump).expect("serialize");
+        let back: FlightDump = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, dump);
+        // Merged timeline is time-sorted across nodes.
+        let merged = back.merged_events();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].at, 10);
+        assert_eq!(merged[0].node, b);
+        assert_eq!(merged[1].at, 20);
     }
 }

@@ -4,7 +4,9 @@ use crate::cpu::{CpuConfig, CpuState};
 use crate::fault::FaultPlan;
 use crate::net::NetConfig;
 use crate::node::{Context, Node, TimerId};
-use crate::obs::{Metrics, MetricsSnapshot, ObsConfig};
+use crate::obs::{
+    EventRecord, FlightDump, Metrics, MetricsSnapshot, NodeFlight, ObsConfig, ObsStreamLine,
+};
 use crate::stats::NetStats;
 use crate::time::{Duration, Time};
 use neo_wire::{Addr, Payload};
@@ -224,6 +226,74 @@ impl Simulator {
         agg
     }
 
+    /// Drain every node's event-trace ring into one merged timeline,
+    /// sorted by time then node (the sort is stable, so each node's
+    /// records keep their ring order). The span assembler consumes this
+    /// once at the end of a run.
+    pub fn take_traces(&mut self) -> Vec<EventRecord> {
+        let mut all: Vec<EventRecord> = self
+            .nodes
+            .values()
+            .flat_map(|s| s.metrics.take_trace())
+            .collect();
+        all.sort_by_key(|r| (r.at, r.node));
+        all
+    }
+
+    /// Emit one live-exporter line per node: its metrics snapshot plus
+    /// the events accumulated since the previous call (each call drains
+    /// the trace rings, so successive lines concatenate into a complete
+    /// bounded-loss event log). Nodes are sorted for a deterministic
+    /// stream.
+    pub fn obs_stream_lines(&mut self) -> Vec<ObsStreamLine> {
+        let now = self.now;
+        let mut lines: Vec<ObsStreamLine> = self
+            .nodes
+            .iter()
+            .map(|(addr, slot)| ObsStreamLine {
+                at: now,
+                node: *addr,
+                snapshot: slot.metrics.snapshot(),
+                events: slot.metrics.take_trace(),
+            })
+            .collect();
+        lines.sort_by(|a, b| a.node.cmp(&b.node));
+        lines
+    }
+
+    /// Copy every node's event-trace ring into one merged timeline
+    /// without draining — the non-destructive sibling of
+    /// [`Simulator::take_traces`], for observers that only hold `&self`
+    /// (e.g. the harness collecting a report mid-inspection).
+    pub fn trace_records(&self) -> Vec<EventRecord> {
+        let mut all: Vec<EventRecord> = self
+            .nodes
+            .values()
+            .flat_map(|s| s.metrics.trace_snapshot())
+            .collect();
+        all.sort_by_key(|r| (r.at, r.node));
+        all
+    }
+
+    /// Freeze every node's recent history into a flight-recorder dump
+    /// (without draining the rings — the run can continue). Nodes are
+    /// sorted by address so the artifact is deterministic.
+    pub fn flight_dump(&self, reason: &str) -> FlightDump {
+        let mut nodes: Vec<NodeFlight> = self
+            .nodes
+            .iter()
+            .map(|(addr, slot)| slot.metrics.flight(*addr))
+            .collect();
+        nodes.sort_by(|a, b| a.node.cmp(&b.node));
+        FlightDump {
+            reason: reason.to_string(),
+            at: self.now,
+            violations: Vec::new(),
+            context: std::collections::BTreeMap::new(),
+            nodes,
+        }
+    }
+
     /// Serial CPU busy time of a node so far (utilization reporting).
     pub fn cpu_busy(&self, addr: Addr) -> Option<(u64, u64)> {
         self.nodes
@@ -273,6 +343,9 @@ impl Simulator {
         };
         self.stats.delivered += 1;
         self.stats.bytes_delivered += payload.len() as u64;
+        // Flight recorder: digest the payload as delivered (i.e. after
+        // any in-flight tampering), so a dump shows what the node saw.
+        slot.metrics.record_packet(t, from, to, &payload);
         let recv_bytes = payload.len() as u64;
         let start = slot_start(slot, t);
         let mut ctx = SimCtx {
@@ -747,7 +820,11 @@ mod tests {
             fn on_message(&mut self, _: Addr, payload: &[u8], ctx: &mut dyn Context) {
                 ctx.metrics().incr("test.delivered");
                 ctx.metrics().observe("test.len", payload.len() as u64);
-                ctx.emit(crate::obs::Event::Commit { slot: 1 });
+                ctx.emit(crate::obs::Event::Commit {
+                    slot: 1,
+                    client: 0,
+                    request: 1,
+                });
             }
             fn on_timer(&mut self, _: TimerId, _: u32, _: &mut dyn Context) {}
             fn as_any(&self) -> &dyn Any {
@@ -797,6 +874,75 @@ mod tests {
         sim.post(B, A, vec![1], 0);
         sim.run_until(10_000);
         assert_eq!(sim.metrics_snapshot(A).unwrap(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn flight_dump_captures_packets_and_merged_trace() {
+        let mut sim = ideal_sim(1);
+        sim.set_obs(ObsConfig::flight_recorder());
+        sim.add_node(
+            A,
+            Box::new(Pinger {
+                peer: B,
+                replies: vec![],
+            }),
+        );
+        sim.add_node(B, Box::new(Echo { got: vec![] }));
+        sim.run_until(10_000);
+        let dump = sim.flight_dump("test");
+        assert_eq!(dump.reason, "test");
+        assert_eq!(dump.at, 10_000);
+        assert_eq!(dump.nodes.len(), 2);
+        assert!(
+            dump.nodes.windows(2).all(|w| w[0].node < w[1].node),
+            "nodes sorted by address"
+        );
+        // B received the ping, A received the echo; digests are recorded
+        // at delivery.
+        let b = dump.nodes.iter().find(|n| n.node == B).unwrap();
+        assert_eq!(b.packets.len(), 1);
+        assert_eq!(b.packets[0].from, A);
+        assert_eq!(b.packets[0].len, 1);
+        assert_eq!(b.packets[0].digest, crate::obs::fnv1a(&[21]));
+        let a = dump.nodes.iter().find(|n| n.node == A).unwrap();
+        assert_eq!(a.packets.len(), 1);
+        assert_eq!(a.packets[0].digest, crate::obs::fnv1a(&[42]));
+    }
+
+    #[test]
+    fn take_traces_merges_and_drains() {
+        use crate::obs::Event;
+
+        struct Emitter;
+        impl Node for Emitter {
+            fn on_message(&mut self, _: Addr, payload: &[u8], ctx: &mut dyn Context) {
+                ctx.emit(Event::SpeculativeExecute {
+                    slot: payload[0] as u64,
+                });
+            }
+            fn on_timer(&mut self, _: TimerId, _: u32, _: &mut dyn Context) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = ideal_sim(1);
+        sim.set_obs(ObsConfig::default().with_trace(16));
+        sim.add_node(A, Box::new(Emitter));
+        sim.add_node(B, Box::new(Emitter));
+        sim.post(Addr::Config, A, vec![1], 0);
+        sim.post(Addr::Config, B, vec![2], 0);
+        sim.post(Addr::Config, A, vec![3], 500);
+        sim.run_until(10_000);
+        let trace = sim.take_traces();
+        assert_eq!(trace.len(), 3);
+        assert!(
+            trace.windows(2).all(|w| w[0].at <= w[1].at),
+            "merged trace is time-sorted"
+        );
+        assert!(sim.take_traces().is_empty(), "draining");
     }
 
     #[test]

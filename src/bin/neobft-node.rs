@@ -26,8 +26,11 @@ use neobft::aom::{AuthMode, ConfigService, ReceiverAuth, SequencerHw, SequencerN
 use neobft::app::{App, EchoApp, EchoWorkload, KvApp, Workload, YcsbConfig, YcsbGenerator};
 use neobft::core::{Client, NeoConfig, Replica};
 use neobft::crypto::{CostModel, SystemKeys};
-use neobft::runtime::{try_spawn_node, AddressBook, NodeHandle};
+use neobft::runtime::{try_spawn_node_with_obs, AddressBook, NodeHandle, ObsExporter};
+use neobft::sim::obs::{FlightDump, ObsConfig};
 use neobft::wire::{Addr, ClientId, GroupId, ReplicaId};
+use std::path::PathBuf;
+use std::sync::mpsc;
 use std::time::Duration;
 
 #[derive(Clone, Debug)]
@@ -40,6 +43,7 @@ struct Opts {
     auth: ReceiverAuth,
     app: AppChoice,
     run_secs: u64,
+    obs_out: Option<PathBuf>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -61,7 +65,10 @@ fn usage() -> ! {
            --ops N          operations per client (default 100)\n\
            --auth hm|pk     aom authenticator (default hm)\n\
            --app echo|kv    application (default echo)\n\
-           --run-secs S     how long to keep serving (default 30)"
+           --run-secs S     how long to keep serving (default 30)\n\
+           --obs-out PATH   stream live per-node metrics JSONL to PATH\n\
+         SIGINT dumps the flight recorder to $NEO_FLIGHT_DIR (default\n\
+         target/flight) before exiting."
     );
     std::process::exit(2);
 }
@@ -91,6 +98,7 @@ fn parse(args: &[String]) -> (String, Option<u64>, Opts) {
         auth: ReceiverAuth::Hmac,
         app: AppChoice::Echo,
         run_secs: 30,
+        obs_out: None,
     };
     let mut i = idx;
     while i < args.len() {
@@ -102,6 +110,7 @@ fn parse(args: &[String]) -> (String, Option<u64>, Opts) {
             "--seed" => opts.seed = val().parse().unwrap_or_else(|_| usage()),
             "--ops" => opts.ops = val().parse().unwrap_or_else(|_| usage()),
             "--run-secs" => opts.run_secs = val().parse().unwrap_or_else(|_| usage()),
+            "--obs-out" => opts.obs_out = Some(PathBuf::from(val())),
             "--auth" => {
                 opts.auth = match val().as_str() {
                     "hm" => ReceiverAuth::Hmac,
@@ -166,10 +175,11 @@ fn spawn_replica(id: u32, opts: &Opts, book: &AddressBook, keys: &SystemKeys) ->
         "replica {id} listening on {:?}",
         book.lookup(Addr::Replica(ReplicaId(id)))
     );
-    try_spawn_node(
+    try_spawn_node_with_obs(
         Box::new(replica),
         Addr::Replica(ReplicaId(id)),
         book.clone(),
+        ObsConfig::flight_recorder(),
     )
     .expect("replica spawns")
 }
@@ -181,8 +191,13 @@ fn spawn_sequencer(opts: &Opts, book: &AddressBook, keys: &SystemKeys) -> (NodeH
         (0..opts.n as u32).map(ReplicaId).collect(),
         (opts.n - 1) / 3,
     );
-    let config_h = try_spawn_node(Box::new(config), Addr::Config, book.clone())
-        .expect("config service spawns");
+    let config_h = try_spawn_node_with_obs(
+        Box::new(config),
+        Addr::Config,
+        book.clone(),
+        ObsConfig::flight_recorder(),
+    )
+    .expect("config service spawns");
     let mode = match opts.auth {
         ReceiverAuth::Hmac => AuthMode::HmacVector,
         ReceiverAuth::PublicKey => AuthMode::PublicKey,
@@ -198,8 +213,13 @@ fn spawn_sequencer(opts: &Opts, book: &AddressBook, keys: &SystemKeys) -> (NodeH
         "sequencer listening on {:?} (group address)",
         book.lookup(Addr::Sequencer(GROUP))
     );
-    let seq_h = try_spawn_node(Box::new(sequencer), Addr::Sequencer(GROUP), book.clone())
-        .expect("sequencer spawns");
+    let seq_h = try_spawn_node_with_obs(
+        Box::new(sequencer),
+        Addr::Sequencer(GROUP),
+        book.clone(),
+        ObsConfig::flight_recorder(),
+    )
+    .expect("sequencer spawns");
     (config_h, seq_h)
 }
 
@@ -213,8 +233,102 @@ fn spawn_client(id: u64, opts: &Opts, book: &AddressBook, keys: &SystemKeys) -> 
     );
     client.max_ops = Some(opts.ops);
     println!("client {id} issuing {} ops", opts.ops);
-    try_spawn_node(Box::new(client), Addr::Client(ClientId(id)), book.clone())
-        .expect("client spawns")
+    try_spawn_node_with_obs(
+        Box::new(client),
+        Addr::Client(ClientId(id)),
+        book.clone(),
+        ObsConfig::flight_recorder(),
+    )
+    .expect("client spawns")
+}
+
+/// Watch for the first SIGINT on a side thread; the main thread observes
+/// it through the returned channel (`recv_timeout` doubles as the serve
+/// sleep). A second SIGINT terminates the process immediately.
+fn arm_sigint() -> mpsc::Receiver<()> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let rt = match tokio::runtime::Builder::new_current_thread()
+            .enable_all()
+            .build()
+        {
+            Ok(rt) => rt,
+            Err(_) => return, // ctrl-C keeps its default meaning
+        };
+        rt.block_on(async {
+            if tokio::signal::ctrl_c().await.is_ok() {
+                eprintln!("neobft-node: interrupt — dumping flight recorder");
+                let _ = tx.send(());
+            }
+            if tokio::signal::ctrl_c().await.is_ok() {
+                std::process::exit(130);
+            }
+        });
+    });
+    rx
+}
+
+/// Serve for `secs`, or less if SIGINT arrives. Returns true on
+/// interrupt.
+fn serve(rx: &mpsc::Receiver<()>, secs: u64) -> bool {
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) => true,
+        Err(mpsc::RecvTimeoutError::Timeout) => false,
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The watcher could not start; fall back to a plain sleep.
+            std::thread::sleep(Duration::from_secs(secs));
+            false
+        }
+    }
+}
+
+/// Freeze every handle's flight-recorder rings into one JSON artifact
+/// under `$NEO_FLIGHT_DIR` (default `target/flight`).
+fn write_flight(handles: &[&NodeHandle], reason: &str) {
+    let dir = std::env::var_os("NEO_FLIGHT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/flight"));
+    let at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut context = std::collections::BTreeMap::new();
+    context.insert("source".to_string(), "neobft-node".to_string());
+    let dump = FlightDump {
+        reason: reason.to_string(),
+        at,
+        violations: Vec::new(),
+        context,
+        nodes: handles.iter().map(|h| h.flight()).collect(),
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("neobft-node: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("flight-node-{}.json", std::process::id()));
+    match serde_json::to_vec_pretty(&dump) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("neobft-node: flight recorder written to {}", path.display()),
+            Err(e) => eprintln!("neobft-node: cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("neobft-node: cannot serialize flight dump: {e}"),
+    }
+}
+
+/// Start the live exporter over `handles` if `--obs-out` was given.
+fn start_exporter(opts: &Opts, handles: &[&NodeHandle]) -> Option<ObsExporter> {
+    let path = opts.obs_out.as_deref()?;
+    match ObsExporter::start(
+        handles.iter().map(|h| h.obs_source()).collect(),
+        path,
+        Duration::from_millis(250),
+    ) {
+        Ok(e) => Some(e),
+        Err(e) => {
+            eprintln!("neobft-node: cannot open --obs-out {}: {e}", path.display());
+            None
+        }
+    }
 }
 
 fn report_client(node: Box<dyn neobft::sim::Node>) {
@@ -239,10 +353,17 @@ fn main() {
     let keys = SystemKeys::new(opts.seed, opts.n, opts.clients);
     let book = AddressBook::localhost(opts.n, opts.clients, GROUP, opts.base_port);
 
+    let sigint = arm_sigint();
     match role.as_str() {
         "replica" => {
             let h = spawn_replica(id.unwrap() as u32, &opts, &book, &keys);
-            std::thread::sleep(Duration::from_secs(opts.run_secs));
+            let exporter = start_exporter(&opts, &[&h]);
+            if serve(&sigint, opts.run_secs) {
+                write_flight(&[&h], "sigint");
+            }
+            if let Some(e) = exporter {
+                e.stop();
+            }
             let node = h.try_shutdown().expect("node joins");
             let replica = node.as_any().downcast_ref::<Replica>().expect("replica");
             println!(
@@ -255,13 +376,25 @@ fn main() {
         }
         "sequencer" => {
             let (config_h, seq_h) = spawn_sequencer(&opts, &book, &keys);
-            std::thread::sleep(Duration::from_secs(opts.run_secs));
+            let exporter = start_exporter(&opts, &[&config_h, &seq_h]);
+            if serve(&sigint, opts.run_secs) {
+                write_flight(&[&config_h, &seq_h], "sigint");
+            }
+            if let Some(e) = exporter {
+                e.stop();
+            }
             seq_h.try_shutdown().expect("sequencer joins");
             config_h.try_shutdown().expect("config service joins");
         }
         "client" => {
             let h = spawn_client(id.unwrap(), &opts, &book, &keys);
-            std::thread::sleep(Duration::from_secs(opts.run_secs.min(opts.ops / 100 + 10)));
+            let exporter = start_exporter(&opts, &[&h]);
+            if serve(&sigint, opts.run_secs.min(opts.ops / 100 + 10)) {
+                write_flight(&[&h], "sigint");
+            }
+            if let Some(e) = exporter {
+                e.stop();
+            }
             report_client(h.try_shutdown().expect("client joins"));
         }
         "all" => {
@@ -272,9 +405,19 @@ fn main() {
             let client_hs: Vec<_> = (0..opts.clients as u64)
                 .map(|c| spawn_client(c, &opts, &book, &keys))
                 .collect();
-            std::thread::sleep(Duration::from_secs(
-                (opts.ops / 1000 + 3).min(opts.run_secs),
-            ));
+            let handles: Vec<&NodeHandle> = std::iter::once(&config_h)
+                .chain(std::iter::once(&seq_h))
+                .chain(replica_hs.iter())
+                .chain(client_hs.iter())
+                .collect();
+            let exporter = start_exporter(&opts, &handles);
+            if serve(&sigint, (opts.ops / 1000 + 3).min(opts.run_secs)) {
+                write_flight(&handles, "sigint");
+            }
+            drop(handles);
+            if let Some(e) = exporter {
+                e.stop();
+            }
             for h in client_hs {
                 report_client(h.try_shutdown().expect("client joins"));
             }

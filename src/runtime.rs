@@ -20,9 +20,16 @@
 //! [`neo_wire::Payload`]s end to end, so a broadcast that fans out to
 //! the whole group costs one encode regardless of group size. Batch
 //! sizes and send failures are recorded in the node's metrics registry
-//! (`runtime.batch_events`, `runtime_send_failed`).
+//! (`runtime.batch_events`; `runtime_send_failed` totals across all
+//! destinations, `runtime.send_failed.<addr>` counts per destination so
+//! a single unreachable peer is attributable from the counters alone).
+//!
+//! Observability: spawn with [`try_spawn_node_with_obs`] and
+//! [`ObsConfig::flight_recorder`] to keep per-node event/packet rings
+//! ([`NodeHandle::flight`] freezes them into a dump), and attach an
+//! [`ObsExporter`] to stream periodic [`ObsStreamLine`] JSONL.
 
-use neo_sim::obs::{Metrics, MetricsSnapshot, ObsConfig};
+use neo_sim::obs::{Metrics, MetricsSnapshot, NodeFlight, ObsConfig, ObsStreamLine};
 use neo_sim::{Context, Node, TimerId};
 use neo_wire::{Addr, ClientId, GroupId, Payload, ReplicaId};
 use std::cmp::Reverse;
@@ -308,6 +315,90 @@ impl NodeHandle {
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
     }
+
+    /// Freeze this node's flight-recorder rings (recent events and
+    /// packet digests) plus its metrics — readable while the node runs.
+    pub fn flight(&self) -> NodeFlight {
+        self.metrics.flight(self.addr)
+    }
+
+    /// This node's `(address, registry)` pair, for wiring into an
+    /// [`ObsExporter`].
+    pub fn obs_source(&self) -> (Addr, Arc<Metrics>) {
+        (self.addr, self.metrics.clone())
+    }
+}
+
+/// Live metrics exporter: a background thread that appends one
+/// [`ObsStreamLine`] JSON line per node per period to a file. Each line
+/// drains that node's trace ring, so the stream's lines concatenate
+/// into a complete bounded-loss event log of the run.
+pub struct ObsExporter {
+    stop: std::sync::mpsc::Sender<()>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ObsExporter {
+    /// Start exporting `nodes` to `path` (created or appended) every
+    /// `period`. File-open errors surface here; later write errors stop
+    /// the stream without disturbing the nodes.
+    pub fn start(
+        nodes: Vec<(Addr, Arc<Metrics>)>,
+        path: &std::path::Path,
+        period: Duration,
+    ) -> std::io::Result<ObsExporter> {
+        use std::io::Write;
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let (stop, rx) = std::sync::mpsc::channel::<()>();
+        let join = std::thread::Builder::new()
+            .name("obs-exporter".into())
+            .spawn(move || {
+                let start = Instant::now();
+                let mut w = std::io::BufWriter::new(file);
+                loop {
+                    // recv_timeout is the ticker *and* the stop signal:
+                    // a stop request flushes one final snapshot batch
+                    // instead of losing the tail.
+                    let stopping = !matches!(
+                        rx.recv_timeout(period),
+                        Err(std::sync::mpsc::RecvTimeoutError::Timeout)
+                    );
+                    let at = start.elapsed().as_nanos() as u64;
+                    for (addr, metrics) in &nodes {
+                        let line = ObsStreamLine {
+                            at,
+                            node: *addr,
+                            snapshot: metrics.snapshot(),
+                            events: metrics.take_trace(),
+                        };
+                        let ok = serde_json::to_writer(&mut w, &line).is_ok()
+                            && w.write_all(b"\n").is_ok();
+                        if !ok {
+                            return;
+                        }
+                    }
+                    let _ = w.flush();
+                    if stopping {
+                        return;
+                    }
+                }
+            })?;
+        Ok(ObsExporter {
+            stop,
+            join: Some(join),
+        })
+    }
+
+    /// Stop the exporter after one final snapshot batch and wait for it.
+    pub fn stop(mut self) {
+        let _ = self.stop.send(());
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
 }
 
 /// The executor-side [`Context`]: one instance lives for the whole node
@@ -532,6 +623,9 @@ fn run_node(
             // iteration, before the idle wait.
             while let Ok((len, src)) = sock.try_recv_from(&mut buf) {
                 if let Some(from) = book.resolve(src) {
+                    // Digest before dispatch: the flight recorder shows
+                    // the packet even if the handler panics on it.
+                    metrics.record_packet(start.elapsed().as_nanos() as u64, from, me, &buf[..len]);
                     node.on_message(from, &buf[..len], &mut ctx);
                     drain_effects(
                         &mut ctx,
@@ -553,7 +647,11 @@ fn run_node(
                     None => Some(std::io::Error::other("destination not in address book")),
                 };
                 if let Some(e) = err {
+                    // Global total plus a per-destination label: one
+                    // unreachable peer is attributable from the
+                    // counters, not just the first-failure log line.
                     metrics.incr("runtime_send_failed");
+                    metrics.incr(&format!("runtime.send_failed.{to}"));
                     if fail_logged.insert(to) {
                         eprintln!(
                             "node {me}: send to {to} failed: {e} \

@@ -153,6 +153,116 @@ impl Node for Recorder {
     }
 }
 
+/// On INIT, sends `X` twice to an address missing from the book (both
+/// sends fail) and `Y` once to its peer.
+struct FlakySender {
+    peer: Addr,
+    missing: Addr,
+}
+
+impl Node for FlakySender {
+    fn on_message(&mut self, _from: Addr, _payload: &[u8], _ctx: &mut dyn Context) {}
+    fn on_timer(&mut self, _id: TimerId, kind: u32, ctx: &mut dyn Context) {
+        if kind == neobft::sim::sim::INIT_TIMER_KIND {
+            ctx.send(self.missing, Payload::copy_from_slice(b"X"));
+            ctx.send(self.missing, Payload::copy_from_slice(b"X"));
+            ctx.send(self.peer, Payload::copy_from_slice(b"Y"));
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn send_failures_are_labeled_and_flight_recorder_captures_packets() {
+    use neobft::runtime::{try_spawn_node_with_obs, ObsExporter};
+    use neobft::sim::obs::ObsConfig;
+
+    let dep = AddressBook::builder()
+        .replicas(2)
+        .clients(0)
+        .group(GROUP)
+        .base_port(46930)
+        .build()
+        .expect("deployment fits the port space");
+    let missing = Addr::Client(ClientId(9));
+    let obs = ObsConfig::flight_recorder();
+    let recorder_h = try_spawn_node_with_obs(
+        Box::new(Recorder { order: Vec::new() }),
+        dep.replica(1),
+        dep.book().clone(),
+        obs,
+    )
+    .expect("recorder spawns");
+    let sender_h = try_spawn_node_with_obs(
+        Box::new(FlakySender {
+            peer: dep.replica(1),
+            missing,
+        }),
+        dep.replica(0),
+        dep.book().clone(),
+        obs,
+    )
+    .expect("sender spawns");
+
+    let stream_path = std::env::temp_dir().join(format!("obs-stream-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&stream_path);
+    let exporter = ObsExporter::start(
+        vec![recorder_h.obs_source(), sender_h.obs_source()],
+        &stream_path,
+        Duration::from_millis(25),
+    )
+    .expect("exporter starts");
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let delivered = !recorder_h.flight().packets.is_empty();
+        let failed = sender_h.metrics().counter("runtime_send_failed") >= 2;
+        if (delivered && failed) || Instant::now() > deadline {
+            break;
+        }
+    }
+
+    // The global total and the per-destination label agree, and the
+    // label names the unreachable peer.
+    let snap = sender_h.metrics_snapshot();
+    assert_eq!(snap.counters.get("runtime_send_failed"), Some(&2));
+    assert_eq!(snap.counters.get("runtime.send_failed.c9"), Some(&2));
+    assert!(!snap.counters.contains_key("runtime.send_failed.r1"));
+
+    // The receive path digested the delivered datagram.
+    let flight = recorder_h.flight();
+    let pkt = flight.packets.last().expect("packet digested");
+    assert_eq!(
+        (pkt.from, pkt.to, pkt.len),
+        (dep.replica(0), dep.replica(1), 1)
+    );
+    assert_eq!(pkt.digest, neobft::sim::obs::fnv1a(b"Y"));
+
+    // Stopping the exporter flushes a final batch; the stream parses as
+    // one ObsStreamLine per node per tick.
+    exporter.stop();
+    let text = std::fs::read_to_string(&stream_path).expect("stream written");
+    let lines: Vec<neobft::sim::obs::ObsStreamLine> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("valid JSONL"))
+        .collect();
+    assert!(lines.len() >= 2, "at least one tick per node");
+    assert!(lines
+        .iter()
+        .any(|l| l.node == dep.replica(0)
+            && l.snapshot.counters.get("runtime_send_failed") == Some(&2)));
+    let _ = std::fs::remove_file(&stream_path);
+
+    recorder_h.try_shutdown().expect("recorder joins");
+    sender_h.try_shutdown().expect("sender joins");
+}
+
 #[test]
 fn timer_beats_delayed_send_at_equal_deadline() {
     let dep = AddressBook::builder()
