@@ -12,6 +12,54 @@ use crate::AomPacket;
 use neo_wire::{decode, encode, CodecError, Payload};
 use serde::{Deserialize, Serialize};
 
+/// Multi-op batch framing for an aom payload body.
+///
+/// A batching sender packs many client operations into one aom slot:
+/// one digest in the aom header, one authenticator from the sequencer,
+/// one sequence number — amortized over every op inside. The framing is
+/// deliberately minimal (a length-prefixed list of opaque ops) so the
+/// aom layer stays protocol-agnostic; the protocol layer wraps this in
+/// its own signed envelope.
+///
+/// Crucially, the receiver's payload-digest binding check
+/// (`sha256(payload) == header.digest`) runs over the *encoded batch
+/// body*, so tampering with any single op inside a batch invalidates
+/// the whole packet — see the tamper test in `receiver.rs`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AomBatch {
+    /// The batched operation payloads, in issue order.
+    pub ops: Vec<Vec<u8>>,
+}
+
+impl AomBatch {
+    /// A batch of one — the degenerate framing every unbatched request
+    /// uses, so there is a single payload format on the wire.
+    pub fn single(op: Vec<u8>) -> Self {
+        AomBatch { ops: vec![op] }
+    }
+
+    /// Number of ops in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the batch carries no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Encode to wire bytes. Falls back to an empty body (which every
+    /// decoder rejects) rather than panicking.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        encode(self).unwrap_or_default()
+    }
+
+    /// Decode from wire bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        decode(bytes)
+    }
+}
+
 /// Top-level wire message.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub enum Envelope {
@@ -72,5 +120,66 @@ mod tests {
     #[test]
     fn garbage_is_rejected() {
         assert!(Envelope::from_bytes(&[0xFF; 3]).is_err());
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let b = AomBatch {
+            ops: vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()],
+        };
+        let bytes = b.to_bytes();
+        assert_eq!(AomBatch::from_bytes(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn batch_edge_sizes_roundtrip() {
+        // Fuzz-ish sweep over awkward shapes: empty batch, batch of one
+        // empty op, many empty ops, one huge op, many mixed-size ops.
+        let cases: Vec<AomBatch> = vec![
+            AomBatch { ops: vec![] },
+            AomBatch::single(vec![]),
+            AomBatch {
+                ops: vec![vec![]; 257],
+            },
+            AomBatch::single(vec![0xAB; 65_536]),
+            AomBatch {
+                ops: (0..64u64).map(|i| vec![i as u8; i as usize * 37]).collect(),
+            },
+        ];
+        for b in cases {
+            let bytes = b.to_bytes();
+            let back = AomBatch::from_bytes(&bytes).unwrap();
+            assert_eq!(back, b);
+            assert_eq!(back.len(), b.ops.len());
+        }
+    }
+
+    #[test]
+    fn batch_single_helper() {
+        let b = AomBatch::single(b"op".to_vec());
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        assert!(AomBatch { ops: vec![] }.is_empty());
+    }
+
+    #[test]
+    fn batch_garbage_is_rejected() {
+        assert!(AomBatch::from_bytes(&[0xFF; 5]).is_err());
+    }
+
+    #[test]
+    fn distinct_batches_encode_distinctly() {
+        // The digest binding depends on encodings being injective: any
+        // change to any op must change the encoded body.
+        let a = AomBatch {
+            ops: vec![b"aa".to_vec(), b"bb".to_vec()],
+        };
+        let mut tampered = a.clone();
+        tampered.ops[1][0] ^= 0x01;
+        assert_ne!(a.to_bytes(), tampered.to_bytes());
+        let merged = AomBatch {
+            ops: vec![b"aabb".to_vec()],
+        };
+        assert_ne!(a.to_bytes(), merged.to_bytes(), "op boundaries are framed");
     }
 }

@@ -36,7 +36,7 @@ pub mod sender;
 pub mod sequencer;
 
 pub use config::{ConfigMsg, ConfigService};
-pub use envelope::Envelope;
+pub use envelope::{AomBatch, Envelope};
 pub use receiver::{
     AomError, AomReceiver, AomReceiverStats, Confirm, Delivery, NetworkTrust, OrderingCert,
     ReceiverAuth, SignedConfirm,

@@ -512,6 +512,72 @@ fn auth_scheme_confusion_and_forged_confirms_are_counted() {
 }
 
 #[test]
+fn tampering_one_op_inside_a_batch_is_rejected() {
+    // Regression for the batch digest binding: the aom header digest is
+    // computed over the *encoded batch body*, so flipping one bit in any
+    // single op of a multi-op batch must fail the payload-digest check —
+    // a relay cannot swap an op inside an otherwise-valid batch.
+    use neo_aom::AomBatch;
+    let batch = AomBatch {
+        ops: vec![
+            b"op-alpha".to_vec(),
+            b"op-beta".to_vec(),
+            b"op-gamma".to_vec(),
+        ],
+    };
+    let body = batch.to_bytes();
+    let mut seq = sequencer(AuthMode::HmacVector);
+    let ctx = stamp_many(&mut seq, &[&body]);
+    let crypto = crypto_for(0);
+    let mut rcv = receiver(0, ReceiverAuth::Hmac, NetworkTrust::Trusted);
+
+    // Tamper with exactly one op in the middle of the batch (the encoded
+    // body embeds each op verbatim, so locate op two and flip one bit).
+    let mut pkt = ctx.packets_for(0)[0].clone();
+    let pos = pkt
+        .payload
+        .windows(b"op-beta".len())
+        .position(|w| w == b"op-beta")
+        .expect("op embedded in encoded batch");
+    pkt.payload[pos] ^= 0x01;
+    let decoded = AomBatch::from_bytes(&pkt.payload).expect("still a well-formed batch");
+    assert_eq!(decoded.len(), 3, "framing intact; only op content changed");
+    assert_eq!(rcv.on_packet(pkt, &crypto), Err(AomError::BadAuth));
+    assert_eq!(rcv.stats().auth_rejected, 1);
+
+    // The pristine batch still verifies and delivers all ops intact.
+    rcv.on_packet(ctx.packets_for(0)[0].clone(), &crypto)
+        .unwrap();
+    let ds = deliveries(&mut rcv);
+    assert_eq!(ds.len(), 1);
+    match &ds[0] {
+        Delivery::Message(cert) => {
+            let got = AomBatch::from_bytes(&cert.packet.payload).unwrap();
+            assert_eq!(got, batch);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn pipelined_verification_accepts_and_rejects_identically() {
+    // Pipelining only moves verification cost to the parallel lane; the
+    // accept/reject behaviour must be bit-identical.
+    let mut seq = sequencer(AuthMode::HmacVector);
+    let ctx = stamp_many(&mut seq, &[b"a", b"b"]);
+    let crypto = crypto_for(0);
+    let mut rcv = receiver(0, ReceiverAuth::Hmac, NetworkTrust::Trusted);
+    rcv.set_pipelined(true);
+    let mut tampered = ctx.packets_for(0)[0].clone();
+    tampered.payload[0] ^= 0x01;
+    assert_eq!(rcv.on_packet(tampered, &crypto), Err(AomError::BadAuth));
+    for p in ctx.packets_for(0) {
+        rcv.on_packet(p, &crypto).unwrap();
+    }
+    assert_eq!(deliveries(&mut rcv).len(), 2);
+}
+
+#[test]
 fn unstamped_packets_are_rejected() {
     let crypto = crypto_for(0);
     let mut rcv = receiver(0, ReceiverAuth::Hmac, NetworkTrust::Trusted);

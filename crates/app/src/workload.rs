@@ -1,11 +1,34 @@
 //! Client-side workload generation.
+//!
+//! The trait is *batch-first*: drivers ask for up to `n` ops at once
+//! ([`Workload::next_ops`]) so a batching client can fill a whole batch
+//! envelope from one call, and check each per-op result as replies fan
+//! back out ([`Workload::check`]). The closed-loop single-op surface
+//! ([`Workload::next_op`]) is a provided method on top.
 
+use crate::kv::{KvOp, KvResult};
 use crate::ycsb::YcsbGenerator;
 
-/// A stream of operation payloads a closed-loop client issues.
+/// A stream of operation payloads a client issues, plus per-op result
+/// validation.
 pub trait Workload: Send {
-    /// Produce the next operation payload.
-    fn next_op(&mut self) -> Vec<u8>;
+    /// Produce up to `n` operation payloads. Implementations may return
+    /// fewer than `n` (an empty vector means the workload is exhausted),
+    /// but every returned payload must be a complete operation.
+    fn next_ops(&mut self, n: usize) -> Vec<Vec<u8>>;
+
+    /// Produce the next single operation payload (closed-loop surface).
+    fn next_op(&mut self) -> Vec<u8> {
+        self.next_ops(1).pop().unwrap_or_default()
+    }
+
+    /// Check one committed result against the op that produced it.
+    /// Defaults to accepting anything; workloads that know the expected
+    /// reply shape override this so harnesses can detect corruption.
+    fn check(&self, op: &[u8], result: &[u8]) -> bool {
+        let _ = (op, result);
+        true
+    }
 }
 
 /// The echo-RPC workload of §6.2: random strings of a fixed size.
@@ -25,10 +48,8 @@ impl EchoWorkload {
             salt,
         }
     }
-}
 
-impl Workload for EchoWorkload {
-    fn next_op(&mut self) -> Vec<u8> {
+    fn fill_one(&mut self) -> Vec<u8> {
         self.counter += 1;
         let mut out = Vec::with_capacity(self.size);
         let mut x = self
@@ -46,9 +67,33 @@ impl Workload for EchoWorkload {
     }
 }
 
+impl Workload for EchoWorkload {
+    fn next_ops(&mut self, n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|_| self.fill_one()).collect()
+    }
+
+    fn check(&self, op: &[u8], result: &[u8]) -> bool {
+        // The echo app returns the op verbatim.
+        op == result
+    }
+}
+
 impl Workload for YcsbGenerator {
-    fn next_op(&mut self) -> Vec<u8> {
-        self.next_payload()
+    fn next_ops(&mut self, n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|_| self.next_payload()).collect()
+    }
+
+    fn check(&self, op: &[u8], result: &[u8]) -> bool {
+        let (Some(op), Some(result)) = (KvOp::from_bytes(op), KvResult::from_bytes(result)) else {
+            return false;
+        };
+        matches!(
+            (op, result),
+            (KvOp::Get { .. }, KvResult::Value(_))
+                | (KvOp::Put { .. }, KvResult::Ok)
+                | (KvOp::Delete { .. }, KvResult::Ok)
+                | (KvOp::Scan { .. }, KvResult::Entries(_))
+        )
     }
 }
 
@@ -73,6 +118,25 @@ mod tests {
     }
 
     #[test]
+    fn batch_pull_matches_sequential_pulls() {
+        let mut batched = EchoWorkload::new(48, 9);
+        let mut serial = EchoWorkload::new(48, 9);
+        let batch = batched.next_ops(5);
+        let singles: Vec<_> = (0..5).map(|_| serial.next_op()).collect();
+        assert_eq!(batch, singles, "next_ops(n) is n× next_op()");
+    }
+
+    #[test]
+    fn echo_check_accepts_echo_and_rejects_tampering() {
+        let mut w = EchoWorkload::new(16, 1);
+        let op = w.next_op();
+        assert!(w.check(&op, &op));
+        let mut bad = op.clone();
+        bad[0] ^= 1;
+        assert!(!w.check(&op, &bad));
+    }
+
+    #[test]
     fn ycsb_is_a_workload() {
         use crate::ycsb::{YcsbConfig, YcsbGenerator};
         let mut w: Box<dyn Workload> = Box::new(YcsbGenerator::new(
@@ -83,5 +147,27 @@ mod tests {
             1,
         ));
         assert!(!w.next_op().is_empty());
+        assert_eq!(w.next_ops(4).len(), 4);
+    }
+
+    #[test]
+    fn ycsb_check_validates_result_shape() {
+        use crate::ycsb::{YcsbConfig, YcsbGenerator};
+        let w = YcsbGenerator::new(
+            YcsbConfig {
+                record_count: 100,
+                ..YcsbConfig::WORKLOAD_A
+            },
+            1,
+        );
+        let get = KvOp::Get {
+            key: "user1".into(),
+        }
+        .to_bytes();
+        let value = KvResult::Value(None).to_bytes();
+        let ok = KvResult::Ok.to_bytes();
+        assert!(Workload::check(&w, &get, &value));
+        assert!(!Workload::check(&w, &get, &ok), "Get must yield Value");
+        assert!(!Workload::check(&w, &get, b"junk"));
     }
 }

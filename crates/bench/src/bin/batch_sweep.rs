@@ -1,0 +1,202 @@
+//! Batch-size sweep (the `BENCH_0006.json` report): throughput and
+//! latency versus the client batch size, NeoBFT (Neo-HM) against a
+//! batched-PBFT control, under saturating closed-loop load.
+//!
+//! - `batch_sweep [out.json]` — run the full sweep and write the report
+//!   (default `BENCH_0006.json` in the working directory).
+//! - `batch_sweep --check <report.json>` — re-run the sweep at the
+//!   report's recorded windows and exit non-zero on a >20% ops/s
+//!   regression against any non-provisional row. Always asserts the
+//!   headline batching speedup on the fresh numbers: Neo-HM at batch
+//!   ≥ 16 must deliver at least 3x the ops/s of batch = 1.
+//!
+//! A report written with `"provisional": true` carries modeled numbers
+//! (committed so the acceptance shape exists before a calibrated run);
+//! the regression gate skips value comparison for provisional reports
+//! and only enforces the speedup ratio on the fresh measurement.
+
+use neo_bench::harness::{Protocol, RunConfig};
+use neo_core::BatchPolicy;
+use neo_sim::MILLIS;
+use serde::{Deserialize, Serialize};
+
+/// Batch sizes on the sweep's x-axis.
+const BATCHES: [usize; 4] = [1, 4, 16, 64];
+/// Protocol under test plus the batched classical control.
+const PROTOCOLS: [Protocol; 2] = [Protocol::NeoHm, Protocol::Pbft];
+/// Regression tolerance for `--check`: fail below 80% of recorded.
+const REGRESSION_FLOOR: f64 = 0.8;
+/// Required Neo-HM speedup of batch >= 16 over batch = 1.
+const SPEEDUP_FLOOR: f64 = 3.0;
+
+#[derive(Clone, Serialize, Deserialize)]
+struct SweepConfig {
+    clients: usize,
+    warmup_ns: u64,
+    measure_ns: u64,
+    seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        // 32 closed-loop clients saturate the f = 1 cluster under the
+        // calibrated cost model well before the largest batch size.
+        SweepConfig {
+            clients: 32,
+            warmup_ns: 50 * MILLIS,
+            measure_ns: 200 * MILLIS,
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Clone, Serialize, Deserialize)]
+struct Row {
+    protocol: String,
+    batch: usize,
+    ops_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    committed: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Report {
+    bench: String,
+    #[serde(default)]
+    provisional: bool,
+    #[serde(default)]
+    note: String,
+    config: SweepConfig,
+    rows: Vec<Row>,
+}
+
+fn policy(batch: usize) -> BatchPolicy {
+    if batch <= 1 {
+        BatchPolicy::SINGLE
+    } else {
+        BatchPolicy::fixed(batch)
+    }
+}
+
+fn sweep(cfg: &SweepConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for proto in PROTOCOLS {
+        for batch in BATCHES {
+            let r = RunConfig::new(proto)
+                .clients(cfg.clients)
+                .seed(cfg.seed)
+                .window(cfg.warmup_ns, cfg.measure_ns)
+                .batch(policy(batch))
+                .run();
+            eprintln!(
+                "{:>8} batch {:>2}: {:>9.1} ops/s  p50 {:>7.1}us  p99 {:>7.1}us  ({} ops)",
+                proto.label(),
+                batch,
+                r.throughput,
+                r.p50_latency_ns as f64 / 1e3,
+                r.p99_latency_ns as f64 / 1e3,
+                r.committed
+            );
+            rows.push(Row {
+                protocol: proto.label().to_string(),
+                batch,
+                ops_per_sec: r.throughput,
+                p50_ns: r.p50_latency_ns,
+                p99_ns: r.p99_latency_ns,
+                committed: r.committed,
+            });
+        }
+    }
+    rows
+}
+
+fn ops(rows: &[Row], protocol: &str, batch: usize) -> Option<f64> {
+    rows.iter()
+        .find(|r| r.protocol == protocol && r.batch == batch)
+        .map(|r| r.ops_per_sec)
+}
+
+/// The headline ratio: best of Neo-HM batch 16/64 over batch 1.
+fn speedup(rows: &[Row]) -> Option<f64> {
+    let base = ops(rows, "Neo-HM", 1)?;
+    let batched = ops(rows, "Neo-HM", 16)?.max(ops(rows, "Neo-HM", 64)?);
+    (base > 0.0).then(|| batched / base)
+}
+
+fn check(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let report: Report =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    assert_eq!(report.bench, "batch_sweep", "wrong report kind");
+    let recorded = speedup(&report.rows).expect("report has Neo-HM batch 1/16/64 rows");
+    assert!(
+        recorded >= SPEEDUP_FLOOR,
+        "committed report's Neo-HM speedup {recorded:.2}x is below {SPEEDUP_FLOOR}x"
+    );
+    let fresh = sweep(&report.config);
+    let measured = speedup(&fresh).expect("sweep produced Neo-HM rows");
+    assert!(
+        measured >= SPEEDUP_FLOOR,
+        "measured Neo-HM speedup {measured:.2}x is below {SPEEDUP_FLOOR}x"
+    );
+    if report.provisional {
+        println!(
+            "check ok (provisional report: value gate skipped; measured speedup {measured:.2}x). \
+             Regenerate with `cargo run --release -p neo-bench --bin batch_sweep` and commit."
+        );
+        return;
+    }
+    let mut failures = Vec::new();
+    for row in &report.rows {
+        let Some(now) = ops(&fresh, &row.protocol, row.batch) else {
+            continue;
+        };
+        if now < row.ops_per_sec * REGRESSION_FLOOR {
+            failures.push(format!(
+                "{} batch {}: {:.0} ops/s is a >20% regression from recorded {:.0}",
+                row.protocol, row.batch, now, row.ops_per_sec
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("check ok (measured speedup {measured:.2}x, no >20% ops/s regressions)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_0006.json");
+        check(path);
+        return;
+    }
+    let out = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("BENCH_0006.json");
+    let config = SweepConfig::default();
+    let rows = sweep(&config);
+    let measured = speedup(&rows).expect("sweep produced Neo-HM rows");
+    let report = Report {
+        bench: "batch_sweep".into(),
+        provisional: false,
+        note: format!("Neo-HM batch>=16 speedup over batch=1: {measured:.2}x"),
+        config,
+        rows,
+    };
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out} (speedup {measured:.2}x)");
+    assert!(
+        measured >= SPEEDUP_FLOOR,
+        "Neo-HM speedup {measured:.2}x is below the {SPEEDUP_FLOOR}x acceptance floor"
+    );
+}

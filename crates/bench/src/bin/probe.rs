@@ -57,11 +57,11 @@ fn single(args: &[String]) {
     };
     let c: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(1);
     let ms: u64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(100);
-    let mut p = RunParams::new(proto, c);
-    p.warmup = 20 * 1_000_000;
-    p.measure = ms * 1_000_000;
+    let cfg = RunConfig::new(proto)
+        .clients(c)
+        .window(20 * 1_000_000, ms * 1_000_000);
     let t = Instant::now();
-    let r = run_experiment(&p);
+    let r = cfg.run();
     println!(
         "{} c={} -> {:.1}K ops/s, mean {:.1}us p50 {:.1}us p99 {:.1}us ({} ops) [wall {:?}]",
         proto.label(),

@@ -14,12 +14,12 @@
 //! through a classical protocol, both as a harness sanity check and to
 //! confirm the plan generator produces survivable scenarios.
 
-use crate::harness::{build, Protocol, RunParams, GROUP};
+use crate::harness::{Protocol, RunConfig, GROUP};
 use neo_aom::{AuthMode, ConfigService, SequencerHw, SequencerNode};
 use neo_app::{EchoApp, EchoWorkload};
 use neo_baselines::PbftClient;
 use neo_core::invariants::InvariantChecker;
-use neo_core::{Client, NeoConfig, Replica};
+use neo_core::{BatchPolicy, Client, NeoConfig, Replica};
 use neo_crypto::{CostModel, SystemKeys};
 use neo_sim::{
     ByzStrategy, ByzantineNode, CpuConfig, FaultPlan, FlightDump, NetConfig, NetStats, ObsConfig,
@@ -68,6 +68,16 @@ pub struct ChaosPlan {
     pub faults: FaultPlan,
     /// Optional Byzantine replica.
     pub byz: Option<ByzAssignment>,
+    /// Client batch size (1 = the pre-batching closed loop). Cycles
+    /// through {1, 4, 16} with the seed so every sweep of three or more
+    /// consecutive seeds exercises batched and unbatched paths alike.
+    /// Defaults to 1 when decoding plans serialized before batching.
+    #[serde(default = "default_plan_batch")]
+    pub batch: usize,
+}
+
+fn default_plan_batch() -> usize {
+    1
 }
 
 /// Outcome of one chaos run.
@@ -154,6 +164,7 @@ pub fn generate_plan(seed: u64) -> ChaosPlan {
         sync_interval: 8,
         faults,
         byz,
+        batch: [1, 4, 16][(seed % 3) as usize],
     }
 }
 
@@ -175,6 +186,9 @@ pub fn build_cluster(plan: &ChaosPlan) -> Simulator {
     sim.set_obs(ObsConfig::flight_recorder());
     let mut cfg = NeoConfig::new(F);
     cfg.sync_interval = plan.sync_interval;
+    if plan.batch > 1 {
+        cfg = cfg.with_batch(BatchPolicy::fixed(plan.batch));
+    }
 
     let mut config = ConfigService::new();
     config.register_group(GROUP, (0..N as u32).map(ReplicaId).collect(), F);
@@ -362,15 +376,14 @@ fn flight_snapshot(
 /// client completing request ids out of order would mean the *harness*
 /// is broken, not the protocol).
 pub fn run_pbft_control(plan: &ChaosPlan) -> (u64, Vec<String>) {
-    let mut params = RunParams::new(Protocol::Pbft, plan.n_clients);
-    params.seed = plan.seed;
-    params.costs = CostModel::FREE;
-    params.server_cpu = CpuConfig::IDEAL;
-    params.client_cpu = CpuConfig::IDEAL;
-    params.warmup = 0;
-    params.measure = plan.horizon_ns;
-    params.faults = plan.faults.clone();
-    let mut sim = build(&params);
+    let mut sim = RunConfig::new(Protocol::Pbft)
+        .clients(plan.n_clients)
+        .seed(plan.seed)
+        .costs(CostModel::FREE)
+        .cpus(CpuConfig::IDEAL, CpuConfig::IDEAL)
+        .window(0, plan.horizon_ns)
+        .faults(plan.faults.clone())
+        .build();
     sim.run_until(plan.horizon_ns + plan.horizon_ns / 2);
     let mut committed = 0u64;
     let mut anomalies = Vec::new();
@@ -439,9 +452,10 @@ pub fn violation_report(outcome: &ChaosOutcome) -> String {
 /// One-line summary for sweep output.
 pub fn summary_line(outcome: &ChaosOutcome) -> String {
     format!(
-        "seed {:>4}  committed {:>4}  dup {:>3}  tampered {:>3}  spiked {:>3}  \
+        "seed {:>4}  batch {:>2}  committed {:>4}  dup {:>3}  tampered {:>3}  spiked {:>3}  \
          dropped {:>4}  byz {:>3}  {}",
         outcome.plan.seed,
+        outcome.plan.batch,
         outcome.committed,
         outcome.net.duplicated,
         outcome.net.tampered,
@@ -540,6 +554,47 @@ mod tests {
             .collect();
         assert_eq!(lines.len(), N + plan.n_clients + 2, "nodes per slice");
         assert!(lines.iter().any(|l| !l.events.is_empty()));
+    }
+
+    #[test]
+    fn batch_size_cycles_with_the_seed() {
+        assert_eq!(generate_plan(0).batch, 1);
+        assert_eq!(generate_plan(1).batch, 4);
+        assert_eq!(generate_plan(2).batch, 16);
+        assert_eq!(generate_plan(3).batch, 1);
+    }
+
+    #[test]
+    fn batched_scenarios_uphold_every_safety_invariant() {
+        // Seeds 0..6 cover batch sizes 1, 4 and 16 twice each (and, via
+        // seed % 4, all four fault kinds). The checker runs all five
+        // invariants — committed-prefix agreement, monotone delivery,
+        // execution agreement, sync ≤ commit, and no double execution —
+        // at every slice boundary.
+        for seed in 0..6 {
+            let plan = generate_plan(seed);
+            let outcome = run_neo(&plan);
+            assert!(
+                outcome.violations.is_empty(),
+                "seed {seed} (batch {}): {:?}",
+                plan.batch,
+                outcome.violations
+            );
+            assert!(
+                outcome.committed > 0,
+                "seed {seed} (batch {}) commits nothing",
+                plan.batch
+            );
+        }
+    }
+
+    #[test]
+    fn pre_batching_plans_still_decode() {
+        // Plans serialized before the batch field default to batch = 1.
+        let mut v = serde_json::to_value(generate_plan(0)).expect("serialize");
+        v.as_object_mut().expect("object").remove("batch");
+        let plan: ChaosPlan = serde_json::from_value(v).expect("decode without batch");
+        assert_eq!(plan.batch, 1);
     }
 
     #[test]

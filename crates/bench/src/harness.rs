@@ -13,7 +13,7 @@ use neo_baselines::{
     BaselineConfig, HotStuffClient, HotStuffReplica, MinBftClient, MinBftReplica, PbftClient,
     PbftReplica, UnreplicatedClient, UnreplicatedServer, ZyzzyvaClient, ZyzzyvaReplica,
 };
-use neo_core::{Client, CompletedOp, NeoConfig, Replica};
+use neo_core::{BatchPolicy, Client, CompletedOp, NeoConfig, Replica};
 use neo_crypto::{CostModel, SystemKeys};
 use neo_sim::obs::{MetricsSnapshot, ObsConfig};
 use neo_sim::{CpuConfig, FaultPlan, NetConfig, SimConfig, Simulator, MILLIS, SECS};
@@ -152,6 +152,11 @@ pub struct RunParams {
     /// Per-node observability configuration (metrics on by default; the
     /// numbers reported by the harness are virtual-time and unaffected).
     pub obs: ObsConfig,
+    /// Client-side request batching. For NeoBFT the policy configures
+    /// the [`neo_core::ClientDriver`] (and enables pipelined speculative
+    /// verification on the replicas); for the baselines a multi-op
+    /// policy raises their `batch_max` so the control stays comparable.
+    pub batch: BatchPolicy,
 }
 
 impl RunParams {
@@ -173,6 +178,7 @@ impl RunParams {
             faults: FaultPlan::none(),
             hotstuff_interval_ns: None,
             obs: ObsConfig::default().with_trace(DEFAULT_TRACE_CAPACITY),
+            batch: BatchPolicy::SINGLE,
         }
     }
 
@@ -393,7 +399,7 @@ fn neo_config(params: &RunParams) -> NeoConfig {
         // per subgroup per request.
         cfg.emulate_hm_subgroups = matches!(params.protocol, Protocol::NeoHmSoftware);
     }
-    cfg
+    cfg.with_batch(params.batch)
 }
 
 fn build_neo(params: &RunParams, n: usize, keys: &SystemKeys, sim: &mut Simulator) {
@@ -526,6 +532,11 @@ fn build_baseline(
         BaselineKind::Zyzzyva { .. } => {
             cfg.batch_max = 16;
         }
+    }
+    // An explicit batch policy overrides each protocol's default tuning,
+    // so a batch-size sweep compares like against like.
+    if params.batch.max_batch > 1 {
+        cfg.batch_max = params.batch.max_batch;
     }
     // Pure-logic runs (free crypto) also zero the trusted-component cost.
     if params.costs == CostModel::FREE {
@@ -705,6 +716,134 @@ pub fn smoke(protocol: Protocol) -> RunParams {
     p.warmup = 20 * MILLIS;
     p.measure = 80 * MILLIS;
     p
+}
+
+/// Typed builder collapsing one run's knobs — load, batch policy, fault
+/// plan, observability — into a single chain. [`RunParams`]'s fields
+/// stay public for direct poking, but this is the front door used by
+/// the bins (`probe`, `batch_sweep`), the chaos control, and the tests:
+///
+/// ```
+/// use neo_bench::harness::{Protocol, RunConfig};
+/// use neo_core::BatchPolicy;
+/// let r = RunConfig::new(Protocol::NeoHm)
+///     .clients(8)
+///     .batch(BatchPolicy::fixed(16))
+///     .smoke()
+///     .run();
+/// assert!(r.committed > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    params: RunParams,
+}
+
+impl RunConfig {
+    /// Start from the paper-testbed defaults ([`RunParams::new`], 4
+    /// closed-loop clients).
+    pub fn new(protocol: Protocol) -> Self {
+        RunConfig {
+            params: RunParams::new(protocol, 4),
+        }
+    }
+
+    /// Closed-loop client count (the load axis).
+    pub fn clients(mut self, n: usize) -> Self {
+        self.params.n_clients = n;
+        self
+    }
+
+    /// Fault bound (replica count follows the protocol's rule).
+    pub fn f(mut self, f: usize) -> Self {
+        self.params.f = f;
+        self
+    }
+
+    /// Application and workload.
+    pub fn app(mut self, app: AppKind) -> Self {
+        self.params.app = app;
+        self
+    }
+
+    /// Warm-up and measurement windows (virtual nanoseconds).
+    pub fn window(mut self, warmup: u64, measure: u64) -> Self {
+        self.params.warmup = warmup;
+        self.params.measure = measure;
+        self
+    }
+
+    /// RNG seed (network jitter, workload salts follow the client id).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.params.seed = seed;
+        self
+    }
+
+    /// Crypto cost model.
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.params.costs = costs;
+        self
+    }
+
+    /// Replica and client CPU models.
+    pub fn cpus(mut self, server: CpuConfig, client: CpuConfig) -> Self {
+        self.params.server_cpu = server;
+        self.params.client_cpu = client;
+        self
+    }
+
+    /// Network model.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.params.net = net;
+        self
+    }
+
+    /// Targeted fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.params.faults = faults;
+        self
+    }
+
+    /// Request batching policy (NeoBFT client driver + pipelined
+    /// verification; baseline `batch_max` override).
+    pub fn batch(mut self, batch: BatchPolicy) -> Self {
+        self.params.batch = batch;
+        self
+    }
+
+    /// Observability configuration.
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.params.obs = obs;
+        self
+    }
+
+    /// The flight-recorder preset: metrics plus bounded event and
+    /// packet rings on every node.
+    pub fn flight_recorder(mut self) -> Self {
+        self.params.obs = ObsConfig::flight_recorder();
+        self
+    }
+
+    /// Shrink the windows to the tests' smoke size.
+    pub fn smoke(mut self) -> Self {
+        self.params.warmup = 20 * MILLIS;
+        self.params.measure = 80 * MILLIS;
+        self
+    }
+
+    /// The assembled parameters.
+    pub fn params(self) -> RunParams {
+        self.params
+    }
+
+    /// Build the simulator without running (phase-driven experiments).
+    pub fn build(&self) -> Simulator {
+        build(&self.params)
+    }
+
+    /// Run the experiment.
+    pub fn run(&self) -> RunResult {
+        run_experiment(&self.params)
+    }
 }
 
 /// One virtual second, re-exported for bench targets.

@@ -15,6 +15,6 @@ pub mod report;
 pub mod trace;
 
 pub use chaos::{ByzAssignment, ChaosOutcome, ChaosPlan, RunHooks};
-pub use harness::{AppKind, CopyReport, ObsReport, Protocol, RunParams, RunResult};
+pub use harness::{AppKind, CopyReport, ObsReport, Protocol, RunConfig, RunParams, RunResult};
 pub use report::{fmt_ops, fmt_us, phase_breakdown, Table};
 pub use trace::{assemble, render_waterfall, RequestTimeline, TraceReport};

@@ -1,7 +1,8 @@
 //! Harness smoke tests: every protocol commits operations under the
 //! calibrated cost model, and headline orderings from the paper hold.
 
-use neo_bench::harness::{run_experiment, smoke, Protocol, RunParams};
+use neo_bench::harness::{run_experiment, smoke, Protocol, RunConfig, RunParams};
+use neo_core::BatchPolicy;
 
 fn result(p: Protocol) -> neo_bench::RunResult {
     run_experiment(&smoke(p))
@@ -105,6 +106,58 @@ fn clean_run_reports_per_phase_latency_tables() {
     let untraced = run_experiment(&p);
     assert!(untraced.trace.is_none());
     assert_eq!(untraced.committed, r.committed, "tracing never perturbs");
+}
+
+#[test]
+fn run_config_builder_matches_field_poking() {
+    let built = RunConfig::new(Protocol::Pbft).clients(4).smoke().run();
+    let poked = run_experiment(&smoke(Protocol::Pbft));
+    assert_eq!(built.committed, poked.committed, "builder is sugar only");
+}
+
+#[test]
+fn batching_multiplies_neo_throughput_under_load() {
+    let single = RunConfig::new(Protocol::NeoHm).clients(16).smoke().run();
+    let batched = RunConfig::new(Protocol::NeoHm)
+        .clients(16)
+        .batch(BatchPolicy::fixed(16))
+        .smoke()
+        .run();
+    assert!(batched.committed > 100, "batched run commits");
+    assert!(
+        batched.throughput > 2.0 * single.throughput,
+        "batch=16 must clearly beat batch=1 at saturation: {} vs {}",
+        batched.throughput,
+        single.throughput
+    );
+}
+
+#[test]
+fn batched_runs_keep_per_op_accounting_and_spans() {
+    // Per-(client, request) accounting survives batching: completed ids
+    // stay unique and strictly increasing per client, so neo-trace's
+    // span joins keep working.
+    let r = RunConfig::new(Protocol::NeoHm)
+        .clients(2)
+        .batch(BatchPolicy::fixed(8))
+        .smoke()
+        .run();
+    assert!(r.committed > 100, "batched run commits: {}", r.committed);
+    let trace = r.trace.as_ref().expect("tracing on by default");
+    assert!(trace.committed > 0, "spans assembled under batching");
+    assert!(r.p50_latency_ns > 0 && r.p50_latency_ns <= r.p99_latency_ns);
+}
+
+#[test]
+fn batched_pbft_control_uses_the_policy_batch() {
+    // The baseline control adopts the sweep's batch size so comparisons
+    // stay like-for-like; it must still commit.
+    let r = RunConfig::new(Protocol::Pbft)
+        .clients(8)
+        .batch(BatchPolicy::fixed(32))
+        .smoke()
+        .run();
+    assert!(r.committed > 50, "batched PBFT commits: {}", r.committed);
 }
 
 #[test]

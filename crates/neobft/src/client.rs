@@ -1,34 +1,57 @@
-//! The NeoBFT client (§5.3).
+//! The NeoBFT client driver (§5.3, generalized to batches).
 //!
-//! Closed-loop: one outstanding operation at a time. The client
-//! aom-multicasts a signed request, waits for 2f+1 replies with valid
-//! signatures and matching (view-id, log-slot-num, log-hash, result),
-//! and falls back to unicast retransmission if replies do not arrive in
-//! time — which also arms the replicas' sequencer-suspicion watchdogs.
+//! [`ClientDriver`] replaces the original closed-loop one-op-at-a-time
+//! client with a windowed, batch-first API:
+//!
+//! * ops enter a FIFO queue — either pulled from a [`Workload`] to keep
+//!   the window full, or pushed explicitly via [`ClientDriver::submit`],
+//!   which returns a per-op [`OpHandle`];
+//! * queued ops are packed into a batch envelope (many ops, one MAC
+//!   vector, one aom slot) and multicast; one batch is in flight at a
+//!   time, so per-client FIFO order and at-most-once semantics are
+//!   preserved exactly as in the closed-loop design;
+//! * the flush point is driven by the [`AdaptiveBatcher`]: batches fill
+//!   to the load-adaptive target size, or flush on a timeout so an idle
+//!   client never trades unbounded latency for throughput;
+//! * the 2f+1 reply quorum matches on (view-id, log-slot-num, log-hash,
+//!   results) and fans per-op [`CompletedOp`] records back out.
+//!
+//! With [`BatchPolicy::SINGLE`] (the default) this is bit-for-bit the
+//! original closed-loop client: one op per slot, one outstanding op,
+//! identical request-id sequence, identical retry behaviour.
 
+use crate::batch::{AdaptiveBatcher, BatchPolicy};
 use crate::config::NeoConfig;
-use crate::messages::{NeoMsg, Reply, Request, SignedRequest};
-use neo_aom::{AomSender, Envelope};
+use crate::messages::{BatchRequest, NeoMsg, Reply, SignedBatch};
+use neo_aom::{AomBatch, AomSender, Envelope};
 use neo_app::Workload;
 use neo_crypto::{CostModel, NodeCrypto, Principal, SystemKeys};
 use neo_sim::obs::Event;
 use neo_sim::{Context, Node, TimerId};
 use neo_wire::{Addr, ClientId, ReplicaId, RequestId};
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Retry (unicast-fallback) timer kind.
+const RETRY_TIMER: u32 = 2;
+/// Partial-batch flush timer kind.
+const FLUSH_TIMER: u32 = 3;
+/// Manual-mode pump tick (no workload to pull from; poll the queue).
+const PUMP_TIMER: u32 = 4;
 
 /// A completed operation record for the experiment harness.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompletedOp {
     /// The request id.
     pub request_id: RequestId,
-    /// Virtual time the request was first issued.
+    /// Virtual time the op entered the driver (queue time; for a
+    /// closed-loop client this is the issue time).
     pub issued_at: u64,
     /// Virtual time the reply quorum completed.
     pub completed_at: u64,
     /// The agreed result.
     pub result: Vec<u8>,
-    /// Retries needed (0 = first transmission succeeded).
+    /// Batch retransmissions needed (0 = first transmission succeeded).
     pub retries: u32,
 }
 
@@ -39,10 +62,25 @@ impl CompletedOp {
     }
 }
 
-struct Pending {
+/// Identifies an op submitted to a [`ClientDriver`]; resolves to its
+/// [`CompletedOp`] once the reply quorum arrives.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct OpHandle(pub RequestId);
+
+/// An op waiting to be packed into a batch.
+struct QueuedOp {
     request_id: RequestId,
     op: Vec<u8>,
-    issued_at: u64,
+    /// Queue time; `None` for ops submitted outside the event loop,
+    /// stamped when the batch is flushed.
+    queued_at: Option<u64>,
+}
+
+/// The batch currently in flight (at most one — depth-1 pipelining keeps
+/// the client table's at-most-once bookkeeping exact).
+struct Inflight {
+    first_request_id: RequestId,
+    ops: Vec<(RequestId, Vec<u8>, u64)>,
     retries: u32,
     /// Replies keyed by replica; the quorum check groups matching ones.
     /// BTreeMap so the quorum grouping below iterates deterministically
@@ -51,23 +89,36 @@ struct Pending {
     retry_timer: TimerId,
 }
 
-/// The closed-loop NeoBFT client node.
-pub struct Client {
+/// The windowed, batching NeoBFT client node.
+pub struct ClientDriver {
     id: ClientId,
     cfg: NeoConfig,
     crypto: NodeCrypto,
     sender: AomSender,
-    workload: Box<dyn Workload>,
+    /// Op source (`None` = manual mode, ops arrive only via `submit`).
+    workload: Option<Box<dyn Workload>>,
+    batcher: AdaptiveBatcher,
     next_request: u64,
-    pending: Option<Pending>,
-    /// Completed operations, in order.
+    /// Ops pulled from the workload so far (bounded by `max_ops`).
+    pulled: u64,
+    queue: VecDeque<QueuedOp>,
+    inflight: Option<Inflight>,
+    flush_timer: Option<TimerId>,
+    /// Completed operations, in request-id order.
     pub completed: Vec<CompletedOp>,
-    /// Stop after this many operations (None = run forever).
+    /// Stop pulling from the workload after this many operations
+    /// (None = run forever). Does not limit explicit `submit`s.
     pub max_ops: Option<u64>,
 }
 
-impl Client {
-    /// Build client `id` issuing operations from `workload`.
+/// The original name: a [`ClientDriver`] with the policy taken from
+/// [`NeoConfig::batch`] (default [`BatchPolicy::SINGLE`], the exact
+/// closed-loop behaviour every pre-batching test expects).
+pub type Client = ClientDriver;
+
+impl ClientDriver {
+    /// Build client `id` issuing operations from `workload` under the
+    /// batch policy in `cfg.batch`.
     pub fn new(
         id: ClientId,
         cfg: NeoConfig,
@@ -75,16 +126,37 @@ impl Client {
         costs: CostModel,
         workload: Box<dyn Workload>,
     ) -> Self {
+        Self::build(id, cfg, keys, costs, Some(workload))
+    }
+
+    /// Build a manual-mode driver: no workload, ops arrive only through
+    /// [`ClientDriver::submit`] / [`ClientDriver::try_submit`].
+    pub fn manual(id: ClientId, cfg: NeoConfig, keys: &SystemKeys, costs: CostModel) -> Self {
+        Self::build(id, cfg, keys, costs, None)
+    }
+
+    fn build(
+        id: ClientId,
+        cfg: NeoConfig,
+        keys: &SystemKeys,
+        costs: CostModel,
+        workload: Option<Box<dyn Workload>>,
+    ) -> Self {
         let crypto = NodeCrypto::new(Principal::Client(id), keys, costs);
         let sender = AomSender::new(cfg.group);
-        Client {
+        let batcher = AdaptiveBatcher::new(cfg.batch);
+        ClientDriver {
             id,
             cfg,
             crypto,
             sender,
             workload,
+            batcher,
             next_request: 1,
-            pending: None,
+            pulled: 0,
+            queue: VecDeque::new(),
+            inflight: None,
+            flush_timer: None,
             completed: Vec::new(),
             max_ops: None,
         }
@@ -95,58 +167,177 @@ impl Client {
         self.id
     }
 
-    /// True if an operation is in flight.
+    /// True if a batch is in flight or ops are queued.
     pub fn busy(&self) -> bool {
-        self.pending.is_some()
+        self.inflight.is_some() || !self.queue.is_empty()
     }
 
-    fn issue_next(&mut self, ctx: &mut dyn Context) {
-        if self.pending.is_some() {
-            return;
-        }
-        if let Some(max) = self.max_ops {
-            if self.completed.len() as u64 >= max {
-                return;
-            }
-        }
-        let op = self.workload.next_op();
+    /// Ops outstanding (queued + in flight).
+    pub fn outstanding(&self) -> usize {
+        self.queue.len() + self.inflight.as_ref().map(|i| i.ops.len()).unwrap_or(0)
+    }
+
+    /// Submit an op for replicated execution. Always accepts (explicit
+    /// submissions may exceed the window); the returned handle resolves
+    /// via [`ClientDriver::result_of`] once the op commits.
+    pub fn submit(&mut self, op: Vec<u8>) -> OpHandle {
         let request_id = RequestId(self.next_request);
         self.next_request += 1;
-        let retry_timer = ctx.set_timer(self.cfg.client_retry_ns, 2);
-        self.pending = Some(Pending {
+        self.queue.push_back(QueuedOp {
             request_id,
-            op: op.clone(),
-            issued_at: ctx.now(),
+            op,
+            queued_at: None,
+        });
+        OpHandle(request_id)
+    }
+
+    /// Windowed submit: refuses (returning `None`) while the policy's
+    /// window of outstanding ops is full — the backpressure surface for
+    /// open-loop load generators.
+    pub fn try_submit(&mut self, op: Vec<u8>) -> Option<OpHandle> {
+        if self.outstanding() >= self.cfg.batch.window {
+            return None;
+        }
+        Some(self.submit(op))
+    }
+
+    /// The completion record for a submitted op, if it has committed.
+    /// Ops complete in request-id order, so this is a binary search.
+    pub fn result_of(&self, handle: OpHandle) -> Option<&CompletedOp> {
+        self.completed
+            .binary_search_by_key(&handle.0, |c| c.request_id)
+            .ok()
+            .and_then(|i| self.completed.get(i))
+    }
+
+    /// True once the op behind `handle` has committed.
+    pub fn is_complete(&self, handle: OpHandle) -> bool {
+        self.result_of(handle).is_some()
+    }
+
+    /// Pull ops from the workload to fill the window, then flush a batch
+    /// if the policy says so. The single driver of all progress.
+    fn pump(&mut self, ctx: &mut dyn Context) {
+        self.refill(ctx);
+        self.maybe_flush(ctx, false);
+    }
+
+    /// Top the queue up from the workload (if any) to the window size.
+    fn refill(&mut self, ctx: &mut dyn Context) {
+        let Some(workload) = self.workload.as_mut() else {
+            return;
+        };
+        let window = self.cfg.batch.window.max(1);
+        let room = window.saturating_sub(self.queue.len() + self.inflight_len());
+        let budget = match self.max_ops {
+            Some(max) => (max.saturating_sub(self.pulled)).min(room as u64) as usize,
+            None => room,
+        };
+        if budget == 0 {
+            // Only signal idleness when there is truly nothing going on;
+            // a full window under backpressure is load, not idleness.
+            if self.queue.is_empty() && self.inflight.is_none() {
+                self.batcher.on_ops(0, ctx.now());
+            }
+            return;
+        }
+        let ops = workload.next_ops(budget);
+        let n = ops.len() as u64;
+        self.pulled += n;
+        let now = ctx.now();
+        for op in ops {
+            let request_id = RequestId(self.next_request);
+            self.next_request += 1;
+            self.queue.push_back(QueuedOp {
+                request_id,
+                op,
+                queued_at: Some(now),
+            });
+        }
+        self.batcher.on_ops(n, now);
+    }
+
+    fn inflight_len(&self) -> usize {
+        self.inflight.as_ref().map(|i| i.ops.len()).unwrap_or(0)
+    }
+
+    /// Flush a batch if one is due: the queue reached the target size,
+    /// the policy never waits (zero flush timeout), or the flush timer
+    /// fired (`timed_out`).
+    fn maybe_flush(&mut self, ctx: &mut dyn Context, timed_out: bool) {
+        if self.inflight.is_some() || self.queue.is_empty() {
+            return;
+        }
+        let target = self
+            .batcher
+            .target()
+            .clamp(1, self.cfg.batch.max_batch.max(1));
+        let due = timed_out || self.queue.len() >= target || self.cfg.batch.flush_timeout_ns == 0;
+        if !due {
+            if self.flush_timer.is_none() {
+                self.flush_timer =
+                    Some(ctx.set_timer(self.cfg.batch.flush_timeout_ns, FLUSH_TIMER));
+            }
+            return;
+        }
+        if let Some(t) = self.flush_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        let now = ctx.now();
+        let take = self.queue.len().min(self.cfg.batch.max_batch.max(1));
+        let mut ops = Vec::with_capacity(take);
+        for _ in 0..take {
+            let Some(q) = self.queue.pop_front() else {
+                break;
+            };
+            ops.push((q.request_id, q.op, q.queued_at.unwrap_or(now)));
+        }
+        let Some(first) = ops.first().map(|(id, _, _)| *id) else {
+            return;
+        };
+        let retry_timer = ctx.set_timer(self.cfg.client_retry_ns, RETRY_TIMER);
+        self.inflight = Some(Inflight {
+            first_request_id: first,
+            ops,
             retries: 0,
             replies: BTreeMap::new(),
             retry_timer,
         });
+        if take > 1 {
+            ctx.emit(Event::BatchFlush {
+                client: self.id.0,
+                request: first.0,
+                size: take as u64,
+            });
+        }
         // Span start: everything downstream correlates back to this
-        // (client, request) pair.
+        // (client, first-request) pair.
         ctx.emit(Event::ClientSend {
             client: self.id.0,
-            request: request_id.0,
+            request: first.0,
         });
-        self.send_request(ctx);
+        self.send_batch(ctx);
     }
 
-    fn signed_request(&self) -> Option<SignedRequest> {
-        let p = self.pending.as_ref()?;
-        let request = Request {
-            op: p.op.clone(),
-            request_id: p.request_id,
+    fn signed_batch(&self) -> Option<SignedBatch> {
+        let infl = self.inflight.as_ref()?;
+        let batch = BatchRequest {
+            ops: AomBatch {
+                ops: infl.ops.iter().map(|(_, op, _)| op.clone()).collect(),
+            },
+            first_request_id: infl.first_request_id,
             client: self.id,
         };
-        let bytes = neo_wire::encode(&request).ok()?;
+        let bytes = neo_wire::encode(&batch).ok()?;
         let peers: Vec<neo_crypto::Principal> = (0..self.cfg.n as u32)
             .map(|r| neo_crypto::Principal::Replica(ReplicaId(r)))
             .collect();
         let auth = self.crypto.mac_vector(&peers, &bytes);
-        Some(SignedRequest { request, auth })
+        Some(SignedBatch { batch, auth })
     }
 
-    fn send_request(&mut self, ctx: &mut dyn Context) {
-        let Some(signed) = self.signed_request() else {
+    fn send_batch(&mut self, ctx: &mut dyn Context) {
+        let Some(signed) = self.signed_batch() else {
             return;
         };
         let payload = self.sender.wrap(signed.to_bytes(), &self.crypto);
@@ -156,24 +347,27 @@ impl Client {
     fn retransmit(&mut self, ctx: &mut dyn Context) {
         // Keep multicasting via aom *and* unicast to every replica
         // (§5.3).
-        self.send_request(ctx);
-        let Some(signed) = self.signed_request() else {
+        self.send_batch(ctx);
+        let Some(signed) = self.signed_batch() else {
             return;
         };
         // Encode the unicast fallback once; fan-out is refcount bumps.
         let all: Vec<ReplicaId> = (0..self.cfg.n as u32).map(ReplicaId).collect();
         ctx.broadcast(&all, NeoMsg::RequestUnicast(signed).to_payload());
-        if let Some(p) = self.pending.as_mut() {
-            p.retries += 1;
-            p.retry_timer = ctx.set_timer(self.cfg.client_retry_ns, 2);
+        if let Some(infl) = self.inflight.as_mut() {
+            infl.retries += 1;
+            infl.retry_timer = ctx.set_timer(self.cfg.client_retry_ns, RETRY_TIMER);
         }
     }
 
     fn on_reply(&mut self, reply: Reply, tag: neo_wire::HmacTag, ctx: &mut dyn Context) {
-        let Some(p) = self.pending.as_mut() else {
+        let Some(infl) = self.inflight.as_mut() else {
             return;
         };
-        if reply.request_id != p.request_id {
+        if reply.request_id != infl.first_request_id {
+            return;
+        }
+        if reply.results.len() != infl.ops.len() {
             return;
         }
         if reply.replica.index() >= self.cfg.n {
@@ -189,57 +383,59 @@ impl Client {
         {
             return;
         }
-        p.replies.insert(reply.replica, reply);
-        // Quorum: 2f+1 replies matching on (view, slot, log_hash, result).
+        infl.replies.insert(reply.replica, reply);
+        // Quorum: 2f+1 replies matching on (view, slot, log_hash, results).
         let quorum = self.cfg.quorum();
-        let mut groups: BTreeMap<(u64, u64, u64, neo_crypto::Digest, Vec<u8>), usize> =
+        let mut groups: BTreeMap<(u64, u64, u64, neo_crypto::Digest, Vec<Vec<u8>>), usize> =
             BTreeMap::new();
-        for r in p.replies.values() {
+        for r in infl.replies.values() {
             let key = (
                 r.view.epoch.0,
                 r.view.leader_num,
                 r.slot.0,
                 r.log_hash,
-                r.result.clone(),
+                r.results.clone(),
             );
             // neo-lint: allow(R5, at most n per-replica replies feed this map)
             *groups.entry(key).or_default() += 1;
         }
         if let Some((key, _)) = groups.into_iter().find(|(_, c)| *c >= quorum) {
-            let Some(p) = self.pending.take() else {
+            let Some(infl) = self.inflight.take() else {
                 return;
             };
-            ctx.cancel_timer(p.retry_timer);
+            ctx.cancel_timer(infl.retry_timer);
             let completed_at = ctx.now();
             // Span end: the 2f+1 matching-reply quorum completed.
             ctx.emit(Event::ClientCommit {
                 client: self.id.0,
-                request: p.request_id.0,
+                request: infl.first_request_id.0,
             });
             {
                 let m = ctx.metrics();
-                m.observe(
-                    "client.latency_ns",
-                    completed_at.saturating_sub(p.issued_at),
-                );
-                m.incr("client.ops_completed");
-                if p.retries > 0 {
-                    m.add("client.retries", p.retries as u64);
+                for (_, _, queued_at) in &infl.ops {
+                    m.observe("client.latency_ns", completed_at.saturating_sub(*queued_at));
+                    m.incr("client.ops_completed");
+                }
+                if infl.retries > 0 {
+                    m.add("client.retries", infl.retries as u64);
                 }
             }
-            self.completed.push(CompletedOp {
-                request_id: p.request_id,
-                issued_at: p.issued_at,
-                completed_at,
-                result: key.4,
-                retries: p.retries,
-            });
-            self.issue_next(ctx);
+            // Fan the per-op results back out, in request-id order.
+            for ((request_id, _, queued_at), result) in infl.ops.into_iter().zip(key.4) {
+                self.completed.push(CompletedOp {
+                    request_id,
+                    issued_at: queued_at,
+                    completed_at,
+                    result,
+                    retries: infl.retries,
+                });
+            }
+            self.pump(ctx);
         }
     }
 }
 
-impl Node for Client {
+impl Node for ClientDriver {
     fn on_message(&mut self, _from: Addr, payload: &[u8], ctx: &mut dyn Context) {
         let Ok(Envelope::App(bytes)) = Envelope::from_bytes(payload) else {
             return;
@@ -251,16 +447,36 @@ impl Node for Client {
 
     fn on_timer(&mut self, timer: TimerId, kind: u32, ctx: &mut dyn Context) {
         match kind {
-            neo_sim::sim::INIT_TIMER_KIND => self.issue_next(ctx),
-            2 => {
+            neo_sim::sim::INIT_TIMER_KIND => {
+                if self.workload.is_none() {
+                    // Manual mode: poll for submitted ops. The interval
+                    // trades submit-to-wire latency against timer churn.
+                    let tick = self.cfg.batch.flush_timeout_ns.max(100_000);
+                    ctx.set_timer(tick, PUMP_TIMER);
+                }
+                self.pump(ctx);
+            }
+            RETRY_TIMER => {
                 let active = self
-                    .pending
+                    .inflight
                     .as_ref()
-                    .map(|p| p.retry_timer == timer)
+                    .map(|i| i.retry_timer == timer)
                     .unwrap_or(false);
                 if active {
                     self.retransmit(ctx);
                 }
+            }
+            FLUSH_TIMER => {
+                let active = self.flush_timer.map(|t| t == timer).unwrap_or(false);
+                if active {
+                    self.flush_timer = None;
+                    self.maybe_flush(ctx, true);
+                }
+            }
+            PUMP_TIMER => {
+                let tick = self.cfg.batch.flush_timeout_ns.max(100_000);
+                ctx.set_timer(tick, PUMP_TIMER);
+                self.pump(ctx);
             }
             _ => {}
         }

@@ -1,5 +1,6 @@
 //! Protocol configuration shared by replicas and clients.
 
+use crate::batch::BatchPolicy;
 use neo_aom::{NetworkTrust, ReceiverAuth};
 use neo_sim::{MICROS, MILLIS};
 use neo_wire::GroupId;
@@ -46,6 +47,12 @@ pub struct NeoConfig {
     pub emulate_hm_subgroups: bool,
     /// Per-partial-packet dispatch cost charged when emulating subgroups.
     pub subgroup_packet_cost_ns: u64,
+    /// Client-side request batching (defaults to [`BatchPolicy::SINGLE`],
+    /// the pre-batching closed-loop behaviour).
+    pub batch: BatchPolicy,
+    /// Pipelined speculative execution: replicas verify slot *k+1*'s
+    /// authenticator on the parallel lane while slot *k* executes.
+    pub pipeline_verify: bool,
 }
 
 impl NeoConfig {
@@ -67,6 +74,8 @@ impl NeoConfig {
             batch_confirms: true,
             emulate_hm_subgroups: false,
             subgroup_packet_cost_ns: 1_100,
+            batch: BatchPolicy::SINGLE,
+            pipeline_verify: false,
         }
     }
 
@@ -84,6 +93,14 @@ impl NeoConfig {
     /// Switch to the Byzantine-network trust model.
     pub fn with_byzantine_network(mut self) -> Self {
         self.trust = NetworkTrust::Byzantine;
+        self
+    }
+
+    /// Enable request batching (and, for multi-op batches, pipelined
+    /// speculative verification on the replicas).
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.pipeline_verify = batch.batching();
+        self.batch = batch;
         self
     }
 }
@@ -107,5 +124,21 @@ mod tests {
         let c = NeoConfig::new(1).with_pk().with_byzantine_network();
         assert!(matches!(c.auth, ReceiverAuth::PublicKey));
         assert_eq!(c.trust, NetworkTrust::Byzantine);
+    }
+
+    #[test]
+    fn default_batch_policy_is_single() {
+        let c = NeoConfig::new(1);
+        assert_eq!(c.batch, BatchPolicy::SINGLE);
+        assert!(!c.pipeline_verify);
+    }
+
+    #[test]
+    fn with_batch_enables_pipelining_only_for_real_batches() {
+        let c = NeoConfig::new(1).with_batch(BatchPolicy::fixed(16));
+        assert_eq!(c.batch.max_batch, 16);
+        assert!(c.pipeline_verify);
+        let c = NeoConfig::new(1).with_batch(BatchPolicy::SINGLE);
+        assert!(!c.pipeline_verify);
     }
 }

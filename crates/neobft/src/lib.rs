@@ -30,9 +30,15 @@
 //!   failover with epoch certificates and log merging;
 //! * state synchronization (§B.2) — periodic sync-points that finalize
 //!   speculative execution and propagate gap certificates;
-//! * [`client`] — the closed-loop client with aom multicast, reply
-//!   quorum matching, and the unicast fallback path.
+//! * [`client`] — the windowed [`ClientDriver`]: ops are submitted (or
+//!   pulled from a workload), packed into batch envelopes — many ops,
+//!   one MAC vector, one aom slot — multicast, matched against the
+//!   2f+1 reply quorum, and fanned back out per op; includes the
+//!   unicast fallback path;
+//! * [`batch`] — the batching policy and the load-adaptive batch-size
+//!   controller (modeled on the FPGA signing-ratio controller).
 
+pub mod batch;
 pub mod client;
 pub mod config;
 pub mod error;
@@ -41,10 +47,11 @@ pub mod log;
 pub mod messages;
 pub mod replica;
 
-pub use client::{Client, CompletedOp};
+pub use batch::{AdaptiveBatcher, BatchPolicy};
+pub use client::{Client, ClientDriver, CompletedOp, OpHandle};
 pub use config::NeoConfig;
 pub use error::ProtocolError;
 pub use invariants::{InvariantChecker, Violation};
 pub use log::{Log, LogEntry};
-pub use messages::{GapCert, NeoMsg, Reply, Request, SignedRequest};
+pub use messages::{BatchRequest, GapCert, NeoMsg, Reply, SignedBatch};
 pub use replica::Replica;

@@ -6,7 +6,7 @@
 //! here too — their validity rests on the transferable authentication of
 //! the enclosed ordering certificates.
 
-use neo_aom::OrderingCert;
+use neo_aom::{AomBatch, OrderingCert};
 use neo_crypto::{Digest, NodeCrypto, Principal, Signature};
 use neo_wire::{encode, ClientId, EpochNum, ReplicaId, RequestId, SlotNum, ViewId};
 use serde::{de::DeserializeOwned, Deserialize, Serialize};
@@ -36,36 +36,73 @@ pub fn verify_body<T: Serialize + DeserializeOwned>(
     crypto.verify(signer, &bytes, sig).is_ok()
 }
 
-/// A client operation request (§5.3): ⟨request, op, request-id⟩σc.
+/// A client batch request (§5.3 generalized): ⟨request, ops,
+/// first-request-id⟩σc — many ops, one authenticator, one aom slot.
+///
+/// The ops occupy consecutive request ids `first_request_id ..=
+/// last_request_id()`, strictly increasing per client. A batch of one is
+/// the paper's original single-request fast path; there is exactly one
+/// payload format on the wire either way.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
-pub struct Request {
-    /// The operation to execute.
-    pub op: Vec<u8>,
-    /// Client-chosen identifier, strictly increasing per client.
-    pub request_id: RequestId,
+pub struct BatchRequest {
+    /// The batched operations, in request-id order.
+    pub ops: AomBatch,
+    /// Request id of `ops[0]`; op `k` has id `first_request_id + k`.
+    pub first_request_id: RequestId,
     /// The issuing client.
     pub client: ClientId,
 }
 
-/// An authenticated request — the aom payload.
+impl BatchRequest {
+    /// A batch of one — the original closed-loop request shape.
+    pub fn single(op: Vec<u8>, request_id: RequestId, client: ClientId) -> Self {
+        BatchRequest {
+            ops: AomBatch::single(op),
+            first_request_id: request_id,
+            client,
+        }
+    }
+
+    /// Number of ops in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the batch carries no ops (never sent by correct clients).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Request id of the last op in the batch.
+    pub fn last_request_id(&self) -> RequestId {
+        RequestId(
+            self.first_request_id
+                .0
+                .saturating_add(self.ops.len().saturating_sub(1) as u64),
+        )
+    }
+}
+
+/// An authenticated batch — the aom payload.
 ///
-/// Requests carry a MAC *vector* (one entry per replica) rather than a
+/// Batches carry a MAC *vector* (one entry per replica) rather than a
 /// signature: integrity and ordering are already covered by the aom
 /// authenticator, so the client authenticator only proves the client's
 /// identity to each replica — exactly the cheap per-request
 /// authentication the single-round-trip fast path needs. Signatures are
 /// reserved for the rare-path protocol messages (gap agreement, view
-/// changes) where transferability matters.
+/// changes) where transferability matters. The MAC covers the encoded
+/// [`BatchRequest`], i.e. every op in the batch at once.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
-pub struct SignedRequest {
-    /// The request body.
-    pub request: Request,
-    /// Client MAC vector: entry `i` authenticates the request to
+pub struct SignedBatch {
+    /// The batch body.
+    pub batch: BatchRequest,
+    /// Client MAC vector: entry `i` authenticates the batch to
     /// replica `i`.
     pub auth: Vec<neo_wire::HmacTag>,
 }
 
-impl SignedRequest {
+impl SignedBatch {
     /// Encode to aom payload bytes. Falls back to an empty payload
     /// (which no replica accepts) if encoding fails.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -78,23 +115,25 @@ impl SignedRequest {
     }
 }
 
-/// A replica's reply (§5.3): ⟨reply, view-id, i, log-slot-num, log-hash,
-/// request-id, result⟩σi.
+/// A replica's reply (§5.3 generalized to batches): ⟨reply, view-id, i,
+/// log-slot-num, log-hash, first-request-id, results⟩σi. One reply and
+/// one MAC per *batch*; per-op results ride inside, in request-id order.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct Reply {
-    /// View in which the replica executed the request.
+    /// View in which the replica executed the batch.
     pub view: ViewId,
     /// The replying replica.
     pub replica: ReplicaId,
-    /// Log slot the request occupies.
+    /// Log slot the batch occupies.
     pub slot: SlotNum,
     /// Hash chain over the log up to and including `slot` (O(1) to
     /// maintain, §5.3).
     pub log_hash: Digest,
-    /// Echo of the client's request id.
+    /// Echo of the batch's first request id; result `k` answers request
+    /// `request_id + k`.
     pub request_id: RequestId,
-    /// Execution result.
-    pub result: Vec<u8>,
+    /// Per-op execution results, in request-id order.
+    pub results: Vec<Vec<u8>>,
 }
 
 /// Body of a gap-drop message (§5.4), signed.
@@ -191,7 +230,7 @@ pub enum NeoMsg {
     /// Replica → client, authenticated with a per-client MAC.
     Reply(Reply, neo_wire::HmacTag),
     /// Client → replicas: unicast fallback when aom stalls (§5.3).
-    RequestUnicast(SignedRequest),
+    RequestUnicast(SignedBatch),
     /// Non-leader → leader: recover a missing slot (§5.4). Unsigned.
     Query {
         /// Current view.
@@ -349,24 +388,28 @@ mod tests {
     }
 
     #[test]
-    fn request_payload_roundtrip() {
+    fn batch_payload_roundtrip() {
         let c = NodeCrypto::new(
             Principal::Client(ClientId(1)),
             &SystemKeys::new(1, 4, 2),
             CostModel::FREE,
         );
-        let req = Request {
-            op: b"op".to_vec(),
-            request_id: RequestId(5),
+        let batch = BatchRequest {
+            ops: AomBatch {
+                ops: vec![b"op5".to_vec(), b"op6".to_vec(), b"op7".to_vec()],
+            },
+            first_request_id: RequestId(5),
             client: ClientId(1),
         };
-        let bytes = encode(&req).expect("encodes");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.last_request_id(), RequestId(7));
+        let bytes = encode(&batch).expect("encodes");
         let peers: Vec<Principal> = (0..4).map(|r| Principal::Replica(ReplicaId(r))).collect();
-        let signed = SignedRequest {
+        let signed = SignedBatch {
             auth: c.mac_vector(&peers, &bytes),
-            request: req,
+            batch,
         };
-        let decoded = SignedRequest::from_bytes(&signed.to_bytes()).unwrap();
+        let decoded = SignedBatch::from_bytes(&signed.to_bytes()).unwrap();
         assert_eq!(decoded, signed);
         // Replica 2 verifies its MAC-vector entry.
         let r2 = NodeCrypto::new(
@@ -382,6 +425,50 @@ mod tests {
                 .is_err(),
             "entries are replica-specific"
         );
+    }
+
+    #[test]
+    fn client_mac_covers_every_op_in_the_batch() {
+        // The client MAC vector is computed over the encoded batch body,
+        // so tampering with any single op breaks every replica's entry.
+        let c = NodeCrypto::new(
+            Principal::Client(ClientId(1)),
+            &SystemKeys::new(1, 4, 2),
+            CostModel::FREE,
+        );
+        let batch = BatchRequest {
+            ops: AomBatch {
+                ops: vec![b"aa".to_vec(), b"bb".to_vec()],
+            },
+            first_request_id: RequestId(1),
+            client: ClientId(1),
+        };
+        let bytes = encode(&batch).expect("encodes");
+        let peers: Vec<Principal> = (0..4).map(|r| Principal::Replica(ReplicaId(r))).collect();
+        let auth = c.mac_vector(&peers, &bytes);
+        let mut tampered = batch;
+        tampered.ops.ops[1] = b"bX".to_vec();
+        let tampered_bytes = encode(&tampered).expect("encodes");
+        let r0 = NodeCrypto::new(
+            Principal::Replica(ReplicaId(0)),
+            &SystemKeys::new(1, 4, 2),
+            CostModel::FREE,
+        );
+        assert!(r0
+            .verify_mac_from(Principal::Client(ClientId(1)), &bytes, &auth[0])
+            .is_ok());
+        assert!(r0
+            .verify_mac_from(Principal::Client(ClientId(1)), &tampered_bytes, &auth[0])
+            .is_err());
+    }
+
+    #[test]
+    fn single_batch_is_the_degenerate_request() {
+        let b = BatchRequest::single(b"op".to_vec(), RequestId(9), ClientId(3));
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        assert_eq!(b.first_request_id, RequestId(9));
+        assert_eq!(b.last_request_id(), RequestId(9));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::error::ProtocolError;
 use crate::log::{Log, LogEntry};
 use crate::messages::{
     gap_decision_digest, sign_body, verify_body, EpochCert, EpochStartBody, GapDecisionBody,
-    GapDropBody, GapVoteBody, NeoMsg, Reply, SignedRequest, SyncBody, ViewChangeBody, WireLogEntry,
+    GapDropBody, GapVoteBody, NeoMsg, Reply, SignedBatch, SyncBody, ViewChangeBody, WireLogEntry,
 };
 use neo_aom::{AomReceiver, ConfigMsg, Delivery, Envelope, OrderingCert};
 use neo_app::App;
@@ -110,7 +110,14 @@ struct GapState {
 }
 
 /// Client-table entry for at-most-once semantics and reply caching.
+///
+/// One entry per client suffices even with batching: the client drives
+/// at most one batch at a time (depth-1 pipelining), so batches arrive
+/// in `first_request` order and the entry always describes the latest.
 struct ClientEntry {
+    /// First request id of the last executed batch.
+    first_request: RequestId,
+    /// Last request id of the last executed batch.
     last_request: RequestId,
     /// Shared buffer: re-sending a cached reply is a refcount bump.
     cached_reply: Option<neo_wire::Payload>,
@@ -160,9 +167,9 @@ pub struct Replica {
     epoch_base: SlotNum,
     /// Next slot to execute.
     exec_cursor: SlotNum,
-    /// Slots executed as requests (for rollback accounting): slot →
-    /// executed-as-request flag.
-    executed_req: Vec<bool>,
+    /// Ops executed per slot (for rollback accounting): slot → number of
+    /// batch ops applied to the app (0 = not executed / no-op / pending).
+    executed_ops: Vec<u32>,
     /// Point lookups only (never iterated), so HashMap stays safe here.
     client_table: HashMap<ClientId, ClientEntry>,
     /// BTreeMap: `maybe_sync` walks this map and the result is signed.
@@ -222,7 +229,7 @@ impl Replica {
         app: Box<dyn App>,
     ) -> Self {
         let crypto = NodeCrypto::new(Principal::Replica(id), keys, costs);
-        let aom = AomReceiver::new(
+        let mut aom = AomReceiver::new(
             cfg.group,
             id,
             id.index(),
@@ -231,6 +238,9 @@ impl Replica {
             cfg.trust,
             keys,
         );
+        // Pipelined speculation: verify slot k+1's authenticator on the
+        // parallel lane while slot k executes (enabled with batching).
+        aom.set_pipelined(cfg.pipeline_verify);
         let peers = (0..cfg.n as u32)
             .map(ReplicaId)
             .filter(|r| *r != id)
@@ -247,7 +257,7 @@ impl Replica {
             status: Status::Normal,
             epoch_base: SlotNum(0),
             exec_cursor: SlotNum(0),
-            executed_req: Vec::new(),
+            executed_ops: Vec::new(),
             client_table: HashMap::new(),
             gaps: BTreeMap::new(),
             timers: HashMap::new(),
@@ -437,9 +447,7 @@ impl Replica {
         let outgoing = self.aom.take_outgoing_confirms();
         if !outgoing.is_empty() && self.behavior != ReplicaBehavior::Mute {
             for sc in &outgoing {
-                ctx.emit(Event::Confirm {
-                    seq: sc.body.seq.0,
-                });
+                ctx.emit(Event::Confirm { seq: sc.body.seq.0 });
             }
             if self.cfg.batch_confirms {
                 self.pending_confirms.extend(outgoing);
@@ -567,7 +575,7 @@ impl Replica {
         debug_assert_eq!(slot, self.log.len(), "aom delivers densely");
         ctx.emit(Event::RequestReceived { slot: Some(slot.0) });
         self.log.append_request(cert);
-        self.executed_req.push(false);
+        self.executed_ops.push(0);
         self.exec_digests.push(None);
         self.answer_pending_find(slot, ctx);
         self.try_execute(ctx);
@@ -581,7 +589,7 @@ impl Replica {
         }
         ctx.emit(Event::DropNotification { seq: seq.0 });
         self.log.append_pending();
-        self.executed_req.push(false);
+        self.executed_ops.push(0);
         self.exec_digests.push(None);
         self.start_gap(slot, ctx);
     }
@@ -618,28 +626,44 @@ impl Replica {
         oc: &OrderingCert,
         ctx: &mut dyn Context,
     ) -> Result<(), ProtocolError> {
-        let Some(signed) = SignedRequest::from_bytes(&oc.packet.payload) else {
-            return Ok(()); // malformed request: consistent no-op everywhere
+        let Some(signed) = SignedBatch::from_bytes(&oc.packet.payload) else {
+            return Ok(()); // malformed batch: consistent no-op everywhere
         };
-        let req = &signed.request;
-        // Client authentication: verify my entry of the request's MAC
-        // vector. A request forged in the client's name must not be
-        // executed (it would still occupy the slot).
+        let batch = &signed.batch;
+        if batch.is_empty() {
+            return Ok(()); // empty batch: consistent no-op everywhere
+        }
+        // Client authentication: verify my entry of the batch's MAC
+        // vector. The MAC covers the whole encoded envelope, so a batch
+        // with even one forged op must not be executed (it would still
+        // occupy the slot).
         if !self.verify_request_auth(&signed) {
             return Ok(());
         }
-        // At-most-once (§C.1): re-execution of an old request only
-        // re-sends the cached reply.
-        if let Some(entry) = self.client_table.get(&req.client) {
-            if req.request_id < entry.last_request {
+        let client = batch.client;
+        let first = batch.first_request_id;
+        let last = batch.last_request_id();
+        // At-most-once (§C.1), per batch: the client drives one batch at
+        // a time, so batches arrive in id order and a single table entry
+        // covers the whole prefix. Re-execution of the latest batch only
+        // re-sends the cached reply; any other overlap with executed ids
+        // is skipped deterministically (all correct replicas see the
+        // same bytes in the same slot, so all skip alike).
+        if let Some(entry) = self.client_table.get(&client) {
+            if last < entry.last_request {
                 return Ok(());
             }
-            if req.request_id == entry.last_request {
-                if let Some(cached) = entry.cached_reply.clone() {
-                    if self.behavior != ReplicaBehavior::Mute {
-                        ctx.send(Addr::Client(req.client), cached);
+            if last == entry.last_request {
+                if first == entry.first_request {
+                    if let Some(cached) = entry.cached_reply.clone() {
+                        if self.behavior != ReplicaBehavior::Mute {
+                            ctx.send(Addr::Client(client), cached);
+                        }
                     }
                 }
+                return Ok(());
+            }
+            if first <= entry.last_request {
                 return Ok(());
             }
         }
@@ -648,58 +672,82 @@ impl Replica {
         let Some(log_hash) = self.log.hash_at(slot) else {
             return Err(ProtocolError::MissingLogHash(slot));
         };
-        let result = self.app.execute(&req.op);
-        self.stats.executed += 1;
+        let mut results = Vec::with_capacity(batch.len());
+        for op in &batch.ops.ops {
+            results.push(self.app.execute(op));
+        }
+        self.stats.executed += batch.len() as u64;
         // Execution here is ahead of the stable sync point — the paper's
         // speculative fast path (§5.3).
         ctx.emit(Event::SpeculativeExecute { slot: slot.0 });
-        if slot.index() < self.executed_req.len() {
-            if self.executed_req[slot.index()] {
+        if batch.len() > 1 {
+            ctx.emit(Event::BatchExecute {
+                slot: slot.0,
+                size: batch.len() as u64,
+            });
+            ctx.metrics()
+                .observe("replica.exec_batch_size", batch.len() as u64);
+        }
+        if slot.index() < self.executed_ops.len() {
+            if self.executed_ops[slot.index()] > 0 {
                 // Executing a slot twice without an intervening rollback
                 // corrupts application state; count it for the checker.
                 self.stats.double_executions += 1;
             }
-            self.executed_req[slot.index()] = true;
+            self.executed_ops[slot.index()] = batch.len() as u32;
         }
         if slot.index() < self.exec_digests.len() {
-            self.exec_digests[slot.index()] =
-                Some(Self::exec_digest(req.client, req.request_id, &result));
+            // Order-sensitive fold of the per-op digests: two correct
+            // replicas executing the same batch in the same slot agree.
+            let mut acc = 0u64;
+            for (k, result) in results.iter().enumerate() {
+                let id = RequestId(first.0.saturating_add(k as u64));
+                acc = acc
+                    .rotate_left(1)
+                    .wrapping_add(Self::exec_digest(client, id, result));
+            }
+            self.exec_digests[slot.index()] = Some(acc);
         }
         let reply = Reply {
             view: self.view,
             replica: self.id,
             slot,
             log_hash,
-            request_id: req.request_id,
-            result,
+            request_id: first,
+            results,
         };
         let Ok(bytes) = neo_wire::encode(&reply) else {
             return Err(ProtocolError::Encode("reply"));
         };
-        let tag = self.crypto.mac_for(Principal::Client(req.client), &bytes);
+        let tag = self.crypto.mac_for(Principal::Client(client), &bytes);
         let msg = NeoMsg::Reply(reply, tag).to_payload();
         self.client_table.insert(
-            req.client,
+            client,
             ClientEntry {
-                last_request: req.request_id,
+                first_request: first,
+                last_request: last,
                 cached_reply: Some(msg.clone()),
                 slot,
             },
         );
-        // The request arrived: cancel any unicast watchdog for it.
-        if let Some(t) = self.unicast_watch.remove(&(req.client, req.request_id)) {
-            self.disarm(t, ctx);
+        // The batch arrived: cancel any unicast watchdogs for its ids.
+        for k in 0..batch.len() as u64 {
+            let id = RequestId(first.0.saturating_add(k));
+            if let Some(t) = self.unicast_watch.remove(&(client, id)) {
+                self.disarm(t, ctx);
+            }
         }
         if self.behavior != ReplicaBehavior::Mute {
-            ctx.send(Addr::Client(req.client), msg);
+            ctx.send(Addr::Client(client), msg);
         }
         self.stats.replies_sent += 1;
         // Commit carries (slot, client, request) so the span assembler can
-        // join replica-side slot events to the client-side request span.
+        // join replica-side slot events to the client-side request span;
+        // `request` is the batch's first id.
         ctx.emit(Event::Commit {
             slot: slot.0,
-            client: req.client.0,
-            request: req.request_id.0,
+            client: client.0,
+            request: first.0,
         });
         Ok(())
     }
@@ -714,9 +762,14 @@ impl Replica {
         let mut cur = self.exec_cursor;
         while cur > slot {
             cur = SlotNum(cur.0 - 1);
-            if self.executed_req.get(cur.index()).copied().unwrap_or(false) {
-                self.app.undo();
-                self.executed_req[cur.index()] = false;
+            let n = self.executed_ops.get(cur.index()).copied().unwrap_or(0);
+            if n > 0 {
+                // One undo per op: a batch slot unwinds in reverse op
+                // order before the cursor moves past it.
+                for _ in 0..n {
+                    self.app.undo();
+                }
+                self.executed_ops[cur.index()] = 0;
                 if cur.index() < self.exec_digests.len() {
                     self.exec_digests[cur.index()] = None;
                 }
@@ -881,16 +934,19 @@ impl Replica {
             && self.aom.verify_cert(oc, &self.crypto)
     }
 
-    /// Verify my entry of a request's client MAC vector.
-    fn verify_request_auth(&self, signed: &SignedRequest) -> bool {
+    /// Verify my entry of a batch's client MAC vector. The vector is
+    /// computed over the encoded [`crate::messages::BatchRequest`], so
+    /// one tag covers every op in the envelope — tampering with any
+    /// single op invalidates the whole batch.
+    fn verify_request_auth(&self, signed: &SignedBatch) -> bool {
         let Some(tag) = signed.auth.get(self.id.index()) else {
             return false;
         };
-        let Ok(bytes) = neo_wire::encode(&signed.request) else {
-            return false; // unencodable request: drop, never panic
+        let Ok(bytes) = neo_wire::encode(&signed.batch) else {
+            return false; // unencodable batch: drop, never panic
         };
         self.crypto
-            .verify_mac_from(Principal::Client(signed.request.client), &bytes, tag)
+            .verify_mac_from(Principal::Client(signed.batch.client), &bytes, tag)
             .is_ok()
     }
 
@@ -1191,15 +1247,15 @@ impl Replica {
         }
         while self.log.len() <= slot {
             self.log.append_pending();
-            self.executed_req.push(false);
+            self.executed_ops.push(0);
             self.exec_digests.push(None);
         }
         if self.log.fill(slot, entry).is_err() {
             self.note_error(ProtocolError::FillRejected(slot), ctx);
             return;
         }
-        if self.executed_req.len() < self.log.len().index() {
-            self.executed_req.resize(self.log.len().index(), false);
+        if self.executed_ops.len() < self.log.len().index() {
+            self.executed_ops.resize(self.log.len().index(), 0);
         }
         if self.exec_digests.len() < self.log.len().index() {
             self.exec_digests.resize(self.log.len().index(), None);
@@ -1325,12 +1381,14 @@ impl Replica {
         ctx.metrics().incr("replica.sync_points");
         // Finalized: drop undo history for everything at or before the
         // sync point.
+        // Count *ops*, not slots: a batch slot holds one undo record per
+        // op, and the app must keep exactly that many.
         let still_speculative = self
-            .executed_req
+            .executed_ops
             .iter()
             .skip(slot.index())
-            .filter(|b| **b)
-            .count() as u64;
+            .map(|n| *n as u64)
+            .sum::<u64>();
         self.app.compact(still_speculative);
         self.try_execute(ctx);
     }
@@ -1604,7 +1662,7 @@ impl Replica {
             let cut = SlotNum(merged.len() as u64);
             self.rollback_to(cut, ctx);
             self.log.truncate(cut);
-            self.executed_req.truncate(cut.index());
+            self.executed_ops.truncate(cut.index());
             self.exec_digests.truncate(cut.index());
         }
         // Epoch bookkeeping.
@@ -1722,26 +1780,31 @@ impl Replica {
     // Client unicast fallback (§5.3 / §5.5)
     // ------------------------------------------------------------------
 
-    fn on_request_unicast(&mut self, signed: SignedRequest, ctx: &mut dyn Context) {
+    fn on_request_unicast(&mut self, signed: SignedBatch, ctx: &mut dyn Context) {
         if !self.verify_request_auth(&signed) {
             return;
         }
-        let req = &signed.request;
-        if let Some(entry) = self.client_table.get(&req.client) {
-            if req.request_id <= entry.last_request {
+        let batch = &signed.batch;
+        if batch.is_empty() {
+            return;
+        }
+        let client = batch.client;
+        let last = batch.last_request_id();
+        if let Some(entry) = self.client_table.get(&client) {
+            if last <= entry.last_request {
                 // Already executed: re-send the cached reply.
                 if let Some(cached) = entry.cached_reply.clone() {
-                    if req.request_id == entry.last_request
-                        && self.behavior != ReplicaBehavior::Mute
-                    {
-                        ctx.send(Addr::Client(req.client), cached);
+                    if last == entry.last_request && self.behavior != ReplicaBehavior::Mute {
+                        ctx.send(Addr::Client(client), cached);
                     }
                 }
                 return;
             }
         }
-        // Not yet delivered by aom: arm the sequencer-suspicion watchdog.
-        let key = (req.client, req.request_id);
+        // Not yet delivered by aom: arm the sequencer-suspicion watchdog,
+        // keyed on the batch's last id (one watchdog per batch; execution
+        // cancels every id in the batch, including this one).
+        let key = (client, last);
         if !self.unicast_watch.contains_key(&key) {
             // R5 bound: an overflow denies the fallback path (clients
             // retry through aom), never memory.

@@ -137,6 +137,17 @@ pub enum Event {
     Query { slot: u64 },
     /// The node answered a slot query with its ordering certificate.
     QueryReply { slot: u64 },
+    /// A client flushed a multi-op batch envelope (`request` is the
+    /// batch's first request id — the same id `ClientSend` carries).
+    /// Only emitted for batches of more than one op, so unbatched runs
+    /// produce exactly the pre-batching event stream.
+    BatchFlush {
+        client: u64,
+        request: u64,
+        size: u64,
+    },
+    /// A replica executed a multi-op batch occupying one slot.
+    BatchExecute { slot: u64, size: u64 },
 }
 
 /// Discriminant-only view of [`Event`], used to index the per-kind counts.
@@ -158,10 +169,12 @@ pub enum EventKind {
     SyncPoint,
     Query,
     QueryReply,
+    BatchFlush,
+    BatchExecute,
 }
 
 /// Number of [`EventKind`] variants.
-pub const EVENT_KIND_COUNT: usize = 16;
+pub const EVENT_KIND_COUNT: usize = 18;
 
 impl EventKind {
     /// All kinds, in discriminant order.
@@ -182,6 +195,8 @@ impl EventKind {
         EventKind::SyncPoint,
         EventKind::Query,
         EventKind::QueryReply,
+        EventKind::BatchFlush,
+        EventKind::BatchExecute,
     ];
 
     /// Stable snake_case name used as the key in snapshots and JSON.
@@ -203,6 +218,8 @@ impl EventKind {
             EventKind::SyncPoint => "sync_point",
             EventKind::Query => "query",
             EventKind::QueryReply => "query_reply",
+            EventKind::BatchFlush => "batch_flush",
+            EventKind::BatchExecute => "batch_execute",
         }
     }
 }
@@ -227,6 +244,8 @@ impl Event {
             Event::SyncPoint { .. } => EventKind::SyncPoint,
             Event::Query { .. } => EventKind::Query,
             Event::QueryReply { .. } => EventKind::QueryReply,
+            Event::BatchFlush { .. } => EventKind::BatchFlush,
+            Event::BatchExecute { .. } => EventKind::BatchExecute,
         }
     }
 }

@@ -14,7 +14,7 @@
 
 use neobft::aom::{AuthMode, ConfigService, SequencerHw, SequencerNode};
 use neobft::app::{App, Workload};
-use neobft::core::{Client, NeoConfig, Replica};
+use neobft::core::{BatchPolicy, Client, NeoConfig, Replica};
 use neobft::crypto::{CostModel, SystemKeys};
 use neobft::runtime::{try_spawn_node, AddressBook};
 use neobft::wire::{Addr, ClientId, GroupId, ReplicaId};
@@ -211,8 +211,8 @@ struct OrderFlow {
     tick: u64,
 }
 
-impl Workload for OrderFlow {
-    fn next_op(&mut self) -> Vec<u8> {
+impl OrderFlow {
+    fn next_order(&mut self) -> Vec<u8> {
         self.tick += 1;
         let x = self
             .trader
@@ -237,13 +237,28 @@ impl Workload for OrderFlow {
     }
 }
 
+impl Workload for OrderFlow {
+    /// Batch-first: the client driver pulls as many orders as its batch
+    /// window has room for; a gateway burst rides one aom slot.
+    fn next_ops(&mut self, n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|_| self.next_order()).collect()
+    }
+
+    /// A committed order's result must decode as a fill report.
+    fn check(&self, _op: &[u8], result: &[u8]) -> bool {
+        bincode::deserialize::<Vec<Fill>>(result).is_ok()
+    }
+}
+
 fn main() {
     let group = GroupId(0);
     let n = 4;
     let traders = 3usize;
     let orders_each = 300u64;
     let keys = SystemKeys::new(88, n, traders);
-    let cfg = NeoConfig::new(1);
+    // Adaptive batching: bursts of orders share one aom slot (one
+    // sequencer stamp, one MAC vector, one reply quorum per batch).
+    let cfg = NeoConfig::new(1).with_batch(BatchPolicy::adaptive(16));
     let book = AddressBook::localhost(n, traders, group, 45200);
 
     println!("BFT trading gateway — {traders} traders, replicated matching engine (f = 1)");

@@ -37,6 +37,7 @@ fn plan_with(seed: u64, faults: FaultPlan) -> ChaosPlan {
         sync_interval: 8,
         faults,
         byz: None,
+        batch: 1,
     }
 }
 

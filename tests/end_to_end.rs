@@ -120,19 +120,25 @@ fn results_reflect_a_single_global_order() {
         n: u64,
     }
     impl neobft::app::Workload for WriteOnly {
-        fn next_op(&mut self) -> Vec<u8> {
-            self.n += 1;
-            KvOp::Put {
-                key: "x".into(),
-                value: self.n.to_le_bytes().to_vec(),
-            }
-            .to_bytes()
+        fn next_ops(&mut self, n: usize) -> Vec<Vec<u8>> {
+            (0..n)
+                .map(|_| {
+                    self.n += 1;
+                    KvOp::Put {
+                        key: "x".into(),
+                        value: self.n.to_le_bytes().to_vec(),
+                    }
+                    .to_bytes()
+                })
+                .collect()
         }
     }
     struct ReadOnly;
     impl neobft::app::Workload for ReadOnly {
-        fn next_op(&mut self) -> Vec<u8> {
-            KvOp::Get { key: "x".into() }.to_bytes()
+        fn next_ops(&mut self, n: usize) -> Vec<Vec<u8>> {
+            (0..n)
+                .map(|_| KvOp::Get { key: "x".into() }.to_bytes())
+                .collect()
         }
     }
     let cfg = NeoConfig::new(1);
