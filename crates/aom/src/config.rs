@@ -121,7 +121,7 @@ impl ConfigService {
             // reconfiguration delay.
             let key = self.next_pending;
             self.next_pending += 1;
-            // neo-lint: allow(R5, key is a local counter and the insert is gated by f+1 distinct in-group votes per epoch)
+            // neo-lint: allow(R5, key is a local counter and the insert is gated by f+1 distinct in-group votes per epoch) neo-lint: allow(R6, authorization is that f+1 quorum of membership-checked votes; the config service has no per-message MACs at sim fidelity)
             self.pending.insert(key, (group, new_epoch));
             ctx.set_timer(self.reconfig_delay_ns, key);
         }

@@ -13,8 +13,11 @@
 //! * [`kv`] — the in-memory B-Tree key-value store of §6.5.
 //! * [`ycsb`] — a YCSB workload generator (workload A: 50/50 read/update
 //!   over a zipfian key distribution, 100 K records, 128-byte fields).
+//! * [`fixed`] — Q32.32 fixed-point arithmetic backing the zipfian
+//!   tables, so workload state carries no floats (neo-lint R4).
 
 pub mod echo;
+pub mod fixed;
 pub mod kv;
 pub mod workload;
 pub mod ycsb;

@@ -3,24 +3,28 @@
 //!
 //! Workload A is 50% reads / 50% updates over a zipfian key-popularity
 //! distribution. The zipfian sampler is the standard Gray et al. rejection
-//! method used by the YCSB reference implementation.
+//! method used by the YCSB reference implementation, computed in Q32.32
+//! fixed point ([`crate::fixed`]) so the generator carries no floats
+//! (neo-lint R4) and the op stream is bit-identical on every platform.
 
+use crate::fixed::{fp_div, fp_exp2, fp_log2, fp_mul, fp_pow, fp_ratio, FRAC, ONE};
 use crate::kv::KvOp;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-/// Workload parameters.
+/// Workload parameters. Fractions are Q32.32 fixed point (`fixed::ONE`
+/// is 1.0); build them with [`crate::fixed::fp_ratio`].
 #[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
 pub struct YcsbConfig {
     /// Records in the table.
     pub record_count: usize,
     /// Value size in bytes.
     pub field_len: usize,
-    /// Fraction of reads (the rest are updates). Workload A = 0.5.
-    pub read_proportion: f64,
-    /// Zipfian skew constant (YCSB default 0.99).
-    pub theta: f64,
+    /// Fraction of reads (the rest are updates), Q32.32. Workload A = 0.5.
+    pub read_proportion: u64,
+    /// Zipfian skew constant θ, Q32.32, must be < 1.0 (YCSB default 0.99).
+    pub theta: u64,
 }
 
 impl YcsbConfig {
@@ -28,16 +32,16 @@ impl YcsbConfig {
     pub const WORKLOAD_A: YcsbConfig = YcsbConfig {
         record_count: 100_000,
         field_len: 128,
-        read_proportion: 0.5,
-        theta: 0.99,
+        read_proportion: fp_ratio(1, 2),
+        theta: fp_ratio(99, 100),
     };
 
     /// Workload B (95% reads) for extension experiments.
     pub const WORKLOAD_B: YcsbConfig = YcsbConfig {
         record_count: 100_000,
         field_len: 128,
-        read_proportion: 0.95,
-        theta: 0.99,
+        read_proportion: fp_ratio(95, 100),
+        theta: fp_ratio(99, 100),
     };
 }
 
@@ -45,25 +49,34 @@ impl YcsbConfig {
 pub struct YcsbGenerator {
     cfg: YcsbConfig,
     rng: ChaCha8Rng,
-    // Zipfian sampler state (Gray's method).
-    zeta_n: f64,
-    alpha: f64,
-    eta: f64,
-    zeta2: f64,
+    // Zipfian sampler state (Gray's method), Q32.32.
+    zeta_n: u64,
+    alpha: u64,
+    eta: u64,
+    zeta2: u64,
 }
 
-fn zeta(n: usize, theta: f64) -> f64 {
-    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+/// Partial zeta sum `Σ_{i=1..n} 1/i^θ` in Q32.32.
+fn zeta(n: usize, theta: u64) -> u64 {
+    let mut sum = 0u64;
+    for i in 1..=n {
+        // 1/i^θ = 2^(−θ·log2 i)
+        let l = fp_log2((i as u64) << FRAC) as i128;
+        sum += fp_exp2((-(l * theta as i128) >> FRAC) as i64);
+    }
+    sum
 }
 
 impl YcsbGenerator {
     /// A generator with the given seed (same seed → same op stream).
     pub fn new(cfg: YcsbConfig, seed: u64) -> Self {
+        assert!(cfg.theta < ONE, "zipfian θ must be < 1.0");
         let zeta_n = zeta(cfg.record_count, cfg.theta);
         let zeta2 = zeta(2, cfg.theta);
-        let alpha = 1.0 / (1.0 - cfg.theta);
-        let eta =
-            (1.0 - (2.0 / cfg.record_count as f64).powf(1.0 - cfg.theta)) / (1.0 - zeta2 / zeta_n);
+        let alpha = fp_div(ONE, ONE - cfg.theta);
+        let num = ONE - fp_pow(fp_ratio(2, cfg.record_count as u64), ONE - cfg.theta);
+        let den = ONE - fp_div(zeta2, zeta_n);
+        let eta = fp_div(num, den);
         YcsbGenerator {
             cfg,
             rng: ChaCha8Rng::seed_from_u64(seed),
@@ -79,25 +92,35 @@ impl YcsbGenerator {
         self.cfg
     }
 
+    /// A uniform Q32.32 draw in [0, 1.0). One u64 from the RNG, same
+    /// draw count as the old `gen::<f64>()` — seeds keep their streams.
+    fn uniform(&mut self) -> u64 {
+        self.rng.gen::<u64>() >> FRAC
+    }
+
     /// Draw a zipfian-distributed record index in `[0, record_count)`.
     pub fn next_key_index(&mut self) -> usize {
-        let n = self.cfg.record_count as f64;
-        let u: f64 = self.rng.gen();
-        let uz = u * self.zeta_n;
-        if uz < 1.0 {
+        let u = self.uniform();
+        let uz = fp_mul(u, self.zeta_n);
+        if uz < ONE {
             return 0;
         }
-        if uz < 1.0 + 0.5f64.powf(self.cfg.theta) {
+        // zeta2 = 1 + 2^−θ, so this is the textbook `uz < 1 + 0.5^θ`.
+        if uz < self.zeta2 {
             return 1;
         }
-        let idx = (n * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        // idx = n · (η·u − η + 1)^α; the base is in (0, 1], clamped away
+        // from zero so log2 stays defined.
+        let base = (ONE + fp_mul(self.eta, u)).saturating_sub(self.eta).max(1);
+        let idx =
+            ((self.cfg.record_count as u128 * fp_pow(base, self.alpha) as u128) >> FRAC) as usize;
         idx.min(self.cfg.record_count - 1)
     }
 
     /// Draw the next operation.
     pub fn next_op(&mut self) -> KvOp {
         let key = format!("user{}", self.next_key_index());
-        if self.rng.gen::<f64>() < self.cfg.read_proportion {
+        if self.uniform() < self.cfg.read_proportion {
             KvOp::Get { key }
         } else {
             let mut value = vec![0u8; self.cfg.field_len];
@@ -111,8 +134,8 @@ impl YcsbGenerator {
         self.next_op().to_bytes()
     }
 
-    /// Zeta(2, θ) — exposed for the distribution tests.
-    pub fn zeta2(&self) -> f64 {
+    /// Zeta(2, θ) in Q32.32 — exposed for the distribution tests.
+    pub fn zeta2(&self) -> u64 {
         self.zeta2
     }
 }
@@ -125,8 +148,8 @@ mod tests {
         YcsbConfig {
             record_count: 1000,
             field_len: 16,
-            read_proportion: 0.5,
-            theta: 0.99,
+            read_proportion: fp_ratio(1, 2),
+            theta: fp_ratio(99, 100),
         }
     }
 
@@ -146,6 +169,22 @@ mod tests {
             (0..100).map(|_| g.next_payload()).collect()
         };
         assert_ne!(ops1, ops3);
+    }
+
+    #[test]
+    fn zipfian_tables_match_float_reference() {
+        // The fixed-point sampler state vs the f64 math it replaced.
+        let g = YcsbGenerator::new(small(), 1);
+        let theta = 0.99f64;
+        let zeta_n: f64 = (1..=1000).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0f64 / 1000.0).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n);
+        let as_f = |x: u64| x as f64 / ONE as f64;
+        assert!((as_f(g.zeta_n) - zeta_n).abs() < 1e-4);
+        assert!((as_f(g.zeta2) - zeta2).abs() < 1e-6);
+        assert!((as_f(g.alpha) - alpha).abs() < 1e-4);
+        assert!((as_f(g.eta) - eta).abs() < 1e-4);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub struct Block {
 
 impl Block {
     fn digest(&self) -> Digest {
-        sha256(&encode(self).expect("encodes"))
+        sha256(&encode(self).unwrap_or_default())
     }
 }
 
@@ -74,7 +74,7 @@ enum Msg {
 }
 
 fn wrap(msg: &Msg) -> neo_wire::Payload {
-    Envelope::App(encode(msg).expect("encodes")).to_payload()
+    Envelope::App(encode(msg).unwrap_or_default()).to_payload()
 }
 
 fn unwrap(bytes: &[u8]) -> Option<Msg> {
@@ -385,7 +385,9 @@ impl HotStuffReplica {
             if !ready {
                 return;
             }
-            let block = self.blocks.get(&h).expect("checked").clone();
+            let Some(block) = self.blocks.get(&h).cloned() else {
+                return;
+            };
             for (req, _) in &block.batch {
                 let dup = self
                     .table
@@ -494,7 +496,7 @@ impl HotStuffClient {
     }
 
     fn transmit(&mut self, req: BaseRequest, all: bool, ctx: &mut dyn Context) {
-        let sig = self.crypto.sign(&encode(&req).expect("encodes"));
+        let sig = self.crypto.sign(&encode(&req).unwrap_or_default());
         let msg = wrap(&Msg::Request(req, sig));
         if all {
             // One encode; the whole-group retransmit is refcount bumps.

@@ -128,7 +128,7 @@ enum Msg {
 }
 
 fn wrap(msg: &Msg) -> neo_wire::Payload {
-    Envelope::App(encode(msg).expect("encodes")).to_payload()
+    Envelope::App(encode(msg).unwrap_or_default()).to_payload()
 }
 
 fn unwrap(bytes: &[u8]) -> Option<Msg> {
@@ -271,7 +271,7 @@ impl MinBftReplica {
                     (r, sig)
                 })
                 .collect();
-            let digest = sha256(&encode(&signed).expect("encodes"));
+            let digest = sha256(&encode(&signed).unwrap_or_default());
             let ui = self.usig.create_ui(&digest, ctx);
             let prepare = Msg::Prepare {
                 view: self.view,
@@ -309,7 +309,9 @@ impl MinBftReplica {
             self.exec_next = 1; // first prepare counter observed
         }
         // Backups broadcast a commit attested by their own USIG.
-        let inst = self.instances.get_mut(&ui.counter).expect("inserted");
+        let Some(inst) = self.instances.get_mut(&ui.counter) else {
+            return;
+        };
         if !inst.commit_sent && self.id != primary {
             inst.commit_sent = true;
             let mut input = digest.as_bytes().to_vec();
@@ -429,7 +431,9 @@ impl MinBftReplica {
             if inst.executed || inst.batch.is_none() || inst.commits.len() < self.cfg.f + 1 {
                 return;
             }
-            let batch = inst.batch.clone().expect("checked");
+            let Some(batch) = inst.batch.clone() else {
+                return;
+            };
             for (req, _) in &batch {
                 let dup = self
                     .table
@@ -529,7 +533,7 @@ impl MinBftClient {
     }
 
     fn transmit(&mut self, req: BaseRequest, all: bool, ctx: &mut dyn Context) {
-        let sig = self.crypto.sign(&encode(&req).expect("encodes"));
+        let sig = self.crypto.sign(&encode(&req).unwrap_or_default());
         let msg = wrap(&Msg::Request(req, sig));
         if all {
             // One encode; the whole-group retransmit is refcount bumps.

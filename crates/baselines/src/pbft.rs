@@ -55,7 +55,7 @@ enum Msg {
 }
 
 fn wrap(msg: &Msg) -> neo_wire::Payload {
-    Envelope::App(encode(msg).expect("encodes")).to_payload()
+    Envelope::App(encode(msg).unwrap_or_default()).to_payload()
 }
 
 fn unwrap(bytes: &[u8]) -> Option<Msg> {
@@ -429,7 +429,7 @@ impl PbftReplica {
 }
 
 fn batch_digest(batch: &[(BaseRequest, Signature)]) -> Digest {
-    sha256(&encode(&batch.iter().map(|(r, _)| r).collect::<Vec<_>>()).expect("encodes"))
+    sha256(&encode(&batch.iter().map(|(r, _)| r).collect::<Vec<_>>()).unwrap_or_default())
 }
 
 fn reply_mac_input(request_id: RequestId, result: &[u8]) -> Vec<u8> {
@@ -515,7 +515,7 @@ impl PbftClient {
     }
 
     fn transmit(&mut self, req: BaseRequest, all: bool, ctx: &mut dyn Context) {
-        let sig = self.crypto.sign(&encode(&req).expect("encodes"));
+        let sig = self.crypto.sign(&encode(&req).unwrap_or_default());
         let msg = wrap(&Msg::Request(req, sig));
         if all {
             // One encode; the whole-group retransmit is refcount bumps.

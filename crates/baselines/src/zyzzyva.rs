@@ -65,7 +65,7 @@ enum Msg {
 }
 
 fn wrap(msg: &Msg) -> neo_wire::Payload {
-    Envelope::App(encode(msg).expect("encodes")).to_payload()
+    Envelope::App(encode(msg).unwrap_or_default()).to_payload()
 }
 
 fn unwrap(bytes: &[u8]) -> Option<Msg> {
@@ -195,7 +195,7 @@ impl ZyzzyvaReplica {
                     (r, sig)
                 })
                 .collect();
-            let bdigest = sha256(&encode(&signed).expect("encodes"));
+            let bdigest = sha256(&encode(&signed).unwrap_or_default());
             let history = chain(self.history, bdigest.as_bytes());
             if self.behavior != ZyzzyvaBehavior::Mute {
                 for r in (0..self.cfg.n as u32)
@@ -270,7 +270,7 @@ impl ZyzzyvaReplica {
             let seq = self.exec_next;
             self.exec_next += 1;
             // Verify the primary's history chain.
-            let bdigest = sha256(&encode(&batch).expect("encodes"));
+            let bdigest = sha256(&encode(&batch).unwrap_or_default());
             let expect = chain(self.history, bdigest.as_bytes());
             if expect != history {
                 return; // equivocating primary: would trigger view change
@@ -295,7 +295,7 @@ impl ZyzzyvaReplica {
                     request_id: req.request_id,
                     result_digest: sha256(&result),
                 };
-                let sig = self.crypto.sign(&encode(&body).expect("encodes"));
+                let sig = self.crypto.sign(&encode(&body).unwrap_or_default());
                 let msg = Msg::SpecResponse { body, result, sig };
                 self.table.insert(req.client, (req.request_id, msg.clone()));
                 if self.behavior != ZyzzyvaBehavior::Mute {
@@ -444,7 +444,7 @@ impl ZyzzyvaClient {
     }
 
     fn transmit(&mut self, req: BaseRequest, all: bool, ctx: &mut dyn Context) {
-        let sig = self.crypto.sign(&encode(&req).expect("encodes"));
+        let sig = self.crypto.sign(&encode(&req).unwrap_or_default());
         let msg = wrap(&Msg::Request(req, sig));
         if all {
             // One encode; the whole-group retransmit is refcount bumps.

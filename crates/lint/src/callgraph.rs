@@ -1,0 +1,229 @@
+//! Workspace call graph over the item model.
+//!
+//! Nodes are functions (`FnRef` = file index + function index); edges
+//! come from `Call` events. Resolution is name-based and deliberately
+//! conservative:
+//!
+//! 1. a same-file function with the callee's name — preferring one in
+//!    the same `impl` when the receiver starts with `self` — else
+//! 2. a unique workspace-wide match.
+//!
+//! Ambiguous names resolve to the same-file candidate when exactly one
+//! exists, otherwise the edge is dropped (no guessing). The dataflow
+//! rules only traverse *same-file* edges (private helpers); the
+//! workspace-wide index exists so cross-file vocabulary checks (R7) and
+//! future rules see one graph.
+
+use crate::parser::{Event, FileModel};
+use std::collections::BTreeMap;
+
+/// A function's position in the workspace model.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct FnRef {
+    /// Index into the `files` slice.
+    pub file: usize,
+    /// Index into that file's `functions`.
+    pub func: usize,
+}
+
+/// One resolved call edge.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// Calling function.
+    pub caller: FnRef,
+    /// Called function.
+    pub callee: FnRef,
+    /// Position of the call in the caller's linear event stream.
+    pub event_idx: usize,
+    /// Call site line.
+    pub line: u32,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// All resolved edges, in deterministic (caller, event) order.
+    pub edges: Vec<Edge>,
+    by_name: BTreeMap<String, Vec<FnRef>>,
+}
+
+impl CallGraph {
+    /// Build the graph over every function in `files`.
+    pub fn build(files: &[FileModel]) -> CallGraph {
+        let mut by_name: BTreeMap<String, Vec<FnRef>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.functions.iter().enumerate() {
+                by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(FnRef { file: fi, func: gi });
+            }
+        }
+        let mut edges = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.functions.iter().enumerate() {
+                let caller = FnRef { file: fi, func: gi };
+                for (ei, ev) in f.linear_events().iter().enumerate() {
+                    let Event::Call {
+                        name,
+                        recv,
+                        is_macro: false,
+                        line,
+                    } = ev
+                    else {
+                        continue;
+                    };
+                    let Some(callee) = resolve(&by_name, files, caller, name, recv) else {
+                        continue;
+                    };
+                    if callee == caller {
+                        continue; // self-recursion adds nothing here
+                    }
+                    edges.push(Edge {
+                        caller,
+                        callee,
+                        event_idx: ei,
+                        line: *line,
+                    });
+                }
+            }
+        }
+        CallGraph { edges, by_name }
+    }
+
+    /// Functions named `name`, across the workspace.
+    pub fn functions_named(&self, name: &str) -> &[FnRef] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Edges out of `caller`.
+    pub fn callees(&self, caller: FnRef) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.caller == caller)
+    }
+
+    /// Edges into `callee`.
+    pub fn callers(&self, callee: FnRef) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.callee == callee)
+    }
+}
+
+/// Resolve one call to a function, or None when ambiguous/external.
+fn resolve(
+    by_name: &BTreeMap<String, Vec<FnRef>>,
+    files: &[FileModel],
+    caller: FnRef,
+    name: &str,
+    recv: &[String],
+) -> Option<FnRef> {
+    let candidates = by_name.get(name)?;
+    let same_file: Vec<FnRef> = candidates
+        .iter()
+        .copied()
+        .filter(|r| r.file == caller.file)
+        .collect();
+    if recv.first().map(String::as_str) == Some("self") {
+        // `self.name(..)`: prefer the caller's own impl.
+        let owner = files[caller.file].functions[caller.func].owner.as_deref();
+        if let Some(owner) = owner {
+            if let Some(hit) = same_file
+                .iter()
+                .find(|r| files[r.file].functions[r.func].owner.as_deref() == Some(owner))
+            {
+                return Some(*hit);
+            }
+        }
+    }
+    match same_file.len() {
+        1 => Some(same_file[0]),
+        0 if candidates.len() == 1 => Some(candidates[0]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn models(srcs: &[(&str, &str)]) -> Vec<FileModel> {
+        srcs.iter()
+            .map(|(path, src)| {
+                let lexed = lex(src);
+                let mask = vec![false; lexed.toks.len()];
+                parse_file(path, &lexed, &mask)
+            })
+            .collect()
+    }
+
+    fn name_of<'a>(files: &'a [FileModel], r: FnRef) -> (&'a str, &'a str) {
+        (
+            files[r.file].path.as_str(),
+            files[r.file].functions[r.func].name.as_str(),
+        )
+    }
+
+    #[test]
+    fn multi_impl_file_resolves_to_own_impl_first() {
+        // Two impls in one file share a helper name; `self.helper()`
+        // must bind to the caller's own impl, not the other one.
+        let src = "impl Alpha {\n\
+                   fn on_msg(&mut self) { self.helper(); }\n\
+                   fn helper(&self) {}\n\
+                   }\n\
+                   impl Beta {\n\
+                   fn on_tick(&mut self) { self.helper(); }\n\
+                   fn helper(&self) {}\n\
+                   }";
+        let files = models(&[("multi.rs", src)]);
+        let g = CallGraph::build(&files);
+        assert_eq!(g.edges.len(), 2);
+        for e in &g.edges {
+            let caller_owner = files[e.caller.file].functions[e.caller.func]
+                .owner
+                .as_deref();
+            let callee_owner = files[e.callee.file].functions[e.callee.func]
+                .owner
+                .as_deref();
+            assert_eq!(caller_owner, callee_owner, "edge crossed impl blocks");
+        }
+    }
+
+    #[test]
+    fn cross_file_unique_names_resolve() {
+        let files = models(&[
+            ("a.rs", "fn on_msg() { shared_helper(); }"),
+            ("b.rs", "fn shared_helper() {}"),
+        ]);
+        let g = CallGraph::build(&files);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(
+            name_of(&files, g.edges[0].callee),
+            ("b.rs", "shared_helper")
+        );
+    }
+
+    #[test]
+    fn ambiguous_cross_file_names_drop_the_edge() {
+        let files = models(&[
+            ("a.rs", "fn on_msg() { dup(); }"),
+            ("b.rs", "fn dup() {}"),
+            ("c.rs", "fn dup() {}"),
+        ]);
+        let g = CallGraph::build(&files);
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn callers_and_callees_enumerate() {
+        let src = "impl R {\n\
+                   fn on_a(&mut self) { self.shared(); }\n\
+                   fn on_b(&mut self) { self.shared(); }\n\
+                   fn shared(&mut self) {}\n\
+                   }";
+        let files = models(&[("r.rs", src)]);
+        let g = CallGraph::build(&files);
+        let shared = FnRef { file: 0, func: 2 };
+        assert_eq!(g.callers(shared).count(), 2);
+        assert_eq!(g.callees(FnRef { file: 0, func: 0 }).count(), 1);
+    }
+}

@@ -1,0 +1,493 @@
+//! Pass 2: dataflow rules over the item model + call graph.
+//!
+//! R6 verify-before-mutate — in a handler (`on_*`/`handle_*`/
+//!    `receive*`) or a private helper it calls, a write to replicated
+//!    state must be dominated, in statement order, by a call into the
+//!    verify vocabulary (`verify_*`, `check_*auth*`, or the aom
+//!    receiver's ingestion methods). Guard idioms
+//!    (`if !verify { return }`, `verify()?`, let-else) are recognized
+//!    because the verify call precedes the mutation in statement
+//!    order. The replicated universe is the R4/R5 field universe
+//!    (attacker-keyed map fields) plus `// neo-lint: replicated`
+//!    markers; `// neo-lint: verified(..)` on a `fn` declares its
+//!    inputs pre-authenticated.
+//! R7 verify-charges-meter — a raw verification primitive
+//!    (`verify_vector_entry`, or `.verify(..)` not routed through the
+//!    self-charging `NodeCrypto` façade) must be preceded by a meter
+//!    charge (`charge`/`charge_serial`/`charge_parallel`/
+//!    `charge_verify`) so sim benchmarks stay honest.
+//! R8 interprocedural panic reach — R2's panic ban extended one call
+//!    deep: `unwrap`/`expect`/panic-macros inside a private same-file
+//!    helper called from a handler.
+//!
+//! Known approximations (see DESIGN.md §15): domination is linear
+//! statement order, not path-sensitive; helper traversal is one level
+//! of same-file callees; aliased mutations through a local binding
+//! (`let g = self.gaps.entry(..)`) are not tracked.
+
+use crate::callgraph::{CallGraph, FnRef};
+use crate::parser::{Event, FileModel, FnModel};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Key types whose domain is fixed by the replica set / local runtime
+/// (mirrors R5).
+const BOUNDED_KEYS: &[&str] = &["ReplicaId", "TimerId", "GroupId"];
+
+/// Key types an attacker can mint fresh values of at will (mirrors R5).
+const UNBOUNDED_KEYS: &[&str] = &[
+    "ClientId",
+    "RequestId",
+    "SlotNum",
+    "SeqNum",
+    "EpochNum",
+    "ViewId",
+    "Digest",
+    "u64",
+    "u32",
+    "usize",
+    "String",
+    "Vec",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented", "assert"];
+
+const CHARGE_CALLS: &[&str] = &[
+    "charge",
+    "charge_serial",
+    "charge_parallel",
+    "charge_verify",
+];
+
+/// Files below the metering layer: they *implement* the primitives the
+/// meter prices, so R7 does not apply inside them. `provider.rs` (the
+/// façade) stays in scope — its raw calls must charge, and do.
+fn below_meter(path: &str) -> bool {
+    path.starts_with("crates/crypto/src/") && !path.ends_with("provider.rs")
+}
+
+/// A call into the verify vocabulary?
+fn is_verify_call(name: &str, recv: &[String]) -> bool {
+    if name.starts_with("verify") {
+        return true;
+    }
+    if name.starts_with("check") && name.contains("auth") {
+        return true;
+    }
+    // The aom receiver's ingestion path authenticates everything it
+    // yields (§4: the AOM primitive) — `self.aom.on_packet(..)` et al.
+    // are the moral `AomReceiver::receive`.
+    matches!(name, "on_packet" | "on_confirm" | "on_envelope" | "poll")
+        && recv.iter().any(|s| s == "aom")
+}
+
+/// Run R6–R8 over the workspace; findings accumulate per file into
+/// `out[file_index]` as `(line, rule, message)`.
+pub fn run(
+    files: &[FileModel],
+    graph: &CallGraph,
+    out: &mut [BTreeSet<(u32, &'static str, String)>],
+) {
+    let universes: Vec<BTreeSet<&str>> = files.iter().map(replicated_universe).collect();
+    rule_r6(files, graph, &universes, out);
+    rule_r7(files, out);
+    rule_r8(files, graph, out);
+}
+
+/// The replicated-state field universe of one file: attacker-keyed map
+/// fields (the R5 universe) plus `// neo-lint: replicated` markers.
+fn replicated_universe(file: &FileModel) -> BTreeSet<&str> {
+    let mut set = BTreeSet::new();
+    for s in &file.structs {
+        for f in &s.fields {
+            if f.replicated {
+                set.insert(f.name.as_str());
+                continue;
+            }
+            let Some(key) = f.map_key.as_deref() else {
+                continue;
+            };
+            if key.is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = key.split(' ').collect();
+            if BOUNDED_KEYS.iter().any(|b| parts.contains(b)) {
+                continue;
+            }
+            if UNBOUNDED_KEYS.iter().any(|u| parts.contains(u)) {
+                set.insert(f.name.as_str());
+            }
+        }
+    }
+    set
+}
+
+/// Writes to universe fields in `f` that no earlier verify call
+/// dominates, as `(field, line)`; `prior_verify` pretends a verify
+/// happened before the function body (caller-side guard).
+fn unguarded_writes<'a>(
+    f: &'a FnModel,
+    universe: &BTreeSet<&str>,
+    prior_verify: bool,
+) -> Vec<(&'a str, u32)> {
+    if f.verified_input || prior_verify {
+        return Vec::new();
+    }
+    let mut verified = false;
+    let mut out = Vec::new();
+    for ev in f.linear_events() {
+        match ev {
+            Event::Call { name, recv, .. } => {
+                if is_verify_call(name, recv) {
+                    verified = true;
+                }
+            }
+            Event::Write { field, line, .. } if !verified => {
+                if universe.contains(field.as_str()) {
+                    out.push((field.as_str(), *line));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Index of the first verify-vocabulary call in `f`'s linear events,
+/// if any.
+fn first_verify_idx(f: &FnModel) -> Option<usize> {
+    f.linear_events()
+        .iter()
+        .position(|ev| matches!(ev, Event::Call { name, recv, .. } if is_verify_call(name, recv)))
+}
+
+/// R6 verify-before-mutate.
+fn rule_r6(
+    files: &[FileModel],
+    graph: &CallGraph,
+    universes: &[BTreeSet<&str>],
+    out: &mut [BTreeSet<(u32, &'static str, String)>],
+) {
+    for (fi, file) in files.iter().enumerate() {
+        let universe = &universes[fi];
+        if universe.is_empty() {
+            continue;
+        }
+        for (gi, f) in file.functions.iter().enumerate() {
+            if f.is_test || !f.is_entry() || f.verified_input {
+                continue;
+            }
+            // Direct writes in the handler body.
+            for (field, line) in unguarded_writes(f, universe, false) {
+                out[fi].insert((
+                    line,
+                    "R6",
+                    format!(
+                        "replicated `{field}` is mutated in handler `{}` before any \
+                         verify_*/check-auth call — NeoBFT's verify-then-apply boundary \
+                         requires authentication first",
+                        f.name
+                    ),
+                ));
+            }
+            // One level of same-file callees: a write inside the helper
+            // is fine if the helper verifies internally OR this handler
+            // verified before the call.
+            let entry_ref = FnRef { file: fi, func: gi };
+            let verify_at = first_verify_idx(f);
+            for edge in graph.callees(entry_ref) {
+                if edge.callee.file != fi {
+                    continue;
+                }
+                let callee = &files[fi].functions[edge.callee.func];
+                if callee.is_test || callee.is_entry() {
+                    continue; // entries are analyzed standalone
+                }
+                let guarded = verify_at.map(|v| v < edge.event_idx).unwrap_or(false);
+                for (field, wline) in unguarded_writes(callee, universe, guarded) {
+                    out[fi].insert((
+                        edge.line,
+                        "R6",
+                        format!(
+                            "handler `{}` calls `{}` (which mutates replicated `{field}` at \
+                             line {wline}) without a prior verify_*/check-auth call in either",
+                            f.name, callee.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// R7 verify-charges-meter.
+fn rule_r7(files: &[FileModel], out: &mut [BTreeSet<(u32, &'static str, String)>]) {
+    for (fi, file) in files.iter().enumerate() {
+        if below_meter(&file.path) {
+            continue;
+        }
+        for f in &file.functions {
+            if f.is_test {
+                continue;
+            }
+            let mut charged = false;
+            for ev in f.linear_events() {
+                let Event::Call {
+                    name,
+                    recv,
+                    is_macro: false,
+                    line,
+                } = ev
+                else {
+                    continue;
+                };
+                if CHARGE_CALLS.contains(&name.as_str()) {
+                    charged = true;
+                    continue;
+                }
+                let raw_verify = name == "verify_vector_entry"
+                    || (name == "verify"
+                        && !recv.is_empty()
+                        && !recv.iter().any(|s| s == "crypto"));
+                if raw_verify && !charged {
+                    out[fi].insert((
+                        *line,
+                        "R7",
+                        format!(
+                            "raw `{name}` in `{}` bypasses the self-charging NodeCrypto \
+                             façade without charging the CostModel meter first — benchmarks \
+                             under-count crypto; call charge_serial/charge_parallel (or route \
+                             through NodeCrypto) before verifying",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// R8 interprocedural panic reach.
+fn rule_r8(
+    files: &[FileModel],
+    graph: &CallGraph,
+    out: &mut [BTreeSet<(u32, &'static str, String)>],
+) {
+    // panic site (file, line) → (callee name, entry names reaching it)
+    let mut sites: BTreeMap<(usize, u32), (String, BTreeSet<String>)> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, f) in file.functions.iter().enumerate() {
+            if f.is_test || !f.is_entry() {
+                continue;
+            }
+            let entry_ref = FnRef { file: fi, func: gi };
+            for edge in graph.callees(entry_ref) {
+                if edge.callee.file != fi {
+                    continue; // private same-file helpers only
+                }
+                let callee = &files[fi].functions[edge.callee.func];
+                if callee.is_test || callee.is_entry() {
+                    continue;
+                }
+                for ev in callee.linear_events() {
+                    let Event::Call {
+                        name,
+                        recv,
+                        is_macro,
+                        line,
+                    } = ev
+                    else {
+                        continue;
+                    };
+                    let panics = if *is_macro {
+                        PANIC_MACROS.contains(&name.as_str())
+                    } else {
+                        (name == "unwrap" || name == "expect") && !recv.is_empty()
+                    };
+                    if panics {
+                        sites
+                            .entry((fi, *line))
+                            .or_insert_with(|| (callee.name.clone(), BTreeSet::new()))
+                            .1
+                            .insert(f.name.clone());
+                    }
+                }
+            }
+        }
+    }
+    for ((fi, line), (callee, entries)) in sites {
+        let first = entries.iter().next().cloned().unwrap_or_default();
+        let reach = if entries.len() > 1 {
+            format!("`{first}` (+{} more handlers)", entries.len() - 1)
+        } else {
+            format!("`{first}`")
+        };
+        out[fi].insert((
+            line,
+            "R8",
+            format!(
+                "panic site in `{callee}`, reachable one call deep from handler {reach} — \
+                 Byzantine input must degrade to a dropped message, not a panic; return a \
+                 typed error instead"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn findings(srcs: &[(&str, &str)]) -> Vec<(String, u32, &'static str, String)> {
+        let files: Vec<FileModel> = srcs
+            .iter()
+            .map(|(p, s)| {
+                let lexed = lex(s);
+                let mask = vec![false; lexed.toks.len()];
+                parse_file(p, &lexed, &mask)
+            })
+            .collect();
+        let graph = CallGraph::build(&files);
+        let mut out: Vec<BTreeSet<(u32, &'static str, String)>> =
+            files.iter().map(|_| BTreeSet::new()).collect();
+        run(&files, &graph, &mut out);
+        let mut flat = Vec::new();
+        for (fi, set) in out.into_iter().enumerate() {
+            for (line, rule, msg) in set {
+                flat.push((files[fi].path.clone(), line, rule, msg));
+            }
+        }
+        flat
+    }
+
+    #[test]
+    fn r6_flags_mutation_before_verify() {
+        let src = "struct R { client_table: HashMap<ClientId, u64> }\n\
+                   impl R {\n\
+                   fn on_request(&mut self, m: Msg) {\n\
+                   self.client_table.insert(m.c, 0);\n\
+                   if !self.verify_request_auth(&m) { return; }\n\
+                   } }";
+        let f = findings(&[("bad.rs", src)]);
+        assert_eq!(f.iter().filter(|x| x.2 == "R6").count(), 1);
+        assert_eq!(f[0].1, 4);
+    }
+
+    #[test]
+    fn r6_accepts_verify_guard_before_mutation() {
+        let src = "struct R { client_table: HashMap<ClientId, u64> }\n\
+                   impl R {\n\
+                   fn on_request(&mut self, m: Msg) {\n\
+                   if !self.verify_request_auth(&m) { return; }\n\
+                   self.client_table.insert(m.c, 0);\n\
+                   } }";
+        assert!(findings(&[("good.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn r6_callee_mutation_guarded_by_caller() {
+        let base = "struct R { table: HashMap<ClientId, u64> }\n\
+                    impl R {\n\
+                    fn on_x(&mut self, m: Msg) {{ {GUARD} self.apply(m); }}\n\
+                    fn apply(&mut self, m: Msg) {{ self.table.insert(m.c, 0); }}\n\
+                    }";
+        let good = base.replace("{GUARD}", "if !self.verify_body(&m) { return; }");
+        let bad = base.replace("{GUARD}", "");
+        assert!(findings(&[("good.rs", &good)]).is_empty());
+        let f = findings(&[("bad.rs", &bad)]);
+        assert_eq!(f.iter().filter(|x| x.2 == "R6").count(), 1);
+        assert!(f[0].3.contains("apply"));
+    }
+
+    #[test]
+    fn r6_replicated_marker_extends_universe() {
+        let src = "struct R {\n\
+                   // neo-lint: replicated(exec digests)\n\
+                   digests: Vec<u64>,\n\
+                   }\n\
+                   impl R { fn on_x(&mut self) { self.digests.push(1); } }";
+        let f = findings(&[("m.rs", src)]);
+        assert_eq!(f.iter().filter(|x| x.2 == "R6").count(), 1);
+    }
+
+    #[test]
+    fn r6_verified_fn_marker_suppresses() {
+        let src = "struct R { table: HashMap<ClientId, u64> }\n\
+                   impl R {\n\
+                   // neo-lint: verified(cert authenticated by aom receive path)\n\
+                   fn on_delivery(&mut self, c: Cert) { self.table.insert(c.k, 0); }\n\
+                   }";
+        assert!(findings(&[("v.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn r6_aom_ingestion_counts_as_verify() {
+        let src = "struct R { table: HashMap<ClientId, u64> }\n\
+                   impl R {\n\
+                   fn on_message(&mut self, pkt: Pkt) {\n\
+                   self.aom.on_packet(pkt, &self.crypto);\n\
+                   self.table.insert(k, 0);\n\
+                   } }";
+        assert!(findings(&[("aom.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn r7_raw_verify_needs_charge() {
+        let bad = "impl R { fn verify_cert(&self, c: &Cert) -> bool {\n\
+                   self.seq_vk.verify(&input, &c.sig).is_ok()\n\
+                   } }";
+        let f = findings(&[("raw.rs", bad)]);
+        assert_eq!(f.iter().filter(|x| x.2 == "R7").count(), 1);
+        let good = "impl R { fn verify_cert(&self, c: &Cert, crypto: &NodeCrypto) -> bool {\n\
+                    crypto.meter().charge_parallel(self.costs.ecdsa_verify);\n\
+                    self.seq_vk.verify(&input, &c.sig).is_ok()\n\
+                    } }";
+        assert!(findings(&[("ok.rs", good)]).is_empty());
+    }
+
+    #[test]
+    fn r7_nodecrypto_facade_is_exempt() {
+        let src = "impl R { fn check(&self, m: &[u8], s: &Sig) -> bool {\n\
+                   self.crypto.verify(p, m, s).is_ok()\n\
+                   } }";
+        assert!(findings(&[("facade.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn r7_below_meter_files_are_exempt() {
+        let src = "impl Key { fn check(&self, m: &[u8], t: &Tag) -> bool {\n\
+                   self.key.verify(m, t).is_ok()\n\
+                   } }";
+        assert!(findings(&[("crates/crypto/src/mac.rs", src)]).is_empty());
+        assert_eq!(findings(&[("crates/aom/src/receiver.rs", src)]).len(), 1);
+    }
+
+    #[test]
+    fn r8_panic_one_call_deep() {
+        let src = "impl R {\n\
+                   fn on_msg(&mut self, b: &[u8]) { self.apply(b); }\n\
+                   fn apply(&mut self, b: &[u8]) { let m = decode(b).unwrap(); }\n\
+                   }";
+        let f = findings(&[("p.rs", src)]);
+        assert_eq!(f.iter().filter(|x| x.2 == "R8").count(), 1);
+        assert_eq!(f[0].1, 3);
+        assert!(f[0].3.contains("apply") && f[0].3.contains("on_msg"));
+    }
+
+    #[test]
+    fn r8_free_fn_named_unwrap_is_not_a_panic() {
+        let src = "fn on_msg(b: &[u8]) { helper(b); }\n\
+                   fn helper(b: &[u8]) { let m = unwrap(b); }\n\
+                   fn unwrap(b: &[u8]) -> u32 { 0 }";
+        assert!(findings(&[("f.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn r8_panic_macro_in_helper() {
+        let src = "fn on_msg(b: &[u8]) { helper(b); }\n\
+                   fn helper(b: &[u8]) { panic!(\"no\"); }";
+        let f = findings(&[("m.rs", src)]);
+        assert_eq!(f.iter().filter(|x| x.2 == "R8").count(), 1);
+    }
+}

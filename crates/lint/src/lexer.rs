@@ -61,12 +61,38 @@ pub struct Waiver {
     pub reason: String,
 }
 
-/// Lexer output: tokens plus the waivers found in comments.
+/// An inline annotation marker consumed by the dataflow rules.
+///
+/// Two kinds exist:
+/// - `// neo-lint: replicated(note)` before a struct field adds that
+///   field to the replicated-state universe R6 protects, even when the
+///   field's type alone would not qualify it.
+/// - `// neo-lint: verified(note)` before a `fn` declares the
+///   function's inputs pre-authenticated (e.g. an `OrderingCert` that
+///   only exists because `AomReceiver::on_packet` verified it), so R6
+///   treats the function body as verify-dominated from its first
+///   statement.
+///
+/// Like waivers, a marker on line N applies to an item starting on
+/// line N or N+1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Marker {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// `"replicated"` or `"verified"`.
+    pub kind: String,
+    /// Free-text justification.
+    pub note: String,
+}
+
+/// Lexer output: tokens plus the waivers and markers found in comments.
 pub struct Lexed {
     /// The token stream.
     pub toks: Vec<Tok>,
     /// Inline waivers.
     pub waivers: Vec<Waiver>,
+    /// Inline `replicated`/`verified` markers.
+    pub markers: Vec<Marker>,
 }
 
 /// Tokenize `src`. Never fails: unrecognized bytes are skipped so the
@@ -77,6 +103,7 @@ pub fn lex(src: &str) -> Lexed {
     let mut line: u32 = 1;
     let mut toks = Vec::new();
     let mut waivers = Vec::new();
+    let mut markers = Vec::new();
 
     while i < b.len() {
         let c = b[i];
@@ -97,6 +124,7 @@ pub fn lex(src: &str) -> Lexed {
             }
             let text: String = b[start..i].iter().collect();
             parse_waivers(&text, line, &mut waivers);
+            parse_markers(&text, line, &mut markers);
             continue;
         }
         // Block comment, possibly nested.
@@ -121,6 +149,7 @@ pub fn lex(src: &str) -> Lexed {
             }
             let text: String = b[start..i.min(b.len())].iter().collect();
             parse_waivers(&text, start_line, &mut waivers);
+            parse_markers(&text, start_line, &mut markers);
             continue;
         }
         // Raw / byte string prefixes: r", r#", br", b", br#".
@@ -228,7 +257,11 @@ pub fn lex(src: &str) -> Lexed {
         });
         i += 1;
     }
-    Lexed { toks, waivers }
+    Lexed {
+        toks,
+        waivers,
+        markers,
+    }
 }
 
 /// True if position `i` (at 'r' or 'b') starts a raw/byte string.
@@ -353,6 +386,35 @@ fn parse_waivers(comment: &str, first_line: u32, out: &mut Vec<Waiver>) {
     }
 }
 
+/// Extract `neo-lint: replicated(note)` / `neo-lint: verified(note)`
+/// markers from comment text. The parenthesized note is optional.
+fn parse_markers(comment: &str, first_line: u32, out: &mut Vec<Marker>) {
+    for (off, text) in comment.lines().enumerate() {
+        let line = first_line + off as u32;
+        let mut rest = text;
+        while let Some(pos) = rest.find("neo-lint:") {
+            rest = &rest[pos + "neo-lint:".len()..];
+            let trimmed = rest.trim_start();
+            let Some(kind) = ["replicated", "verified"]
+                .iter()
+                .find(|k| trimmed.starts_with(**k))
+            else {
+                continue;
+            };
+            let after = &trimmed[kind.len()..];
+            let note = after
+                .strip_prefix('(')
+                .and_then(|a| a.find(')').map(|end| a[..end].trim().to_string()))
+                .unwrap_or_default();
+            out.push(Marker {
+                line,
+                kind: kind.to_string(),
+                note,
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +462,21 @@ mod tests {
         assert_eq!(l.waivers[0].reason, "bounded by quorum math");
         assert_eq!(l.waivers[0].line, 1);
         assert_eq!(l.waivers[1].rule, "*");
+    }
+
+    #[test]
+    fn markers_parse() {
+        let l = lex("// neo-lint: replicated(exec-digest fold)\nfield: u64,\n\
+             // neo-lint: verified(cert checked by aom on_packet)\nfn on_x() {}\n\
+             // neo-lint: replicated\nother: u32,\n");
+        assert_eq!(l.markers.len(), 3);
+        assert_eq!(l.markers[0].kind, "replicated");
+        assert_eq!(l.markers[0].note, "exec-digest fold");
+        assert_eq!(l.markers[0].line, 1);
+        assert_eq!(l.markers[1].kind, "verified");
+        assert_eq!(l.markers[1].line, 3);
+        assert_eq!(l.markers[2].kind, "replicated");
+        assert_eq!(l.markers[2].note, "");
     }
 
     #[test]

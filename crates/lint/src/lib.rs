@@ -12,7 +12,10 @@
 //! stream ([`lexer`]) rather than `syn`, and reports are emitted with
 //! hand-rolled JSON ([`report`]).
 
+pub mod callgraph;
+pub mod dataflow;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 
@@ -72,7 +75,9 @@ fn collect_into(path: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// absolute or relative to `root`). Findings carry root-relative paths
 /// with forward slashes; results are sorted by (file, line, rule).
 pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    // Load everything first: the R6–R8 dataflow pass builds one call
+    // graph spanning every linted file.
+    let mut sources: Vec<(String, String)> = Vec::new();
     for p in paths {
         let abs = if p.is_absolute() {
             p.clone()
@@ -82,9 +87,12 @@ pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> io::Result<Vec<Finding>> {
         for file in collect_rs_files(&abs)? {
             let src = std::fs::read_to_string(&file)?;
             let rel = rel_path(root, &file);
-            findings.extend(rules::analyze(&rel, &src));
+            if !sources.iter().any(|(r, _)| *r == rel) {
+                sources.push((rel, src));
+            }
         }
     }
+    let mut findings = rules::analyze_workspace(&sources);
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(findings)

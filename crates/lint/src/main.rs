@@ -1,7 +1,7 @@
 //! `neo-lint` CLI.
 //!
 //! ```text
-//! neo-lint [--root DIR] [--format text|json] [--baseline FILE]
+//! neo-lint [--root DIR] [--format text|json|sarif] [--baseline FILE]
 //!          [--write-baseline] [--no-baseline] [paths...]
 //! ```
 //!
@@ -29,6 +29,7 @@ struct Opts {
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 /// Write to stdout, ignoring a closed pipe (`neo-lint | head` must not
@@ -41,7 +42,7 @@ fn emit(s: &str) {
 fn usage() -> String {
     let mut s = String::from(
         "neo-lint: protocol-invariant static analysis for the NeoBFT workspace\n\n\
-         usage: neo-lint [--root DIR] [--format text|json] [--baseline FILE]\n\
+         usage: neo-lint [--root DIR] [--format text|json|sarif] [--baseline FILE]\n\
          \x20               [--write-baseline] [--no-baseline] [paths...]\n\nrules:\n",
     );
     for (id, name) in neo_lint::rules::RULES {
@@ -72,7 +73,8 @@ fn parse_args() -> Result<Opts, String> {
             "--format" => match args.next().as_deref() {
                 Some("text") => opts.format = Format::Text,
                 Some("json") => opts.format = Format::Json,
-                _ => return Err("--format must be `text` or `json`".into()),
+                Some("sarif") => opts.format = Format::Sarif,
+                _ => return Err("--format must be `text`, `json`, or `sarif`".into()),
             },
             "--baseline" => {
                 opts.baseline = Some(PathBuf::from(
@@ -162,6 +164,12 @@ fn main() -> ExitCode {
         }
         Format::Json => {
             emit(&neo_lint::report::to_json(&findings, &violations, ok));
+        }
+        Format::Sarif => {
+            emit(&neo_lint::report::to_sarif(
+                &findings,
+                neo_lint::rules::RULES,
+            ));
         }
     }
     if ok {

@@ -76,6 +76,59 @@ pub fn to_json(findings: &[Finding], new_findings: &[String], ok: bool) -> Strin
     s
 }
 
+/// Render a minimal SARIF 2.1.0 log, the format GitHub code scanning
+/// ingests to turn findings into PR annotations. `rules` is the
+/// (id, name) table ([`crate::rules::RULES`]); every finding is
+/// reported at `error` level — the baseline gate, not SARIF, decides
+/// pass/fail.
+pub fn to_sarif(findings: &[Finding], rules: &[(&str, &str)]) -> String {
+    let mut s = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"neo-lint\",\n          \
+         \"informationUri\": \"https://github.com/example/neobft-rs\",\n          \
+         \"rules\": [",
+    );
+    for (i, (id, name)) in rules.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n            {{\"id\": \"{}\", \"name\": \"{}\", \
+             \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            esc(id),
+            esc(name),
+            esc(name)
+        );
+    }
+    if !rules.is_empty() {
+        s.push_str("\n          ");
+    }
+    s.push_str("]\n        }\n      },\n      \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \
+             \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            \
+             {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\", \
+             \"uriBaseId\": \"%SRCROOT%\"}}, \"region\": {{\"startLine\": {}}}}}}}\n          ]\n        }}",
+            f.rule,
+            esc(&f.message),
+            esc(&f.file),
+            f.line
+        );
+    }
+    if !findings.is_empty() {
+        s.push_str("\n      ");
+    }
+    s.push_str("]\n    }\n  ]\n}\n");
+    s
+}
+
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -188,6 +241,25 @@ mod tests {
         let v = compare_to_baseline(&findings, &baseline);
         assert_eq!(v.len(), 1);
         assert!(v[0].starts_with("R1 in a.rs"));
+    }
+
+    #[test]
+    fn sarif_has_rules_and_locations() {
+        let findings = vec![f("R6", "crates/x/src/a.rs", 7)];
+        let rules = [("R6", "verify-before-mutate")];
+        let s = to_sarif(&findings, &rules);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"id\": \"R6\""));
+        assert!(s.contains("\"ruleId\": \"R6\""));
+        assert!(s.contains("\"uri\": \"crates/x/src/a.rs\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("msg \\\"quoted\\\" 7"));
+    }
+
+    #[test]
+    fn sarif_empty_findings_is_valid_shape() {
+        let s = to_sarif(&[], &[("R1", "x")]);
+        assert!(s.contains("\"results\": []"));
     }
 
     #[test]

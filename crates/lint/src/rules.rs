@@ -1,4 +1,10 @@
-//! The five protocol-invariant rules, evaluated over the token stream.
+//! Rule evaluation entry points.
+//!
+//! R1–R5 are token-stream rules (this module); R6–R8 are dataflow
+//! rules over the item model + call graph (see [`crate::parser`],
+//! [`crate::callgraph`], [`crate::dataflow`]). [`analyze_workspace`]
+//! runs both passes over every file at once so the call graph spans
+//! the workspace; [`analyze`] is the single-file convenience wrapper.
 //!
 //! R1 no-nondeterministic-iteration — iterating a `HashMap`/`HashSet`
 //!    field of protocol state (iteration order differs across
@@ -29,6 +35,9 @@ pub const RULES: &[(&str, &str)] = &[
     ("R3", "no-wall-clock-or-ambient-rand"),
     ("R4", "no-float-in-replicated-state"),
     ("R5", "no-unbounded-collection-growth"),
+    ("R6", "verify-before-mutate"),
+    ("R7", "verify-charges-meter"),
+    ("R8", "interprocedural-panic-reach"),
 ];
 
 const ITER_METHODS: &[&str] = &[
@@ -80,31 +89,56 @@ struct MapField {
 }
 
 /// Lint one file's source. `rel` is the path recorded in findings
-/// (repo-relative, forward slashes).
+/// (repo-relative, forward slashes). The call graph is limited to the
+/// file itself; use [`analyze_workspace`] for cross-file resolution.
 pub fn analyze(rel: &str, src: &str) -> Vec<Finding> {
-    let lexed = lex(src);
-    let toks = &lexed.toks;
-    let (is_test, is_attr) = test_and_attr_masks(toks);
+    analyze_workspace(&[(rel.to_string(), src.to_string())])
+}
 
-    let mut raw: BTreeSet<(u32, &'static str, String)> = BTreeSet::new();
+/// Lint a set of files as one workspace: token rules (R1–R5) per file,
+/// then the item model + call graph + dataflow rules (R6–R8) across
+/// all of them. Waivers apply to both passes identically.
+pub fn analyze_workspace(files: &[(String, String)]) -> Vec<Finding> {
+    let mut raw: Vec<BTreeSet<(u32, &'static str, String)>> = Vec::with_capacity(files.len());
+    let mut waivers = Vec::with_capacity(files.len());
+    let mut models = Vec::with_capacity(files.len());
+    for (rel, src) in files {
+        let lexed = lex(src);
+        let toks = &lexed.toks;
+        let (is_test, is_attr) = test_and_attr_masks(toks);
 
-    let fields = collect_fields(toks, &is_test, &is_attr, &mut raw);
-    let handlers = handler_regions(toks, &is_test);
+        let mut out: BTreeSet<(u32, &'static str, String)> = BTreeSet::new();
+        let fields = collect_fields(toks, &is_test, &is_attr, &mut out);
+        let handlers = handler_regions(toks, &is_test);
+        rule_r1(toks, &is_test, &is_attr, &fields, &mut out);
+        rule_r2(toks, &is_attr, &handlers, &mut out);
+        rule_r3(toks, &is_test, &mut out);
+        rule_r5(toks, &is_attr, &handlers, &fields, &mut out);
+        raw.push(out);
 
-    rule_r1(toks, &is_test, &is_attr, &fields, &mut raw);
-    rule_r2(toks, &is_attr, &handlers, &mut raw);
-    rule_r3(toks, &is_test, &mut raw);
-    rule_r5(toks, &is_attr, &handlers, &fields, &mut raw);
+        models.push(crate::parser::parse_file(rel, &lexed, &is_test));
+        waivers.push(lexed.waivers);
+    }
 
-    raw.into_iter()
-        .filter(|(line, rule, _)| !is_waived(&lexed.waivers, *line, rule))
-        .map(|(line, rule, message)| Finding {
-            rule,
-            file: rel.to_string(),
-            line,
-            message,
-        })
-        .collect()
+    let graph = crate::callgraph::CallGraph::build(&models);
+    crate::dataflow::run(&models, &graph, &mut raw);
+
+    let mut findings = Vec::new();
+    for (fi, set) in raw.into_iter().enumerate() {
+        let rel = &files[fi].0;
+        for (line, rule, message) in set {
+            if is_waived(&waivers[fi], line, rule) {
+                continue;
+            }
+            findings.push(Finding {
+                rule,
+                file: rel.clone(),
+                line,
+                message,
+            });
+        }
+    }
+    findings
 }
 
 fn is_waived(waivers: &[Waiver], line: u32, rule: &str) -> bool {

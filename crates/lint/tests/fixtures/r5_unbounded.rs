@@ -13,6 +13,10 @@ struct Replica {
 
 impl Replica {
     fn on_request(&mut self, from: u64, r: ReplicaId) {
+        // Verified up front so this fixture exercises R5 only, not R6.
+        if !self.verify_request_auth(from) {
+            return;
+        }
         self.client_table.insert(from, 0);
         self.buffered.entry(from).or_insert(0);
         self.per_replica.insert(r, 0);

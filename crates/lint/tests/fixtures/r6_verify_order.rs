@@ -1,0 +1,68 @@
+// Fixture for R6 verify-before-mutate. Expected: exactly 3 R6 findings —
+// (1) `on_request` writes `client_table` before `verify_request_auth`,
+// (2) `on_sync` calls `apply_sync` (which writes `log_digests`) without a
+//     verify in either function,
+// (3) `on_gossip` writes the `replicated`-marked `exec_digests` field with
+//     no verify at all.
+// The mirrored good handlers (verify first / verified marker / callee
+// guarded at the call site / waived write) are clean. This file is lint
+// input, never compiled.
+use std::collections::{BTreeMap, HashMap};
+
+struct Replica {
+    client_table: HashMap<ClientId, u64>,
+    log_digests: BTreeMap<SeqNum, Digest>,
+    // neo-lint: replicated(exec digest fold, compared across replicas)
+    exec_digests: Vec<u64>,
+}
+
+impl Replica {
+    // BAD (1): mutation precedes authentication.
+    fn on_request(&mut self, m: Request) {
+        self.client_table.insert(m.client, 0);
+        if !self.verify_request_auth(&m) {
+            return;
+        }
+    }
+
+    // GOOD: the early-return guard dominates the write.
+    fn on_request_checked(&mut self, m: Request) {
+        if !self.verify_request_auth(&m) {
+            return;
+        }
+        self.client_table.insert(m.client, 0);
+    }
+
+    // BAD (2): helper mutates one call deep, nobody verifies.
+    fn on_sync(&mut self, m: SyncMsg) {
+        self.apply_sync(m);
+    }
+
+    // GOOD: same helper, but the handler authenticates before the call.
+    fn on_sync_checked(&mut self, m: SyncMsg) {
+        self.verify_sig(&m)?;
+        self.apply_sync(m);
+    }
+
+    fn apply_sync(&mut self, m: SyncMsg) {
+        self.log_digests.insert(m.seq, m.digest);
+    }
+
+    // BAD (3): marker-annotated replicated state written unverified.
+    fn on_gossip(&mut self, d: u64) {
+        self.exec_digests.push(d);
+    }
+
+    // GOOD: the verified marker declares inputs pre-authenticated
+    // (e.g. certs straight from the aom receiver's delivery queue).
+    // neo-lint: verified(delivered certs were authenticated upstream)
+    fn on_delivery(&mut self, d: u64) {
+        self.exec_digests.push(d);
+    }
+
+    // GOOD: an explicit waiver suppresses the finding at the write.
+    fn on_local_restore(&mut self, d: u64) {
+        // neo-lint: allow(R6, restoring from the replica's own checkpoint)
+        self.exec_digests.push(d);
+    }
+}

@@ -1,0 +1,47 @@
+// Fixture for R7 verify-charges-meter. Expected: exactly 2 R7 findings —
+// (1) a raw `.verify(` on a stored verifying key with no meter charge,
+// (2) a raw `verify_vector_entry` call with no meter charge.
+// The mirrored good paths (charge first, NodeCrypto façade, waiver) are
+// clean. This file is lint input, never compiled.
+
+struct Receiver {
+    seq_vk: VerifyingKey,
+    crypto: NodeCrypto,
+    costs: CostModel,
+}
+
+impl Receiver {
+    // BAD (1): raw signature verify, meter never charged — the sim
+    // benchmark under-counts this replica's crypto time.
+    fn verify_cert_free(&mut self, input: &[u8], cert: &Cert) -> bool {
+        self.seq_vk.verify(input, &cert.sig).is_ok()
+    }
+
+    // BAD (2): raw vector-MAC entry verify, same problem.
+    fn verify_entry_free(&mut self, pkt: &Packet) -> bool {
+        verify_vector_entry(&self.key, pkt)
+    }
+
+    // GOOD: serial lane charged before the raw verify.
+    fn verify_cert_metered(&mut self, input: &[u8], cert: &Cert) -> bool {
+        self.crypto.meter().charge_serial(self.costs.ecdsa_verify_ns);
+        self.seq_vk.verify(input, &cert.sig).is_ok()
+    }
+
+    // GOOD: parallel lane charged before the raw verify.
+    fn verify_entry_metered(&mut self, pkt: &Packet) -> bool {
+        self.crypto.meter().charge_parallel(self.costs.halfsiphash_ns);
+        verify_vector_entry(&self.key, pkt)
+    }
+
+    // GOOD: the NodeCrypto façade charges internally.
+    fn verify_via_facade(&self, m: &[u8], s: &Sig) -> bool {
+        self.crypto.verify(Principal::Sequencer, m, s).is_ok()
+    }
+
+    // GOOD: waived (e.g. a test-support shim kept out of benchmarks).
+    fn verify_unmetered_shim(&self, input: &[u8], cert: &Cert) -> bool {
+        // neo-lint: allow(R7, debug shim, never run under the benchmark harness)
+        self.seq_vk.verify(input, &cert.sig).is_ok()
+    }
+}

@@ -1,0 +1,75 @@
+// Fixture for R8 interprocedural-panic-reach. Expected: exactly 3 R8
+// findings, all anchored in helpers one call below a handler —
+// (1) `decode_strict` unwraps, reached from `on_message`,
+// (2) `apply` hits a panic! macro, reached from `on_message`,
+// (3) `commit` expects, reached from `on_commit`.
+// Clean paths: the free function named `unwrap` (a decoder, not
+// Option::unwrap), a helper never called from a handler, a panic waived
+// at its site, and R2 still owning panics directly in handler bodies
+// (the direct `.unwrap()` in `on_direct` is R2, not R8). This file is
+// lint input, never compiled.
+
+struct Node {
+    log: Vec<u64>,
+}
+
+impl Node {
+    fn on_message(&mut self, bytes: &[u8]) {
+        let m = self.decode_strict(bytes);
+        self.apply(m);
+    }
+
+    fn on_commit(&mut self, seq: u64) {
+        self.commit(seq);
+    }
+
+    // Direct panics in handler bodies stay R2's territory (1 R2 here).
+    fn on_direct(&mut self, v: Option<u32>) {
+        let _ = v.unwrap();
+    }
+
+    // BAD (1): Byzantine bytes reach this unwrap one call deep.
+    fn decode_strict(&self, bytes: &[u8]) -> u64 {
+        decode(bytes).unwrap()
+    }
+
+    // BAD (2): macro panic in a handler-reachable helper.
+    fn apply(&mut self, m: u64) {
+        if m == 0 {
+            panic!("zero message");
+        }
+        self.log.push(m);
+    }
+
+    // BAD (3): expect in a handler-reachable helper.
+    fn commit(&mut self, seq: u64) {
+        let v = self.log.get(seq as usize).expect("dense log");
+        let _ = v;
+    }
+
+    // CLEAN: never called from any handler; R8 does not reach it.
+    fn offline_tool(&self, v: Option<u32>) -> u32 {
+        v.unwrap()
+    }
+
+    // CLEAN: waived at the panic site (the helper is the anchor).
+    fn checked_slot(&self, seq: u64) -> u64 {
+        // neo-lint: allow(R8, slot existence is established by the caller's bounds check)
+        *self.log.get(seq as usize).unwrap()
+    }
+}
+
+impl Node {
+    fn on_waived(&mut self, seq: u64) {
+        let _ = self.checked_slot(seq);
+    }
+}
+
+// CLEAN: a free decoder *named* unwrap is not Option::unwrap.
+fn on_raw(bytes: &[u8]) {
+    let _ = unwrap(bytes);
+}
+
+fn unwrap(bytes: &[u8]) -> u64 {
+    bytes.len() as u64
+}

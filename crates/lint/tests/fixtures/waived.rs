@@ -13,7 +13,7 @@ impl S {
         // neo-lint: allow(R2, fixture demonstrates waivers)
         let _x = v.unwrap();
         let _n = self.m.values().count(); // neo-lint: allow(R1, fixture demonstrates waivers)
-        // neo-lint: allow(R5, fixture demonstrates waivers)
+        // neo-lint: allow(R5, fixture demonstrates waivers) neo-lint: allow(R6, fixture demonstrates waivers)
         self.m.insert(0, 0);
     }
 }

@@ -53,6 +53,88 @@ fn r5_fixture_has_exact_findings() {
 }
 
 #[test]
+fn r6_fixture_has_exact_findings() {
+    let f = fixture("r6_verify_order.rs");
+    assert_eq!(count(&f, "R6"), 3, "findings: {f:#?}");
+    // The unbounded client_table inserts legitimately trip R5 too; no
+    // other rules may fire.
+    assert_eq!(count(&f, "R5"), 2, "findings: {f:#?}");
+    assert_eq!(f.len(), 5, "no other rules should fire: {f:#?}");
+    // The acceptance case: a handler that mutates client_table before
+    // verify_request_auth is flagged...
+    assert!(f.iter().any(|x| x.rule == "R6"
+        && x.message.contains("client_table")
+        && x.message.contains("on_request")));
+    // ...while the verify-first twin, the verified-marker handler, and
+    // the waived write all pass.
+    for clean in [
+        "on_request_checked",
+        "on_sync_checked",
+        "on_delivery",
+        "on_local_restore",
+    ] {
+        assert!(
+            f.iter()
+                .all(|x| x.rule != "R6" || !x.message.contains(clean)),
+            "{clean} must be clean: {f:#?}"
+        );
+    }
+    // The interprocedural edge names both the handler and the helper.
+    assert!(f.iter().any(|x| x.rule == "R6"
+        && x.message.contains("on_sync")
+        && x.message.contains("apply_sync")));
+}
+
+#[test]
+fn r7_fixture_has_exact_findings() {
+    let f = fixture("r7_meter.rs");
+    assert_eq!(count(&f, "R7"), 2, "findings: {f:#?}");
+    assert_eq!(f.len(), 2, "no other rules should fire: {f:#?}");
+    // Metered, façade-routed, and waived verifies are all clean.
+    for clean in [
+        "verify_cert_metered",
+        "verify_entry_metered",
+        "verify_via_facade",
+        "verify_unmetered_shim",
+    ] {
+        assert!(
+            f.iter().all(|x| !x.message.contains(clean)),
+            "{clean} must be clean: {f:#?}"
+        );
+    }
+}
+
+#[test]
+fn r8_fixture_has_exact_findings() {
+    let f = fixture("r8_helper_panics.rs");
+    assert_eq!(count(&f, "R8"), 3, "findings: {f:#?}");
+    // The direct `.unwrap()` in a handler body stays R2's territory.
+    assert_eq!(count(&f, "R2"), 1, "findings: {f:#?}");
+    assert_eq!(f.len(), 4, "no other rules should fire: {f:#?}");
+    // Each R8 is anchored at the helper's panic site and names the handler.
+    for (helper, handler) in [
+        ("decode_strict", "on_message"),
+        ("apply", "on_message"),
+        ("commit", "on_commit"),
+    ] {
+        assert!(
+            f.iter().any(|x| x.rule == "R8"
+                && x.message.contains(helper)
+                && x.message.contains(handler)),
+            "expected R8 for {helper} via {handler}: {f:#?}"
+        );
+    }
+    // Uncalled helpers, site-waived panics, and the free decoder named
+    // `unwrap` must not be flagged.
+    for clean in ["offline_tool", "checked_slot", "on_raw"] {
+        assert!(
+            f.iter().all(|x| !x.message.contains(clean)),
+            "{clean} must be clean: {f:#?}"
+        );
+    }
+}
+
+#[test]
 fn waivers_suppress_all_findings() {
     let f = fixture("waived.rs");
     assert!(f.is_empty(), "waived fixture must be clean: {f:#?}");

@@ -46,6 +46,24 @@ fn neobft_and_aom_handler_paths_have_no_r1_r2() {
     );
 }
 
+#[test]
+fn workspace_is_clean_under_dataflow_rules() {
+    // Ratchet: R6/R7/R8 hold at zero across the whole default scope —
+    // the verify-then-apply boundary, meter accounting, and
+    // handler-reachable panic freedom are invariants, not baselines.
+    let root = workspace_root();
+    let findings = neo_lint::lint_default_scope(&root).expect("lint workspace");
+    let bad: Vec<_> = findings
+        .iter()
+        .filter(|f| matches!(f.rule, "R6" | "R7" | "R8"))
+        .collect();
+    assert!(
+        bad.is_empty(),
+        "R6/R7/R8 findings must be fixed (or carry a reviewed waiver/marker), \
+         never baselined: {bad:#?}"
+    );
+}
+
 /// Extract the signature text (whitespace stripped, up to the body `{`
 /// or declaration `;`) of every `fn send` / `fn send_after` /
 /// `fn broadcast` in `src`.

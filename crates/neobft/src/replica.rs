@@ -567,6 +567,7 @@ impl Replica {
         SeqNum(slot.0 - self.epoch_base.0 + 1)
     }
 
+    // neo-lint: verified(certs arrive from the aom receiver's authenticated delivery queue; verify_vector_entry ran in on_packet)
     fn on_aom_message(&mut self, cert: OrderingCert, ctx: &mut dyn Context) {
         let slot = self.slot_of_seq(cert.packet.header.seq);
         if slot < self.log.len() {
@@ -582,6 +583,7 @@ impl Replica {
         self.maybe_sync(ctx);
     }
 
+    // neo-lint: verified(drop notifications only surface from the aom receiver's authenticated delivery queue)
     fn on_drop_notification(&mut self, seq: SeqNum, ctx: &mut dyn Context) {
         let slot = self.slot_of_seq(seq);
         if slot < self.log.len() {
@@ -1822,6 +1824,7 @@ impl Replica {
         }
     }
 
+    // neo-lint: verified(timer payloads are armed locally by this replica, never attacker input)
     fn on_timer_payload(&mut self, payload: TimerPayload, ctx: &mut dyn Context) {
         match payload {
             TimerPayload::AomGap(seq) => {
@@ -2016,7 +2019,7 @@ impl Node for Replica {
                     if pkt.header.epoch.0 > self.aom.epoch().0 + Self::FUTURE_EPOCH_WINDOW {
                         ctx.metrics().incr("replica.bounded_rejects");
                     } else {
-                        // neo-lint: allow(R5, epoch-windowed and size-capped above)
+                        // neo-lint: allow(R5, epoch-windowed and size-capped above) neo-lint: allow(R6, pre-verification parking is deliberate — bounded window + 64k cap, MAC-verified on drain once the epoch installs)
                         let buf = self.future_epoch.entry(pkt.header.epoch).or_default();
                         if buf.len() < 65_536 {
                             buf.push(pkt);

@@ -64,8 +64,8 @@ fn replicated_kv_store_is_linearizable_per_key() {
     let ycsb = YcsbConfig {
         record_count: 50,
         field_len: 16,
-        read_proportion: 0.3,
-        theta: 0.99,
+        read_proportion: neobft::app::fixed::fp_ratio(3, 10),
+        theta: neobft::app::fixed::fp_ratio(99, 100),
     };
     let mut sim = sim_cluster(
         &cfg,
