@@ -38,8 +38,8 @@ pub mod sequencer;
 pub use config::{ConfigMsg, ConfigService};
 pub use envelope::{AomBatch, Envelope};
 pub use receiver::{
-    AomError, AomReceiver, AomReceiverStats, Confirm, Delivery, NetworkTrust, OrderingCert,
-    ReceiverAuth, SignedConfirm,
+    AomError, AomReceiver, AomReceiverStats, Confirm, ConfirmJob, Delivery, NetworkTrust,
+    OrderingCert, ReceiverAuth, SignedConfirm, VerifyJob,
 };
 pub use sender::AomSender;
 pub use sequencer::{AuthMode, Behavior, SequencerHw, SequencerNode};

@@ -21,7 +21,7 @@
 //!   forwards between replicas.
 
 use crate::{AomPacket, Envelope};
-use neo_crypto::{chain, Digest, HmacKey, NodeCrypto, SequencerVerifyKey, Signature, SystemKeys};
+use neo_crypto::{Digest, HmacKey, NodeCrypto, SequencerVerifyKey, Signature, SystemKeys};
 use neo_wire::{encode, Authenticator, EpochNum, GroupId, ReplicaId, SeqNum};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
@@ -161,6 +161,178 @@ pub struct AomReceiverStats {
     pub internal_errors: u64,
 }
 
+/// What an authenticated packet should do when its job completes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Accepted {
+    /// Fully authenticated: enter ordering; signed packets additionally
+    /// vouch, through the hash chain, for parked predecessors.
+    Deliver {
+        /// The authenticator was the sequencer's ECDSA signature.
+        signed: bool,
+    },
+    /// aom-pk packet whose signature was skipped by the ratio
+    /// controller: park it until a signed successor arrives (§4.4).
+    Park,
+}
+
+/// The crypto half of packet ingestion, split out of
+/// [`AomReceiver::on_packet`] so an executor can run it anywhere —
+/// inline (the simulator's lane model) or on a `VerifyPool` worker
+/// thread (the tokio runtime). Produced by
+/// [`AomReceiver::submit_verify`]; run [`VerifyJob::verify`] on any
+/// thread, then re-inject through [`AomReceiver::complete_verify`].
+pub struct VerifyJob {
+    pkt: AomPacket,
+    epoch: EpochNum,
+    auth: ReceiverAuth,
+    hmac_key: HmacKey,
+    my_index: usize,
+    seq_vk: SequencerVerifyKey,
+    outcome: Option<Result<Accepted, AomError>>,
+}
+
+impl VerifyJob {
+    /// Sequence number of the packet under verification.
+    pub fn seq(&self) -> SeqNum {
+        self.pkt.header.seq
+    }
+
+    /// The packet's payload digest from its header — a stable key for
+    /// caching verdicts derived from the payload (e.g. a host
+    /// pre-verifying the client batch MAC alongside the authenticator).
+    pub fn digest(&self) -> [u8; 32] {
+        self.pkt.header.digest
+    }
+
+    /// The packet payload (hosts piggyback payload-level checks on the
+    /// same worker dispatch).
+    pub fn payload(&self) -> &[u8] {
+        &self.pkt.payload
+    }
+
+    /// True once [`VerifyJob::verify`] ran and the authenticator checked
+    /// out.
+    pub fn ok(&self) -> bool {
+        matches!(self.outcome, Some(Ok(_)))
+    }
+
+    /// Run the crypto: payload–digest binding, scheme-confusion check,
+    /// and the authenticator itself. Pure with respect to the receiver,
+    /// so it is safe on any thread. `parallel` picks the meter lane for
+    /// the digest/MAC work (the old `set_pipelined` toggle); the aom-pk
+    /// path keeps its split charge — chain bookkeeping inline, ECDSA to
+    /// the worker lane.
+    pub fn verify(&mut self, crypto: &NodeCrypto, parallel: bool) {
+        self.outcome = Some(self.check(crypto, parallel));
+    }
+
+    fn check(&self, crypto: &NodeCrypto, parallel: bool) -> Result<Accepted, AomError> {
+        let pkt = &self.pkt;
+        // The authenticator covers digest ‖ seq ‖ epoch — the payload is
+        // bound only through the digest, so the binding must be checked
+        // here or a relay could swap the payload under a valid stamp
+        // (§3.2 transferable authentication is over the whole message).
+        let digest_cost = crypto.costs().sha256(pkt.payload.len());
+        if parallel {
+            crypto.meter().charge_parallel(digest_cost);
+        } else {
+            crypto.meter().charge_serial(digest_cost);
+        }
+        if neo_crypto::sha256(&pkt.payload).0 != pkt.header.digest {
+            return Err(AomError::BadAuth);
+        }
+        // Reject authenticator-type confusion: a receiver configured for
+        // one scheme must not accept the other (the sequencer never
+        // mixes schemes within an epoch).
+        match (&self.auth, &pkt.header.auth) {
+            (ReceiverAuth::Hmac, Authenticator::HmacVector(_))
+            | (ReceiverAuth::PublicKey, Authenticator::Signature { .. })
+            | (_, Authenticator::Unstamped) => {}
+            _ => return Err(AomError::BadAuth),
+        }
+        match &pkt.header.auth {
+            Authenticator::Unstamped => Err(AomError::Unstamped),
+            Authenticator::HmacVector(tags) => {
+                if parallel {
+                    crypto.meter().charge_parallel(crypto.costs().siphash);
+                } else {
+                    crypto.meter().charge_serial(crypto.costs().siphash);
+                }
+                neo_crypto::mac::verify_vector_entry(
+                    &self.hmac_key,
+                    self.my_index,
+                    tags,
+                    &pkt.header.auth_input(),
+                )
+                .map_err(|_| AomError::BadAuth)?;
+                Ok(Accepted::Deliver { signed: false })
+            }
+            Authenticator::Signature { sig, .. } => match sig {
+                Some(bytes) => {
+                    // Chain bookkeeping (hash of the packet identity for
+                    // future linkage checks) plus reorder-buffer admin
+                    // runs inline with dispatch; the ECDSA verification
+                    // itself goes to the worker pool.
+                    crypto
+                        .meter()
+                        .charge_serial(crypto.costs().sha256(pkt.header.auth_input().len()) + 500);
+                    crypto.meter().charge_parallel(crypto.costs().ecdsa_verify);
+                    self.seq_vk
+                        .verify(&pkt.header.auth_input(), &Signature(bytes.clone()))
+                        .map_err(|_| AomError::BadAuth)?;
+                    Ok(Accepted::Deliver { signed: true })
+                }
+                None => Ok(Accepted::Park),
+            },
+        }
+    }
+}
+
+/// The signature half of confirm ingestion (Byzantine-network mode),
+/// split out of [`AomReceiver::on_confirm`] the same way [`VerifyJob`]
+/// splits packet ingestion. Confirm signatures dominate verification
+/// volume in Byzantine mode (2f+1 Ed25519 checks per slot), so hosts
+/// batch them onto the worker pool via `NodeCrypto::verify_batch`.
+pub struct ConfirmJob {
+    sc: SignedConfirm,
+    epoch: EpochNum,
+    bytes: Vec<u8>,
+    outcome: Option<Result<(), AomError>>,
+}
+
+impl ConfirmJob {
+    /// Sequence number the confirm vouches for.
+    pub fn seq(&self) -> SeqNum {
+        self.sc.body.seq
+    }
+
+    /// The encoded confirm body and its claimed signer, for hosts that
+    /// verify a whole batch in one `NodeCrypto::verify_batch` call.
+    pub fn batch_item(&self) -> (ReplicaId, &[u8], &Signature) {
+        (self.sc.body.replica, &self.bytes, &self.sc.sig)
+    }
+
+    /// Record a verdict computed externally (e.g. by `verify_batch`).
+    pub fn set_verified(&mut self, ok: bool) {
+        self.outcome = Some(if ok { Ok(()) } else { Err(AomError::BadAuth) });
+    }
+
+    /// Verify the peer's Ed25519 signature over the encoded body.
+    /// Routed through the self-charging `NodeCrypto` façade; safe on any
+    /// thread.
+    pub fn verify(&mut self, crypto: &NodeCrypto) {
+        self.outcome = Some(
+            crypto
+                .verify(
+                    neo_crypto::Principal::Replica(self.sc.body.replica),
+                    &self.bytes,
+                    &self.sc.sig,
+                )
+                .map_err(|_| AomError::BadAuth),
+        );
+    }
+}
+
 /// The receiver state machine.
 pub struct AomReceiver {
     group: GroupId,
@@ -280,17 +452,13 @@ impl AomReceiver {
     /// modelling a replica that verifies slot *k+1* concurrently with
     /// (speculative) execution of slot *k*. Verification outcomes are
     /// unchanged — only where the CPU time lands.
+    ///
+    /// This toggle is the *simulator's* model of the verify stage. Real
+    /// executors bypass it: they drive [`AomReceiver::submit_verify`] /
+    /// [`AomReceiver::complete_verify`] directly and run
+    /// [`VerifyJob::verify`] on a `VerifyPool` worker thread.
     pub fn set_pipelined(&mut self, on: bool) {
         self.pipelined = on;
-    }
-
-    /// Charge `ns` to the lane selected by the pipelining mode.
-    fn charge_verify(&self, crypto: &NodeCrypto, ns: u64) {
-        if self.pipelined {
-            crypto.meter().charge_parallel(ns);
-        } else {
-            crypto.meter().charge_serial(ns);
-        }
     }
 
     /// Current epoch.
@@ -318,8 +486,24 @@ impl AomReceiver {
         self.confirms.clear();
     }
 
-    /// Process one stamped aom packet from the wire.
+    /// Process one stamped aom packet from the wire: the inline
+    /// composition of [`AomReceiver::submit_verify`],
+    /// [`VerifyJob::verify`] (on the lane picked by
+    /// [`AomReceiver::set_pipelined`]) and
+    /// [`AomReceiver::complete_verify`]. Pooled executors call the
+    /// halves themselves so the middle step runs on a worker thread.
     pub fn on_packet(&mut self, pkt: AomPacket, crypto: &NodeCrypto) -> Result<(), AomError> {
+        let mut job = self.submit_verify(pkt)?;
+        job.verify(crypto, self.pipelined);
+        self.complete_verify(job, crypto)
+    }
+
+    /// Admission half of packet ingestion: group, epoch, stamp,
+    /// staleness and window checks — everything that needs `&mut self`
+    /// but no crypto. On success returns the self-contained
+    /// [`VerifyJob`]; run it on any thread and feed it back through
+    /// [`AomReceiver::complete_verify`].
+    pub fn submit_verify(&mut self, pkt: AomPacket) -> Result<VerifyJob, AomError> {
         if pkt.header.group != self.group {
             return Err(AomError::WrongGroup);
         }
@@ -341,106 +525,113 @@ impl AomReceiver {
             self.window_rejected += 1;
             return Err(AomError::OutOfWindow);
         }
-        // The authenticator covers digest ‖ seq ‖ epoch — the payload is
-        // bound only through the digest, so the binding must be checked
-        // here or a relay could swap the payload under a valid stamp
-        // (§3.2 transferable authentication is over the whole message).
-        self.charge_verify(crypto, crypto.costs().sha256(pkt.payload.len()));
-        if neo_crypto::sha256(&pkt.payload).0 != pkt.header.digest {
-            self.auth_rejected += 1;
-            return Err(AomError::BadAuth);
-        }
+        Ok(VerifyJob {
+            epoch: self.epoch,
+            auth: self.auth.clone(),
+            hmac_key: self.hmac_key,
+            my_index: self.my_index,
+            seq_vk: self.seq_vk.clone(),
+            pkt,
+            outcome: None,
+        })
+    }
 
-        // Reject authenticator-type confusion: a receiver configured for
-        // one scheme must not accept the other (the sequencer never mixes
-        // schemes within an epoch).
-        match (&self.auth, &pkt.header.auth) {
-            (ReceiverAuth::Hmac, Authenticator::HmacVector(_))
-            | (ReceiverAuth::PublicKey, Authenticator::Signature { .. })
-            | (_, Authenticator::Unstamped) => {}
-            _ => {
-                self.auth_rejected += 1;
-                return Err(AomError::BadAuth);
-            }
+    /// Re-injection half: apply a completed [`VerifyJob`]'s verdict.
+    /// Admission is re-checked — between submit and complete the
+    /// receiver may have advanced past the sequence number or switched
+    /// epochs (pooled executors complete asynchronously). A job whose
+    /// verdict was never recorded (e.g. its worker panicked) is counted
+    /// and rejected as unauthenticated.
+    pub fn complete_verify(&mut self, job: VerifyJob, crypto: &NodeCrypto) -> Result<(), AomError> {
+        if job.epoch != self.epoch {
+            return Err(AomError::WrongEpoch {
+                got: job.epoch,
+                current: self.epoch,
+            });
         }
-        match &pkt.header.auth {
-            Authenticator::Unstamped => Err(AomError::Unstamped),
-            Authenticator::HmacVector(tags) => {
-                self.charge_verify(crypto, crypto.costs().siphash);
-                neo_crypto::mac::verify_vector_entry(
-                    &self.hmac_key,
-                    self.my_index,
-                    tags,
-                    &pkt.header.auth_input(),
-                )
-                .map_err(|_| {
+        let seq = job.pkt.header.seq;
+        if seq < self.next {
+            self.stale_rejected += 1;
+            return Err(AomError::Stale);
+        }
+        let verdict = match job.outcome {
+            Some(v) => v,
+            None => {
+                self.internal_errors += 1;
+                Err(AomError::BadAuth)
+            }
+        };
+        match verdict {
+            Err(e) => {
+                if e == AomError::BadAuth {
                     self.auth_rejected += 1;
-                    AomError::BadAuth
-                })?;
-                self.accept(pkt, crypto);
+                }
+                Err(e)
+            }
+            Ok(Accepted::Park) => {
+                // Signature skipped by the ratio controller: park it
+                // until a signed successor arrives (§4.4).
+                // neo-lint: allow(R5, seq bounded to SEQ_WINDOW at submit)
+                self.pending_chain.insert(seq, job.pkt);
                 Ok(())
             }
-            Authenticator::Signature { sig, .. } => match sig {
-                Some(bytes) => {
-                    // Chain bookkeeping (hash of the packet identity for
-                    // future linkage checks) plus reorder-buffer admin
-                    // runs inline with dispatch; the ECDSA verification
-                    // itself goes to the worker pool.
-                    crypto
-                        .meter()
-                        .charge_serial(crypto.costs().sha256(pkt.header.auth_input().len()) + 500);
-                    crypto.meter().charge_parallel(crypto.costs().ecdsa_verify);
-                    self.seq_vk
-                        .verify(&pkt.header.auth_input(), &Signature(bytes.clone()))
-                        .map_err(|_| {
-                            self.auth_rejected += 1;
-                            AomError::BadAuth
-                        })?;
+            Ok(Accepted::Deliver { signed }) => {
+                if signed {
                     // A signed packet also vouches, through the hash
                     // chain, for buffered signature-less predecessors.
-                    self.accept(pkt.clone(), crypto);
-                    self.validate_chain_backwards(&pkt, crypto);
-                    Ok(())
+                    self.accept(job.pkt.clone(), crypto);
+                    self.validate_chain_backwards(&job.pkt, crypto);
+                } else {
+                    self.accept(job.pkt, crypto);
                 }
-                None => {
-                    // Signature skipped by the ratio controller: park it
-                    // until a signed successor arrives (§4.4).
-                    // neo-lint: allow(R5, seq bounded to SEQ_WINDOW above)
-                    self.pending_chain.insert(seq, pkt);
-                    Ok(())
-                }
-            },
+                Ok(())
+            }
         }
     }
 
     /// Walk the hash chain backwards from a verified packet, promoting
-    /// parked signature-less packets whose linkage checks out.
+    /// parked signature-less packets whose linkage checks out. The
+    /// contiguous run of parked predecessors is collected first, then
+    /// the linkage hashes are verified as one amortized batch
+    /// (`NodeCrypto::verify_chain_links` — the SHA-256 base cost is paid
+    /// once per batch, not per packet, §4.4). Packets past the first
+    /// broken link are re-parked exactly where the incremental walk
+    /// would have left them; the broken one stays discarded.
     fn validate_chain_backwards(&mut self, verified: &AomPacket, crypto: &NodeCrypto) {
+        let mut run: Vec<AomPacket> = Vec::new();
+        let mut expected: Vec<Digest> = Vec::new();
         let mut successor = verified.clone();
         loop {
             let Authenticator::Signature { prev_hash, .. } = &successor.header.auth else {
-                return;
+                break;
             };
             let prev_seq = successor.header.seq.prev();
             if prev_seq == SeqNum(0) {
-                return;
+                break;
             }
             let Some(candidate) = self.pending_chain.remove(&prev_seq) else {
-                return;
+                break;
             };
-            crypto
-                .meter()
-                .charge_serial(crypto.costs().sha256(candidate.header.auth_input().len()));
-            let expect = chain(Digest::ZERO, &candidate.header.auth_input());
-            if expect.0 != *prev_hash {
-                // Linkage broken: the parked packet is not the one the
-                // sequencer chained. It stays discarded.
-                return;
-            }
-            let promoted = candidate;
+            expected.push(Digest(*prev_hash));
+            successor = candidate.clone();
+            run.push(candidate);
+        }
+        if run.is_empty() {
+            return;
+        }
+        let inputs: Vec<Vec<u8>> = run.iter().map(|p| p.header.auth_input()).collect();
+        let links: Vec<(Digest, &[u8])> = expected
+            .iter()
+            .copied()
+            .zip(inputs.iter().map(|i| i.as_slice()))
+            .collect();
+        let ok = crypto.verify_chain_links(&links);
+        for reparked in run.drain(ok.min(run.len())..).skip(1) {
+            self.pending_chain.insert(reparked.header.seq, reparked);
+        }
+        for promoted in run {
             self.chain_promoted += 1;
-            self.accept(promoted.clone(), crypto);
-            successor = promoted;
+            self.accept(promoted, crypto);
         }
     }
 
@@ -501,10 +692,23 @@ impl AomReceiver {
         }
     }
 
-    /// Process a confirm from a peer receiver (Byzantine-network mode).
+    /// Process a confirm from a peer receiver (Byzantine-network mode):
+    /// the inline composition of [`AomReceiver::submit_confirm`],
+    /// [`ConfirmJob::verify`] and [`AomReceiver::complete_confirm`].
     pub fn on_confirm(&mut self, sc: SignedConfirm, crypto: &NodeCrypto) -> Result<(), AomError> {
-        if self.trust != NetworkTrust::Byzantine {
+        let Some(mut job) = self.submit_confirm(sc)? else {
             return Ok(()); // ignore stray confirms in trusted mode
+        };
+        job.verify(crypto);
+        self.complete_confirm(job)
+    }
+
+    /// Admission half of confirm ingestion: group, epoch, staleness and
+    /// window checks plus body encoding. `Ok(None)` means the confirm is
+    /// irrelevant (trusted-network mode ignores strays).
+    pub fn submit_confirm(&mut self, sc: SignedConfirm) -> Result<Option<ConfirmJob>, AomError> {
+        if self.trust != NetworkTrust::Byzantine {
+            return Ok(None);
         }
         if sc.body.group != self.group {
             return Err(AomError::WrongGroup);
@@ -527,20 +731,46 @@ impl AomReceiver {
             self.internal_errors += 1;
             return Err(AomError::BadAuth);
         };
-        crypto
-            .verify(
-                neo_crypto::Principal::Replica(sc.body.replica),
-                &bytes,
-                &sc.sig,
-            )
-            .map_err(|_| {
+        Ok(Some(ConfirmJob {
+            epoch: self.epoch,
+            sc,
+            bytes,
+            outcome: None,
+        }))
+    }
+
+    /// Re-injection half: apply a completed [`ConfirmJob`]'s verdict,
+    /// re-checking admission (the receiver may have moved on while the
+    /// signature was on a worker thread).
+    pub fn complete_confirm(&mut self, job: ConfirmJob) -> Result<(), AomError> {
+        if job.epoch != self.epoch {
+            return Err(AomError::WrongEpoch {
+                got: job.epoch,
+                current: self.epoch,
+            });
+        }
+        let seq = job.sc.body.seq;
+        if seq < self.next {
+            self.stale_rejected += 1;
+            return Err(AomError::Stale);
+        }
+        match job.outcome {
+            Some(Ok(())) => {}
+            Some(Err(e)) => {
+                if e == AomError::BadAuth {
+                    self.auth_rejected += 1;
+                }
+                return Err(e);
+            }
+            None => {
+                self.internal_errors += 1;
                 self.auth_rejected += 1;
-                AomError::BadAuth
-            })?;
-        let seq = sc.body.seq;
-        // neo-lint: allow(R5, seq bounded to SEQ_WINDOW above)
+                return Err(AomError::BadAuth);
+            }
+        }
+        // neo-lint: allow(R5, seq bounded to SEQ_WINDOW at submit)
         let slot_confirms = self.confirms.entry(seq).or_default();
-        slot_confirms.insert(sc.body.replica, sc);
+        slot_confirms.insert(job.sc.body.replica, job.sc);
         self.try_complete(seq);
         Ok(())
     }

@@ -1,0 +1,277 @@
+//! Verify-stage worker sweep (the `BENCH_0007.json` report): throughput
+//! and latency of serial versus pooled authenticator verification over
+//! worker counts {1, 2, 4, 8} at client batch sizes {1, 16, 64},
+//! extending the batching trajectory started by `BENCH_0006.json`.
+//!
+//! The protocol under test is Neo-BN (aom-hm tolerating a Byzantine
+//! network): its per-slot confirm signatures make replica-side
+//! verification the dominant dispatch cost, which is exactly the work
+//! the [`neo_crypto::VerifyPool`] moves off the critical path. The
+//! simulator models the pool with the meter — serial mode charges every
+//! verify on the dispatch core, pooled mode records each verification
+//! as a parallel task spread over `w` modeled worker cores — so the
+//! sweep is deterministic and runs in virtual time.
+//!
+//! - `verify_sweep [out.json]` — run the sweep and write the report
+//!   (default `BENCH_0007.json` in the working directory). Prints the
+//!   aggregate phase-breakdown table (including `verify.batch_size`
+//!   and `verify.reorder_stall_ns`) for the headline configuration.
+//! - `verify_sweep --check <report.json>` — re-run at the report's
+//!   recorded windows and exit non-zero on a >20% ops/s regression
+//!   against any non-provisional row. Always asserts the headline
+//!   pooled speedup on the fresh numbers: 4 workers at batch 16 must
+//!   deliver at least 2x the ops/s of the serial lane at batch 16.
+//!
+//! A report written with `"provisional": true` carries modeled numbers
+//! (committed so the acceptance shape exists before a calibrated run);
+//! the regression gate skips value comparison for provisional reports
+//! and only enforces the speedup ratio on the fresh measurement.
+
+use neo_bench::harness::{CopyReport, Protocol, RunConfig, RunResult};
+use neo_bench::report::phase_breakdown;
+use neo_bench::trace::TraceReport;
+use neo_core::BatchPolicy;
+use neo_sim::MILLIS;
+use serde::{Deserialize, Serialize};
+
+/// Verify-worker counts on the sweep's x-axis (pooled lane).
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+/// Client batch sizes swept for each lane.
+const BATCHES: [usize; 3] = [1, 16, 64];
+/// Regression tolerance for `--check`: fail below 80% of recorded.
+const REGRESSION_FLOOR: f64 = 0.8;
+/// Required pooled (4 workers) speedup over serial at batch 16.
+const SPEEDUP_FLOOR: f64 = 2.0;
+/// The headline configuration: 4 workers, batch 16.
+const HEADLINE_WORKERS: usize = 4;
+const HEADLINE_BATCH: usize = 16;
+
+#[derive(Clone, Serialize, Deserialize)]
+struct SweepConfig {
+    clients: usize,
+    warmup_ns: u64,
+    measure_ns: u64,
+    seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        // 64 closed-loop clients keep the f = 1 Neo-BN cluster's
+        // dispatch core saturated in serial mode, so the sweep measures
+        // verification capacity rather than offered load.
+        SweepConfig {
+            clients: 64,
+            warmup_ns: 50 * MILLIS,
+            measure_ns: 200 * MILLIS,
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Clone, Serialize, Deserialize)]
+struct Row {
+    /// "serial" or "pooled".
+    mode: String,
+    /// Modeled verify workers (1 for the serial lane's dispatch core).
+    workers: usize,
+    batch: usize,
+    ops_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    committed: u64,
+    /// Median verify batch size observed at the dispatch stage.
+    #[serde(default)]
+    verify_batch_p50: u64,
+    /// p99 reorder-buffer stall while re-injecting completions in order.
+    #[serde(default)]
+    reorder_stall_p99_ns: u64,
+    /// Payload copy/allocation accounting over the window.
+    #[serde(default, skip_deserializing)]
+    copy: Option<CopyReport>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Report {
+    bench: String,
+    #[serde(default)]
+    provisional: bool,
+    #[serde(default)]
+    note: String,
+    config: SweepConfig,
+    rows: Vec<Row>,
+    /// Per-phase latency waterfall (send → stamp → deliver → exec →
+    /// reply → commit) for the headline configuration.
+    #[serde(default, skip_deserializing)]
+    waterfall: Option<TraceReport>,
+}
+
+fn policy(batch: usize) -> BatchPolicy {
+    if batch <= 1 {
+        BatchPolicy::SINGLE
+    } else {
+        BatchPolicy::fixed(batch)
+    }
+}
+
+/// One measured run: serial lane when `workers` is `None`, pooled lane
+/// with `w` modeled workers otherwise.
+fn run_one(cfg: &SweepConfig, workers: Option<usize>, batch: usize) -> RunResult {
+    let mut run = RunConfig::new(Protocol::NeoBn)
+        .clients(cfg.clients)
+        .seed(cfg.seed)
+        .window(cfg.warmup_ns, cfg.measure_ns)
+        .batch(policy(batch));
+    run = match workers {
+        Some(w) => run.verify_workers(w),
+        None => run.serial_verify(),
+    };
+    run.run()
+}
+
+fn row_from(mode: &str, workers: usize, batch: usize, r: &RunResult) -> Row {
+    let hists = &r.obs.aggregate.histograms;
+    let row = Row {
+        mode: mode.to_string(),
+        workers,
+        batch,
+        ops_per_sec: r.throughput,
+        p50_ns: r.p50_latency_ns,
+        p99_ns: r.p99_latency_ns,
+        committed: r.committed,
+        verify_batch_p50: hists.get("verify.batch_size").map(|h| h.p50).unwrap_or(0),
+        reorder_stall_p99_ns: hists
+            .get("verify.reorder_stall_ns")
+            .map(|h| h.p99)
+            .unwrap_or(0),
+        copy: Some(r.copy),
+    };
+    eprintln!(
+        "{:>6} w{} batch {:>2}: {:>9.1} ops/s  p50 {:>7.1}us  p99 {:>7.1}us  ({} ops, stall p99 {}ns)",
+        mode,
+        workers,
+        batch,
+        r.throughput,
+        r.p50_latency_ns as f64 / 1e3,
+        r.p99_latency_ns as f64 / 1e3,
+        r.committed,
+        row.reorder_stall_p99_ns,
+    );
+    row
+}
+
+fn sweep(cfg: &SweepConfig) -> (Vec<Row>, Option<TraceReport>) {
+    let mut rows = Vec::new();
+    let mut waterfall = None;
+    for batch in BATCHES {
+        let r = run_one(cfg, None, batch);
+        rows.push(row_from("serial", 1, batch, &r));
+    }
+    for w in WORKERS {
+        for batch in BATCHES {
+            let r = run_one(cfg, Some(w), batch);
+            if w == HEADLINE_WORKERS && batch == HEADLINE_BATCH {
+                phase_breakdown(
+                    &format!("Neo-BN pooled w{w} batch {batch} aggregate"),
+                    &r.obs.aggregate,
+                )
+                .print();
+                waterfall = r.trace.clone();
+            }
+            rows.push(row_from("pooled", w, batch, &r));
+        }
+    }
+    (rows, waterfall)
+}
+
+fn ops(rows: &[Row], mode: &str, workers: usize, batch: usize) -> Option<f64> {
+    rows.iter()
+        .find(|r| r.mode == mode && r.workers == workers && r.batch == batch)
+        .map(|r| r.ops_per_sec)
+}
+
+/// The headline ratio: pooled 4 workers over serial, both at batch 16.
+fn speedup(rows: &[Row]) -> Option<f64> {
+    let base = ops(rows, "serial", 1, HEADLINE_BATCH)?;
+    let pooled = ops(rows, "pooled", HEADLINE_WORKERS, HEADLINE_BATCH)?;
+    (base > 0.0).then(|| pooled / base)
+}
+
+fn check(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let report: Report =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    assert_eq!(report.bench, "verify_sweep", "wrong report kind");
+    let recorded = speedup(&report.rows).expect("report has serial and pooled batch-16 rows");
+    assert!(
+        recorded >= SPEEDUP_FLOOR,
+        "committed report's pooled speedup {recorded:.2}x is below {SPEEDUP_FLOOR}x"
+    );
+    let (fresh, _) = sweep(&report.config);
+    let measured = speedup(&fresh).expect("sweep produced serial and pooled rows");
+    assert!(
+        measured >= SPEEDUP_FLOOR,
+        "measured pooled speedup {measured:.2}x is below {SPEEDUP_FLOOR}x"
+    );
+    if report.provisional {
+        println!(
+            "check ok (provisional report: value gate skipped; measured speedup {measured:.2}x). \
+             Regenerate with `cargo run --release -p neo-bench --bin verify_sweep` and commit."
+        );
+        return;
+    }
+    let mut failures = Vec::new();
+    for row in &report.rows {
+        let Some(now) = ops(&fresh, &row.mode, row.workers, row.batch) else {
+            continue;
+        };
+        if now < row.ops_per_sec * REGRESSION_FLOOR {
+            failures.push(format!(
+                "{} w{} batch {}: {:.0} ops/s is a >20% regression from recorded {:.0}",
+                row.mode, row.workers, row.batch, now, row.ops_per_sec
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("check ok (measured speedup {measured:.2}x, no >20% ops/s regressions)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_0007.json");
+        check(path);
+        return;
+    }
+    let out = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("BENCH_0007.json");
+    let config = SweepConfig::default();
+    let (rows, waterfall) = sweep(&config);
+    let measured = speedup(&rows).expect("sweep produced serial and pooled rows");
+    let report = Report {
+        bench: "verify_sweep".into(),
+        provisional: false,
+        note: format!(
+            "pooled (4 workers) speedup over serial at batch {HEADLINE_BATCH}: {measured:.2}x"
+        ),
+        config,
+        rows,
+        waterfall,
+    };
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out} (speedup {measured:.2}x)");
+    assert!(
+        measured >= SPEEDUP_FLOOR,
+        "pooled speedup {measured:.2}x is below the {SPEEDUP_FLOOR}x acceptance floor"
+    );
+}

@@ -157,6 +157,14 @@ pub struct RunParams {
     /// verification on the replicas); for the baselines a multi-op
     /// policy raises their `batch_max` so the control stays comparable.
     pub batch: BatchPolicy,
+    /// Verify-stage lane override (NeoBFT only). `None` follows the
+    /// batch policy's default; `Some(0)` forces the serial lane;
+    /// `Some(w)` forces the pipelined lane with `w` modeled verify
+    /// workers (the replica CPU's worker-core count is set to `w`, the
+    /// axis swept by `verify_sweep`). The simulator models the pool
+    /// with the meter — `NeoConfig::verify_workers` stays 0 so runs
+    /// remain deterministic.
+    pub verify_lane: Option<usize>,
 }
 
 impl RunParams {
@@ -179,6 +187,7 @@ impl RunParams {
             hotstuff_interval_ns: None,
             obs: ObsConfig::default().with_trace(DEFAULT_TRACE_CAPACITY),
             batch: BatchPolicy::SINGLE,
+            verify_lane: None,
         }
     }
 
@@ -399,7 +408,26 @@ fn neo_config(params: &RunParams) -> NeoConfig {
         // per subgroup per request.
         cfg.emulate_hm_subgroups = matches!(params.protocol, Protocol::NeoHmSoftware);
     }
-    cfg.with_batch(params.batch)
+    cfg = cfg.with_batch(params.batch);
+    match params.verify_lane {
+        None => {}
+        Some(0) => cfg.pipeline_verify = false,
+        Some(_) => cfg.pipeline_verify = true,
+    }
+    cfg
+}
+
+/// Replica CPU for a run: the verify-lane override pins the worker-core
+/// count to the swept worker count so `charge_parallel` tasks spread
+/// over exactly `w` modeled verify workers.
+fn replica_cpu(params: &RunParams) -> CpuConfig {
+    match params.verify_lane {
+        Some(w) => CpuConfig {
+            cores: w.max(1),
+            ..params.server_cpu
+        },
+        None => params.server_cpu,
+    }
 }
 
 fn build_neo(params: &RunParams, n: usize, keys: &SystemKeys, sim: &mut Simulator) {
@@ -475,7 +503,7 @@ fn build_neo(params: &RunParams, n: usize, keys: &SystemKeys, sim: &mut Simulato
         sim.add_node_with_cpu(
             Addr::Replica(ReplicaId(r)),
             Box::new(replica),
-            params.server_cpu,
+            replica_cpu(params),
         );
     }
     for c in 0..params.n_clients as u64 {
@@ -807,6 +835,20 @@ impl RunConfig {
     /// verification; baseline `batch_max` override).
     pub fn batch(mut self, batch: BatchPolicy) -> Self {
         self.params.batch = batch;
+        self
+    }
+
+    /// Verify-stage lane: `serial` forces inline serial verification;
+    /// `verify_workers(w)` forces the pipelined lane with `w` modeled
+    /// workers (the `verify_sweep` axis).
+    pub fn verify_workers(mut self, workers: usize) -> Self {
+        self.params.verify_lane = Some(workers);
+        self
+    }
+
+    /// Force the serial verify lane (the `verify_sweep` baseline).
+    pub fn serial_verify(mut self) -> Self {
+        self.params.verify_lane = Some(0);
         self
     }
 

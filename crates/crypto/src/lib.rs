@@ -16,6 +16,10 @@
 //! * [`meter`] — the cost meter: every operation both performs the real
 //!   computation and records a calibrated virtual-time cost, which the
 //!   discrete-event simulator charges to the node's CPU;
+//! * [`pool`] — the parallel verification stage: a bounded worker pool
+//!   ([`VerifyPool`]) plus the [`ReorderBuffer`] that re-injects
+//!   completions in dispatch order — the real-runtime counterpart of
+//!   the meter's parallel lane;
 //! * [`provider`] — [`provider::NodeCrypto`], the per-node façade protocol
 //!   code uses: sign/verify, MAC/MAC-vector, digest — all metered.
 
@@ -24,6 +28,7 @@ pub mod halfsiphash;
 pub mod keys;
 pub mod mac;
 pub mod meter;
+pub mod pool;
 pub mod provider;
 pub mod sign;
 
@@ -32,5 +37,6 @@ pub use halfsiphash::HalfSipKey;
 pub use keys::{KeyStore, Principal, SystemKeys};
 pub use mac::{HmacKey, MacError};
 pub use meter::{CostModel, Meter};
+pub use pool::{ReorderBuffer, VerifyDone, VerifyPool, VerifyTask};
 pub use provider::NodeCrypto;
 pub use sign::{SequencerKeyPair, SequencerVerifyKey, SigError, SignKeyPair, Signature, VerifyKey};

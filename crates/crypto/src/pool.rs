@@ -1,0 +1,517 @@
+//! Parallel verification stage: a bounded worker pool plus the reorder
+//! buffer that re-injects completions in submission order.
+//!
+//! The paper's replica is latency-optimal because authenticator
+//! verification is the only work on the critical path, and its FPGA
+//! evaluation assumes that work scales across cores. The simulator models
+//! this with [`crate::Meter::charge_parallel`]; the real tokio runtime
+//! gets the same shape from a [`VerifyPool`]: dedicated worker threads
+//! behind a bounded queue pair. Protocol code never talks to the pool
+//! directly — it hands out self-contained [`VerifyTask`]s (which carry a
+//! [`crate::NodeCrypto`] clone, so the shared meter still gets charged)
+//! and re-applies them in ticket order through a [`ReorderBuffer`].
+//!
+//! Invariants:
+//!
+//! * **Every submitted task completes.** Worker panics are caught with
+//!   `catch_unwind`; the task comes back with `panicked = true` and the
+//!   pool is flagged [`VerifyPool::poisoned`], so a crashing verifier
+//!   degrades to a rejected message plus a typed runtime error — never a
+//!   hung node.
+//! * **Bounded memory.** The submission queue holds at most
+//!   `queue_bound` tasks; `submit` applies backpressure by blocking the
+//!   dispatch thread, which in turn bounds the completion side because
+//!   each submission yields exactly one completion.
+//! * **In-order re-injection.** [`ReorderBuffer`] releases completions
+//!   strictly in the order their tickets were issued (the dispatch
+//!   order), so the protocol observes the same interleaving the serial
+//!   executor would have produced.
+
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// A unit of verification work the pool can run on any worker thread.
+///
+/// Implementations carry everything they need (packet bytes, key
+/// material, a [`crate::NodeCrypto`] clone) and record their verdict in
+/// their own state; the submitter downcasts the box back via
+/// [`VerifyTask::into_any`] when the completion is collected.
+pub trait VerifyTask: Send + Any {
+    /// Perform the verification. Runs on a worker thread; must not touch
+    /// shared protocol state.
+    fn run(&mut self);
+    /// Recover the concrete task type from a completed box.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// A completed task, handed back to the submitter.
+pub struct VerifyDone {
+    /// The ticket passed to [`VerifyPool::submit`].
+    pub ticket: u64,
+    /// The task, with its verdict recorded (unless `panicked`).
+    pub task: Box<dyn VerifyTask>,
+    /// The task panicked mid-run; its verdict is unreliable and the
+    /// submitter must treat the input as unverified.
+    pub panicked: bool,
+}
+
+struct PoolState {
+    jobs: VecDeque<(u64, Box<dyn VerifyTask>)>,
+    done: Vec<VerifyDone>,
+    wake: Option<Arc<dyn Fn() + Send + Sync>>,
+    closed: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    poisoned: AtomicBool,
+    in_flight: AtomicUsize,
+}
+
+impl PoolShared {
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        // A worker that panicked inside `run` was under `catch_unwind`,
+        // so the mutex can only be poisoned by a panic in this module's
+        // own (straight-line) critical sections; the state is still
+        // consistent.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn finish(&self, ticket: u64, task: Box<dyn VerifyTask>, panicked: bool) {
+        if panicked {
+            self.poisoned.store(true, Ordering::Relaxed);
+        }
+        let wake = {
+            let mut st = self.lock();
+            st.done.push(VerifyDone {
+                ticket,
+                task,
+                panicked,
+            });
+            st.wake.clone()
+        };
+        if let Some(wake) = wake {
+            wake();
+        }
+    }
+}
+
+/// Dedicated verification worker threads behind a bounded queue pair.
+pub struct VerifyPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    queue_bound: usize,
+}
+
+impl std::fmt::Debug for VerifyPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifyPool")
+            .field("workers", &self.workers)
+            .field("queue_bound", &self.queue_bound)
+            .field("in_flight", &self.in_flight())
+            .field("poisoned", &self.poisoned())
+            .finish()
+    }
+}
+
+impl VerifyPool {
+    /// Default submission-queue bound: one aom receive window's worth of
+    /// packets is more than any honest burst between two collect calls.
+    pub const DEFAULT_QUEUE_BOUND: usize = 1024;
+
+    /// Spawn `workers` verification threads (clamped to at least one)
+    /// with the default queue bound.
+    pub fn new(workers: usize) -> Self {
+        Self::with_queue_bound(workers, Self::DEFAULT_QUEUE_BOUND)
+    }
+
+    /// Spawn `workers` verification threads with an explicit submission
+    /// queue bound (clamped to at least one slot).
+    pub fn with_queue_bound(workers: usize, queue_bound: usize) -> Self {
+        let workers = workers.max(1);
+        let queue_bound = queue_bound.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                done: Vec::new(),
+                wake: None,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("neo-verify-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .unwrap_or_else(|e| {
+                        // Pool construction happens at node startup, not
+                        // on the message path; an OS refusing threads
+                        // there is a deployment error worth stopping on.
+                        panic!("failed to spawn verify worker {i}: {e}")
+                    })
+            })
+            .collect();
+        VerifyPool {
+            shared,
+            handles,
+            workers,
+            queue_bound,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Submission-queue capacity.
+    pub fn queue_bound(&self) -> usize {
+        self.queue_bound
+    }
+
+    /// Submit a task under `ticket`. Blocks (backpressure) while the
+    /// submission queue is full. Exactly one [`VerifyDone`] with this
+    /// ticket will eventually appear in [`VerifyPool::drain_completed`].
+    pub fn submit(&self, ticket: u64, task: Box<dyn VerifyTask>) {
+        self.shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.shared.lock();
+        while st.jobs.len() >= self.queue_bound && !st.closed {
+            st = self
+                .shared
+                .not_full
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        if st.closed {
+            // Shutdown raced the submit: run inline so the completion
+            // still materializes and no collector hangs.
+            drop(st);
+            let mut task = task;
+            let panicked = catch_unwind(AssertUnwindSafe(|| task.run())).is_err();
+            self.shared.finish(ticket, task, panicked);
+            return;
+        }
+        st.jobs.push_back((ticket, task));
+        drop(st);
+        self.shared.not_empty.notify_one();
+    }
+
+    /// Move all completions into `out`; returns how many were drained.
+    /// Non-blocking — pair with [`VerifyPool::set_wake_hook`] to learn
+    /// when calling again is worthwhile.
+    pub fn drain_completed(&self, out: &mut Vec<VerifyDone>) -> usize {
+        let n = {
+            let mut st = self.shared.lock();
+            let n = st.done.len();
+            out.append(&mut st.done);
+            n
+        };
+        self.shared.in_flight.fetch_sub(n, Ordering::Relaxed);
+        n
+    }
+
+    /// Tasks submitted but not yet drained (queued + running + done).
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Tasks waiting in the submission queue right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock().jobs.len()
+    }
+
+    /// True once any task has panicked on a worker. The pool keeps
+    /// running (panicked tasks still complete, flagged), but the host
+    /// should surface a typed error.
+    pub fn poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Install a hook called (from a worker thread) after each completion
+    /// is queued — e.g. a `tokio::sync::Notify` wake so the event loop's
+    /// idle wait ends as soon as verified work is ready.
+    pub fn set_wake_hook(&self, hook: Arc<dyn Fn() + Send + Sync>) {
+        self.shared.lock().wake = Some(hook);
+    }
+}
+
+impl Drop for VerifyPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.closed = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for h in std::mem::take(&mut self.handles) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let (ticket, mut task) = {
+            let mut st = shared.lock();
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    shared.not_full.notify_one();
+                    break job;
+                }
+                if st.closed {
+                    return;
+                }
+                st = shared.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let panicked = catch_unwind(AssertUnwindSafe(|| task.run())).is_err();
+        shared.finish(ticket, task, panicked);
+    }
+}
+
+/// Restores dispatch order on the collect side of the pool.
+///
+/// Tickets are issued densely at submission time; completions arrive in
+/// whatever order the workers finish and are released strictly in ticket
+/// order. Because every submission completes (worker panics included),
+/// the release cursor never deadlocks. The stall a completion spends
+/// waiting for its predecessors is reported so hosts can feed a
+/// `verify.reorder_stall_ns` histogram.
+#[derive(Debug, Default)]
+pub struct ReorderBuffer<T> {
+    next_ticket: u64,
+    release: u64,
+    pending: BTreeMap<u64, (T, u64)>,
+}
+
+impl<T> ReorderBuffer<T> {
+    /// Empty buffer; the first issued ticket is 0.
+    pub fn new() -> Self {
+        ReorderBuffer {
+            next_ticket: 0,
+            release: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Issue the next submission ticket.
+    pub fn issue(&mut self) -> u64 {
+        let t = self.next_ticket;
+        self.next_ticket += 1;
+        t
+    }
+
+    /// A completion for `ticket` arrived at `now_ns`. Tickets never
+    /// issued or already released are ignored.
+    pub fn accept(&mut self, ticket: u64, value: T, now_ns: u64) {
+        if ticket >= self.release && ticket < self.next_ticket {
+            self.pending.insert(ticket, (value, now_ns));
+        }
+    }
+
+    /// Release the next completion in ticket order, if it has arrived.
+    /// Returns the value and how long it stalled (`now_ns` minus its
+    /// arrival time) waiting for slower predecessors.
+    pub fn pop_ready(&mut self, now_ns: u64) -> Option<(T, u64)> {
+        let (value, arrived) = self.pending.remove(&self.release)?;
+        self.release += 1;
+        Some((value, now_ns.saturating_sub(arrived)))
+    }
+
+    /// Tickets issued but not yet released.
+    pub fn outstanding(&self) -> u64 {
+        self.next_ticket - self.release
+    }
+
+    /// Completions buffered out of order, waiting for predecessors.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    struct CountTask {
+        hits: Arc<AtomicU64>,
+        panic_on_run: bool,
+    }
+
+    impl VerifyTask for CountTask {
+        fn run(&mut self) {
+            if self.panic_on_run {
+                panic!("verifier crashed");
+            }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn Any> {
+            self
+        }
+    }
+
+    fn collect(pool: &VerifyPool, want: usize) -> Vec<VerifyDone> {
+        let mut done = Vec::new();
+        let mut spins = 0u64;
+        while done.len() < want {
+            pool.drain_completed(&mut done);
+            std::thread::yield_now();
+            spins += 1;
+            assert!(spins < 50_000_000, "pool never completed {want} tasks");
+        }
+        done
+    }
+
+    #[test]
+    fn every_submission_completes_with_its_ticket() {
+        let pool = VerifyPool::new(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for t in 0..8 {
+            pool.submit(
+                t,
+                Box::new(CountTask {
+                    hits: Arc::clone(&hits),
+                    panic_on_run: false,
+                }),
+            );
+        }
+        let done = collect(&pool, 8);
+        let mut tickets: Vec<u64> = done.iter().map(|d| d.ticket).collect();
+        tickets.sort_unstable();
+        assert_eq!(tickets, (0..8).collect::<Vec<_>>());
+        assert!(done.iter().all(|d| !d.panicked));
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+        assert_eq!(pool.in_flight(), 0);
+        assert!(!pool.poisoned());
+    }
+
+    #[test]
+    fn panicking_task_completes_flagged_and_poisons_the_pool() {
+        let pool = VerifyPool::new(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        pool.submit(
+            0,
+            Box::new(CountTask {
+                hits: Arc::clone(&hits),
+                panic_on_run: true,
+            }),
+        );
+        let done = collect(&pool, 1);
+        assert!(done[0].panicked, "panic must surface on the completion");
+        assert!(pool.poisoned());
+        // The worker survives the panic and keeps serving.
+        pool.submit(
+            1,
+            Box::new(CountTask {
+                hits: Arc::clone(&hits),
+                panic_on_run: false,
+            }),
+        );
+        let done = collect(&pool, 1);
+        assert!(!done[0].panicked);
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_without_losing_tasks() {
+        let pool = VerifyPool::with_queue_bound(1, 2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for t in 0..16 {
+            pool.submit(
+                t,
+                Box::new(CountTask {
+                    hits: Arc::clone(&hits),
+                    panic_on_run: false,
+                }),
+            );
+        }
+        let done = collect(&pool, 16);
+        assert_eq!(done.len(), 16);
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn wake_hook_fires_on_completion() {
+        let pool = VerifyPool::new(1);
+        let wakes = Arc::new(AtomicU64::new(0));
+        let w = Arc::clone(&wakes);
+        pool.set_wake_hook(Arc::new(move || {
+            w.fetch_add(1, Ordering::Relaxed);
+        }));
+        let hits = Arc::new(AtomicU64::new(0));
+        pool.submit(
+            0,
+            Box::new(CountTask {
+                hits,
+                panic_on_run: false,
+            }),
+        );
+        collect(&pool, 1);
+        assert!(wakes.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn completed_task_downcasts_back_to_its_concrete_type() {
+        let pool = VerifyPool::new(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        pool.submit(
+            7,
+            Box::new(CountTask {
+                hits: Arc::clone(&hits),
+                panic_on_run: false,
+            }),
+        );
+        let done = collect(&pool, 1).pop().expect("one completion");
+        let task = done
+            .task
+            .into_any()
+            .downcast::<CountTask>()
+            .expect("concrete type round-trips");
+        assert!(!task.panic_on_run);
+    }
+
+    #[test]
+    fn reorder_buffer_releases_strictly_in_ticket_order() {
+        let mut buf: ReorderBuffer<&'static str> = ReorderBuffer::new();
+        let t0 = buf.issue();
+        let t1 = buf.issue();
+        let t2 = buf.issue();
+        buf.accept(t2, "c", 100);
+        buf.accept(t0, "a", 200);
+        assert_eq!(buf.buffered(), 2);
+        assert_eq!(buf.pop_ready(250), Some(("a", 50)));
+        // t1 has not arrived: t2 must wait even though it is buffered.
+        assert_eq!(buf.pop_ready(250), None);
+        buf.accept(t1, "b", 300);
+        assert_eq!(buf.pop_ready(300), Some(("b", 0)));
+        assert_eq!(buf.pop_ready(400), Some(("c", 300)));
+        assert_eq!(buf.outstanding(), 0);
+        assert_eq!(buf.buffered(), 0);
+    }
+
+    #[test]
+    fn reorder_buffer_ignores_foreign_tickets() {
+        let mut buf: ReorderBuffer<u32> = ReorderBuffer::new();
+        buf.accept(5, 1, 0); // never issued
+        assert_eq!(buf.buffered(), 0);
+        let t = buf.issue();
+        buf.accept(t, 2, 10);
+        assert_eq!(buf.pop_ready(10), Some((2, 0)));
+        buf.accept(t, 3, 20); // already released
+        assert_eq!(buf.buffered(), 0);
+        assert_eq!(buf.pop_ready(20), None);
+    }
+}

@@ -6,7 +6,7 @@
 //! place where the paper's "authenticator complexity" becomes measurable
 //! simulation time.
 
-use crate::digest::{sha256, Digest};
+use crate::digest::{chain, sha256, Digest};
 use crate::keys::{KeyStore, Principal, SystemKeys};
 use crate::mac::{HmacKey, MacError};
 use crate::meter::{CostModel, Meter};
@@ -74,6 +74,56 @@ impl NodeCrypto {
             Some(vk) => vk.verify(msg, sig),
             None => Err(SigError::Invalid),
         }
+    }
+
+    /// Verify a batch of Ed25519 signatures in one call, charging the
+    /// parallel lane per item. This is the API seam the [`crate::pool`]
+    /// verification stage feeds whole confirm batches through: one task
+    /// dispatch covers the batch, and a future switch to multi-scalar
+    /// batch verification (ed25519-dalek's `batch` feature) changes only
+    /// this method. Per-item results, in input order; unknown principals
+    /// fail closed.
+    pub fn verify_batch(
+        &self,
+        items: &[(Principal, &[u8], &Signature)],
+    ) -> Vec<Result<(), SigError>> {
+        let mut out = Vec::with_capacity(items.len());
+        for (signer, msg, sig) in items {
+            self.meter.charge_parallel(self.costs.ed25519_verify);
+            out.push(match self.store.verify_key(*signer) {
+                Some(vk) => vk.verify(msg, sig),
+                None => Err(SigError::Invalid),
+            });
+        }
+        out
+    }
+
+    /// Amortized aom-pk hash-chain check across a batch of parked
+    /// packets (§4.4: receivers "verify the entire batch by validating
+    /// the hash chain"). `links` pairs each packet's expected head (the
+    /// successor's `prev_hash`) with that packet's chaining input, in
+    /// walk order; returns how many leading links verify. One serial
+    /// charge covers the whole walk — the SHA-256 call base is paid once
+    /// per batch instead of once per packet.
+    pub fn verify_chain_links(&self, links: &[(Digest, &[u8])]) -> usize {
+        if links.is_empty() {
+            return 0;
+        }
+        let blocks: u64 = links
+            .iter()
+            .map(|(_, input)| input.len() as u64 / 64 + 1)
+            .sum();
+        self.meter
+            .charge_serial(self.costs.sha256_base + self.costs.sha256_per_block * blocks);
+        let mut ok = 0;
+        for (expected, input) in links {
+            if chain(Digest::ZERO, input) == *expected {
+                ok += 1;
+            } else {
+                break;
+            }
+        }
+        ok
     }
 
     /// Compute the pairwise MAC authenticating `msg` from `self` to `peer`
@@ -175,6 +225,52 @@ mod tests {
         let _ = a.digest(b"payload");
         let (s, _) = a.meter().drain();
         assert!(s > 0, "digest is charged serially");
+    }
+
+    #[test]
+    fn verify_batch_matches_per_item_verify_and_charges_per_item() {
+        let (a, b) = setup();
+        let sig0 = a.sign(b"zero");
+        let sig1 = a.sign(b"one");
+        a.meter().drain();
+        let items: Vec<(Principal, &[u8], &Signature)> = vec![
+            (a.me(), b"zero", &sig0),
+            (a.me(), b"one", &sig1),
+            (b.me(), b"zero", &sig0),                         // wrong signer
+            (Principal::Replica(ReplicaId(99)), b"x", &sig0), // unknown: fails closed
+        ];
+        let res = a.verify_batch(&items);
+        assert!(res[0].is_ok() && res[1].is_ok());
+        assert!(res[2].is_err() && res[3].is_err());
+        let (_, p) = a.meter().drain();
+        assert_eq!(
+            p,
+            vec![CostModel::CALIBRATED.ed25519_verify; 4],
+            "every item is charged to the parallel lane"
+        );
+    }
+
+    #[test]
+    fn verify_chain_links_counts_leading_valid_links_with_one_base_charge() {
+        let (a, _) = setup();
+        let good1 = crate::chain(Digest::ZERO, b"pkt1");
+        let good2 = crate::chain(Digest::ZERO, b"pkt2");
+        a.meter().drain();
+        let links: Vec<(Digest, &[u8])> = vec![
+            (good1, b"pkt1"),
+            (good2, b"pkt2"),
+            (good1, b"tampered"), // broken link stops the walk
+            (good2, b"pkt2"),     // never reached
+        ];
+        assert_eq!(a.verify_chain_links(&links), 2);
+        let (s, _) = a.meter().drain();
+        let blocks: u64 = links.iter().map(|(_, i)| i.len() as u64 / 64 + 1).sum();
+        assert_eq!(
+            s,
+            CostModel::CALIBRATED.sha256_base + CostModel::CALIBRATED.sha256_per_block * blocks,
+            "one amortized serial charge for the whole batch"
+        );
+        assert_eq!(a.verify_chain_links(&[]), 0);
     }
 
     #[test]

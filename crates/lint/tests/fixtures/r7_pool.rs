@@ -1,0 +1,57 @@
+// Fixture for R7 verify-charges-meter, VerifyPool vocabulary.
+// Expected: exactly 2 R7 findings — raw verifies smuggled in next to
+// the pool plumbing without a meter charge. The pool vocabulary itself
+// (`job.verify(crypto, ..)`, `crypto.verify_batch`, dispatch/absorb
+// plumbing) is façade-routed and clean. This file is lint input, never
+// compiled.
+
+struct VerifyStage {
+    pool: VerifyPool,
+    reorder: ReorderBuffer,
+    crypto: NodeCrypto,
+    seq_vk: VerifyingKey,
+    costs: CostModel,
+}
+
+impl VerifyStage {
+    // GOOD: a verify job runs through the NodeCrypto façade handed to
+    // it — every authenticator check inside charges the meter.
+    fn run_packet_job(&mut self, job: &mut VerifyJob) {
+        job.verify(&self.crypto, true);
+    }
+
+    // GOOD: batched replica-signature verification charges per item
+    // inside the façade.
+    fn run_confirm_jobs(&mut self, jobs: &mut [ConfirmJob]) {
+        let items = collect_batch_items(jobs);
+        let results = self.crypto.verify_batch(&items);
+        for (job, res) in jobs.iter_mut().zip(results) {
+            job.set_verified(res.is_ok());
+        }
+    }
+
+    // GOOD: pool dispatch and in-order re-injection never touch raw
+    // primitives.
+    fn submit_work(&mut self, task: PoolVerifyTask) {
+        let ticket = self.reorder.issue();
+        self.pool.submit(ticket, Box::new(task));
+    }
+
+    // BAD (1): a raw signature verify on the drain path, no charge —
+    // pooled work must still route through the façade.
+    fn absorb_completed(&mut self, input: &[u8], sig: &Sig) -> bool {
+        self.seq_vk.verify(input, sig).is_ok()
+    }
+
+    // BAD (2): raw vector-MAC entry verify smuggled in beside the
+    // pool, same problem.
+    fn precheck_entry(&mut self, pkt: &Packet) -> bool {
+        verify_vector_entry(&self.key, pkt)
+    }
+
+    // GOOD: a charge-first raw verify stays allowed next to the pool.
+    fn absorb_metered(&mut self, input: &[u8], sig: &Sig) -> bool {
+        self.crypto.meter().charge_parallel(self.costs.ed25519_verify_ns);
+        self.seq_vk.verify(input, sig).is_ok()
+    }
+}

@@ -105,6 +105,34 @@ fn r7_fixture_has_exact_findings() {
 }
 
 #[test]
+fn r7_pool_fixture_has_exact_findings() {
+    let f = fixture("r7_pool.rs");
+    assert_eq!(count(&f, "R7"), 2, "findings: {f:#?}");
+    assert_eq!(f.len(), 2, "no other rules should fire: {f:#?}");
+    // The VerifyPool/verify_batch vocabulary is façade-routed: job
+    // verifies, batch verifies, and dispatch plumbing are all clean.
+    for clean in [
+        "run_packet_job",
+        "run_confirm_jobs",
+        "submit_work",
+        "absorb_metered",
+    ] {
+        assert!(
+            f.iter().all(|x| !x.message.contains(clean)),
+            "{clean} must be clean: {f:#?}"
+        );
+    }
+    // Raw primitives beside the pool are still in scope.
+    for flagged in ["absorb_completed", "precheck_entry"] {
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "R7" && x.message.contains(flagged)),
+            "expected R7 in {flagged}: {f:#?}"
+        );
+    }
+}
+
+#[test]
 fn r8_fixture_has_exact_findings() {
     let f = fixture("r8_helper_panics.rs");
     assert_eq!(count(&f, "R8"), 3, "findings: {f:#?}");

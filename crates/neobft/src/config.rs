@@ -53,6 +53,10 @@ pub struct NeoConfig {
     /// Pipelined speculative execution: replicas verify slot *k+1*'s
     /// authenticator on the parallel lane while slot *k* executes.
     pub pipeline_verify: bool,
+    /// Real verify-pool workers per replica (tokio runtime only). `0`
+    /// keeps verification inline; the simulator models parallelism with
+    /// the meter instead and must stay at `0` for determinism.
+    pub verify_workers: usize,
 }
 
 impl NeoConfig {
@@ -76,6 +80,7 @@ impl NeoConfig {
             subgroup_packet_cost_ns: 1_100,
             batch: BatchPolicy::SINGLE,
             pipeline_verify: false,
+            verify_workers: 0,
         }
     }
 
@@ -101,6 +106,17 @@ impl NeoConfig {
     pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
         self.pipeline_verify = batch.batching();
         self.batch = batch;
+        self
+    }
+
+    /// Dispatch replica-side verification to a real worker pool of
+    /// `workers` threads (tokio runtime deployments only; simulator
+    /// configs must leave this at 0). Implies `pipeline_verify`.
+    pub fn with_verify_workers(mut self, workers: usize) -> Self {
+        self.verify_workers = workers;
+        if workers > 0 {
+            self.pipeline_verify = true;
+        }
         self
     }
 }
@@ -130,6 +146,17 @@ mod tests {
     fn default_batch_policy_is_single() {
         let c = NeoConfig::new(1);
         assert_eq!(c.batch, BatchPolicy::SINGLE);
+        assert!(!c.pipeline_verify);
+    }
+
+    #[test]
+    fn verify_workers_default_off_and_imply_pipelining() {
+        let c = NeoConfig::new(1);
+        assert_eq!(c.verify_workers, 0);
+        let c = NeoConfig::new(1).with_verify_workers(4);
+        assert_eq!(c.verify_workers, 4);
+        assert!(c.pipeline_verify);
+        let c = NeoConfig::new(1).with_verify_workers(0);
         assert!(!c.pipeline_verify);
     }
 

@@ -36,7 +36,11 @@
 //!   2f+1 reply quorum, and fanned back out per op; includes the
 //!   unicast fallback path;
 //! * [`batch`] — the batching policy and the load-adaptive batch-size
-//!   controller (modeled on the FPGA signing-ratio controller).
+//!   controller (modeled on the FPGA signing-ratio controller);
+//! * [`verify`] — the verify stage: [`verify::VerifyLane`] routes
+//!   authenticator verification inline (simulator) or onto a real
+//!   [`neo_crypto::VerifyPool`] (tokio runtime), with completions
+//!   re-injected in dispatch order.
 
 pub mod batch;
 pub mod client;
@@ -46,6 +50,7 @@ pub mod invariants;
 pub mod log;
 pub mod messages;
 pub mod replica;
+pub mod verify;
 
 pub use batch::{AdaptiveBatcher, BatchPolicy};
 pub use client::{Client, ClientDriver, CompletedOp, OpHandle};
@@ -55,3 +60,4 @@ pub use invariants::{InvariantChecker, Violation};
 pub use log::{Log, LogEntry};
 pub use messages::{BatchRequest, GapCert, NeoMsg, Reply, SignedBatch};
 pub use replica::Replica;
+pub use verify::{PoolVerifyTask, VerifyLane, VerifyWork};

@@ -13,14 +13,18 @@ use crate::messages::{
     gap_decision_digest, sign_body, verify_body, EpochCert, EpochStartBody, GapDecisionBody,
     GapDropBody, GapVoteBody, NeoMsg, Reply, SignedBatch, SyncBody, ViewChangeBody, WireLogEntry,
 };
-use neo_aom::{AomReceiver, ConfigMsg, Delivery, Envelope, OrderingCert};
+use crate::verify::{PoolVerifyTask, VerifyLane, VerifyWork};
+use neo_aom::{AomReceiver, ConfigMsg, Delivery, Envelope, OrderingCert, SignedConfirm};
 use neo_app::App;
-use neo_crypto::{CostModel, NodeCrypto, Principal, Signature, SystemKeys};
+use neo_crypto::{
+    CostModel, NodeCrypto, Principal, ReorderBuffer, Signature, SystemKeys, VerifyPool, VerifyTask,
+};
 use neo_sim::obs::Event;
 use neo_sim::{Context, Node, TimerId};
 use neo_wire::{Addr, ClientId, EpochNum, ReplicaId, RequestId, SeqNum, SlotNum, ViewId};
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Replica fault behaviour for experiments.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -213,6 +217,18 @@ pub struct Replica {
     /// High-water mark of the resolved log prefix (monotone even across
     /// epoch-switch truncation, unlike `log.resolved_prefix_len()`).
     resolved_watermark: SlotNum,
+    /// Where authenticator verification runs (DESIGN.md §16): inline on
+    /// the dispatch path, inline with parallel-lane charges (the sim's
+    /// pool model), or on a real worker pool.
+    lane: VerifyLane,
+    /// Re-injects verify completions in strict dispatch order — the
+    /// in-order invariant that makes the pooled lane observably
+    /// equivalent to inline verification.
+    verify_reorder: ReorderBuffer<VerifyWork>,
+    /// Pool-precomputed client batch-MAC verdicts awaiting
+    /// `execute_slot`, keyed by aom header digest; consumed on first
+    /// lookup and capped at [`Self::PREVERIFIED_CAP`].
+    preverified_auth: HashMap<[u8; 32], bool>,
     /// Fault behaviour.
     pub behavior: ReplicaBehavior,
     /// Counters.
@@ -241,6 +257,15 @@ impl Replica {
         // Pipelined speculation: verify slot k+1's authenticator on the
         // parallel lane while slot k executes (enabled with batching).
         aom.set_pipelined(cfg.pipeline_verify);
+        // Lane selection: a per-replica pool in the real runtime
+        // (verify_workers > 0), the meter's parallel lane in the sim.
+        let lane = if cfg.verify_workers > 0 {
+            VerifyLane::Pool(Arc::new(VerifyPool::new(cfg.verify_workers)))
+        } else if cfg.pipeline_verify {
+            VerifyLane::SimParallel
+        } else {
+            VerifyLane::Serial
+        };
         let peers = (0..cfg.n as u32)
             .map(ReplicaId)
             .filter(|r| *r != id)
@@ -276,6 +301,9 @@ impl Replica {
             trace_saturated: false,
             exec_digests: Vec::new(),
             resolved_watermark: SlotNum(0),
+            lane,
+            verify_reorder: ReorderBuffer::new(),
+            preverified_auth: HashMap::new(),
             behavior: ReplicaBehavior::Correct,
             stats: ReplicaStats::default(),
         }
@@ -406,6 +434,9 @@ impl Replica {
     const VC_BUFFER_MAX: usize = 64;
     /// Delivery-trace entries kept before recording stops.
     const TRACE_CAP: usize = 1 << 20;
+    /// Pool-preverified client-MAC verdicts kept at once (one per
+    /// in-flight packet; neo-lint R5 growth bound).
+    const PREVERIFIED_CAP: usize = 4096;
 
     /// Record one aom delivery in the trace (bounded).
     fn record_delivery(&mut self, epoch: u64, seq: u64) {
@@ -437,6 +468,114 @@ impl Replica {
             return false;
         }
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Verify stage (DESIGN.md §16): dispatch / absorb
+    // ------------------------------------------------------------------
+
+    /// Dispatch an aom packet's authenticator check to the verify stage.
+    /// Admission (group/epoch/window/staleness) happens here, on the
+    /// dispatch path; the crypto runs wherever the lane says.
+    fn dispatch_packet_verify(&mut self, pkt: neo_aom::AomPacket, ctx: &mut dyn Context) {
+        match self.aom.submit_verify(pkt) {
+            Ok(job) => self.dispatch_verify(VerifyWork::Packet(job), ctx),
+            Err(_) => {} // admission failures are counted by the receiver
+        }
+    }
+
+    /// Dispatch a batch of confirm signatures as one verify unit: the
+    /// whole batch verifies under a single reorder ticket through
+    /// `NodeCrypto::verify_batch`.
+    fn dispatch_confirm_verify(&mut self, confirms: Vec<SignedConfirm>, ctx: &mut dyn Context) {
+        let mut jobs = Vec::with_capacity(confirms.len());
+        for sc in confirms {
+            match self.aom.submit_confirm(sc) {
+                Ok(Some(job)) => jobs.push(job),
+                Ok(None) | Err(_) => {} // trusted network / counted rejects
+            }
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        self.dispatch_verify(VerifyWork::Confirms(jobs), ctx);
+    }
+
+    /// Route one verify unit through the lane. Inline lanes run the task
+    /// synchronously and complete it immediately; the pool lane submits
+    /// and completions return through [`Node::on_async`]. Both flow
+    /// through the same reorder buffer, so ordering is identical.
+    fn dispatch_verify(&mut self, work: VerifyWork, ctx: &mut dyn Context) {
+        {
+            let m = ctx.metrics();
+            if m.enabled() {
+                m.observe("verify.batch_size", work.len() as u64);
+            }
+        }
+        let ticket = self.verify_reorder.issue();
+        let mut task = PoolVerifyTask::new(
+            work,
+            self.crypto.clone(),
+            self.id.index(),
+            self.lane.parallel(),
+            matches!(self.lane, VerifyLane::Pool(_)),
+        );
+        let pool = self.lane.pool().cloned();
+        match pool {
+            Some(pool) => {
+                pool.submit(ticket, Box::new(task));
+                let m = ctx.metrics();
+                if m.enabled() {
+                    m.set_gauge("verify.queue_depth", pool.queue_depth() as i64);
+                }
+            }
+            None => {
+                task.run();
+                self.absorb_task(ticket, task, ctx);
+            }
+        }
+    }
+
+    /// Absorb one finished verify task: stash the piggybacked
+    /// request-auth verdict, then release completed units through the
+    /// reorder buffer in strict ticket (dispatch) order and apply their
+    /// verdicts to the aom receiver. This is the in-order re-injection
+    /// invariant: a unit completes into the protocol exactly where
+    /// inline verification would have put it.
+    // neo-lint: verified(every task absorbed here already ran its authenticator checks in PoolVerifyTask::run before its verdict is applied)
+    fn absorb_task(&mut self, ticket: u64, task: PoolVerifyTask, ctx: &mut dyn Context) {
+        if let Some((digest, ok)) = task.request_auth {
+            self.cache_request_auth(digest, ok, ctx);
+        }
+        self.verify_reorder.accept(ticket, task.work, ctx.now());
+        while let Some((work, stall)) = self.verify_reorder.pop_ready(ctx.now()) {
+            {
+                let m = ctx.metrics();
+                if m.enabled() {
+                    m.observe("verify.reorder_stall_ns", stall);
+                }
+            }
+            match work {
+                VerifyWork::Packet(job) => {
+                    let _ = self.aom.complete_verify(job, &self.crypto);
+                }
+                VerifyWork::Confirms(jobs) => {
+                    for job in jobs {
+                        let _ = self.aom.complete_confirm(job);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record a pool-verified client-MAC verdict (bounded).
+    fn cache_request_auth(&mut self, digest: [u8; 32], ok: bool, ctx: &mut dyn Context) {
+        if self.preverified_auth.len() >= Self::PREVERIFIED_CAP {
+            ctx.metrics().incr("replica.bounded_rejects");
+            return;
+        }
+        // neo-lint: allow(R5, size-capped above; entries are consumed by execute_slot)
+        self.preverified_auth.insert(digest, ok);
     }
 
     fn pump_aom(&mut self, ctx: &mut dyn Context) {
@@ -639,7 +778,7 @@ impl Replica {
         // vector. The MAC covers the whole encoded envelope, so a batch
         // with even one forged op must not be executed (it would still
         // occupy the slot).
-        if !self.verify_request_auth(&signed) {
+        if !self.check_request_auth(&oc.packet.header.digest, &signed) {
             return Ok(());
         }
         let client = batch.client;
@@ -940,6 +1079,18 @@ impl Replica {
     /// computed over the encoded [`crate::messages::BatchRequest`], so
     /// one tag covers every op in the envelope — tampering with any
     /// single op invalidates the whole batch.
+    /// Client authentication with the verify stage's help: consume the
+    /// pool's pre-verified verdict when the pipeline already checked
+    /// this batch's MAC (keyed by aom header digest), falling back to an
+    /// inline check — the inline lanes and every recovery path land
+    /// here, so the authoritative check is one shared code path.
+    fn check_request_auth(&mut self, digest: &[u8; 32], signed: &SignedBatch) -> bool {
+        if let Some(ok) = self.preverified_auth.remove(digest) {
+            return ok;
+        }
+        self.verify_request_auth(signed)
+    }
+
     fn verify_request_auth(&self, signed: &SignedBatch) -> bool {
         let Some(tag) = signed.auth.get(self.id.index()) else {
             return false;
@@ -1746,11 +1897,12 @@ impl Replica {
         self.epoch_base = slot;
         self.aom.install_epoch(epoch);
         ctx.emit(Event::EpochChange { epoch: epoch.0 });
-        // Replay packets that raced ahead of the epoch switch.
+        // Replay packets that raced ahead of the epoch switch, through
+        // the verify stage like any fresh arrival.
         let buffered = self.future_epoch.remove(&epoch).unwrap_or_default();
         self.future_epoch.retain(|e, _| *e > epoch);
         for pkt in buffered {
-            let _ = self.aom.on_packet(pkt, &self.crypto);
+            self.dispatch_packet_verify(pkt, ctx);
         }
         self.vc.awaiting_epoch = None;
         // Votes at or below the installed epoch are settled: prune them
@@ -2026,16 +2178,23 @@ impl Node for Replica {
                         }
                     }
                 } else {
-                    // Feed the receiver even mid-view-change (it only
-                    // buffers); deliveries are pumped in normal status.
-                    let _ = self.aom.on_packet(pkt, &self.crypto);
+                    // Feed the verify stage even mid-view-change (the
+                    // receiver only buffers); deliveries are pumped in
+                    // normal status.
+                    self.dispatch_packet_verify(pkt, ctx);
                 }
                 if self.status == Status::Normal {
                     self.pump_aom(ctx);
                 }
             }
-            Envelope::Confirm(_) | Envelope::ConfirmBatch(_) => {
-                self.aom.on_envelope(&env, &self.crypto);
+            Envelope::Confirm(sc) => {
+                self.dispatch_confirm_verify(vec![sc], ctx);
+                if self.status == Status::Normal {
+                    self.pump_aom(ctx);
+                }
+            }
+            Envelope::ConfirmBatch(batch) => {
+                self.dispatch_confirm_verify(batch, ctx);
                 if self.status == Status::Normal {
                     self.pump_aom(ctx);
                 }
@@ -2063,6 +2222,46 @@ impl Node for Replica {
 
     fn meter(&self) -> Option<&neo_crypto::Meter> {
         Some(self.crypto.meter())
+    }
+
+    /// Collect pooled verification completions (tokio runtime only; the
+    /// simulator's lanes complete inline). Tasks re-enter the protocol
+    /// in dispatch order via the reorder buffer, then deliveries pump as
+    /// if the packets had verified inline.
+    // neo-lint: verified(absorbed tasks carry verdicts computed by PoolVerifyTask::run on the worker threads)
+    fn on_async(&mut self, ctx: &mut dyn Context) -> u64 {
+        let Some(pool) = self.lane.pool().cloned() else {
+            return 0;
+        };
+        let mut done = Vec::new();
+        pool.drain_completed(&mut done);
+        if done.is_empty() {
+            return 0;
+        }
+        let n = done.len() as u64;
+        for d in done {
+            // A panicked task still flows through: its job carries no
+            // verdict, so the receiver rejects it (and the executor
+            // notices `pool.poisoned()` and stops the node).
+            let Ok(task) = d.task.into_any().downcast::<PoolVerifyTask>() else {
+                continue;
+            };
+            self.absorb_task(d.ticket, *task, ctx);
+        }
+        {
+            let m = ctx.metrics();
+            if m.enabled() {
+                m.set_gauge("verify.queue_depth", pool.queue_depth() as i64);
+            }
+        }
+        if self.status == Status::Normal {
+            self.pump_aom(ctx);
+        }
+        n
+    }
+
+    fn verify_pool(&self) -> Option<Arc<VerifyPool>> {
+        self.lane.pool().cloned()
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -99,6 +99,24 @@ pub trait Node: Any + Send {
         None
     }
 
+    /// Collect asynchronous completions (e.g. pooled verification): the
+    /// real runtime calls this whenever the node's [`Self::verify_pool`]
+    /// signals finished work, and the node re-injects completions into
+    /// its protocol state. Returns the number of completions processed
+    /// (so the executor can count them as batch events). The simulator
+    /// never calls this — sim nodes verify inline, keeping virtual time
+    /// deterministic.
+    fn on_async(&mut self, _ctx: &mut dyn Context) -> u64 {
+        0
+    }
+
+    /// The verify pool whose completions [`Self::on_async`] collects, if
+    /// this node dispatches verification to worker threads. The executor
+    /// installs its wake hook here and watches for poisoning.
+    fn verify_pool(&self) -> Option<std::sync::Arc<neo_crypto::VerifyPool>> {
+        None
+    }
+
     /// Downcast support (the experiment harness inspects node state, e.g.
     /// to read a client's completed-operation records).
     fn as_any(&self) -> &dyn Any;

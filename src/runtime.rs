@@ -59,6 +59,12 @@ pub enum RuntimeError {
     /// The node's thread panicked before or during shutdown.
     #[error("node thread for {0} panicked")]
     NodePanicked(Addr),
+    /// A verify-pool worker panicked. The node loop stops as soon as it
+    /// notices (the pool keeps absorbing submissions inline so nothing
+    /// hangs), and the poisoning surfaces here instead of as a wedged
+    /// deployment.
+    #[error("verify pool for {0} was poisoned by a panicked worker")]
+    VerifyPoolPoisoned(Addr),
     /// The handle was already shut down.
     #[error("node {0} already shut down")]
     AlreadyJoined(Addr),
@@ -287,6 +293,7 @@ impl Deployment {
 /// [`NodeHandle::try_shutdown`].
 pub struct NodeHandle {
     stop: Arc<AtomicBool>,
+    poisoned: Arc<AtomicBool>,
     join: Option<std::thread::JoinHandle<Box<dyn Node>>>,
     metrics: Arc<Metrics>,
     /// The node's logical address.
@@ -296,14 +303,27 @@ pub struct NodeHandle {
 impl NodeHandle {
     /// Signal the node loop to stop and wait for it, returning the node
     /// (so callers can inspect final state, e.g. client completions).
+    /// A node whose verify pool was poisoned by a panicking worker joins
+    /// cleanly but surfaces [`RuntimeError::VerifyPoolPoisoned`].
     pub fn try_shutdown(mut self) -> Result<Box<dyn Node>, RuntimeError> {
         self.stop.store(true, Ordering::SeqCst);
         let join = self
             .join
             .take()
             .ok_or(RuntimeError::AlreadyJoined(self.addr))?;
-        join.join()
-            .map_err(|_| RuntimeError::NodePanicked(self.addr))
+        let node = join
+            .join()
+            .map_err(|_| RuntimeError::NodePanicked(self.addr))?;
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Err(RuntimeError::VerifyPoolPoisoned(self.addr));
+        }
+        Ok(node)
+    }
+
+    /// Whether the node's verify pool has been poisoned (readable while
+    /// the node runs — the loop stops itself shortly after this flips).
+    pub fn verify_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
     }
 
     /// The node's live metrics registry (readable while the node runs).
@@ -478,14 +498,17 @@ pub fn try_spawn_node_with_obs(
         .map_err(|source| RuntimeError::Bind { addr: me, source })?;
     let metrics = Arc::new(Metrics::new(obs));
     let stop = Arc::new(AtomicBool::new(false));
+    let poisoned = Arc::new(AtomicBool::new(false));
     let stop2 = stop.clone();
+    let poisoned2 = poisoned.clone();
     let metrics2 = metrics.clone();
     let join = std::thread::Builder::new()
         .name(format!("{me}"))
-        .spawn(move || run_node(node, me, book, sock, stop2, metrics2))
+        .spawn(move || run_node(node, me, book, sock, stop2, poisoned2, metrics2))
         .map_err(RuntimeError::Spawn)?;
     Ok(NodeHandle {
         stop,
+        poisoned,
         join: Some(join),
         metrics,
         addr: me,
@@ -538,6 +561,7 @@ fn run_node(
     book: AddressBook,
     sock: std::net::UdpSocket,
     stop: Arc<AtomicBool>,
+    poisoned: Arc<AtomicBool>,
     metrics: Arc<Metrics>,
 ) -> Box<dyn Node> {
     let rt = tokio::runtime::Builder::new_current_thread()
@@ -580,9 +604,29 @@ fn run_node(
         // Bootstrap timer, mirroring the simulator convention.
         timers.push(Reverse((0, 0, 0, neo_sim::sim::INIT_TIMER_KIND)));
 
+        // Verify stage: if the node dispatches verification to a worker
+        // pool, wire the pool's completion hook to a tokio wakeup so the
+        // idle wait breaks as soon as a verdict is ready.
+        let verify_pool = node.verify_pool();
+        let verify_wake = Arc::new(tokio::sync::Notify::new());
+        if let Some(pool) = &verify_pool {
+            let wake = verify_wake.clone();
+            pool.set_wake_hook(Arc::new(move || wake.notify_one()));
+        }
+
         loop {
             if stop.load(Ordering::SeqCst) {
                 break;
+            }
+            // A panicked verify worker poisons the pool: surface it as a
+            // typed shutdown instead of processing with a broken stage.
+            if let Some(pool) = &verify_pool {
+                if pool.poisoned() {
+                    poisoned.store(true, Ordering::SeqCst);
+                    metrics.incr("runtime.verify_poisoned");
+                    eprintln!("node {me}: verify pool poisoned by a panicked worker; stopping");
+                    break;
+                }
             }
 
             // Batch phase 1: drain every due timer and delayed send.
@@ -639,6 +683,27 @@ fn run_node(
                 }
             }
 
+            // Batch phase 3: collect asynchronous verification
+            // completions. The node's reorder buffer re-injects them in
+            // dispatch order, so this stage matches the simulator's
+            // inline ordering tie-break (verify results apply exactly
+            // where the inline call would have applied them, after the
+            // timers and packets of the batch that dispatched them).
+            if verify_pool.is_some() {
+                let collected = node.on_async(&mut ctx);
+                if collected > 0 {
+                    drain_effects(
+                        &mut ctx,
+                        &mut timers,
+                        &mut delayed,
+                        &mut cancelled,
+                        &mut out,
+                        &mut timer_seq,
+                    );
+                    events += collected;
+                }
+            }
+
             // Flush the batch's coalesced sends in one pass, preserving
             // the order events produced them.
             for (to, payload) in out.drain(..) {
@@ -681,6 +746,7 @@ fn run_node(
                 .min(Duration::from_millis(50));
             tokio::select! {
                 _ = sock.readable() => {}
+                _ = verify_wake.notified(), if verify_pool.is_some() => {}
                 _ = tokio::time::sleep(wait) => {}
             }
         }

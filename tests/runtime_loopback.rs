@@ -1,16 +1,20 @@
 //! Loopback UDP integration tests for the batched tokio runtime: a real
 //! 4-replica NeoBFT group committing requests over 127.0.0.1 sockets,
-//! plus a direct probe of the executor's event-ordering contract
-//! (timers beat delayed sends at equal deadlines, as in the simulator).
+//! a verify-stage saturation test (serial vs pooled verification must be
+//! observably identical, and worker panics must surface as typed
+//! errors), plus a direct probe of the executor's event-ordering
+//! contract (timers beat delayed sends at equal deadlines, as in the
+//! simulator).
 
 use neobft::aom::{AuthMode, ConfigService, SequencerHw, SequencerNode};
 use neobft::app::{EchoApp, EchoWorkload};
 use neobft::core::{Client, NeoConfig, Replica};
-use neobft::crypto::{CostModel, SystemKeys};
-use neobft::runtime::AddressBook;
+use neobft::crypto::{CostModel, SystemKeys, VerifyPool, VerifyTask};
+use neobft::runtime::{AddressBook, RuntimeError};
 use neobft::sim::{Context, Node, TimerId};
 use neobft::wire::{Addr, ClientId, GroupId, Payload, ReplicaId};
 use std::any::Any;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const GROUP: GroupId = GroupId(0);
@@ -104,6 +108,207 @@ fn loopback_group_commits_requests() {
     }
     seq_h.try_shutdown().expect("sequencer joins");
     config_h.try_shutdown().expect("config service joins");
+}
+
+/// One full loopback run: Byzantine-network group (so replica confirm
+/// signatures — the work the verify pool parallelizes — are on the
+/// critical path) committing `ops` closed-loop client ops, with
+/// `verify_workers` pool threads per replica (0 = serial inline).
+/// Returns the client's per-request results and every replica's
+/// execution digests.
+fn run_verify_group(
+    base_port: u16,
+    verify_workers: usize,
+    ops: usize,
+) -> (Vec<(u64, Vec<u8>)>, Vec<Vec<Option<u64>>>) {
+    let n = 4;
+    let keys = SystemKeys::new(11, n, 1);
+    let cfg = NeoConfig::new(1)
+        .with_byzantine_network()
+        .with_verify_workers(verify_workers);
+    let dep = AddressBook::builder()
+        .replicas(n)
+        .clients(1)
+        .group(GROUP)
+        .base_port(base_port)
+        .build()
+        .expect("deployment fits the port space");
+
+    let mut config = ConfigService::new();
+    config.register_group(GROUP, dep.replica_ids(), 1);
+    let config_h = dep
+        .spawn(Box::new(config), dep.config_service())
+        .expect("config service spawns");
+    let seq = SequencerNode::new(
+        GROUP,
+        dep.replica_ids(),
+        AuthMode::HmacVector,
+        SequencerHw::Software(CostModel::FREE),
+        &keys,
+    );
+    let seq_h = dep
+        .spawn(Box::new(seq), dep.sequencer())
+        .expect("sequencer spawns");
+    let replica_hs: Vec<_> = (0..n as u32)
+        .map(|r| {
+            let replica = Replica::new(
+                ReplicaId(r),
+                cfg.clone(),
+                &keys,
+                CostModel::FREE,
+                Box::new(EchoApp::new()),
+            );
+            dep.spawn(Box::new(replica), dep.replica(r as usize))
+                .expect("replica spawns")
+        })
+        .collect();
+    let mut client = Client::new(
+        ClientId(0),
+        cfg,
+        &keys,
+        CostModel::FREE,
+        Box::new(EchoWorkload::new(32, 7)),
+    );
+    client.max_ops = Some(ops as u64);
+    let client_h = dep
+        .spawn(Box::new(client), dep.client(0))
+        .expect("client spawns");
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let commits = replica_hs[0]
+            .metrics_snapshot()
+            .event(neobft::sim::obs::EventKind::Commit);
+        if commits >= ops as u64 || Instant::now() > deadline {
+            break;
+        }
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let node = client_h.try_shutdown().expect("client joins");
+    let client = node.as_any().downcast_ref::<Client>().unwrap();
+    let completed: Vec<(u64, Vec<u8>)> = client
+        .completed
+        .iter()
+        .map(|op| (op.request_id.0, op.result.clone().to_vec()))
+        .collect();
+    let mut digests = Vec::new();
+    for h in replica_hs {
+        let node = h.try_shutdown().expect("replica joins");
+        let replica = node.as_any().downcast_ref::<Replica>().unwrap();
+        digests.push(replica.exec_digests().to_vec());
+    }
+    seq_h.try_shutdown().expect("sequencer joins");
+    config_h.try_shutdown().expect("config service joins");
+    (completed, digests)
+}
+
+#[test]
+fn verify_pool_matches_serial_under_saturation() {
+    // The same closed-loop workload, three ways: serial inline
+    // verification, a 1-worker pool, a 4-worker pool. The pipeline may
+    // only change *where* verification runs — commit ordering and every
+    // (client, request) → result binding must be identical.
+    let ops = 30usize;
+    let (serial, serial_digests) = run_verify_group(47200, 0, ops);
+    let (pooled1, pooled1_digests) = run_verify_group(47230, 1, ops);
+    let (pooled4, pooled4_digests) = run_verify_group(47260, 4, ops);
+
+    assert_eq!(serial.len(), ops, "serial run commits the full budget");
+    assert_eq!(
+        serial, pooled1,
+        "1-worker pool must match serial results exactly"
+    );
+    assert_eq!(
+        serial, pooled4,
+        "4-worker pool must match serial results exactly"
+    );
+
+    // Safety within each run: every replica that executed a slot agrees
+    // on its digest (commit ordering is identical across replicas).
+    for digests in [&serial_digests, &pooled1_digests, &pooled4_digests] {
+        let r0 = &digests[0];
+        for (r, other) in digests.iter().enumerate().skip(1) {
+            for (slot, (a, b)) in r0.iter().zip(other.iter()).enumerate() {
+                if let (Some(a), Some(b)) = (a, b) {
+                    assert_eq!(a, b, "replica {r} diverges at slot {slot}");
+                }
+            }
+        }
+    }
+    // And across runs: replica 0's executed prefix is the same ordering
+    // regardless of verification mode.
+    let executed: Vec<Vec<u64>> = [&serial_digests, &pooled1_digests, &pooled4_digests]
+        .iter()
+        .map(|d| d[0].iter().flatten().copied().collect())
+        .collect();
+    assert_eq!(executed[0], executed[1], "1-worker ordering matches serial");
+    assert_eq!(executed[0], executed[2], "4-worker ordering matches serial");
+}
+
+/// A verify task that kills its worker.
+struct PanickingTask;
+impl VerifyTask for PanickingTask {
+    fn run(&mut self) {
+        panic!("injected verify-worker panic");
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// A node that submits a panicking task to its pool on INIT.
+struct PoisonNode {
+    pool: Arc<VerifyPool>,
+}
+
+impl Node for PoisonNode {
+    fn on_message(&mut self, _from: Addr, _payload: &[u8], _ctx: &mut dyn Context) {}
+    fn on_timer(&mut self, _id: TimerId, kind: u32, _ctx: &mut dyn Context) {
+        if kind == neobft::sim::sim::INIT_TIMER_KIND {
+            self.pool.submit(0, Box::new(PanickingTask));
+        }
+    }
+    fn verify_pool(&self) -> Option<Arc<VerifyPool>> {
+        Some(self.pool.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn poisoned_verify_pool_surfaces_as_typed_error() {
+    let dep = AddressBook::builder()
+        .replicas(1)
+        .clients(0)
+        .group(GROUP)
+        .base_port(47290)
+        .build()
+        .expect("deployment fits the port space");
+    let node = PoisonNode {
+        pool: Arc::new(VerifyPool::new(2)),
+    };
+    let h = dep
+        .spawn(Box::new(node), dep.replica(0))
+        .expect("node spawns");
+
+    // The worker panic must stop the node loop promptly — no hang.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !h.verify_poisoned() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(h.verify_poisoned(), "poisoning is observable on the handle");
+    let err = h
+        .try_shutdown()
+        .expect_err("shutdown reports the poisoning");
+    assert!(
+        matches!(err, RuntimeError::VerifyPoolPoisoned(addr) if addr == dep.replica(0)),
+        "typed error names the node: {err}"
+    );
 }
 
 /// On INIT, schedules payload `A` with `send_after(delay)` and a timer at
