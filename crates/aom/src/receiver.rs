@@ -871,6 +871,30 @@ impl AomReceiver {
         seq
     }
 
+    /// Advance the delivery frontier to `next` without delivering the
+    /// skipped sequence numbers. A replica that recovered slots
+    /// `1..next-1` from a checkpoint and its write-ahead log must not
+    /// see them delivered again; everything buffered below the new
+    /// frontier (including queued deliveries) is discarded. Moving the
+    /// frontier backwards is refused — that would re-open delivered
+    /// sequence numbers.
+    pub fn fast_forward(&mut self, next: SeqNum) {
+        if next <= self.next {
+            return;
+        }
+        self.next = next;
+        self.ready = self.ready.split_off(&next);
+        self.pending_chain = self.pending_chain.split_off(&next);
+        self.locked = self.locked.split_off(&next);
+        self.confirms = self.confirms.split_off(&next);
+        self.out.retain(|d| match d {
+            Delivery::Message(cert) => cert.packet.header.seq >= next,
+            Delivery::Drop(seq) => *seq >= next,
+        });
+        // Anything newly contiguous behind the frontier can now flow.
+        self.drain();
+    }
+
     /// Transferable authentication: verify an ordering certificate
     /// received from *another* replica (e.g. in a qery-reply or
     /// gap-decision, §5.4). Checks my own HMAC entry or the sequencer

@@ -35,6 +35,18 @@ impl App for EchoApp {
 
     fn compact(&mut self, _keep_last: u64) {}
 
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.executed.to_le_bytes().to_vec())
+    }
+
+    fn restore(&mut self, blob: &[u8]) -> bool {
+        let Ok(bytes) = <[u8; 8]>::try_from(blob) else {
+            return false;
+        };
+        self.executed = u64::from_le_bytes(bytes);
+        true
+    }
+
     fn as_any_ref(&self) -> &dyn std::any::Any {
         self
     }
@@ -64,5 +76,25 @@ mod tests {
     #[should_panic(expected = "nothing to undo")]
     fn undo_on_empty_panics() {
         EchoApp::new().undo();
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut app = EchoApp::new();
+        app.execute(b"a");
+        app.execute(b"b");
+        let blob = app.snapshot().unwrap();
+        let mut fresh = EchoApp::new();
+        assert!(fresh.restore(&blob));
+        assert_eq!(fresh.executed(), 2);
+        assert_eq!(fresh.snapshot().unwrap(), blob);
+    }
+
+    #[test]
+    fn malformed_snapshot_is_rejected() {
+        let mut app = EchoApp::new();
+        app.execute(b"a");
+        assert!(!app.restore(b"short"));
+        assert_eq!(app.executed(), 1, "failed restore leaves state alone");
     }
 }

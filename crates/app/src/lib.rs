@@ -49,6 +49,25 @@ pub trait App: Send {
     /// that keep unbounded undo history.
     fn compact(&mut self, keep_last: u64);
 
+    /// Serialize the complete application state for a checkpoint.
+    ///
+    /// `None` means the app does not support snapshots; replicas then
+    /// skip checkpoint certification and recover by full log replay.
+    /// Must be deterministic: equal state ⇒ byte-equal snapshot, since
+    /// checkpoint digests are compared across replicas (§B.2).
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Replace all state from a snapshot blob. Returns `false` on a
+    /// malformed blob and leaves the state untouched — blobs arrive from
+    /// disk or from peers, never panic on them. The undo history does
+    /// not survive a restore: a checkpoint only covers finalized slots,
+    /// which are never rolled back.
+    fn restore(&mut self, _blob: &[u8]) -> bool {
+        false
+    }
+
     /// Downcast support so hosts can inspect concrete application state.
     fn as_any_ref(&self) -> &dyn std::any::Any;
 }

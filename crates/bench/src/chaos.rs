@@ -13,6 +13,13 @@
 //! would mask still get caught. A PBFT control runs the same fault plan
 //! through a classical protocol, both as a harness sanity check and to
 //! confirm the plan generator produces survivable scenarios.
+//!
+//! Every correct replica runs on a durable [`MemStore`]: checkpoints are
+//! certified and WAL records flushed under chaos on every seed, and
+//! `CrashRestart` plans (every third seed) additionally remove a
+//! replica's node object mid-run — its unflushed buffer dies with it —
+//! then rebuild a fresh replica over the surviving [`MemDisk`], whose
+//! recovery handshake must rejoin it via certified state transfer.
 
 use crate::harness::{Protocol, RunConfig, GROUP};
 use neo_aom::{AuthMode, ConfigService, SequencerHw, SequencerNode};
@@ -25,6 +32,7 @@ use neo_sim::{
     ByzStrategy, ByzantineNode, CpuConfig, FaultPlan, FlightDump, NetConfig, NetStats, ObsConfig,
     SimConfig, Simulator, MICROS, MILLIS,
 };
+use neo_store::{MemDisk, MemStore};
 use neo_wire::{Addr, ClientId, ReplicaId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -39,6 +47,10 @@ pub const HORIZON: u64 = 20 * MILLIS;
 /// Invariants are checked this many times during a run (plus once after
 /// the drain).
 const SLICES: u64 = 10;
+/// Modeled fsync latency the simulator charges per store flush. Chaos
+/// replicas are durable, so the WAL's latency contribution is simulated
+/// rather than hidden behind free I/O.
+const FSYNC_MODEL_NS: u64 = 5 * MICROS;
 
 /// Which replica runs behind a Byzantine transport adapter, and how it
 /// misbehaves.
@@ -93,6 +105,15 @@ pub struct ChaosOutcome {
     pub net: NetStats,
     /// Sends the Byzantine adapter perturbed (0 without one).
     pub byz_perturbed: u64,
+    /// For each crash-restart fault, the slot the replica resumed from
+    /// after its restart. A non-zero base proves it rejoined from a
+    /// certified checkpoint instead of replaying from slot 0.
+    pub recovered_bases: Vec<u64>,
+    /// Checkpoints certified across the correct replicas — evidence the
+    /// durable pipeline (capture → 2f+1 sync votes → stable) ran.
+    pub checkpoints_certified: u64,
+    /// State-transfer replies served to recovering peers.
+    pub state_replies_served: u64,
     /// Flight-recorder dump captured at the moment the invariant checker
     /// tripped — `None` on a correct run. Self-contained: carries the
     /// seed and serialized plan in its context plus every node's recent
@@ -104,8 +125,9 @@ pub struct ChaosOutcome {
 ///
 /// The first rule's kind is pinned to `seed % 4`, so any sweep of four
 /// or more consecutive seeds provably covers all four fault kinds;
-/// odd seeds carry a Byzantine adapter. Everything else is drawn from a
-/// ChaCha8 stream seeded by `seed`.
+/// odd seeds carry a Byzantine adapter, and every third seed crashes a
+/// correct replica mid-run and restarts it over its durable disk.
+/// Everything else is drawn from a ChaCha8 stream seeded by `seed`.
 pub fn generate_plan(seed: u64) -> ChaosPlan {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6e65_6f5f_6368_616f); // "neo_chao"
     let h = HORIZON;
@@ -157,6 +179,21 @@ pub fn generate_plan(seed: u64) -> ChaosPlan {
             ))]),
         },
     });
+    // Every third seed crashes one correct replica and brings it back
+    // before the horizon: the fabric drops its packets while down, and
+    // the runner swaps the node object around the window. Drawn last so
+    // plans from earlier generator versions keep their exact streams.
+    if seed % 3 == 2 {
+        let victim = loop {
+            let v = rng.gen_range(0..N as u32);
+            if byz.as_ref().is_none_or(|b| b.replica != v) {
+                break v;
+            }
+        };
+        let crash_at = rng.gen_range(h / 5..h / 2);
+        let restart_at = rng.gen_range(crash_at + h / 10..=7 * h / 10);
+        faults = faults.crash_restart(Addr::Replica(ReplicaId(victim)), crash_at, restart_at);
+    }
     ChaosPlan {
         seed,
         horizon_ns: h,
@@ -173,6 +210,41 @@ pub fn generate_plan(seed: u64) -> ChaosPlan {
 /// plan's fault rules installed in the fabric, and at most one replica
 /// wrapped in a [`ByzantineNode`].
 pub fn build_cluster(plan: &ChaosPlan) -> Simulator {
+    build_cluster_durable(plan).0
+}
+
+/// The replica-side NeoBFT config a plan implies.
+fn replica_config(plan: &ChaosPlan) -> NeoConfig {
+    let mut cfg = NeoConfig::new(F);
+    cfg.sync_interval = plan.sync_interval;
+    if plan.batch > 1 {
+        cfg = cfg.with_batch(BatchPolicy::fixed(plan.batch));
+    }
+    cfg
+}
+
+/// A correct replica opened over `disk` — used both at cluster build
+/// time and when the crash-restart runner rebuilds a crashed replica
+/// over its surviving disk ([`SystemKeys`] generation is deterministic,
+/// so the rebuilt replica is keyed identically to its first life).
+fn durable_replica(plan: &ChaosPlan, r: u32, disk: MemDisk) -> Replica {
+    let keys = SystemKeys::new(plan.seed, N, plan.n_clients);
+    Replica::with_store(
+        ReplicaId(r),
+        replica_config(plan),
+        &keys,
+        CostModel::FREE,
+        Box::new(EchoApp::new()),
+        Box::new(MemStore::open(disk, FSYNC_MODEL_NS)),
+    )
+}
+
+/// [`build_cluster`], also returning the per-replica durable disks the
+/// crash-restart runner re-opens when it rebuilds a crashed replica.
+/// Every correct replica runs on a [`MemStore`]; the Byzantine slot (if
+/// any) is `None` — the adapter owns the node box, never restarts, and
+/// its state is allowed to be arbitrary anyway.
+pub fn build_cluster_durable(plan: &ChaosPlan) -> (Simulator, Vec<Option<MemDisk>>) {
     let keys = SystemKeys::new(plan.seed, N, plan.n_clients);
     let mut sim = Simulator::new(SimConfig {
         net: NetConfig::DATACENTER,
@@ -184,11 +256,7 @@ pub fn build_cluster(plan: &ChaosPlan) -> Simulator {
     // the bounded per-node event/packet rings become the post-mortem.
     // Must precede add_node so every node gets a recording registry.
     sim.set_obs(ObsConfig::flight_recorder());
-    let mut cfg = NeoConfig::new(F);
-    cfg.sync_interval = plan.sync_interval;
-    if plan.batch > 1 {
-        cfg = cfg.with_batch(BatchPolicy::fixed(plan.batch));
-    }
+    let cfg = replica_config(plan);
 
     let mut config = ConfigService::new();
     config.register_group(GROUP, (0..N as u32).map(ReplicaId).collect(), F);
@@ -203,19 +271,25 @@ pub fn build_cluster(plan: &ChaosPlan) -> Simulator {
     );
     sim.add_node(Addr::Sequencer(GROUP), Box::new(sequencer));
 
+    let mut disks: Vec<Option<MemDisk>> = Vec::with_capacity(N);
     for r in 0..N as u32 {
-        let replica = Replica::new(
-            ReplicaId(r),
-            cfg.clone(),
-            &keys,
-            CostModel::FREE,
-            Box::new(EchoApp::new()),
-        );
         let node: Box<dyn neo_sim::Node> = match &plan.byz {
             Some(b) if b.replica == r => {
+                disks.push(None);
+                let replica = Replica::new(
+                    ReplicaId(r),
+                    cfg.clone(),
+                    &keys,
+                    CostModel::FREE,
+                    Box::new(EchoApp::new()),
+                );
                 Box::new(ByzantineNode::new(Box::new(replica), b.strategy.clone()))
             }
-            _ => Box::new(replica),
+            _ => {
+                let disk = MemDisk::new();
+                disks.push(Some(disk.clone()));
+                Box::new(durable_replica(plan, r, disk))
+            }
         };
         sim.add_node(Addr::Replica(ReplicaId(r)), node);
     }
@@ -229,7 +303,38 @@ pub fn build_cluster(plan: &ChaosPlan) -> Simulator {
         );
         sim.add_node(Addr::Client(ClientId(c)), Box::new(client));
     }
-    sim
+    (sim, disks)
+}
+
+/// Advance the simulator to `to`, executing any crash/restart runner
+/// boundaries on the way: at a crash the node object is removed — its
+/// unflushed store buffer dies with it — and at a restart a fresh
+/// replica is rebuilt over the same disk, whose bootstrap timer kicks
+/// off the recovery handshake against the live peers.
+fn advance(
+    sim: &mut Simulator,
+    plan: &ChaosPlan,
+    disks: &[Option<MemDisk>],
+    boundaries: &[(u64, Addr, bool)],
+    next: &mut usize,
+    to: u64,
+) {
+    while *next < boundaries.len() && boundaries[*next].0 <= to {
+        let (at, addr, restart) = boundaries[*next];
+        *next += 1;
+        sim.run_until(at);
+        if !restart {
+            sim.remove_node(addr);
+            continue;
+        }
+        let Addr::Replica(ReplicaId(r)) = addr else {
+            continue;
+        };
+        if let Some(disk) = disks.get(r as usize).cloned().flatten() {
+            sim.add_node(addr, Box::new(durable_replica(plan, r, disk)));
+        }
+    }
+    sim.run_until(to);
 }
 
 /// The *correct* replicas of a run: a Byzantine-wrapped replica is
@@ -270,7 +375,16 @@ pub fn run_neo(plan: &ChaosPlan) -> ChaosOutcome {
 
 /// [`run_neo`] with interruption and live-export hooks.
 pub fn run_neo_with(plan: &ChaosPlan, hooks: &mut RunHooks) -> ChaosOutcome {
-    let mut sim = build_cluster(plan);
+    let (mut sim, disks) = build_cluster_durable(plan);
+    // The runner half of `CrashRestart` (the fabric half drops the down
+    // node's packets): `(time, addr, is_restart)` boundaries, in order.
+    let mut boundaries: Vec<(u64, Addr, bool)> = Vec::new();
+    for (addr, crash_at, restart_at) in plan.faults.crash_restarts() {
+        boundaries.push((crash_at, addr, false));
+        boundaries.push((restart_at, addr, true));
+    }
+    boundaries.sort_by_key(|b| b.0);
+    let mut next_boundary = 0usize;
     let mut checker = InvariantChecker::new();
     let mut flight: Option<FlightDump> = None;
     // Snapshot the rings at the first slice boundary where the checker
@@ -284,7 +398,7 @@ pub fn run_neo_with(plan: &ChaosPlan, hooks: &mut RunHooks) -> ChaosOutcome {
     let slice = (plan.horizon_ns / SLICES).max(1);
     let mut interrupted = false;
     for i in 1..=SLICES {
-        sim.run_until(i * slice);
+        advance(&mut sim, plan, &disks, &boundaries, &mut next_boundary, i * slice);
         if let Some(f) = hooks.inject.as_mut() {
             f(&mut sim, i);
         }
@@ -309,7 +423,14 @@ pub fn run_neo_with(plan: &ChaosPlan, hooks: &mut RunHooks) -> ChaosOutcome {
         // Drain: faults have healed; give recovery machinery (gap
         // agreement, view changes, state sync) time to settle, then
         // check once more.
-        sim.run_until(plan.horizon_ns + plan.horizon_ns / 2);
+        advance(
+            &mut sim,
+            plan,
+            &disks,
+            &boundaries,
+            &mut next_boundary,
+            plan.horizon_ns + plan.horizon_ns / 2,
+        );
         checker.check(&correct_replicas(&sim, plan));
         snap(&sim, &checker, &mut flight);
         if let Some(w) = hooks.obs_out.as_deref_mut() {
@@ -330,12 +451,31 @@ pub fn run_neo_with(plan: &ChaosPlan, hooks: &mut RunHooks) -> ChaosOutcome {
             s.mutated + s.replayed + s.suppressed
         })
         .unwrap_or(0);
+    let recovered_bases: Vec<u64> = plan
+        .faults
+        .crash_restarts()
+        .into_iter()
+        .filter_map(|(addr, ..)| sim.node_ref::<Replica>(addr))
+        .filter_map(|r| r.recovery_base())
+        .map(|s| s.0)
+        .collect();
+    let (checkpoints_certified, state_replies_served) = correct_replicas(&sim, plan)
+        .iter()
+        .fold((0, 0), |acc, r| {
+            (
+                acc.0 + r.stats.checkpoints_certified,
+                acc.1 + r.stats.state_replies_served,
+            )
+        });
     ChaosOutcome {
         plan: plan.clone(),
         violations: checker.violations().iter().map(|v| v.to_string()).collect(),
         committed,
         net: sim.stats(),
         byz_perturbed,
+        recovered_bases,
+        checkpoints_certified,
+        state_replies_served,
         flight,
     }
 }
@@ -451,9 +591,14 @@ pub fn violation_report(outcome: &ChaosOutcome) -> String {
 
 /// One-line summary for sweep output.
 pub fn summary_line(outcome: &ChaosOutcome) -> String {
+    let recovered = if outcome.recovered_bases.is_empty() {
+        String::new()
+    } else {
+        format!("  recovered@{:?}", outcome.recovered_bases)
+    };
     format!(
         "seed {:>4}  batch {:>2}  committed {:>4}  dup {:>3}  tampered {:>3}  spiked {:>3}  \
-         dropped {:>4}  byz {:>3}  {}",
+         dropped {:>4}  byz {:>3}  ckpt {:>3}{recovered}  {}",
         outcome.plan.seed,
         outcome.plan.batch,
         outcome.committed,
@@ -462,6 +607,7 @@ pub fn summary_line(outcome: &ChaosOutcome) -> String {
         outcome.net.delay_spiked,
         outcome.net.dropped(),
         outcome.byz_perturbed,
+        outcome.checkpoints_certified,
         if outcome.violations.is_empty() {
             "ok"
         } else {
@@ -603,5 +749,63 @@ mod tests {
         assert!(generate_plan(1).byz.is_some());
         assert!(generate_plan(2).byz.is_none());
         assert!(generate_plan(3).byz.is_some());
+    }
+
+    #[test]
+    fn every_third_seed_crashes_and_restarts_a_correct_replica() {
+        for seed in 0..12u64 {
+            let plan = generate_plan(seed);
+            let crashes = plan.faults.crash_restarts();
+            if seed % 3 != 2 {
+                assert!(crashes.is_empty(), "seed {seed} must not crash");
+                continue;
+            }
+            assert_eq!(crashes.len(), 1, "seed {seed} carries one crash");
+            let (addr, crash_at, restart_at) = crashes[0];
+            // The victim is a correct replica: the Byzantine slot never
+            // gets a disk, so it could not come back.
+            if let Some(b) = &plan.byz {
+                assert_ne!(addr, Addr::Replica(ReplicaId(b.replica)));
+            }
+            // The window heals with horizon to spare for recovery.
+            assert!(crash_at >= HORIZON / 5 && crash_at < HORIZON / 2);
+            assert!(restart_at > crash_at && restart_at <= 7 * HORIZON / 10);
+        }
+    }
+
+    #[test]
+    fn crash_restart_scenarios_recover_from_certified_checkpoints() {
+        // Seed 2: a crash-restart plan over a durable cluster. The run
+        // must stay safe, the crashed replica must rejoin through the
+        // recovery handshake, and the evidence must be externally
+        // visible: a non-zero recovery base (certified checkpoint, not
+        // slot-0 replay), checkpoints certified, state replies served.
+        let plan = generate_plan(2);
+        let outcome = run_neo(&plan);
+        assert!(
+            outcome.violations.is_empty(),
+            "{}",
+            violation_report(&outcome)
+        );
+        assert!(outcome.committed > 0, "clients must make progress");
+        assert_eq!(outcome.recovered_bases.len(), 1, "one restart, one base");
+        assert!(
+            outcome.recovered_bases[0] > 0,
+            "restart must resume from a certified checkpoint, not slot 0"
+        );
+        assert!(outcome.checkpoints_certified > 0);
+        assert!(outcome.state_replies_served > 0);
+        let line = summary_line(&outcome);
+        assert!(line.contains("recovered@"), "summary reports recovery: {line}");
+    }
+
+    #[test]
+    fn durable_seeds_without_crashes_still_certify_checkpoints() {
+        // Every chaos replica is durable, so even crash-free seeds
+        // exercise the capture → certify pipeline under faults.
+        let outcome = run_neo(&generate_plan(0));
+        assert!(outcome.violations.is_empty());
+        assert!(outcome.checkpoints_certified > 0);
+        assert!(outcome.recovered_bases.is_empty(), "seed 0 never crashes");
     }
 }

@@ -1,16 +1,19 @@
 //! Pass 2: dataflow rules over the item model + call graph.
 //!
 //! R6 verify-before-mutate — in a handler (`on_*`/`handle_*`/
-//!    `receive*`) or a private helper it calls, a write to replicated
-//!    state must be dominated, in statement order, by a call into the
-//!    verify vocabulary (`verify_*`, `check_*auth*`, or the aom
-//!    receiver's ingestion methods). Guard idioms
+//!    `receive*`), a storage routine (`replay_*`/`install_*` — replay
+//!    and state-transfer code ingests bytes from disk or a peer and is
+//!    held to the same bar), or a private helper either calls, a write
+//!    to replicated state must be dominated, in statement order, by a
+//!    call into the verify vocabulary (`verify_*`, `check_*auth*`, or
+//!    the aom receiver's ingestion methods). Guard idioms
 //!    (`if !verify { return }`, `verify()?`, let-else) are recognized
 //!    because the verify call precedes the mutation in statement
 //!    order. The replicated universe is the R4/R5 field universe
 //!    (attacker-keyed map fields) plus `// neo-lint: replicated`
 //!    markers; `// neo-lint: verified(..)` on a `fn` declares its
-//!    inputs pre-authenticated.
+//!    inputs pre-authenticated (e.g. WAL replay of the replica's own
+//!    checksummed records).
 //! R7 verify-charges-meter — a raw verification primitive
 //!    (`verify_vector_entry`, or `.verify(..)` not routed through the
 //!    self-charging `NodeCrypto` façade) must be preceded by a meter
@@ -67,6 +70,15 @@ const CHARGE_CALLS: &[&str] = &[
 /// façade) stays in scope — its raw calls must charge, and do.
 fn below_meter(path: &str) -> bool {
     path.starts_with("crates/crypto/src/") && !path.ends_with("provider.rs")
+}
+
+/// Storage-vocabulary entry points: replay and state-transfer routines
+/// (`replay_*`, `install_*`) apply bytes that arrived from disk or a
+/// peer, so R6 analyzes them standalone exactly like message handlers —
+/// they must verify (or carry a `verified(..)` marker explaining why
+/// their input is pre-authenticated) before mutating replicated state.
+fn is_storage_entry(name: &str) -> bool {
+    name.starts_with("replay_") || name.starts_with("install_")
 }
 
 /// A call into the verify vocabulary?
@@ -184,16 +196,21 @@ fn rule_r6(
             continue;
         }
         for (gi, f) in file.functions.iter().enumerate() {
-            if f.is_test || !f.is_entry() || f.verified_input {
+            if f.is_test || !(f.is_entry() || is_storage_entry(&f.name)) || f.verified_input {
                 continue;
             }
+            let noun = if f.is_entry() {
+                "handler"
+            } else {
+                "storage routine"
+            };
             // Direct writes in the handler body.
             for (field, line) in unguarded_writes(f, universe, false) {
                 out[fi].insert((
                     line,
                     "R6",
                     format!(
-                        "replicated `{field}` is mutated in handler `{}` before any \
+                        "replicated `{field}` is mutated in {noun} `{}` before any \
                          verify_*/check-auth call — NeoBFT's verify-then-apply boundary \
                          requires authentication first",
                         f.name
@@ -210,7 +227,7 @@ fn rule_r6(
                     continue;
                 }
                 let callee = &files[fi].functions[edge.callee.func];
-                if callee.is_test || callee.is_entry() {
+                if callee.is_test || callee.is_entry() || is_storage_entry(&callee.name) {
                     continue; // entries are analyzed standalone
                 }
                 let guarded = verify_at.map(|v| v < edge.event_idx).unwrap_or(false);
@@ -219,7 +236,7 @@ fn rule_r6(
                         edge.line,
                         "R6",
                         format!(
-                            "handler `{}` calls `{}` (which mutates replicated `{field}` at \
+                            "{noun} `{}` calls `{}` (which mutates replicated `{field}` at \
                              line {wline}) without a prior verify_*/check-auth call in either",
                             f.name, callee.name
                         ),
@@ -447,6 +464,38 @@ mod tests {
                    self.table.insert(k, 0);\n\
                    } }";
         assert!(findings(&[("aom.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn r6_storage_routines_must_verify_first() {
+        // `install_*` applies peer-served bytes: same bar as a handler.
+        let bad = "struct R { client_table: BTreeMap<ClientId, u64> }\n\
+                   impl R {\n\
+                   fn install_checkpoint(&mut self, cp: Cp) {\n\
+                   self.client_table.insert(cp.c, 0);\n\
+                   } }";
+        let f = findings(&[("st.rs", bad)]);
+        assert_eq!(f.iter().filter(|x| x.2 == "R6").count(), 1);
+        assert!(f[0].3.contains("storage routine"));
+        let good = "struct R { client_table: BTreeMap<ClientId, u64> }\n\
+                    impl R {\n\
+                    fn install_checkpoint(&mut self, cp: Cp) {\n\
+                    if !self.verify_checkpoint(&cp) { return; }\n\
+                    self.client_table.insert(cp.c, 0);\n\
+                    } }";
+        assert!(findings(&[("ok.rs", good)]).is_empty());
+    }
+
+    #[test]
+    fn r6_verified_marker_covers_own_wal_replay() {
+        // Replaying the replica's own checksummed WAL carries a marker
+        // instead of a verify call — the input never crossed trust.
+        let src = "struct R { slots: BTreeMap<SlotNum, u64> }\n\
+                   impl R {\n\
+                   // neo-lint: verified(own WAL, checksummed by neo-store framing)\n\
+                   fn replay_wal_records(&mut self, s: SlotNum) { self.slots.insert(s, 0); }\n\
+                   }";
+        assert!(findings(&[("wal.rs", src)]).is_empty());
     }
 
     #[test]

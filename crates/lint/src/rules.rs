@@ -18,7 +18,9 @@
 //!    `Context`.
 //! R4 no-float-in-replicated-state — f32/f64 struct fields.
 //! R5 no-unbounded-collection-growth — inserting into a map keyed by
-//!    attacker-controlled data inside a handler with no bound.
+//!    attacker-controlled data inside a handler — or a storage routine
+//!    (`replay_*`/`install_*`: replayed logs and state-transfer
+//!    payloads size recovery buffers) — with no bound.
 //!
 //! All rules honor `#[cfg(test)]`/`#[test]` regions (skipped) and
 //! inline `// neo-lint: allow(rule, reason)` waivers, which suppress
@@ -109,11 +111,13 @@ pub fn analyze_workspace(files: &[(String, String)]) -> Vec<Finding> {
 
         let mut out: BTreeSet<(u32, &'static str, String)> = BTreeSet::new();
         let fields = collect_fields(toks, &is_test, &is_attr, &mut out);
-        let handlers = handler_regions(toks, &is_test);
+        let handlers = fn_regions(toks, &is_test, is_handler_name);
+        let storage = fn_regions(toks, &is_test, is_storage_name);
         rule_r1(toks, &is_test, &is_attr, &fields, &mut out);
         rule_r2(toks, &is_attr, &handlers, &mut out);
         rule_r3(toks, &is_test, &mut out);
-        rule_r5(toks, &is_attr, &handlers, &fields, &mut out);
+        rule_r5(toks, &is_attr, &handlers, &fields, "handler", &mut out);
+        rule_r5(toks, &is_attr, &storage, &fields, "storage routine", &mut out);
         raw.push(out);
 
         models.push(crate::parser::parse_file(rel, &lexed, &is_test));
@@ -507,9 +511,14 @@ fn extract_key_type(ty: &[Tok], is_map: bool) -> String {
     parts.join(" ")
 }
 
-/// Find the token ranges of message-handler function bodies
-/// (`fn on_*`, `fn handle_*`, `fn receive*`).
-fn handler_regions(toks: &[Tok], is_test: &[bool]) -> Vec<(usize, usize, String)> {
+/// Find the token ranges of function bodies whose name satisfies
+/// `pred` — message handlers (`fn on_*`, `fn handle_*`, `fn receive*`)
+/// or storage routines (`fn replay_*`, `fn install_*`).
+fn fn_regions(
+    toks: &[Tok],
+    is_test: &[bool],
+    pred: fn(&str) -> bool,
+) -> Vec<(usize, usize, String)> {
     let mut regions = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
@@ -520,7 +529,7 @@ fn handler_regions(toks: &[Tok], is_test: &[bool]) -> Vec<(usize, usize, String)
         let Some(name_tok) = toks.get(i + 1) else {
             break;
         };
-        if name_tok.kind != TokKind::Ident || !is_handler_name(&name_tok.text) {
+        if name_tok.kind != TokKind::Ident || !pred(&name_tok.text) {
             i += 2;
             continue;
         }
@@ -546,6 +555,14 @@ fn handler_regions(toks: &[Tok], is_test: &[bool]) -> Vec<(usize, usize, String)
 
 fn is_handler_name(name: &str) -> bool {
     name.starts_with("on_") || name.starts_with("handle_") || name.starts_with("receive")
+}
+
+/// Storage routines: replay and state-transfer code paths whose input
+/// (a replayed log, a peer-served snapshot) sizes recovery buffers, so
+/// R5's growth-bound discipline applies there too (mirrors the R6
+/// storage-entry vocabulary in [`crate::dataflow`]).
+fn is_storage_name(name: &str) -> bool {
+    name.starts_with("replay_") || name.starts_with("install_")
 }
 
 /// Skip a balanced `open ... close` region starting at the `open`
@@ -771,15 +788,17 @@ fn rule_r3(toks: &[Tok], is_test: &[bool], out: &mut BTreeSet<(u32, &'static str
     }
 }
 
-/// R5: growth of attacker-keyed maps inside handlers.
+/// R5: growth of attacker-keyed maps inside handlers and storage
+/// routines; `noun` names the region kind in the finding message.
 fn rule_r5(
     toks: &[Tok],
     is_attr: &[bool],
-    handlers: &[(usize, usize, String)],
+    regions: &[(usize, usize, String)],
     fields: &[MapField],
+    noun: &str,
     out: &mut BTreeSet<(u32, &'static str, String)>,
 ) {
-    for (start, end, fname) in handlers {
+    for (start, end, fname) in regions {
         for k in *start..(*end).min(toks.len()) {
             if is_attr[k] {
                 continue;
@@ -817,7 +836,7 @@ fn rule_r5(
                 t.line,
                 "R5",
                 format!(
-                    "`{}.{}()` in handler `{}` grows a map keyed by attacker-influenced \
+                    "`{}.{}()` in {noun} `{}` grows a map keyed by attacker-influenced \
                      `{}` without a bound; cap, window, or evict",
                     t.text,
                     toks[k + 2].text,
@@ -891,6 +910,21 @@ mod tests {
         let r5: Vec<_> = f.iter().filter(|f| f.rule == "R5").collect();
         assert_eq!(r5.len(), 1);
         assert!(r5[0].message.contains("table"));
+    }
+
+    #[test]
+    fn r5_storage_routines_are_in_scope() {
+        // Replay/state-transfer input sizes recovery buffers — same
+        // growth-bound bar as a handler. Other private helpers stay out
+        // of scope.
+        let src = "struct S { idx: BTreeMap<SlotNum, u64> }\n\
+                   impl S { fn replay_suffix(&mut self, s: SlotNum) { self.idx.insert(s, 0); }\n\
+                   fn rebuild(&mut self, s: SlotNum) { self.idx.insert(s, 0); } }";
+        let f = lint(src);
+        let r5: Vec<_> = f.iter().filter(|f| f.rule == "R5").collect();
+        assert_eq!(r5.len(), 1);
+        assert!(r5[0].message.contains("replay_suffix"));
+        assert!(r5[0].message.contains("storage routine"));
     }
 
     #[test]

@@ -1,0 +1,52 @@
+// Fixture for the R5/R6 storage vocabulary: replay and state-transfer
+// routines (`replay_*` / `install_*`) ingest bytes from disk or a peer
+// and are held to the same verify-before-mutate and bounded-growth bar
+// as message handlers. Expected: exactly 2 R6 and 2 R5 findings —
+//   R6 (1) `install_checkpoint` writes `client_table` with no verify,
+//   R6 (2) `replay_suffix` writes `slot_index` before `verify_entry_cert`,
+//   R5 (1) the same `client_table` insert grows a ClientId-keyed map,
+//   R5 (2) the same `slot_index` insert grows a SlotNum-keyed map.
+// The twins — certificate-checked install with a waived bounded rebuild,
+// and marker-verified replay of the replica's own WAL — are clean. This
+// file is lint input, never compiled.
+use std::collections::BTreeMap;
+
+struct Replica {
+    client_table: BTreeMap<ClientId, u64>,
+    slot_index: BTreeMap<SlotNum, Digest>,
+}
+
+impl Replica {
+    // BAD: installs a peer-served snapshot without checking its
+    // certificate first.
+    fn install_checkpoint(&mut self, cp: Checkpoint) {
+        self.client_table.insert(cp.client, 0);
+    }
+
+    // GOOD twin: the 2f+1 certificate check dominates the write, and
+    // the rebuild is bounded by the certified cluster state.
+    fn install_checkpoint_checked(&mut self, cp: Checkpoint) {
+        if !self.verify_checkpoint_cert(&cp) {
+            return;
+        }
+        // neo-lint: allow(R5, rebuilt from a 2f+1-certified checkpoint — bounded by certified cluster state)
+        self.client_table.insert(cp.client, 0);
+    }
+
+    // BAD: applies a peer-served log suffix entry before its
+    // certificate check.
+    fn replay_suffix(&mut self, e: Entry) {
+        self.slot_index.insert(e.slot, e.digest);
+        if !self.verify_entry_cert(&e) {
+            return;
+        }
+    }
+
+    // GOOD twin: the replica's own checksummed WAL never crossed a
+    // trust boundary, so a marker (with its why) replaces the verify.
+    // neo-lint: verified(records come from this replica's own WAL — written by itself pre-crash, checksummed by neo-store framing)
+    fn replay_wal(&mut self, e: Entry) {
+        // neo-lint: allow(R5, replay is bounded by the on-disk log the replica wrote itself)
+        self.slot_index.insert(e.slot, e.digest);
+    }
+}

@@ -86,6 +86,33 @@ fn r6_fixture_has_exact_findings() {
 }
 
 #[test]
+fn storage_recovery_fixture_has_exact_findings() {
+    let f = fixture("storage_recovery.rs");
+    assert_eq!(count(&f, "R6"), 2, "findings: {f:#?}");
+    assert_eq!(count(&f, "R5"), 2, "findings: {f:#?}");
+    assert_eq!(f.len(), 4, "no other rules should fire: {f:#?}");
+    // Both bad storage routines are flagged under both rules and named
+    // as storage routines, not handlers.
+    for flagged in ["install_checkpoint", "replay_suffix"] {
+        for rule in ["R5", "R6"] {
+            assert!(
+                f.iter()
+                    .any(|x| x.rule == rule && x.message.contains(flagged)),
+                "expected {rule} in {flagged}: {f:#?}"
+            );
+        }
+    }
+    assert!(f.iter().all(|x| x.message.contains("storage routine")));
+    // The verify-first twin and the marker-verified WAL replay are clean.
+    for clean in ["install_checkpoint_checked", "replay_wal"] {
+        assert!(
+            f.iter().all(|x| !x.message.contains(clean)),
+            "{clean} must be clean: {f:#?}"
+        );
+    }
+}
+
+#[test]
 fn r7_fixture_has_exact_findings() {
     let f = fixture("r7_meter.rs");
     assert_eq!(count(&f, "R7"), 2, "findings: {f:#?}");

@@ -6,7 +6,8 @@
 //! state is still a valid state — but Byzantine replicas must not be:
 //! their state is allowed to be arbitrary.
 //!
-//! Four invariants, from the paper's correctness argument (§5, §B):
+//! Five invariants, from the paper's correctness argument (§5, §B) plus
+//! the recovery design (DESIGN.md §17):
 //!
 //! 1. **Committed-prefix agreement** — any two replicas agree on the log
 //!    prefix both have finalized (compared by the hash-chained log hash,
@@ -17,6 +18,10 @@
 //!    finalized slot produced the same `(client, request, result)`.
 //! 4. **Sync ≤ commit** — no replica's sync point (§B.2) runs ahead of
 //!    everything the cluster has actually resolved.
+//! 5. **Recovered-prefix agreement** — a replica that rejoined from a
+//!    certified checkpoint carries its chain anchor at `base - 1`; every
+//!    peer whose finalized prefix covers that slot must hold the same
+//!    hash there.
 //!
 //! Plus a per-replica sanity check: no slot executes twice without an
 //! intervening rollback (`double_executions == 0`).
@@ -89,6 +94,20 @@ pub enum Violation {
         /// How many times it happened.
         count: u64,
     },
+    /// A restarted replica's certified recovery anchor disagrees with a
+    /// peer's finalized log at the same slot.
+    RecoveredPrefixMismatch {
+        /// The recovered replica.
+        replica: u32,
+        /// The peer it disagrees with.
+        peer: u32,
+        /// The recovered replica's log base (its checkpoint slot).
+        base: u64,
+        /// The recovered replica's certified anchor hash at `base - 1`.
+        hash_replica: Digest,
+        /// The peer's chained log hash at `base - 1`.
+        hash_peer: Digest,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -142,6 +161,18 @@ impl fmt::Display for Violation {
                 "double execution: replica {replica} executed {count} \
                  slot(s) twice without an intervening rollback"
             ),
+            Violation::RecoveredPrefixMismatch {
+                replica,
+                peer,
+                base,
+                hash_replica,
+                hash_peer,
+            } => write!(
+                f,
+                "recovered prefix mismatch: replica {replica} rejoined at \
+                 base {base} with certified anchor {hash_replica}, but peer \
+                 {peer}'s finalized log hash there is {hash_peer}"
+            ),
         }
     }
 }
@@ -192,6 +223,7 @@ pub fn check_replicas(replicas: &[&Replica]) -> Vec<Violation> {
     check_execution_agreement(replicas, &mut out);
     check_sync_vs_commit(replicas, &mut out);
     check_double_execution(replicas, &mut out);
+    check_recovered_prefix(replicas, &mut out);
     out
 }
 
@@ -309,6 +341,42 @@ fn check_sync_vs_commit(replicas: &[&Replica], out: &mut Vec<Violation>) {
     }
 }
 
+/// `recovered-prefix-matches`: a non-zero log base proves the replica
+/// rejoined from a certified checkpoint, whose chain anchor sits at
+/// `base - 1`. Any peer that has *finalized* through that slot must hold
+/// the identical hash — a mismatch means state transfer installed a
+/// prefix the cluster never finalized. (Chained hashes make the single
+/// anchor comparison cover every compacted slot below it.)
+fn check_recovered_prefix(replicas: &[&Replica], out: &mut Vec<Violation>) {
+    for ra in replicas {
+        let base = ra.log().base();
+        if base.0 == 0 {
+            continue; // never recovered, or an empty-disk restart
+        }
+        let anchor = SlotNum(base.0 - 1);
+        let Some(ha) = ra.log().hash_at(anchor) else {
+            continue;
+        };
+        for rb in replicas {
+            if rb.id() == ra.id() || finalized_prefix(rb) < base {
+                continue;
+            }
+            let Some(hb) = rb.log().hash_at(anchor) else {
+                continue;
+            };
+            if ha != hb {
+                out.push(Violation::RecoveredPrefixMismatch {
+                    replica: ra.id().0,
+                    peer: rb.id().0,
+                    base: base.0,
+                    hash_replica: ha,
+                    hash_peer: hb,
+                });
+            }
+        }
+    }
+}
+
 fn check_double_execution(replicas: &[&Replica], out: &mut Vec<Violation>) {
     for r in replicas {
         if r.stats.double_executions > 0 {
@@ -345,6 +413,47 @@ mod tests {
         let rs: Vec<Replica> = (0..4).map(replica).collect();
         let views: Vec<&Replica> = rs.iter().collect();
         assert!(check_replicas(&views).is_empty());
+    }
+
+    #[test]
+    fn recovered_prefix_anchor_must_match_peers() {
+        use crate::log::Log;
+        use neo_crypto::sha256;
+        // Two replicas rejoined at base 4 from the same certified
+        // anchor: every check is silent.
+        let mut a = replica(0);
+        let mut b = replica(1);
+        a.set_log_for_tests(Log::with_base(SlotNum(4), sha256(b"anchor")));
+        b.set_log_for_tests(Log::with_base(SlotNum(4), sha256(b"anchor")));
+        assert!(check_replicas(&[&a, &b]).is_empty());
+
+        // A third replica claims the same base with a different anchor:
+        // the recovered-prefix check names it and the disagreeing peer.
+        let mut c = replica(2);
+        c.set_log_for_tests(Log::with_base(SlotNum(4), sha256(b"forged")));
+        let found = check_replicas(&[&a, &b, &c]);
+        assert!(
+            found.iter().any(|v| matches!(
+                v,
+                Violation::RecoveredPrefixMismatch {
+                    replica: 2,
+                    base: 4,
+                    ..
+                }
+            )),
+            "expected a recovered-prefix mismatch for replica 2: {found:?}"
+        );
+        let msg = found
+            .iter()
+            .find(|v| matches!(v, Violation::RecoveredPrefixMismatch { .. }))
+            .map(ToString::to_string)
+            .unwrap_or_default();
+        assert!(msg.contains("recovered prefix mismatch"));
+
+        // A fresh (base-0) replica that has finalized nothing is never
+        // compared against — no false positives on genesis starts.
+        let d = replica(3);
+        assert!(check_replicas(&[&a, &d]).is_empty());
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod error;
 pub mod invariants;
 pub mod log;
 pub mod messages;
+pub mod recovery;
 pub mod replica;
 pub mod verify;
 
@@ -59,5 +60,6 @@ pub use error::ProtocolError;
 pub use invariants::{InvariantChecker, Violation};
 pub use log::{Log, LogEntry};
 pub use messages::{BatchRequest, GapCert, NeoMsg, Reply, SignedBatch};
-pub use replica::Replica;
+pub use recovery::{CheckpointData, WalRecord, WireCheckpoint};
+pub use replica::{RecoveryPhase, Replica};
 pub use verify::{PoolVerifyTask, VerifyLane, VerifyWork};

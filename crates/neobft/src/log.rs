@@ -55,12 +55,25 @@ enum Slot {
 }
 
 /// The log.
+///
+/// A log may start at a non-zero **base**: slots below the base were
+/// finalized by a certified checkpoint and compacted away; the chain
+/// hash at `base - 1` is retained so the hash chain (and therefore
+/// prefix comparison) stays seamless across the compaction point. Slot
+/// numbers everywhere in the API remain absolute.
 #[derive(Clone, Debug, Default)]
 pub struct Log {
+    /// First slot actually held; everything below came from a certified
+    /// checkpoint. Zero for logs that grew from genesis.
+    base: u64,
+    /// Chain hash at `base - 1` (meaningless when `base == 0`): the seed
+    /// the chain continues from.
+    base_hash: Digest,
     slots: Vec<Slot>,
-    /// Chain watermark: hashes are valid for slots `< chained`; every
-    /// slot below it is filled. Entries appended past a pending slot get
-    /// their hash once the gap resolves.
+    /// Chain watermark, *relative to `base`*: hashes are valid for
+    /// relative slots `< chained`; every slot below it is filled.
+    /// Entries appended past a pending slot get their hash once the gap
+    /// resolves.
     chained: usize,
     /// Start slot of each epoch (epoch 0 starts at 0 implicitly).
     epoch_starts: Vec<(EpochNum, SlotNum)>,
@@ -72,31 +85,60 @@ impl Log {
         Self::default()
     }
 
-    /// Number of slots (filled or pending).
-    pub fn len(&self) -> SlotNum {
-        SlotNum(self.slots.len() as u64)
+    /// A log resuming from a certified checkpoint: slots `< base` are
+    /// gone, the chain continues from `base_hash` (the log hash at slot
+    /// `base - 1`, as certified by the checkpoint).
+    pub fn with_base(base: SlotNum, base_hash: Digest) -> Self {
+        Log {
+            base: base.0,
+            base_hash,
+            ..Log::default()
+        }
     }
 
-    /// True if no slots exist.
+    /// First slot this log actually holds (0 unless restored from a
+    /// checkpoint).
+    pub fn base(&self) -> SlotNum {
+        SlotNum(self.base)
+    }
+
+    /// Relative index of an absolute slot, if it is at or above the base.
+    fn rel(&self, slot: SlotNum) -> Option<usize> {
+        slot.0.checked_sub(self.base).map(|r| r as usize)
+    }
+
+    /// Number of slots (filled or pending), counting the compacted
+    /// prefix below the base.
+    pub fn len(&self) -> SlotNum {
+        SlotNum(self.base + self.slots.len() as u64)
+    }
+
+    /// True if no slots exist (including none below the base).
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.base == 0 && self.slots.is_empty()
     }
 
     /// The log hash after `slot` (the value carried in replies). Only
-    /// available once every earlier slot is resolved.
+    /// available once every earlier slot is resolved. For a based log
+    /// the hash at `base - 1` is the checkpoint's certified chain hash;
+    /// anything below that is compacted away.
     pub fn hash_at(&self, slot: SlotNum) -> Option<Digest> {
-        if slot.index() >= self.chained {
+        if self.base > 0 && slot.0 == self.base - 1 {
+            return Some(self.base_hash);
+        }
+        let rel = self.rel(slot)?;
+        if rel >= self.chained {
             return None;
         }
-        match self.slots.get(slot.index()) {
+        match self.slots.get(rel) {
             Some(Slot::Filled(_, h)) => Some(*h),
             _ => None,
         }
     }
 
-    /// The entry at `slot`, if resolved.
+    /// The entry at `slot`, if resolved and not compacted.
     pub fn entry(&self, slot: SlotNum) -> Option<&LogEntry> {
-        match self.slots.get(slot.index()) {
+        match self.rel(slot).and_then(|r| self.slots.get(r)) {
             Some(Slot::Filled(e, _)) => Some(e),
             _ => None,
         }
@@ -104,7 +146,10 @@ impl Log {
 
     /// True if `slot` exists but is awaiting gap agreement.
     pub fn is_pending(&self, slot: SlotNum) -> bool {
-        matches!(self.slots.get(slot.index()), Some(Slot::Pending))
+        matches!(
+            self.rel(slot).and_then(|r| self.slots.get(r)),
+            Some(Slot::Pending)
+        )
     }
 
     /// Append a request certificate at the tail.
@@ -126,15 +171,18 @@ impl Log {
     /// Resolve a slot (pending, overwrite, or tail + 1) with an entry and
     /// recompute the hash chain as far as it now reaches.
     pub fn fill(&mut self, slot: SlotNum, entry: LogEntry) -> Result<(), FillError> {
-        if slot.index() > self.slots.len() {
+        let Some(rel) = self.rel(slot) else {
+            return Err(FillError::Compacted);
+        };
+        if rel > self.slots.len() {
             return Err(FillError::BeyondTail);
         }
-        if slot.index() == self.slots.len() {
+        if rel == self.slots.len() {
             self.slots.push(Slot::Pending);
         }
-        self.slots[slot.index()] = Slot::Filled(entry, Digest::ZERO);
+        self.slots[rel] = Slot::Filled(entry, Digest::ZERO);
         // An overwrite below the watermark invalidates the chain suffix.
-        self.chained = self.chained.min(slot.index());
+        self.chained = self.chained.min(rel);
         self.advance_chain();
         Ok(())
     }
@@ -142,7 +190,9 @@ impl Log {
     /// Extend the chain watermark over every consecutively filled slot.
     fn advance_chain(&mut self) {
         let mut h = if self.chained == 0 {
-            Digest::ZERO
+            // Genesis seed, or the checkpoint's certified chain hash for
+            // a based log (Digest::ZERO there too when base == 0).
+            self.base_hash
         } else {
             match &self.slots[self.chained - 1] {
                 Slot::Filled(_, h) => *h,
@@ -163,7 +213,8 @@ impl Log {
 
     /// Attach a gap certificate to a no-op slot.
     pub fn attach_gap_cert(&mut self, slot: SlotNum, cert: GapCert) {
-        if let Some(Slot::Filled(LogEntry::NoOp(c), _)) = self.slots.get_mut(slot.index()) {
+        let Some(rel) = self.rel(slot) else { return };
+        if let Some(Slot::Filled(LogEntry::NoOp(c), _)) = self.slots.get_mut(rel) {
             *c = Some(cert);
         }
     }
@@ -192,19 +243,20 @@ impl Log {
         &self.epoch_starts
     }
 
-    /// First unresolved (pending) slot, if any.
+    /// First unresolved (pending) slot, if any (absolute).
     pub fn first_pending(&self) -> Option<SlotNum> {
         self.slots
             .iter()
             .position(|s| matches!(s, Slot::Pending))
-            .map(|i| SlotNum(i as u64))
+            .map(|i| SlotNum(self.base + i as u64))
     }
 
-    /// Wire form of the whole log for view changes.
+    /// Wire form of the held log for view changes, starting at the base
+    /// (see `ViewChangeBody::log_base`).
     pub fn to_wire(&self) -> Vec<WireLogEntry> {
-        // Wire logs are positional (index = slot), so the log is truncated
-        // at the first pending slot: everything after it would otherwise
-        // shift positions.
+        // Wire logs are positional (index = log_base + i), so the log is
+        // truncated at the first pending slot: everything after it would
+        // otherwise shift positions.
         self.slots
             .iter()
             .map_while(|s| match s {
@@ -214,18 +266,42 @@ impl Log {
             .collect()
     }
 
+    /// Up to `max` consecutive resolved entries starting at `from`, for
+    /// state-transfer replies. Returns the (possibly clamped) start slot
+    /// and the entries; stops at the first pending slot. The start is
+    /// clamped up to the base — anything below it must come from the
+    /// checkpoint instead.
+    pub fn wire_range(&self, from: SlotNum, max: usize) -> (SlotNum, Vec<WireLogEntry>) {
+        let start = from.0.max(self.base);
+        let rel = (start - self.base) as usize;
+        let entries = self
+            .slots
+            .iter()
+            .skip(rel)
+            .take(max)
+            .map_while(|s| match s {
+                Slot::Filled(e, _) => Some(e.to_wire()),
+                Slot::Pending => None,
+            })
+            .collect();
+        (SlotNum(start), entries)
+    }
+
     /// Length of the resolved prefix (slots filled with no pending gap
-    /// before them). O(1): this is exactly the hash-chain watermark.
+    /// before them), counting the checkpointed prefix below the base.
+    /// O(1): this is exactly the hash-chain watermark.
     pub fn resolved_prefix_len(&self) -> SlotNum {
-        SlotNum(self.chained as u64)
+        SlotNum(self.base + self.chained as u64)
     }
 
     /// Drop every slot at or beyond `len` (uncommitted speculative tail
     /// discarded when an epoch-switching view change adopts the merged
-    /// log, §B.1).
+    /// log, §B.1). Clamped at the base: checkpointed slots are finalized
+    /// and can never be un-resolved.
     pub fn truncate(&mut self, len: SlotNum) {
-        self.slots.truncate(len.index());
-        self.chained = self.chained.min(len.index());
+        let rel = (len.0.max(self.base) - self.base) as usize;
+        self.slots.truncate(rel);
+        self.chained = self.chained.min(rel);
         self.advance_chain();
     }
 }
@@ -236,6 +312,9 @@ pub enum FillError {
     /// Attempted to fill past the tail + 1.
     #[error("slot is beyond the log tail")]
     BeyondTail,
+    /// Attempted to fill a slot below the checkpointed base.
+    #[error("slot is below the compacted checkpoint base")]
+    Compacted,
 }
 
 #[cfg(test)]
@@ -387,5 +466,74 @@ mod tests {
         log.append_request(oc(3, b"c"));
         let wire = log.to_wire();
         assert_eq!(wire.len(), 1, "truncated at the first pending slot");
+    }
+
+    #[test]
+    fn based_log_continues_the_chain_seamlessly() {
+        // A log restored from a checkpoint at slot 2 must produce the
+        // same hashes as one that grew from genesis.
+        let mut genesis = Log::new();
+        genesis.append_request(oc(1, b"a"));
+        genesis.append_request(oc(2, b"b"));
+        let h1 = genesis.hash_at(SlotNum(1)).unwrap();
+        genesis.append_request(oc(3, b"c"));
+
+        let mut based = Log::with_base(SlotNum(2), h1);
+        assert_eq!(based.base(), SlotNum(2));
+        assert_eq!(based.len(), SlotNum(2));
+        assert_eq!(based.resolved_prefix_len(), SlotNum(2));
+        assert_eq!(based.hash_at(SlotNum(1)), Some(h1), "certified seed");
+        assert_eq!(based.hash_at(SlotNum(0)), None, "compacted away");
+        let s = based.append_request(oc(3, b"c"));
+        assert_eq!(s, SlotNum(2), "appends continue at absolute slots");
+        assert_eq!(based.hash_at(SlotNum(2)), genesis.hash_at(SlotNum(2)));
+    }
+
+    #[test]
+    fn based_log_rejects_fills_below_base() {
+        let mut log = Log::with_base(SlotNum(3), Digest::ZERO);
+        assert_eq!(
+            log.fill(SlotNum(1), LogEntry::NoOp(None)),
+            Err(FillError::Compacted)
+        );
+        assert_eq!(log.entry(SlotNum(1)), None);
+        assert!(!log.is_pending(SlotNum(1)));
+        // Truncation clamps at the base: finalized slots stay finalized.
+        log.append_request(oc(4, b"x"));
+        log.truncate(SlotNum(0));
+        assert_eq!(log.len(), SlotNum(3));
+        assert_eq!(log.resolved_prefix_len(), SlotNum(3));
+    }
+
+    #[test]
+    fn wire_range_serves_suffixes() {
+        let mut log = Log::new();
+        log.append_request(oc(1, b"a"));
+        log.append_request(oc(2, b"b"));
+        log.append_request(oc(3, b"c"));
+        let (start, entries) = log.wire_range(SlotNum(1), 10);
+        assert_eq!(start, SlotNum(1));
+        assert_eq!(entries.len(), 2);
+        let (start, entries) = log.wire_range(SlotNum(1), 1);
+        assert_eq!(start, SlotNum(1));
+        assert_eq!(entries.len(), 1, "cap respected");
+        // Pending slots stop the range.
+        log.append_pending();
+        log.append_request(oc(5, b"e"));
+        let (_, entries) = log.wire_range(SlotNum(0), 10);
+        assert_eq!(entries.len(), 3, "stops at the pending slot");
+        // Requests below the base are clamped up to it.
+        let based = Log::with_base(SlotNum(2), Digest::ZERO);
+        let (start, entries) = based.wire_range(SlotNum(0), 10);
+        assert_eq!(start, SlotNum(2));
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn first_pending_is_absolute_on_based_logs() {
+        let mut log = Log::with_base(SlotNum(5), Digest::ZERO);
+        log.append_request(oc(6, b"a"));
+        log.append_pending();
+        assert_eq!(log.first_pending(), Some(SlotNum(6)));
     }
 }

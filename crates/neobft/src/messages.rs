@@ -207,7 +207,11 @@ pub struct ViewChangeBody {
     /// Epoch certificates for every epoch the sender's log has started
     /// (beyond the initial epoch, which needs none).
     pub epoch_certs: Vec<(EpochNum, SlotNum, EpochCert)>,
-    /// The sender's full log.
+    /// Absolute slot of `log[0]`. Zero unless the sender compacted its
+    /// log below a certified checkpoint; entry `i` occupies slot
+    /// `log_base + i`.
+    pub log_base: SlotNum,
+    /// The sender's held log (everything at or above `log_base`).
     pub log: Vec<WireLogEntry>,
 }
 
@@ -222,6 +226,25 @@ pub struct SyncBody {
     pub slot: SlotNum,
     /// Gap certificates for slots committed as no-op in this view.
     pub drops: Vec<(SlotNum, GapCert)>,
+    /// Digest of the sender's checkpoint at `slot` (the full recovery
+    /// state: chain hash, app snapshot, client table — see
+    /// `recovery::CheckpointData`). `Digest::ZERO` when the sender makes
+    /// no checkpoint claim (snapshot-less app); 2f+1 matching non-zero
+    /// digests certify the checkpoint for crash recovery.
+    pub state_digest: Digest,
+}
+
+/// Body of a state-transfer query, signed (peers do real work to
+/// answer — snapshot serialization and log suffixes — so the asker must
+/// prove it is a replica).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StateQueryBody {
+    /// The recovering replica.
+    pub replica: ReplicaId,
+    /// Everything below this slot is already held locally; peers send a
+    /// checkpoint only if theirs is newer, plus the log suffix from
+    /// `max(have, checkpoint slot)`.
+    pub have: SlotNum,
 }
 
 /// All NeoBFT protocol messages (transported as `Envelope::App` bytes).
@@ -298,6 +321,21 @@ pub enum NeoMsg {
     EpochStart(EpochStartBody, Signature),
     /// Replica → all: periodic state synchronization (§B.2). Signed.
     Sync(SyncBody, Signature),
+    /// Recovering replica → all: request a certified checkpoint and log
+    /// suffix. Signed.
+    StateQuery(StateQueryBody, Signature),
+    /// Replica → recovering replica: checkpoint + suffix. Unsigned — the
+    /// checkpoint certificate and the per-entry ordering/gap
+    /// certificates authenticate themselves.
+    StateReply {
+        /// A certified checkpoint newer than the asker's `have`, if the
+        /// sender holds one.
+        checkpoint: Option<crate::recovery::WireCheckpoint>,
+        /// Absolute slot of `suffix[0]`.
+        suffix_start: SlotNum,
+        /// Resolved log entries from `suffix_start` on.
+        suffix: Vec<WireLogEntry>,
+    },
 }
 
 impl NeoMsg {

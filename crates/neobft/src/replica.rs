@@ -11,13 +11,16 @@ use crate::error::ProtocolError;
 use crate::log::{Log, LogEntry};
 use crate::messages::{
     gap_decision_digest, sign_body, verify_body, EpochCert, EpochStartBody, GapDecisionBody,
-    GapDropBody, GapVoteBody, NeoMsg, Reply, SignedBatch, SyncBody, ViewChangeBody, WireLogEntry,
+    GapDropBody, GapVoteBody, NeoMsg, Reply, SignedBatch, StateQueryBody, SyncBody,
+    ViewChangeBody, WireLogEntry,
 };
+use crate::recovery::{CheckpointData, WalRecord, WireCheckpoint};
 use crate::verify::{PoolVerifyTask, VerifyLane, VerifyWork};
 use neo_aom::{AomReceiver, ConfigMsg, Delivery, Envelope, OrderingCert, SignedConfirm};
 use neo_app::App;
 use neo_crypto::{
-    CostModel, NodeCrypto, Principal, ReorderBuffer, Signature, SystemKeys, VerifyPool, VerifyTask,
+    CostModel, Digest, NodeCrypto, Principal, ReorderBuffer, Signature, SystemKeys, VerifyPool,
+    VerifyTask,
 };
 use neo_sim::obs::Event;
 use neo_sim::{Context, Node, TimerId};
@@ -61,6 +64,13 @@ pub struct ReplicaStats {
     /// Slots executed while already marked executed — must stay zero
     /// (the chaos harness treats any increment as a safety violation).
     pub double_executions: u64,
+    /// State-transfer payloads rejected: tampered snapshots, uncertified
+    /// checkpoints, or suffix entries whose certificates fail.
+    pub state_transfer_rejected: u64,
+    /// Checkpoints this replica certified (2f+1 matching sync digests).
+    pub checkpoints_certified: u64,
+    /// State-transfer replies served to recovering peers.
+    pub state_replies_served: u64,
 }
 
 /// Pending timer meanings.
@@ -79,6 +89,33 @@ enum TimerPayload {
     UnicastWatchdog(ClientId, RequestId),
     /// Flush the accumulated confirm batch (Byzantine-network mode).
     ConfirmFlush,
+    /// Re-broadcast the state-transfer query while still recovering.
+    StateTransferRetry,
+}
+
+/// Phases of the crash-recovery state machine (DESIGN.md §17).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecoveryPhase {
+    /// Constructed from disk state; local WAL replay not yet executed.
+    Recovering,
+    /// Local replay done; state query broadcast, awaiting peer replies.
+    FetchingCheckpoint,
+    /// Installing a fetched checkpoint and log suffix.
+    Replaying,
+    /// Fully rejoined the cluster.
+    Active,
+}
+
+/// Recovery bookkeeping for a replica constructed from a store.
+struct RecoveryState {
+    phase: RecoveryPhase,
+    /// Slot the replica resumed from: its durable checkpoint's sync
+    /// point, or 0 when it restarted without one. Raised if a newer
+    /// checkpoint is installed from a peer during recovery.
+    base: SlotNum,
+    /// Virtual time the state transfer started (for `recovery_ns`).
+    started_at: Option<u64>,
+    retry_timer: Option<TimerId>,
 }
 
 /// Per-slot gap-agreement state.
@@ -174,8 +211,9 @@ pub struct Replica {
     /// Ops executed per slot (for rollback accounting): slot → number of
     /// batch ops applied to the app (0 = not executed / no-op / pending).
     executed_ops: Vec<u32>,
-    /// Point lookups only (never iterated), so HashMap stays safe here.
-    client_table: HashMap<ClientId, ClientEntry>,
+    /// BTreeMap: checkpoint capture walks this map into the certified
+    /// snapshot, so iteration order must match across replicas.
+    client_table: BTreeMap<ClientId, ClientEntry>,
     /// BTreeMap: `maybe_sync` walks this map and the result is signed.
     gaps: BTreeMap<SlotNum, GapState>,
     timers: HashMap<TimerId, TimerPayload>,
@@ -186,11 +224,27 @@ pub struct Replica {
     /// Unicast-fallback requests awaiting aom delivery (point lookups
     /// only; size-capped in `on_request_unicast`).
     unicast_watch: HashMap<(ClientId, RequestId), TimerId>,
-    /// State-sync votes per slot. BTreeMaps: `check_sync` iterates both
-    /// levels when applying certified no-ops.
-    sync_votes: BTreeMap<SlotNum, BTreeMap<ReplicaId, SyncBody>>,
+    /// State-sync votes per slot, with their signatures (matching
+    /// signatures become the checkpoint certificate). BTreeMaps:
+    /// `check_sync` iterates both levels when applying certified no-ops.
+    sync_votes: BTreeMap<SlotNum, BTreeMap<ReplicaId, (SyncBody, Signature)>>,
     sync_point: SlotNum,
     last_sync_slot: SlotNum,
+    /// Durable WAL + checkpoint device (None = no durability, as in the
+    /// pure-protocol unit tests). Appends buffer here; the executor
+    /// flushes after each handler, write-ahead of the outgoing sends.
+    store: Option<Box<dyn neo_sim::Store>>,
+    /// Checkpoints captured at sync-interval boundaries with their
+    /// digests, awaiting certification by 2f+1 matching sync votes.
+    /// Invalidated by rollbacks past their slot; size-capped.
+    pending_checkpoints: BTreeMap<SlotNum, (CheckpointData, Digest)>,
+    /// The newest certified checkpoint — persisted to the store and
+    /// served to recovering peers.
+    stable_checkpoint: Option<WireCheckpoint>,
+    /// Crash-recovery state machine; `Some` only on replicas constructed
+    /// via [`Replica::with_store`] (or kicked into recovery by a merged
+    /// view-change log starting past their tail).
+    recovery: Option<RecoveryState>,
     /// Packets stamped in a future epoch, buffered until this replica
     /// finishes the epoch-switching view change and installs that epoch
     /// (without this, replicas that enter the new epoch late would miss
@@ -283,7 +337,7 @@ impl Replica {
             epoch_base: SlotNum(0),
             exec_cursor: SlotNum(0),
             executed_ops: Vec::new(),
-            client_table: HashMap::new(),
+            client_table: BTreeMap::new(),
             gaps: BTreeMap::new(),
             timers: HashMap::new(),
             aom_gap_timer: None,
@@ -293,6 +347,10 @@ impl Replica {
             sync_votes: BTreeMap::new(),
             sync_point: SlotNum(0),
             last_sync_slot: SlotNum(0),
+            store: None,
+            pending_checkpoints: BTreeMap::new(),
+            stable_checkpoint: None,
+            recovery: None,
             future_epoch: std::collections::BTreeMap::new(),
             pending_confirms: Vec::new(),
             confirm_flush_timer: None,
@@ -307,6 +365,145 @@ impl Replica {
             behavior: ReplicaBehavior::Correct,
             stats: ReplicaStats::default(),
         }
+    }
+
+    /// Build replica `id` on top of a durable store, resuming from
+    /// whatever the store holds: the certified checkpoint (verified
+    /// exactly like one fetched from a peer) is installed, the WAL
+    /// suffix is replayed into the log, and the recovery state machine
+    /// is armed — the first event the replica handles broadcasts a
+    /// `StateQuery` so peers can fill in everything newer. An empty
+    /// store yields a fresh replica that still runs the (trivially
+    /// short) recovery handshake, so far-behind restarts and genesis
+    /// starts share one code path.
+    pub fn with_store(
+        id: ReplicaId,
+        cfg: NeoConfig,
+        keys: &SystemKeys,
+        costs: CostModel,
+        app: Box<dyn App>,
+        store: Box<dyn neo_sim::Store>,
+    ) -> Self {
+        let mut r = Self::new(id, cfg, keys, costs, app);
+        let mut base = SlotNum(0);
+        if let Some(blob) = store.checkpoint() {
+            if let Some(wire) = WireCheckpoint::from_bytes(&blob) {
+                // A disk checkpoint gets no more trust than a remote one:
+                // the 2f+1 sync-vote certificate must verify and the app
+                // must accept the snapshot, or we fall back to plain WAL
+                // replay from slot 0.
+                if r.verify_checkpoint(&wire) && r.app.restore(&wire.data.app) {
+                    base = wire.data.slot;
+                    r.log = Log::with_base(base, wire.data.chain_hash);
+                    for (e, s) in &wire.data.epoch_starts {
+                        r.log.record_epoch_start(*e, *s);
+                    }
+                    r.exec_cursor = base;
+                    r.sync_point = base;
+                    r.last_sync_slot = base;
+                    r.resolved_watermark = base;
+                    r.executed_ops = vec![0; base.index()];
+                    r.exec_digests = vec![None; base.index()];
+                    for (c, first, last, slot) in &wire.data.clients {
+                        r.client_table.insert(
+                            *c,
+                            ClientEntry {
+                                first_request: *first,
+                                last_request: *last,
+                                // Reply bytes are not checkpointed (they
+                                // embed the executing view); at-most-once
+                                // survives, the re-send optimization does
+                                // not.
+                                cached_reply: None,
+                                slot: *slot,
+                            },
+                        );
+                    }
+                    if let Some((body, _)) = wire.cert.first() {
+                        r.view = body.view;
+                    }
+                    r.stable_checkpoint = Some(wire);
+                }
+            }
+        }
+        r.replay_wal_records(&store.log_records(), base);
+        // Fast-forward the ordering layer past everything restored: the
+        // aom receiver must not wait for (or gap-declare) sequence
+        // numbers the log already holds.
+        let (epoch, next_seq) = r.epoch_and_seq_of(r.log.len());
+        if epoch > r.aom.epoch() {
+            r.aom.install_epoch(epoch);
+        }
+        r.epoch_base = SlotNum(r.log.len().0 + 1 - next_seq.0);
+        r.aom.fast_forward(next_seq);
+        r.store = Some(store);
+        r.recovery = Some(RecoveryState {
+            phase: RecoveryPhase::Recovering,
+            base,
+            started_at: None,
+            retry_timer: None,
+        });
+        r
+    }
+
+    /// Replay durable WAL records into the in-memory log (records below
+    /// the checkpoint base were superseded by the checkpoint and are
+    /// skipped). Uses the raw log fill — no context is available during
+    /// construction, and no rollback can occur while the cursor sits at
+    /// the base.
+    // neo-lint: verified(records come from this replica's own checksummed WAL — written by itself pre-crash, torn tails healed by neo-store framing)
+    fn replay_wal_records(&mut self, records: &[Vec<u8>], base: SlotNum) {
+        for raw in records {
+            match WalRecord::from_bytes(raw) {
+                Some(WalRecord::Slot { slot, entry }) => {
+                    if slot < base {
+                        continue;
+                    }
+                    while self.log.len() <= slot {
+                        self.log.append_pending();
+                        self.executed_ops.push(0);
+                        self.exec_digests.push(None);
+                    }
+                    let e = match entry {
+                        WireLogEntry::Request(oc) => LogEntry::Request(oc),
+                        WireLogEntry::NoOp(cert) if cert.is_empty() => LogEntry::NoOp(None),
+                        WireLogEntry::NoOp(cert) => LogEntry::NoOp(Some(cert)),
+                    };
+                    let _ = self.log.fill(slot, e);
+                }
+                Some(WalRecord::Epoch {
+                    epoch,
+                    start_slot,
+                    cert,
+                }) => {
+                    self.log.record_epoch_start(epoch, start_slot);
+                    if !self.epoch_certs.iter().any(|(e, _, _)| *e == epoch) {
+                        self.epoch_certs.push((epoch, start_slot, cert));
+                    }
+                }
+                None => {} // unreadable record: healed tail artifact, skip
+            }
+        }
+        if self.executed_ops.len() < self.log.len().index() {
+            self.executed_ops.resize(self.log.len().index(), 0);
+        }
+        if self.exec_digests.len() < self.log.len().index() {
+            self.exec_digests.resize(self.log.len().index(), None);
+        }
+    }
+
+    /// The epoch governing `slot` and the aom sequence number it maps
+    /// to, derived from recorded epoch starts.
+    fn epoch_and_seq_of(&self, slot: SlotNum) -> (EpochNum, SeqNum) {
+        let mut epoch = EpochNum::INITIAL;
+        let mut start = SlotNum(0);
+        for (e, s) in self.log.epoch_starts() {
+            if *s <= slot && *e >= epoch {
+                epoch = *e;
+                start = *s;
+            }
+        }
+        (epoch, SeqNum(slot.0 - start.0 + 1))
     }
 
     /// This replica's id.
@@ -364,9 +561,39 @@ impl Replica {
         self.resolved_watermark
     }
 
+    /// The slot this replica resumed from after a restart (`None` if it
+    /// never ran recovery, `Some(SlotNum(0))` for an empty-disk restart).
+    /// A non-zero base proves the replica rejoined from a certified
+    /// checkpoint instead of replaying from slot 0.
+    pub fn recovery_base(&self) -> Option<SlotNum> {
+        self.recovery.as_ref().map(|r| r.base)
+    }
+
+    /// Current recovery phase (`None` if this replica never recovered).
+    pub fn recovery_phase(&self) -> Option<RecoveryPhase> {
+        self.recovery.as_ref().map(|r| r.phase)
+    }
+
+    /// Sync-point slot of the newest certified checkpoint, if any.
+    pub fn stable_checkpoint_slot(&self) -> Option<SlotNum> {
+        self.stable_checkpoint.as_ref().map(|cp| cp.data.slot)
+    }
+
     /// The aom receiver's counters (invariant checking and tests).
     pub fn aom_stats(&self) -> neo_aom::AomReceiverStats {
         self.aom.stats()
+    }
+
+    /// Test-only: replace the log wholesale (recovery invariant tests
+    /// build based logs directly), aligning the sync point and resolved
+    /// watermark with the base the way checkpoint installation does.
+    #[cfg(test)]
+    pub(crate) fn set_log_for_tests(&mut self, log: Log) {
+        self.sync_point = self.sync_point.max(log.base());
+        self.last_sync_slot = self.last_sync_slot.max(log.base());
+        self.resolved_watermark = self.resolved_watermark.max(log.base());
+        self.exec_cursor = self.exec_cursor.max(log.base());
+        self.log = log;
     }
 
     fn leader(&self) -> ReplicaId {
@@ -437,6 +664,12 @@ impl Replica {
     /// Pool-preverified client-MAC verdicts kept at once (one per
     /// in-flight packet; neo-lint R5 growth bound).
     const PREVERIFIED_CAP: usize = 4096;
+    /// Log entries served per state-transfer reply (a recovering replica
+    /// re-queries for more; bounds reply size and serve cost).
+    const STATE_SUFFIX_MAX: usize = 1024;
+    /// Uncertified checkpoints kept at once (oldest dropped; neo-lint R5
+    /// growth bound for the recovery buffers).
+    const PENDING_CHECKPOINT_CAP: usize = 16;
 
     /// Record one aom delivery in the trace (bounded).
     fn record_delivery(&mut self, epoch: u64, seq: u64) {
@@ -468,6 +701,358 @@ impl Replica {
             return false;
         }
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: WAL appends, checkpoint capture and certification
+    // ------------------------------------------------------------------
+
+    /// Buffer one record on the durable WAL (no-op without a store). The
+    /// executor flushes the buffer after this handler completes, before
+    /// any of the handler's sends depart — write-ahead of the ack.
+    fn wal_append(&mut self, record: &WalRecord) {
+        if let Some(store) = &mut self.store {
+            store.append(&record.to_bytes());
+        }
+    }
+
+    /// Capture a checkpoint when the execution cursor sits on a
+    /// sync-interval boundary `S`: the app state, chain hash, and client
+    /// table then cover exactly slots `< S` on every replica that
+    /// reached `S`, so the digests are comparable across the cluster.
+    fn maybe_capture_checkpoint(&mut self) {
+        let interval = self.cfg.sync_interval;
+        if interval == 0 || self.store.is_none() {
+            return;
+        }
+        let s = self.exec_cursor;
+        if s.0 == 0 || s.0 % interval != 0 || self.pending_checkpoints.contains_key(&s) {
+            return;
+        }
+        if self
+            .stable_checkpoint
+            .as_ref()
+            .is_some_and(|cp| cp.data.slot >= s)
+        {
+            return;
+        }
+        let Some(app) = self.app.snapshot() else {
+            return; // snapshot-less app: recovery falls back to full replay
+        };
+        let Some(chain_hash) = self.log.hash_at(SlotNum(s.0 - 1)) else {
+            return;
+        };
+        // BTreeMap iteration: already sorted by client id, as the
+        // checkpoint digest requires.
+        let clients: Vec<(ClientId, RequestId, RequestId, SlotNum)> = self
+            .client_table
+            .iter()
+            .filter(|(_, e)| e.slot < s)
+            .map(|(c, e)| (*c, e.first_request, e.last_request, e.slot))
+            .collect();
+        let epoch_starts: Vec<(EpochNum, SlotNum)> = self
+            .log
+            .epoch_starts()
+            .iter()
+            .filter(|(_, start)| *start <= s)
+            .copied()
+            .collect();
+        let data = CheckpointData {
+            slot: s,
+            chain_hash,
+            app,
+            clients,
+            epoch_starts,
+        };
+        let digest = data.digest();
+        if self.pending_checkpoints.len() >= Self::PENDING_CHECKPOINT_CAP {
+            self.pending_checkpoints.pop_first();
+        }
+        // neo-lint: allow(R5, capped at PENDING_CHECKPOINT_CAP with oldest-dropped eviction above)
+        self.pending_checkpoints.insert(s, (data, digest));
+    }
+
+    /// Validate a checkpoint certificate: 2f+1 distinct replicas signed
+    /// sync votes at the checkpoint's slot carrying its exact digest.
+    /// Used identically for peer-served checkpoints and our own disk.
+    fn verify_checkpoint(&self, wire: &WireCheckpoint) -> bool {
+        let digest = wire.data.digest();
+        let mut seen = std::collections::BTreeSet::new();
+        for (body, sig) in &wire.cert {
+            if body.slot != wire.data.slot || body.state_digest != digest {
+                continue;
+            }
+            if verify_body(body, sig, Principal::Replica(body.replica), &self.crypto) {
+                seen.insert(body.replica);
+            }
+        }
+        seen.len() >= self.cfg.quorum()
+    }
+
+    /// Compact the durable WAL below a certified checkpoint: rewrite it
+    /// to just the records for slots `>= slot` (plus epoch certificates
+    /// still above the cut). The in-memory log keeps its base — absolute
+    /// slot indexing for live replicas never shifts; only restarted
+    /// replicas run with a non-zero base.
+    fn compact_wal(&mut self, slot: SlotNum, ctx: &mut dyn Context) {
+        if self.store.is_none() {
+            return;
+        }
+        let mut records: Vec<Vec<u8>> = Vec::new();
+        for s in slot.0..self.log.len().0 {
+            if let Some(entry) = self.log.entry(SlotNum(s)) {
+                records.push(
+                    WalRecord::Slot {
+                        slot: SlotNum(s),
+                        entry: entry.to_wire(),
+                    }
+                    .to_bytes(),
+                );
+            }
+        }
+        for (epoch, start, cert) in &self.epoch_certs {
+            if *start >= slot {
+                records.push(
+                    WalRecord::Epoch {
+                        epoch: *epoch,
+                        start_slot: *start,
+                        cert: cert.clone(),
+                    }
+                    .to_bytes(),
+                );
+            }
+        }
+        if let Some(store) = &mut self.store {
+            store.reset_log(&records);
+        }
+        ctx.metrics().incr("store.compactions");
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery: state transfer (DESIGN.md §17)
+    // ------------------------------------------------------------------
+
+    /// If this replica was constructed from a store and has not yet run
+    /// the recovery handshake, run it now: execute whatever the local
+    /// WAL replay resolved, then ask every peer for a newer certified
+    /// checkpoint and the log suffix. Called at the top of every event
+    /// entry point, so the first event after a restart (typically the
+    /// INIT timer) kicks recovery before anything else is processed.
+    fn maybe_kick_recovery(&mut self, ctx: &mut dyn Context) {
+        if !matches!(
+            self.recovery.as_ref().map(|r| r.phase),
+            Some(RecoveryPhase::Recovering)
+        ) {
+            return;
+        }
+        // Local replay execution: re-derive app state and replies for
+        // everything the WAL already resolved.
+        self.try_execute(ctx);
+        let body = StateQueryBody {
+            replica: self.id,
+            have: self.log.len(),
+        };
+        let sig = sign_body(&body, &self.crypto);
+        self.broadcast(&NeoMsg::StateQuery(body, sig), ctx);
+        let t = self.arm(self.cfg.query_retry_ns, TimerPayload::StateTransferRetry, ctx);
+        let now = ctx.now();
+        if let Some(rec) = &mut self.recovery {
+            rec.phase = RecoveryPhase::FetchingCheckpoint;
+            rec.started_at = Some(now);
+            rec.retry_timer = Some(t);
+        }
+    }
+
+    /// Serve a recovering peer: our stable checkpoint if it is newer
+    /// than what the peer holds, plus a resolved log suffix. The reply
+    /// is unsigned — the checkpoint certificate and per-entry
+    /// ordering/gap certificates authenticate themselves, and the peer
+    /// verifies all of them before installing anything.
+    fn on_state_query(&mut self, body: StateQueryBody, sig: Signature, ctx: &mut dyn Context) {
+        if body.replica == self.id {
+            return;
+        }
+        if !verify_body(&body, &sig, Principal::Replica(body.replica), &self.crypto) {
+            return;
+        }
+        let checkpoint = self
+            .stable_checkpoint
+            .as_ref()
+            .filter(|cp| cp.data.slot > body.have)
+            .cloned();
+        let from = checkpoint
+            .as_ref()
+            .map(|cp| cp.data.slot)
+            .unwrap_or(body.have);
+        let (suffix_start, suffix) = self.log.wire_range(from, Self::STATE_SUFFIX_MAX);
+        self.send_to(
+            body.replica,
+            &NeoMsg::StateReply {
+                checkpoint,
+                suffix_start,
+                suffix,
+            },
+            ctx,
+        );
+        self.stats.state_replies_served += 1;
+        ctx.metrics().incr("replica.state_replies_served");
+    }
+
+    /// Count a rejected state-transfer payload and return to the
+    /// fetching phase so the retry timer keeps asking other peers.
+    fn reject_state_transfer(&mut self, ctx: &mut dyn Context) {
+        self.stats.state_transfer_rejected += 1;
+        ctx.metrics().incr("replica.state_transfer_rejected");
+        if let Some(rec) = &mut self.recovery {
+            if rec.phase == RecoveryPhase::Replaying {
+                rec.phase = RecoveryPhase::FetchingCheckpoint;
+            }
+        }
+    }
+
+    /// Install a *verified* checkpoint fetched from a peer, replacing
+    /// all local state below its slot. Returns false (leaving state
+    /// untouched where possible) if the app refuses the snapshot.
+    // neo-lint: verified(both callers — with_store and on_state_reply — run verify_checkpoint on the 2f+1 sync-vote certificate before installing)
+    fn install_checkpoint(&mut self, wire: &WireCheckpoint, ctx: &mut dyn Context) -> bool {
+        if !self.app.restore(&wire.data.app) {
+            return false;
+        }
+        let slot = wire.data.slot;
+        // Per-slot agreement state below the new base is obsolete.
+        let gap_timers: Vec<TimerId> = self
+            .gaps
+            .values_mut()
+            .flat_map(|g| g.query_timer.take().into_iter().chain(g.agreement_timer.take()))
+            .collect();
+        for t in gap_timers {
+            self.disarm(t, ctx);
+        }
+        self.gaps.clear();
+        self.log = Log::with_base(slot, wire.data.chain_hash);
+        for (e, s) in &wire.data.epoch_starts {
+            self.log.record_epoch_start(*e, *s);
+        }
+        self.executed_ops = vec![0; slot.index()];
+        self.exec_digests = vec![None; slot.index()];
+        self.exec_cursor = slot;
+        self.client_table.clear();
+        for (c, first, last, cslot) in &wire.data.clients {
+            // neo-lint: allow(R5, rebuilt from the certified checkpoint after the clear() above — size is the 2f+1-certified client table, not attacker growth)
+            self.client_table.insert(
+                *c,
+                ClientEntry {
+                    first_request: *first,
+                    last_request: *last,
+                    cached_reply: None,
+                    slot: *cslot,
+                },
+            );
+        }
+        self.sync_point = self.sync_point.max(slot);
+        self.last_sync_slot = self.last_sync_slot.max(slot);
+        self.resolved_watermark = self.resolved_watermark.max(slot);
+        if let Some(rec) = &mut self.recovery {
+            rec.base = rec.base.max(slot);
+        }
+        // Persist: the checkpoint supersedes every WAL record below it.
+        if let Some(store) = &mut self.store {
+            store.put_checkpoint(&wire.to_bytes());
+            store.reset_log(&[]);
+        }
+        self.stable_checkpoint = Some(wire.clone());
+        self.pending_checkpoints.retain(|s, _| *s > slot);
+        true
+    }
+
+    /// Handle a state-transfer reply: verify the checkpoint certificate
+    /// and every suffix entry's ordering/gap certificate, install what
+    /// verifies, and rejoin. Any failed check rejects the whole reply —
+    /// a Byzantine peer cannot smuggle a tampered snapshot or an
+    /// uncertified entry past this point.
+    fn on_state_reply(
+        &mut self,
+        checkpoint: Option<WireCheckpoint>,
+        suffix_start: SlotNum,
+        suffix: Vec<WireLogEntry>,
+        ctx: &mut dyn Context,
+    ) {
+        if !matches!(
+            self.recovery.as_ref().map(|r| r.phase),
+            Some(RecoveryPhase::FetchingCheckpoint)
+        ) {
+            return; // not recovering (or already past this phase)
+        }
+        if let Some(rec) = &mut self.recovery {
+            rec.phase = RecoveryPhase::Replaying;
+        }
+        if let Some(wire) = &checkpoint {
+            if !self.verify_checkpoint(wire) {
+                self.reject_state_transfer(ctx);
+                return;
+            }
+            if wire.data.slot > self.log.len() && !self.install_checkpoint(wire, ctx) {
+                self.reject_state_transfer(ctx);
+                return;
+            }
+        }
+        // Verify every suffix entry against its slot position before
+        // touching the log: reject-all-or-install-all.
+        let mut verified: Vec<(SlotNum, LogEntry)> = Vec::with_capacity(suffix.len());
+        for (i, entry) in suffix.iter().enumerate() {
+            let slot = SlotNum(suffix_start.0 + i as u64);
+            if slot < self.log.base() {
+                continue; // covered by the checkpoint just installed
+            }
+            match entry {
+                WireLogEntry::Request(oc) => {
+                    let (epoch, seq) = self.epoch_and_seq_of(slot);
+                    if oc.packet.header.seq != seq
+                        || !self.aom.verify_cert_in_epoch(oc, epoch, &self.crypto)
+                    {
+                        self.reject_state_transfer(ctx);
+                        return;
+                    }
+                    verified.push((slot, LogEntry::Request(oc.clone())));
+                }
+                WireLogEntry::NoOp(cert) => {
+                    if !self.verify_gap_cert(slot, cert) {
+                        self.reject_state_transfer(ctx);
+                        return;
+                    }
+                    verified.push((slot, LogEntry::NoOp(Some(cert.clone()))));
+                }
+            }
+        }
+        for (slot, entry) in verified {
+            self.fill_slot(slot, entry, ctx);
+        }
+        // Re-align the ordering layer with the (possibly longer) log.
+        let (epoch, next_seq) = self.epoch_and_seq_of(self.log.len());
+        if epoch > self.aom.epoch() {
+            self.aom.install_epoch(epoch);
+        }
+        self.epoch_base = SlotNum(self.log.len().0 + 1 - next_seq.0);
+        self.aom.fast_forward(next_seq);
+        // Rejoined: the first valid reply completes recovery (an empty
+        // reply counts — the gap machinery covers any straggler slots).
+        let (started, retry) = match &mut self.recovery {
+            Some(rec) => {
+                rec.phase = RecoveryPhase::Active;
+                (rec.started_at.take(), rec.retry_timer.take())
+            }
+            None => (None, None),
+        };
+        if let Some(t) = retry {
+            self.disarm(t, ctx);
+        }
+        if let Some(t0) = started {
+            ctx.metrics()
+                .observe("replica.recovery_ns", ctx.now().saturating_sub(t0));
+        }
+        self.try_execute(ctx);
+        self.maybe_sync(ctx);
+        self.pump_aom(ctx);
     }
 
     // ------------------------------------------------------------------
@@ -714,7 +1299,16 @@ impl Replica {
         }
         debug_assert_eq!(slot, self.log.len(), "aom delivers densely");
         ctx.emit(Event::RequestReceived { slot: Some(slot.0) });
+        // Write-ahead: the slot record is on the WAL buffer before the
+        // reply below can leave (the executor fsyncs between them).
+        let wal = self.store.is_some().then(|| WalRecord::Slot {
+            slot,
+            entry: WireLogEntry::Request(cert.clone()),
+        });
         self.log.append_request(cert);
+        if let Some(rec) = wal {
+            self.wal_append(&rec);
+        }
         self.executed_ops.push(0);
         self.exec_digests.push(None);
         self.answer_pending_find(slot, ctx);
@@ -739,6 +1333,9 @@ impl Replica {
     /// replying to clients.
     fn try_execute(&mut self, ctx: &mut dyn Context) {
         while self.exec_cursor < self.log.len() {
+            // Checkpoint *before* executing: at cursor S the captured
+            // state covers exactly slots < S.
+            self.maybe_capture_checkpoint();
             let slot = self.exec_cursor;
             let Some(entry) = self.log.entry(slot) else {
                 break; // pending gap: execution blocks here (§5.4)
@@ -755,6 +1352,8 @@ impl Replica {
                 }
             }
         }
+        // The cursor may have stopped exactly on a boundary.
+        self.maybe_capture_checkpoint();
         let resolved = self.log.resolved_prefix_len();
         if resolved > self.resolved_watermark {
             self.resolved_watermark = resolved;
@@ -919,6 +1518,9 @@ impl Replica {
         // Invalidate cached replies for rolled-back slots: re-execution
         // will regenerate them against the new log hashes.
         self.client_table.retain(|_, e| e.slot < slot);
+        // A checkpoint at S describes state after executing slots < S;
+        // rolling back past S invalidates it.
+        self.pending_checkpoints.retain(|s, _| *s <= slot);
         self.exec_cursor = slot;
     }
 
@@ -1403,9 +2005,16 @@ impl Replica {
             self.executed_ops.push(0);
             self.exec_digests.push(None);
         }
+        let wal = self.store.is_some().then(|| WalRecord::Slot {
+            slot,
+            entry: entry.to_wire(),
+        });
         if self.log.fill(slot, entry).is_err() {
             self.note_error(ProtocolError::FillRejected(slot), ctx);
             return;
+        }
+        if let Some(rec) = wal {
+            self.wal_append(&rec);
         }
         if self.executed_ops.len() < self.log.len().index() {
             self.executed_ops.resize(self.log.len().index(), 0);
@@ -1464,12 +2073,20 @@ impl Replica {
             replica: self.id,
             slot: latest_multiple,
             drops,
+            // Piggyback our checkpoint digest at this boundary: 2f+1
+            // matching digests turn the sync round into a checkpoint
+            // certificate (ZERO = no claim, e.g. snapshot-less app).
+            state_digest: self
+                .pending_checkpoints
+                .get(&latest_multiple)
+                .map(|(_, d)| *d)
+                .unwrap_or(Digest::ZERO),
         };
         let sig = sign_body(&body, &self.crypto);
         self.sync_votes
             .entry(latest_multiple)
             .or_default()
-            .insert(self.id, body.clone());
+            .insert(self.id, (body.clone(), sig.clone()));
         self.broadcast(&NeoMsg::Sync(body, sig), ctx);
         self.check_sync(latest_multiple, ctx);
     }
@@ -1489,7 +2106,7 @@ impl Replica {
         self.sync_votes
             .entry(slot)
             .or_default()
-            .insert(body.replica, body);
+            .insert(body.replica, (body, sig));
         self.check_sync(slot, ctx);
     }
 
@@ -1506,7 +2123,7 @@ impl Replica {
         }
         // Apply certified no-ops from any vote.
         let mut to_apply: Vec<(SlotNum, crate::messages::GapCert)> = Vec::new();
-        for body in votes.values() {
+        for (body, _) in votes.values() {
             for (s, cert) in &body.drops {
                 if self.verify_gap_cert(*s, cert) {
                     to_apply.push((*s, cert.clone()));
@@ -1527,6 +2144,11 @@ impl Replica {
         }
         self.sync_point = slot;
         ctx.emit(Event::SyncPoint { slot: slot.0 });
+        // Checkpoint certification rides the same quorum: if 2f+1 sync
+        // votes carried our pending checkpoint's digest, the votes ARE
+        // its certificate. Must happen before the prune below discards
+        // this round's signatures.
+        self.maybe_certify_checkpoint(slot, ctx);
         // Settled rounds can never reach quorum again: prune them so the
         // vote map stays bounded (neo-lint R5).
         self.sync_votes = self.sync_votes.split_off(&SlotNum(slot.0 + 1));
@@ -1544,6 +2166,45 @@ impl Replica {
             .sum::<u64>();
         self.app.compact(still_speculative);
         self.try_execute(ctx);
+    }
+
+    /// If the sync round at `slot` gathered 2f+1 votes matching our
+    /// pending checkpoint's digest, promote it to the stable checkpoint:
+    /// persist it, compact the WAL below it, and start serving it to
+    /// recovering peers.
+    fn maybe_certify_checkpoint(&mut self, slot: SlotNum, ctx: &mut dyn Context) {
+        let Some((_, digest)) = self.pending_checkpoints.get(&slot) else {
+            return;
+        };
+        let digest = *digest;
+        let Some(votes) = self.sync_votes.get(&slot) else {
+            return;
+        };
+        let cert: Vec<(SyncBody, Signature)> = votes
+            .values()
+            .filter(|(b, _)| b.slot == slot && b.state_digest == digest)
+            .cloned()
+            .collect();
+        let distinct = cert
+            .iter()
+            .map(|(b, _)| b.replica)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        if distinct < self.cfg.quorum() {
+            return;
+        }
+        let Some((data, _)) = self.pending_checkpoints.remove(&slot) else {
+            return;
+        };
+        let wire = WireCheckpoint { data, cert };
+        if let Some(store) = &mut self.store {
+            store.put_checkpoint(&wire.to_bytes());
+        }
+        self.compact_wal(slot, ctx);
+        self.stable_checkpoint = Some(wire);
+        self.pending_checkpoints.retain(|s, _| *s > slot);
+        self.stats.checkpoints_certified += 1;
+        ctx.metrics().incr("replica.checkpoints_certified");
     }
 
     /// Validate a gap certificate: 2f+1 distinct valid drop commits.
@@ -1589,6 +2250,7 @@ impl Replica {
             new_view,
             replica: self.id,
             epoch_certs: self.epoch_certs.clone(),
+            log_base: self.log.base(),
             log: self.log.to_wire(),
         };
         let sig = sign_body(&body, &self.crypto);
@@ -1665,7 +2327,7 @@ impl Replica {
             e
         };
         for (i, entry) in body.log.iter().enumerate() {
-            let slot = SlotNum(i as u64);
+            let slot = SlotNum(body.log_base.0 + i as u64);
             match entry {
                 WireLogEntry::Request(oc) => {
                     let epoch = epoch_of_slot(slot);
@@ -1773,56 +2435,86 @@ impl Replica {
         view_changes: &[(ViewChangeBody, Signature)],
         ctx: &mut dyn Context,
     ) {
-        let merged = merge_logs(view_changes);
-        // Roll back to the first slot where the merged log diverges from
-        // ours, then adopt the merged entries.
-        let mut divergence = None;
-        for (i, entry) in merged.iter().enumerate() {
-            let slot = SlotNum(i as u64);
-            let differs = match (self.log.entry(slot), entry) {
-                (Some(LogEntry::Request(a)), WireLogEntry::Request(b)) => {
-                    a.packet.header.auth_input() != b.packet.header.auth_input()
-                }
-                (Some(LogEntry::NoOp(_)), WireLogEntry::NoOp(_)) => false,
-                (None, _) => true,
-                _ => true,
-            };
-            if differs {
-                divergence = Some(slot);
-                break;
-            }
-        }
+        let (mbase, merged) = merge_logs(view_changes);
+        let mend = mbase.0 + merged.len() as u64;
         let epoch_switch = new_view.epoch > self.epoch_of_log();
-        if let Some(slot) = divergence {
-            self.rollback_to(slot, ctx);
-            for (i, entry) in merged.iter().enumerate().skip(slot.index()) {
-                let s = SlotNum(i as u64);
-                let e = match entry {
-                    WireLogEntry::Request(oc) => LogEntry::Request(oc.clone()),
-                    WireLogEntry::NoOp(cert) => LogEntry::NoOp(Some(cert.clone())),
-                };
-                self.fill_slot(s, e, ctx);
+        if mbase > self.log.len() {
+            // The entire merge quorum compacted below its checkpoint and
+            // the merged log starts past our tail: we cannot adopt it
+            // without the slots in between. Kick state transfer to fetch
+            // the certified checkpoint, but still follow the view/epoch
+            // bookkeeping below so we land in the new view.
+            if self.recovery.is_none() {
+                self.recovery = Some(RecoveryState {
+                    phase: RecoveryPhase::Recovering,
+                    base: self.log.base(),
+                    started_at: None,
+                    retry_timer: None,
+                });
+            } else if let Some(rec) = &mut self.recovery {
+                if rec.phase == RecoveryPhase::Active {
+                    rec.phase = RecoveryPhase::Recovering;
+                }
             }
-        }
-        if epoch_switch && self.log.len().index() > merged.len() {
-            // §B.1: the new epoch begins right after the *merged* log.
-            // Our speculative tail beyond it was not seen by the merge
-            // quorum and cannot commit in the dead epoch — roll it back
-            // and discard. Clients re-submit through the new sequencer;
-            // the client table deduplicates. Same-epoch (leader-only)
-            // view changes keep the tail: its slots still map to live
-            // aom sequence numbers.
-            let cut = SlotNum(merged.len() as u64);
-            self.rollback_to(cut, ctx);
-            self.log.truncate(cut);
-            self.executed_ops.truncate(cut.index());
-            self.exec_digests.truncate(cut.index());
+            self.maybe_kick_recovery(ctx);
+        } else {
+            // Roll back to the first slot where the merged log diverges
+            // from ours, then adopt the merged entries. Slots below both
+            // bases are checkpoint-finalized (quorum intersection: a
+            // certified checkpoint and the merge quorum share a correct
+            // replica), so the scan starts at the higher base.
+            let scan_from = mbase.0.max(self.log.base().0);
+            let mut divergence = None;
+            for s in scan_from..mend {
+                let slot = SlotNum(s);
+                let entry = &merged[(s - mbase.0) as usize];
+                let differs = match (self.log.entry(slot), entry) {
+                    (Some(LogEntry::Request(a)), WireLogEntry::Request(b)) => {
+                        a.packet.header.auth_input() != b.packet.header.auth_input()
+                    }
+                    (Some(LogEntry::NoOp(_)), WireLogEntry::NoOp(_)) => false,
+                    (None, _) => true,
+                    _ => true,
+                };
+                if differs {
+                    divergence = Some(slot);
+                    break;
+                }
+            }
+            if let Some(slot) = divergence {
+                self.rollback_to(slot, ctx);
+                for s in slot.0..mend {
+                    let entry = &merged[(s - mbase.0) as usize];
+                    let e = match entry {
+                        WireLogEntry::Request(oc) => LogEntry::Request(oc.clone()),
+                        WireLogEntry::NoOp(cert) => LogEntry::NoOp(Some(cert.clone())),
+                    };
+                    self.fill_slot(SlotNum(s), e, ctx);
+                }
+            }
+            if epoch_switch && self.log.len().0 > mend {
+                // §B.1: the new epoch begins right after the *merged* log.
+                // Our speculative tail beyond it was not seen by the merge
+                // quorum and cannot commit in the dead epoch — roll it back
+                // and discard. Clients re-submit through the new sequencer;
+                // the client table deduplicates. Same-epoch (leader-only)
+                // view changes keep the tail: its slots still map to live
+                // aom sequence numbers. (Clamped at our base: checkpointed
+                // slots are finalized.)
+                let cut = SlotNum(mend.max(self.log.base().0));
+                self.rollback_to(cut, ctx);
+                self.log.truncate(cut);
+                self.executed_ops.truncate(cut.index());
+                self.exec_digests.truncate(cut.index());
+            }
         }
         // Epoch bookkeeping.
         if epoch_switch {
             // Epoch switch: certify the starting position (§B.1) — all
             // replicas adopted exactly the merged log, so this matches.
-            let start_slot = self.log.len();
+            // A replica still fetching the merged prefix votes at the
+            // merged end too, so the quorum's positions agree.
+            let start_slot = self.log.len().max(SlotNum(mend));
             let body = EpochStartBody {
                 epoch: new_view.epoch,
                 start_slot,
@@ -1892,6 +2584,11 @@ impl Replica {
             return;
         }
         let cert: EpochCert = votes.values().cloned().collect();
+        self.wal_append(&WalRecord::Epoch {
+            epoch,
+            start_slot: slot,
+            cert: cert.clone(),
+        });
         self.epoch_certs.push((epoch, slot, cert));
         self.log.record_epoch_start(epoch, slot);
         self.epoch_base = slot;
@@ -2035,6 +2732,24 @@ impl Replica {
                 self.confirm_flush_timer = None;
                 self.flush_confirms(ctx);
             }
+            TimerPayload::StateTransferRetry => {
+                if !matches!(
+                    self.recovery.as_ref().map(|r| r.phase),
+                    Some(RecoveryPhase::FetchingCheckpoint)
+                ) {
+                    return;
+                }
+                let body = StateQueryBody {
+                    replica: self.id,
+                    have: self.log.len(),
+                };
+                let sig = sign_body(&body, &self.crypto);
+                self.broadcast(&NeoMsg::StateQuery(body, sig), ctx);
+                let t = self.arm(self.cfg.query_retry_ns, TimerPayload::StateTransferRetry, ctx);
+                if let Some(rec) = &mut self.recovery {
+                    rec.retry_timer = Some(t);
+                }
+            }
             TimerPayload::UnicastWatchdog(client, request_id) => {
                 self.unicast_watch.remove(&(client, request_id));
                 let executed = self
@@ -2096,12 +2811,20 @@ impl Replica {
             } => self.on_view_start(new_view, view_changes, sig, ctx),
             NeoMsg::EpochStart(body, sig) => self.on_epoch_start(body, sig, ctx),
             NeoMsg::Sync(body, sig) => self.on_sync(body, sig, ctx),
+            NeoMsg::StateQuery(body, sig) => self.on_state_query(body, sig, ctx),
+            NeoMsg::StateReply {
+                checkpoint,
+                suffix_start,
+                suffix,
+            } => self.on_state_reply(checkpoint, suffix_start, suffix, ctx),
         }
     }
 }
 
-/// Merge 2f+1 view-change logs per §B.1.
-fn merge_logs(view_changes: &[(ViewChangeBody, Signature)]) -> Vec<WireLogEntry> {
+/// Merge 2f+1 view-change logs per §B.1. Returns the absolute slot of
+/// the merged log's first entry (non-zero when the chosen candidate had
+/// compacted below a certified checkpoint) and the entries.
+fn merge_logs(view_changes: &[(ViewChangeBody, Signature)]) -> (SlotNum, Vec<WireLogEntry>) {
     // (1) Largest certified epoch across the messages.
     let mut best_epoch = EpochNum::INITIAL;
     let mut best_start = SlotNum(0);
@@ -2114,7 +2837,8 @@ fn merge_logs(view_changes: &[(ViewChangeBody, Signature)]) -> Vec<WireLogEntry>
         }
     }
     // (2)+(3) From logs that started `best_epoch` (all of them, for the
-    // initial epoch), take the longest; copy its prefix and its requests.
+    // initial epoch), take the one reaching the highest absolute slot;
+    // copy its prefix and its requests.
     let candidates: Vec<&ViewChangeBody> = view_changes
         .iter()
         .map(|(b, _)| b)
@@ -2125,28 +2849,33 @@ fn merge_logs(view_changes: &[(ViewChangeBody, Signature)]) -> Vec<WireLogEntry>
         .collect();
     let longest = candidates
         .iter()
-        .max_by_key(|b| b.log.len())
-        .map(|b| b.log.clone())
-        .unwrap_or_default();
-    let mut merged = longest;
-    // (4) Overlay no-ops from every candidate log within the epoch.
+        .max_by_key(|b| b.log_base.0 + b.log.len() as u64);
+    let (base, mut merged) = match longest {
+        Some(b) => (b.log_base, b.log.clone()),
+        None => (SlotNum(0), Vec::new()),
+    };
+    // (4) Overlay no-ops from every candidate log within the epoch,
+    // matched by absolute slot.
     for body in &candidates {
         for (i, entry) in body.log.iter().enumerate() {
-            if SlotNum(i as u64) < best_start {
+            let s = SlotNum(body.log_base.0 + i as u64);
+            if s < best_start || s < base {
                 continue;
             }
             if let WireLogEntry::NoOp(cert) = entry {
-                if i < merged.len() {
-                    merged[i] = WireLogEntry::NoOp(cert.clone());
+                let idx = (s.0 - base.0) as usize;
+                if idx < merged.len() {
+                    merged[idx] = WireLogEntry::NoOp(cert.clone());
                 }
             }
         }
     }
-    merged
+    (base, merged)
 }
 
 impl Node for Replica {
     fn on_message(&mut self, from: Addr, payload: &[u8], ctx: &mut dyn Context) {
+        self.maybe_kick_recovery(ctx);
         self.stats.messages_in += 1;
         ctx.metrics().incr("replica.messages_in");
         let Ok(env) = Envelope::from_bytes(payload) else {
@@ -2215,6 +2944,7 @@ impl Node for Replica {
     }
 
     fn on_timer(&mut self, timer: TimerId, _kind: u32, ctx: &mut dyn Context) {
+        self.maybe_kick_recovery(ctx);
         if let Some(payload) = self.timers.remove(&timer) {
             self.on_timer_payload(payload, ctx);
         }
@@ -2224,12 +2954,17 @@ impl Node for Replica {
         Some(self.crypto.meter())
     }
 
+    fn store(&mut self) -> Option<&mut dyn neo_sim::Store> {
+        self.store.as_deref_mut()
+    }
+
     /// Collect pooled verification completions (tokio runtime only; the
     /// simulator's lanes complete inline). Tasks re-enter the protocol
     /// in dispatch order via the reorder buffer, then deliveries pump as
     /// if the packets had verified inline.
     // neo-lint: verified(absorbed tasks carry verdicts computed by PoolVerifyTask::run on the worker threads)
     fn on_async(&mut self, ctx: &mut dyn Context) -> u64 {
+        self.maybe_kick_recovery(ctx);
         let Some(pool) = self.lane.pool().cloned() else {
             return 0;
         };
@@ -2292,11 +3027,20 @@ mod tests {
     }
 
     fn vc(replica: u32, entries: &[WireLogEntry]) -> (ViewChangeBody, Signature) {
+        vc_based(replica, 0, entries)
+    }
+
+    fn vc_based(
+        replica: u32,
+        log_base: u64,
+        entries: &[WireLogEntry],
+    ) -> (ViewChangeBody, Signature) {
         (
             ViewChangeBody {
                 new_view: ViewId::new(EpochNum(0), 1),
                 replica: ReplicaId(replica),
                 epoch_certs: vec![],
+                log_base: SlotNum(log_base),
                 log: entries.to_vec(),
             },
             Signature::empty(),
@@ -2321,7 +3065,8 @@ mod tests {
             vc(1, &[req(1, 10), req(2, 20)]),
             vc(2, &[req(1, 10), req(2, 20), req(3, 30)]),
         ];
-        let merged = merge_logs(&msgs);
+        let (base, merged) = merge_logs(&msgs);
+        assert_eq!(base, SlotNum(0));
         assert_eq!(merged.len(), 3);
         assert_eq!(
             merged.iter().map(payload_of).collect::<Vec<_>>(),
@@ -2339,7 +3084,7 @@ mod tests {
             vc(1, &[req(1, 10), WireLogEntry::NoOp(vec![])]),
             vc(2, &[req(1, 10)]),
         ];
-        let merged = merge_logs(&msgs);
+        let (_, merged) = merge_logs(&msgs);
         assert_eq!(merged.len(), 3);
         assert_eq!(payload_of(&merged[0]), Some(10));
         assert!(matches!(merged[1], WireLogEntry::NoOp(_)));
@@ -2349,7 +3094,9 @@ mod tests {
     #[test]
     fn merge_of_empty_logs_is_empty() {
         let msgs = vec![vc(0, &[]), vc(1, &[]), vc(2, &[])];
-        assert!(merge_logs(&msgs).is_empty());
+        let (base, merged) = merge_logs(&msgs);
+        assert_eq!(base, SlotNum(0));
+        assert!(merged.is_empty());
     }
 
     #[test]
@@ -2361,11 +3108,32 @@ mod tests {
         ];
         let mut b = a.clone();
         b.reverse();
-        let ma = merge_logs(&a);
-        let mb = merge_logs(&b);
+        let (_, ma) = merge_logs(&a);
+        let (_, mb) = merge_logs(&b);
         assert_eq!(ma.len(), mb.len());
         for (x, y) in ma.iter().zip(mb.iter()) {
             assert_eq!(payload_of(x), payload_of(y));
         }
+    }
+
+    #[test]
+    fn merge_respects_candidate_log_bases() {
+        // A compacted candidate (base 2, holding slots 2..=3) reaches the
+        // highest absolute slot even though its vector is shorter; the
+        // merge adopts its base, and a no-op from an un-compacted peer is
+        // overlaid at the matching *absolute* slot.
+        let msgs = vec![
+            vc_based(0, 2, &[req(3, 30), req(4, 40)]),
+            vc(1, &[req(1, 10), req(2, 20), WireLogEntry::NoOp(vec![])]),
+            vc(2, &[req(1, 10)]),
+        ];
+        let (base, merged) = merge_logs(&msgs);
+        assert_eq!(base, SlotNum(2));
+        assert_eq!(merged.len(), 2);
+        assert!(
+            matches!(merged[0], WireLogEntry::NoOp(_)),
+            "absolute slot 2 no-op overlays the compacted candidate's entry"
+        );
+        assert_eq!(payload_of(&merged[1]), Some(40));
     }
 }

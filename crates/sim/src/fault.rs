@@ -108,6 +108,19 @@ pub enum FaultRule {
         /// Heal time (exclusive); [`FOREVER`] = never heals.
         until: Time,
     },
+    /// Crash-restart: the node is down (packets to and from it dropped)
+    /// from `crash_at` until `restart_at`, then rejoins from whatever its
+    /// durable store holds. The drop window is the fabric-level half; the
+    /// chaos runner additionally removes the node object at `crash_at`
+    /// and re-adds a fresh one over the same store at `restart_at`.
+    CrashRestart {
+        /// The crashing node.
+        addr: Addr,
+        /// Crash time (inclusive).
+        crash_at: Time,
+        /// Restart time (exclusive end of the down window).
+        restart_at: Time,
+    },
 }
 
 /// What the fault plan decided for a single packet: the simulator applies
@@ -201,6 +214,15 @@ impl FaultPlan {
         })
     }
 
+    /// Crash `addr` at `crash_at` and bring it back at `restart_at`.
+    pub fn crash_restart(self, addr: Addr, crash_at: Time, restart_at: Time) -> Self {
+        self.with(FaultRule::CrashRestart {
+            addr,
+            crash_at,
+            restart_at,
+        })
+    }
+
     /// Decide the fate of the packet `src → dst` departing at time `t`.
     pub fn fate(&self, src: Addr, dst: Addr, t: Time) -> PacketFate {
         let mut fate = PacketFate::default();
@@ -265,9 +287,34 @@ impl FaultPlan {
                         fate.drop = true;
                     }
                 }
+                FaultRule::CrashRestart {
+                    addr,
+                    crash_at,
+                    restart_at,
+                } => {
+                    if (*addr == src || *addr == dst) && in_window(t, *crash_at, *restart_at) {
+                        fate.drop = true;
+                    }
+                }
             }
         }
         fate
+    }
+
+    /// The crash-restart windows in this plan, as `(addr, crash_at,
+    /// restart_at)` — the runner half of [`FaultRule::CrashRestart`].
+    pub fn crash_restarts(&self) -> Vec<(Addr, Time, Time)> {
+        self.rules
+            .iter()
+            .filter_map(|r| match r {
+                FaultRule::CrashRestart {
+                    addr,
+                    crash_at,
+                    restart_at,
+                } => Some((*addr, *crash_at, *restart_at)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Should the packet `src → dst` at time `t` be dropped?
@@ -420,12 +467,25 @@ mod tests {
     }
 
     #[test]
+    fn crash_restart_downs_the_node_then_heals() {
+        let p = FaultPlan::none().crash_restart(R1, 100, 200);
+        assert!(!p.drops(R1, R0, 99));
+        assert!(p.drops(R1, R0, 100), "outbound dropped while down");
+        assert!(p.drops(R0, R1, 150), "inbound dropped while down");
+        assert!(!p.drops(R0, R1, 200), "heals at restart");
+        assert!(!p.drops(R0, R2, 150), "other links unaffected");
+        assert_eq!(p.crash_restarts(), vec![(R1, 100, 200)]);
+        assert!(FaultPlan::none().crash(SEQ, 0).crash_restarts().is_empty());
+    }
+
+    #[test]
     fn plans_round_trip_through_serde() {
         let p = FaultPlan::none()
             .crash(SEQ, 500)
             .duplicate(R0, 3, 0, 100)
             .delay_spike(R1, 2_000, 10, 90)
             .tamper(SEQ, 5, 50)
+            .crash_restart(R2, 100, 400)
             .partition(vec![R0, C0], 0, FOREVER);
         let json = serde_json::to_string(&p).expect("serialize");
         let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");

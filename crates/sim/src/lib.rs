@@ -34,6 +34,7 @@ pub mod node;
 pub mod obs;
 pub mod sim;
 pub mod stats;
+pub mod store;
 pub mod time;
 
 pub use byz::{ByzStats, ByzStrategy, ByzantineNode};
@@ -47,4 +48,5 @@ pub use obs::{
 };
 pub use sim::{SimConfig, Simulator};
 pub use stats::NetStats;
+pub use store::Store;
 pub use time::{Duration, Time, MICROS, MILLIS, SECS};

@@ -117,6 +117,15 @@ pub trait Node: Any + Send {
         None
     }
 
+    /// The node's durability device, if it owns one. The executor flushes
+    /// it after each handler (simulator, charging the store's modeled
+    /// fsync to virtual time) or before releasing buffered sends (tokio
+    /// runtime, a real fsync) — so acknowledgments never outrun the
+    /// write-ahead log. Stateless nodes keep the default.
+    fn store(&mut self) -> Option<&mut dyn crate::store::Store> {
+        None
+    }
+
     /// Downcast support (the experiment harness inspects node state, e.g.
     /// to read a client's completed-operation records).
     fn as_any(&self) -> &dyn Any;

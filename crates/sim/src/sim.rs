@@ -400,9 +400,26 @@ impl Simulator {
             .map(|m| m.drain())
             .unwrap_or((0, Vec::new()));
         let send_bytes: u64 = ctx.sends.iter().map(|(_, p, _)| p.len() as u64).sum();
+        // Durability: flush the node's write-ahead buffer before its sends
+        // depart. The modeled fsync is charged to the serial core, so the
+        // replies this handler produced are timestamped *after* the flush —
+        // the write-ahead-of-acknowledgment ordering the tokio runtime
+        // enforces with a real fsync.
+        let mut fsync_ns = 0u64;
+        if let Some(store) = slot.node.store() {
+            if store.dirty() {
+                let bytes = store.flush();
+                fsync_ns = store.fsync_model_ns();
+                if slot.metrics.enabled() {
+                    slot.metrics.observe("store.fsync_ns", fsync_ns);
+                    slot.metrics.add("store.flushed_bytes", bytes);
+                    slot.metrics.incr("store.flushes");
+                }
+            }
+        }
         let (start, ready) = slot.cpu.admit(
             arrival,
-            serial_m + ctx.charge,
+            serial_m + ctx.charge + fsync_ns,
             &parallel_tasks,
             ctx.sends.len(),
             recv_bytes + send_bytes,

@@ -1,0 +1,54 @@
+//! The sans-IO durability effect.
+//!
+//! A node that wants crash durability owns a [`Store`]: an append-only
+//! write-ahead log of opaque records plus a single checkpoint blob. The
+//! node *appends*; the executor *flushes* — after every handler in the
+//! simulator (charging a modeled fsync to virtual time) and before the
+//! coalesced send flush in the tokio runtime (a real `fdatasync`, so
+//! every reply is write-ahead of its own durability point). Keeping the
+//! flush on the executor side is what lets one state machine be
+//! deterministic under simulation and genuinely durable on disk.
+//!
+//! Records are opaque bytes: framing, checksums, and torn-tail recovery
+//! belong to the implementations (`neo-store`), not to the protocol.
+
+/// A write-ahead log + checkpoint device owned by one node.
+///
+/// Implementations must uphold crash semantics: records that were
+/// appended but never [`flush`](Store::flush)ed may vanish on a crash;
+/// flushed records and the last completed [`put_checkpoint`] survive.
+pub trait Store: Send {
+    /// Buffer one opaque record for the write-ahead log. Cheap: no I/O
+    /// happens until [`flush`](Store::flush).
+    fn append(&mut self, record: &[u8]);
+
+    /// True when buffered appends are awaiting a flush.
+    fn dirty(&self) -> bool;
+
+    /// Make every buffered append durable (one batched fsync). Returns
+    /// the number of bytes made durable by this call.
+    fn flush(&mut self) -> u64;
+
+    /// Atomically replace the checkpoint blob. Durable on return (a
+    /// crash sees either the old blob or the new one, never a mix).
+    fn put_checkpoint(&mut self, blob: &[u8]);
+
+    /// The durable checkpoint blob, if one was ever written.
+    fn checkpoint(&self) -> Option<Vec<u8>>;
+
+    /// Every durable log record, oldest first.
+    fn log_records(&self) -> Vec<Vec<u8>>;
+
+    /// Rewrite the durable log to exactly `records` (compaction below
+    /// the stable checkpoint: the caller keeps only the suffix it still
+    /// needs). Atomic like [`put_checkpoint`]; buffered appends are
+    /// carried over, still unflushed.
+    fn reset_log(&mut self, records: &[Vec<u8>]);
+
+    /// Modeled fsync latency the simulator charges per flush, in
+    /// nanoseconds. Real-file implementations return 0 (their cost is
+    /// wall-clock, measured by the runtime's histogram instead).
+    fn fsync_model_ns(&self) -> u64 {
+        0
+    }
+}

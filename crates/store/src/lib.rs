@@ -1,0 +1,24 @@
+//! # neo-store
+//!
+//! Durable consensus storage behind the sans-IO [`neo_sim::Store`]
+//! effect: a checksummed append-only write-ahead log plus an atomically
+//! replaced checkpoint blob.
+//!
+//! * [`codec`] — the framed on-disk record format (length, SipHash-2-4
+//!   checksum, payload) with prefix-healing decode.
+//! * [`MemStore`]/[`MemDisk`] — the simulator backend: the disk outlives
+//!   the node handle, so a simulated crash loses exactly the unflushed
+//!   buffer.
+//! * [`FileStore`] — the real backend: batched `fdatasync`, torn-tail
+//!   truncation at open, temp-file-and-rename checkpoint replacement.
+//!
+//! What goes *into* the records (slot entries, checkpoint certificates)
+//! is the protocol layer's business — see `neobft::replica` and
+//! DESIGN.md §17.
+
+pub mod codec;
+pub mod file;
+pub mod mem;
+
+pub use file::FileStore;
+pub use mem::{MemDisk, MemStore};

@@ -29,6 +29,7 @@
 //! | [`core`] | `neo-core` | the NeoBFT replica and client |
 //! | [`baselines`] | `neo-baselines` | PBFT, Zyzzyva, HotStuff, MinBFT |
 //! | [`app`] | `neo-app` | echo/KV applications, YCSB workloads |
+//! | [`store`] | `neo-store` | durable WAL + checkpoint backends (file, mem) |
 //! | [`bench`] | `neo-bench` | the experiment harness behind every figure |
 //! | [`runtime`] | this crate | tokio/UDP transport for real deployments |
 
@@ -39,6 +40,7 @@ pub use neo_bench as bench;
 pub use neo_core as core;
 pub use neo_crypto as crypto;
 pub use neo_sim as sim;
+pub use neo_store as store;
 pub use neo_switch as switch;
 pub use neo_wire as wire;
 

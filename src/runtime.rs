@@ -16,7 +16,10 @@
 //! The node loop is *batched*: each wakeup drains every due timer and
 //! delayed send and every ready packet into one reused [`RtCtx`] (its
 //! effect buffers are cleared between events, never reallocated), then
-//! flushes the coalesced outgoing sends in one pass. Payloads are
+//! flushes the node's durable store (one batched fsync, timed into
+//! `store.fsync_ns` — the write-ahead log is durable before any reply
+//! from the batch leaves the socket) and finally the coalesced outgoing
+//! sends in one pass. Payloads are
 //! [`neo_wire::Payload`]s end to end, so a broadcast that fans out to
 //! the whole group costs one encode regardless of group size. Batch
 //! sizes and send failures are recorded in the node's metrics registry
@@ -701,6 +704,21 @@ fn run_node(
                         &mut timer_seq,
                     );
                     events += collected;
+                }
+            }
+
+            // Durability point: make the batch's WAL appends durable
+            // *before* releasing its sends, so no acknowledgment ever
+            // outruns the write-ahead log (one batched fsync covers
+            // every event of the batch). Wall-clock cost lands in the
+            // `store.fsync_ns` histogram — the recovery drill reads it.
+            if let Some(store) = node.store() {
+                if store.dirty() {
+                    let t0 = Instant::now();
+                    let bytes = store.flush();
+                    metrics.observe("store.fsync_ns", t0.elapsed().as_nanos() as u64);
+                    metrics.add("store.flushed_bytes", bytes);
+                    metrics.incr("store.flushes");
                 }
             }
 

@@ -118,7 +118,10 @@ fn chaos_sweep_upholds_safety_invariants_across_50_seeds() {
 
 #[test]
 fn chaos_runs_reproduce_byte_for_byte_from_the_seed() {
-    // Seed 2 carries a tamper-first plan; seed 3 a partition + byz.
+    // Seed 2 carries a tamper-first plan plus a crash-restart (every
+    // third seed crashes a replica); seed 3 a partition + byz. The
+    // crash path must reproduce too: disk contents, the restart, and
+    // the recovery handshake are all functions of the seed.
     for seed in [2u64, 3] {
         let plan = generate_plan(seed);
         let a = run_neo(&plan);
@@ -255,6 +258,80 @@ fn chaos_delay_spike_stale_arrivals_are_absorbed() {
     for r in &rs {
         assert_eq!(r.stats.double_executions, 0);
     }
+}
+
+#[test]
+fn chaos_crash_restart_sweep_recovers_across_25_seeds() {
+    // Every third seed carries a CrashRestart fault; 0..75 yields 25 of
+    // them. Each run must stay safe at every slice boundary, make
+    // progress, and bring the crashed replica back through the recovery
+    // handshake — with the overwhelming majority rejoining from a
+    // certified checkpoint rather than replaying from slot 0.
+    let seeds: Vec<u64> = (0..75).filter(|s| s % 3 == 2).collect();
+    assert_eq!(seeds.len(), 25);
+    let mut from_checkpoint = 0u64;
+    let mut replies_served = 0u64;
+    for &seed in &seeds {
+        let plan = generate_plan(seed);
+        assert_eq!(
+            plan.faults.crash_restarts().len(),
+            1,
+            "seed {seed} must carry a crash-restart fault"
+        );
+        let outcome = run_neo(&plan);
+        assert!(
+            outcome.violations.is_empty(),
+            "{}",
+            violation_report(&outcome)
+        );
+        assert!(outcome.committed > 0, "seed {seed} commits nothing");
+        assert_eq!(
+            outcome.recovered_bases.len(),
+            1,
+            "seed {seed}: the crashed replica must rejoin and report its base"
+        );
+        if outcome.recovered_bases[0] > 0 {
+            from_checkpoint += 1;
+        }
+        replies_served += outcome.state_replies_served;
+    }
+    assert!(
+        from_checkpoint >= 20,
+        "only {from_checkpoint}/25 restarts resumed from a certified checkpoint"
+    );
+    assert!(
+        replies_served > 0,
+        "peers never served a state-transfer reply across the sweep"
+    );
+}
+
+#[test]
+fn chaos_crash_restart_rejoins_from_certified_checkpoint() {
+    // Handcrafted: replica 2 crashes at 8ms and restarts at 16ms of a
+    // 30ms horizon, with no other faults. By the crash the cluster has
+    // certified checkpoints (sync interval 8), so the restarted replica
+    // must resume from a non-zero base — never a slot-0 replay — and
+    // peers must have served it state-transfer replies.
+    let faults =
+        FaultPlan::none().crash_restart(Addr::Replica(ReplicaId(2)), 8 * MILLIS, 16 * MILLIS);
+    let plan = plan_with(45, faults);
+    let outcome = run_neo(&plan);
+    assert!(
+        outcome.violations.is_empty(),
+        "{}",
+        violation_report(&outcome)
+    );
+    assert!(outcome.committed > 0);
+    assert_eq!(outcome.recovered_bases.len(), 1);
+    assert!(
+        outcome.recovered_bases[0] > 0,
+        "restart must rejoin from a certified checkpoint, got base {}",
+        outcome.recovered_bases[0]
+    );
+    assert!(outcome.checkpoints_certified > 0);
+    assert!(outcome.state_replies_served > 0);
+    // The crash path reproduces byte-for-byte like every other scenario.
+    assert_eq!(run_neo(&plan), outcome, "crash-restart rerun diverged");
 }
 
 #[test]
