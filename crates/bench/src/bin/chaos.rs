@@ -8,6 +8,9 @@
 //!   violation report, bypassing the generator.
 //! - `--obs-out <path>` — append live `ObsStreamLine` JSONL (one line
 //!   per node per slice boundary) to `path`.
+//! - `--telemetry-addr <addr>` — serve `GET /metrics` (Prometheus) and
+//!   `GET /health` (JSON) on `addr` (e.g. `127.0.0.1:9464`), refreshed
+//!   at every slice boundary while the sweep runs.
 //! - `--flight-dir <dir>` — where flight-recorder dumps are written
 //!   (default `$NEO_FLIGHT_DIR`, falling back to `target/flight`).
 //!
@@ -94,6 +97,26 @@ fn arm_sigint() -> Arc<AtomicBool> {
     flag
 }
 
+/// Start the scrape endpoint if `--telemetry-addr` was given. Returns
+/// the hub (publish target) and the server handle keeping it served.
+fn telemetry(args: &[String]) -> Option<(Arc<neo_sim::TelemetryHub>, neo_sim::TelemetryServer)> {
+    let addr = get(args, "--telemetry-addr")?;
+    let hub = Arc::new(neo_sim::TelemetryHub::new());
+    match neo_sim::TelemetryServer::start(addr, hub.clone()) {
+        Ok(server) => {
+            eprintln!(
+                "chaos: telemetry on http://{}/metrics and /health",
+                server.local_addr()
+            );
+            Some((hub, server))
+        }
+        Err(e) => {
+            eprintln!("chaos: cannot bind --telemetry-addr {addr}: {e}");
+            None
+        }
+    }
+}
+
 fn obs_writer(args: &[String]) -> Option<std::io::BufWriter<std::fs::File>> {
     let path = get(args, "--obs-out")?;
     match std::fs::OpenOptions::new()
@@ -114,14 +137,16 @@ fn main() {
     let stop = arm_sigint();
     let dir = flight_dir(&args);
     let mut obs = obs_writer(&args);
+    let telemetry = telemetry(&args);
+    let hub = telemetry.as_ref().map(|(h, _)| h.as_ref());
 
     if let Some(json) = get(&args, "--plan") {
         let plan: ChaosPlan = serde_json::from_str(json).expect("invalid plan JSON");
-        std::process::exit(run_one(&plan, &dir, &stop, &mut obs));
+        std::process::exit(run_one(&plan, &dir, &stop, &mut obs, hub));
     }
     if get(&args, "--seed").is_some() {
         let plan = generate_plan(parse(&args, "--seed", 0));
-        std::process::exit(run_one(&plan, &dir, &stop, &mut obs));
+        std::process::exit(run_one(&plan, &dir, &stop, &mut obs, hub));
     }
 
     let start = parse(&args, "--start", 0);
@@ -133,6 +158,7 @@ fn main() {
         let mut hooks = RunHooks {
             stop: Some(&stop),
             obs_out: obs.as_mut().map(|w| w as &mut dyn Write),
+            telemetry: hub,
             ..RunHooks::default()
         };
         let outcome = run_neo_with(&plan, &mut hooks);
@@ -159,6 +185,7 @@ fn run_one(
     dir: &Path,
     stop: &AtomicBool,
     obs: &mut Option<std::io::BufWriter<std::fs::File>>,
+    hub: Option<&neo_sim::TelemetryHub>,
 ) -> i32 {
     println!(
         "plan: {}",
@@ -167,6 +194,7 @@ fn run_one(
     let mut hooks = RunHooks {
         stop: Some(stop),
         obs_out: obs.as_mut().map(|w| w as &mut dyn Write),
+        telemetry: hub,
         ..RunHooks::default()
     };
     let outcome = run_neo_with(plan, &mut hooks);

@@ -1,0 +1,95 @@
+//! Operator entry point for the bench toolkit.
+//!
+//! Currently one subcommand:
+//!
+//! - `neo-bench compare <old.json> <new.json> [--check] [--floor F]
+//!   [--ceiling C]` — diff two sweep reports (as written by
+//!   `batch_sweep [out.json]` / `verify_sweep [out.json]`) with
+//!   per-metric tolerance bands. Prints a human diff table; with
+//!   `--check`, exits non-zero when the new report regresses past a
+//!   band or drops a row. Provisional baselines (modeled numbers) warn
+//!   instead of gating — see `crates/bench/src/compare.rs`.
+
+use neo_bench::compare::{compare, render, CompareConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: neo-bench compare <old.json> <new.json> [--check] [--floor F] [--ceiling C]\n\
+         \n\
+         --check       exit 1 on regression (default: report only)\n\
+         --floor F     higher-better metrics must stay >= F x old (default 0.8)\n\
+         --ceiling C   lower-better (_ns) metrics must stay <= C x old (default 1.25)"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> serde_json::Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("neo-bench: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("neo-bench: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<f64> {
+    let i = args.iter().position(|a| a == flag)?;
+    let v = args.get(i + 1).unwrap_or_else(|| usage());
+    Some(v.parse().unwrap_or_else(|_| {
+        eprintln!("neo-bench: bad {flag} value: {v}");
+        std::process::exit(2);
+    }))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => {}
+        _ => usage(),
+    }
+    // Positionals are whatever is left after flags and the values of
+    // value-taking flags.
+    let mut files: Vec<&str> = Vec::new();
+    let mut skip_next = false;
+    for a in &args[1..] {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--floor" || a == "--ceiling" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        files.push(a);
+    }
+    let [old_path, new_path] = files[..] else {
+        usage();
+    };
+    let mut cfg = CompareConfig::default();
+    if let Some(f) = flag_value(&args, "--floor") {
+        cfg.floor = f;
+    }
+    if let Some(c) = flag_value(&args, "--ceiling") {
+        cfg.ceiling = c;
+    }
+    let check = args.iter().any(|a| a == "--check");
+
+    let old = load(old_path);
+    let new = load(new_path);
+    let report = match compare(&old, &new, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("neo-bench: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", render(&report, &cfg));
+    if check && !report.passed() {
+        std::process::exit(1);
+    }
+}

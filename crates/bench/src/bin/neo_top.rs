@@ -1,0 +1,544 @@
+//! `neo-top` — live operator console over the telemetry plane.
+//!
+//! Two sources:
+//!
+//! - `neo-top --addr 127.0.0.1:9464` — poll a node's (or the chaos
+//!   bin's) `--telemetry-addr` endpoint: `GET /metrics` (Prometheus
+//!   exposition) and `GET /health` (JSON). Refreshes every
+//!   `--interval-ms` (default 1000), clearing the screen between
+//!   frames. With `--once`, takes exactly two samples one interval
+//!   apart, prints one frame, and exits (rates need a delta).
+//! - `neo-top --replay obs.jsonl` — offline: summarize an
+//!   `--obs-out` JSONL stream (`ObsStreamLine` per node per slice),
+//!   rendering the same frame from the first→last snapshot window.
+//!
+//! Per node the frame shows commit/exec rates (event-counter deltas
+//! over the sample window), client-latency p50/p99 recomputed from
+//! Prometheus histogram *bucket deltas* (so the quantiles describe the
+//! window, not the whole run), fsync p99, gap activity, view-change
+//! counts, and the health verdict. Nodes mid-recovery get a banner
+//! above the table.
+
+use neo_bench::report::{fmt_us, Table};
+use neo_sim::obs::{EventKind, HealthReport, ObsStreamLine};
+use neo_sim::render_prometheus;
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// `(node, series)` — series is a family name or `events/<kind>`.
+type SeriesKey = (String, String);
+/// Cumulative histogram buckets: `(le, cumulative count)`, ascending.
+type Buckets = Vec<(f64, u64)>;
+
+/// One scrape (or one replay window edge), parsed.
+#[derive(Clone, Debug, Default)]
+struct Sample {
+    /// Sample time in seconds (monotonic for live, stream time for replay).
+    at_s: f64,
+    counters: BTreeMap<SeriesKey, f64>,
+    buckets: BTreeMap<SeriesKey, Buckets>,
+    health: Vec<HealthReport>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: neo-top --addr <host:port> [--interval-ms N] [--once]\n\
+         \u{20}      neo-top --replay <obs.jsonl>\n\
+         \n\
+         --addr A         poll A/metrics and A/health (a --telemetry-addr endpoint)\n\
+         --interval-ms N  refresh period (default 1000)\n\
+         --once           two samples, one frame, exit\n\
+         --replay F       summarize an --obs-out JSONL stream instead of polling"
+    );
+    std::process::exit(2);
+}
+
+fn get<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a.as_str() == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let once = args.iter().any(|a| a == "--once");
+    if let Some(path) = get(&args, "--replay") {
+        std::process::exit(replay(path));
+    }
+    let Some(addr) = get(&args, "--addr") else {
+        usage();
+    };
+    let interval = Duration::from_millis(
+        get(&args, "--interval-ms")
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("bad --interval-ms: {v}"))
+            })
+            .unwrap_or(1000),
+    );
+    std::process::exit(live(addr, interval, once));
+}
+
+// ---------------------------------------------------------------- live
+
+fn live(addr: &str, interval: Duration, once: bool) -> i32 {
+    let start = Instant::now();
+    let mut prev: Option<Sample> = None;
+    let mut frames = 0u64;
+    loop {
+        match scrape(addr, start) {
+            Ok(cur) => {
+                // First sample only seeds the delta window.
+                if prev.is_some() || !once {
+                    print_frame(prev.as_ref(), &cur, !once && frames > 0);
+                    frames += 1;
+                    if once {
+                        return 0;
+                    }
+                }
+                prev = Some(cur);
+            }
+            Err(e) => {
+                eprintln!("neo-top: {e}");
+                if once {
+                    return 1;
+                }
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+fn scrape(addr: &str, start: Instant) -> Result<Sample, String> {
+    let metrics = http_get(addr, "/metrics")?;
+    let health = http_get(addr, "/health")?;
+    let mut s = Sample {
+        at_s: start.elapsed().as_secs_f64(),
+        ..Sample::default()
+    };
+    parse_exposition(&metrics, &mut s);
+    s.health =
+        serde_json::from_str(&health).map_err(|e| format!("bad /health JSON from {addr}: {e}"))?;
+    Ok(s)
+}
+
+/// Minimal HTTP/1.1 GET over a std TcpStream (the server closes after
+/// one response, so read-to-end delimits the body).
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read from {addr}: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}{path}: malformed response"))?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}{path}: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+// -------------------------------------------------------------- replay
+
+fn replay(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("neo-top: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let mut first: BTreeMap<String, ObsStreamLine> = BTreeMap::new();
+    let mut last: BTreeMap<String, ObsStreamLine> = BTreeMap::new();
+    let mut lines = 0u64;
+    for raw in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(line) = serde_json::from_str::<ObsStreamLine>(raw) else {
+            eprintln!("neo-top: skipping malformed line in {path}");
+            continue;
+        };
+        lines += 1;
+        let node = line.node.to_string();
+        first.entry(node.clone()).or_insert_with(|| line.clone());
+        last.insert(node, line);
+    }
+    if last.is_empty() {
+        eprintln!("neo-top: no ObsStreamLine records in {path}");
+        return 2;
+    }
+    let prev = sample_from(first.values());
+    let cur = sample_from(last.values());
+    println!(
+        "replaying {path}: {lines} lines, {} node(s), {:.2}s window",
+        last.len(),
+        cur.at_s - prev.at_s
+    );
+    print_frame(Some(&prev), &cur, false);
+    0
+}
+
+/// Build a [`Sample`] from stream lines by rendering each snapshot to
+/// Prometheus text and re-parsing it — one parser for both sources.
+fn sample_from<'a>(lines: impl Iterator<Item = &'a ObsStreamLine>) -> Sample {
+    let mut s = Sample::default();
+    let mut max_at = 0u64;
+    for line in lines {
+        let node = line.node.to_string();
+        let rendered = render_prometheus(&[(node.clone(), line.snapshot.clone())]);
+        parse_exposition(&rendered, &mut s);
+        max_at = max_at.max(line.at);
+        s.health.push(HealthReport {
+            node,
+            healthy: true,
+            committed: line.snapshot.event(EventKind::Commit),
+            fsync_p99_ns: line
+                .snapshot
+                .histograms
+                .get("store.fsync_ns")
+                .map_or(0, |h| h.p99),
+            ..HealthReport::default()
+        });
+    }
+    s.at_s = max_at as f64 / 1e9;
+    s
+}
+
+// ------------------------------------------------------------- parsing
+
+/// Parse `k="v"` label pairs (our label values never contain commas).
+fn labels(s: &str) -> Vec<(&str, String)> {
+    s.split(',')
+        .filter_map(|part| {
+            let (k, v) = part.split_once('=')?;
+            let v = v
+                .trim_matches('"')
+                .replace("\\\"", "\"")
+                .replace("\\n", "\n")
+                .replace("\\\\", "\\");
+            Some((k, v))
+        })
+        .collect()
+}
+
+/// Fold a Prometheus text exposition into `sample`. Counters and gauges
+/// become `(node, family)` series; `neobft_events_total` fans out per
+/// `kind` label as `events/<kind>`; `_bucket` lines accumulate into
+/// cumulative histograms keyed by family.
+fn parse_exposition(text: &str, sample: &mut Sample) {
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((head, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(v) = value.parse::<f64>() else {
+            continue;
+        };
+        let (name, label_str) = match head.split_once('{') {
+            Some((n, rest)) => (n, rest.strip_suffix('}').unwrap_or(rest)),
+            None => (head, ""),
+        };
+        let pairs = labels(label_str);
+        let node = pairs
+            .iter()
+            .find(|(k, _)| *k == "node")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        if let Some(family) = name.strip_suffix("_bucket") {
+            if let Some((_, le)) = pairs.iter().find(|(k, _)| *k == "le") {
+                let le = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().unwrap_or(f64::INFINITY)
+                };
+                sample
+                    .buckets
+                    .entry((node, family.to_string()))
+                    .or_default()
+                    .push((le, v as u64));
+                continue;
+            }
+        }
+        if name == "neobft_events_total" {
+            if let Some((_, kind)) = pairs.iter().find(|(k, _)| *k == "kind") {
+                sample.counters.insert((node, format!("events/{kind}")), v);
+                continue;
+            }
+        }
+        sample.counters.insert((node, name.to_string()), v);
+    }
+    for b in sample.buckets.values_mut() {
+        b.sort_by(|a, b| a.0.total_cmp(&b.0));
+    }
+}
+
+// ------------------------------------------------------------ deriving
+
+/// Per-second rate of a counter series over the sample window.
+fn rate(prev: Option<&Sample>, cur: &Sample, node: &str, series: &str) -> f64 {
+    let key = (node.to_string(), series.to_string());
+    let now = cur.counters.get(&key).copied().unwrap_or(0.0);
+    let Some(p) = prev else { return 0.0 };
+    let dt = cur.at_s - p.at_s;
+    if dt <= 0.0 {
+        return 0.0;
+    }
+    (now - p.counters.get(&key).copied().unwrap_or(0.0)).max(0.0) / dt
+}
+
+/// Quantile of the values recorded *during the window*: subtract the
+/// previous cumulative bucket counts from the current ones, then walk
+/// the delta histogram. `None` when nothing was recorded. `u64::MAX`
+/// stands for the `+Inf` bucket.
+fn quantile_delta(prev: Option<&Buckets>, cur: &Buckets, q: f64) -> Option<u64> {
+    let prev_at = |le: f64| -> u64 {
+        prev.and_then(|b| b.iter().find(|(l, _)| *l == le))
+            .map_or(0, |(_, c)| *c)
+    };
+    let deltas: Buckets = cur
+        .iter()
+        .map(|(le, c)| (*le, c.saturating_sub(prev_at(*le))))
+        .collect();
+    let total = deltas.last().map(|(_, c)| *c)?;
+    if total == 0 {
+        return None;
+    }
+    let target = ((total as f64) * q).ceil() as u64;
+    for (le, c) in &deltas {
+        if *c >= target {
+            return Some(if le.is_finite() { *le as u64 } else { u64::MAX });
+        }
+    }
+    None
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1}K", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+fn fmt_quantile(q: Option<u64>) -> String {
+    match q {
+        None => "-".to_string(),
+        Some(u64::MAX) => "+Inf".to_string(),
+        Some(v) => fmt_us(v),
+    }
+}
+
+// ----------------------------------------------------------- rendering
+
+fn print_frame(prev: Option<&Sample>, cur: &Sample, clear: bool) {
+    if clear {
+        print!("\x1b[2J\x1b[H");
+    }
+    for h in &cur.health {
+        if h.verify_poisoned {
+            println!("** {}: VERIFY POOL POISONED **", h.node);
+        }
+        if let Some(p) = &h.protocol {
+            if let Some(phase) = p.recovery_phase.as_deref() {
+                if phase != "active" {
+                    match p.recovery_base {
+                        Some(base) => {
+                            println!("** RECOVERY: {} is {} (base slot {base}) **", h.node, phase)
+                        }
+                        None => println!("** RECOVERY: {} is {} **", h.node, phase),
+                    }
+                }
+            }
+        }
+    }
+    let mut table = Table::new(
+        "neo-top",
+        &[
+            "Node",
+            "Role",
+            "Ep/View",
+            "Phase",
+            "Commit/s",
+            "Exec/s",
+            "lat p50",
+            "lat p99",
+            "fsync p99",
+            "Gap/s",
+            "VC",
+            "Healthy",
+        ],
+    );
+    let mut total_commit = 0.0;
+    let mut unhealthy = 0;
+    for h in &cur.health {
+        let n = &h.node;
+        let commit =
+            rate(prev, cur, n, "events/commit") + rate(prev, cur, n, "events/client_commit");
+        total_commit += rate(prev, cur, n, "events/commit");
+        let exec = rate(prev, cur, n, "events/speculative_execute");
+        let gaps = rate(prev, cur, n, "events/gap_find") + rate(prev, cur, n, "events/gap_commit");
+        let vc_key = |s: &str| (n.clone(), format!("events/{s}"));
+        let vc = cur
+            .counters
+            .get(&vc_key("view_change"))
+            .copied()
+            .unwrap_or(0.0)
+            + cur
+                .counters
+                .get(&vc_key("epoch_change"))
+                .copied()
+                .unwrap_or(0.0);
+        let lat_key = (n.clone(), "neobft_client_latency_ns".to_string());
+        let lat = cur.buckets.get(&lat_key);
+        let prev_lat = prev.and_then(|p| p.buckets.get(&lat_key));
+        let p50 = lat.and_then(|b| quantile_delta(prev_lat, b, 0.50));
+        let p99 = lat.and_then(|b| quantile_delta(prev_lat, b, 0.99));
+        let (role, ep_view, phase) = match &h.protocol {
+            Some(p) => (
+                p.role.clone(),
+                format!("{}/{}", p.epoch, p.view),
+                p.recovery_phase.clone().unwrap_or_else(|| "-".to_string()),
+            ),
+            None => ("?".to_string(), "-".to_string(), "-".to_string()),
+        };
+        if !h.healthy {
+            unhealthy += 1;
+        }
+        table.row(vec![
+            n.clone(),
+            role,
+            ep_view,
+            phase,
+            fmt_rate(commit),
+            fmt_rate(exec),
+            fmt_quantile(p50),
+            fmt_quantile(p99),
+            if h.fsync_p99_ns > 0 {
+                fmt_us(h.fsync_p99_ns)
+            } else {
+                "-".to_string()
+            },
+            format!("{gaps:.1}"),
+            format!("{vc:.0}"),
+            if h.healthy { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "cluster: {} node(s), {} unhealthy, replica commit rate {}/s",
+        cur.health.len(),
+        unhealthy,
+        fmt_rate(total_commit)
+    );
+}
+
+// --------------------------------------------------------------- tests
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_sim::obs::{Metrics, ObsConfig};
+
+    #[test]
+    fn parses_what_the_renderer_writes() {
+        let m = Metrics::new(ObsConfig::default());
+        m.incr("replica.messages_in");
+        m.incr("replica.messages_in");
+        for v in [100, 200, 300, 400_000] {
+            m.observe("client.latency_ns", v);
+        }
+        let text = render_prometheus(&[("r0".to_string(), m.snapshot())]);
+        let mut s = Sample::default();
+        parse_exposition(&text, &mut s);
+        assert_eq!(
+            s.counters.get(&(
+                "r0".to_string(),
+                "neobft_replica_messages_in_total".to_string()
+            )),
+            Some(&2.0)
+        );
+        let buckets = s
+            .buckets
+            .get(&("r0".to_string(), "neobft_client_latency_ns".to_string()))
+            .expect("histogram parsed");
+        let (last_le, last_cum) = *buckets.last().unwrap();
+        assert!(last_le.is_infinite(), "+Inf bucket present");
+        assert_eq!(last_cum, 4, "cumulative count reaches the total");
+        // Cumulative counts are monotonically non-decreasing.
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn events_fan_out_per_kind() {
+        let text = "# TYPE neobft_events_total counter\n\
+                    neobft_events_total{node=\"r0\",kind=\"commit\"} 7\n\
+                    neobft_events_total{node=\"r0\",kind=\"view_change\"} 1\n";
+        let mut s = Sample::default();
+        parse_exposition(text, &mut s);
+        assert_eq!(
+            s.counters
+                .get(&("r0".to_string(), "events/commit".to_string())),
+            Some(&7.0)
+        );
+        assert_eq!(
+            s.counters
+                .get(&("r0".to_string(), "events/view_change".to_string())),
+            Some(&1.0)
+        );
+    }
+
+    #[test]
+    fn rates_are_deltas_over_the_window() {
+        let mut prev = Sample {
+            at_s: 10.0,
+            ..Sample::default()
+        };
+        prev.counters
+            .insert(("r0".to_string(), "events/commit".to_string()), 1000.0);
+        let mut cur = Sample {
+            at_s: 12.0,
+            ..Sample::default()
+        };
+        cur.counters
+            .insert(("r0".to_string(), "events/commit".to_string()), 1500.0);
+        assert_eq!(rate(Some(&prev), &cur, "r0", "events/commit"), 250.0);
+        // No previous sample: no rate.
+        assert_eq!(rate(None, &cur, "r0", "events/commit"), 0.0);
+    }
+
+    #[test]
+    fn quantiles_come_from_bucket_deltas() {
+        // Window: prev has 10 obs all <= 100; cur adds 90 obs <= 1000.
+        let prev: Buckets = vec![(100.0, 10), (1000.0, 10), (f64::INFINITY, 10)];
+        let cur: Buckets = vec![(100.0, 10), (1000.0, 100), (f64::INFINITY, 100)];
+        // All 90 new observations land in (100, 1000]: both quantiles 1000.
+        assert_eq!(quantile_delta(Some(&prev), &cur, 0.50), Some(1000));
+        assert_eq!(quantile_delta(Some(&prev), &cur, 0.99), Some(1000));
+        // Without the baseline, the old 10 fast obs drag p50 down.
+        assert_eq!(quantile_delta(None, &cur, 0.05), Some(100));
+        // Empty window: no quantile.
+        assert_eq!(quantile_delta(Some(&cur), &cur, 0.50), None);
+    }
+
+    #[test]
+    fn inf_bucket_renders_as_inf() {
+        let cur: Buckets = vec![(100.0, 0), (f64::INFINITY, 5)];
+        assert_eq!(quantile_delta(None, &cur, 0.99), Some(u64::MAX));
+        assert_eq!(fmt_quantile(Some(u64::MAX)), "+Inf");
+    }
+}

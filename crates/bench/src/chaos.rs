@@ -365,6 +365,11 @@ pub struct RunHooks<'a> {
     /// Tests use it to corrupt replica state and exercise the
     /// violation → flight-dump path end to end.
     pub inject: Option<&'a mut dyn FnMut(&mut Simulator, u64)>,
+    /// Live scrape plane: when set, every node's metrics snapshot and
+    /// health document are published into the hub at every slice
+    /// boundary, so a [`neo_sim::TelemetryServer`] over the hub serves
+    /// `/metrics` and `/health` for the run as it advances.
+    pub telemetry: Option<&'a neo_sim::TelemetryHub>,
 }
 
 /// Run the NeoBFT side of a scenario, checking invariants at every
@@ -398,7 +403,14 @@ pub fn run_neo_with(plan: &ChaosPlan, hooks: &mut RunHooks) -> ChaosOutcome {
     let slice = (plan.horizon_ns / SLICES).max(1);
     let mut interrupted = false;
     for i in 1..=SLICES {
-        advance(&mut sim, plan, &disks, &boundaries, &mut next_boundary, i * slice);
+        advance(
+            &mut sim,
+            plan,
+            &disks,
+            &boundaries,
+            &mut next_boundary,
+            i * slice,
+        );
         if let Some(f) = hooks.inject.as_mut() {
             f(&mut sim, i);
         }
@@ -406,6 +418,9 @@ pub fn run_neo_with(plan: &ChaosPlan, hooks: &mut RunHooks) -> ChaosOutcome {
         snap(&sim, &checker, &mut flight);
         if let Some(w) = hooks.obs_out.as_deref_mut() {
             stream_obs(&mut sim, w);
+        }
+        if let Some(hub) = hooks.telemetry {
+            sim.publish_telemetry(hub);
         }
         if hooks
             .stop
@@ -436,6 +451,9 @@ pub fn run_neo_with(plan: &ChaosPlan, hooks: &mut RunHooks) -> ChaosOutcome {
         if let Some(w) = hooks.obs_out.as_deref_mut() {
             stream_obs(&mut sim, w);
         }
+        if let Some(hub) = hooks.telemetry {
+            sim.publish_telemetry(hub);
+        }
     }
 
     let committed = (0..plan.n_clients as u64)
@@ -459,9 +477,8 @@ pub fn run_neo_with(plan: &ChaosPlan, hooks: &mut RunHooks) -> ChaosOutcome {
         .filter_map(|r| r.recovery_base())
         .map(|s| s.0)
         .collect();
-    let (checkpoints_certified, state_replies_served) = correct_replicas(&sim, plan)
-        .iter()
-        .fold((0, 0), |acc, r| {
+    let (checkpoints_certified, state_replies_served) =
+        correct_replicas(&sim, plan).iter().fold((0, 0), |acc, r| {
             (
                 acc.0 + r.stats.checkpoints_certified,
                 acc.1 + r.stats.state_replies_served,
@@ -703,6 +720,31 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_hook_publishes_every_node() {
+        use neo_sim::TelemetryProvider;
+        let hub = neo_sim::TelemetryHub::new();
+        let mut hooks = RunHooks {
+            telemetry: Some(&hub),
+            ..RunHooks::default()
+        };
+        let plan = generate_plan(0);
+        let outcome = run_neo_with(&plan, &mut hooks);
+        assert!(outcome.violations.is_empty(), "seed 0 is clean");
+        assert_eq!(hub.len(), N + plan.n_clients + 2, "one doc per node");
+        let reports = hub.health();
+        let replicas: Vec<_> = reports.iter().filter(|r| r.protocol.is_some()).collect();
+        assert_eq!(replicas.len(), N, "every replica reports protocol health");
+        assert!(replicas.iter().all(|r| r.healthy), "{reports:?}");
+        assert!(
+            replicas.iter().map(|r| r.committed).sum::<u64>() > 0,
+            "commit events surface in the health docs"
+        );
+        // The scrape side renders the same publications.
+        let body = neo_sim::render_prometheus(&hub.scrape());
+        assert!(body.contains("neobft_replica_messages_in_total"), "{body}");
+    }
+
+    #[test]
     fn batch_size_cycles_with_the_seed() {
         assert_eq!(generate_plan(0).batch, 1);
         assert_eq!(generate_plan(1).batch, 4);
@@ -796,7 +838,10 @@ mod tests {
         assert!(outcome.checkpoints_certified > 0);
         assert!(outcome.state_replies_served > 0);
         let line = summary_line(&outcome);
-        assert!(line.contains("recovered@"), "summary reports recovery: {line}");
+        assert!(
+            line.contains("recovered@"),
+            "summary reports recovery: {line}"
+        );
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! Perf-regression comparison over committed sweep reports.
+//!
+//! `neo-bench compare <old.json> <new.json>` diffs two reports produced
+//! by the sweep binaries (`batch_sweep`, `verify_sweep` — any report
+//! with a `bench` name and a `rows` array). Rows are matched by their
+//! identity fields (`protocol`, `mode`, `workers`, `batch`); each
+//! shared metric is checked against a tolerance band:
+//!
+//! - *higher-is-better* metrics (`ops_per_sec`, `committed`) must stay
+//!   at or above `floor × old` (default 0.8 — a >20% drop fails);
+//! - *lower-is-better* metrics (names ending `_ns`) must stay at or
+//!   below `ceiling × old` (default 1.25 — a >25% latency inflation
+//!   fails);
+//! - anything else is informational and never gates.
+//!
+//! Reports marked `"provisional": true` carry modeled numbers, not
+//! measurements, so value regressions against them degrade to warnings
+//! (the same convention the sweep binaries' own `--check` uses).
+//! Structural drift — a row present in the old report but missing from
+//! the new one, or mismatched `bench` names — always fails: coverage
+//! loss is detectable without calibrated hardware.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Fields that identify a row across runs (whichever are present).
+pub const IDENTITY_FIELDS: [&str; 4] = ["protocol", "mode", "workers", "batch"];
+
+/// Metrics where larger is better (gated by the floor).
+pub const HIGHER_BETTER: [&str; 2] = ["ops_per_sec", "committed"];
+
+/// Tolerance bands for [`compare`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompareConfig {
+    /// Higher-is-better metrics must stay ≥ `floor × old`.
+    pub floor: f64,
+    /// Lower-is-better metrics must stay ≤ `ceiling × old`.
+    pub ceiling: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            floor: 0.8,
+            ceiling: 1.25,
+        }
+    }
+}
+
+/// How one metric of one row moved between the reports.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Row identity (`protocol=… batch=…`).
+    pub key: String,
+    /// Metric name.
+    pub metric: String,
+    /// Old value.
+    pub old: f64,
+    /// New value.
+    pub new: f64,
+    /// Whether the move broke its tolerance band.
+    pub regressed: bool,
+    /// Whether this metric gates at all (identity/informational fields
+    /// produce no delta; a gating metric with `old == 0` is recorded but
+    /// never regresses — there is no ratio to take).
+    pub gated: bool,
+}
+
+impl Delta {
+    /// Signed relative change in percent (`+` = value grew).
+    pub fn pct(&self) -> f64 {
+        if self.old == 0.0 {
+            0.0
+        } else {
+            (self.new - self.old) / self.old * 100.0
+        }
+    }
+}
+
+/// Outcome of comparing two reports.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// The `bench` name both reports carry.
+    pub bench: String,
+    /// Whether either input is marked provisional (value regressions
+    /// degrade to warnings).
+    pub provisional: bool,
+    /// Every compared metric, in row order of the old report.
+    pub deltas: Vec<Delta>,
+    /// Row keys present in the old report but absent from the new one.
+    pub missing_rows: Vec<String>,
+    /// Row keys only the new report has (informational).
+    pub added_rows: Vec<String>,
+}
+
+impl CompareReport {
+    /// Deltas that broke their band.
+    pub fn regressions(&self) -> Vec<&Delta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// Gate verdict: structural drift always fails; value regressions
+    /// fail only when both inputs are measured (non-provisional).
+    pub fn passed(&self) -> bool {
+        self.missing_rows.is_empty() && (self.provisional || self.regressions().is_empty())
+    }
+}
+
+/// Identity of a row: its identity fields, in canonical order.
+pub fn row_key(row: &Value) -> String {
+    let parts: Vec<String> = IDENTITY_FIELDS
+        .iter()
+        .filter_map(|f| row.get(*f).map(|v| format!("{f}={v}")))
+        .collect();
+    if parts.is_empty() {
+        "<unkeyed>".to_string()
+    } else {
+        parts.join(" ")
+    }
+}
+
+/// Whether (and how) a metric gates. `None` = identity/informational.
+fn higher_better(name: &str) -> Option<bool> {
+    if HIGHER_BETTER.contains(&name) {
+        Some(true)
+    } else if name.ends_with("_ns") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Compare two parsed reports. Errors on shape problems (missing `rows`,
+/// mismatched `bench` names) — those are operator mistakes, not
+/// regressions.
+pub fn compare(old: &Value, new: &Value, cfg: &CompareConfig) -> Result<CompareReport, String> {
+    let bench_of = |v: &Value, which: &str| -> Result<String, String> {
+        Ok(v.get("bench")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{which}: no \"bench\" name"))?
+            .to_string())
+    };
+    let old_bench = bench_of(old, "old report")?;
+    let new_bench = bench_of(new, "new report")?;
+    if old_bench != new_bench {
+        return Err(format!(
+            "bench mismatch: old is \"{old_bench}\", new is \"{new_bench}\""
+        ));
+    }
+    let rows_of = |v: &Value, which: &str| -> Result<Vec<Value>, String> {
+        Ok(v.get("rows")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("{which}: no \"rows\" array"))?
+            .clone())
+    };
+    let old_rows = rows_of(old, "old report")?;
+    let new_rows = rows_of(new, "new report")?;
+    let provisional = [old, new]
+        .iter()
+        .any(|v| v.get("provisional").and_then(Value::as_bool) == Some(true));
+
+    let new_by_key: BTreeMap<String, &Value> = new_rows.iter().map(|r| (row_key(r), r)).collect();
+    let mut seen: Vec<String> = Vec::new();
+    let mut report = CompareReport {
+        bench: old_bench,
+        provisional,
+        ..CompareReport::default()
+    };
+    for old_row in &old_rows {
+        let key = row_key(old_row);
+        seen.push(key.clone());
+        let Some(new_row) = new_by_key.get(&key) else {
+            report.missing_rows.push(key);
+            continue;
+        };
+        let Some(fields) = old_row.as_object() else {
+            continue;
+        };
+        for (name, old_v) in fields {
+            let gates = higher_better(name);
+            let kind_is_metric = gates.is_some();
+            if !kind_is_metric {
+                continue;
+            }
+            let (Some(old_f), Some(new_f)) =
+                (old_v.as_f64(), new_row.get(name).and_then(Value::as_f64))
+            else {
+                continue;
+            };
+            // old == 0 has no ratio: record, never gate (a genuinely
+            // zero baseline — e.g. a stall histogram that never fired —
+            // is a noise floor, not a budget).
+            let regressed = old_f != 0.0
+                && match gates {
+                    Some(true) => new_f < cfg.floor * old_f,
+                    Some(false) => new_f > cfg.ceiling * old_f,
+                    None => false,
+                };
+            report.deltas.push(Delta {
+                key: key.clone(),
+                metric: name.to_string(),
+                old: old_f,
+                new: new_f,
+                regressed,
+                gated: old_f != 0.0,
+            });
+        }
+    }
+    for key in new_by_key.keys() {
+        if !seen.contains(key) {
+            report.added_rows.push(key.clone());
+        }
+    }
+    Ok(report)
+}
+
+/// Render the comparison as a human diff table plus verdict lines.
+/// Returns a string so callers can route it (stdout, tests, CI
+/// annotations).
+pub fn render(report: &CompareReport, cfg: &CompareConfig) -> String {
+    let mut s = String::new();
+    {
+        use std::fmt::Write;
+        let _ = writeln!(s, "bench: {}", report.bench);
+        let _ = writeln!(
+            s,
+            "bands: higher-better floor {:.2}x, lower-better ceiling {:.2}x",
+            cfg.floor, cfg.ceiling
+        );
+        if report.provisional {
+            let _ = writeln!(
+                s,
+                "note: provisional baseline — value drift reported, not gated"
+            );
+        }
+        for d in &report.deltas {
+            let status = if d.regressed {
+                if report.provisional {
+                    "drift"
+                } else {
+                    "REGRESSED"
+                }
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                s,
+                "  {:<40} {:<22} {:>14.0} -> {:>14.0}  {:>+7.1}%  {}",
+                d.key,
+                d.metric,
+                d.old,
+                d.new,
+                d.pct(),
+                status
+            );
+        }
+        for k in &report.missing_rows {
+            let _ = writeln!(s, "  MISSING in new report: {k}");
+        }
+        for k in &report.added_rows {
+            let _ = writeln!(s, "  added in new report: {k}");
+        }
+        let _ = writeln!(
+            s,
+            "verdict: {}",
+            if report.passed() { "PASS" } else { "FAIL" }
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn base() -> Value {
+        json!({
+            "bench": "batch_sweep",
+            "rows": [
+                { "protocol": "Neo-HM", "batch": 1,
+                  "ops_per_sec": 100000.0, "p50_ns": 200000, "p99_ns": 400000, "committed": 20000 },
+                { "protocol": "Neo-HM", "batch": 16,
+                  "ops_per_sec": 800000.0, "p50_ns": 300000, "p99_ns": 500000, "committed": 160000 }
+            ]
+        })
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let cfg = CompareConfig::default();
+        let report = compare(&base(), &base(), &cfg).expect("compares");
+        assert!(report.passed(), "{report:?}");
+        assert!(report.regressions().is_empty());
+        assert!(report.missing_rows.is_empty());
+        assert!(render(&report, &cfg).contains("verdict: PASS"));
+    }
+
+    #[test]
+    fn throughput_drop_beyond_floor_fails() {
+        let mut new = base();
+        // −25% ops on the batch=16 row: below the 0.8 floor.
+        new["rows"][1]["ops_per_sec"] = json!(600000.0);
+        let cfg = CompareConfig::default();
+        let report = compare(&base(), &new, &cfg).expect("compares");
+        assert!(!report.passed());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "ops_per_sec");
+        assert!(regs[0].key.contains("batch=16"), "{}", regs[0].key);
+        assert!(render(&report, &cfg).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn latency_inflation_beyond_ceiling_fails() {
+        let mut new = base();
+        // +30% p99 on the batch=1 row: above the 1.25 ceiling.
+        new["rows"][0]["p99_ns"] = json!(520000);
+        let report = compare(&base(), &new, &CompareConfig::default()).expect("compares");
+        assert!(!report.passed());
+        assert_eq!(report.regressions()[0].metric, "p99_ns");
+    }
+
+    #[test]
+    fn drift_within_bands_passes() {
+        let mut new = base();
+        new["rows"][0]["ops_per_sec"] = json!(85000.0); // −15%: inside 0.8
+        new["rows"][1]["p99_ns"] = json!(600000); // +20%: inside 1.25
+        let report = compare(&base(), &new, &CompareConfig::default()).expect("compares");
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn provisional_baseline_degrades_regressions_to_warnings() {
+        let mut old = base();
+        old["provisional"] = json!(true);
+        let mut new = base();
+        new["rows"][1]["ops_per_sec"] = json!(100000.0); // −87%
+        let cfg = CompareConfig::default();
+        let report = compare(&old, &new, &cfg).expect("compares");
+        assert!(report.provisional);
+        assert_eq!(report.regressions().len(), 1, "drift is still reported");
+        assert!(report.passed(), "but does not gate");
+        assert!(render(&report, &cfg).contains("provisional"));
+    }
+
+    #[test]
+    fn missing_rows_fail_even_when_provisional() {
+        let mut old = base();
+        old["provisional"] = json!(true);
+        let mut new = old.clone();
+        new["rows"].as_array_mut().unwrap().pop();
+        let report = compare(&old, &new, &CompareConfig::default()).expect("compares");
+        assert_eq!(report.missing_rows, vec!["protocol=\"Neo-HM\" batch=16"]);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn added_rows_are_informational() {
+        let mut new = base();
+        new["rows"].as_array_mut().unwrap().push(json!(
+            { "protocol": "Neo-HM", "batch": 64,
+              "ops_per_sec": 1000000.0, "p50_ns": 600000, "p99_ns": 900000, "committed": 200000 }
+        ));
+        let report = compare(&base(), &new, &CompareConfig::default()).expect("compares");
+        assert!(report.passed());
+        assert_eq!(report.added_rows.len(), 1);
+    }
+
+    #[test]
+    fn zero_baselines_never_gate() {
+        let old = json!({
+            "bench": "verify_sweep",
+            "rows": [{ "mode": "serial", "workers": 1, "batch": 1,
+                       "ops_per_sec": 5000.0, "reorder_stall_p99_ns": 0 }]
+        });
+        let mut new = old.clone();
+        new["rows"][0]["reorder_stall_p99_ns"] = json!(14000);
+        let report = compare(&old, &new, &CompareConfig::default()).expect("compares");
+        assert!(report.passed(), "0 → 14000 has no ratio to gate on");
+    }
+
+    #[test]
+    fn bench_mismatch_is_an_error() {
+        let mut new = base();
+        new["bench"] = json!("verify_sweep");
+        let err = compare(&base(), &new, &CompareConfig::default()).unwrap_err();
+        assert!(err.contains("bench mismatch"), "{err}");
+    }
+
+    #[test]
+    fn committed_reports_compare_clean_against_themselves() {
+        // The repo's own BENCH trajectory must satisfy the gate's
+        // identity property (this is what CI runs on every push).
+        for name in ["BENCH_0006.json", "BENCH_0007.json"] {
+            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(name);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+            let v: Value = serde_json::from_str(&text).expect("valid report JSON");
+            let report = compare(&v, &v, &CompareConfig::default()).expect("compares");
+            assert!(report.passed(), "{name} vs itself must pass");
+            assert!(!report.deltas.is_empty(), "{name} has gated metrics");
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! aom-ordered stream deterministically and surviving arbitrary
 //! Byzantine input without crashing. This crate checks those
 //! invariants mechanically over the sans-IO protocol crates; see
-//! [`rules`] for the five rules and DESIGN.md §10 for the rationale.
+//! [`rules`] for the rule set and DESIGN.md §10 for the rationale.
 //!
 //! Deliberately zero-dependency: the build environment for this repo
 //! cannot assume a crates.io mirror, so parsing is a hand-rolled token

@@ -1,6 +1,6 @@
 //! Rule evaluation entry points.
 //!
-//! R1–R5 are token-stream rules (this module); R6–R8 are dataflow
+//! R1–R5 and R9 are token-stream rules (this module); R6–R8 are dataflow
 //! rules over the item model + call graph (see [`crate::parser`],
 //! [`crate::callgraph`], [`crate::dataflow`]). [`analyze_workspace`]
 //! runs both passes over every file at once so the call graph spans
@@ -21,6 +21,10 @@
 //!    attacker-controlled data inside a handler — or a storage routine
 //!    (`replay_*`/`install_*`: replayed logs and state-transfer
 //!    payloads size recovery buffers) — with no bound.
+//! R9 static-metric-names — `metrics.incr(..)`/`add`/`observe`/
+//!    `set_gauge` called with a computed (non-literal) metric name.
+//!    Dynamic names mint unbounded time series — every scrape family
+//!    must be a static literal; variance belongs in bounded labels.
 //!
 //! All rules honor `#[cfg(test)]`/`#[test]` regions (skipped) and
 //! inline `// neo-lint: allow(rule, reason)` waivers, which suppress
@@ -40,6 +44,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("R6", "verify-before-mutate"),
     ("R7", "verify-charges-meter"),
     ("R8", "interprocedural-panic-reach"),
+    ("R9", "static-metric-names"),
 ];
 
 const ITER_METHODS: &[&str] = &[
@@ -78,6 +83,13 @@ const UNBOUNDED_KEYS: &[&str] = &[
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented", "assert"];
 
+/// Metric-registry methods whose first argument names the series.
+/// `incr` is distinctive enough to check in its one-argument form;
+/// `add`/`observe`/`set_gauge` are common method names, so they are
+/// only treated as registry calls in their `(name, value)` arity —
+/// single-argument `Histogram::observe(v)` style calls stay exempt.
+const METRIC_METHODS: &[&str] = &["incr", "add", "observe", "set_gauge"];
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Container {
     Hash,
@@ -97,7 +109,7 @@ pub fn analyze(rel: &str, src: &str) -> Vec<Finding> {
     analyze_workspace(&[(rel.to_string(), src.to_string())])
 }
 
-/// Lint a set of files as one workspace: token rules (R1–R5) per file,
+/// Lint a set of files as one workspace: token rules (R1–R5, R9) per file,
 /// then the item model + call graph + dataflow rules (R6–R8) across
 /// all of them. Waivers apply to both passes identically.
 pub fn analyze_workspace(files: &[(String, String)]) -> Vec<Finding> {
@@ -117,7 +129,15 @@ pub fn analyze_workspace(files: &[(String, String)]) -> Vec<Finding> {
         rule_r2(toks, &is_attr, &handlers, &mut out);
         rule_r3(toks, &is_test, &mut out);
         rule_r5(toks, &is_attr, &handlers, &fields, "handler", &mut out);
-        rule_r5(toks, &is_attr, &storage, &fields, "storage routine", &mut out);
+        rule_r5(
+            toks,
+            &is_attr,
+            &storage,
+            &fields,
+            "storage routine",
+            &mut out,
+        );
+        rule_r9(toks, &is_test, &is_attr, &mut out);
         raw.push(out);
 
         models.push(crate::parser::parse_file(rel, &lexed, &is_test));
@@ -848,6 +868,80 @@ fn rule_r5(
     }
 }
 
+/// R9: metric-registry calls must name their series with a string
+/// literal. A computed name (`&format!("x.{peer}")`, a variable, a
+/// function call) mints a fresh time series per distinct value —
+/// unbounded scrape cardinality — and defeats static grep-ability of
+/// the metric namespace.
+fn rule_r9(
+    toks: &[Tok],
+    is_test: &[bool],
+    is_attr: &[bool],
+    out: &mut BTreeSet<(u32, &'static str, String)>,
+) {
+    for k in 0..toks.len() {
+        if is_test[k] || is_attr[k] {
+            continue;
+        }
+        // `.method(` with a metric-registry method name.
+        if !(toks[k].is_punct('.')
+            && k + 2 < toks.len()
+            && toks[k + 1].kind == TokKind::Ident
+            && METRIC_METHODS.contains(&toks[k + 1].text.as_str())
+            && toks[k + 2].is_punct('('))
+        {
+            continue;
+        }
+        let method = toks[k + 1].text.as_str();
+        // Walk the argument list: first top-level token and top-level
+        // comma count (arity).
+        let mut depth = 0i64;
+        let mut commas = 0usize;
+        let mut first: Option<&Tok> = None;
+        let mut j = k + 2;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1 {
+                if t.is_punct(',') {
+                    commas += 1;
+                } else if first.is_none() {
+                    first = Some(t);
+                }
+            }
+            j += 1;
+        }
+        let Some(first) = first else {
+            continue; // no arguments — not a registry call
+        };
+        let arity = commas + 1;
+        let registry_shape = match method {
+            "incr" => arity == 1,
+            _ => arity >= 2,
+        };
+        if !registry_shape {
+            continue;
+        }
+        if first.kind == TokKind::Literal && first.text.starts_with('"') {
+            continue;
+        }
+        out.insert((
+            toks[k + 1].line,
+            "R9",
+            format!(
+                "`.{method}(..)` with a computed metric name — dynamic names mint unbounded \
+                 time series; use a static string literal (put variance in a bounded label)"
+            ),
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -925,6 +1019,37 @@ mod tests {
         assert_eq!(r5.len(), 1);
         assert!(r5[0].message.contains("replay_suffix"));
         assert!(r5[0].message.contains("storage routine"));
+    }
+
+    #[test]
+    fn r9_flags_computed_metric_names() {
+        let src = "fn f(m: &Metrics, peer: &str, v: u64) {\n\
+                   m.incr(&format!(\"send_failed.{peer}\"));\n\
+                   m.observe(name_for(peer), v);\n\
+                   m.incr(\"static.name\");\n\
+                   m.observe(\"lat_ns\", v);\n\
+                   }";
+        let f = lint(src);
+        let r9: Vec<_> = f.iter().filter(|f| f.rule == "R9").collect();
+        assert_eq!(r9.len(), 2, "{f:#?}");
+        assert_eq!(r9[0].line, 2);
+        assert_eq!(r9[1].line, 3);
+    }
+
+    #[test]
+    fn r9_spares_single_arg_observe_and_add() {
+        // `Histogram::observe(v)` / `checked.add(x)` shapes are not
+        // registry calls; only `incr` gates in one-argument form.
+        let src = "fn f(h: &Histogram, v: u64) { h.observe(v); let _ = v.add(v); \
+                   g.set_gauge(depth()); }";
+        assert!(lint(src).iter().all(|f| f.rule != "R9"));
+    }
+
+    #[test]
+    fn r9_respects_waivers_and_test_code() {
+        let src = "// neo-lint: allow(R9, fixture)\nfn f(m: &M, n: String) { m.incr(&n); }\n\
+                   #[cfg(test)]\nmod t { fn g(m: &M, n: String) { m.incr(&n); } }";
+        assert!(lint(src).iter().all(|f| f.rule != "R9"));
     }
 
     #[test]

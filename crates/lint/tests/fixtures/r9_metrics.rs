@@ -1,0 +1,46 @@
+//! R9 fixture: computed metric names mint unbounded time series.
+
+struct Metrics;
+
+impl Metrics {
+    fn incr(&self, _name: &str) {}
+    fn add(&self, _name: &str, _v: u64) {}
+    fn observe(&self, _name: &str, _v: u64) {}
+    fn set_gauge(&self, _name: &str, _v: i64) {}
+}
+
+fn series_for(peer: &str) -> String {
+    format!("runtime.send_failed.{peer}")
+}
+
+fn record(m: &Metrics, peer: &str, v: u64) {
+    // Bad: per-peer family names — one fresh series per distinct peer.
+    m.incr(&format!("runtime.send_failed.{peer}"));
+    m.observe(&series_for(peer), v);
+    let name = series_for(peer);
+    m.add(&name, v);
+    m.set_gauge(name.as_str(), v as i64);
+
+    // Good: static names; variance goes into bounded labels or values.
+    m.incr("runtime.send_failed");
+    m.observe("runtime.handler_ns", v);
+    m.add("runtime.retries", v);
+    m.set_gauge("runtime.queue_depth", v as i64);
+}
+
+struct Histogram;
+
+impl Histogram {
+    fn observe(&self, _v: u64) {}
+}
+
+fn plain_value_calls(h: &Histogram, v: u64) {
+    // Single-argument observe/add shapes are not registry calls.
+    h.observe(v);
+    let _ = v.checked_add(v);
+}
+
+fn waived(m: &Metrics, suffix: &str) {
+    // neo-lint: allow(R9, cardinality bounded by the fixed role set)
+    m.incr(&format!("runtime.role.{suffix}"));
+}

@@ -190,6 +190,16 @@ fn r8_fixture_has_exact_findings() {
 }
 
 #[test]
+fn r9_fixture_has_exact_findings() {
+    let f = fixture("r9_metrics.rs");
+    assert_eq!(count(&f, "R9"), 4, "findings: {f:#?}");
+    assert_eq!(f.len(), 4, "no other rules should fire: {f:#?}");
+    // Every finding sits in `record`; the static names, the
+    // single-argument value calls, and the waived site are all clean.
+    assert!(f.iter().all(|x| (18..=22).contains(&x.line)), "{f:#?}");
+}
+
+#[test]
 fn waivers_suppress_all_findings() {
     let f = fixture("waived.rs");
     assert!(f.is_empty(), "waived fixture must be clean: {f:#?}");

@@ -64,6 +64,21 @@ fn workspace_is_clean_under_dataflow_rules() {
     );
 }
 
+#[test]
+fn workspace_metric_names_are_static() {
+    // Ratchet: R9 holds at zero across the default scope — every metric
+    // family in protocol code is a static literal, so the Prometheus
+    // namespace is grep-able and scrape cardinality stays bounded.
+    let root = workspace_root();
+    let findings = neo_lint::lint_default_scope(&root).expect("lint workspace");
+    let bad: Vec<_> = findings.iter().filter(|f| f.rule == "R9").collect();
+    assert!(
+        bad.is_empty(),
+        "computed metric names must be fixed (or carry a reviewed waiver), never baselined: \
+         {bad:#?}"
+    );
+}
+
 /// Extract the signature text (whitespace stripped, up to the body `{`
 /// or declaration `;`) of every `fn send` / `fn send_after` /
 /// `fn broadcast` in `src`.

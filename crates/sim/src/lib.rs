@@ -35,6 +35,7 @@ pub mod obs;
 pub mod sim;
 pub mod stats;
 pub mod store;
+pub mod telemetry;
 pub mod time;
 
 pub use byz::{ByzStats, ByzStrategy, ByzantineNode};
@@ -43,10 +44,11 @@ pub use fault::{FaultPlan, FaultRule, PacketFate, FOREVER};
 pub use net::NetConfig;
 pub use node::{Context, Node, TimerId};
 pub use obs::{
-    Event, EventKind, EventRecord, FlightDump, Metrics, MetricsSnapshot, NodeFlight, ObsConfig,
-    ObsStreamLine, PacketRecord,
+    render_prometheus, Event, EventKind, EventRecord, FlightDump, HealthReport, Metrics,
+    MetricsSnapshot, NodeFlight, NodeHealth, ObsConfig, ObsStreamLine, PacketRecord,
 };
 pub use sim::{SimConfig, Simulator};
 pub use stats::NetStats;
 pub use store::Store;
+pub use telemetry::{TelemetryHub, TelemetryProvider, TelemetryServer};
 pub use time::{Duration, Time, MICROS, MILLIS, SECS};

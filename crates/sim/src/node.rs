@@ -126,6 +126,13 @@ pub trait Node: Any + Send {
         None
     }
 
+    /// The node's self-reported protocol health, published by the
+    /// executors through the telemetry plane's `/health` endpoint.
+    /// Stateless nodes keep the default.
+    fn health(&self) -> Option<crate::obs::NodeHealth> {
+        None
+    }
+
     /// Downcast support (the experiment harness inspects node state, e.g.
     /// to read a client's completed-operation records).
     fn as_any(&self) -> &dyn Any;

@@ -825,6 +825,182 @@ pub struct ObsStreamLine {
     pub events: Vec<EventRecord>,
 }
 
+/// A node's self-reported protocol health: the sans-IO half of the
+/// `/health` document. Implementations of [`crate::Node::health`] fill
+/// this from their own state machine; the executor wraps it in a
+/// [`HealthReport`] with the signals only it can see (verify pool,
+/// durability lag).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeHealth {
+    /// `"replica"`, `"client"`, `"sequencer"`, `"config"`, ...
+    pub role: String,
+    /// Installed sequencing epoch.
+    pub epoch: u64,
+    /// Current view's leader number within the epoch.
+    pub view: u64,
+    /// Recovery phase name (`None` if the node never ran recovery; a
+    /// restarted replica reports `recovering` → `fetching_checkpoint` →
+    /// `replaying` → `active`).
+    pub recovery_phase: Option<String>,
+    /// Slot the node resumed from after a restart.
+    pub recovery_base: Option<u64>,
+    /// Next slot to execute (the speculative execution cursor).
+    pub last_exec: u64,
+    /// Current log length in slots.
+    pub log_len: u64,
+    /// Stable sync point (§B.2).
+    pub sync_point: u64,
+    /// Sync-point slot of the newest certified checkpoint.
+    pub stable_checkpoint: Option<u64>,
+}
+
+/// The full `/health` document for one node: protocol health plus
+/// executor-side signals. Serialized as JSON by the telemetry server and
+/// consumed by `neo-top`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// The node's address label (e.g. `"r0"`).
+    pub node: String,
+    /// False once the verify pool poisons or the node thread stops.
+    pub healthy: bool,
+    /// Committed operations so far ([`EventKind::Commit`] count).
+    pub committed: u64,
+    /// Verification tasks queued behind the worker pool.
+    pub verify_queue_depth: u64,
+    /// Verification tasks currently on worker threads.
+    pub verify_in_flight: u64,
+    /// A verify worker panicked; the node is stopping.
+    pub verify_poisoned: bool,
+    /// p99 of the durable store's fsync latency, nanoseconds (0 when the
+    /// node has no store or has not flushed yet).
+    pub fsync_p99_ns: u64,
+    /// The state machine's own view of itself, if it reports one.
+    #[serde(default)]
+    pub protocol: Option<NodeHealth>,
+}
+
+/// Sanitize a metric name into the Prometheus charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` — our dotted names (`store.fsync_ns`)
+/// become underscored (`store_fsync_ns`).
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a Prometheus label value: backslash, double quote, newline.
+fn prom_label_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inclusive upper bound of the values mapped to bucket `i`, or `None`
+/// for the final bucket (rendered as `+Inf` only).
+fn bucket_upper(i: u32) -> Option<u64> {
+    if (i as usize) + 1 >= N_BUCKETS {
+        None
+    } else {
+        Some(bucket_floor(i + 1) - 1)
+    }
+}
+
+/// Render per-node metrics snapshots as Prometheus text exposition
+/// (version 0.0.4): counters and per-kind event counts as `_total`
+/// counter families, gauges as gauges, histograms as cumulative-bucket
+/// histogram families with `le` bounds derived from the log-linear
+/// bucket layout. Every sample carries a `node` label; families are
+/// grouped so each `# TYPE` line appears exactly once per scrape.
+pub fn render_prometheus(sources: &[(String, MetricsSnapshot)]) -> String {
+    let mut out = String::new();
+
+    // family name -> [(node, rendered value)]
+    let mut counters: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+    let mut events: Vec<(String, String, u64)> = Vec::new(); // (node, kind, count)
+    let mut hists: BTreeMap<String, Vec<(String, HistogramSnapshot)>> = BTreeMap::new();
+
+    for (node, snap) in sources {
+        let node = prom_label_escape(node);
+        for (k, v) in &snap.counters {
+            counters
+                .entry(format!("neobft_{}_total", prom_name(k)))
+                .or_default()
+                .push((node.clone(), v.to_string()));
+        }
+        for (k, v) in &snap.gauges {
+            gauges
+                .entry(format!("neobft_{}", prom_name(k)))
+                .or_default()
+                .push((node.clone(), v.to_string()));
+        }
+        for (k, v) in &snap.events {
+            events.push((node.clone(), prom_label_escape(k), *v));
+        }
+        for (k, h) in &snap.histograms {
+            hists
+                .entry(format!("neobft_{}", prom_name(k)))
+                .or_default()
+                .push((node.clone(), h.clone()));
+        }
+    }
+
+    for (family, samples) in &counters {
+        out.push_str(&format!("# TYPE {family} counter\n"));
+        for (node, v) in samples {
+            out.push_str(&format!("{family}{{node=\"{node}\"}} {v}\n"));
+        }
+    }
+    for (family, samples) in &gauges {
+        out.push_str(&format!("# TYPE {family} gauge\n"));
+        for (node, v) in samples {
+            out.push_str(&format!("{family}{{node=\"{node}\"}} {v}\n"));
+        }
+    }
+    if !events.is_empty() {
+        out.push_str("# TYPE neobft_events_total counter\n");
+        for (node, kind, v) in &events {
+            out.push_str(&format!(
+                "neobft_events_total{{node=\"{node}\",kind=\"{kind}\"}} {v}\n"
+            ));
+        }
+    }
+    for (family, samples) in &hists {
+        out.push_str(&format!("# TYPE {family} histogram\n"));
+        for (node, h) in samples {
+            let mut cum = 0u64;
+            for (i, c) in &h.buckets {
+                cum += c;
+                if let Some(le) = bucket_upper(*i) {
+                    out.push_str(&format!(
+                        "{family}_bucket{{node=\"{node}\",le=\"{le}\"}} {cum}\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "{family}_bucket{{node=\"{node}\",le=\"+Inf\"}} {}\n",
+                h.count
+            ));
+            out.push_str(&format!("{family}_sum{{node=\"{node}\"}} {}\n", h.sum));
+            out.push_str(&format!("{family}_count{{node=\"{node}\"}} {}\n", h.count));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1118,5 +1294,135 @@ mod tests {
         assert_eq!(merged[0].at, 10);
         assert_eq!(merged[0].node, b);
         assert_eq!(merged[1].at, 20);
+    }
+
+    #[test]
+    fn prometheus_rendering_matches_golden() {
+        let m = Metrics::new(ObsConfig::default());
+        m.add("replica.messages_in", 7);
+        m.set_gauge("verify.queue_depth", 3);
+        m.record_event(1, Addr::Replica(ReplicaId(0)), commit(0));
+        m.record_event(2, Addr::Replica(ReplicaId(0)), commit(1));
+        for v in [3u64, 5, 70] {
+            m.observe("store.fsync_ns", v);
+        }
+        let text = render_prometheus(&[("r0".into(), m.snapshot())]);
+        // Values 3 and 5 land in exact linear buckets (le = value); 70
+        // lands in the [70, 71] log-linear bucket (le = 71).
+        let golden = "\
+# TYPE neobft_replica_messages_in_total counter
+neobft_replica_messages_in_total{node=\"r0\"} 7
+# TYPE neobft_verify_queue_depth gauge
+neobft_verify_queue_depth{node=\"r0\"} 3
+# TYPE neobft_events_total counter
+neobft_events_total{node=\"r0\",kind=\"commit\"} 2
+# TYPE neobft_store_fsync_ns histogram
+neobft_store_fsync_ns_bucket{node=\"r0\",le=\"3\"} 1
+neobft_store_fsync_ns_bucket{node=\"r0\",le=\"5\"} 2
+neobft_store_fsync_ns_bucket{node=\"r0\",le=\"71\"} 3
+neobft_store_fsync_ns_bucket{node=\"r0\",le=\"+Inf\"} 3
+neobft_store_fsync_ns_sum{node=\"r0\"} 78
+neobft_store_fsync_ns_count{node=\"r0\"} 3
+";
+        assert_eq!(text, golden);
+    }
+
+    #[test]
+    fn prometheus_escapes_names_and_labels() {
+        assert_eq!(prom_name("store.fsync_ns"), "store_fsync_ns");
+        assert_eq!(
+            prom_name("runtime.send_failed.c9"),
+            "runtime_send_failed_c9"
+        );
+        assert_eq!(prom_name("9lives"), "_lives");
+        assert_eq!(prom_name(""), "_");
+        let m = Metrics::new(ObsConfig::default());
+        m.incr("ops");
+        let text = render_prometheus(&[("a\"b\\c\n".into(), m.snapshot())]);
+        assert!(
+            text.contains("neobft_ops_total{node=\"a\\\"b\\\\c\\n\"} 1"),
+            "label not escaped: {text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_type_lines_are_unique_across_nodes() {
+        let a = Metrics::new(ObsConfig::default());
+        let b = Metrics::new(ObsConfig::default());
+        a.incr("ops");
+        b.add("ops", 2);
+        a.observe("lat", 10);
+        b.observe("lat", 20);
+        let text = render_prometheus(&[("r0".into(), a.snapshot()), ("r1".into(), b.snapshot())]);
+        assert_eq!(text.matches("# TYPE neobft_ops_total counter").count(), 1);
+        assert_eq!(text.matches("# TYPE neobft_lat histogram").count(), 1);
+        assert!(text.contains("neobft_ops_total{node=\"r0\"} 1"));
+        assert!(text.contains("neobft_ops_total{node=\"r1\"} 2"));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_and_monotonic() {
+        let m = Metrics::new(ObsConfig::default());
+        for v in [1u64, 1, 50, 900, 70_000, 5_000_000, u64::MAX] {
+            m.observe("lat_ns", v);
+        }
+        let text = render_prometheus(&[("r0".into(), m.snapshot())]);
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            if !line.starts_with("neobft_lat_ns_bucket") {
+                continue;
+            }
+            bucket_lines += 1;
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= last, "non-monotonic cumulative bucket: {line}");
+            last = count;
+        }
+        assert!(bucket_lines >= 6, "expected per-value buckets plus +Inf");
+        assert!(text.ends_with("neobft_lat_ns_count{node=\"r0\"} 7\n"));
+        assert!(text.contains("le=\"+Inf\"} 7"));
+    }
+
+    #[test]
+    fn prometheus_zero_histogram_renders_inf_only() {
+        // A merged snapshot can carry a histogram entry with no samples.
+        let mut snap = MetricsSnapshot::default();
+        snap.histograms
+            .insert("empty_ns".into(), HistogramSnapshot::default());
+        let text = render_prometheus(&[("r0".into(), snap)]);
+        let golden = "\
+# TYPE neobft_empty_ns histogram
+neobft_empty_ns_bucket{node=\"r0\",le=\"+Inf\"} 0
+neobft_empty_ns_sum{node=\"r0\"} 0
+neobft_empty_ns_count{node=\"r0\"} 0
+";
+        assert_eq!(text, golden);
+    }
+
+    #[test]
+    fn health_report_round_trips_json() {
+        let report = HealthReport {
+            node: "r1".into(),
+            healthy: true,
+            committed: 42,
+            verify_queue_depth: 3,
+            verify_in_flight: 1,
+            verify_poisoned: false,
+            fsync_p99_ns: 1500,
+            protocol: Some(NodeHealth {
+                role: "replica".into(),
+                epoch: 2,
+                view: 1,
+                recovery_phase: Some("active".into()),
+                recovery_base: Some(128),
+                last_exec: 512,
+                log_len: 520,
+                sync_point: 500,
+                stable_checkpoint: Some(384),
+            }),
+        };
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: HealthReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, report);
     }
 }

@@ -5,7 +5,8 @@ use crate::fault::FaultPlan;
 use crate::net::NetConfig;
 use crate::node::{Context, Node, TimerId};
 use crate::obs::{
-    EventRecord, FlightDump, Metrics, MetricsSnapshot, NodeFlight, ObsConfig, ObsStreamLine,
+    EventKind, EventRecord, FlightDump, HealthReport, Metrics, MetricsSnapshot, NodeFlight,
+    ObsConfig, ObsStreamLine,
 };
 use crate::stats::NetStats;
 use crate::time::{Duration, Time};
@@ -291,6 +292,38 @@ impl Simulator {
             violations: Vec::new(),
             context: std::collections::BTreeMap::new(),
             nodes,
+        }
+    }
+
+    /// Publish every node's current metrics snapshot and self-reported
+    /// health into `hub`, keyed by address. Slice-driven harnesses call
+    /// this at slice boundaries so a
+    /// [`TelemetryServer`](crate::telemetry::TelemetryServer) over the
+    /// hub serves fresh `/metrics` and `/health` while the run advances.
+    /// Verification is inline under the simulator, so the verify-pool
+    /// fields stay zero.
+    pub fn publish_telemetry(&self, hub: &crate::telemetry::TelemetryHub) {
+        for (addr, slot) in &self.nodes {
+            let snapshot = slot.metrics.snapshot();
+            let protocol = slot.node.health();
+            let healthy = protocol
+                .as_ref()
+                .and_then(|p| p.recovery_phase.as_deref())
+                .is_none_or(|phase| phase == "active");
+            let report = HealthReport {
+                node: addr.to_string(),
+                healthy,
+                committed: snapshot.event(EventKind::Commit),
+                verify_queue_depth: 0,
+                verify_in_flight: 0,
+                verify_poisoned: false,
+                fsync_p99_ns: snapshot
+                    .histograms
+                    .get("store.fsync_ns")
+                    .map_or(0, |h| h.p99),
+                protocol,
+            };
+            hub.publish(&addr.to_string(), snapshot, report);
         }
     }
 

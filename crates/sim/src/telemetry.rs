@@ -1,0 +1,357 @@
+//! The live telemetry plane: a zero-dependency HTTP scrape endpoint.
+//!
+//! A [`TelemetryServer`] is one background thread owning a std
+//! [`TcpListener`] and answering two routes:
+//!
+//! - `GET /metrics` — Prometheus text exposition rendered from every
+//!   source's current [`MetricsSnapshot`] (see
+//!   [`crate::obs::render_prometheus`]).
+//! - `GET /health` — a JSON array of [`HealthReport`]s, one per node.
+//!
+//! Everything else is 404. The server is deliberately minimal: it reads
+//! one request, writes one `Connection: close` response, and hangs up —
+//! exactly what a scraper or `curl` needs, with no keep-alive state to
+//! manage. It mirrors the `ObsExporter` lifecycle (spawn thread, signal
+//! stop through a channel, join on drop/stop).
+//!
+//! Data flows in through a [`TelemetryProvider`]: the tokio runtime
+//! implements it over live per-node registries; the simulator-based
+//! harnesses publish snapshots into a [`TelemetryHub`] at slice
+//! boundaries and hand the hub to the server.
+
+use crate::obs::{render_prometheus, HealthReport, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Where a scrape's data comes from. `scrape` is called once per
+/// `/metrics` request (and once per `/health` request, for the
+/// histogram-derived fields), so implementations should snapshot live
+/// registries rather than cache.
+pub trait TelemetryProvider: Send + Sync {
+    /// Current `(node label, metrics snapshot)` per node.
+    fn scrape(&self) -> Vec<(String, MetricsSnapshot)>;
+
+    /// Current per-node health documents.
+    fn health(&self) -> Vec<HealthReport>;
+}
+
+/// A [`TelemetryProvider`] fed by periodic publication: harnesses that
+/// own their nodes (the simulator-driven chaos runner) push each node's
+/// snapshot and health document at slice boundaries; scrapes read the
+/// latest published state.
+#[derive(Default)]
+pub struct TelemetryHub {
+    inner: Mutex<BTreeMap<String, (MetricsSnapshot, HealthReport)>>,
+}
+
+impl TelemetryHub {
+    /// Empty hub, ready to publish into.
+    pub fn new() -> Self {
+        TelemetryHub::default()
+    }
+
+    /// Install `node`'s latest snapshot and health document, replacing
+    /// any previous publication.
+    pub fn publish(&self, node: &str, snapshot: MetricsSnapshot, health: HealthReport) {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        inner.insert(node.to_string(), (snapshot, health));
+    }
+
+    /// Number of nodes that have published at least once.
+    pub fn len(&self) -> usize {
+        match self.inner.lock() {
+            Ok(g) => g.len(),
+            Err(p) => p.into_inner().len(),
+        }
+    }
+
+    /// Whether nothing has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TelemetryProvider for TelemetryHub {
+    fn scrape(&self) -> Vec<(String, MetricsSnapshot)> {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        inner
+            .iter()
+            .map(|(k, (snap, _))| (k.clone(), snap.clone()))
+            .collect()
+    }
+
+    fn health(&self) -> Vec<HealthReport> {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        inner.values().map(|(_, h)| h.clone()).collect()
+    }
+}
+
+/// Upper bound on an accepted request's header bytes: a scrape request
+/// is a few hundred bytes; anything larger is not a scraper.
+const MAX_REQUEST_BYTES: usize = 8192;
+
+/// The scrape endpoint's background thread. Dropping the handle without
+/// [`stop`](TelemetryServer::stop) leaves the thread running until
+/// process exit (same contract as a detached exporter); call `stop` for
+/// an orderly join.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9464"`; port 0 picks a free port)
+    /// and start answering scrapes from `provider`.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        provider: Arc<dyn TelemetryProvider>,
+    ) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = stop.clone();
+        let join = std::thread::Builder::new()
+            .name("neo-telemetry".into())
+            .spawn(move || serve_loop(listener, provider, stop_thread))?;
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+
+    /// The bound address (useful when started on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal the thread to stop and join it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+fn serve_loop(listener: TcpListener, provider: Arc<dyn TelemetryProvider>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One request per connection, served inline: scrape
+                // cadence is seconds, responses are small, and inline
+                // handling keeps the thread budget at exactly one.
+                let _ = serve_one(stream, provider.as_ref());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Read one HTTP request (just the request line matters) and write the
+/// matching response.
+fn serve_one(mut stream: TcpStream, provider: &dyn TelemetryProvider) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the blank line ending the header block (we ignore
+    // bodies: both routes are GET).
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.len() > MAX_REQUEST_BYTES {
+            return respond(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain",
+                "request too large",
+            );
+        }
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+    }
+    let request_line = match std::str::from_utf8(&buf) {
+        Ok(text) => text.lines().next().unwrap_or("").to_string(),
+        Err(_) => return respond(&mut stream, "400 Bad Request", "text/plain", "not utf-8"),
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is supported",
+        );
+    }
+    // Strip any query string: scrapers may append one.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => {
+            let body = render_prometheus(&provider.scrape());
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/health" => {
+            let reports = provider.health();
+            let body = serde_json::to_string_pretty(&reports).unwrap_or_else(|_| "[]".to_string());
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain",
+            "routes: /metrics /health",
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{Metrics, ObsConfig};
+
+    /// Minimal scrape client (tests only): GET `path`, return the body.
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let req = format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n");
+        stream.write_all(req.as_bytes()).expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("header/body separator");
+        (head.to_string(), body.to_string())
+    }
+
+    fn hub_with_one_node() -> Arc<TelemetryHub> {
+        let hub = Arc::new(TelemetryHub::new());
+        let m = Metrics::new(ObsConfig::default());
+        m.add("ops", 5);
+        hub.publish(
+            "r0",
+            m.snapshot(),
+            HealthReport {
+                node: "r0".into(),
+                healthy: true,
+                committed: 5,
+                ..HealthReport::default()
+            },
+        );
+        hub
+    }
+
+    #[test]
+    fn serves_metrics_and_health() {
+        let hub = hub_with_one_node();
+        let server = TelemetryServer::start("127.0.0.1:0", hub.clone()).expect("bind");
+        let addr = server.local_addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain"), "{head}");
+        assert!(body.contains("neobft_ops_total{node=\"r0\"} 5"), "{body}");
+
+        let (head, body) = http_get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        let reports: Vec<HealthReport> = serde_json::from_str(&body).expect("health JSON");
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].node, "r0");
+        assert_eq!(reports[0].committed, 5);
+
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn scrapes_see_fresh_publications() {
+        let hub = hub_with_one_node();
+        let server = TelemetryServer::start("127.0.0.1:0", hub.clone()).expect("bind");
+        let addr = server.local_addr();
+        let m = Metrics::new(ObsConfig::default());
+        m.add("ops", 9);
+        hub.publish(
+            "r0",
+            m.snapshot(),
+            HealthReport {
+                node: "r0".into(),
+                healthy: true,
+                committed: 9,
+                ..HealthReport::default()
+            },
+        );
+        let (_, body) = http_get(addr, "/metrics");
+        assert!(body.contains("neobft_ops_total{node=\"r0\"} 9"), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let hub = hub_with_one_node();
+        let server = TelemetryServer::start("127.0.0.1:0", hub).expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        server.stop();
+    }
+}

@@ -26,11 +26,14 @@ use neobft::aom::{AuthMode, ConfigService, ReceiverAuth, SequencerHw, SequencerN
 use neobft::app::{App, EchoApp, EchoWorkload, KvApp, Workload, YcsbConfig, YcsbGenerator};
 use neobft::core::{Client, NeoConfig, Replica};
 use neobft::crypto::{CostModel, SystemKeys};
-use neobft::runtime::{try_spawn_node_with_obs, AddressBook, NodeHandle, ObsExporter};
+use neobft::runtime::{
+    try_spawn_node_with_obs, AddressBook, NodeHandle, ObsExporter, RuntimeTelemetry,
+};
 use neobft::sim::obs::{FlightDump, ObsConfig};
+use neobft::sim::TelemetryServer;
 use neobft::wire::{Addr, ClientId, GroupId, ReplicaId};
 use std::path::PathBuf;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 #[derive(Clone, Debug)]
@@ -44,6 +47,7 @@ struct Opts {
     app: AppChoice,
     run_secs: u64,
     obs_out: Option<PathBuf>,
+    telemetry_addr: Option<String>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -67,6 +71,9 @@ fn usage() -> ! {
            --app echo|kv    application (default echo)\n\
            --run-secs S     how long to keep serving (default 30)\n\
            --obs-out PATH   stream live per-node metrics JSONL to PATH\n\
+           --telemetry-addr A\n\
+                            serve GET /metrics (Prometheus) and /health\n\
+                            (JSON) on A, e.g. 127.0.0.1:9464\n\
          SIGINT dumps the flight recorder to $NEO_FLIGHT_DIR (default\n\
          target/flight) before exiting."
     );
@@ -99,6 +106,7 @@ fn parse(args: &[String]) -> (String, Option<u64>, Opts) {
         app: AppChoice::Echo,
         run_secs: 30,
         obs_out: None,
+        telemetry_addr: None,
     };
     let mut i = idx;
     while i < args.len() {
@@ -111,6 +119,7 @@ fn parse(args: &[String]) -> (String, Option<u64>, Opts) {
             "--ops" => opts.ops = val().parse().unwrap_or_else(|_| usage()),
             "--run-secs" => opts.run_secs = val().parse().unwrap_or_else(|_| usage()),
             "--obs-out" => opts.obs_out = Some(PathBuf::from(val())),
+            "--telemetry-addr" => opts.telemetry_addr = Some(val()),
             "--auth" => {
                 opts.auth = match val().as_str() {
                     "hm" => ReceiverAuth::Hmac,
@@ -331,6 +340,26 @@ fn start_exporter(opts: &Opts, handles: &[&NodeHandle]) -> Option<ObsExporter> {
     }
 }
 
+/// Serve the scrape endpoint over `handles` if `--telemetry-addr` was
+/// given.
+fn start_telemetry(opts: &Opts, handles: &[&NodeHandle]) -> Option<TelemetryServer> {
+    let addr = opts.telemetry_addr.as_deref()?;
+    let provider = Arc::new(RuntimeTelemetry::from_handles(handles.iter().copied()));
+    match TelemetryServer::start(addr, provider) {
+        Ok(server) => {
+            println!(
+                "telemetry on http://{}/metrics and /health",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        Err(e) => {
+            eprintln!("neobft-node: cannot bind --telemetry-addr {addr}: {e}");
+            None
+        }
+    }
+}
+
 fn report_client(node: Box<dyn neobft::sim::Node>) {
     let client = node.as_any().downcast_ref::<Client>().expect("client node");
     let done = client.completed.len();
@@ -358,11 +387,15 @@ fn main() {
         "replica" => {
             let h = spawn_replica(id.unwrap() as u32, &opts, &book, &keys);
             let exporter = start_exporter(&opts, &[&h]);
+            let telemetry = start_telemetry(&opts, &[&h]);
             if serve(&sigint, opts.run_secs) {
                 write_flight(&[&h], "sigint");
             }
             if let Some(e) = exporter {
                 e.stop();
+            }
+            if let Some(t) = telemetry {
+                t.stop();
             }
             let node = h.try_shutdown().expect("node joins");
             let replica = node.as_any().downcast_ref::<Replica>().expect("replica");
@@ -377,11 +410,15 @@ fn main() {
         "sequencer" => {
             let (config_h, seq_h) = spawn_sequencer(&opts, &book, &keys);
             let exporter = start_exporter(&opts, &[&config_h, &seq_h]);
+            let telemetry = start_telemetry(&opts, &[&config_h, &seq_h]);
             if serve(&sigint, opts.run_secs) {
                 write_flight(&[&config_h, &seq_h], "sigint");
             }
             if let Some(e) = exporter {
                 e.stop();
+            }
+            if let Some(t) = telemetry {
+                t.stop();
             }
             seq_h.try_shutdown().expect("sequencer joins");
             config_h.try_shutdown().expect("config service joins");
@@ -389,11 +426,15 @@ fn main() {
         "client" => {
             let h = spawn_client(id.unwrap(), &opts, &book, &keys);
             let exporter = start_exporter(&opts, &[&h]);
+            let telemetry = start_telemetry(&opts, &[&h]);
             if serve(&sigint, opts.run_secs.min(opts.ops / 100 + 10)) {
                 write_flight(&[&h], "sigint");
             }
             if let Some(e) = exporter {
                 e.stop();
+            }
+            if let Some(t) = telemetry {
+                t.stop();
             }
             report_client(h.try_shutdown().expect("client joins"));
         }
@@ -411,12 +452,16 @@ fn main() {
                 .chain(client_hs.iter())
                 .collect();
             let exporter = start_exporter(&opts, &handles);
+            let telemetry = start_telemetry(&opts, &handles);
             if serve(&sigint, (opts.ops / 1000 + 3).min(opts.run_secs)) {
                 write_flight(&handles, "sigint");
             }
             drop(handles);
             if let Some(e) = exporter {
                 e.stop();
+            }
+            if let Some(t) = telemetry {
+                t.stop();
             }
             for h in client_hs {
                 report_client(h.try_shutdown().expect("client joins"));

@@ -25,21 +25,31 @@
 //! sizes and send failures are recorded in the node's metrics registry
 //! (`runtime.batch_events`; `runtime_send_failed` totals across all
 //! destinations, `runtime.send_failed.<addr>` counts per destination so
-//! a single unreachable peer is attributable from the counters alone).
+//! a single unreachable peer is attributable from the counters alone —
+//! bounded at `SEND_FAIL_LABEL_CAP` distinct destinations, with the
+//! overflow sharing `runtime.send_failed.other`).
 //!
 //! Observability: spawn with [`try_spawn_node_with_obs`] and
 //! [`ObsConfig::flight_recorder`] to keep per-node event/packet rings
 //! ([`NodeHandle::flight`] freezes them into a dump), and attach an
-//! [`ObsExporter`] to stream periodic [`ObsStreamLine`] JSONL.
+//! [`ObsExporter`] to stream periodic [`ObsStreamLine`] JSONL. For live
+//! scraping, build a [`RuntimeTelemetry`] provider over the deployment's
+//! handles and serve it with a
+//! [`TelemetryServer`](neo_sim::telemetry::TelemetryServer): `/metrics`
+//! snapshots each registry at request time, `/health` reads the
+//! [`HealthReport`] each node loop publishes every `HEALTH_REFRESH`.
 
-use neo_sim::obs::{Metrics, MetricsSnapshot, NodeFlight, ObsConfig, ObsStreamLine};
+use neo_sim::obs::{
+    EventKind, HealthReport, Metrics, MetricsSnapshot, NodeFlight, ObsConfig, ObsStreamLine,
+};
+use neo_sim::telemetry::TelemetryProvider;
 use neo_sim::{Context, Node, TimerId};
 use neo_wire::{Addr, ClientId, GroupId, Payload, ReplicaId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::net::{IpAddr, SocketAddr};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tokio::net::UdpSocket;
 
@@ -299,6 +309,7 @@ pub struct NodeHandle {
     poisoned: Arc<AtomicBool>,
     join: Option<std::thread::JoinHandle<Box<dyn Node>>>,
     metrics: Arc<Metrics>,
+    health: Arc<Mutex<HealthReport>>,
     /// The node's logical address.
     pub addr: Addr,
 }
@@ -349,6 +360,71 @@ impl NodeHandle {
     /// [`ObsExporter`].
     pub fn obs_source(&self) -> (Addr, Arc<Metrics>) {
         (self.addr, self.metrics.clone())
+    }
+
+    /// The node loop's latest self-published health document (refreshed
+    /// on a coarse cadence while the node runs).
+    pub fn health_report(&self) -> HealthReport {
+        match self.health.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        }
+    }
+}
+
+/// A [`TelemetryProvider`] over spawned node handles: `/metrics` scrapes
+/// snapshot each node's live registry at request time; `/health` reads
+/// the health documents the node loops publish. Build one from the
+/// deployment's handles and hand it to a
+/// [`neo_sim::TelemetryServer`](neo_sim::telemetry::TelemetryServer).
+#[derive(Default)]
+pub struct RuntimeTelemetry {
+    nodes: Vec<(String, Arc<Metrics>, Arc<Mutex<HealthReport>>)>,
+}
+
+impl RuntimeTelemetry {
+    /// An empty provider; `add` each handle before starting the server.
+    pub fn new() -> Self {
+        RuntimeTelemetry::default()
+    }
+
+    /// Register `handle`'s registry and health slot. The provider stays
+    /// valid after the handle shuts down (the final published state
+    /// keeps being served).
+    pub fn add(&mut self, handle: &NodeHandle) {
+        self.nodes.push((
+            handle.addr.to_string(),
+            handle.metrics.clone(),
+            handle.health.clone(),
+        ));
+    }
+
+    /// Provider over every handle in `handles`.
+    pub fn from_handles<'a>(handles: impl IntoIterator<Item = &'a NodeHandle>) -> Self {
+        let mut t = RuntimeTelemetry::new();
+        for h in handles {
+            t.add(h);
+        }
+        t
+    }
+}
+
+impl TelemetryProvider for RuntimeTelemetry {
+    fn scrape(&self) -> Vec<(String, MetricsSnapshot)> {
+        self.nodes
+            .iter()
+            .map(|(name, metrics, _)| (name.clone(), metrics.snapshot()))
+            .collect()
+    }
+
+    fn health(&self) -> Vec<HealthReport> {
+        self.nodes
+            .iter()
+            .map(|(_, _, health)| match health.lock() {
+                Ok(g) => g.clone(),
+                Err(p) => p.into_inner().clone(),
+            })
+            .collect()
     }
 }
 
@@ -502,18 +578,25 @@ pub fn try_spawn_node_with_obs(
     let metrics = Arc::new(Metrics::new(obs));
     let stop = Arc::new(AtomicBool::new(false));
     let poisoned = Arc::new(AtomicBool::new(false));
+    let health = Arc::new(Mutex::new(HealthReport {
+        node: me.to_string(),
+        healthy: true,
+        ..HealthReport::default()
+    }));
     let stop2 = stop.clone();
     let poisoned2 = poisoned.clone();
     let metrics2 = metrics.clone();
+    let health2 = health.clone();
     let join = std::thread::Builder::new()
         .name(format!("{me}"))
-        .spawn(move || run_node(node, me, book, sock, stop2, poisoned2, metrics2))
+        .spawn(move || run_node(node, me, book, sock, stop2, poisoned2, metrics2, health2))
         .map_err(RuntimeError::Spawn)?;
     Ok(NodeHandle {
         stop,
         poisoned,
         join: Some(join),
         metrics,
+        health,
         addr: me,
     })
 }
@@ -558,6 +641,53 @@ fn drain_effects(
     ctx.clear_effects();
 }
 
+/// How often the node loop refreshes its published [`HealthReport`]
+/// (scrape cadence is seconds; the refresh snapshots the registry, so it
+/// runs at a coarse cadence instead of per batch).
+const HEALTH_REFRESH: Duration = Duration::from_millis(200);
+
+/// Cardinality bound for `runtime.send_failed.<addr>`: the first few
+/// failing destinations get their own per-destination counter; every
+/// further destination shares `runtime.send_failed.other`, so the metric
+/// family cannot grow with the address space a misconfigured book (or an
+/// adversarial roster) names.
+const SEND_FAIL_LABEL_CAP: usize = 8;
+
+/// Refresh the shared health document from the node's current state.
+fn publish_health(
+    node: &dyn Node,
+    me: Addr,
+    metrics: &Metrics,
+    verify_pool: Option<&Arc<neo_crypto::VerifyPool>>,
+    verify_poisoned: bool,
+    health: &Mutex<HealthReport>,
+) {
+    let snap = metrics.snapshot();
+    let protocol = node.health();
+    // Healthy = the verify stage is intact and the protocol layer (if it
+    // reports one) is not mid-recovery.
+    let healthy = !verify_poisoned
+        && protocol
+            .as_ref()
+            .and_then(|p| p.recovery_phase.as_deref())
+            .is_none_or(|phase| phase == "active");
+    let report = HealthReport {
+        node: me.to_string(),
+        healthy,
+        committed: snap.event(EventKind::Commit),
+        verify_queue_depth: verify_pool.map_or(0, |p| p.queue_depth() as u64),
+        verify_in_flight: verify_pool.map_or(0, |p| p.in_flight() as u64),
+        verify_poisoned,
+        fsync_p99_ns: snap.histograms.get("store.fsync_ns").map_or(0, |h| h.p99),
+        protocol,
+    };
+    *match health.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    } = report;
+}
+
+#[allow(clippy::too_many_arguments)] // one shared slot per observability plane
 fn run_node(
     mut node: Box<dyn Node>,
     me: Addr,
@@ -566,6 +696,7 @@ fn run_node(
     stop: Arc<AtomicBool>,
     poisoned: Arc<AtomicBool>,
     metrics: Arc<Metrics>,
+    health: Arc<Mutex<HealthReport>>,
 ) -> Box<dyn Node> {
     let rt = tokio::runtime::Builder::new_current_thread()
         .enable_all()
@@ -592,6 +723,12 @@ fn run_node(
         // Destinations whose send failures were already logged; failures
         // stay *counted* per packet in `runtime_send_failed`.
         let mut fail_logged: HashSet<Addr> = HashSet::new();
+        // Destinations that own a `runtime.send_failed.<addr>` label
+        // (bounded at SEND_FAIL_LABEL_CAP; the overflow shares one
+        // `runtime.send_failed.other` counter).
+        let mut fail_labeled: HashSet<Addr> = HashSet::new();
+        // Last health publication (None = not yet published).
+        let mut last_health: Option<Instant> = None;
         // One context for the node's lifetime; effect buffers are
         // cleared between events, never reallocated.
         let mut ctx = RtCtx {
@@ -733,8 +870,16 @@ fn run_node(
                     // Global total plus a per-destination label: one
                     // unreachable peer is attributable from the
                     // counters, not just the first-failure log line.
+                    // Labels are cardinality-bounded — after
+                    // SEND_FAIL_LABEL_CAP distinct destinations, further
+                    // ones share the `other` bucket.
                     metrics.incr("runtime_send_failed");
-                    metrics.incr(&format!("runtime.send_failed.{to}"));
+                    if fail_labeled.contains(&to) || fail_labeled.len() < SEND_FAIL_LABEL_CAP {
+                        fail_labeled.insert(to);
+                        metrics.incr(&format!("runtime.send_failed.{to}"));
+                    } else {
+                        metrics.incr("runtime.send_failed.other");
+                    }
                     if fail_logged.insert(to) {
                         eprintln!(
                             "node {me}: send to {to} failed: {e} \
@@ -742,6 +887,21 @@ fn run_node(
                         );
                     }
                 }
+            }
+
+            // Telemetry: refresh the published health document at a
+            // coarse cadence (before the busy-path `continue`, so a
+            // saturated node still reports).
+            if last_health.is_none_or(|t| t.elapsed() >= HEALTH_REFRESH) {
+                last_health = Some(Instant::now());
+                publish_health(
+                    node.as_ref(),
+                    me,
+                    &metrics,
+                    verify_pool.as_ref(),
+                    poisoned.load(Ordering::SeqCst),
+                    &health,
+                );
             }
 
             if events > 0 {
@@ -768,6 +928,16 @@ fn run_node(
                 _ = tokio::time::sleep(wait) => {}
             }
         }
+        // Final publication: a scrape after shutdown sees the node's
+        // last state, not a 200ms-stale one.
+        publish_health(
+            node.as_ref(),
+            me,
+            &metrics,
+            verify_pool.as_ref(),
+            poisoned.load(Ordering::SeqCst),
+            &health,
+        );
         node
     })
 }

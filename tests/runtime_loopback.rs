@@ -468,6 +468,221 @@ fn send_failures_are_labeled_and_flight_recorder_captures_packets() {
     sender_h.try_shutdown().expect("sender joins");
 }
 
+/// Minimal HTTP/1.1 GET against a `TelemetryServer` (it closes the
+/// connection after one response, so read-to-end delimits the body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect telemetry");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("well-formed response");
+    (head.to_string(), body.to_string())
+}
+
+/// Pull `neobft_events_total{node="<node>",kind="commit"} N` out of a
+/// Prometheus exposition body.
+fn scraped_commits(body: &str, node: &str) -> u64 {
+    let needle = format!("neobft_events_total{{node=\"{node}\",kind=\"commit\"}} ");
+    body.lines()
+        .find_map(|l| l.strip_prefix(needle.as_str()))
+        .map_or(0, |v| v.parse().expect("integer sample"))
+}
+
+#[test]
+fn telemetry_endpoint_serves_live_scrapes_and_health() {
+    use neobft::runtime::RuntimeTelemetry;
+    use neobft::sim::TelemetryServer;
+
+    // Same full loopback stack as `loopback_group_commits_requests`,
+    // plus a scrape endpoint over every handle.
+    let n = 4;
+    let ops = 20usize;
+    let keys = SystemKeys::new(11, n, 1);
+    let cfg = NeoConfig::new(1);
+    let dep = AddressBook::builder()
+        .replicas(n)
+        .clients(1)
+        .group(GROUP)
+        .base_port(47350)
+        .build()
+        .expect("deployment fits the port space");
+
+    let mut config = ConfigService::new();
+    config.register_group(GROUP, dep.replica_ids(), 1);
+    let config_h = dep
+        .spawn(Box::new(config), dep.config_service())
+        .expect("config service spawns");
+    let seq = SequencerNode::new(
+        GROUP,
+        dep.replica_ids(),
+        AuthMode::HmacVector,
+        SequencerHw::Software(CostModel::FREE),
+        &keys,
+    );
+    let seq_h = dep
+        .spawn(Box::new(seq), dep.sequencer())
+        .expect("sequencer spawns");
+    let replica_hs: Vec<_> = (0..n as u32)
+        .map(|r| {
+            let replica = Replica::new(
+                ReplicaId(r),
+                cfg.clone(),
+                &keys,
+                CostModel::FREE,
+                Box::new(EchoApp::new()),
+            );
+            dep.spawn(Box::new(replica), dep.replica(r as usize))
+                .expect("replica spawns")
+        })
+        .collect();
+    let mut client = Client::new(
+        ClientId(0),
+        cfg,
+        &keys,
+        CostModel::FREE,
+        Box::new(EchoWorkload::new(32, 7)),
+    );
+    client.max_ops = Some(ops as u64);
+    let client_h = dep
+        .spawn(Box::new(client), dep.client(0))
+        .expect("client spawns");
+
+    let mut provider = RuntimeTelemetry::from_handles(replica_hs.iter());
+    provider.add(&seq_h);
+    provider.add(&config_h);
+    provider.add(&client_h);
+    // Port 0: the OS picks a free port, so this test cannot collide
+    // with the fixed loopback port ranges used elsewhere in this file.
+    let server =
+        TelemetryServer::start("127.0.0.1:0", Arc::new(provider)).expect("telemetry binds");
+    let addr = server.local_addr();
+
+    // First scrape as soon as anything commits; second after the full
+    // op budget — the counter must advance between live scrapes.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let early = loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "scrape ok: {head}");
+        if scraped_commits(&body, "r0") > 0 || Instant::now() > deadline {
+            break scraped_commits(&body, "r0");
+        }
+    };
+    assert!(early > 0, "a commit was scraped before the deadline");
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let commits = replica_hs[0]
+            .metrics_snapshot()
+            .event(neobft::sim::obs::EventKind::Commit);
+        if commits >= ops as u64 || Instant::now() > deadline {
+            break;
+        }
+    }
+    let (head, body) = http_get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "scrape ok: {head}");
+    let late = scraped_commits(&body, "r0");
+    assert!(
+        late >= ops as u64 && late >= early,
+        "commit counter advances across scrapes ({early} -> {late})"
+    );
+    // Exposition shape: typed families, per-node samples.
+    assert!(body.contains("# TYPE neobft_events_total counter"));
+    assert!(body.contains("# TYPE neobft_replica_messages_in_total counter"));
+    assert!(body.contains("node=\"c0\""), "client registry is scraped");
+
+    // Health: every node reports; replicas carry a protocol document
+    // published by the node loop itself.
+    std::thread::sleep(Duration::from_millis(300)); // one HEALTH_REFRESH past the last commit
+    let (head, body) = http_get(addr, "/health");
+    assert!(head.starts_with("HTTP/1.1 200"), "health ok: {head}");
+    let docs: Vec<serde_json::Value> = serde_json::from_str(&body).expect("health is JSON");
+    assert_eq!(docs.len(), n + 3, "one document per registered handle");
+    let r0 = docs
+        .iter()
+        .find(|d| d["node"] == "r0")
+        .expect("replica 0 reports");
+    assert_eq!(r0["healthy"], true);
+    assert!(r0["committed"].as_u64().expect("committed count") >= ops as u64);
+    assert_eq!(r0["protocol"]["role"], "replica", "protocol doc: {r0}");
+
+    drop(server);
+    for h in replica_hs {
+        h.try_shutdown().expect("replica joins");
+    }
+    client_h.try_shutdown().expect("client joins");
+    seq_h.try_shutdown().expect("sequencer joins");
+    config_h.try_shutdown().expect("config service joins");
+}
+
+/// On INIT, sends one datagram to each of 16 distinct missing clients —
+/// twice the send-failure label cap.
+struct ScatterSender;
+
+impl Node for ScatterSender {
+    fn on_message(&mut self, _from: Addr, _payload: &[u8], _ctx: &mut dyn Context) {}
+    fn on_timer(&mut self, _id: TimerId, kind: u32, ctx: &mut dyn Context) {
+        if kind == neobft::sim::sim::INIT_TIMER_KIND {
+            for c in 20..36 {
+                ctx.send(Addr::Client(ClientId(c)), Payload::copy_from_slice(b"X"));
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn send_failure_labels_are_cardinality_bounded() {
+    use neobft::runtime::try_spawn_node_with_obs;
+    use neobft::sim::obs::ObsConfig;
+
+    let dep = AddressBook::builder()
+        .replicas(1)
+        .clients(0)
+        .group(GROUP)
+        .base_port(47380)
+        .build()
+        .expect("deployment fits the port space");
+    let h = try_spawn_node_with_obs(
+        Box::new(ScatterSender),
+        dep.replica(0),
+        dep.book().clone(),
+        ObsConfig::default(),
+    )
+    .expect("sender spawns");
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while h.metrics().counter("runtime_send_failed") < 16 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let snap = h.metrics_snapshot();
+    assert_eq!(snap.counters.get("runtime_send_failed"), Some(&16));
+    // The first 8 distinct destinations own labels; the other 8 share
+    // the overflow bucket, so the family cannot grow with the address
+    // space an adversarial roster names.
+    let labeled: Vec<&String> = snap
+        .counters
+        .keys()
+        .filter(|k| k.starts_with("runtime.send_failed.") && !k.ends_with(".other"))
+        .collect();
+    assert_eq!(labeled.len(), 8, "label cap holds: {labeled:?}");
+    assert_eq!(snap.counters.get("runtime.send_failed.other"), Some(&8));
+
+    h.try_shutdown().expect("sender joins");
+}
+
 #[test]
 fn timer_beats_delayed_send_at_equal_deadline() {
     let dep = AddressBook::builder()
